@@ -1,0 +1,128 @@
+// Micro-benchmarks (google-benchmark) for the hot substrate pieces:
+// IndexedHeap arity, Dijkstra expansion, range-NN, and all-NN build.
+
+#include <benchmark/benchmark.h>
+
+#include "common/indexed_heap.h"
+#include "common/rng.h"
+#include "core/primitives.h"
+#include "gen/brite.h"
+#include "gen/points.h"
+#include "gen/road_network.h"
+#include "graph/dijkstra.h"
+#include "graph/network_view.h"
+
+namespace grnn {
+namespace {
+
+template <int Arity>
+void BM_HeapPushPop(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(42);
+  std::vector<double> keys(n);
+  for (double& k : keys) {
+    k = rng.Uniform01();
+  }
+  for (auto _ : state) {
+    IndexedHeap<double, uint32_t, Arity> heap;
+    for (size_t i = 0; i < n; ++i) {
+      heap.Push(keys[i], static_cast<uint32_t>(i));
+    }
+    while (!heap.empty()) {
+      benchmark::DoNotOptimize(heap.Pop());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK_TEMPLATE(BM_HeapPushPop, 2)->Arg(1 << 12)->Arg(1 << 16);
+BENCHMARK_TEMPLATE(BM_HeapPushPop, 4)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_HeapErase(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  for (auto _ : state) {
+    IndexedHeap<double, uint32_t> heap;
+    std::vector<IndexedHeap<double, uint32_t>::Handle> handles;
+    for (size_t i = 0; i < n; ++i) {
+      handles.push_back(
+          heap.Push(rng.Uniform01(), static_cast<uint32_t>(i)));
+    }
+    for (size_t i = 0; i < n; i += 2) {
+      benchmark::DoNotOptimize(heap.Erase(handles[i]));
+    }
+    while (!heap.empty()) {
+      benchmark::DoNotOptimize(heap.Pop());
+    }
+  }
+}
+BENCHMARK(BM_HeapErase)->Arg(1 << 14);
+
+void BM_DijkstraRoad(benchmark::State& state) {
+  gen::RoadConfig cfg;
+  cfg.num_nodes = static_cast<NodeId>(state.range(0));
+  auto net = gen::GenerateRoadNetwork(cfg).ValueOrDie();
+  graph::GraphView view(&net.g);
+  Rng rng(3);
+  for (auto _ : state) {
+    NodeId src = static_cast<NodeId>(rng.UniformInt(net.g.num_nodes()));
+    benchmark::DoNotOptimize(
+        graph::SingleSourceDistances(view, src).ValueOrDie());
+  }
+}
+BENCHMARK(BM_DijkstraRoad)->Arg(10000)->Arg(50000)->Unit(benchmark::kMillisecond);
+
+void BM_DijkstraBrite(benchmark::State& state) {
+  gen::BriteConfig cfg;
+  cfg.num_nodes = static_cast<NodeId>(state.range(0));
+  cfg.unit_weights = false;
+  auto g = gen::GenerateBrite(cfg).ValueOrDie();
+  graph::GraphView view(&g);
+  Rng rng(3);
+  for (auto _ : state) {
+    NodeId src = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    benchmark::DoNotOptimize(
+        graph::SingleSourceDistances(view, src).ValueOrDie());
+  }
+}
+BENCHMARK(BM_DijkstraBrite)->Arg(10000)->Arg(50000)->Unit(benchmark::kMillisecond);
+
+void BM_RangeNn(benchmark::State& state) {
+  gen::RoadConfig cfg;
+  cfg.num_nodes = 20000;
+  auto net = gen::GenerateRoadNetwork(cfg).ValueOrDie();
+  graph::GraphView view(&net.g);
+  Rng rng(5);
+  auto points = gen::PlaceNodePoints(net.g.num_nodes(),
+                                     /*density=*/0.01, rng)
+                    .ValueOrDie();
+  core::NnSearcher searcher(&view, &points);
+  const double range = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    NodeId src = static_cast<NodeId>(rng.UniformInt(net.g.num_nodes()));
+    benchmark::DoNotOptimize(
+        searcher.RangeNn(src, 1, range, kInvalidPoint, nullptr)
+            .ValueOrDie());
+  }
+}
+BENCHMARK(BM_RangeNn)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_AllNnBuild(benchmark::State& state) {
+  gen::RoadConfig cfg;
+  cfg.num_nodes = static_cast<NodeId>(state.range(0));
+  auto net = gen::GenerateRoadNetwork(cfg).ValueOrDie();
+  graph::GraphView view(&net.g);
+  Rng rng(9);
+  auto points =
+      gen::PlaceNodePoints(net.g.num_nodes(), 0.01, rng).ValueOrDie();
+  for (auto _ : state) {
+    core::MemoryKnnStore store(net.g.num_nodes(), 4);
+    benchmark::DoNotOptimize(core::BuildAllNn(view, points, &store));
+  }
+}
+BENCHMARK(BM_AllNnBuild)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace grnn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Table 2: RNN cost vs data density D on the DBLP-like coauthorship
+// graph (k = 1). "Interesting" authors are selected at random with
+// density D = |P|/|V|; queries are sampled from the data points.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/eager.h"
+#include "core/lazy.h"
+#include "gen/coauthorship.h"
+#include "gen/points.h"
+
+using namespace grnn;
+using namespace grnn::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+
+  gen::CoauthorConfig cfg;
+  cfg.num_papers = args.pick<uint32_t>(3000u, 11000u, 12000u);
+  cfg.seed = args.seed;
+  auto net = gen::GenerateCoauthorship(cfg).ValueOrDie();
+
+  PrintBanner("Table 2 -- RNN cost vs density D (DBLP-like, k=1)", args,
+              StrPrintf("graph: %u authors, %zu edges",
+                        net.g.num_nodes(), net.g.num_edges()));
+
+  Table table({"D", "|P|", "eager IO/q", "eager CPUms/q", "lazy IO/q",
+               "lazy CPUms/q"});
+
+  for (double density : {0.0125, 0.025, 0.05, 0.1}) {
+    Rng rng(args.seed * 31 + static_cast<uint64_t>(density * 1e4));
+    auto points =
+        gen::PlaceNodePoints(net.g.num_nodes(), density, rng)
+            .ValueOrDie();
+    auto queries = gen::SampleQueryPoints(points, args.queries, rng);
+
+    Measurement per_algo[2];
+    for (int algo = 0; algo < 2; ++algo) {
+      auto env =
+          BuildStoredRestricted(net.g, points, /*K=*/0).ValueOrDie();
+      per_algo[algo] =
+          RunWorkload(env.pool.get(), queries.size(), [&](size_t i) -> grnn::Result<size_t> {
+            core::RknnOptions opts;
+            opts.exclude_point = queries[i];
+            std::vector<NodeId> q{points.NodeOf(queries[i])};
+            if (algo == 0) {
+              return core::EagerRknn(*env.view, points, q, opts)
+                  .ValueOrDie()
+                  .results.size();
+            }
+            return core::LazyRknn(*env.view, points, q, opts)
+                .ValueOrDie()
+                .results.size();
+          }).ValueOrDie();
+    }
+    table.AddRow({Table::Num(density, 4),
+                  std::to_string(points.num_points()),
+                  Table::Num(per_algo[0].AvgFaults(), 1),
+                  Table::Num(per_algo[0].AvgCpuMs(), 2),
+                  Table::Num(per_algo[1].AvgFaults(), 1),
+                  Table::Num(per_algo[1].AvgCpuMs(), 2)});
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape (paper Table 2): cost decreases as D increases;\n"
+      "I/O comparable between the algorithms, but eager is much more\n"
+      "CPU-intensive at low density (order-of-magnitude at D=0.0125).\n");
+  return 0;
+}

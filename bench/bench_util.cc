@@ -1,0 +1,293 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/string_util.h"
+#include "core/eager.h"
+#include "core/lazy.h"
+#include "core/lazy_ep.h"
+
+namespace grnn::bench {
+
+BenchArgs BenchArgs::Parse(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--scale=", 8) == 0) {
+      const char* v = a + 8;
+      if (std::strcmp(v, "small") == 0) {
+        args.scale = ScaleLevel::kSmall;
+      } else if (std::strcmp(v, "medium") == 0) {
+        args.scale = ScaleLevel::kMedium;
+      } else if (std::strcmp(v, "full") == 0) {
+        args.scale = ScaleLevel::kFull;
+      } else {
+        std::fprintf(stderr, "unknown scale '%s'\n", v);
+      }
+    } else if (std::strncmp(a, "--queries=", 10) == 0) {
+      args.queries = static_cast<size_t>(std::atoll(a + 10));
+    } else if (std::strncmp(a, "--seed=", 7) == 0) {
+      args.seed = static_cast<uint64_t>(std::atoll(a + 7));
+    } else if (std::strcmp(a, "--help") == 0) {
+      std::printf(
+          "options: --scale=small|medium|full --queries=N --seed=S\n");
+    }
+  }
+  return args;
+}
+
+const char* BenchArgs::scale_name() const {
+  switch (scale) {
+    case ScaleLevel::kSmall:
+      return "small";
+    case ScaleLevel::kMedium:
+      return "medium";
+    case ScaleLevel::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+void StoredRestricted::ResetPool(size_t pages,
+                                 storage::ReplacementPolicy policy) {
+  pool = std::make_unique<storage::BufferPool>(disk.get(), pages, policy);
+  view = std::make_unique<storage::StoredGraph>(file.get(), pool.get());
+  if (knn_file != nullptr) {
+    knn_store =
+        std::make_unique<core::FileKnnStore>(knn_file.get(), pool.get());
+  }
+}
+
+Result<StoredRestricted> BuildStoredRestricted(
+    const graph::Graph& g, const core::NodePointSet& points, uint32_t K,
+    size_t pool_pages) {
+  StoredRestricted env;
+  env.disk = std::make_unique<storage::MemoryDiskManager>();
+  GRNN_ASSIGN_OR_RETURN(auto file,
+                        storage::GraphFile::Build(g, env.disk.get(), {}));
+  env.file = std::make_unique<storage::GraphFile>(std::move(file));
+  if (K > 0) {
+    // Cluster KNN lists like the adjacency pages (BFS order), so local
+    // expansions touch few distinct KNN pages.
+    std::vector<NodeId> order =
+        storage::ComputeNodeOrder(g, storage::NodeOrder::kBfs);
+    std::vector<NodeId> slot_of(g.num_nodes());
+    for (NodeId i = 0; i < g.num_nodes(); ++i) {
+      slot_of[order[i]] = i;
+    }
+    GRNN_ASSIGN_OR_RETURN(
+        auto knn, storage::KnnFile::Create(env.disk.get(), g.num_nodes(),
+                                           K, &slot_of));
+    env.knn_file = std::make_unique<storage::KnnFile>(std::move(knn));
+    // Materialization happens offline; use an uncounted build pool.
+    storage::BufferPool build_pool(env.disk.get(), pool_pages);
+    core::FileKnnStore build_store(env.knn_file.get(), &build_pool);
+    graph::GraphView build_view(&g);
+    GRNN_RETURN_NOT_OK(
+        core::BuildAllNn(build_view, points, &build_store));
+    GRNN_RETURN_NOT_OK(build_pool.FlushAll());
+  }
+  env.ResetPool(pool_pages);
+  return env;
+}
+
+void StoredUnrestricted::ResetPool(size_t pages,
+                                   storage::ReplacementPolicy policy) {
+  pool = std::make_unique<storage::BufferPool>(disk.get(), pages, policy);
+  view = std::make_unique<storage::StoredGraph>(file.get(), pool.get());
+  reader = std::make_unique<core::StoredEdgePointReader>(point_file.get(),
+                                                         pool.get());
+  if (knn_file != nullptr) {
+    knn_store =
+        std::make_unique<core::FileKnnStore>(knn_file.get(), pool.get());
+  }
+}
+
+Result<StoredUnrestricted> BuildStoredUnrestricted(
+    const graph::Graph& g, const core::EdgePointSet& points, uint32_t K,
+    size_t pool_pages) {
+  StoredUnrestricted env;
+  env.disk = std::make_unique<storage::MemoryDiskManager>();
+  GRNN_ASSIGN_OR_RETURN(auto file,
+                        storage::GraphFile::Build(g, env.disk.get(), {}));
+  env.file = std::make_unique<storage::GraphFile>(std::move(file));
+  GRNN_ASSIGN_OR_RETURN(
+      auto pf,
+      storage::PointFile::Build(env.disk.get(), points.ToEdgeGroups()));
+  env.point_file = std::make_unique<storage::PointFile>(std::move(pf));
+  if (K > 0) {
+    // Cluster KNN lists like the adjacency pages (BFS order), so local
+    // expansions touch few distinct KNN pages.
+    std::vector<NodeId> order =
+        storage::ComputeNodeOrder(g, storage::NodeOrder::kBfs);
+    std::vector<NodeId> slot_of(g.num_nodes());
+    for (NodeId i = 0; i < g.num_nodes(); ++i) {
+      slot_of[order[i]] = i;
+    }
+    GRNN_ASSIGN_OR_RETURN(
+        auto knn, storage::KnnFile::Create(env.disk.get(), g.num_nodes(),
+                                           K, &slot_of));
+    env.knn_file = std::make_unique<storage::KnnFile>(std::move(knn));
+    storage::BufferPool build_pool(env.disk.get(), pool_pages);
+    core::FileKnnStore build_store(env.knn_file.get(), &build_pool);
+    graph::GraphView build_view(&g);
+    GRNN_RETURN_NOT_OK(
+        core::UnrestrictedBuildAllNn(build_view, points, &build_store));
+    GRNN_RETURN_NOT_OK(build_pool.FlushAll());
+  }
+  env.ResetPool(pool_pages);
+  return env;
+}
+
+Result<FourWay> RunFourWayRestricted(StoredRestricted& env,
+                                     const core::NodePointSet& points,
+                                     const std::vector<PointId>& queries,
+                                     int k) {
+  FourWay out;
+  for (int a = 0; a < 4; ++a) {
+    env.ResetPool(env.pool->capacity());
+    GRNN_ASSIGN_OR_RETURN(
+        out.m[a],
+        RunWorkload(env.pool.get(), queries.size(),
+                    [&](size_t i) -> Result<size_t> {
+                      core::RknnOptions opts;
+                      opts.k = k;
+                      opts.exclude_point = queries[i];
+                      std::vector<NodeId> q{points.NodeOf(queries[i])};
+                      Result<core::RknnResult> r = Status::OK();
+                      switch (a) {
+                        case 0:
+                          r = core::EagerRknn(*env.view, points, q, opts);
+                          break;
+                        case 1:
+                          r = core::EagerMRknn(*env.view, points,
+                                               env.knn_store.get(), q,
+                                               opts);
+                          break;
+                        case 2:
+                          r = core::LazyRknn(*env.view, points, q, opts);
+                          break;
+                        default:
+                          r = core::LazyEpRknn(*env.view, points, q, opts);
+                      }
+                      if (!r.ok()) {
+                        return r.status();
+                      }
+                      return r->results.size();
+                    }));
+  }
+  return out;
+}
+
+Result<FourWay> RunFourWayUnrestricted(StoredUnrestricted& env,
+                                       const core::EdgePointSet& points,
+                                       const std::vector<PointId>& queries,
+                                       int k) {
+  FourWay out;
+  for (int a = 0; a < 4; ++a) {
+    env.ResetPool(env.pool->capacity());
+    GRNN_ASSIGN_OR_RETURN(
+        out.m[a],
+        RunWorkload(
+            env.pool.get(), queries.size(),
+            [&](size_t i) -> Result<size_t> {
+              core::UnrestrictedQuery q;
+              q.k = k;
+              q.position = points.PositionOf(queries[i]);
+              q.exclude_point = queries[i];
+              Result<core::RknnResult> r = Status::OK();
+              switch (a) {
+                case 0:
+                  r = core::UnrestrictedEagerRknn(*env.view, points,
+                                                  *env.reader, q);
+                  break;
+                case 1:
+                  r = core::UnrestrictedEagerMRknn(*env.view, points,
+                                                   *env.reader,
+                                                   env.knn_store.get(), q);
+                  break;
+                case 2:
+                  r = core::UnrestrictedLazyRknn(*env.view, points,
+                                                 *env.reader, q);
+                  break;
+                default:
+                  r = core::UnrestrictedLazyEpRknn(*env.view, points,
+                                                   *env.reader, q);
+              }
+              if (!r.ok()) {
+                return r.status();
+              }
+              return r->results.size();
+            }));
+  }
+  return out;
+}
+
+void AppendFourWayCells(const FourWay& fw,
+                        std::vector<std::string>* cells) {
+  for (int a = 0; a < 4; ++a) {
+    cells->push_back(Table::Num(fw.m[a].AvgTotalS(), 3));
+  }
+  for (int a = 0; a < 4; ++a) {
+    cells->push_back(StrPrintf("%.0f/%.1f", fw.m[a].AvgFaults(),
+                               fw.m[a].AvgCpuMs()));
+  }
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(double v, int precision) {
+  if (v >= 1e6) {
+    return StrPrintf("%.3g", v);
+  }
+  return StrPrintf("%.*f", precision, v);
+}
+
+void Table::Print() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      std::printf("%s%-*s", c == 0 ? "  " : "  ",
+                  static_cast<int>(widths[c]), cells[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::string sep;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    sep += std::string(widths[c], '-');
+    sep += "  ";
+  }
+  std::printf("  %s\n", sep.c_str());
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void PrintBanner(const std::string& title, const BenchArgs& args,
+                 const std::string& setup) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("scale=%s queries=%zu seed=%llu | %s\n", args.scale_name(),
+              args.queries, static_cast<unsigned long long>(args.seed),
+              setup.c_str());
+  std::printf("cost model: total = CPU + %.0f ms/page-fault (paper Sec 6)\n",
+              kIoCostSeconds * 1e3);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace grnn::bench

@@ -1,0 +1,199 @@
+// Copyright (c) GRNN authors.
+// Shared benchmark harness: storage environments, the paper's cost model
+// (CPU seconds + 10 ms per page fault, Section 6), workload running and
+// table printing. Every bench binary accepts:
+//   --scale=small|medium|full   experiment sizes (default medium)
+//   --queries=N                 workload size (default 50, as the paper)
+//   --seed=S                    RNG seed (default 1)
+
+#ifndef GRNN_BENCH_BENCH_UTIL_H_
+#define GRNN_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/string_util.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/materialize.h"
+#include "core/point_set.h"
+#include "core/unrestricted.h"
+#include "graph/graph.h"
+#include "storage/buffer_pool.h"
+#include "storage/graph_file.h"
+#include "storage/knn_file.h"
+#include "storage/point_file.h"
+#include "storage/stored_graph.h"
+
+namespace grnn::bench {
+
+/// Default evaluation parameters from Section 6.
+inline constexpr size_t kDefaultPoolPages = 256;  // 1 MB of 4 KB pages
+inline constexpr double kIoCostSeconds = 0.010;   // 10 ms per page fault
+
+enum class ScaleLevel { kSmall, kMedium, kFull };
+
+struct BenchArgs {
+  ScaleLevel scale = ScaleLevel::kMedium;
+  size_t queries = 50;
+  uint64_t seed = 1;
+
+  static BenchArgs Parse(int argc, char** argv);
+  const char* scale_name() const;
+  /// Picks the per-scale value.
+  template <typename T>
+  T pick(T small, T medium, T full) const {
+    switch (scale) {
+      case ScaleLevel::kSmall:
+        return small;
+      case ScaleLevel::kMedium:
+        return medium;
+      case ScaleLevel::kFull:
+        return full;
+    }
+    return medium;
+  }
+};
+
+/// \brief Disk-resident restricted network: paged graph + optional
+/// materialized KNN file, all behind one LRU buffer pool.
+struct StoredRestricted {
+  // Files are heap-allocated so their addresses survive moves of this
+  // struct (views hold raw pointers into them).
+  std::unique_ptr<storage::MemoryDiskManager> disk;
+  std::unique_ptr<storage::GraphFile> file;
+  std::unique_ptr<storage::KnnFile> knn_file;
+  std::unique_ptr<storage::BufferPool> pool;
+  std::unique_ptr<storage::StoredGraph> view;
+  std::unique_ptr<core::FileKnnStore> knn_store;
+
+  /// Replaces the buffer pool (e.g. for the Fig 21 buffer sweep) and
+  /// re-binds the views.
+  void ResetPool(size_t pages, storage::ReplacementPolicy policy =
+                                   storage::ReplacementPolicy::kLru);
+};
+
+/// Builds the paged environment; if K > 0, also materializes per-node
+/// K-NN lists (construction through a separate uncounted pool).
+Result<StoredRestricted> BuildStoredRestricted(
+    const graph::Graph& g, const core::NodePointSet& points, uint32_t K,
+    size_t pool_pages = kDefaultPoolPages);
+
+/// \brief Disk-resident unrestricted network: paged graph + edge-point
+/// file + optional KNN file behind one pool.
+struct StoredUnrestricted {
+  std::unique_ptr<storage::MemoryDiskManager> disk;
+  std::unique_ptr<storage::GraphFile> file;
+  std::unique_ptr<storage::PointFile> point_file;
+  std::unique_ptr<storage::KnnFile> knn_file;
+  std::unique_ptr<storage::BufferPool> pool;
+  std::unique_ptr<storage::StoredGraph> view;
+  std::unique_ptr<core::StoredEdgePointReader> reader;
+  std::unique_ptr<core::FileKnnStore> knn_store;
+
+  void ResetPool(size_t pages, storage::ReplacementPolicy policy =
+                                   storage::ReplacementPolicy::kLru);
+};
+
+Result<StoredUnrestricted> BuildStoredUnrestricted(
+    const graph::Graph& g, const core::EdgePointSet& points, uint32_t K,
+    size_t pool_pages = kDefaultPoolPages);
+
+/// \brief One measured workload: CPU time + buffer-pool fault delta.
+struct Measurement {
+  double cpu_s = 0;
+  uint64_t faults = 0;
+  uint64_t logical = 0;
+  size_t queries = 0;
+  size_t results = 0;
+
+  double AvgCpuMs() const {
+    return queries == 0 ? 0 : cpu_s * 1e3 / static_cast<double>(queries);
+  }
+  double AvgFaults() const {
+    return queries == 0
+               ? 0
+               : static_cast<double>(faults) / static_cast<double>(queries);
+  }
+  /// The paper's total cost: CPU + 10 ms per fault (per query).
+  double AvgTotalS() const {
+    return queries == 0 ? 0
+                        : (cpu_s + kIoCostSeconds *
+                                       static_cast<double>(faults)) /
+                              static_cast<double>(queries);
+  }
+};
+
+/// Runs `count` queries through `per_query(i)` (returning the result
+/// cardinality), measuring CPU and pool faults.
+template <typename Fn>
+Result<Measurement> RunWorkload(storage::BufferPool* pool, size_t count,
+                                Fn per_query, bool cold_per_query = true) {
+  Measurement m;
+  m.queries = count;
+  const storage::IoStats before = pool->stats();
+  CpuTimer cpu;
+  for (size_t i = 0; i < count; ++i) {
+    if (cold_per_query) {
+      // The paper reports per-query page accesses: within-query reuse is
+      // buffered, cross-query reuse is not.
+      GRNN_RETURN_NOT_OK(pool->Invalidate());
+    }
+    GRNN_ASSIGN_OR_RETURN(size_t results, per_query(i));
+    m.results += results;
+  }
+  m.cpu_s = cpu.ElapsedSeconds();
+  const storage::IoStats delta = pool->stats() - before;
+  m.faults = delta.physical_reads + delta.physical_writes;
+  m.logical = delta.logical_reads;
+  return m;
+}
+
+/// Results of the four paper algorithms, in figure order E / EM / L / LP.
+struct FourWay {
+  Measurement m[4];
+};
+inline constexpr const char* kFourWayNames[4] = {"E", "EM", "L", "LP"};
+
+/// Runs eager / eager-M / lazy / lazy-EP over a workload of query points
+/// (each excluded from its own query), cold cache per algorithm.
+/// Requires env.knn_store (K >= k).
+Result<FourWay> RunFourWayRestricted(StoredRestricted& env,
+                                     const core::NodePointSet& points,
+                                     const std::vector<PointId>& queries,
+                                     int k);
+
+/// Unrestricted counterpart: queries are edge-resident data points.
+Result<FourWay> RunFourWayUnrestricted(StoredUnrestricted& env,
+                                       const core::EdgePointSet& points,
+                                       const std::vector<PointId>& queries,
+                                       int k);
+
+/// Appends the four algorithms' total-cost cells (paper cost model) plus
+/// a breakdown suffix to `cells`.
+void AppendFourWayCells(const FourWay& fw, std::vector<std::string>* cells);
+
+/// \brief printf-style row/column table writer for paper-shaped output.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+  static std::string Num(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints the standard bench banner.
+void PrintBanner(const std::string& title, const BenchArgs& args,
+                 const std::string& setup);
+
+}  // namespace grnn::bench
+
+#endif  // GRNN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,84 @@
+// Quickstart: build a small network, place data points, and answer RkNN
+// queries with every algorithm in the library.
+//
+// The graph is the paper's running example (Fig 3): seven nodes n1..n7,
+// data points p1@n6, p2@n5, p3@n7, and a query issued at the empty
+// junction n4. The walkthrough in Section 3.2 derives RNN(q) = {p1, p2}.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/materialize.h"
+#include "core/brute_force.h"
+#include "core/eager.h"
+#include "core/query.h"
+#include "graph/network_view.h"
+
+using namespace grnn;
+
+int main() {
+  // --- 1. Build the network (node ids are 0-based: n1..n7 -> 0..6).
+  auto graph = graph::Graph::FromEdges(7, {{3, 2, 4.0},    // n4-n3
+                                           {3, 0, 5.0},    // n4-n1
+                                           {2, 5, 3.0},    // n3-n6
+                                           {2, 6, 5.0},    // n3-n7
+                                           {5, 1, 4.0},    // n6-n2
+                                           {1, 4, 5.0},    // n2-n5
+                                           {4, 0, 3.0}})   // n5-n1
+                   .ValueOrDie();
+  graph::GraphView network(&graph);
+
+  // --- 2. Place the data points: p1 on n6, p2 on n5, p3 on n7.
+  auto points =
+      core::NodePointSet::FromLocations(7, {5, 4, 6}).ValueOrDie();
+
+  std::printf("network: %u nodes, %zu edges, %zu data points\n",
+              network.num_nodes(), network.num_edges(),
+              points.num_points());
+
+  // --- 3. Single RNN query at n4 with each algorithm.
+  const std::vector<NodeId> query{3};
+  for (core::Algorithm algo :
+       {core::Algorithm::kEager, core::Algorithm::kLazy,
+        core::Algorithm::kLazyEp, core::Algorithm::kBruteForce}) {
+    auto result =
+        core::RunRknn(algo, network, points, query).ValueOrDie();
+    std::printf("%-12s RNN(n4) = {", core::AlgorithmName(algo));
+    for (size_t i = 0; i < result.results.size(); ++i) {
+      const auto& m = result.results[i];
+      std::printf("%sp%u (node n%u, dist %.0f)", i ? ", " : "",
+                  m.point + 1, m.node + 1, m.dist);
+    }
+    std::printf("}  [%llu nodes expanded, %llu verifications]\n",
+                static_cast<unsigned long long>(result.stats.nodes_expanded),
+                static_cast<unsigned long long>(result.stats.verify_calls));
+  }
+
+  // --- 4. Eager-M: materialize per-node 2-NN lists once, then query.
+  core::MemoryKnnStore store(network.num_nodes(), /*k=*/2);
+  auto build = core::BuildAllNn(network, points, &store);
+  if (!build.ok()) {
+    std::fprintf(stderr, "all-NN failed: %s\n", build.ToString().c_str());
+    return 1;
+  }
+  auto em = core::EagerMRknn(network, points, &store, query).ValueOrDie();
+  std::printf("%-12s RNN(n4) = {", "eager-M");
+  for (size_t i = 0; i < em.results.size(); ++i) {
+    std::printf("%sp%u", i ? ", " : "", em.results[i].point + 1);
+  }
+  std::printf("}  [%llu list reads, %llu shortcut accepts]\n",
+              static_cast<unsigned long long>(em.stats.knn_list_reads),
+              static_cast<unsigned long long>(em.stats.shortcut_accepts));
+
+  // --- 5. RkNN with k = 2: one more neighbor may be closer.
+  core::RknnOptions k2;
+  k2.k = 2;
+  auto r2 = core::EagerRknn(network, points, query, k2).ValueOrDie();
+  std::printf("eager        R2NN(n4) = {");
+  for (size_t i = 0; i < r2.results.size(); ++i) {
+    std::printf("%sp%u", i ? ", " : "", r2.results[i].point + 1);
+  }
+  std::printf("}\n");
+  return 0;
+}

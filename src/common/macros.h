@@ -1,0 +1,59 @@
+// Copyright (c) GRNN authors.
+// Internal assertion and branch-prediction macros.
+
+#ifndef GRNN_COMMON_MACROS_H_
+#define GRNN_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define GRNN_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
+#define GRNN_PREDICT_FALSE(x) (__builtin_expect(!!(x), 0))
+
+// Fatal check, enabled in all build modes. Used for invariants whose
+// violation would corrupt query results or storage state.
+#define GRNN_CHECK(cond)                                               \
+  do {                                                                 \
+    if (GRNN_PREDICT_FALSE(!(cond))) {                                 \
+      std::fprintf(stderr, "GRNN_CHECK failed: %s at %s:%d\n", #cond,  \
+                   __FILE__, __LINE__);                                \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (0)
+
+// Debug-only check; compiles to nothing in NDEBUG builds.
+#ifdef NDEBUG
+#define GRNN_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define GRNN_DCHECK(cond) GRNN_CHECK(cond)
+#endif
+
+// Propagates a non-OK Status out of the current function.
+#define GRNN_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::grnn::Status _st = (expr);                 \
+    if (GRNN_PREDICT_FALSE(!_st.ok())) {         \
+      return _st;                                \
+    }                                            \
+  } while (0)
+
+#define GRNN_CONCAT_IMPL(a, b) a##b
+#define GRNN_CONCAT(a, b) GRNN_CONCAT_IMPL(a, b)
+
+// Evaluates `rexpr` (a Result<T>), propagating a non-OK status; otherwise
+// assigns the unwrapped value to `lhs`. `lhs` may include a declaration,
+// e.g. GRNN_ASSIGN_OR_RETURN(auto g, Graph::FromEdges(...)).
+#define GRNN_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  GRNN_ASSIGN_OR_RETURN_IMPL(GRNN_CONCAT(_grnn_res_, __LINE__), lhs, \
+                             rexpr)
+
+#define GRNN_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (GRNN_PREDICT_FALSE(!tmp.ok())) {              \
+    return tmp.status();                            \
+  }                                                 \
+  lhs = std::move(tmp).ValueUnsafe();
+
+#endif  // GRNN_COMMON_MACROS_H_

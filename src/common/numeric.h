@@ -1,0 +1,44 @@
+// Copyright (c) GRNN authors.
+// Tolerance-aware distance comparisons.
+//
+// Network distances are sums of edge weights accumulated along different
+// paths, so two computations of the same distance can differ by a few ulps
+// (floating-point addition is not associative). Every strict comparison
+// that drives pruning, competitor counting or range termination must treat
+// such near-ties as equal, or algorithms disagree with the oracle on
+// boundary cases. All algorithms AND the brute-force oracle use DistLess,
+// so tie semantics are identical everywhere: ties favour the candidate.
+
+#ifndef GRNN_COMMON_NUMERIC_H_
+#define GRNN_COMMON_NUMERIC_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/types.h"
+
+namespace grnn {
+
+/// Absolute + relative slack used to separate genuine distance differences
+/// from floating-point reassociation noise (~1e-12 relative); workload
+/// distances differ by far more than this when truly distinct.
+inline constexpr double kDistanceEpsilon = 1e-9;
+
+/// True iff `a` is strictly smaller than `b` beyond floating-point noise.
+inline bool DistLess(Weight a, Weight b) {
+  if (b == kInfinity) {
+    return a != kInfinity;
+  }
+  if (a == kInfinity) {
+    return false;
+  }
+  return a < b - kDistanceEpsilon *
+                     (1.0 + std::max(std::abs(a), std::abs(b)));
+}
+
+/// True iff `a <= b` up to floating-point noise.
+inline bool DistLessOrTied(Weight a, Weight b) { return !DistLess(b, a); }
+
+}  // namespace grnn
+
+#endif  // GRNN_COMMON_NUMERIC_H_

@@ -1,0 +1,95 @@
+// Copyright (c) GRNN authors.
+// Result<T>: a value or a non-OK Status.
+
+#ifndef GRNN_COMMON_RESULT_H_
+#define GRNN_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace grnn {
+
+/// \brief Holds either a value of type T or a non-OK Status explaining why
+/// the value could not be produced.
+///
+/// Usage:
+/// \code
+///   Result<Graph> r = Graph::FromEdges(n, edges);
+///   if (!r.ok()) return r.status();
+///   Graph g = std::move(r).ValueUnsafe();
+/// \endcode
+/// or via GRNN_ASSIGN_OR_RETURN(auto g, Graph::FromEdges(n, edges)).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs from a value (implicit on purpose, mirrors Arrow).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  /// Constructs from an error status. Passing an OK status is a programming
+  /// error and is converted into an internal error.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (GRNN_PREDICT_FALSE(status_.ok())) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  /// Accesses the value; the caller must have checked ok().
+  const T& ValueUnsafe() const& {
+    GRNN_DCHECK(ok());
+    return *value_;
+  }
+  T& ValueUnsafe() & {
+    GRNN_DCHECK(ok());
+    return *value_;
+  }
+  T&& ValueUnsafe() && {
+    GRNN_DCHECK(ok());
+    return std::move(*value_);
+  }
+
+  /// Accesses the value, aborting the process if this Result is an error.
+  /// Intended for examples and tests.
+  const T& ValueOrDie() const& {
+    if (GRNN_PREDICT_FALSE(!ok())) {
+      std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    if (GRNN_PREDICT_FALSE(!ok())) {
+      std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueUnsafe(); }
+  T& operator*() & { return ValueUnsafe(); }
+  const T* operator->() const { return &ValueUnsafe(); }
+  T* operator->() { return &ValueUnsafe(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+}  // namespace grnn
+
+#endif  // GRNN_COMMON_RESULT_H_

@@ -1,0 +1,103 @@
+#include "common/rng.h"
+
+#include <unordered_set>
+
+namespace grnn {
+
+namespace {
+
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) {
+    s = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform01() {
+  // 53 high-quality bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  GRNN_DCHECK(lo <= hi);
+  return lo + (hi - lo) * Uniform01();
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  GRNN_DCHECK(n > 0);
+  // Lemire-style rejection to kill modulo bias.
+  const uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) {
+      return r % n;
+    }
+  }
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  GRNN_DCHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+bool Rng::Bernoulli(double p) { return Uniform01() < p; }
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
+  GRNN_CHECK(k <= n);
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  if (k == 0) {
+    return out;
+  }
+  if (k * 3 >= n) {
+    // Dense case: shuffle a prefix of the full range.
+    std::vector<uint64_t> all(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      all[i] = i;
+    }
+    for (uint64_t i = 0; i < k; ++i) {
+      uint64_t j = i + UniformInt(n - i);
+      std::swap(all[i], all[j]);
+      out.push_back(all[i]);
+    }
+    return out;
+  }
+  // Sparse case: rejection with a hash set.
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(k) * 2);
+  while (out.size() < k) {
+    uint64_t v = UniformInt(n);
+    if (seen.insert(v).second) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace grnn

@@ -1,0 +1,73 @@
+// Copyright (c) GRNN authors.
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// All randomness in GRNN flows through Rng so that workloads, generators and
+// benchmarks are exactly reproducible from a seed.
+
+#ifndef GRNN_COMMON_RNG_H_
+#define GRNN_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace grnn {
+
+/// \brief Deterministic 64-bit PRNG (xoshiro256**), seeded via SplitMix64.
+///
+/// Not cryptographic. Satisfies the UniformRandomBitGenerator concept so it
+/// can be used with <random> distributions if needed, though the built-in
+/// helpers below are preferred for reproducibility across standard-library
+/// implementations.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0xfeedfacecafebeefULL) { Seed(seed); }
+
+  /// Re-seeds the generator. Identical seeds yield identical streams.
+  void Seed(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+  uint64_t operator()() { return Next(); }
+
+  /// Uniform double in [0, 1).
+  double Uniform01();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples k distinct values from [0, n) (k <= n), in random order.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace grnn
+
+#endif  // GRNN_COMMON_RNG_H_

@@ -1,0 +1,29 @@
+// Copyright (c) GRNN authors.
+// Small string helpers used by benches and error messages.
+
+#ifndef GRNN_COMMON_STRING_UTIL_H_
+#define GRNN_COMMON_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace grnn {
+
+/// printf-style formatting into a std::string.
+std::string StrPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins elements with a separator: Join({"a","b"}, ", ") == "a, b".
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Renders byte counts as "512 B", "4.0 KB", "1.5 MB", ...
+std::string HumanBytes(uint64_t bytes);
+
+/// Renders counts with thousands separators: 1234567 -> "1,234,567".
+std::string WithCommas(uint64_t value);
+
+}  // namespace grnn
+
+#endif  // GRNN_COMMON_STRING_UTIL_H_

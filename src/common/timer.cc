@@ -1,0 +1,14 @@
+#include "common/timer.h"
+
+#include <ctime>
+
+namespace grnn {
+
+double CpuTimer::Now() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace grnn

@@ -1,0 +1,57 @@
+// Copyright (c) GRNN authors.
+// Wall-clock and CPU timers used by the benchmark harness and SearchStats.
+
+#ifndef GRNN_COMMON_TIMER_H_
+#define GRNN_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace grnn {
+
+/// \brief Monotonic wall-clock stopwatch, running from construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Microseconds elapsed since construction or the last Reset().
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Per-process CPU-time stopwatch (user + system).
+///
+/// The paper reports CPU time separately from (charged) I/O time, so the
+/// bench harness measures both.
+class CpuTimer {
+ public:
+  CpuTimer() : start_(Now()) {}
+
+  void Reset() { start_ = Now(); }
+
+  /// CPU seconds consumed by this process since construction/Reset().
+  double ElapsedSeconds() const { return Now() - start_; }
+
+ private:
+  static double Now();
+  double start_;
+};
+
+}  // namespace grnn
+
+#endif  // GRNN_COMMON_TIMER_H_

@@ -1,0 +1,47 @@
+// Copyright (c) GRNN authors.
+// Fundamental identifier and weight types shared by every layer.
+
+#ifndef GRNN_COMMON_TYPES_H_
+#define GRNN_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace grnn {
+
+/// Identifier of a graph node (vertex). Dense, 0-based.
+using NodeId = uint32_t;
+/// Identifier of a data point (object of set P, or Q for bichromatic).
+using PointId = uint32_t;
+/// Edge weight / network distance. Positive, finite for real edges.
+using Weight = double;
+/// Page number inside a storage file.
+using PageId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr PointId kInvalidPoint =
+    std::numeric_limits<PointId>::max();
+inline constexpr PageId kInvalidPage = std::numeric_limits<PageId>::max();
+inline constexpr Weight kInfinity =
+    std::numeric_limits<Weight>::infinity();
+
+/// One entry of an adjacency list: neighbor id and edge weight.
+struct AdjEntry {
+  NodeId node = kInvalidNode;
+  Weight weight = 0;
+
+  friend bool operator==(const AdjEntry&, const AdjEntry&) = default;
+};
+
+/// An undirected weighted edge. Stored with u < v canonically.
+struct Edge {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  Weight w = 1.0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+}  // namespace grnn
+
+#endif  // GRNN_COMMON_TYPES_H_

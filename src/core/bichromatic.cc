@@ -1,0 +1,186 @@
+#include "core/bichromatic.h"
+
+#include <algorithm>
+
+#include "common/indexed_heap.h"
+#include "common/numeric.h"
+#include "core/primitives.h"
+#include "graph/dijkstra.h"
+
+namespace grnn::core {
+
+namespace {
+
+Status Validate(const graph::NetworkView& g,
+                std::span<const NodeId> query_nodes,
+                const RknnOptions& options) {
+  if (options.k <= 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  if (query_nodes.empty()) {
+    return Status::InvalidArgument("query node set is empty");
+  }
+  for (NodeId q : query_nodes) {
+    if (q >= g.num_nodes()) {
+      return Status::OutOfRange("query node out of range");
+    }
+  }
+  return Status::OK();
+}
+
+// Shared expansion: qualifies nodes by "q is among the k nearest sites",
+// where `count_closer_sites(n, d)` returns the number of sites strictly
+// closer to n than d (capped at k). P-points on qualified nodes are
+// reported.
+template <typename CountCloserFn>
+Result<RknnResult> QualifyNodes(const graph::NetworkView& g,
+                                const NodePointSet& data_points,
+                                std::span<const NodeId> query_nodes,
+                                const RknnOptions& options,
+                                CountCloserFn count_closer_sites) {
+  const size_t k = static_cast<size_t>(options.k);
+  RknnResult out;
+
+  IndexedHeap<Weight, NodeId> heap;
+  StampedDistances best;
+  StampedSet visited;
+  best.Reset(g.num_nodes());
+  visited.Reset(g.num_nodes());
+  for (NodeId q : query_nodes) {
+    if (!best.Has(q)) {
+      best.Set(q, 0.0);
+      heap.Push(0.0, q);
+      out.stats.heap_pushes++;
+    }
+  }
+
+  std::vector<AdjEntry> nbrs;
+  while (!heap.empty()) {
+    auto [dist, node] = heap.Pop();
+    if (visited.Contains(node)) {
+      continue;
+    }
+    visited.Insert(node);
+    out.stats.nodes_expanded++;
+    out.stats.nodes_scanned++;
+
+    GRNN_ASSIGN_OR_RETURN(size_t closer,
+                          count_closer_sites(node, dist, &out.stats));
+    if (closer >= k) {
+      out.stats.nodes_pruned++;
+      continue;  // Lemma 1 over Q: nothing beyond can qualify
+    }
+    // Node qualifies: q is among its k nearest sites.
+    PointId p = data_points.PointAt(node);
+    if (p != kInvalidPoint) {
+      out.results.push_back(PointMatch{p, node, dist});
+    }
+
+    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &nbrs));
+    for (const AdjEntry& a : nbrs) {
+      const Weight nd = dist + a.weight;
+      if (!visited.Contains(a.node) && nd < best.Get(a.node)) {
+        best.Set(a.node, nd);
+        heap.Push(nd, a.node);
+        out.stats.heap_pushes++;
+      }
+    }
+  }
+
+  std::sort(out.results.begin(), out.results.end(),
+            [](const PointMatch& a, const PointMatch& b) {
+              return a.point < b.point;
+            });
+  return out;
+}
+
+}  // namespace
+
+Result<RknnResult> BichromaticRknn(const graph::NetworkView& g,
+                                   const NodePointSet& data_points,
+                                   const NodePointSet& sites,
+                                   std::span<const NodeId> query_nodes,
+                                   const RknnOptions& options) {
+  GRNN_RETURN_NOT_OK(Validate(g, query_nodes, options));
+  NnSearcher site_searcher(&g, &sites);
+  return QualifyNodes(
+      g, data_points, query_nodes, options,
+      [&](NodeId n, Weight d, SearchStats* stats) -> Result<size_t> {
+        if (!(d > 0)) {
+          return size_t{0};
+        }
+        GRNN_ASSIGN_OR_RETURN(
+            auto hits, site_searcher.RangeNn(n, options.k, d,
+                                             options.exclude_point, stats));
+        return hits.size();
+      });
+}
+
+Result<RknnResult> BichromaticRknnMaterialized(
+    const graph::NetworkView& g, const NodePointSet& data_points,
+    const NodePointSet& sites, KnnStore* site_knn,
+    std::span<const NodeId> query_nodes, const RknnOptions& options) {
+  GRNN_RETURN_NOT_OK(Validate(g, query_nodes, options));
+  if (site_knn == nullptr) {
+    return Status::InvalidArgument("site KNN store is null");
+  }
+  if (static_cast<uint32_t>(options.k) > site_knn->k()) {
+    return Status::InvalidArgument("query k exceeds materialized K");
+  }
+  (void)sites;
+  auto list = std::make_shared<std::vector<NnEntry>>();
+  return QualifyNodes(
+      g, data_points, query_nodes, options,
+      [&, list](NodeId n, Weight d, SearchStats* stats) -> Result<size_t> {
+        GRNN_RETURN_NOT_OK(site_knn->Read(n, list.get()));
+        stats->knn_list_reads++;
+        size_t closer = 0;
+        for (const NnEntry& e : *list) {
+          if (e.point != options.exclude_point && DistLess(e.dist, d)) {
+            if (++closer >= static_cast<size_t>(options.k)) {
+              break;
+            }
+          }
+        }
+        return closer;
+      });
+}
+
+Result<RknnResult> BruteForceBichromaticRknn(
+    const graph::NetworkView& g, const NodePointSet& data_points,
+    const NodePointSet& sites, std::span<const NodeId> query_nodes,
+    const RknnOptions& options) {
+  GRNN_RETURN_NOT_OK(Validate(g, query_nodes, options));
+  RknnResult out;
+  for (PointId p : data_points.LivePoints()) {
+    const NodeId home = data_points.NodeOf(p);
+    GRNN_ASSIGN_OR_RETURN(std::vector<Weight> dist,
+                          graph::SingleSourceDistances(g, home));
+    Weight d_query = kInfinity;
+    for (NodeId q : query_nodes) {
+      d_query = std::min(d_query, dist[q]);
+    }
+    if (d_query == kInfinity) {
+      continue;
+    }
+    size_t closer = 0;
+    for (PointId s : sites.LivePoints()) {
+      if (s == options.exclude_point) {
+        continue;
+      }
+      if (DistLess(dist[sites.NodeOf(s)], d_query)) {
+        ++closer;
+      }
+    }
+    if (closer < static_cast<size_t>(options.k)) {
+      out.results.push_back(PointMatch{p, home, d_query});
+    }
+  }
+  std::sort(out.results.begin(), out.results.end(),
+            [](const PointMatch& a, const PointMatch& b) {
+              return a.point < b.point;
+            });
+  return out;
+}
+
+}  // namespace grnn::core

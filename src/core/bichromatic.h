@@ -1,0 +1,50 @@
+// Copyright (c) GRNN authors.
+// Bichromatic RkNN (paper Section 5.1).
+//
+// bRkNN(q) = { p in P : d(p,q) <= d(p, q_k(p)) with q_k(p) the k-th NN of
+// p among Q }. The paper reduces this to the monochromatic machinery run
+// over Q: expand around q, qualify every visited node n with q among the
+// k nearest Q-points of n (Lemma 1 prunes with Q-points), then report the
+// P-points hosted on qualified nodes.
+
+#ifndef GRNN_CORE_BICHROMATIC_H_
+#define GRNN_CORE_BICHROMATIC_H_
+
+#include <span>
+
+#include "common/result.h"
+#include "core/materialize.h"
+#include "core/point_set.h"
+#include "core/types.h"
+#include "graph/network_view.h"
+
+namespace grnn::core {
+
+/// \brief Bichromatic RkNN via eager node qualification over Q.
+///
+/// \param data_points   the set P of candidate objects.
+/// \param sites         the set Q of competing sites; the query must be a
+///        node hosting a site (or any node, for "what if" placements).
+/// Results report P-points with their distance to the query.
+Result<RknnResult> BichromaticRknn(const graph::NetworkView& g,
+                                   const NodePointSet& data_points,
+                                   const NodePointSet& sites,
+                                   std::span<const NodeId> query_nodes,
+                                   const RknnOptions& options = {});
+
+/// \brief Bichromatic RkNN accelerated by KNN lists materialized over Q
+/// (the eager-M reduction: "we simply materialize KNN(n) subset of Q").
+Result<RknnResult> BichromaticRknnMaterialized(
+    const graph::NetworkView& g, const NodePointSet& data_points,
+    const NodePointSet& sites, KnnStore* site_knn,
+    std::span<const NodeId> query_nodes, const RknnOptions& options = {});
+
+/// \brief Brute-force bichromatic oracle (per-P-point shortest paths).
+Result<RknnResult> BruteForceBichromaticRknn(
+    const graph::NetworkView& g, const NodePointSet& data_points,
+    const NodePointSet& sites, std::span<const NodeId> query_nodes,
+    const RknnOptions& options = {});
+
+}  // namespace grnn::core
+
+#endif  // GRNN_CORE_BICHROMATIC_H_

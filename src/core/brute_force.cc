@@ -1,0 +1,62 @@
+#include "core/brute_force.h"
+#include "common/numeric.h"
+
+#include <algorithm>
+
+#include "graph/dijkstra.h"
+
+namespace grnn::core {
+
+Result<RknnResult> BruteForceRknn(const graph::NetworkView& g,
+                                  const NodePointSet& points,
+                                  std::span<const NodeId> query_nodes,
+                                  const RknnOptions& options) {
+  if (options.k <= 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  if (query_nodes.empty()) {
+    return Status::InvalidArgument("query node set is empty");
+  }
+  for (NodeId q : query_nodes) {
+    if (q >= g.num_nodes()) {
+      return Status::OutOfRange("query node out of range");
+    }
+  }
+
+  RknnResult out;
+  for (PointId p : points.LivePoints()) {
+    if (p == options.exclude_point) {
+      continue;
+    }
+    const NodeId home = points.NodeOf(p);
+    GRNN_ASSIGN_OR_RETURN(std::vector<Weight> dist,
+                          graph::SingleSourceDistances(g, home));
+    Weight d_query = kInfinity;
+    for (NodeId q : query_nodes) {
+      d_query = std::min(d_query, dist[q]);
+    }
+    if (d_query == kInfinity) {
+      continue;  // query unreachable from p
+    }
+    // Count competitors strictly closer to p than the query.
+    size_t closer = 0;
+    for (PointId other : points.LivePoints()) {
+      if (other == p || other == options.exclude_point) {
+        continue;
+      }
+      if (DistLess(dist[points.NodeOf(other)], d_query)) {
+        ++closer;
+      }
+    }
+    if (closer < static_cast<size_t>(options.k)) {
+      out.results.push_back(PointMatch{p, home, d_query});
+    }
+  }
+  std::sort(out.results.begin(), out.results.end(),
+            [](const PointMatch& a, const PointMatch& b) {
+              return a.point < b.point;
+            });
+  return out;
+}
+
+}  // namespace grnn::core

@@ -1,0 +1,30 @@
+// Copyright (c) GRNN authors.
+// Brute-force RkNN oracle: applies the definition directly with one full
+// Dijkstra per data point (the "simple method" of Section 3.1 that the
+// paper's algorithms improve upon). Used as ground truth in tests and as
+// the naive baseline in benchmarks.
+
+#ifndef GRNN_CORE_BRUTE_FORCE_H_
+#define GRNN_CORE_BRUTE_FORCE_H_
+
+#include <span>
+
+#include "common/result.h"
+#include "core/point_set.h"
+#include "core/types.h"
+#include "graph/network_view.h"
+
+namespace grnn::core {
+
+/// \brief Exact RkNN by per-point single-source shortest paths.
+///
+/// Deliberately shares no search code with the optimized algorithms so it
+/// can serve as an independent oracle. O(|P| * |E| log |V|).
+Result<RknnResult> BruteForceRknn(const graph::NetworkView& g,
+                                  const NodePointSet& points,
+                                  std::span<const NodeId> query_nodes,
+                                  const RknnOptions& options = {});
+
+}  // namespace grnn::core
+
+#endif  // GRNN_CORE_BRUTE_FORCE_H_

@@ -1,0 +1,129 @@
+#include "core/eager.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/indexed_heap.h"
+#include "core/primitives.h"
+
+namespace grnn::core {
+
+namespace {
+
+Status ValidateQuery(const graph::NetworkView& g,
+                     std::span<const NodeId> query_nodes,
+                     const RknnOptions& options) {
+  if (options.k <= 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  if (query_nodes.empty()) {
+    return Status::InvalidArgument("query node set is empty");
+  }
+  for (NodeId q : query_nodes) {
+    if (q >= g.num_nodes()) {
+      return Status::OutOfRange("query node out of range");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<RknnResult> EagerRknn(const graph::NetworkView& g,
+                             const NodePointSet& points,
+                             std::span<const NodeId> query_nodes,
+                             const RknnOptions& options) {
+  GRNN_RETURN_NOT_OK(ValidateQuery(g, query_nodes, options));
+  const int k = options.k;
+  const std::vector<NodeId> query_vec(query_nodes.begin(),
+                                      query_nodes.end());
+
+  RknnResult out;
+  NnSearcher searcher(&g, &points);
+
+  IndexedHeap<Weight, NodeId> heap;
+  StampedDistances best;
+  StampedSet visited;
+  best.Reset(g.num_nodes());
+  visited.Reset(g.num_nodes());
+  for (NodeId q : query_nodes) {
+    if (!best.Has(q)) {
+      best.Set(q, 0.0);
+      heap.Push(0.0, q);
+      out.stats.heap_pushes++;
+    }
+  }
+
+  std::unordered_set<PointId> verified;
+  std::vector<AdjEntry> nbrs;
+
+  while (!heap.empty()) {
+    auto [dist, node] = heap.Pop();
+    if (visited.Contains(node)) {
+      continue;
+    }
+    visited.Insert(node);
+    out.stats.nodes_expanded++;
+    out.stats.nodes_scanned++;
+
+    // A point residing on a query/route node is a trivial result (its
+    // query distance is 0, and no competitor can be strictly closer).
+    // range-NN can never discover it, so report it here.
+    if (dist == 0.0) {
+      PointId p = points.PointAt(node);
+      if (p != kInvalidPoint && p != options.exclude_point &&
+          verified.insert(p).second) {
+        out.results.push_back(PointMatch{p, node, 0.0});
+      }
+    }
+
+    // range-NN(n, k, d(n,q)): the points strictly closer to n than the
+    // query. Source nodes (d == 0) trivially return nothing.
+    std::vector<NnResult> closer;
+    if (dist > 0) {
+      GRNN_ASSIGN_OR_RETURN(
+          closer, searcher.RangeNn(node, k, dist, options.exclude_point,
+                                   &out.stats));
+    }
+
+    // Verify every discovered point once (Lemma 1 says nothing about the
+    // discovered points themselves).
+    for (const NnResult& c : closer) {
+      if (!verified.insert(c.point).second) {
+        continue;
+      }
+      GRNN_ASSIGN_OR_RETURN(
+          auto outcome, searcher.Verify(c.point, k, query_vec,
+                                        options.exclude_point, &out.stats));
+      if (outcome.is_rknn) {
+        out.results.push_back(
+            PointMatch{c.point, c.node, outcome.dist_to_query});
+      }
+    }
+
+    if (closer.size() >= static_cast<size_t>(k)) {
+      // Lemma 1: k points strictly closer than the query block every
+      // result whose shortest path passes through this node.
+      out.stats.nodes_pruned++;
+      continue;
+    }
+
+    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &nbrs));
+    for (const AdjEntry& a : nbrs) {
+      const Weight nd = dist + a.weight;
+      if (!visited.Contains(a.node) && nd < best.Get(a.node)) {
+        best.Set(a.node, nd);
+        heap.Push(nd, a.node);
+        out.stats.heap_pushes++;
+      }
+    }
+  }
+
+  std::sort(out.results.begin(), out.results.end(),
+            [](const PointMatch& a, const PointMatch& b) {
+              return a.point < b.point;
+            });
+  return out;
+}
+
+}  // namespace grnn::core

@@ -1,0 +1,276 @@
+#include "core/lazy.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/indexed_heap.h"
+#include "common/numeric.h"
+#include "core/primitives.h"
+
+namespace grnn::core {
+
+namespace {
+
+using Heap = IndexedHeap<Weight, NodeId>;
+
+// Keeps the k smallest values, ascending.
+class CappedSortedVec {
+ public:
+  explicit CappedSortedVec(size_t cap) : cap_(cap) {}
+
+  void Insert(Weight w) {
+    if (values_.size() == cap_ && w >= values_.back()) {
+      return;
+    }
+    values_.insert(std::upper_bound(values_.begin(), values_.end(), w), w);
+    if (values_.size() > cap_) {
+      values_.pop_back();
+    }
+  }
+
+  // Number of stored values strictly (mod fp noise) below `bound`.
+  // Because only the k smallest are kept, a return value of k means
+  // "at least k overall".
+  size_t CountBelow(Weight bound) const {
+    size_t n = 0;
+    for (Weight v : values_) {
+      n += DistLess(v, bound);
+    }
+    return n;
+  }
+
+ private:
+  size_t cap_;
+  std::vector<Weight> values_;
+};
+
+// Per-node bookkeeping: the paper's in-memory hash table (Fig 6) extended
+// with the RkNN counters of Fig 7.
+struct NodeBook {
+  explicit NodeBook(size_t k) : competitor_dists(k) {}
+
+  // Distances from verified data points to this node (k smallest).
+  CappedSortedVec competitor_dists;
+  bool visited = false;
+  bool children_erased = false;
+  Weight dist_q = kInfinity;          // d(query, node), set when visited
+  std::vector<Heap::Handle> children;  // heap entries inserted by this node
+};
+
+class LazyState {
+ public:
+  LazyState(const graph::NetworkView& g, const NodePointSet& points,
+            std::span<const NodeId> query_nodes, const RknnOptions& options)
+      : g_(g), points_(points), options_(options) {
+    query_mark_.Reset(g.num_nodes());
+    for (NodeId q : query_nodes) {
+      query_mark_.Insert(q);
+    }
+  }
+
+  Result<RknnResult> Run(std::span<const NodeId> query_nodes);
+
+ private:
+  NodeBook& BookOf(NodeId n) {
+    auto it = book_.find(n);
+    if (it == book_.end()) {
+      it = book_.emplace(n, NodeBook(static_cast<size_t>(options_.k)))
+               .first;
+    }
+    return it->second;
+  }
+
+  // Verification around `candidate` (hosted on `host`, d(host, query) =
+  // `d_query`). Returns RkNN membership; as a side effect performs the
+  // count/erase bookkeeping on every node it settles.
+  Result<bool> VerifyWithBookkeeping(PointId candidate, NodeId host,
+                                     Weight d_query);
+
+  const graph::NetworkView& g_;
+  const NodePointSet& points_;
+  const RknnOptions& options_;
+
+  Heap heap_;
+  std::unordered_map<NodeId, NodeBook> book_;
+  StampedSet query_mark_;
+
+  // Scratch for verification expansions (epoch-reset per call).
+  Heap vheap_;
+  StampedDistances vbest_;
+  StampedSet vsettled_;
+
+  std::vector<AdjEntry> nbrs_;
+  std::unordered_set<PointId> verified_;
+  RknnResult out_;
+};
+
+Result<bool> LazyState::VerifyWithBookkeeping(PointId candidate,
+                                              NodeId host, Weight d_query) {
+  out_.stats.verify_calls++;
+  const size_t k = static_cast<size_t>(options_.k);
+
+  vheap_.clear();
+  vbest_.Reset(g_.num_nodes());
+  vsettled_.Reset(g_.num_nodes());
+  vheap_.Push(0.0, host);
+  vbest_.Set(host, 0.0);
+
+  std::vector<Weight> competitors;  // k smallest, ascending
+  competitors.reserve(k);
+
+  std::vector<AdjEntry> nbrs;
+  while (!vheap_.empty()) {
+    auto [dist, node] = vheap_.Pop();
+    if (vsettled_.Contains(node)) {
+      continue;
+    }
+    vsettled_.Insert(node);
+    out_.stats.nodes_scanned++;
+
+    if (query_mark_.Contains(node)) {
+      size_t strictly_closer = 0;
+      for (Weight c : competitors) {
+        strictly_closer += DistLess(c, dist);
+      }
+      return strictly_closer < k;
+    }
+
+    // Verification-local competitor counting (for membership).
+    PointId pm = points_.PointAt(node);
+    if (pm != kInvalidPoint && pm != candidate &&
+        pm != options_.exclude_point) {
+      if (competitors.size() < k) {
+        competitors.push_back(dist);
+      }
+    }
+
+    // Pruning bookkeeping: this settle proves a data point (`candidate`)
+    // lies at distance `dist` from `node`.
+    NodeBook& bm = BookOf(node);
+    if (bm.visited) {
+      if (DistLess(dist, bm.dist_q)) {
+        bm.competitor_dists.Insert(dist);
+        if (!bm.children_erased &&
+            bm.competitor_dists.CountBelow(bm.dist_q) >= k) {
+          bm.children_erased = true;
+          for (Heap::Handle h : bm.children) {
+            heap_.Erase(h);  // stale handles are harmless no-ops
+          }
+          bm.children.clear();
+        }
+      }
+    } else {
+      bm.competitor_dists.Insert(dist);
+    }
+
+    // Early failure: the k-th closest competitor is strictly closer than
+    // the frontier, so any future query settlement loses.
+    if (competitors.size() == k && !vheap_.empty() &&
+        DistLess(competitors.back(), vheap_.top_key())) {
+      return false;
+    }
+
+    GRNN_RETURN_NOT_OK(g_.GetNeighbors(node, &nbrs));
+    for (const AdjEntry& a : nbrs) {
+      const Weight nd = dist + a.weight;
+      // The expansion cannot affect anything past the query distance: the
+      // query settles at (floating-point-)exactly d_query.
+      if (DistLessOrTied(nd, d_query) && !vsettled_.Contains(a.node) &&
+          nd < vbest_.Get(a.node)) {
+        vbest_.Set(a.node, nd);
+        vheap_.Push(nd, a.node);
+        out_.stats.heap_pushes++;
+      }
+    }
+  }
+  return false;  // query unreachable within range
+}
+
+Result<RknnResult> LazyState::Run(std::span<const NodeId> query_nodes) {
+  const size_t k = static_cast<size_t>(options_.k);
+
+  std::unordered_set<NodeId> seeded;
+  for (NodeId q : query_nodes) {
+    if (seeded.insert(q).second) {
+      heap_.Push(0.0, q);
+      out_.stats.heap_pushes++;
+    }
+  }
+
+  while (!heap_.empty()) {
+    auto [dist, node] = heap_.Pop();
+    NodeBook& b = BookOf(node);
+    if (b.visited) {
+      continue;  // duplicate entry via another parent
+    }
+    b.visited = true;
+    b.dist_q = dist;
+
+    // Count-based Lemma 1: k data points strictly closer than the query.
+    if (b.competitor_dists.CountBelow(dist) >= k) {
+      out_.stats.nodes_pruned++;
+      continue;
+    }
+    out_.stats.nodes_expanded++;
+    out_.stats.nodes_scanned++;
+
+    PointId p = points_.PointAt(node);
+    if (p != kInvalidPoint && p != options_.exclude_point &&
+        verified_.insert(p).second) {
+      GRNN_ASSIGN_OR_RETURN(bool is_rknn,
+                            VerifyWithBookkeeping(p, node, dist));
+      if (is_rknn) {
+        out_.results.push_back(PointMatch{p, node, dist});
+      }
+    }
+
+    // The verification may have invalidated this very node (e.g. its own
+    // point at distance 0): re-check before expanding. This reproduces the
+    // k=1 behaviour "expansion stops at nodes containing points".
+    if (b.competitor_dists.CountBelow(dist) >= k) {
+      continue;
+    }
+
+    GRNN_RETURN_NOT_OK(g_.GetNeighbors(node, &nbrs_));
+    for (const AdjEntry& a : nbrs_) {
+      if (!BookOf(a.node).visited) {
+        Heap::Handle h = heap_.Push(dist + a.weight, a.node);
+        out_.stats.heap_pushes++;
+        // Re-fetch: BookOf may rehash the map, but references into
+        // unordered_map values stay valid across inserts; keep it simple
+        // and index again.
+        BookOf(node).children.push_back(h);
+      }
+    }
+  }
+
+  std::sort(out_.results.begin(), out_.results.end(),
+            [](const PointMatch& a, const PointMatch& b) {
+              return a.point < b.point;
+            });
+  return std::move(out_);
+}
+
+}  // namespace
+
+Result<RknnResult> LazyRknn(const graph::NetworkView& g,
+                            const NodePointSet& points,
+                            std::span<const NodeId> query_nodes,
+                            const RknnOptions& options) {
+  if (options.k <= 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  if (query_nodes.empty()) {
+    return Status::InvalidArgument("query node set is empty");
+  }
+  for (NodeId q : query_nodes) {
+    if (q >= g.num_nodes()) {
+      return Status::OutOfRange("query node out of range");
+    }
+  }
+  LazyState state(g, points, query_nodes, options);
+  return state.Run(query_nodes);
+}
+
+}  // namespace grnn::core

@@ -1,0 +1,33 @@
+// Copyright (c) GRNN authors.
+// The lazy RkNN algorithm (paper Section 3.3, Figs 5-7).
+//
+// Lazy defers pruning until data points are actually discovered: the
+// network is expanded from the query, and whenever a settled node hosts a
+// point p, a verification query runs around p. The verification traversal
+// doubles as the pruning mechanism: every node m it settles learns that a
+// data point lies at distance d(p, m), and once a node is known to have k
+// points strictly closer than the query, (a) its future deheap is skipped,
+// and (b) if it was already expanded, the heap entries it inserted are
+// surgically removed through the hash table of heap handles (Fig 6).
+
+#ifndef GRNN_CORE_LAZY_H_
+#define GRNN_CORE_LAZY_H_
+
+#include <span>
+
+#include "common/result.h"
+#include "core/point_set.h"
+#include "core/types.h"
+#include "graph/network_view.h"
+
+namespace grnn::core {
+
+/// \brief Monochromatic RkNN by lazy pruning. Same contract as EagerRknn.
+Result<RknnResult> LazyRknn(const graph::NetworkView& g,
+                            const NodePointSet& points,
+                            std::span<const NodeId> query_nodes,
+                            const RknnOptions& options = {});
+
+}  // namespace grnn::core
+
+#endif  // GRNN_CORE_LAZY_H_

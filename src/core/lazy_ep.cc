@@ -1,0 +1,184 @@
+#include "core/lazy_ep.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/indexed_heap.h"
+#include "common/numeric.h"
+#include "core/primitives.h"
+
+namespace grnn::core {
+
+namespace {
+
+// Per-node list of the k nearest *discovered* points (H' expansion state):
+// (distance, point), ascending by distance, distinct points.
+struct DiscoveredList {
+  std::vector<std::pair<Weight, PointId>> entries;
+
+  bool ContainsPoint(PointId p) const {
+    for (const auto& [d, q] : entries) {
+      if (q == p) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // True if the list already holds k entries no farther than `dist`.
+  bool SaturatedAt(Weight dist, size_t k) const {
+    return entries.size() >= k && entries[k - 1].first <= dist;
+  }
+
+  void Insert(Weight dist, PointId p, size_t k) {
+    auto it = std::upper_bound(
+        entries.begin(), entries.end(), std::make_pair(dist, PointId{0}),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    entries.insert(it, {dist, p});
+    if (entries.size() > k) {
+      entries.pop_back();
+    }
+  }
+
+  size_t CountBelow(Weight bound) const {
+    size_t n = 0;
+    for (const auto& [d, p] : entries) {
+      n += DistLess(d, bound);
+    }
+    return n;
+  }
+};
+
+}  // namespace
+
+Result<RknnResult> LazyEpRknn(const graph::NetworkView& g,
+                              const NodePointSet& points,
+                              std::span<const NodeId> query_nodes,
+                              const RknnOptions& options) {
+  if (options.k <= 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  if (query_nodes.empty()) {
+    return Status::InvalidArgument("query node set is empty");
+  }
+  for (NodeId q : query_nodes) {
+    if (q >= g.num_nodes()) {
+      return Status::OutOfRange("query node out of range");
+    }
+  }
+  const size_t k = static_cast<size_t>(options.k);
+  const std::vector<NodeId> query_vec(query_nodes.begin(),
+                                      query_nodes.end());
+
+  RknnResult out;
+  NnSearcher searcher(&g, &points);
+
+  // Main expansion H around the query.
+  IndexedHeap<Weight, NodeId> heap;
+  StampedDistances best;
+  StampedSet visited;
+  best.Reset(g.num_nodes());
+  visited.Reset(g.num_nodes());
+  for (NodeId q : query_nodes) {
+    if (!best.Has(q)) {
+      best.Set(q, 0.0);
+      heap.Push(0.0, q);
+      out.stats.heap_pushes++;
+    }
+  }
+
+  // Parallel expansion H' around discovered points.
+  IndexedHeap<Weight, std::pair<NodeId, PointId>> ep_heap;
+  std::unordered_map<NodeId, DiscoveredList> discovered;
+
+  std::unordered_set<PointId> found_points;
+  std::vector<AdjEntry> nbrs;
+
+  // Advances H' while its top entry is below `frontier` (the last distance
+  // deheaped from H), marking nodes with discovered-point distances.
+  auto drain_ep = [&](Weight frontier) -> Status {
+    while (!ep_heap.empty() && ep_heap.top_key() < frontier) {
+      auto [dist, entry] = ep_heap.Pop();
+      auto [node, point] = entry;
+      DiscoveredList& list = discovered[node];
+      if (list.ContainsPoint(point) || list.SaturatedAt(dist, k)) {
+        continue;  // already known, or k closer points already recorded
+      }
+      list.Insert(dist, point, k);
+      out.stats.nodes_scanned++;
+      // Own scratch: the main loop's `nbrs` must survive a mid-iteration
+      // drain.
+      std::vector<AdjEntry> ep_nbrs;
+      GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &ep_nbrs));
+      for (const AdjEntry& a : ep_nbrs) {
+        ep_heap.Push(dist + a.weight, {a.node, point});
+        out.stats.heap_pushes++;
+      }
+    }
+    return Status::OK();
+  };
+
+  while (!heap.empty()) {
+    auto [dist, node] = heap.Pop();
+    if (visited.Contains(node)) {
+      continue;
+    }
+    visited.Insert(node);
+
+    // Let H' catch up to this frontier before deciding about `node`.
+    GRNN_RETURN_NOT_OK(drain_ep(dist));
+
+    // Extended pruning: k discovered points strictly closer than the
+    // query (Lemma 1 applied with materialized-by-expansion distances).
+    auto it = discovered.find(node);
+    if (it != discovered.end() && it->second.CountBelow(dist) >= k) {
+      out.stats.nodes_pruned++;
+      continue;
+    }
+    out.stats.nodes_expanded++;
+    out.stats.nodes_scanned++;
+
+    PointId p = points.PointAt(node);
+    if (p != kInvalidPoint && p != options.exclude_point &&
+        found_points.insert(p).second) {
+      // Membership still requires a verification query...
+      GRNN_ASSIGN_OR_RETURN(
+          auto outcome, searcher.Verify(p, options.k, query_vec,
+                                        options.exclude_point, &out.stats));
+      if (outcome.is_rknn) {
+        out.results.push_back(PointMatch{p, node, outcome.dist_to_query});
+      }
+      // ... and the point starts pruning through H' regardless.
+      ep_heap.Push(0.0, {node, p});
+      out.stats.heap_pushes++;
+    }
+
+    // Re-drain so the point just inserted can prune this node's own
+    // expansion (e.g. k=1: a node hosting a point never expands further;
+    // its own H' entry at distance 0 marks it immediately).
+    GRNN_RETURN_NOT_OK(drain_ep(dist));
+    it = discovered.find(node);
+    if (it != discovered.end() && it->second.CountBelow(dist) >= k) {
+      continue;
+    }
+
+    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &nbrs));
+    for (const AdjEntry& a : nbrs) {
+      const Weight nd = dist + a.weight;
+      if (!visited.Contains(a.node) && nd < best.Get(a.node)) {
+        best.Set(a.node, nd);
+        heap.Push(nd, a.node);
+        out.stats.heap_pushes++;
+      }
+    }
+  }
+
+  std::sort(out.results.begin(), out.results.end(),
+            [](const PointMatch& a, const PointMatch& b) {
+              return a.point < b.point;
+            });
+  return out;
+}
+
+}  // namespace grnn::core

@@ -1,0 +1,33 @@
+// Copyright (c) GRNN authors.
+// Lazy-EP: lazy with extended pruning (paper Section 4.2, Figs 12-13).
+//
+// A second heap H' expands the network around every discovered data point
+// in parallel with (and never ahead of) the main expansion H. H' maintains,
+// per node, the k nearest discovered points seen so far; a node deheaped
+// from H whose k-th discovered-point distance is smaller than its query
+// distance is pruned by Lemma 1 without waiting for a verification query
+// to stumble on it. This fixes the Fig 12 pathology where plain lazy keeps
+// expanding along a corridor that a nearby point already dominates.
+
+#ifndef GRNN_CORE_LAZY_EP_H_
+#define GRNN_CORE_LAZY_EP_H_
+
+#include <span>
+
+#include "common/result.h"
+#include "core/point_set.h"
+#include "core/types.h"
+#include "graph/network_view.h"
+
+namespace grnn::core {
+
+/// \brief Monochromatic RkNN by lazy evaluation with extended pruning.
+/// Same contract as EagerRknn / LazyRknn.
+Result<RknnResult> LazyEpRknn(const graph::NetworkView& g,
+                              const NodePointSet& points,
+                              std::span<const NodeId> query_nodes,
+                              const RknnOptions& options = {});
+
+}  // namespace grnn::core
+
+#endif  // GRNN_CORE_LAZY_EP_H_

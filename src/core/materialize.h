@@ -1,0 +1,167 @@
+// Copyright (c) GRNN authors.
+// Materialization of per-node KNN lists (paper Section 4.1).
+//
+// Instead of the infeasible O(|V|^2) all-pairs distance matrix, eager-M
+// stores for every node its K nearest data points (K = largest k any query
+// may ask for). This module provides:
+//   * KnnStore        — abstract list storage (memory or paged file),
+//   * BuildAllNn      — the single-expansion all-NN algorithm (Fig 8),
+//   * MaterializedInsert / MaterializedDelete — incremental maintenance
+//                       (Figs 9-11), measured in Fig 22,
+//   * EagerMRknn      — eager driven by materialized lists instead of
+//                       range-NN expansions.
+
+#ifndef GRNN_CORE_MATERIALIZE_H_
+#define GRNN_CORE_MATERIALIZE_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "core/point_set.h"
+#include "core/types.h"
+#include "graph/network_view.h"
+#include "storage/buffer_pool.h"
+#include "storage/knn_file.h"
+
+namespace grnn::core {
+
+using storage::NnEntry;
+
+/// \brief Abstract per-node KNN-list storage with fixed capacity K.
+class KnnStore {
+ public:
+  virtual ~KnnStore() = default;
+
+  /// Capacity K of every list.
+  virtual uint32_t k() const = 0;
+  virtual NodeId num_nodes() const = 0;
+
+  /// Reads the (ascending-by-distance) list of `n`.
+  virtual Status Read(NodeId n, std::vector<NnEntry>* out) = 0;
+
+  /// Replaces the list of `n` (size <= K, ascending by distance).
+  virtual Status Write(NodeId n, const std::vector<NnEntry>& entries) = 0;
+};
+
+/// \brief RAM-backed store (unit tests, small graphs).
+class MemoryKnnStore final : public KnnStore {
+ public:
+  MemoryKnnStore(NodeId num_nodes, uint32_t k)
+      : k_(k), lists_(num_nodes) {}
+
+  uint32_t k() const override { return k_; }
+  NodeId num_nodes() const override {
+    return static_cast<NodeId>(lists_.size());
+  }
+  Status Read(NodeId n, std::vector<NnEntry>* out) override;
+  Status Write(NodeId n, const std::vector<NnEntry>& entries) override;
+
+ private:
+  uint32_t k_;
+  std::vector<std::vector<NnEntry>> lists_;
+};
+
+/// \brief Store over a paged KnnFile; every access is charged to the
+/// buffer pool, which is how Fig 22 measures update cost and how eager-M's
+/// materialization I/O grows with k (Fig 18).
+class FileKnnStore final : public KnnStore {
+ public:
+  /// \param file, pool must outlive the store.
+  FileKnnStore(storage::KnnFile* file, storage::BufferPool* pool)
+      : file_(file), pool_(pool) {}
+
+  uint32_t k() const override { return file_->k(); }
+  NodeId num_nodes() const override { return file_->num_nodes(); }
+  Status Read(NodeId n, std::vector<NnEntry>* out) override {
+    return file_->Read(pool_, n, out);
+  }
+  Status Write(NodeId n, const std::vector<NnEntry>& entries) override {
+    return file_->Write(pool_, n, entries);
+  }
+
+ private:
+  storage::KnnFile* file_;
+  storage::BufferPool* pool_;
+};
+
+/// Counters for all-NN construction and incremental maintenance.
+struct UpdateStats {
+  uint64_t nodes_touched = 0;   // list reads during the operation
+  uint64_t lists_written = 0;   // list writes (changed lists)
+  uint64_t heap_pushes = 0;
+  uint64_t border_nodes = 0;    // deletion only (Fig 11)
+};
+
+/// A data point's entry into the node network: for points on nodes the
+/// seed is (host, 0); for points on edges (Section 5.2) there are two
+/// seeds, (u, dL(p,u)) and (v, dL(p,v)).
+struct PointSeed {
+  NodeId node = kInvalidNode;
+  Weight dist = 0;
+};
+
+/// \brief Seed-generalized all-NN (Fig 8): computes the K nearest data
+/// points of every node in one expansion. Works for restricted and
+/// unrestricted point placements alike.
+Status BuildAllNnFromSeeds(
+    const graph::NetworkView& g,
+    const std::vector<std::pair<PointId, std::vector<PointSeed>>>& points,
+    KnnStore* store, UpdateStats* stats = nullptr);
+
+/// \brief Computes the K nearest data points of every node with a single
+/// network expansion (Fig 8) and writes all lists into `store`.
+/// Complexity O(K |E| log(K |E|)).
+Status BuildAllNn(const graph::NetworkView& g, const NodePointSet& points,
+                  KnnStore* store, UpdateStats* stats = nullptr);
+
+/// \brief Seed-generalized insertion maintenance for point `p`.
+Status MaterializedInsertSeeded(const graph::NetworkView& g, PointId p,
+                                const std::vector<PointSeed>& seeds,
+                                KnnStore* store,
+                                UpdateStats* stats = nullptr);
+
+/// Supplies the data points directly reachable from a node without
+/// crossing another node (the point hosted on the node itself, or points
+/// on incident edges in unrestricted networks) with their direct
+/// distances. Needed by deletion maintenance: such a point can enter a
+/// stripped list without travelling through any border seed.
+using LocalPointsFn =
+    std::function<Status(NodeId, std::vector<NnEntry>*)>;
+
+/// \brief Seed-generalized deletion maintenance for point `p` (already
+/// absent from the point metadata); `seeds` are its former network entry
+/// points.
+Status MaterializedDeleteSeeded(const graph::NetworkView& g, PointId p,
+                                const std::vector<PointSeed>& seeds,
+                                KnnStore* store,
+                                UpdateStats* stats = nullptr,
+                                const LocalPointsFn& local_points = {});
+
+/// \brief Maintains the materialized lists after placing a new point on
+/// `node` (which must already host it in `points`). Expands only the
+/// affected neighborhood (Fig 9 discussion).
+Status MaterializedInsert(const graph::NetworkView& g,
+                          const NodePointSet& points, NodeId node,
+                          KnnStore* store, UpdateStats* stats = nullptr);
+
+/// \brief Maintains the lists after removing point `p` (already removed
+/// from `points`; `host` is the node it lived on). Two-step algorithm of
+/// Fig 10: strip `p` from affected lists, then refill from border nodes.
+Status MaterializedDelete(const graph::NetworkView& g,
+                          const NodePointSet& points, PointId p,
+                          NodeId host, KnnStore* store,
+                          UpdateStats* stats = nullptr);
+
+/// \brief Eager-M: the eager algorithm with range-NN queries replaced by
+/// materialized-list lookups, and verifications short-circuited through
+/// the candidate's own list (Section 4.1). Requires options.k <= store K.
+Result<RknnResult> EagerMRknn(const graph::NetworkView& g,
+                              const NodePointSet& points, KnnStore* store,
+                              std::span<const NodeId> query_nodes,
+                              const RknnOptions& options = {});
+
+}  // namespace grnn::core
+
+#endif  // GRNN_CORE_MATERIALIZE_H_

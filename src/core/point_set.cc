@@ -1,0 +1,83 @@
+#include "core/point_set.h"
+
+#include "common/string_util.h"
+
+namespace grnn::core {
+
+NodePointSet::NodePointSet(NodeId num_nodes)
+    : num_nodes_(num_nodes), node_to_point_(num_nodes, kInvalidPoint) {}
+
+Result<NodePointSet> NodePointSet::FromLocations(
+    NodeId num_nodes, const std::vector<NodeId>& locations) {
+  NodePointSet set(num_nodes);
+  set.point_to_node_.reserve(locations.size());
+  for (size_t i = 0; i < locations.size(); ++i) {
+    NodeId n = locations[i];
+    if (n >= num_nodes) {
+      return Status::InvalidArgument(
+          StrPrintf("point %zu on out-of-range node %u", i, n));
+    }
+    if (set.node_to_point_[n] != kInvalidPoint) {
+      return Status::InvalidArgument(
+          StrPrintf("node %u hosts two points (%u and %zu)", n,
+                    set.node_to_point_[n], i));
+    }
+    set.node_to_point_[n] = static_cast<PointId>(i);
+    set.point_to_node_.push_back(n);
+  }
+  set.num_live_ = locations.size();
+  return set;
+}
+
+NodePointSet NodePointSet::FromPredicate(
+    NodeId num_nodes, const std::function<bool(NodeId)>& pred) {
+  NodePointSet set(num_nodes);
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    if (pred(n)) {
+      set.node_to_point_[n] =
+          static_cast<PointId>(set.point_to_node_.size());
+      set.point_to_node_.push_back(n);
+    }
+  }
+  set.num_live_ = set.point_to_node_.size();
+  return set;
+}
+
+Result<PointId> NodePointSet::AddPoint(NodeId n) {
+  if (n >= num_nodes_) {
+    return Status::InvalidArgument(
+        StrPrintf("node %u out of range", n));
+  }
+  if (node_to_point_[n] != kInvalidPoint) {
+    return Status::AlreadyExists(
+        StrPrintf("node %u already hosts point %u", n, node_to_point_[n]));
+  }
+  PointId id = static_cast<PointId>(point_to_node_.size());
+  point_to_node_.push_back(n);
+  node_to_point_[n] = id;
+  num_live_++;
+  return id;
+}
+
+Status NodePointSet::RemovePoint(PointId p) {
+  if (p >= point_to_node_.size() || point_to_node_[p] == kInvalidNode) {
+    return Status::NotFound(StrPrintf("point %u does not exist", p));
+  }
+  node_to_point_[point_to_node_[p]] = kInvalidPoint;
+  point_to_node_[p] = kInvalidNode;
+  num_live_--;
+  return Status::OK();
+}
+
+std::vector<PointId> NodePointSet::LivePoints() const {
+  std::vector<PointId> out;
+  out.reserve(num_live_);
+  for (PointId p = 0; p < point_to_node_.size(); ++p) {
+    if (point_to_node_[p] != kInvalidNode) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace grnn::core

@@ -1,0 +1,89 @@
+// Copyright (c) GRNN authors.
+// NodePointSet: data points residing on nodes of a restricted network
+// (paper Section 1 / Section 3). At most one point per node; queries and
+// updates are O(1).
+
+#ifndef GRNN_CORE_POINT_SET_H_
+#define GRNN_CORE_POINT_SET_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace grnn::core {
+
+/// \brief Mutable mapping between points and the nodes hosting them.
+///
+/// Point ids are dense on construction; RemovePoint leaves a tombstone (ids
+/// are never reused), mirroring how the paper's materialization-maintenance
+/// experiments insert and delete objects over time (Section 4.1, Fig 22).
+class NodePointSet {
+ public:
+  /// Empty set over `num_nodes` nodes.
+  explicit NodePointSet(NodeId num_nodes);
+
+  /// Point i lives on locations[i]. Fails on out-of-range nodes or two
+  /// points sharing a node.
+  static Result<NodePointSet> FromLocations(NodeId num_nodes,
+                                            const std::vector<NodeId>& locations);
+
+  /// One point on every node satisfying `pred` (the paper's "ad hoc"
+  /// condition queries, Table 1). Ids are assigned in node order.
+  static NodePointSet FromPredicate(NodeId num_nodes,
+                                    const std::function<bool(NodeId)>& pred);
+
+  /// True iff a (live) point resides on `n`.
+  bool Contains(NodeId n) const {
+    return n < node_to_point_.size() &&
+           node_to_point_[n] != kInvalidPoint;
+  }
+
+  /// Point on `n`, or kInvalidPoint.
+  PointId PointAt(NodeId n) const {
+    return n < node_to_point_.size() ? node_to_point_[n] : kInvalidPoint;
+  }
+
+  /// Hosting node of `p`; kInvalidNode if `p` was removed / never existed.
+  NodeId NodeOf(PointId p) const {
+    return p < point_to_node_.size() ? point_to_node_[p] : kInvalidNode;
+  }
+
+  bool IsLive(PointId p) const { return NodeOf(p) != kInvalidNode; }
+
+  /// Number of live points.
+  size_t num_points() const { return num_live_; }
+  NodeId num_nodes() const { return num_nodes_; }
+  /// Upper bound over ever-assigned point ids (tombstones included).
+  PointId point_id_bound() const {
+    return static_cast<PointId>(point_to_node_.size());
+  }
+
+  /// Density D = |P| / |V| (Section 6).
+  double Density() const {
+    return num_nodes_ == 0 ? 0.0
+                           : static_cast<double>(num_live_) /
+                                 static_cast<double>(num_nodes_);
+  }
+
+  /// Adds a point on `n`; fails if `n` already hosts one.
+  Result<PointId> AddPoint(NodeId n);
+
+  /// Removes `p`; fails if already removed or unknown.
+  Status RemovePoint(PointId p);
+
+  /// Ids of all live points, ascending.
+  std::vector<PointId> LivePoints() const;
+
+ private:
+  NodeId num_nodes_;
+  size_t num_live_ = 0;
+  std::vector<PointId> node_to_point_;  // node -> point or kInvalidPoint
+  std::vector<NodeId> point_to_node_;   // point -> node or kInvalidNode
+};
+
+}  // namespace grnn::core
+
+#endif  // GRNN_CORE_POINT_SET_H_

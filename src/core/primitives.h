@@ -1,0 +1,120 @@
+// Copyright (c) GRNN authors.
+// NN-search primitives of Section 3.1: range-NN(n, k, e) and
+// verify(p, k, q), plus the epoch-stamped scratch space that makes the
+// many local expansions of eager cheap to start.
+
+#ifndef GRNN_CORE_PRIMITIVES_H_
+#define GRNN_CORE_PRIMITIVES_H_
+
+#include <vector>
+
+#include "common/indexed_heap.h"
+#include "common/result.h"
+#include "core/point_set.h"
+#include "core/types.h"
+#include "graph/network_view.h"
+
+namespace grnn::core {
+
+/// \brief O(1)-reset map NodeId -> Weight based on epoch stamping.
+///
+/// Reset() invalidates all entries by bumping the epoch instead of touching
+/// memory, so starting a new local expansion costs nothing even on graphs
+/// with hundreds of thousands of nodes.
+class StampedDistances {
+ public:
+  void Reset(size_t num_nodes) {
+    if (stamp_.size() < num_nodes) {
+      stamp_.resize(num_nodes, 0);
+      value_.resize(num_nodes, 0);
+    }
+    ++epoch_;
+  }
+
+  bool Has(NodeId n) const { return stamp_[n] == epoch_; }
+  Weight Get(NodeId n) const { return Has(n) ? value_[n] : kInfinity; }
+  void Set(NodeId n, Weight w) {
+    stamp_[n] = epoch_;
+    value_[n] = w;
+  }
+
+ private:
+  std::vector<uint64_t> stamp_;
+  std::vector<Weight> value_;
+  uint64_t epoch_ = 0;
+};
+
+/// \brief O(1)-reset node set based on epoch stamping.
+class StampedSet {
+ public:
+  void Reset(size_t num_nodes) {
+    if (stamp_.size() < num_nodes) {
+      stamp_.resize(num_nodes, 0);
+    }
+    ++epoch_;
+  }
+
+  bool Contains(NodeId n) const { return stamp_[n] == epoch_; }
+  void Insert(NodeId n) { stamp_[n] = epoch_; }
+
+ private:
+  std::vector<uint64_t> stamp_;
+  uint64_t epoch_ = 0;
+};
+
+/// \brief Reusable engine for the local NN queries issued by the RNN
+/// algorithms. One instance per query keeps scratch allocations amortized.
+class NnSearcher {
+ public:
+  /// \param g, points must outlive the searcher.
+  NnSearcher(const graph::NetworkView* g, const NodePointSet* points);
+
+  /// range-NN(n, k, e): up to k nearest points with network distance
+  /// STRICTLY smaller than `e`, ascending by distance. `exclude` (and any
+  /// point used as the query itself) never appears in the result.
+  Result<std::vector<NnResult>> RangeNn(NodeId source, int k, Weight e,
+                                        PointId exclude,
+                                        SearchStats* stats);
+
+  /// Plain k-nearest-neighbor query from a node (e = infinity).
+  Result<std::vector<NnResult>> Knn(NodeId source, int k, PointId exclude,
+                                    SearchStats* stats) {
+    return RangeNn(source, k, kInfinity, exclude, stats);
+  }
+
+  struct VerifyOutcome {
+    /// True iff the query is among the k nearest points of the candidate.
+    bool is_rknn = false;
+    /// Exact network distance from the candidate to the (nearest) query
+    /// node; kInfinity when unreachable (=> is_rknn == false).
+    Weight dist_to_query = kInfinity;
+  };
+
+  /// verify(p, k, q): expands around the candidate until a query node is
+  /// settled (success iff fewer than k competitors are strictly closer) or
+  /// until k strictly-closer competitors force failure. Competitors are
+  /// live points other than the candidate and `exclude`.
+  ///
+  /// `query_nodes` generalizes the single query node to routes
+  /// (continuous queries, Section 5.1): the relevant distance is
+  /// d(r, p) = min over route nodes.
+  Result<VerifyOutcome> Verify(PointId candidate, int k,
+                               const std::vector<NodeId>& query_nodes,
+                               PointId exclude, SearchStats* stats);
+
+  const graph::NetworkView& network() const { return *g_; }
+  const NodePointSet& points() const { return *points_; }
+
+ private:
+  const graph::NetworkView* g_;
+  const NodePointSet* points_;
+  IndexedHeap<Weight, NodeId> heap_;
+  StampedDistances best_;
+  StampedSet settled_;
+  StampedSet query_mark_;
+  std::vector<AdjEntry> nbrs_;
+};
+
+}  // namespace grnn::core
+
+#endif  // GRNN_CORE_PRIMITIVES_H_

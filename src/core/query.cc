@@ -1,0 +1,66 @@
+#include "core/query.h"
+
+#include "core/brute_force.h"
+#include "core/eager.h"
+#include "core/lazy.h"
+#include "core/lazy_ep.h"
+
+namespace grnn::core {
+
+const char* AlgorithmShortName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kEager:
+      return "E";
+    case Algorithm::kLazy:
+      return "L";
+    case Algorithm::kLazyEp:
+      return "LP";
+    case Algorithm::kEagerM:
+      return "EM";
+    case Algorithm::kBruteForce:
+      return "BF";
+  }
+  return "?";
+}
+
+const char* AlgorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kEager:
+      return "eager";
+    case Algorithm::kLazy:
+      return "lazy";
+    case Algorithm::kLazyEp:
+      return "lazy-EP";
+    case Algorithm::kEagerM:
+      return "eager-M";
+    case Algorithm::kBruteForce:
+      return "brute-force";
+  }
+  return "unknown";
+}
+
+Result<RknnResult> RunRknn(Algorithm algorithm, const graph::NetworkView& g,
+                           const NodePointSet& points,
+                           std::span<const NodeId> query_nodes,
+                           const RknnOptions& options,
+                           KnnStore* materialized) {
+  switch (algorithm) {
+    case Algorithm::kEager:
+      return EagerRknn(g, points, query_nodes, options);
+    case Algorithm::kLazy:
+      return LazyRknn(g, points, query_nodes, options);
+    case Algorithm::kLazyEp:
+      return LazyEpRknn(g, points, query_nodes, options);
+    case Algorithm::kEagerM:
+      if (materialized == nullptr) {
+        return Status::InvalidArgument(
+            "eager-M requires a materialized KNN store");
+      }
+      return EagerMRknn(g, points, materialized, query_nodes, options);
+    case Algorithm::kBruteForce:
+      return BruteForceRknn(g, points, query_nodes, options);
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+}  // namespace grnn::core

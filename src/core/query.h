@@ -1,0 +1,53 @@
+// Copyright (c) GRNN authors.
+// Unified entry point over the four RkNN algorithms plus the brute-force
+// baseline. Benchmarks and examples dispatch through RunRknn so that every
+// method answers exactly the same query contract.
+
+#ifndef GRNN_CORE_QUERY_H_
+#define GRNN_CORE_QUERY_H_
+
+#include <span>
+#include <string>
+
+#include "common/result.h"
+#include "core/materialize.h"
+#include "core/point_set.h"
+#include "core/types.h"
+#include "graph/network_view.h"
+
+namespace grnn::core {
+
+enum class Algorithm {
+  kEager,       // Section 3.2
+  kLazy,        // Section 3.3
+  kLazyEp,      // Section 4.2
+  kEagerM,      // Section 4.1 (needs a KnnStore)
+  kBruteForce,  // naive baseline / oracle
+};
+
+/// Short display name used in benchmark tables ("E", "L", "LP", "EM", as
+/// in the paper's figures).
+const char* AlgorithmShortName(Algorithm a);
+/// Full name ("eager", "lazy", "lazy-EP", "eager-M", "brute-force").
+const char* AlgorithmName(Algorithm a);
+
+/// All algorithms in the order the paper's figures list them.
+inline constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kEager, Algorithm::kEagerM, Algorithm::kLazy,
+    Algorithm::kLazyEp};
+
+/// \brief Runs a monochromatic (or continuous, via multi-node query) RkNN
+/// query with the chosen algorithm.
+///
+/// \param materialized required iff algorithm == kEagerM; ignored
+///        otherwise.
+Result<RknnResult> RunRknn(Algorithm algorithm,
+                           const graph::NetworkView& g,
+                           const NodePointSet& points,
+                           std::span<const NodeId> query_nodes,
+                           const RknnOptions& options = {},
+                           KnnStore* materialized = nullptr);
+
+}  // namespace grnn::core
+
+#endif  // GRNN_CORE_QUERY_H_

@@ -1,0 +1,60 @@
+// Copyright (c) GRNN authors.
+// Query/result types shared by all RNN algorithms.
+
+#ifndef GRNN_CORE_TYPES_H_
+#define GRNN_CORE_TYPES_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "core/search_stats.h"
+
+namespace grnn::core {
+
+/// One RkNN answer: a data point, its hosting node and its network
+/// distance to the query.
+///
+/// `dist` is exact for eager/lazy/lazy-EP and for eager-M results that went
+/// through verification; results accepted via eager-M's materialization
+/// shortcut report the (tight) upper bound the shortcut certified.
+struct PointMatch {
+  PointId point = kInvalidPoint;
+  NodeId node = kInvalidNode;
+  Weight dist = 0;
+
+  friend bool operator==(const PointMatch&, const PointMatch&) = default;
+};
+
+/// Result of an RkNN query: matches sorted by point id + statistics.
+struct RknnResult {
+  std::vector<PointMatch> results;
+  SearchStats stats;
+};
+
+/// Options common to all RkNN algorithms.
+///
+/// Semantics (identical across algorithms and the brute-force oracle):
+/// a candidate point p belongs to RkNN(q) iff strictly fewer than k other
+/// live points (excluding p itself, the query point and `exclude_point`)
+/// are strictly closer to p than the query. Ties in distance therefore
+/// favour the candidate, which keeps unit-weight graphs (DBLP) well
+/// defined.
+struct RknnOptions {
+  int k = 1;
+  /// The query's own point (monochromatic queries are sampled from the
+  /// data points); excluded from both candidates and competitors.
+  PointId exclude_point = kInvalidPoint;
+};
+
+/// A nearest-neighbor hit returned by range-NN / kNN primitives.
+struct NnResult {
+  PointId point = kInvalidPoint;
+  NodeId node = kInvalidNode;
+  Weight dist = 0;
+
+  friend bool operator==(const NnResult&, const NnResult&) = default;
+};
+
+}  // namespace grnn::core
+
+#endif  // GRNN_CORE_TYPES_H_

@@ -1,0 +1,59 @@
+#include "gen/brite.h"
+
+#include <unordered_set>
+
+namespace grnn::gen {
+
+Result<graph::Graph> GenerateBrite(const BriteConfig& config) {
+  const NodeId n = config.num_nodes;
+  const uint32_t m = config.edges_per_node;
+  if (n < m + 1) {
+    return Status::InvalidArgument(
+        "num_nodes must exceed edges_per_node");
+  }
+  if (m == 0) {
+    return Status::InvalidArgument("edges_per_node must be positive");
+  }
+  Rng rng(config.seed);
+  auto weight = [&]() {
+    return config.unit_weights
+               ? 1.0
+               : rng.Uniform(config.min_weight, config.max_weight);
+  };
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(n) * m);
+  // Degree-proportional sampling via the repeated-endpoints vector: every
+  // edge contributes both endpoints, so a uniform draw is a draw
+  // proportional to degree.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * static_cast<size_t>(n) * m);
+
+  // Seed clique over the first m+1 nodes keeps the graph connected.
+  for (NodeId u = 0; u <= m; ++u) {
+    for (NodeId v = u + 1; v <= m; ++v) {
+      edges.push_back({u, v, weight()});
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  std::unordered_set<NodeId> targets;
+  for (NodeId u = m + 1; u < n; ++u) {
+    targets.clear();
+    while (targets.size() < m) {
+      NodeId t = endpoints[rng.UniformInt(endpoints.size())];
+      if (t != u) {
+        targets.insert(t);
+      }
+    }
+    for (NodeId t : targets) {
+      edges.push_back({u, t, weight()});
+      endpoints.push_back(u);
+      endpoints.push_back(t);
+    }
+  }
+  return graph::Graph::FromEdges(n, edges);
+}
+
+}  // namespace grnn::gen

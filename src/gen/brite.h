@@ -1,0 +1,38 @@
+// Copyright (c) GRNN authors.
+// BRITE-like Internet topology generator (paper Section 6.1).
+//
+// The paper uses BRITE (www.cs.bu.edu/brite) to generate P2P graph
+// topologies with average degree 4. BRITE's router-level default is
+// Barabasi-Albert incremental growth with preferential attachment, which
+// we reimplement here: each new node attaches to m = 2 existing nodes
+// chosen proportionally to their current degree. The resulting graphs
+// exhibit the "exponential expansion" the paper highlights (Figs 15-16):
+// the number of nodes within h hops grows exponentially in h.
+
+#ifndef GRNN_GEN_BRITE_H_
+#define GRNN_GEN_BRITE_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace grnn::gen {
+
+struct BriteConfig {
+  NodeId num_nodes = 10000;
+  /// Edges added per joining node; average degree converges to 2m.
+  uint32_t edges_per_node = 2;
+  /// Unit weights model hop counts (P2P latency in hops); otherwise
+  /// weights are uniform in [min_weight, max_weight].
+  bool unit_weights = true;
+  double min_weight = 1.0;
+  double max_weight = 10.0;
+  uint64_t seed = 1;
+};
+
+/// \brief Generates a connected scale-free topology.
+Result<graph::Graph> GenerateBrite(const BriteConfig& config);
+
+}  // namespace grnn::gen
+
+#endif  // GRNN_GEN_BRITE_H_

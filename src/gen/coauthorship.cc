@@ -1,0 +1,93 @@
+#include "gen/coauthorship.h"
+
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "graph/connectivity.h"
+
+namespace grnn::gen {
+
+Result<CoauthorshipGraph> GenerateCoauthorship(
+    const CoauthorConfig& config) {
+  if (config.num_papers == 0) {
+    return Status::InvalidArgument("need at least one paper");
+  }
+  if (config.min_authors == 0 ||
+      config.min_authors > config.max_authors) {
+    return Status::InvalidArgument("bad author count range");
+  }
+  if (config.num_venues == 0) {
+    return Status::InvalidArgument("need at least one venue");
+  }
+  Rng rng(config.seed);
+
+  std::vector<uint32_t> venue0_count;  // per raw author
+  // Preferential attachment pool: one entry per (author, authored paper).
+  std::vector<NodeId> pool;
+  std::unordered_set<uint64_t> edge_set;
+  std::vector<Edge> edges;
+
+  auto new_author = [&]() {
+    NodeId id = static_cast<NodeId>(venue0_count.size());
+    venue0_count.push_back(0);
+    return id;
+  };
+
+  std::vector<NodeId> authors;
+  for (uint32_t paper = 0; paper < config.num_papers; ++paper) {
+    const uint32_t venue =
+        static_cast<uint32_t>(rng.UniformInt(config.num_venues));
+    const size_t slots = static_cast<size_t>(rng.UniformRange(
+        config.min_authors, config.max_authors));
+    authors.clear();
+    std::unordered_set<NodeId> used;
+    for (size_t s = 0; s < slots; ++s) {
+      NodeId a;
+      if (pool.empty() || rng.Bernoulli(config.newcomer_prob)) {
+        a = new_author();
+      } else {
+        a = pool[rng.UniformInt(pool.size())];
+        if (used.count(a) != 0) {
+          a = new_author();  // slot collision -> fresh coauthor
+        }
+      }
+      used.insert(a);
+      authors.push_back(a);
+    }
+    for (NodeId a : authors) {
+      pool.push_back(a);
+      if (venue == 0) {
+        venue0_count[a]++;
+      }
+    }
+    // Clique among the paper's authors.
+    for (size_t i = 0; i < authors.size(); ++i) {
+      for (size_t j = i + 1; j < authors.size(); ++j) {
+        NodeId u = std::min(authors[i], authors[j]);
+        NodeId v = std::max(authors[i], authors[j]);
+        uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+        if (edge_set.insert(key).second) {
+          edges.push_back({u, v, 1.0});
+        }
+      }
+    }
+  }
+
+  const NodeId raw_nodes = static_cast<NodeId>(venue0_count.size());
+  GRNN_ASSIGN_OR_RETURN(graph::Graph raw,
+                        graph::Graph::FromEdges(raw_nodes, edges));
+
+  // "Clean" to the largest connected component, as the paper does.
+  std::vector<NodeId> remap;
+  CoauthorshipGraph out;
+  GRNN_ASSIGN_OR_RETURN(out.g, graph::LargestComponent(raw, &remap));
+  out.venue0_papers.assign(out.g.num_nodes(), 0);
+  for (NodeId old_id = 0; old_id < raw_nodes; ++old_id) {
+    if (remap[old_id] != kInvalidNode) {
+      out.venue0_papers[remap[old_id]] = venue0_count[old_id];
+    }
+  }
+  return out;
+}
+
+}  // namespace grnn::gen

@@ -1,0 +1,89 @@
+#include "gen/grid.h"
+
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace grnn::gen {
+
+Result<graph::Graph> GenerateGrid(const GridConfig& config) {
+  const uint64_t rows = config.rows;
+  const uint64_t cols = config.cols;
+  if (rows < 2 || cols < 2) {
+    return Status::InvalidArgument("grid must be at least 2x2");
+  }
+  if (rows * cols > kInvalidNode) {
+    return Status::InvalidArgument("grid too large");
+  }
+  if (config.avg_degree < 3.9) {
+    return Status::InvalidArgument(
+        "avg_degree below the plain grid's degree");
+  }
+  const NodeId n = static_cast<NodeId>(rows * cols);
+  Rng rng(config.seed);
+  auto weight = [&]() {
+    return config.unit_weights
+               ? 1.0
+               : rng.Uniform(config.min_weight, config.max_weight);
+  };
+  auto id = [&](uint64_t r, uint64_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+
+  std::vector<Edge> edges;
+  std::unordered_set<uint64_t> present;
+  auto add = [&](NodeId u, NodeId v) {
+    if (u == v) {
+      return false;
+    }
+    uint64_t key = (static_cast<uint64_t>(std::min(u, v)) << 32) |
+                   std::max(u, v);
+    if (!present.insert(key).second) {
+      return false;
+    }
+    edges.push_back({u, v, weight()});
+    return true;
+  };
+
+  for (uint64_t r = 0; r < rows; ++r) {
+    for (uint64_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        add(id(r, c), id(r, c + 1));
+      }
+      if (r + 1 < rows) {
+        add(id(r, c), id(r + 1, c));
+      }
+    }
+  }
+
+  // Random chords between nearby nodes until the degree target. The paper
+  // calls the plain grid "average degree 4" although boundary nodes bring
+  // the true mean slightly below 4, so the target is expressed relative
+  // to the plain grid: avg_degree == 4 adds no chords.
+  const size_t base_edges = edges.size();
+  const double extra_per_node = (config.avg_degree - 4.0) / 2.0;
+  const size_t target_edges =
+      base_edges +
+      static_cast<size_t>(std::max(0.0, extra_per_node) *
+                          static_cast<double>(n));
+  const int radius = static_cast<int>(config.chord_radius);
+  size_t attempts = 0;
+  const size_t max_attempts = 50 * (target_edges + 1);
+  while (edges.size() < target_edges && attempts < max_attempts) {
+    ++attempts;
+    uint64_t r = rng.UniformInt(rows);
+    uint64_t c = rng.UniformInt(cols);
+    int64_t dr = rng.UniformRange(-radius, radius);
+    int64_t dc = rng.UniformRange(-radius, radius);
+    int64_t nr = static_cast<int64_t>(r) + dr;
+    int64_t nc = static_cast<int64_t>(c) + dc;
+    if (nr < 0 || nc < 0 || nr >= static_cast<int64_t>(rows) ||
+        nc >= static_cast<int64_t>(cols)) {
+      continue;
+    }
+    add(id(r, c), id(static_cast<uint64_t>(nr), static_cast<uint64_t>(nc)));
+  }
+  return graph::Graph::FromEdges(n, edges);
+}
+
+}  // namespace grnn::gen

@@ -1,0 +1,33 @@
+// Copyright (c) GRNN authors.
+// Synthetic grid maps (paper Section 6.2, Fig 20), following [7] and [5]:
+// a regular grid has average degree ~4; higher degrees are reached by
+// adding random edges between nearby nodes.
+
+#ifndef GRNN_GEN_GRID_H_
+#define GRNN_GEN_GRID_H_
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace grnn::gen {
+
+struct GridConfig {
+  uint32_t rows = 100;
+  uint32_t cols = 100;
+  /// Target average degree; 4 is the plain grid, larger values add random
+  /// chords between nodes within `chord_radius` grid steps.
+  double avg_degree = 4.0;
+  uint32_t chord_radius = 3;
+  /// Unit weights, or uniform in [min_weight, max_weight].
+  bool unit_weights = false;
+  double min_weight = 0.5;
+  double max_weight = 1.5;
+  uint64_t seed = 1;
+};
+
+/// \brief Generates a rows x cols grid map with degree control.
+Result<graph::Graph> GenerateGrid(const GridConfig& config);
+
+}  // namespace grnn::gen
+
+#endif  // GRNN_GEN_GRID_H_

@@ -1,0 +1,90 @@
+#include "gen/points.h"
+
+#include <unordered_set>
+
+namespace grnn::gen {
+
+Result<core::NodePointSet> PlaceNodePoints(NodeId num_nodes,
+                                           double density, Rng& rng) {
+  if (density <= 0 || density > 1.0) {
+    return Status::InvalidArgument("density must be in (0, 1]");
+  }
+  const size_t count = std::max<size_t>(
+      1, static_cast<size_t>(density * static_cast<double>(num_nodes)));
+  auto sampled = rng.SampleWithoutReplacement(num_nodes, count);
+  std::vector<NodeId> locations(sampled.begin(), sampled.end());
+  return core::NodePointSet::FromLocations(num_nodes, locations);
+}
+
+Result<core::EdgePointSet> PlaceEdgePoints(const graph::Graph& g,
+                                           double density, Rng& rng) {
+  if (density <= 0) {
+    return Status::InvalidArgument("density must be positive");
+  }
+  if (g.num_edges() == 0) {
+    return Status::InvalidArgument("graph has no edges");
+  }
+  const size_t count = std::max<size_t>(
+      1,
+      static_cast<size_t>(density * static_cast<double>(g.num_nodes())));
+  auto edges = g.CollectEdges();
+  std::vector<core::EdgePosition> positions;
+  positions.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const Edge& e = edges[rng.UniformInt(edges.size())];
+    positions.push_back({e.u, e.v, rng.Uniform(0.0, e.w)});
+  }
+  return core::EdgePointSet::Create(g, positions);
+}
+
+std::vector<PointId> SampleQueryPoints(const core::NodePointSet& points,
+                                       size_t count, Rng& rng) {
+  auto live = points.LivePoints();
+  std::vector<PointId> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count && !live.empty(); ++i) {
+    out.push_back(live[rng.UniformInt(live.size())]);
+  }
+  return out;
+}
+
+std::vector<PointId> SampleEdgeQueryPoints(
+    const core::EdgePointSet& points, size_t count, Rng& rng) {
+  auto live = points.LivePoints();
+  std::vector<PointId> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count && !live.empty(); ++i) {
+    out.push_back(live[rng.UniformInt(live.size())]);
+  }
+  return out;
+}
+
+std::vector<NodeId> RandomWalkRoute(const graph::Graph& g, NodeId start,
+                                    size_t length, Rng& rng) {
+  std::vector<NodeId> route;
+  if (start >= g.num_nodes() || length == 0) {
+    return route;
+  }
+  std::unordered_set<NodeId> used;
+  route.push_back(start);
+  used.insert(start);
+  NodeId cur = start;
+  std::vector<NodeId> options;
+  while (route.size() < length) {
+    options.clear();
+    for (const AdjEntry& a : g.Neighbors(cur)) {
+      if (used.count(a.node) == 0) {
+        options.push_back(a.node);
+      }
+    }
+    if (options.empty()) {
+      break;
+    }
+    cur = options[rng.UniformInt(options.size())];
+    used.insert(cur);
+    route.push_back(cur);
+  }
+  return route;
+}
+
+}  // namespace grnn::gen

@@ -1,0 +1,43 @@
+// Copyright (c) GRNN authors.
+// Workload construction: density-controlled point placement on nodes or
+// edges, query sampling, and random-walk routes -- the Section 6 workload
+// model (50 queries sampled from the data points, density D = |P| / |V|,
+// capped at 0.1).
+
+#ifndef GRNN_GEN_POINTS_H_
+#define GRNN_GEN_POINTS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/point_set.h"
+#include "core/unrestricted.h"
+#include "graph/graph.h"
+
+namespace grnn::gen {
+
+/// \brief Places |V| * density points on distinct random nodes.
+Result<core::NodePointSet> PlaceNodePoints(NodeId num_nodes, double density,
+                                           Rng& rng);
+
+/// \brief Places |V| * density points uniformly on random edges
+/// (unrestricted networks, Section 6.2).
+Result<core::EdgePointSet> PlaceEdgePoints(const graph::Graph& g,
+                                           double density, Rng& rng);
+
+/// \brief Samples `count` query points from the data set ("queries follow
+/// the data distribution", Section 6). Returns point ids.
+std::vector<PointId> SampleQueryPoints(const core::NodePointSet& points,
+                                       size_t count, Rng& rng);
+std::vector<PointId> SampleEdgeQueryPoints(const core::EdgePointSet& points,
+                                           size_t count, Rng& rng);
+
+/// \brief Random walk without repeated nodes (continuous-query routes,
+/// Fig 19). May return fewer nodes if the walk gets stuck.
+std::vector<NodeId> RandomWalkRoute(const graph::Graph& g, NodeId start,
+                                    size_t length, Rng& rng);
+
+}  // namespace grnn::gen
+
+#endif  // GRNN_GEN_POINTS_H_

@@ -1,0 +1,194 @@
+#include "gen/road_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace grnn::gen {
+
+namespace {
+
+// Uniform-grid spatial hash for nearest-neighbor lookups during
+// construction (the generator must scale to SF-sized node counts).
+class SpatialGrid {
+ public:
+  SpatialGrid(const std::vector<std::pair<double, double>>& pts,
+              double area, size_t cells_per_side)
+      : pts_(pts),
+        cell_(area / static_cast<double>(cells_per_side)),
+        side_(cells_per_side),
+        buckets_(cells_per_side * cells_per_side) {
+    for (size_t i = 0; i < pts.size(); ++i) {
+      buckets_[BucketOf(pts[i])].push_back(static_cast<NodeId>(i));
+    }
+  }
+
+  // k nearest other points to pts_[i] (by expanding ring search).
+  std::vector<NodeId> Nearest(NodeId i, uint32_t k) const {
+    const auto& p = pts_[i];
+    std::vector<std::pair<double, NodeId>> found;
+    const int64_t bs = static_cast<int64_t>(side_);
+    int64_t cx = static_cast<int64_t>(p.first / cell_);
+    int64_t cy = static_cast<int64_t>(p.second / cell_);
+    cx = std::clamp<int64_t>(cx, 0, bs - 1);
+    cy = std::clamp<int64_t>(cy, 0, bs - 1);
+    for (int64_t ring = 0; ring < bs; ++ring) {
+      const size_t before = found.size();
+      for (int64_t x = cx - ring; x <= cx + ring; ++x) {
+        for (int64_t y = cy - ring; y <= cy + ring; ++y) {
+          if (x < 0 || y < 0 || x >= bs || y >= bs) {
+            continue;
+          }
+          if (std::max(std::abs(x - cx), std::abs(y - cy)) != ring) {
+            continue;  // only the ring's border cells are new
+          }
+          for (NodeId j : buckets_[static_cast<size_t>(y) * side_ +
+                                   static_cast<size_t>(x)]) {
+            if (j == i) {
+              continue;
+            }
+            double dx = pts_[j].first - p.first;
+            double dy = pts_[j].second - p.second;
+            found.push_back({dx * dx + dy * dy, j});
+          }
+        }
+      }
+      (void)before;
+      // Once we have k candidates and have expanded one ring beyond the
+      // ring that provided the k-th, the answer is exact.
+      if (found.size() >= k && ring >= 1) {
+        std::sort(found.begin(), found.end());
+        bool safe = found[k - 1].first <=
+                    std::pow(static_cast<double>(ring) * cell_, 2);
+        if (safe) {
+          break;
+        }
+      }
+    }
+    std::sort(found.begin(), found.end());
+    std::vector<NodeId> out;
+    for (size_t t = 0; t < found.size() && out.size() < k; ++t) {
+      out.push_back(found[t].second);
+    }
+    return out;
+  }
+
+ private:
+  size_t BucketOf(const std::pair<double, double>& p) const {
+    size_t x = std::min(side_ - 1,
+                        static_cast<size_t>(p.first / cell_));
+    size_t y = std::min(side_ - 1,
+                        static_cast<size_t>(p.second / cell_));
+    return y * side_ + x;
+  }
+
+  const std::vector<std::pair<double, double>>& pts_;
+  double cell_;
+  size_t side_;
+  std::vector<std::vector<NodeId>> buckets_;
+};
+
+double Dist(const std::pair<double, double>& a,
+            const std::pair<double, double>& b) {
+  double dx = a.first - b.first;
+  double dy = a.second - b.second;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+// Union-find for component tracking.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) {
+      parent_[i] = static_cast<NodeId>(i);
+    }
+  }
+  NodeId Find(NodeId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool Union(NodeId a, NodeId b) {
+    NodeId ra = Find(a), rb = Find(b);
+    if (ra == rb) {
+      return false;
+    }
+    parent_[ra] = rb;
+    return true;
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+};
+
+}  // namespace
+
+Result<RoadNetwork> GenerateRoadNetwork(const RoadConfig& config) {
+  const NodeId n = config.num_nodes;
+  if (n < 3) {
+    return Status::InvalidArgument("need at least 3 nodes");
+  }
+  if (config.k_nearest == 0) {
+    return Status::InvalidArgument("k_nearest must be positive");
+  }
+  Rng rng(config.seed);
+
+  RoadNetwork net;
+  net.coords.reserve(n);
+  for (NodeId i = 0; i < n; ++i) {
+    net.coords.push_back({rng.Uniform(0, config.area_size),
+                          rng.Uniform(0, config.area_size)});
+  }
+
+  const size_t cells = std::max<size_t>(
+      4, static_cast<size_t>(std::sqrt(static_cast<double>(n) / 2.0)));
+  SpatialGrid grid(net.coords, config.area_size, cells);
+
+  std::vector<Edge> edges;
+  std::unordered_set<uint64_t> present;
+  UnionFind uf(n);
+  auto add = [&](NodeId u, NodeId v) {
+    uint64_t key = (static_cast<uint64_t>(std::min(u, v)) << 32) |
+                   std::max(u, v);
+    if (u == v || !present.insert(key).second) {
+      return;
+    }
+    double w = Dist(net.coords[u], net.coords[v]);
+    if (w <= 0) {
+      w = 1e-6;  // coincident points: keep weights positive
+    }
+    edges.push_back({u, v, w});
+    uf.Union(u, v);
+  };
+
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j : grid.Nearest(i, config.k_nearest)) {
+      add(i, j);
+    }
+  }
+
+  // Connect remaining components through their spatially closest reps:
+  // walk nodes in x-order and link consecutive nodes of different
+  // components (cheap and effective for uniform points).
+  std::vector<NodeId> order(n);
+  for (NodeId i = 0; i < n; ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return net.coords[a].first < net.coords[b].first;
+  });
+  for (size_t i = 1; i < order.size(); ++i) {
+    if (uf.Find(order[i - 1]) != uf.Find(order[i])) {
+      add(order[i - 1], order[i]);
+    }
+  }
+
+  GRNN_ASSIGN_OR_RETURN(net.g, graph::Graph::FromEdges(n, edges));
+  return net;
+}
+
+}  // namespace grnn::gen

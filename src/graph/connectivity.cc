@@ -1,0 +1,85 @@
+#include "graph/connectivity.h"
+
+#include <algorithm>
+
+namespace grnn::graph {
+
+std::vector<uint32_t> ConnectedComponents(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<uint32_t> comp(n, UINT32_MAX);
+  uint32_t next = 0;
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < n; ++start) {
+    if (comp[start] != UINT32_MAX) {
+      continue;
+    }
+    comp[start] = next;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      NodeId u = stack.back();
+      stack.pop_back();
+      for (const AdjEntry& a : g.Neighbors(u)) {
+        if (comp[a.node] == UINT32_MAX) {
+          comp[a.node] = next;
+          stack.push_back(a.node);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+size_t CountComponents(const Graph& g) {
+  auto comp = ConnectedComponents(g);
+  return comp.empty()
+             ? 0
+             : 1 + *std::max_element(comp.begin(), comp.end());
+}
+
+bool IsConnected(const Graph& g) {
+  return g.num_nodes() > 0 && CountComponents(g) == 1;
+}
+
+Result<Graph> LargestComponent(const Graph& g,
+                               std::vector<NodeId>* old_to_new) {
+  if (g.num_nodes() == 0) {
+    return Status::InvalidArgument("empty graph has no components");
+  }
+  auto comp = ConnectedComponents(g);
+  const uint32_t num_comp =
+      1 + *std::max_element(comp.begin(), comp.end());
+  std::vector<size_t> sizes(num_comp, 0);
+  for (uint32_t c : comp) {
+    sizes[c]++;
+  }
+  const uint32_t biggest = static_cast<uint32_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+
+  std::vector<NodeId> remap(g.num_nodes(), kInvalidNode);
+  NodeId next = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (comp[u] == biggest) {
+      remap[u] = next++;
+    }
+  }
+
+  std::vector<Edge> edges;
+  edges.reserve(g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (remap[u] == kInvalidNode) {
+      continue;
+    }
+    for (const AdjEntry& a : g.Neighbors(u)) {
+      if (u < a.node && remap[a.node] != kInvalidNode) {
+        edges.push_back(Edge{remap[u], remap[a.node], a.weight});
+      }
+    }
+  }
+  if (old_to_new != nullptr) {
+    *old_to_new = std::move(remap);
+  }
+  return Graph::FromEdges(next, edges);
+}
+
+}  // namespace grnn::graph

@@ -1,0 +1,35 @@
+// Copyright (c) GRNN authors.
+// Connected-component utilities. The paper "cleans" every dataset down to
+// its largest connected component before running queries (Section 6); the
+// generators do the same via LargestComponent.
+
+#ifndef GRNN_GRAPH_CONNECTIVITY_H_
+#define GRNN_GRAPH_CONNECTIVITY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace grnn::graph {
+
+/// \brief Component label per node (labels are dense, starting at 0).
+std::vector<uint32_t> ConnectedComponents(const Graph& g);
+
+/// \brief Number of connected components.
+size_t CountComponents(const Graph& g);
+
+/// \brief True iff the graph has exactly one component (and >= 1 node).
+bool IsConnected(const Graph& g);
+
+/// \brief Extracts the largest connected component with renumbered nodes.
+///
+/// \param old_to_new optional out-map: old node id -> new id, or
+///        kInvalidNode for dropped nodes.
+Result<Graph> LargestComponent(const Graph& g,
+                               std::vector<NodeId>* old_to_new = nullptr);
+
+}  // namespace grnn::graph
+
+#endif  // GRNN_GRAPH_CONNECTIVITY_H_

@@ -1,0 +1,83 @@
+#include "graph/dijkstra.h"
+
+#include "common/indexed_heap.h"
+
+namespace grnn::graph {
+
+namespace {
+
+// Shared expansion core: settles nodes in distance order, invoking
+// `on_settle(node, dist)`; stops when it returns false.
+template <typename OnSettle>
+Status Expand(const NetworkView& g, NodeId source, OnSettle on_settle) {
+  if (source >= g.num_nodes()) {
+    return Status::OutOfRange("source node out of range");
+  }
+  IndexedHeap<Weight, NodeId> heap;
+  std::vector<bool> settled(g.num_nodes(), false);
+  // best-known tentative distance, to skip superseded heap entries
+  std::vector<Weight> best(g.num_nodes(), kInfinity);
+
+  heap.Push(0.0, source);
+  best[source] = 0.0;
+  std::vector<AdjEntry> nbrs;
+  while (!heap.empty()) {
+    auto [dist, node] = heap.Pop();
+    if (settled[node]) {
+      continue;
+    }
+    settled[node] = true;
+    if (!on_settle(node, dist)) {
+      return Status::OK();
+    }
+    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &nbrs));
+    for (const AdjEntry& a : nbrs) {
+      Weight nd = dist + a.weight;
+      if (!settled[a.node] && nd < best[a.node]) {
+        best[a.node] = nd;
+        heap.Push(nd, a.node);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<Weight>> SingleSourceDistances(const NetworkView& g,
+                                                  NodeId source) {
+  std::vector<Weight> dist(g.num_nodes(), kInfinity);
+  GRNN_RETURN_NOT_OK(Expand(g, source, [&](NodeId n, Weight d) {
+    dist[n] = d;
+    return true;
+  }));
+  return dist;
+}
+
+Result<Weight> ShortestPathDistance(const NetworkView& g, NodeId source,
+                                    NodeId target) {
+  if (target >= g.num_nodes()) {
+    return Status::OutOfRange("target node out of range");
+  }
+  Weight result = kInfinity;
+  GRNN_RETURN_NOT_OK(Expand(g, source, [&](NodeId n, Weight d) {
+    if (n == target) {
+      result = d;
+      return false;
+    }
+    return true;
+  }));
+  return result;
+}
+
+Result<std::vector<std::pair<NodeId, Weight>>> ExpandByDistance(
+    const NetworkView& g, NodeId source, size_t max_nodes) {
+  std::vector<std::pair<NodeId, Weight>> out;
+  GRNN_RETURN_NOT_OK(Expand(g, source, [&](NodeId n, Weight d) {
+    out.emplace_back(n, d);
+    return max_nodes == 0 || out.size() < max_nodes;
+  }));
+  return out;
+}
+
+}  // namespace grnn::graph

@@ -1,0 +1,37 @@
+// Copyright (c) GRNN authors.
+// Dijkstra-style network expansion utilities (paper Section 2.2).
+//
+// These are reference building blocks: full single-source shortest paths
+// for the brute-force oracle, and early-terminating point-to-point
+// distance. The RNN algorithms in src/core implement their own expansions
+// because they interleave pruning with the traversal.
+
+#ifndef GRNN_GRAPH_DIJKSTRA_H_
+#define GRNN_GRAPH_DIJKSTRA_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "graph/network_view.h"
+
+namespace grnn::graph {
+
+/// \brief Distances from `source` to every node (kInfinity if unreachable).
+Result<std::vector<Weight>> SingleSourceDistances(const NetworkView& g,
+                                                  NodeId source);
+
+/// \brief Network distance d(source, target); kInfinity if disconnected.
+/// Terminates as soon as `target` is settled.
+Result<Weight> ShortestPathDistance(const NetworkView& g, NodeId source,
+                                    NodeId target);
+
+/// \brief Nodes in non-decreasing distance order from `source`, up to
+/// `max_nodes` settled nodes (0 = unlimited). Returns (node, distance)
+/// pairs. Useful for building routes and locality-aware orderings.
+Result<std::vector<std::pair<NodeId, Weight>>> ExpandByDistance(
+    const NetworkView& g, NodeId source, size_t max_nodes);
+
+}  // namespace grnn::graph
+
+#endif  // GRNN_GRAPH_DIJKSTRA_H_

@@ -1,0 +1,61 @@
+// Copyright (c) GRNN authors.
+// NetworkView: the access interface all RNN algorithms run against.
+//
+// Two implementations exist: GraphView (in-memory CSR, used by unit tests
+// and small examples) and storage::StoredGraph (paged adjacency file behind
+// a buffer pool, used by the benchmarks so that page accesses are counted
+// exactly as in the paper). Algorithms never know which one they are given;
+// an integration test asserts both produce identical query results.
+
+#ifndef GRNN_GRAPH_NETWORK_VIEW_H_
+#define GRNN_GRAPH_NETWORK_VIEW_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace grnn::graph {
+
+/// \brief Abstract adjacency access for query processing.
+class NetworkView {
+ public:
+  virtual ~NetworkView() = default;
+
+  virtual NodeId num_nodes() const = 0;
+  virtual size_t num_edges() const = 0;
+
+  /// Replaces `*out` with the adjacency list of `n`.
+  /// Disk-backed implementations charge buffer-pool I/O here.
+  virtual Status GetNeighbors(NodeId n,
+                              std::vector<AdjEntry>* out) const = 0;
+};
+
+/// \brief Zero-cost NetworkView over an in-memory Graph.
+class GraphView final : public NetworkView {
+ public:
+  /// \param g must outlive the view.
+  explicit GraphView(const Graph* g) : g_(g) { GRNN_CHECK(g != nullptr); }
+
+  NodeId num_nodes() const override { return g_->num_nodes(); }
+  size_t num_edges() const override { return g_->num_edges(); }
+
+  Status GetNeighbors(NodeId n, std::vector<AdjEntry>* out) const override {
+    if (n >= g_->num_nodes()) {
+      return Status::OutOfRange("node id out of range");
+    }
+    auto nbrs = g_->Neighbors(n);
+    out->assign(nbrs.begin(), nbrs.end());
+    return Status::OK();
+  }
+
+  const Graph& graph() const { return *g_; }
+
+ private:
+  const Graph* g_;
+};
+
+}  // namespace grnn::graph
+
+#endif  // GRNN_GRAPH_NETWORK_VIEW_H_

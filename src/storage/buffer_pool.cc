@@ -1,0 +1,177 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace grnn::storage {
+
+PageGuard::PageGuard(PageGuard&& other) noexcept
+    : pool_(other.pool_),
+      frame_(other.frame_),
+      page_id_(other.page_id_),
+      data_(other.data_),
+      owned_(std::move(other.owned_)),
+      dirty_passthrough_(other.dirty_passthrough_) {
+  other.pool_ = nullptr;
+  other.data_ = nullptr;
+  other.dirty_passthrough_ = false;
+}
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    page_id_ = other.page_id_;
+    data_ = other.data_;
+    owned_ = std::move(other.owned_);
+    dirty_passthrough_ = other.dirty_passthrough_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+    other.dirty_passthrough_ = false;
+  }
+  return *this;
+}
+
+PageGuard::~PageGuard() { Release(); }
+
+uint8_t* PageGuard::mutable_data() {
+  GRNN_CHECK(valid());
+  if (frame_ != SIZE_MAX) {
+    pool_->frames_[frame_].dirty = true;
+  } else {
+    dirty_passthrough_ = true;
+  }
+  return const_cast<uint8_t*>(data_);
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr && data_ != nullptr) {
+    if (frame_ != SIZE_MAX) {
+      pool_->Unpin(frame_, /*dirty=*/false);
+    } else if (dirty_passthrough_) {
+      // Unbuffered write-through.
+      pool_->stats_.physical_writes++;
+      (void)pool_->disk_->WritePage(page_id_, data_);
+    }
+  }
+  pool_ = nullptr;
+  data_ = nullptr;
+  owned_.reset();
+  dirty_passthrough_ = false;
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity_pages,
+                       ReplacementPolicy policy)
+    : disk_(disk), capacity_(capacity_pages), policy_(policy) {
+  GRNN_CHECK(disk != nullptr);
+  frames_.resize(capacity_);
+}
+
+BufferPool::~BufferPool() { (void)FlushAll(); }
+
+Result<PageGuard> BufferPool::Acquire(PageId id) {
+  stats_.logical_reads++;
+
+  if (capacity_ == 0) {
+    // Unbuffered mode: every access faults into a private buffer.
+    stats_.physical_reads++;
+    auto buf = std::make_unique<uint8_t[]>(disk_->page_size());
+    GRNN_RETURN_NOT_OK(disk_->ReadPage(id, buf.get()));
+    uint8_t* raw = buf.get();
+    return PageGuard(this, SIZE_MAX, id, raw, std::move(buf));
+  }
+
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    Frame& f = frames_[it->second];
+    f.pins++;
+    if (policy_ == ReplacementPolicy::kLru) {
+      f.tick = ++tick_;
+    }
+    return PageGuard(this, it->second, id, f.data.get(), nullptr);
+  }
+
+  GRNN_ASSIGN_OR_RETURN(size_t victim, FindVictim());
+  Frame& f = frames_[victim];
+  if (f.page != kInvalidPage) {
+    if (f.dirty) {
+      stats_.physical_writes++;
+      GRNN_RETURN_NOT_OK(disk_->WritePage(f.page, f.data.get()));
+    }
+    stats_.evictions++;
+    page_table_.erase(f.page);
+  }
+  if (f.data == nullptr) {
+    f.data = std::make_unique<uint8_t[]>(disk_->page_size());
+  }
+  stats_.physical_reads++;
+  GRNN_RETURN_NOT_OK(disk_->ReadPage(id, f.data.get()));
+  f.page = id;
+  f.pins = 1;
+  f.dirty = false;
+  f.tick = ++tick_;
+  page_table_[id] = victim;
+  return PageGuard(this, victim, id, f.data.get(), nullptr);
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.page != kInvalidPage && f.dirty) {
+      stats_.physical_writes++;
+      GRNN_RETURN_NOT_OK(disk_->WritePage(f.page, f.data.get()));
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::Invalidate() {
+  GRNN_RETURN_NOT_OK(FlushAll());
+  for (Frame& f : frames_) {
+    if (f.page != kInvalidPage && f.pins == 0) {
+      page_table_.erase(f.page);
+      f.page = kInvalidPage;
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+size_t BufferPool::num_pinned() const {
+  size_t n = 0;
+  for (const Frame& f : frames_) {
+    n += (f.page != kInvalidPage && f.pins > 0);
+  }
+  return n;
+}
+
+void BufferPool::Unpin(size_t frame, bool dirty) {
+  Frame& f = frames_[frame];
+  GRNN_DCHECK(f.pins > 0);
+  f.pins--;
+  f.dirty = f.dirty || dirty;
+}
+
+Result<size_t> BufferPool::FindVictim() {
+  size_t best = SIZE_MAX;
+  uint64_t best_tick = ~0ULL;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& f = frames_[i];
+    if (f.page == kInvalidPage) {
+      return i;  // free frame
+    }
+    if (f.pins == 0 && f.tick < best_tick) {
+      best = i;
+      best_tick = f.tick;
+    }
+  }
+  if (best == SIZE_MAX) {
+    return Status::ResourceExhausted(
+        StrPrintf("all %zu buffer frames are pinned", capacity_));
+  }
+  return best;
+}
+
+}  // namespace grnn::storage

@@ -1,0 +1,138 @@
+// Copyright (c) GRNN authors.
+// BufferPool: fixed-capacity page cache with pluggable replacement policy.
+//
+// Reproduces the evaluation environment of the paper (Section 6): a 4 KB
+// page store behind an LRU buffer of configurable size (default 1 MB = 256
+// pages; Fig 21 sweeps 0..1024 pages). All query-time I/O flows through
+// here so SearchStats can report the paper's page-access metric.
+
+#ifndef GRNN_STORAGE_BUFFER_POOL_H_
+#define GRNN_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/disk_manager.h"
+#include "storage/io_stats.h"
+
+namespace grnn::storage {
+
+enum class ReplacementPolicy {
+  kLru,   // evict least-recently-used (paper default)
+  kFifo,  // evict oldest-loaded (ablation)
+};
+
+class BufferPool;
+
+/// \brief RAII pin on a page resident in the buffer pool.
+///
+/// The referenced bytes stay valid until the guard is destroyed or
+/// released. Acquiring a page through a zero-capacity pool hands out a
+/// private copy (every access is a fault), which models the paper's
+/// "buffer size = 0" configuration.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(PageGuard&& other) noexcept;
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  ~PageGuard();
+
+  bool valid() const { return data_ != nullptr; }
+  PageId page_id() const { return page_id_; }
+
+  /// Read-only view of the page bytes.
+  const uint8_t* data() const { return data_; }
+
+  /// Mutable view; marks the page dirty so it is written back on eviction
+  /// or flush.
+  uint8_t* mutable_data();
+
+  /// Drops the pin early.
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageGuard(BufferPool* pool, size_t frame, PageId page_id, uint8_t* data,
+            std::unique_ptr<uint8_t[]> owned)
+      : pool_(pool),
+        frame_(frame),
+        page_id_(page_id),
+        data_(data),
+        owned_(std::move(owned)) {}
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = SIZE_MAX;  // SIZE_MAX when the guard owns its buffer
+  PageId page_id_ = kInvalidPage;
+  uint8_t* data_ = nullptr;
+  std::unique_ptr<uint8_t[]> owned_;
+  // In zero-capacity (unbuffered) mode there is no frame to mark dirty, so
+  // the guard itself remembers whether to write through on release.
+  bool dirty_passthrough_ = false;
+};
+
+/// \brief Page cache in front of a DiskManager.
+///
+/// Not thread-safe (single-threaded query processing, as in the paper).
+class BufferPool {
+ public:
+  /// \param disk backing store; must outlive the pool.
+  /// \param capacity_pages number of frames; 0 disables caching entirely
+  ///        (every acquire is a physical read, Fig 21's leftmost point).
+  BufferPool(DiskManager* disk, size_t capacity_pages,
+             ReplacementPolicy policy = ReplacementPolicy::kLru);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+  ~BufferPool();
+
+  /// Pins page `id` and returns a guard over its bytes.
+  /// Fails with ResourceExhausted if all frames are pinned.
+  Result<PageGuard> Acquire(PageId id);
+
+  /// Writes back all dirty resident pages.
+  Status FlushAll();
+
+  /// Drops every unpinned page (dirty ones are written back first). Useful
+  /// for resetting cache state between benchmark runs.
+  Status Invalidate();
+
+  size_t capacity() const { return capacity_; }
+  size_t num_resident() const { return page_table_.size(); }
+  size_t num_pinned() const;
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IoStats{}; }
+  DiskManager* disk() const { return disk_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    PageId page = kInvalidPage;
+    uint32_t pins = 0;
+    bool dirty = false;
+    uint64_t tick = 0;  // LRU: last touch; FIFO: load time
+    std::unique_ptr<uint8_t[]> data;
+  };
+
+  void Unpin(size_t frame, bool dirty);
+  Result<size_t> FindVictim();
+
+  DiskManager* disk_;
+  size_t capacity_;
+  ReplacementPolicy policy_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  uint64_t tick_ = 0;
+  IoStats stats_;
+};
+
+}  // namespace grnn::storage
+
+#endif  // GRNN_STORAGE_BUFFER_POOL_H_

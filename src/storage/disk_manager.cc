@@ -1,0 +1,137 @@
+#include "storage/disk_manager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace grnn::storage {
+
+MemoryDiskManager::MemoryDiskManager(size_t page_size)
+    : page_size_(page_size) {
+  GRNN_CHECK(page_size >= 64);
+}
+
+Result<PageId> MemoryDiskManager::AllocatePage() {
+  if (pages_.size() >= kInvalidPage) {
+    return Status::ResourceExhausted("page id space exhausted");
+  }
+  pages_.emplace_back(page_size_, uint8_t{0});
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status MemoryDiskManager::ReadPage(PageId id, uint8_t* out) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange(
+        StrPrintf("read of unallocated page %u (have %zu)", id,
+                  pages_.size()));
+  }
+  std::memcpy(out, pages_[id].data(), page_size_);
+  return Status::OK();
+}
+
+Status MemoryDiskManager::WritePage(PageId id, const uint8_t* data) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange(
+        StrPrintf("write of unallocated page %u (have %zu)", id,
+                  pages_.size()));
+  }
+  std::memcpy(pages_[id].data(), data, page_size_);
+  return Status::OK();
+}
+
+Result<FileDiskManager> FileDiskManager::Open(const std::string& path,
+                                              size_t page_size) {
+  if (page_size < 64) {
+    return Status::InvalidArgument("page size must be at least 64 bytes");
+  }
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError(
+        StrPrintf("open(%s): %s", path.c_str(), std::strerror(errno)));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::IOError(StrPrintf("lseek: %s", std::strerror(errno)));
+  }
+  if (static_cast<size_t>(size) % page_size != 0) {
+    ::close(fd);
+    return Status::Corruption(
+        StrPrintf("file %s size %lld is not a multiple of page size %zu",
+                  path.c_str(), static_cast<long long>(size), page_size));
+  }
+  return FileDiskManager(fd, page_size,
+                         static_cast<size_t>(size) / page_size);
+}
+
+FileDiskManager::FileDiskManager(FileDiskManager&& other) noexcept
+    : fd_(other.fd_),
+      page_size_(other.page_size_),
+      num_pages_(other.num_pages_) {
+  other.fd_ = -1;
+}
+
+FileDiskManager& FileDiskManager::operator=(
+    FileDiskManager&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+    fd_ = other.fd_;
+    page_size_ = other.page_size_;
+    num_pages_ = other.num_pages_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+FileDiskManager::~FileDiskManager() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Result<PageId> FileDiskManager::AllocatePage() {
+  std::vector<uint8_t> zeros(page_size_, 0);
+  off_t offset = static_cast<off_t>(num_pages_ * page_size_);
+  ssize_t written =
+      ::pwrite(fd_, zeros.data(), page_size_, offset);
+  if (written != static_cast<ssize_t>(page_size_)) {
+    return Status::IOError(
+        StrPrintf("pwrite: %s", std::strerror(errno)));
+  }
+  return static_cast<PageId>(num_pages_++);
+}
+
+Status FileDiskManager::ReadPage(PageId id, uint8_t* out) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange(StrPrintf("read of unallocated page %u", id));
+  }
+  ssize_t got = ::pread(fd_, out, page_size_,
+                        static_cast<off_t>(id) *
+                            static_cast<off_t>(page_size_));
+  if (got != static_cast<ssize_t>(page_size_)) {
+    return Status::IOError(StrPrintf("pread: %s", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status FileDiskManager::WritePage(PageId id, const uint8_t* data) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange(
+        StrPrintf("write of unallocated page %u", id));
+  }
+  ssize_t put = ::pwrite(fd_, data, page_size_,
+                         static_cast<off_t>(id) *
+                             static_cast<off_t>(page_size_));
+  if (put != static_cast<ssize_t>(page_size_)) {
+    return Status::IOError(StrPrintf("pwrite: %s", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+}  // namespace grnn::storage

@@ -1,0 +1,186 @@
+#include "storage/graph_file.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace grnn::storage {
+
+namespace {
+
+// Appends raw bytes to a page-building stream, allocating pages on demand.
+class PageWriter {
+ public:
+  PageWriter(DiskManager* disk, size_t page_size)
+      : disk_(disk), page_size_(page_size), buffer_(page_size, 0) {}
+
+  uint64_t position() const {
+    return static_cast<uint64_t>(pages_written_) * page_size_ + fill_;
+  }
+
+  size_t remaining_in_page() const { return page_size_ - fill_; }
+
+  Result<PageId> first_page() const {
+    if (first_page_ == kInvalidPage) {
+      return Status::FailedPrecondition("no pages written yet");
+    }
+    return first_page_;
+  }
+
+  size_t pages_flushed_or_open() const {
+    return pages_written_ + (fill_ > 0 ? 1 : 0);
+  }
+
+  Status Append(const uint8_t* data, size_t len) {
+    while (len > 0) {
+      size_t chunk = std::min(len, page_size_ - fill_);
+      std::memcpy(buffer_.data() + fill_, data, chunk);
+      fill_ += chunk;
+      data += chunk;
+      len -= chunk;
+      if (fill_ == page_size_) {
+        GRNN_RETURN_NOT_OK(FlushPage());
+      }
+    }
+    return Status::OK();
+  }
+
+  Status PadToPageBoundary() {
+    if (fill_ > 0) {
+      std::memset(buffer_.data() + fill_, 0, page_size_ - fill_);
+      fill_ = page_size_;
+      GRNN_RETURN_NOT_OK(FlushPage());
+    }
+    return Status::OK();
+  }
+
+  Status Finish() { return PadToPageBoundary(); }
+
+ private:
+  Status FlushPage() {
+    GRNN_ASSIGN_OR_RETURN(PageId id, disk_->AllocatePage());
+    if (first_page_ == kInvalidPage) {
+      first_page_ = id;
+    } else if (id != first_page_ + pages_written_) {
+      return Status::Internal("graph file pages are not contiguous");
+    }
+    GRNN_RETURN_NOT_OK(disk_->WritePage(id, buffer_.data()));
+    pages_written_++;
+    fill_ = 0;
+    return Status::OK();
+  }
+
+  DiskManager* disk_;
+  size_t page_size_;
+  std::vector<uint8_t> buffer_;
+  size_t fill_ = 0;
+  size_t pages_written_ = 0;
+  PageId first_page_ = kInvalidPage;
+};
+
+}  // namespace
+
+Result<GraphFile> GraphFile::Build(const graph::Graph& g, DiskManager* disk,
+                                   const GraphFileOptions& options) {
+  if (disk == nullptr) {
+    return Status::InvalidArgument("disk manager is null");
+  }
+  if (g.num_nodes() == 0) {
+    return Status::InvalidArgument("cannot store an empty graph");
+  }
+
+  GraphFile file;
+  file.page_size_ = disk->page_size();
+  file.num_edges_ = g.num_edges();
+  file.offsets_.assign(g.num_nodes(), 0);
+  file.degrees_.assign(g.num_nodes(), 0);
+
+  std::vector<NodeId> order =
+      ComputeNodeOrder(g, options.order, options.seed);
+
+  PageWriter writer(disk, file.page_size_);
+  std::vector<uint8_t> scratch;
+  for (NodeId n : order) {
+    auto nbrs = g.Neighbors(n);
+    const size_t list_bytes = nbrs.size() * kAdjEntryBytes;
+    if (options.pad_to_page_boundaries && list_bytes > 0 &&
+        list_bytes <= file.page_size_ &&
+        list_bytes > writer.remaining_in_page()) {
+      GRNN_RETURN_NOT_OK(writer.PadToPageBoundary());
+    }
+    file.offsets_[n] = writer.position();
+    file.degrees_[n] = static_cast<uint32_t>(nbrs.size());
+
+    scratch.resize(list_bytes);
+    uint8_t* p = scratch.data();
+    for (const AdjEntry& a : nbrs) {
+      std::memcpy(p, &a.node, sizeof(uint32_t));
+      std::memcpy(p + sizeof(uint32_t), &a.weight, sizeof(double));
+      p += kAdjEntryBytes;
+    }
+    GRNN_RETURN_NOT_OK(writer.Append(scratch.data(), list_bytes));
+  }
+  GRNN_RETURN_NOT_OK(writer.Finish());
+  GRNN_ASSIGN_OR_RETURN(file.first_page_, writer.first_page());
+  file.num_pages_ = writer.pages_flushed_or_open();
+  return file;
+}
+
+Status GraphFile::ReadNeighbors(BufferPool* pool, NodeId n,
+                                std::vector<AdjEntry>* out) const {
+  if (n >= degrees_.size()) {
+    return Status::OutOfRange(StrPrintf("node %u out of range", n));
+  }
+  if (pool == nullptr) {
+    return Status::InvalidArgument("buffer pool is null");
+  }
+  out->clear();
+  const uint32_t degree = degrees_[n];
+  out->reserve(degree);
+
+  uint64_t pos = offsets_[n];
+  size_t bytes_left = degree * kAdjEntryBytes;
+  uint8_t entry[kAdjEntryBytes];
+  size_t entry_fill = 0;
+
+  while (bytes_left > 0) {
+    const PageId page =
+        first_page_ + static_cast<PageId>(pos / page_size_);
+    const size_t in_page = static_cast<size_t>(pos % page_size_);
+    GRNN_ASSIGN_OR_RETURN(PageGuard guard, pool->Acquire(page));
+    const uint8_t* data = guard.data();
+    size_t avail = std::min(bytes_left, page_size_ - in_page);
+    size_t offset = in_page;
+    while (avail > 0) {
+      size_t need = kAdjEntryBytes - entry_fill;
+      size_t take = std::min(need, avail);
+      std::memcpy(entry + entry_fill, data + offset, take);
+      entry_fill += take;
+      offset += take;
+      avail -= take;
+      pos += take;
+      bytes_left -= take;
+      if (entry_fill == kAdjEntryBytes) {
+        AdjEntry a;
+        std::memcpy(&a.node, entry, sizeof(uint32_t));
+        std::memcpy(&a.weight, entry + sizeof(uint32_t), sizeof(double));
+        out->push_back(a);
+        entry_fill = 0;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+size_t GraphFile::PagesSpanned(NodeId n) const {
+  GRNN_CHECK(n < degrees_.size());
+  if (degrees_[n] == 0) {
+    return 1;
+  }
+  const uint64_t begin = offsets_[n];
+  const uint64_t end = begin + degrees_[n] * kAdjEntryBytes;
+  return static_cast<size_t>((end - 1) / page_size_ - begin / page_size_) +
+         1;
+}
+
+}  // namespace grnn::storage

@@ -1,0 +1,75 @@
+// Copyright (c) GRNN authors.
+// GraphFile: the paper's disk organization for large graphs (Section 3.1,
+// Fig 3b): adjacency lists packed into pages in a locality-preserving
+// order, plus a memory-resident index mapping node id -> list location.
+//
+// Each adjacency entry is serialized as (neighbor: uint32, weight: double)
+// = 12 bytes. Lists never straddle a page boundary unless they are longer
+// than a whole page; the tail of a page that cannot fit the next list is
+// left as padding, exactly like slotted grouping in the paper's scheme.
+
+#ifndef GRNN_STORAGE_GRAPH_FILE_H_
+#define GRNN_STORAGE_GRAPH_FILE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "graph/graph.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/partitioner.h"
+
+namespace grnn::storage {
+
+/// Serialized size of one adjacency entry (uint32 id + double weight).
+inline constexpr size_t kAdjEntryBytes = sizeof(uint32_t) + sizeof(double);
+
+struct GraphFileOptions {
+  NodeOrder order = NodeOrder::kBfs;
+  /// Avoid splitting sub-page lists across page boundaries.
+  bool pad_to_page_boundaries = true;
+  /// Seed for NodeOrder::kRandom.
+  uint64_t seed = 42;
+};
+
+/// \brief Paged adjacency-list file with a memory-resident node index.
+class GraphFile {
+ public:
+  /// Serializes `g` into fresh pages of `disk`.
+  static Result<GraphFile> Build(const graph::Graph& g, DiskManager* disk,
+                                 const GraphFileOptions& options = {});
+
+  /// Reads the adjacency list of `n` through `pool`, charging page I/O.
+  Status ReadNeighbors(BufferPool* pool, NodeId n,
+                       std::vector<AdjEntry>* out) const;
+
+  NodeId num_nodes() const { return static_cast<NodeId>(degrees_.size()); }
+  size_t num_edges() const { return num_edges_; }
+  uint32_t Degree(NodeId n) const { return degrees_[n]; }
+
+  /// Pages occupied by adjacency data.
+  size_t num_pages() const { return num_pages_; }
+  /// First page id of this file inside the disk manager.
+  PageId first_page() const { return first_page_; }
+
+  /// Distinct pages the list of `n` occupies (>=1); exposed for tests and
+  /// the packing ablation.
+  size_t PagesSpanned(NodeId n) const;
+
+ private:
+  GraphFile() = default;
+
+  size_t page_size_ = 0;
+  size_t num_edges_ = 0;
+  size_t num_pages_ = 0;
+  PageId first_page_ = kInvalidPage;
+  // Node index (memory-resident, as in Fig 3b): byte offset of each list
+  // within this file's page range, plus its length in entries.
+  std::vector<uint64_t> offsets_;
+  std::vector<uint32_t> degrees_;
+};
+
+}  // namespace grnn::storage
+
+#endif  // GRNN_STORAGE_GRAPH_FILE_H_

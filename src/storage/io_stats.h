@@ -1,0 +1,50 @@
+// Copyright (c) GRNN authors.
+// I/O accounting for the buffer pool. The paper's primary cost metric is
+// "page accesses" (buffer misses), charged at 10 ms each in the figures.
+
+#ifndef GRNN_STORAGE_IO_STATS_H_
+#define GRNN_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+
+namespace grnn::storage {
+
+/// \brief Counters accumulated by a BufferPool.
+struct IoStats {
+  /// Page requests served (hits + misses).
+  uint64_t logical_reads = 0;
+  /// Buffer misses that had to hit the disk manager — the paper's
+  /// "page accesses" / "page faults" metric.
+  uint64_t physical_reads = 0;
+  /// Dirty pages written back.
+  uint64_t physical_writes = 0;
+  /// Evictions performed (clean or dirty).
+  uint64_t evictions = 0;
+
+  IoStats operator-(const IoStats& rhs) const {
+    return IoStats{logical_reads - rhs.logical_reads,
+                   physical_reads - rhs.physical_reads,
+                   physical_writes - rhs.physical_writes,
+                   evictions - rhs.evictions};
+  }
+  IoStats& operator+=(const IoStats& rhs) {
+    logical_reads += rhs.logical_reads;
+    physical_reads += rhs.physical_reads;
+    physical_writes += rhs.physical_writes;
+    evictions += rhs.evictions;
+    return *this;
+  }
+
+  double HitRate() const {
+    return logical_reads == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(physical_reads) /
+                           static_cast<double>(logical_reads);
+  }
+
+  friend bool operator==(const IoStats&, const IoStats&) = default;
+};
+
+}  // namespace grnn::storage
+
+#endif  // GRNN_STORAGE_IO_STATS_H_

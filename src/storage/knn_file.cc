@@ -1,0 +1,169 @@
+#include "storage/knn_file.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace grnn::storage {
+
+Result<KnnFile> KnnFile::Create(DiskManager* disk, NodeId num_nodes,
+                                uint32_t k,
+                                const std::vector<NodeId>* slot_of_node) {
+  if (disk == nullptr) {
+    return Status::InvalidArgument("disk manager is null");
+  }
+  if (num_nodes == 0 || k == 0) {
+    return Status::InvalidArgument("num_nodes and k must be positive");
+  }
+  KnnFile file;
+  if (slot_of_node != nullptr) {
+    if (slot_of_node->size() != num_nodes) {
+      return Status::InvalidArgument("slot permutation size mismatch");
+    }
+    std::vector<bool> seen(num_nodes, false);
+    for (NodeId s : *slot_of_node) {
+      if (s >= num_nodes || seen[s]) {
+        return Status::InvalidArgument("slot permutation is not a bijection");
+      }
+      seen[s] = true;
+    }
+    file.slot_of_node_ = *slot_of_node;
+  }
+  file.k_ = k;
+  file.num_nodes_ = num_nodes;
+  file.page_size_ = disk->page_size();
+  file.list_bytes_ = static_cast<size_t>(k) * kNnEntryBytes;
+  if (file.list_bytes_ <= file.page_size_) {
+    file.lists_per_page_ = file.page_size_ / file.list_bytes_;
+    file.stride_pages_ = 0;
+    file.num_pages_ =
+        (num_nodes + file.lists_per_page_ - 1) / file.lists_per_page_;
+  } else {
+    file.lists_per_page_ = 0;
+    file.stride_pages_ =
+        (file.list_bytes_ + file.page_size_ - 1) / file.page_size_;
+    file.num_pages_ = static_cast<size_t>(num_nodes) * file.stride_pages_;
+  }
+
+  // Format every slot as empty (kInvalidPoint / kInfinity), writing pages
+  // directly: formatting is part of construction, not query cost.
+  std::vector<uint8_t> page(file.page_size_, 0);
+  const NnEntry empty{};
+  // Pre-fill a page image with empty entries back-to-back; slot layout is
+  // repeated per page (fits case) or byte-continuous (stride case), and in
+  // both cases entries are 12-byte aligned from the page start when
+  // lists_per_page_ > 0, or from the list start otherwise. Formatting with
+  // a repeating 12-byte pattern from byte 0 is correct for the fits case;
+  // for the stride case each page is rewritten on first Write anyway, but
+  // we still format so that reads of never-written nodes see empties only
+  // when the 12-byte pattern aligns -- which it does because lists start at
+  // page boundaries (stride case) or at multiples of list_bytes_ (fits
+  // case), both multiples of 12.
+  for (size_t off = 0; off + kNnEntryBytes <= file.page_size_;
+       off += kNnEntryBytes) {
+    std::memcpy(page.data() + off, &empty.point, sizeof(uint32_t));
+    std::memcpy(page.data() + off + sizeof(uint32_t), &empty.dist,
+                sizeof(double));
+  }
+  for (size_t i = 0; i < file.num_pages_; ++i) {
+    GRNN_ASSIGN_OR_RETURN(PageId id, disk->AllocatePage());
+    if (file.first_page_ == kInvalidPage) {
+      file.first_page_ = id;
+    } else if (id != file.first_page_ + i) {
+      return Status::Internal("knn file pages are not contiguous");
+    }
+    GRNN_RETURN_NOT_OK(disk->WritePage(id, page.data()));
+  }
+  return file;
+}
+
+uint64_t KnnFile::ByteOffsetOf(NodeId n) const {
+  if (!slot_of_node_.empty()) {
+    n = slot_of_node_[n];
+  }
+  if (lists_per_page_ > 0) {
+    return static_cast<uint64_t>(n / lists_per_page_) * page_size_ +
+           static_cast<uint64_t>(n % lists_per_page_) * list_bytes_;
+  }
+  return static_cast<uint64_t>(n) * stride_pages_ * page_size_;
+}
+
+Status KnnFile::Read(BufferPool* pool, NodeId n,
+                     std::vector<NnEntry>* out) const {
+  if (n >= num_nodes_) {
+    return Status::OutOfRange(StrPrintf("node %u out of range", n));
+  }
+  out->clear();
+  uint64_t pos = ByteOffsetOf(n);
+  size_t bytes_left = list_bytes_;
+  uint8_t entry[kNnEntryBytes];
+  size_t entry_fill = 0;
+  bool done = false;
+
+  while (bytes_left > 0 && !done) {
+    const PageId page = first_page_ + static_cast<PageId>(pos / page_size_);
+    const size_t in_page = static_cast<size_t>(pos % page_size_);
+    GRNN_ASSIGN_OR_RETURN(PageGuard guard, pool->Acquire(page));
+    const uint8_t* data = guard.data();
+    size_t avail = std::min(bytes_left, page_size_ - in_page);
+    size_t offset = in_page;
+    while (avail > 0 && !done) {
+      size_t take = std::min(kNnEntryBytes - entry_fill, avail);
+      std::memcpy(entry + entry_fill, data + offset, take);
+      entry_fill += take;
+      offset += take;
+      avail -= take;
+      pos += take;
+      bytes_left -= take;
+      if (entry_fill == kNnEntryBytes) {
+        NnEntry e;
+        std::memcpy(&e.point, entry, sizeof(uint32_t));
+        std::memcpy(&e.dist, entry + sizeof(uint32_t), sizeof(double));
+        entry_fill = 0;
+        if (e.point == kInvalidPoint) {
+          done = true;  // empty suffix
+        } else {
+          out->push_back(e);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status KnnFile::Write(BufferPool* pool, NodeId n,
+                      const std::vector<NnEntry>& entries) {
+  if (n >= num_nodes_) {
+    return Status::OutOfRange(StrPrintf("node %u out of range", n));
+  }
+  if (entries.size() > k_) {
+    return Status::InvalidArgument(
+        StrPrintf("list of %zu entries exceeds capacity k=%u",
+                  entries.size(), k_));
+  }
+  // Serialize the full slot (entries + empty padding).
+  std::vector<uint8_t> bytes(list_bytes_);
+  uint8_t* p = bytes.data();
+  for (uint32_t i = 0; i < k_; ++i) {
+    NnEntry e = i < entries.size() ? entries[i] : NnEntry{};
+    std::memcpy(p, &e.point, sizeof(uint32_t));
+    std::memcpy(p + sizeof(uint32_t), &e.dist, sizeof(double));
+    p += kNnEntryBytes;
+  }
+
+  uint64_t pos = ByteOffsetOf(n);
+  size_t written = 0;
+  while (written < list_bytes_) {
+    const PageId page = first_page_ + static_cast<PageId>(pos / page_size_);
+    const size_t in_page = static_cast<size_t>(pos % page_size_);
+    GRNN_ASSIGN_OR_RETURN(PageGuard guard, pool->Acquire(page));
+    size_t chunk = std::min(list_bytes_ - written, page_size_ - in_page);
+    std::memcpy(guard.mutable_data() + in_page, bytes.data() + written,
+                chunk);
+    written += chunk;
+    pos += chunk;
+  }
+  return Status::OK();
+}
+
+}  // namespace grnn::storage

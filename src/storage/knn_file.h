@@ -1,0 +1,77 @@
+// Copyright (c) GRNN authors.
+// KnnFile: materialized k-nearest-neighbor lists for every node
+// (paper Section 4.1). Storage overhead is O(K * |V|), the alternative the
+// paper proposes to infeasible full distance materialization.
+//
+// Layout: each node owns a fixed slot of K entries of
+// (point: uint32, dist: double) = 12 bytes. Slots never straddle a page
+// when K entries fit in one page; unused entries hold kInvalidPoint.
+// Reads and writes go through the buffer pool so that eager-M's
+// materialization I/O and the Fig 22 update costs are measured.
+
+#ifndef GRNN_STORAGE_KNN_FILE_H_
+#define GRNN_STORAGE_KNN_FILE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace grnn::storage {
+
+/// One materialized entry: the i-th NN of a node and its network distance.
+struct NnEntry {
+  PointId point = kInvalidPoint;
+  Weight dist = kInfinity;
+
+  friend bool operator==(const NnEntry&, const NnEntry&) = default;
+};
+
+inline constexpr size_t kNnEntryBytes = sizeof(uint32_t) + sizeof(double);
+
+/// \brief Fixed-K per-node NN list file.
+class KnnFile {
+ public:
+  /// Allocates and formats slots for `num_nodes` nodes with capacity `k`.
+  /// All slots start empty. `slot_of_node` optionally permutes nodes to
+  /// slots (e.g. the BFS order used for the adjacency file), so that
+  /// spatially close nodes share KNN pages -- without it, an expansion
+  /// around a query faults one page per list it reads.
+  static Result<KnnFile> Create(
+      DiskManager* disk, NodeId num_nodes, uint32_t k,
+      const std::vector<NodeId>* slot_of_node = nullptr);
+
+  uint32_t k() const { return k_; }
+  NodeId num_nodes() const { return num_nodes_; }
+  size_t num_pages() const { return num_pages_; }
+  PageId first_page() const { return first_page_; }
+
+  /// Reads the (up to k) stored NNs of `n`, nearest first.
+  Status Read(BufferPool* pool, NodeId n, std::vector<NnEntry>* out) const;
+
+  /// Replaces the stored list of `n` (entries.size() <= k). Pages are
+  /// marked dirty in the pool and written back on eviction/flush.
+  Status Write(BufferPool* pool, NodeId n,
+               const std::vector<NnEntry>& entries);
+
+ private:
+  KnnFile() = default;
+
+  uint64_t ByteOffsetOf(NodeId n) const;
+
+  std::vector<NodeId> slot_of_node_;  // empty = identity
+  uint32_t k_ = 0;
+  NodeId num_nodes_ = 0;
+  size_t page_size_ = 0;
+  size_t list_bytes_ = 0;
+  size_t lists_per_page_ = 0;  // 0 when a list is larger than a page
+  size_t stride_pages_ = 0;    // pages per list when lists_per_page_ == 0
+  size_t num_pages_ = 0;
+  PageId first_page_ = kInvalidPage;
+};
+
+}  // namespace grnn::storage
+
+#endif  // GRNN_STORAGE_KNN_FILE_H_

@@ -1,0 +1,53 @@
+#include "storage/partitioner.h"
+
+#include <deque>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace grnn::storage {
+
+std::vector<NodeId> ComputeNodeOrder(const graph::Graph& g, NodeOrder order,
+                                     uint64_t seed) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> out(n);
+  std::iota(out.begin(), out.end(), NodeId{0});
+
+  switch (order) {
+    case NodeOrder::kNatural:
+      return out;
+    case NodeOrder::kRandom: {
+      Rng rng(seed);
+      rng.Shuffle(out);
+      return out;
+    }
+    case NodeOrder::kBfs: {
+      std::vector<bool> visited(n, false);
+      std::deque<NodeId> queue;
+      size_t emitted = 0;
+      for (NodeId start = 0; start < n; ++start) {
+        if (visited[start]) {
+          continue;
+        }
+        visited[start] = true;
+        queue.push_back(start);
+        while (!queue.empty()) {
+          NodeId u = queue.front();
+          queue.pop_front();
+          out[emitted++] = u;
+          for (const AdjEntry& a : g.Neighbors(u)) {
+            if (!visited[a.node]) {
+              visited[a.node] = true;
+              queue.push_back(a.node);
+            }
+          }
+        }
+      }
+      GRNN_CHECK(emitted == n);
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace grnn::storage

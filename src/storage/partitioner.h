@@ -1,0 +1,34 @@
+// Copyright (c) GRNN authors.
+// Node-ordering strategies for packing adjacency lists into pages.
+//
+// The paper stores "lists of neighboring nodes, grouped together using the
+// method of [2]" (Chan & Zhang) so that an expansion touches few pages. We
+// approximate that topological clustering with a BFS layout; kNatural and
+// kRandom exist as ablation baselines (bench_ablation_packing).
+
+#ifndef GRNN_STORAGE_PARTITIONER_H_
+#define GRNN_STORAGE_PARTITIONER_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace grnn::storage {
+
+enum class NodeOrder {
+  kBfs,      // breadth-first layout: neighbors co-located (default)
+  kNatural,  // node-id order
+  kRandom,   // shuffled (worst-case locality, ablation)
+};
+
+/// \brief Returns a permutation of all node ids in storage order.
+///
+/// kBfs starts a BFS at node 0 and restarts from the smallest unvisited
+/// node per component, so every node appears exactly once.
+std::vector<NodeId> ComputeNodeOrder(const graph::Graph& g, NodeOrder order,
+                                     uint64_t seed = 42);
+
+}  // namespace grnn::storage
+
+#endif  // GRNN_STORAGE_PARTITIONER_H_

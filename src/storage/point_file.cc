@@ -1,0 +1,138 @@
+#include "storage/point_file.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace grnn::storage {
+
+Result<PointFile> PointFile::Build(DiskManager* disk,
+                                   std::vector<EdgePoints> groups) {
+  if (disk == nullptr) {
+    return Status::InvalidArgument("disk manager is null");
+  }
+  PointFile file;
+  file.page_size_ = disk->page_size();
+
+  // Serialize group-by-group with page padding for sub-page groups.
+  std::vector<uint8_t> page(file.page_size_, 0);
+  size_t fill = 0;
+  size_t pages_written = 0;
+
+  auto flush_page = [&]() -> Status {
+    GRNN_ASSIGN_OR_RETURN(PageId id, disk->AllocatePage());
+    if (file.first_page_ == kInvalidPage) {
+      file.first_page_ = id;
+    } else if (id != file.first_page_ + pages_written) {
+      return Status::Internal("point file pages are not contiguous");
+    }
+    GRNN_RETURN_NOT_OK(disk->WritePage(id, page.data()));
+    std::memset(page.data(), 0, file.page_size_);
+    pages_written++;
+    fill = 0;
+    return Status::OK();
+  };
+
+  for (EdgePoints& grp : groups) {
+    if (grp.u >= grp.v) {
+      return Status::InvalidArgument(
+          StrPrintf("edge (%u,%u) must have u < v", grp.u, grp.v));
+    }
+    if (grp.points.empty()) {
+      return Status::InvalidArgument(
+          StrPrintf("edge (%u,%u) listed without points", grp.u, grp.v));
+    }
+    const uint64_t key = EdgeKey(grp.u, grp.v);
+    if (file.index_.count(key) != 0) {
+      return Status::InvalidArgument(
+          StrPrintf("duplicate edge (%u,%u)", grp.u, grp.v));
+    }
+    std::sort(grp.points.begin(), grp.points.end(),
+              [](const EdgePointRecord& a, const EdgePointRecord& b) {
+                return a.pos < b.pos;
+              });
+    const size_t group_bytes = grp.points.size() * kEdgePointBytes;
+    if (group_bytes <= file.page_size_ &&
+        group_bytes > file.page_size_ - fill) {
+      GRNN_RETURN_NOT_OK(flush_page());
+    }
+    file.index_[key] =
+        Extent{pages_written * file.page_size_ + fill,
+               static_cast<uint32_t>(grp.points.size())};
+    for (const EdgePointRecord& r : grp.points) {
+      uint8_t buf[kEdgePointBytes];
+      std::memcpy(buf, &r.point, sizeof(uint32_t));
+      std::memcpy(buf + sizeof(uint32_t), &r.pos, sizeof(double));
+      size_t copied = 0;
+      while (copied < kEdgePointBytes) {
+        size_t chunk =
+            std::min(kEdgePointBytes - copied, file.page_size_ - fill);
+        std::memcpy(page.data() + fill, buf + copied, chunk);
+        fill += chunk;
+        copied += chunk;
+        if (fill == file.page_size_) {
+          GRNN_RETURN_NOT_OK(flush_page());
+        }
+      }
+    }
+    file.num_points_ += grp.points.size();
+  }
+  if (fill > 0) {
+    GRNN_RETURN_NOT_OK(flush_page());
+  }
+  file.num_pages_ = pages_written;
+  if (file.num_pages_ == 0) {
+    // Keep a valid (empty) file: no pages, empty index.
+    file.first_page_ = kInvalidPage;
+  }
+  return file;
+}
+
+bool PointFile::EdgeHasPoints(NodeId u, NodeId v) const {
+  return index_.count(EdgeKey(u, v)) != 0;
+}
+
+Status PointFile::ReadEdgePoints(BufferPool* pool, NodeId u, NodeId v,
+                                 std::vector<EdgePointRecord>* out) const {
+  out->clear();
+  auto it = index_.find(EdgeKey(u, v));
+  if (it == index_.end()) {
+    return Status::OK();
+  }
+  if (pool == nullptr) {
+    return Status::InvalidArgument("buffer pool is null");
+  }
+  uint64_t pos = it->second.offset;
+  size_t bytes_left = it->second.count * kEdgePointBytes;
+  out->reserve(it->second.count);
+  uint8_t entry[kEdgePointBytes];
+  size_t entry_fill = 0;
+  while (bytes_left > 0) {
+    const PageId pg = first_page_ + static_cast<PageId>(pos / page_size_);
+    const size_t in_page = static_cast<size_t>(pos % page_size_);
+    GRNN_ASSIGN_OR_RETURN(PageGuard guard, pool->Acquire(pg));
+    const uint8_t* data = guard.data();
+    size_t avail = std::min(bytes_left, page_size_ - in_page);
+    size_t offset = in_page;
+    while (avail > 0) {
+      size_t take = std::min(kEdgePointBytes - entry_fill, avail);
+      std::memcpy(entry + entry_fill, data + offset, take);
+      entry_fill += take;
+      offset += take;
+      avail -= take;
+      pos += take;
+      bytes_left -= take;
+      if (entry_fill == kEdgePointBytes) {
+        EdgePointRecord r;
+        std::memcpy(&r.point, entry, sizeof(uint32_t));
+        std::memcpy(&r.pos, entry + sizeof(uint32_t), sizeof(double));
+        out->push_back(r);
+        entry_fill = 0;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace grnn::storage

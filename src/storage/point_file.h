@@ -1,0 +1,86 @@
+// Copyright (c) GRNN authors.
+// PointFile: storage for data points lying on edges of an unrestricted
+// network (paper Section 5.2, Fig 14b).
+//
+// Points are grouped by the edge they reside on; the memory-resident edge
+// index knows which edges carry points (in the paper this information
+// travels with the adjacency list), while reading the actual point records
+// costs buffer-pool I/O.
+
+#ifndef GRNN_STORAGE_POINT_FILE_H_
+#define GRNN_STORAGE_POINT_FILE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace grnn::storage {
+
+/// A data point on an edge: `pos` is its distance from the lower-id
+/// endpoint, in [0, w(edge)] (paper's <n_i, n_j, pos> triplet with i < j).
+struct EdgePointRecord {
+  PointId point = kInvalidPoint;
+  double pos = 0;
+
+  friend bool operator==(const EdgePointRecord&,
+                         const EdgePointRecord&) = default;
+};
+
+inline constexpr size_t kEdgePointBytes = sizeof(uint32_t) + sizeof(double);
+
+/// \brief Paged file of edge-resident points with an in-memory edge index.
+class PointFile {
+ public:
+  /// Input unit for Build: all points of one edge (u < v required).
+  struct EdgePoints {
+    NodeId u = kInvalidNode;
+    NodeId v = kInvalidNode;
+    std::vector<EdgePointRecord> points;
+  };
+
+  /// Serializes the per-edge point groups into fresh pages of `disk`.
+  /// Edges listed without points are rejected; duplicate edges are
+  /// rejected. Points within an edge are stored sorted by `pos`.
+  static Result<PointFile> Build(DiskManager* disk,
+                                 std::vector<EdgePoints> groups);
+
+  /// Index-only membership test (free, as in the paper's scheme where the
+  /// adjacency entry carries the pointer).
+  bool EdgeHasPoints(NodeId u, NodeId v) const;
+
+  /// Reads all points on edge (u,v), sorted by pos; empty if none.
+  /// Charges buffer-pool I/O when the edge has points.
+  Status ReadEdgePoints(BufferPool* pool, NodeId u, NodeId v,
+                        std::vector<EdgePointRecord>* out) const;
+
+  size_t num_points() const { return num_points_; }
+  size_t num_pages() const { return num_pages_; }
+  size_t num_edges_with_points() const { return index_.size(); }
+
+ private:
+  PointFile() = default;
+
+  static uint64_t EdgeKey(NodeId u, NodeId v) {
+    return (static_cast<uint64_t>(u < v ? u : v) << 32) |
+           static_cast<uint64_t>(u < v ? v : u);
+  }
+
+  struct Extent {
+    uint64_t offset = 0;
+    uint32_t count = 0;
+  };
+
+  size_t page_size_ = 0;
+  size_t num_points_ = 0;
+  size_t num_pages_ = 0;
+  PageId first_page_ = kInvalidPage;
+  std::unordered_map<uint64_t, Extent> index_;
+};
+
+}  // namespace grnn::storage
+
+#endif  // GRNN_STORAGE_POINT_FILE_H_

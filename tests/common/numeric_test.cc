@@ -1,0 +1,57 @@
+#include "common/numeric.h"
+
+#include <gtest/gtest.h>
+
+namespace grnn {
+namespace {
+
+TEST(NumericTest, ClearlyDistinctValues) {
+  EXPECT_TRUE(DistLess(1.0, 2.0));
+  EXPECT_FALSE(DistLess(2.0, 1.0));
+  EXPECT_TRUE(DistLessOrTied(1.0, 2.0));
+  EXPECT_FALSE(DistLessOrTied(2.0, 1.0));
+}
+
+TEST(NumericTest, ExactTiesAreNotLess) {
+  EXPECT_FALSE(DistLess(5.0, 5.0));
+  EXPECT_TRUE(DistLessOrTied(5.0, 5.0));
+  EXPECT_FALSE(DistLess(0.0, 0.0));
+}
+
+TEST(NumericTest, ReassociationNoiseIsATie) {
+  // Same distance computed with different addition orders.
+  const double a = (0.1 + 0.2) + 0.3;
+  const double b = 0.1 + (0.2 + 0.3);
+  ASSERT_NE(a, b);  // genuinely different bit patterns
+  EXPECT_FALSE(DistLess(a, b));
+  EXPECT_FALSE(DistLess(b, a));
+  EXPECT_TRUE(DistLessOrTied(a, b));
+  EXPECT_TRUE(DistLessOrTied(b, a));
+}
+
+TEST(NumericTest, RelativeToleranceScalesWithMagnitude) {
+  // 1e4-scale values (road-network distances) with 1e-10-relative noise.
+  const double big = 12345.6789;
+  EXPECT_FALSE(DistLess(big, big * (1 + 1e-12)));
+  EXPECT_FALSE(DistLess(big * (1 + 1e-12), big));
+  // A real difference is still detected.
+  EXPECT_TRUE(DistLess(big, big + 1.0));
+}
+
+TEST(NumericTest, InfinityHandling) {
+  EXPECT_TRUE(DistLess(1.0, kInfinity));
+  EXPECT_FALSE(DistLess(kInfinity, 1.0));
+  EXPECT_FALSE(DistLess(kInfinity, kInfinity));
+  EXPECT_TRUE(DistLessOrTied(kInfinity, kInfinity));
+  EXPECT_TRUE(DistLessOrTied(1.0, kInfinity));
+  EXPECT_FALSE(DistLessOrTied(kInfinity, 1.0));
+}
+
+TEST(NumericTest, ZeroBoundary) {
+  EXPECT_TRUE(DistLess(0.0, 1.0));
+  EXPECT_FALSE(DistLess(0.0, 1e-12));  // below absolute tolerance
+  EXPECT_TRUE(DistLess(0.0, 1e-6));    // above it
+}
+
+}  // namespace
+}  // namespace grnn

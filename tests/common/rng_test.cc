@@ -1,0 +1,145 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace grnn {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.Next() == b.Next());
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng a(99);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a.Next());
+  a.Seed(99);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.Next(), first[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.Uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, Uniform01MeanRoughlyHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformInt(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(13);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformIntOneAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.UniformInt(1), 0u);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(21);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(37);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(41);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<size_t>(i)] = i;
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(43);
+  // Dense branch.
+  auto dense = rng.SampleWithoutReplacement(10, 8);
+  EXPECT_EQ(dense.size(), 8u);
+  std::set<uint64_t> ds(dense.begin(), dense.end());
+  EXPECT_EQ(ds.size(), 8u);
+  for (uint64_t v : dense) EXPECT_LT(v, 10u);
+
+  // Sparse branch.
+  auto sparse = rng.SampleWithoutReplacement(1000000, 50);
+  EXPECT_EQ(sparse.size(), 50u);
+  std::set<uint64_t> ss(sparse.begin(), sparse.end());
+  EXPECT_EQ(ss.size(), 50u);
+  for (uint64_t v : sparse) EXPECT_LT(v, 1000000u);
+}
+
+TEST(RngTest, SampleAllElements) {
+  Rng rng(47);
+  auto all = rng.SampleWithoutReplacement(5, 5);
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(RngTest, SampleZero) {
+  Rng rng(53);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(10, 0).empty());
+}
+
+}  // namespace
+}  // namespace grnn

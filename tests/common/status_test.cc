@@ -1,0 +1,98 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+
+namespace grnn {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  Status s = Status::OK();
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad k");
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_FALSE(s.IsNotFound());
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CopyIsDeep) {
+  Status a = Status::IOError("disk gone");
+  Status b = a;
+  EXPECT_FALSE(b.ok());
+  EXPECT_EQ(b.message(), "disk gone");
+  // Mutating one must not affect the other.
+  a = Status::OK();
+  EXPECT_TRUE(a.ok());
+  EXPECT_FALSE(b.ok());
+  EXPECT_EQ(b.message(), "disk gone");
+}
+
+TEST(StatusTest, MoveLeavesSourceOk) {
+  Status a = Status::Corruption("page 7");
+  Status b = std::move(a);
+  EXPECT_FALSE(b.ok());
+  EXPECT_EQ(b.code(), StatusCode::kCorruption);
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "I/O error");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+}
+
+Status FailsIfNegative(int x) {
+  if (x < 0) {
+    return Status::InvalidArgument("negative");
+  }
+  return Status::OK();
+}
+
+Status Caller(int x, bool* reached_end) {
+  GRNN_RETURN_NOT_OK(FailsIfNegative(x));
+  *reached_end = true;
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  bool reached = false;
+  Status s = Caller(-1, &reached);
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(reached);
+
+  reached = false;
+  s = Caller(1, &reached);
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(reached);
+}
+
+}  // namespace
+}  // namespace grnn

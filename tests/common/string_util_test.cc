@@ -1,0 +1,39 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace grnn {
+namespace {
+
+TEST(StringUtilTest, StrPrintfBasic) {
+  EXPECT_EQ(StrPrintf("x=%d y=%.2f", 3, 1.5), "x=3 y=1.50");
+}
+
+TEST(StringUtilTest, StrPrintfEmpty) { EXPECT_EQ(StrPrintf("%s", ""), ""); }
+
+TEST(StringUtilTest, StrPrintfLong) {
+  std::string big(500, 'a');
+  EXPECT_EQ(StrPrintf("%s", big.c_str()).size(), 500u);
+}
+
+TEST(StringUtilTest, JoinBasic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(4096), "4.0 KB");
+  EXPECT_EQ(HumanBytes(1536 * 1024), "1.5 MB");
+}
+
+TEST(StringUtilTest, WithCommas) {
+  EXPECT_EQ(WithCommas(0), "0");
+  EXPECT_EQ(WithCommas(999), "999");
+  EXPECT_EQ(WithCommas(1000), "1,000");
+  EXPECT_EQ(WithCommas(1234567), "1,234,567");
+}
+
+}  // namespace
+}  // namespace grnn

@@ -1,0 +1,37 @@
+#include "common/timer.h"
+
+#include <gtest/gtest.h>
+
+namespace grnn {
+namespace {
+
+TEST(TimerTest, WallTimerAdvances) {
+  WallTimer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+  EXPECT_GE(t.ElapsedMicros(), 0);
+  (void)sink;
+}
+
+TEST(TimerTest, WallTimerResets) {
+  WallTimer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  double before = t.ElapsedSeconds();
+  t.Reset();
+  EXPECT_LE(t.ElapsedSeconds(), before + 1.0);
+  (void)sink;
+}
+
+TEST(TimerTest, CpuTimerMeasuresWork) {
+  CpuTimer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink = sink + static_cast<double>(i) * 0.5;
+  double cpu = t.ElapsedSeconds();
+  EXPECT_GT(cpu, 0.0);
+  (void)sink;
+}
+
+}  // namespace
+}  // namespace grnn

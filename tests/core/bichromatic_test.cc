@@ -1,0 +1,158 @@
+// Bichromatic RkNN (paper Section 5.1): node qualification over the site
+// set Q, then collecting the P-points on qualified nodes.
+
+#include "core/bichromatic.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/network_view.h"
+#include "test_fixtures.h"
+
+namespace grnn::core {
+namespace {
+
+using testfix::Ids;
+using testfix::RandomConnectedGraph;
+
+// A linear "road" scenario in the spirit of Fig 1b: residential blocks
+// (P) along a street, restaurants (Q) competing for them.
+//
+//   b0 -- b1 -- r0 -- b2 -- b3 -- r1 -- b4     (unit weights)
+// nodes: 0     1     2     3     4     5     6
+// P = blocks at {0,1,3,4,6}; Q = restaurants at {2 (q), 5}.
+struct RoadFixture {
+  graph::Graph g;
+  NodePointSet blocks{0};
+  NodePointSet restaurants{0};
+};
+
+RoadFixture MakeRoad() {
+  RoadFixture f;
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u + 1 < 7; ++u) {
+    edges.push_back({u, static_cast<NodeId>(u + 1), 1.0});
+  }
+  f.g = graph::Graph::FromEdges(7, edges).ValueOrDie();
+  f.blocks = NodePointSet::FromLocations(7, {0, 1, 3, 4, 6}).ValueOrDie();
+  f.restaurants = NodePointSet::FromLocations(7, {2, 5}).ValueOrDie();
+  return f;
+}
+
+TEST(BichromaticTest, RoadScenarioK1) {
+  auto f = MakeRoad();
+  graph::GraphView view(&f.g);
+  RknnOptions opts;
+  opts.exclude_point = 0;  // restaurant 0 (at node 2) is the query
+  auto r = BichromaticRknn(view, f.blocks, f.restaurants,
+                           std::vector<NodeId>{2}, opts)
+               .ValueOrDie();
+  // Blocks closer to node 2 than to node 5: b0(0)@d2, b1(1)@d1, b2(2)@d1.
+  // b3 at node 4: d(q)=2, d(r1)=1 -> out. b4 at node 6: d(q)=4, d(r1)=1.
+  EXPECT_EQ(Ids(r), (std::vector<PointId>{0, 1, 2}));
+}
+
+TEST(BichromaticTest, RoadScenarioOtherRestaurant) {
+  auto f = MakeRoad();
+  graph::GraphView view(&f.g);
+  RknnOptions opts;
+  opts.exclude_point = 1;  // query from restaurant 1 (node 5)
+  auto r = BichromaticRknn(view, f.blocks, f.restaurants,
+                           std::vector<NodeId>{5}, opts)
+               .ValueOrDie();
+  EXPECT_EQ(Ids(r), (std::vector<PointId>{3, 4}));  // b3@4, b4@6
+}
+
+TEST(BichromaticTest, K2CoversBothRestaurants) {
+  auto f = MakeRoad();
+  graph::GraphView view(&f.g);
+  RknnOptions opts;
+  opts.k = 2;
+  opts.exclude_point = 0;
+  auto r = BichromaticRknn(view, f.blocks, f.restaurants,
+                           std::vector<NodeId>{2}, opts)
+               .ValueOrDie();
+  // With only one competing restaurant, every connected block qualifies.
+  EXPECT_EQ(Ids(r), (std::vector<PointId>{0, 1, 2, 3, 4}));
+}
+
+TEST(BichromaticTest, NewSitePlacementQuery) {
+  // "What if we open a restaurant at node 6?" -- query node hosts no site.
+  auto f = MakeRoad();
+  graph::GraphView view(&f.g);
+  auto r = BichromaticRknn(view, f.blocks, f.restaurants,
+                           std::vector<NodeId>{6}, RknnOptions{})
+               .ValueOrDie();
+  // Block b4@6: d=0 vs restaurants at >= 1 -> in. b3@4: d(q@6)=2,
+  // d(r1@5)=1 -> out. Others are closer to existing restaurants.
+  EXPECT_EQ(Ids(r), (std::vector<PointId>{4}));
+}
+
+class BichromaticSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BichromaticSweep, EagerAndMaterializedMatchBruteForce) {
+  const auto [k, seed] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 271 + 5);
+  auto g = RandomConnectedGraph(80, 1.2, rng);
+  graph::GraphView view(&g);
+
+  // Disjoint random placements for P and Q.
+  auto all = rng.SampleWithoutReplacement(g.num_nodes(), 24);
+  std::vector<NodeId> p_locs(all.begin(), all.begin() + 16);
+  std::vector<NodeId> q_locs(all.begin() + 16, all.end());
+  auto P = NodePointSet::FromLocations(g.num_nodes(), p_locs).ValueOrDie();
+  auto Q = NodePointSet::FromLocations(g.num_nodes(), q_locs).ValueOrDie();
+
+  MemoryKnnStore site_knn(g.num_nodes(), static_cast<uint32_t>(k));
+  ASSERT_TRUE(BuildAllNn(view, Q, &site_knn).ok());
+
+  for (PointId qs : Q.LivePoints()) {
+    RknnOptions opts;
+    opts.k = k;
+    opts.exclude_point = qs;
+    std::vector<NodeId> query{Q.NodeOf(qs)};
+
+    auto truth =
+        BruteForceBichromaticRknn(view, P, Q, query, opts).ValueOrDie();
+    auto eager = BichromaticRknn(view, P, Q, query, opts).ValueOrDie();
+    auto mat = BichromaticRknnMaterialized(view, P, Q, &site_knn, query,
+                                           opts)
+                   .ValueOrDie();
+    EXPECT_EQ(Ids(eager), Ids(truth)) << "site " << qs << " k=" << k;
+    EXPECT_EQ(Ids(mat), Ids(truth)) << "site " << qs << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BichromaticSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(BichromaticTest, EmptySitesMakesEveryConnectedBlockQualify) {
+  auto f = MakeRoad();
+  graph::GraphView view(&f.g);
+  NodePointSet no_sites(f.g.num_nodes());
+  auto r = BichromaticRknn(view, f.blocks, no_sites,
+                           std::vector<NodeId>{2}, RknnOptions{})
+               .ValueOrDie();
+  EXPECT_EQ(r.results.size(), f.blocks.num_points());
+}
+
+TEST(BichromaticTest, InvalidArguments) {
+  auto f = MakeRoad();
+  graph::GraphView view(&f.g);
+  RknnOptions bad;
+  bad.k = 0;
+  EXPECT_FALSE(BichromaticRknn(view, f.blocks, f.restaurants,
+                               std::vector<NodeId>{2}, bad)
+                   .ok());
+  EXPECT_FALSE(BichromaticRknn(view, f.blocks, f.restaurants,
+                               std::vector<NodeId>{}, RknnOptions{})
+                   .ok());
+  EXPECT_FALSE(BichromaticRknnMaterialized(view, f.blocks, f.restaurants,
+                                           nullptr, std::vector<NodeId>{2},
+                                           RknnOptions{})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace grnn::core

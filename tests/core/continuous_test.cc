@@ -1,0 +1,139 @@
+// Continuous RkNN queries over routes (paper Section 5.1): all algorithms
+// accept multi-node query sets, with d(r, n) = min over route nodes.
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/eager.h"
+#include "core/lazy.h"
+#include "core/lazy_ep.h"
+#include "core/materialize.h"
+#include "graph/network_view.h"
+#include "test_fixtures.h"
+
+namespace grnn::core {
+namespace {
+
+using testfix::Ids;
+using testfix::PaperExample;
+using testfix::RandomConnectedGraph;
+using testfix::RandomPoints;
+
+// Builds a random walk without repeated nodes (the paper's route model).
+std::vector<NodeId> RandomWalkRoute(const graph::Graph& g, NodeId start,
+                                    size_t length, Rng& rng) {
+  std::vector<NodeId> route{start};
+  std::vector<bool> used(g.num_nodes(), false);
+  used[start] = true;
+  NodeId cur = start;
+  while (route.size() < length) {
+    auto nbrs = g.Neighbors(cur);
+    std::vector<NodeId> options;
+    for (const AdjEntry& a : nbrs) {
+      if (!used[a.node]) {
+        options.push_back(a.node);
+      }
+    }
+    if (options.empty()) {
+      break;
+    }
+    cur = options[rng.UniformInt(options.size())];
+    used[cur] = true;
+    route.push_back(cur);
+  }
+  return route;
+}
+
+TEST(ContinuousTest, RouteCoveringPointNodesReturnsThem) {
+  auto f = PaperExample();
+  graph::GraphView view(&f.g);
+  // Route through n4-n3-n6 (ids 3, 2, 5): p0 on n6 is at distance 0.
+  std::vector<NodeId> route{3, 2, 5};
+  auto r = EagerRknn(view, f.points, route, RknnOptions{}).ValueOrDie();
+  // p0@5: d=0, trivially a result. p1@4: d(r,p1)=min(8,?..)
+  //   via n3: d(n3=2, n5=4)? 2-3-0-4: 4+5+3 = 12; via q=3: 8; via 5:
+  //   5-1-4: 4+5 = 9 -> 8. Competitor p0: d(p1,p0) = 9 ... wait
+  //   d(p0@5,p1@4): 5-1-4 = 4+5 = 9 > 8 -> p1 in.
+  // p2@6: d(r,p2) = min(9, 5, 13) = 5 (via n3 at distance... n3=2 to
+  //   n7=6 edge w=5 -> 5). d(p2, p0) = 8, d(p2, p1) = 17 -> 5 < 8: in.
+  EXPECT_EQ(Ids(r), (std::vector<PointId>{0, 1, 2}));
+  // Distances are exact route distances.
+  EXPECT_DOUBLE_EQ(r.results[0].dist, 0.0);
+  EXPECT_DOUBLE_EQ(r.results[1].dist, 8.0);
+  EXPECT_DOUBLE_EQ(r.results[2].dist, 5.0);
+}
+
+TEST(ContinuousTest, SingleNodeRouteEqualsPointQuery) {
+  auto f = PaperExample();
+  graph::GraphView view(&f.g);
+  auto point_q =
+      EagerRknn(view, f.points, std::vector<NodeId>{3}, RknnOptions{})
+          .ValueOrDie();
+  auto route_q = EagerRknn(view, f.points, std::vector<NodeId>{3, 3},
+                           RknnOptions{})
+                     .ValueOrDie();
+  EXPECT_EQ(Ids(point_q), Ids(route_q));
+}
+
+TEST(ContinuousTest, LongerRoutesNeverShrinkResults) {
+  // cRkNN(r) = union over RkNN(n_i): prefixes give subsets.
+  Rng rng(31);
+  auto g = RandomConnectedGraph(80, 1.5, rng);
+  auto points = RandomPoints(g.num_nodes(), 16, rng);
+  graph::GraphView view(&g);
+  auto route = RandomWalkRoute(
+      g, static_cast<NodeId>(rng.UniformInt(g.num_nodes())), 12, rng);
+  std::vector<PointId> prev;
+  for (size_t len = 1; len <= route.size(); ++len) {
+    std::vector<NodeId> prefix(route.begin(),
+                               route.begin() + static_cast<long>(len));
+    auto r = EagerRknn(view, points, prefix, RknnOptions{}).ValueOrDie();
+    auto ids = Ids(r);
+    for (PointId p : prev) {
+      EXPECT_TRUE(std::find(ids.begin(), ids.end(), p) != ids.end())
+          << "len=" << len;
+    }
+    prev = ids;
+  }
+}
+
+class ContinuousSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ContinuousSweep, AllAlgorithmsMatchBruteForceOnRoutes) {
+  const auto [route_len, k, seed] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 31337 + 11);
+  auto g = RandomConnectedGraph(90, 1.5, rng);
+  auto points = RandomPoints(g.num_nodes(), 15, rng);
+  graph::GraphView view(&g);
+  MemoryKnnStore store(g.num_nodes(), static_cast<uint32_t>(k) + 1);
+  ASSERT_TRUE(BuildAllNn(view, points, &store).ok());
+
+  for (int trial = 0; trial < 3; ++trial) {
+    auto route = RandomWalkRoute(
+        g, static_cast<NodeId>(rng.UniformInt(g.num_nodes())),
+        static_cast<size_t>(route_len), rng);
+    RknnOptions opts;
+    opts.k = k;
+
+    auto truth = BruteForceRknn(view, points, route, opts).ValueOrDie();
+    auto eager = EagerRknn(view, points, route, opts).ValueOrDie();
+    auto lazy = LazyRknn(view, points, route, opts).ValueOrDie();
+    auto lazy_ep = LazyEpRknn(view, points, route, opts).ValueOrDie();
+    auto eager_m =
+        EagerMRknn(view, points, &store, route, opts).ValueOrDie();
+
+    EXPECT_EQ(Ids(eager), Ids(truth)) << "eager route len " << route_len;
+    EXPECT_EQ(Ids(lazy), Ids(truth)) << "lazy route len " << route_len;
+    EXPECT_EQ(Ids(lazy_ep), Ids(truth)) << "lazy-EP len " << route_len;
+    EXPECT_EQ(Ids(eager_m), Ids(truth)) << "eager-M len " << route_len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Routes, ContinuousSweep,
+                         ::testing::Combine(::testing::Values(2, 5, 15),
+                                            ::testing::Values(1, 2),
+                                            ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace grnn::core

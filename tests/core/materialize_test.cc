@@ -1,0 +1,292 @@
+// All-NN construction (Fig 8), incremental maintenance (Figs 9-11) and
+// eager-M, tested on the paper fixture (hand-computed lists) and by
+// differential comparison against from-scratch rebuilds.
+
+#include "core/materialize.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "graph/dijkstra.h"
+#include "graph/network_view.h"
+#include "test_fixtures.h"
+
+namespace grnn::core {
+namespace {
+
+using testfix::PaperExample;
+using testfix::RandomConnectedGraph;
+using testfix::RandomPoints;
+
+std::vector<NnEntry> ReadList(KnnStore& store, NodeId n) {
+  std::vector<NnEntry> out;
+  EXPECT_TRUE(store.Read(n, &out).ok());
+  return out;
+}
+
+TEST(AllNnTest, PaperFixtureK1Lists) {
+  auto f = PaperExample();
+  graph::GraphView view(&f.g);
+  MemoryKnnStore store(f.g.num_nodes(), 1);
+  ASSERT_TRUE(BuildAllNn(view, f.points, &store).ok());
+
+  // Hand-computed nearest points (p0@n6=5, p1@n5=4, p2@n7=6).
+  struct Want {
+    NodeId node;
+    PointId point;
+    Weight dist;
+  };
+  const Want wants[] = {{0, 1, 3}, {1, 0, 4}, {2, 0, 3}, {3, 0, 7},
+                        {4, 1, 0}, {5, 0, 0}, {6, 2, 0}};
+  for (const Want& w : wants) {
+    auto list = ReadList(store, w.node);
+    ASSERT_EQ(list.size(), 1u) << "node " << w.node;
+    EXPECT_EQ(list[0].point, w.point) << "node " << w.node;
+    EXPECT_DOUBLE_EQ(list[0].dist, w.dist) << "node " << w.node;
+  }
+}
+
+TEST(AllNnTest, PaperFixtureK2Lists) {
+  auto f = PaperExample();
+  graph::GraphView view(&f.g);
+  MemoryKnnStore store(f.g.num_nodes(), 2);
+  ASSERT_TRUE(BuildAllNn(view, f.points, &store).ok());
+
+  auto l0 = ReadList(store, 0);
+  ASSERT_EQ(l0.size(), 2u);
+  EXPECT_EQ(l0[0], (NnEntry{1, 3.0}));
+  EXPECT_EQ(l0[1], (NnEntry{0, 12.0}));
+
+  auto l4 = ReadList(store, 4);
+  ASSERT_EQ(l4.size(), 2u);
+  EXPECT_EQ(l4[0], (NnEntry{1, 0.0}));
+  EXPECT_EQ(l4[1], (NnEntry{0, 9.0}));
+
+  auto l5 = ReadList(store, 5);
+  ASSERT_EQ(l5.size(), 2u);
+  EXPECT_EQ(l5[0], (NnEntry{0, 0.0}));
+  EXPECT_EQ(l5[1], (NnEntry{2, 8.0}));
+}
+
+TEST(AllNnTest, ListsAscendingAndCapped) {
+  Rng rng(5);
+  auto g = RandomConnectedGraph(100, 1.5, rng);
+  auto points = RandomPoints(g.num_nodes(), 20, rng);
+  graph::GraphView view(&g);
+  MemoryKnnStore store(g.num_nodes(), 4);
+  ASSERT_TRUE(BuildAllNn(view, points, &store).ok());
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    auto list = ReadList(store, n);
+    EXPECT_LE(list.size(), 4u);
+    for (size_t i = 1; i < list.size(); ++i) {
+      EXPECT_LE(list[i - 1].dist, list[i].dist);
+    }
+  }
+}
+
+TEST(AllNnTest, FewerPointsThanKGivesShortLists) {
+  auto f = PaperExample();  // 3 points
+  graph::GraphView view(&f.g);
+  MemoryKnnStore store(f.g.num_nodes(), 5);
+  ASSERT_TRUE(BuildAllNn(view, f.points, &store).ok());
+  for (NodeId n = 0; n < f.g.num_nodes(); ++n) {
+    EXPECT_EQ(ReadList(store, n).size(), 3u);
+  }
+}
+
+TEST(AllNnTest, MatchesPerNodeKnnQueries) {
+  // Differential: all-NN lists == independent per-node kNN computations.
+  Rng rng(11);
+  auto g = RandomConnectedGraph(60, 1.0, rng);
+  auto points = RandomPoints(g.num_nodes(), 12, rng);
+  graph::GraphView view(&g);
+  const uint32_t K = 3;
+  MemoryKnnStore store(g.num_nodes(), K);
+  ASSERT_TRUE(BuildAllNn(view, points, &store).ok());
+
+  // Oracle: distances from every point.
+  std::vector<std::vector<Weight>> pdist;
+  std::vector<PointId> live = points.LivePoints();
+  for (PointId p : live) {
+    pdist.push_back(graph::SingleSourceDistances(view, points.NodeOf(p))
+                        .ValueOrDie());
+  }
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    std::vector<std::pair<Weight, PointId>> want;
+    for (size_t i = 0; i < live.size(); ++i) {
+      want.push_back({pdist[i][n], live[i]});
+    }
+    std::sort(want.begin(), want.end());
+    auto list = ReadList(store, n);
+    ASSERT_EQ(list.size(), std::min<size_t>(K, want.size()));
+    for (size_t i = 0; i < list.size(); ++i) {
+      EXPECT_NEAR(list[i].dist, want[i].first, 1e-9) << "node " << n;
+    }
+  }
+}
+
+TEST(MaintenanceTest, PaperFixtureInsertion) {
+  auto f = PaperExample();
+  graph::GraphView view(&f.g);
+  MemoryKnnStore store(f.g.num_nodes(), 1);
+  ASSERT_TRUE(BuildAllNn(view, f.points, &store).ok());
+
+  // Insert a new point on the (empty) query node n4 (id 3).
+  auto id = f.points.AddPoint(3);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(MaterializedInsert(view, f.points, 3, &store).ok());
+
+  EXPECT_EQ(ReadList(store, 3)[0], (NnEntry{*id, 0.0}));
+  // Unchanged neighbors (paper's example: d(n3,p4) >= existing NN dist).
+  EXPECT_EQ(ReadList(store, 2)[0], (NnEntry{0, 3.0}));
+  EXPECT_EQ(ReadList(store, 0)[0], (NnEntry{1, 3.0}));
+}
+
+TEST(MaintenanceTest, PaperFixtureDeletion) {
+  auto f = PaperExample();
+  graph::GraphView view(&f.g);
+  MemoryKnnStore store(f.g.num_nodes(), 1);
+  ASSERT_TRUE(BuildAllNn(view, f.points, &store).ok());
+
+  // Delete p0 (on n6 = node 5): affected nodes are 1, 2, 3, 5.
+  const NodeId host = f.points.NodeOf(0);
+  ASSERT_TRUE(f.points.RemovePoint(0).ok());
+  UpdateStats stats;
+  ASSERT_TRUE(MaterializedDelete(view, f.points, 0, host, &store, &stats)
+                  .ok());
+  EXPECT_GT(stats.border_nodes, 0u);
+
+  EXPECT_EQ(ReadList(store, 1)[0], (NnEntry{1, 5.0}));
+  EXPECT_EQ(ReadList(store, 2)[0], (NnEntry{2, 5.0}));
+  EXPECT_EQ(ReadList(store, 3)[0], (NnEntry{1, 8.0}));
+  EXPECT_EQ(ReadList(store, 5)[0], (NnEntry{2, 8.0}));
+  // Unaffected nodes keep their lists.
+  EXPECT_EQ(ReadList(store, 0)[0], (NnEntry{1, 3.0}));
+  EXPECT_EQ(ReadList(store, 4)[0], (NnEntry{1, 0.0}));
+  EXPECT_EQ(ReadList(store, 6)[0], (NnEntry{2, 0.0}));
+}
+
+// Differential maintenance: after a random sequence of inserts/deletes the
+// incrementally maintained store equals a from-scratch rebuild.
+class MaintenanceSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MaintenanceSweep, IncrementalEqualsRebuild) {
+  const auto [K, num_ops, seed] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 104729 + 7);
+  auto g = RandomConnectedGraph(70, 1.2, rng);
+  auto points = RandomPoints(g.num_nodes(), 14, rng);
+  graph::GraphView view(&g);
+
+  MemoryKnnStore store(g.num_nodes(), static_cast<uint32_t>(K));
+  ASSERT_TRUE(BuildAllNn(view, points, &store).ok());
+
+  for (int op = 0; op < num_ops; ++op) {
+    if (rng.Bernoulli(0.5) && points.num_points() > 2) {
+      auto live = points.LivePoints();
+      PointId victim = live[rng.UniformInt(live.size())];
+      NodeId host = points.NodeOf(victim);
+      ASSERT_TRUE(points.RemovePoint(victim).ok());
+      ASSERT_TRUE(
+          MaterializedDelete(view, points, victim, host, &store).ok());
+    } else {
+      NodeId n;
+      do {
+        n = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+      } while (points.Contains(n));
+      ASSERT_TRUE(points.AddPoint(n).ok());
+      ASSERT_TRUE(MaterializedInsert(view, points, n, &store).ok());
+    }
+  }
+
+  MemoryKnnStore fresh(g.num_nodes(), static_cast<uint32_t>(K));
+  ASSERT_TRUE(BuildAllNn(view, points, &fresh).ok());
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    auto got = ReadList(store, n);
+    auto want = ReadList(fresh, n);
+    ASSERT_EQ(got.size(), want.size()) << "node " << n;
+    for (size_t i = 0; i < got.size(); ++i) {
+      // Points at tied distances may be ordered differently; compare
+      // distances always and ids when distances are distinct.
+      EXPECT_NEAR(got[i].dist, want[i].dist, 1e-9) << "node " << n;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MaintenanceSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(6, 14),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(MaterializeErrorsTest, InvalidArguments) {
+  auto f = PaperExample();
+  graph::GraphView view(&f.g);
+  MemoryKnnStore store(f.g.num_nodes(), 1);
+  EXPECT_FALSE(BuildAllNn(view, f.points, nullptr).ok());
+  MemoryKnnStore wrong_size(3, 1);
+  EXPECT_FALSE(BuildAllNn(view, f.points, &wrong_size).ok());
+
+  // Insert requires the point to already exist on the node.
+  EXPECT_TRUE(
+      MaterializedInsert(view, f.points, 3, &store).code() ==
+      StatusCode::kFailedPrecondition);
+  // Delete requires the point to be gone from the set.
+  ASSERT_TRUE(BuildAllNn(view, f.points, &store).ok());
+  EXPECT_TRUE(MaterializedDelete(view, f.points, 0, f.points.NodeOf(0),
+                                 &store)
+                  .code() == StatusCode::kFailedPrecondition);
+}
+
+TEST(EagerMTest, RejectsKBeyondMaterializedK) {
+  auto f = PaperExample();
+  graph::GraphView view(&f.g);
+  MemoryKnnStore store(f.g.num_nodes(), 2);
+  ASSERT_TRUE(BuildAllNn(view, f.points, &store).ok());
+  RknnOptions opts;
+  opts.k = 3;
+  auto r = EagerMRknn(view, f.points, &store, std::vector<NodeId>{3}, opts);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(EagerMTest, ShortcutAcceptsRecorded) {
+  // With K = k+1 the fixture's RNN query should accept at least one
+  // candidate through the materialization shortcut (no verification).
+  auto f = PaperExample();
+  graph::GraphView view(&f.g);
+  MemoryKnnStore store(f.g.num_nodes(), 2);
+  ASSERT_TRUE(BuildAllNn(view, f.points, &store).ok());
+  auto r = EagerMRknn(view, f.points, &store, std::vector<NodeId>{3},
+                      RknnOptions{})
+               .ValueOrDie();
+  EXPECT_EQ(testfix::Ids(r), (std::vector<PointId>{0, 1}));
+  EXPECT_GT(r.stats.shortcut_accepts, 0u);
+  EXPECT_EQ(r.stats.range_nn_calls, 0u);  // no range-NN expansions at all
+}
+
+TEST(FileKnnStoreTest, BehavesLikeMemoryStore) {
+  Rng rng(21);
+  auto g = RandomConnectedGraph(50, 1.0, rng);
+  auto points = RandomPoints(g.num_nodes(), 10, rng);
+  graph::GraphView view(&g);
+
+  MemoryKnnStore mem(g.num_nodes(), 2);
+  ASSERT_TRUE(BuildAllNn(view, points, &mem).ok());
+
+  storage::MemoryDiskManager disk(4096);
+  auto file = storage::KnnFile::Create(&disk, g.num_nodes(), 2)
+                  .ValueOrDie();
+  storage::BufferPool pool(&disk, 16);
+  FileKnnStore fks(&file, &pool);
+  ASSERT_TRUE(BuildAllNn(view, points, &fks).ok());
+
+  std::vector<NnEntry> a, b;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    ASSERT_TRUE(mem.Read(n, &a).ok());
+    ASSERT_TRUE(fks.Read(n, &b).ok());
+    EXPECT_EQ(a, b) << "node " << n;
+  }
+  EXPECT_GT(pool.stats().logical_reads, 0u);
+}
+
+}  // namespace
+}  // namespace grnn::core

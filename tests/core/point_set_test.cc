@@ -1,0 +1,90 @@
+#include "core/point_set.h"
+
+#include <gtest/gtest.h>
+
+namespace grnn::core {
+namespace {
+
+TEST(NodePointSetTest, EmptySet) {
+  NodePointSet s(10);
+  EXPECT_EQ(s.num_points(), 0u);
+  EXPECT_EQ(s.num_nodes(), 10u);
+  EXPECT_FALSE(s.Contains(0));
+  EXPECT_EQ(s.PointAt(3), kInvalidPoint);
+  EXPECT_EQ(s.Density(), 0.0);
+}
+
+TEST(NodePointSetTest, FromLocations) {
+  auto s = NodePointSet::FromLocations(10, {7, 2, 5}).ValueOrDie();
+  EXPECT_EQ(s.num_points(), 3u);
+  EXPECT_TRUE(s.Contains(7));
+  EXPECT_TRUE(s.Contains(2));
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(0));
+  EXPECT_EQ(s.PointAt(7), 0u);
+  EXPECT_EQ(s.PointAt(2), 1u);
+  EXPECT_EQ(s.NodeOf(2), 5u);
+  EXPECT_DOUBLE_EQ(s.Density(), 0.3);
+}
+
+TEST(NodePointSetTest, FromLocationsRejectsDuplicateNode) {
+  EXPECT_FALSE(NodePointSet::FromLocations(10, {3, 3}).ok());
+}
+
+TEST(NodePointSetTest, FromLocationsRejectsOutOfRange) {
+  EXPECT_FALSE(NodePointSet::FromLocations(10, {10}).ok());
+}
+
+TEST(NodePointSetTest, FromPredicate) {
+  auto s = NodePointSet::FromPredicate(10, [](NodeId n) {
+    return n % 3 == 0;
+  });
+  EXPECT_EQ(s.num_points(), 4u);  // 0, 3, 6, 9
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_TRUE(s.Contains(9));
+  EXPECT_FALSE(s.Contains(1));
+  // Ids assigned in node order.
+  EXPECT_EQ(s.PointAt(0), 0u);
+  EXPECT_EQ(s.PointAt(9), 3u);
+}
+
+TEST(NodePointSetTest, AddPoint) {
+  NodePointSet s(5);
+  auto id = s.AddPoint(2);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 0u);
+  EXPECT_TRUE(s.Contains(2));
+  EXPECT_EQ(s.num_points(), 1u);
+  EXPECT_TRUE(s.AddPoint(2).status().code() ==
+              StatusCode::kAlreadyExists);
+  EXPECT_FALSE(s.AddPoint(99).ok());
+}
+
+TEST(NodePointSetTest, RemovePointLeavesTombstone) {
+  auto s = NodePointSet::FromLocations(5, {1, 3}).ValueOrDie();
+  ASSERT_TRUE(s.RemovePoint(0).ok());
+  EXPECT_FALSE(s.Contains(1));
+  EXPECT_FALSE(s.IsLive(0));
+  EXPECT_TRUE(s.IsLive(1));
+  EXPECT_EQ(s.num_points(), 1u);
+  // Ids are not reused.
+  auto id = s.AddPoint(1).ValueOrDie();
+  EXPECT_EQ(id, 2u);
+  EXPECT_EQ(s.point_id_bound(), 3u);
+}
+
+TEST(NodePointSetTest, RemoveTwiceFails) {
+  auto s = NodePointSet::FromLocations(5, {1}).ValueOrDie();
+  ASSERT_TRUE(s.RemovePoint(0).ok());
+  EXPECT_TRUE(s.RemovePoint(0).IsNotFound());
+  EXPECT_TRUE(s.RemovePoint(9).IsNotFound());
+}
+
+TEST(NodePointSetTest, LivePoints) {
+  auto s = NodePointSet::FromLocations(8, {0, 2, 4, 6}).ValueOrDie();
+  ASSERT_TRUE(s.RemovePoint(1).ok());
+  EXPECT_EQ(s.LivePoints(), (std::vector<PointId>{0, 2, 3}));
+}
+
+}  // namespace
+}  // namespace grnn::core

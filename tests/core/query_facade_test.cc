@@ -1,0 +1,54 @@
+#include "core/query.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/network_view.h"
+#include "test_fixtures.h"
+
+namespace grnn::core {
+namespace {
+
+TEST(QueryFacadeTest, Names) {
+  EXPECT_STREQ(AlgorithmName(Algorithm::kEager), "eager");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kLazy), "lazy");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kLazyEp), "lazy-EP");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kEagerM), "eager-M");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kBruteForce), "brute-force");
+  EXPECT_STREQ(AlgorithmShortName(Algorithm::kEager), "E");
+  EXPECT_STREQ(AlgorithmShortName(Algorithm::kEagerM), "EM");
+  EXPECT_STREQ(AlgorithmShortName(Algorithm::kLazy), "L");
+  EXPECT_STREQ(AlgorithmShortName(Algorithm::kLazyEp), "LP");
+}
+
+TEST(QueryFacadeTest, FigureOrderConstant) {
+  ASSERT_EQ(std::size(kAllAlgorithms), 4u);
+  EXPECT_EQ(kAllAlgorithms[0], Algorithm::kEager);
+  EXPECT_EQ(kAllAlgorithms[1], Algorithm::kEagerM);
+  EXPECT_EQ(kAllAlgorithms[2], Algorithm::kLazy);
+  EXPECT_EQ(kAllAlgorithms[3], Algorithm::kLazyEp);
+}
+
+TEST(QueryFacadeTest, EagerMWithoutStoreIsRejected) {
+  auto f = testfix::PaperExample();
+  graph::GraphView view(&f.g);
+  auto r = RunRknn(Algorithm::kEagerM, view, f.points,
+                   std::vector<NodeId>{3});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(QueryFacadeTest, DispatchesAllAlgorithms) {
+  auto f = testfix::PaperExample();
+  graph::GraphView view(&f.g);
+  MemoryKnnStore store(f.g.num_nodes(), 2);
+  ASSERT_TRUE(BuildAllNn(view, f.points, &store).ok());
+  for (Algorithm a : kAllAlgorithms) {
+    auto r = RunRknn(a, view, f.points, std::vector<NodeId>{3}, {},
+                     &store);
+    ASSERT_TRUE(r.ok()) << AlgorithmName(a);
+    EXPECT_EQ(r->results.size(), 2u) << AlgorithmName(a);
+  }
+}
+
+}  // namespace
+}  // namespace grnn::core

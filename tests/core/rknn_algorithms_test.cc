@@ -1,0 +1,316 @@
+// Correctness of eager / lazy / lazy-EP / eager-M:
+//  1. the paper's worked example (Fig 3 narrative),
+//  2. hand-checked edge cases,
+//  3. randomized differential testing against the brute-force oracle over
+//     (graph family x |V| x density x k x seed) sweeps.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/brute_force.h"
+#include "core/eager.h"
+#include "core/lazy.h"
+#include "core/lazy_ep.h"
+#include "core/materialize.h"
+#include "core/query.h"
+#include "graph/dijkstra.h"
+#include "graph/network_view.h"
+#include "test_fixtures.h"
+
+namespace grnn::core {
+namespace {
+
+using testfix::Ids;
+using testfix::PaperExample;
+using testfix::RandomConnectedGraph;
+using testfix::RandomPoints;
+
+Result<RknnResult> RunAlgo(Algorithm algo, const graph::NetworkView& view,
+                           const NodePointSet& points,
+                           std::vector<NodeId> query,
+                           const RknnOptions& opts) {
+  if (algo == Algorithm::kEagerM) {
+    MemoryKnnStore store(view.num_nodes(),
+                         static_cast<uint32_t>(opts.k) + 2);
+    auto st = BuildAllNn(view, points, &store);
+    if (!st.ok()) {
+      return st;
+    }
+    return EagerMRknn(view, points, &store, query, opts);
+  }
+  return RunRknn(algo, view, points, query, opts);
+}
+
+class AllAlgorithmsTest : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(AllAlgorithmsTest, PaperExampleRnn) {
+  auto f = PaperExample();
+  graph::GraphView view(&f.g);
+  auto r =
+      RunAlgo(GetParam(), view, f.points, {f.query_node}, RknnOptions{})
+          .ValueOrDie();
+  // Section 3.2's walkthrough: RNN(q) = {p1, p2}.
+  EXPECT_EQ(Ids(r), (std::vector<PointId>{0, 1}));
+}
+
+TEST_P(AllAlgorithmsTest, PaperExampleR2nn) {
+  auto f = PaperExample();
+  graph::GraphView view(&f.g);
+  RknnOptions opts;
+  opts.k = 2;
+  auto r = RunAlgo(GetParam(), view, f.points, {f.query_node}, opts)
+               .ValueOrDie();
+  EXPECT_EQ(Ids(r), (std::vector<PointId>{0, 1, 2}));
+}
+
+TEST_P(AllAlgorithmsTest, QueryOnPointNodeExcludesItself) {
+  auto f = PaperExample();
+  graph::GraphView view(&f.g);
+  // Query from p1's node (n6), excluding p1 itself.
+  RknnOptions opts;
+  opts.exclude_point = 0;
+  auto r = RunAlgo(GetParam(), view, f.points, {5}, opts).ValueOrDie();
+  // From n6: d(p2) = 9 (n6-n2-n5), d(p3) = 8 (n6-n3-n7).
+  // p2's NN among {p3} U {q}: d(p2,p3) = 17 > 9 -> q is NN of p2: IN.
+  // p3: d(p3, q@n6) = 8, d(p3, p2) = 17 -> IN.
+  EXPECT_EQ(Ids(r), (std::vector<PointId>{1, 2}));
+}
+
+TEST_P(AllAlgorithmsTest, EmptyPointSetYieldsNoResults) {
+  auto f = PaperExample();
+  NodePointSet empty(f.g.num_nodes());
+  graph::GraphView view(&f.g);
+  if (GetParam() == Algorithm::kEagerM) {
+    MemoryKnnStore store(view.num_nodes(), 2);
+    ASSERT_TRUE(BuildAllNn(view, empty, &store).ok());
+    auto r = EagerMRknn(view, empty, &store, std::vector<NodeId>{3},
+                        RknnOptions{})
+                 .ValueOrDie();
+    EXPECT_TRUE(r.results.empty());
+  } else {
+    auto r = RunAlgo(GetParam(), view, empty, {3}, RknnOptions{})
+                 .ValueOrDie();
+    EXPECT_TRUE(r.results.empty());
+  }
+}
+
+TEST_P(AllAlgorithmsTest, SinglePointIsAlwaysRnn) {
+  // One data point, no competitors: always in RNN(q) when reachable.
+  auto g = graph::Graph::FromEdges(
+               4, {{0, 1, 2.0}, {1, 2, 2.0}, {2, 3, 2.0}})
+               .ValueOrDie();
+  auto pts = NodePointSet::FromLocations(4, {3}).ValueOrDie();
+  graph::GraphView view(&g);
+  auto r = RunAlgo(GetParam(), view, pts, {0}, RknnOptions{}).ValueOrDie();
+  ASSERT_EQ(r.results.size(), 1u);
+  EXPECT_EQ(r.results[0].point, 0u);
+  EXPECT_DOUBLE_EQ(r.results[0].dist, 6.0);
+}
+
+TEST_P(AllAlgorithmsTest, DisconnectedPointsAreNotResults) {
+  auto g =
+      graph::Graph::FromEdges(5, {{0, 1, 1.0}, {2, 3, 1.0}, {3, 4, 1.0}})
+          .ValueOrDie();
+  auto pts = NodePointSet::FromLocations(5, {1, 3}).ValueOrDie();
+  graph::GraphView view(&g);
+  auto r = RunAlgo(GetParam(), view, pts, {0}, RknnOptions{}).ValueOrDie();
+  ASSERT_EQ(Ids(r), (std::vector<PointId>{0}));  // only the reachable one
+}
+
+TEST_P(AllAlgorithmsTest, KLargerThanPointCountReturnsAllReachable) {
+  auto f = PaperExample();
+  graph::GraphView view(&f.g);
+  RknnOptions opts;
+  opts.k = 10;
+  auto r = RunAlgo(GetParam(), view, f.points, {f.query_node}, opts)
+               .ValueOrDie();
+  EXPECT_EQ(Ids(r), (std::vector<PointId>{0, 1, 2}));
+}
+
+TEST_P(AllAlgorithmsTest, InvalidQueriesAreRejected) {
+  auto f = PaperExample();
+  graph::GraphView view(&f.g);
+  RknnOptions bad_k;
+  bad_k.k = 0;
+  EXPECT_FALSE(RunAlgo(GetParam(), view, f.points, {3}, bad_k).ok());
+  EXPECT_FALSE(
+      RunAlgo(GetParam(), view, f.points, {}, RknnOptions{}).ok());
+  EXPECT_FALSE(
+      RunAlgo(GetParam(), view, f.points, {99}, RknnOptions{}).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, AllAlgorithmsTest,
+    ::testing::Values(Algorithm::kEager, Algorithm::kLazy,
+                      Algorithm::kLazyEp, Algorithm::kEagerM,
+                      Algorithm::kBruteForce),
+    [](const auto& info) {
+      switch (info.param) {
+        case Algorithm::kEager:
+          return "Eager";
+        case Algorithm::kLazy:
+          return "Lazy";
+        case Algorithm::kLazyEp:
+          return "LazyEp";
+        case Algorithm::kEagerM:
+          return "EagerM";
+        default:
+          return "BruteForce";
+      }
+    });
+
+// ---------------------------------------------------------------------
+// Differential sweeps: every optimized algorithm must return exactly the
+// brute-force answer, for many random graphs, densities and k.
+// Param: (num_nodes, extra_edge_factor, density, k, unit_weights, seed).
+using SweepParam = std::tuple<int, double, double, int, bool, int>;
+
+class DifferentialSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(DifferentialSweep, AllAlgorithmsMatchBruteForce) {
+  const auto [n, extra, density, k, unit, seed] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 7919 + 13);
+  auto g = RandomConnectedGraph(static_cast<NodeId>(n), extra, rng, unit);
+  const size_t num_points = std::max<size_t>(
+      1, static_cast<size_t>(density * static_cast<double>(n)));
+  auto points = RandomPoints(g.num_nodes(), num_points, rng);
+  graph::GraphView view(&g);
+
+  MemoryKnnStore store(g.num_nodes(), static_cast<uint32_t>(k) + 1);
+  ASSERT_TRUE(BuildAllNn(view, points, &store).ok());
+
+  // Several queries per instance: from data points (with self-exclusion,
+  // as the paper's workloads do) and from random empty nodes.
+  for (int trial = 0; trial < 4; ++trial) {
+    RknnOptions opts;
+    opts.k = k;
+    NodeId qnode;
+    if (trial % 2 == 0 && points.num_points() > 0) {
+      auto live = points.LivePoints();
+      PointId qp = live[rng.UniformInt(live.size())];
+      qnode = points.NodeOf(qp);
+      opts.exclude_point = qp;
+    } else {
+      qnode = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+      opts.exclude_point = points.PointAt(qnode);  // maybe kInvalidPoint
+    }
+    std::vector<NodeId> query{qnode};
+
+    auto truth = BruteForceRknn(view, points, query, opts).ValueOrDie();
+    auto eager = EagerRknn(view, points, query, opts).ValueOrDie();
+    auto lazy = LazyRknn(view, points, query, opts).ValueOrDie();
+    auto lazy_ep = LazyEpRknn(view, points, query, opts).ValueOrDie();
+    auto eager_m =
+        EagerMRknn(view, points, &store, query, opts).ValueOrDie();
+
+    EXPECT_EQ(Ids(eager), Ids(truth))
+        << "eager mismatch @ n=" << n << " k=" << k << " seed=" << seed
+        << " q=" << qnode;
+    EXPECT_EQ(Ids(lazy), Ids(truth))
+        << "lazy mismatch @ n=" << n << " k=" << k << " seed=" << seed
+        << " q=" << qnode;
+    EXPECT_EQ(Ids(lazy_ep), Ids(truth))
+        << "lazy-EP mismatch @ n=" << n << " k=" << k << " seed=" << seed
+        << " q=" << qnode;
+    EXPECT_EQ(Ids(eager_m), Ids(truth))
+        << "eager-M mismatch @ n=" << n << " k=" << k << " seed=" << seed
+        << " q=" << qnode;
+
+    // Exact distances for verification-based algorithms.
+    for (size_t i = 0; i < truth.results.size(); ++i) {
+      EXPECT_NEAR(eager.results[i].dist, truth.results[i].dist, 1e-9);
+      EXPECT_NEAR(lazy.results[i].dist, truth.results[i].dist, 1e-9);
+      EXPECT_NEAR(lazy_ep.results[i].dist, truth.results[i].dist, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WeightedGraphs, DifferentialSweep,
+    ::testing::Combine(::testing::Values(30, 80, 150),   // |V|
+                       ::testing::Values(0.5, 2.0),      // extra edges
+                       ::testing::Values(0.05, 0.2),     // density
+                       ::testing::Values(1, 2, 4),       // k
+                       ::testing::Values(false),         // weighted
+                       ::testing::Values(1, 2)));        // seed
+
+INSTANTIATE_TEST_SUITE_P(
+    UnitWeightGraphs, DifferentialSweep,
+    ::testing::Combine(::testing::Values(60),        // |V|
+                       ::testing::Values(1.0, 3.0),  // extra edges
+                       ::testing::Values(0.1, 0.3),  // density
+                       ::testing::Values(1, 3),      // k (ties abound)
+                       ::testing::Values(true),      // unit weights
+                       ::testing::Values(3, 4, 5)));
+
+// RkNN monotonicity: results grow with k.
+TEST(RknnPropertyTest, ResultsMonotoneInK) {
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto g = RandomConnectedGraph(60, 1.5, rng);
+    auto points = RandomPoints(g.num_nodes(), 10, rng);
+    graph::GraphView view(&g);
+    NodeId q = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    RknnOptions opts;
+    opts.exclude_point = points.PointAt(q);
+    std::vector<PointId> prev;
+    for (int k = 1; k <= 5; ++k) {
+      opts.k = k;
+      auto r = EagerRknn(view, points, std::vector<NodeId>{q}, opts)
+                   .ValueOrDie();
+      auto ids = Ids(r);
+      // prev must be a subset of ids.
+      for (PointId p : prev) {
+        EXPECT_TRUE(std::find(ids.begin(), ids.end(), p) != ids.end())
+            << "k=" << k;
+      }
+      prev = ids;
+    }
+  }
+}
+
+// Lemma 1 sanity: eager never reports a point whose path was pruned; in
+// particular all reported distances are exact shortest-path distances.
+TEST(RknnPropertyTest, ReportedDistancesAreShortestPaths) {
+  Rng rng(99);
+  auto g = RandomConnectedGraph(80, 1.0, rng);
+  auto points = RandomPoints(g.num_nodes(), 12, rng);
+  graph::GraphView view(&g);
+  for (int trial = 0; trial < 5; ++trial) {
+    NodeId q = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    RknnOptions opts;
+    opts.k = 2;
+    opts.exclude_point = points.PointAt(q);
+    auto dist = graph::SingleSourceDistances(view, q).ValueOrDie();
+    auto r = EagerRknn(view, points, std::vector<NodeId>{q}, opts)
+                 .ValueOrDie();
+    for (const PointMatch& m : r.results) {
+      EXPECT_NEAR(m.dist, dist[m.node], 1e-9);
+    }
+  }
+}
+
+// The query's own point never appears in its RkNN set.
+TEST(RknnPropertyTest, SelfNeverInResult) {
+  Rng rng(123);
+  auto g = RandomConnectedGraph(50, 1.0, rng);
+  auto points = RandomPoints(g.num_nodes(), 15, rng);
+  graph::GraphView view(&g);
+  for (PointId qp : points.LivePoints()) {
+    RknnOptions opts;
+    opts.k = 3;
+    opts.exclude_point = qp;
+    std::vector<NodeId> query{points.NodeOf(qp)};
+    for (Algorithm a : {Algorithm::kEager, Algorithm::kLazy,
+                        Algorithm::kLazyEp, Algorithm::kBruteForce}) {
+      auto r = RunRknn(a, view, points, query, opts).ValueOrDie();
+      for (const PointMatch& m : r.results) {
+        EXPECT_NE(m.point, qp);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace grnn::core

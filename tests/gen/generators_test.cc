@@ -1,0 +1,291 @@
+// Workload generators: structural properties the paper's evaluation
+// depends on (degree, connectivity, determinism, expansion behaviour).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/brite.h"
+#include "gen/coauthorship.h"
+#include "gen/grid.h"
+#include "gen/points.h"
+#include "gen/road_network.h"
+#include "graph/connectivity.h"
+#include "graph/dijkstra.h"
+#include "graph/network_view.h"
+
+namespace grnn::gen {
+namespace {
+
+TEST(BriteTest, AverageDegreeIsTwoM) {
+  BriteConfig cfg;
+  cfg.num_nodes = 5000;
+  cfg.edges_per_node = 2;
+  auto g = GenerateBrite(cfg).ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 5000u);
+  EXPECT_NEAR(g.AverageDegree(), 4.0, 0.1);
+}
+
+TEST(BriteTest, Connected) {
+  BriteConfig cfg;
+  cfg.num_nodes = 2000;
+  auto g = GenerateBrite(cfg).ValueOrDie();
+  EXPECT_TRUE(graph::IsConnected(g));
+}
+
+TEST(BriteTest, DeterministicPerSeed) {
+  BriteConfig cfg;
+  cfg.num_nodes = 500;
+  auto a = GenerateBrite(cfg).ValueOrDie();
+  auto b = GenerateBrite(cfg).ValueOrDie();
+  EXPECT_EQ(a.CollectEdges(), b.CollectEdges());
+  cfg.seed = 99;
+  auto c = GenerateBrite(cfg).ValueOrDie();
+  EXPECT_NE(a.CollectEdges(), c.CollectEdges());
+}
+
+TEST(BriteTest, ScaleFreeHubsExist) {
+  BriteConfig cfg;
+  cfg.num_nodes = 5000;
+  auto g = GenerateBrite(cfg).ValueOrDie();
+  size_t max_degree = 0;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    max_degree = std::max(max_degree, g.Degree(n));
+  }
+  // Preferential attachment produces hubs far above the mean degree.
+  EXPECT_GT(max_degree, 50u);
+}
+
+TEST(BriteTest, ExponentialExpansion) {
+  // The property driving Figs 15-16: hop-balls grow geometrically, so a
+  // small number of hops covers most of the network.
+  BriteConfig cfg;
+  cfg.num_nodes = 20000;
+  auto g = GenerateBrite(cfg).ValueOrDie();
+  graph::GraphView view(&g);
+  auto dist = graph::SingleSourceDistances(view, 0).ValueOrDie();
+  size_t within6 = 0;
+  for (Weight d : dist) {
+    within6 += (d <= 6.0);
+  }
+  EXPECT_GT(within6, g.num_nodes() / 2);
+}
+
+TEST(BriteTest, WeightedVariant) {
+  BriteConfig cfg;
+  cfg.num_nodes = 300;
+  cfg.unit_weights = false;
+  cfg.min_weight = 2.0;
+  cfg.max_weight = 5.0;
+  auto g = GenerateBrite(cfg).ValueOrDie();
+  for (const Edge& e : g.CollectEdges()) {
+    EXPECT_GE(e.w, 2.0);
+    EXPECT_LT(e.w, 5.0);
+  }
+}
+
+TEST(BriteTest, RejectsBadConfig) {
+  BriteConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.edges_per_node = 2;
+  EXPECT_FALSE(GenerateBrite(cfg).ok());
+  cfg.num_nodes = 100;
+  cfg.edges_per_node = 0;
+  EXPECT_FALSE(GenerateBrite(cfg).ok());
+}
+
+TEST(GridTest, PlainGridDegree) {
+  GridConfig cfg;
+  cfg.rows = 40;
+  cfg.cols = 40;
+  auto g = GenerateGrid(cfg).ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 1600u);
+  // 2*r*c - r - c edges.
+  EXPECT_EQ(g.num_edges(), 2u * 1600 - 40 - 40);
+  EXPECT_TRUE(graph::IsConnected(g));
+}
+
+TEST(GridTest, DegreeControl) {
+  GridConfig plain;
+  plain.rows = 60;
+  plain.cols = 60;
+  const double base =
+      GenerateGrid(plain).ValueOrDie().AverageDegree();
+  for (double target : {5.0, 6.0, 7.0}) {
+    GridConfig cfg;
+    cfg.rows = 60;
+    cfg.cols = 60;
+    cfg.avg_degree = target;
+    auto g = GenerateGrid(cfg).ValueOrDie();
+    // Target is relative to the plain grid's "degree 4".
+    EXPECT_NEAR(g.AverageDegree(), base + (target - 4.0), 0.1)
+        << "target " << target;
+    EXPECT_TRUE(graph::IsConnected(g));
+  }
+}
+
+TEST(GridTest, Deterministic) {
+  GridConfig cfg;
+  cfg.rows = 20;
+  cfg.cols = 25;
+  cfg.avg_degree = 5.0;
+  auto a = GenerateGrid(cfg).ValueOrDie();
+  auto b = GenerateGrid(cfg).ValueOrDie();
+  EXPECT_EQ(a.CollectEdges(), b.CollectEdges());
+}
+
+TEST(GridTest, RejectsBadConfig) {
+  GridConfig cfg;
+  cfg.rows = 1;
+  EXPECT_FALSE(GenerateGrid(cfg).ok());
+  cfg.rows = 10;
+  cfg.cols = 10;
+  cfg.avg_degree = 2.0;
+  EXPECT_FALSE(GenerateGrid(cfg).ok());
+}
+
+TEST(RoadTest, SfLikeShape) {
+  RoadConfig cfg;
+  cfg.num_nodes = 20000;
+  auto net = GenerateRoadNetwork(cfg).ValueOrDie();
+  EXPECT_EQ(net.g.num_nodes(), 20000u);
+  EXPECT_TRUE(graph::IsConnected(net.g));
+  // SF has average degree ~2.55; accept the neighborhood of that.
+  EXPECT_GT(net.g.AverageDegree(), 2.1);
+  EXPECT_LT(net.g.AverageDegree(), 3.6);
+  EXPECT_EQ(net.coords.size(), 20000u);
+}
+
+TEST(RoadTest, EuclideanWeights) {
+  RoadConfig cfg;
+  cfg.num_nodes = 2000;
+  auto net = GenerateRoadNetwork(cfg).ValueOrDie();
+  for (const Edge& e : net.g.CollectEdges()) {
+    double dx = net.coords[e.u].first - net.coords[e.v].first;
+    double dy = net.coords[e.u].second - net.coords[e.v].second;
+    EXPECT_NEAR(e.w, std::sqrt(dx * dx + dy * dy), 1e-6);
+  }
+}
+
+TEST(RoadTest, NoExponentialExpansion) {
+  // Spatial locality: hop-balls grow polynomially; a 6-hop ball must stay
+  // a small fraction of the network (contrast with BriteTest above).
+  RoadConfig cfg;
+  cfg.num_nodes = 20000;
+  auto net = GenerateRoadNetwork(cfg).ValueOrDie();
+  graph::GraphView view(&net.g);
+  // Hop distances: treat weights as 1 by counting expansion steps.
+  auto unit_edges = net.g.CollectEdges();
+  for (Edge& e : unit_edges) {
+    e.w = 1.0;
+  }
+  auto unit_g =
+      graph::Graph::FromEdges(net.g.num_nodes(), unit_edges).ValueOrDie();
+  graph::GraphView unit_view(&unit_g);
+  auto dist = graph::SingleSourceDistances(unit_view, 0).ValueOrDie();
+  size_t within6 = 0;
+  for (Weight d : dist) {
+    within6 += (d <= 6.0);
+  }
+  EXPECT_LT(within6, net.g.num_nodes() / 20);
+}
+
+TEST(RoadTest, Deterministic) {
+  RoadConfig cfg;
+  cfg.num_nodes = 1000;
+  auto a = GenerateRoadNetwork(cfg).ValueOrDie();
+  auto b = GenerateRoadNetwork(cfg).ValueOrDie();
+  EXPECT_EQ(a.g.CollectEdges(), b.g.CollectEdges());
+}
+
+TEST(CoauthorTest, DblpLikeShape) {
+  CoauthorConfig cfg;
+  cfg.num_papers = 6000;
+  auto net = GenerateCoauthorship(cfg).ValueOrDie();
+  EXPECT_TRUE(graph::IsConnected(net.g));
+  EXPECT_GT(net.g.num_nodes(), 1000u);
+  // DBLP: 4260 nodes, 13199 edges -> avg degree ~6.2; accept broadly.
+  EXPECT_GT(net.g.AverageDegree(), 3.0);
+  EXPECT_LT(net.g.AverageDegree(), 12.0);
+  // Unit weights throughout.
+  for (const Edge& e : net.g.CollectEdges()) {
+    EXPECT_DOUBLE_EQ(e.w, 1.0);
+  }
+  EXPECT_EQ(net.venue0_papers.size(), net.g.num_nodes());
+}
+
+TEST(CoauthorTest, PaperCountSelectivityDecreases) {
+  // Table 1: most authors have 0 venue-0 papers; the count of authors
+  // with exactly c papers shrinks as c grows.
+  CoauthorConfig cfg;
+  cfg.num_papers = 6000;
+  auto net = GenerateCoauthorship(cfg).ValueOrDie();
+  size_t c0 = 0, c1 = 0, c2 = 0;
+  for (uint32_t c : net.venue0_papers) {
+    c0 += (c == 0);
+    c1 += (c == 1);
+    c2 += (c == 2);
+  }
+  EXPECT_GT(c0, c1);
+  EXPECT_GT(c1, c2);
+  EXPECT_GT(c2, 0u);
+}
+
+TEST(CoauthorTest, Deterministic) {
+  CoauthorConfig cfg;
+  cfg.num_papers = 800;
+  auto a = GenerateCoauthorship(cfg).ValueOrDie();
+  auto b = GenerateCoauthorship(cfg).ValueOrDie();
+  EXPECT_EQ(a.g.CollectEdges(), b.g.CollectEdges());
+  EXPECT_EQ(a.venue0_papers, b.venue0_papers);
+}
+
+TEST(PointsTest, NodeDensity) {
+  Rng rng(3);
+  auto pts = PlaceNodePoints(1000, 0.05, rng).ValueOrDie();
+  EXPECT_EQ(pts.num_points(), 50u);
+  EXPECT_NEAR(pts.Density(), 0.05, 1e-9);
+  EXPECT_FALSE(PlaceNodePoints(1000, 0.0, rng).ok());
+  EXPECT_FALSE(PlaceNodePoints(1000, 1.5, rng).ok());
+}
+
+TEST(PointsTest, EdgeDensity) {
+  Rng rng(5);
+  GridConfig cfg;
+  cfg.rows = 20;
+  cfg.cols = 20;
+  auto g = GenerateGrid(cfg).ValueOrDie();
+  auto pts = PlaceEdgePoints(g, 0.05, rng).ValueOrDie();
+  EXPECT_EQ(pts.num_points(), 20u);  // 400 nodes * 0.05
+}
+
+TEST(PointsTest, QuerySamplesAreLivePoints) {
+  Rng rng(7);
+  auto pts = PlaceNodePoints(500, 0.1, rng).ValueOrDie();
+  auto queries = SampleQueryPoints(pts, 50, rng);
+  EXPECT_EQ(queries.size(), 50u);
+  for (PointId q : queries) {
+    EXPECT_TRUE(pts.IsLive(q));
+  }
+}
+
+TEST(PointsTest, RandomWalkRouteHasNoRepeats) {
+  Rng rng(9);
+  GridConfig cfg;
+  cfg.rows = 30;
+  cfg.cols = 30;
+  auto g = GenerateGrid(cfg).ValueOrDie();
+  auto route = RandomWalkRoute(g, 55, 25, rng);
+  // Self-avoiding walks may trap themselves; length is best-effort.
+  EXPECT_GE(route.size(), 5u);
+  EXPECT_LE(route.size(), 25u);
+  std::set<NodeId> uniq(route.begin(), route.end());
+  EXPECT_EQ(uniq.size(), route.size());
+  // Consecutive nodes are adjacent.
+  for (size_t i = 1; i < route.size(); ++i) {
+    EXPECT_TRUE(g.HasEdge(route[i - 1], route[i]));
+  }
+}
+
+}  // namespace
+}  // namespace grnn::gen

@@ -1,0 +1,64 @@
+#include "graph/connectivity.h"
+
+#include <gtest/gtest.h>
+
+namespace grnn::graph {
+namespace {
+
+TEST(ConnectivityTest, SingleComponent) {
+  auto g =
+      Graph::FromEdges(4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}})
+          .ValueOrDie();
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_EQ(CountComponents(g), 1u);
+  auto comp = ConnectedComponents(g);
+  EXPECT_EQ(comp, (std::vector<uint32_t>{0, 0, 0, 0}));
+}
+
+TEST(ConnectivityTest, MultipleComponents) {
+  auto g = Graph::FromEdges(6, {{0, 1, 1.0}, {2, 3, 1.0}}).ValueOrDie();
+  EXPECT_FALSE(IsConnected(g));
+  EXPECT_EQ(CountComponents(g), 4u);  // {0,1}, {2,3}, {4}, {5}
+}
+
+TEST(ConnectivityTest, LargestComponentExtracted) {
+  // Component A: 0-1-2 (3 nodes); component B: 3-4 (2 nodes); isolated 5.
+  auto g = Graph::FromEdges(
+               6, {{0, 1, 1.0}, {1, 2, 2.0}, {3, 4, 1.0}})
+               .ValueOrDie();
+  std::vector<NodeId> remap;
+  auto big = LargestComponent(g, &remap).ValueOrDie();
+  EXPECT_EQ(big.num_nodes(), 3u);
+  EXPECT_EQ(big.num_edges(), 2u);
+  EXPECT_NE(remap[0], kInvalidNode);
+  EXPECT_NE(remap[1], kInvalidNode);
+  EXPECT_NE(remap[2], kInvalidNode);
+  EXPECT_EQ(remap[3], kInvalidNode);
+  EXPECT_EQ(remap[4], kInvalidNode);
+  EXPECT_EQ(remap[5], kInvalidNode);
+  // Weights preserved under renumbering.
+  EXPECT_DOUBLE_EQ(big.EdgeWeight(remap[1], remap[2]).ValueOrDie(), 2.0);
+}
+
+TEST(ConnectivityTest, LargestComponentOfConnectedGraphIsIdentitySize) {
+  auto g =
+      Graph::FromEdges(3, {{0, 1, 1.0}, {1, 2, 1.0}}).ValueOrDie();
+  auto big = LargestComponent(g).ValueOrDie();
+  EXPECT_EQ(big.num_nodes(), 3u);
+  EXPECT_EQ(big.num_edges(), 2u);
+}
+
+TEST(ConnectivityTest, EmptyGraphRejected) {
+  auto g = Graph::FromEdges(0, {}).ValueOrDie();
+  EXPECT_FALSE(LargestComponent(g).ok());
+}
+
+TEST(ConnectivityTest, AllIsolatedNodes) {
+  auto g = Graph::FromEdges(3, {}).ValueOrDie();
+  EXPECT_EQ(CountComponents(g), 3u);
+  auto big = LargestComponent(g).ValueOrDie();
+  EXPECT_EQ(big.num_nodes(), 1u);
+}
+
+}  // namespace
+}  // namespace grnn::graph

@@ -1,0 +1,124 @@
+#include "graph/dijkstra.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/network_view.h"
+
+namespace grnn::graph {
+namespace {
+
+Graph PaperFig3() {
+  return Graph::FromEdges(7, {{0, 3, 5.0},
+                              {0, 4, 3.0},
+                              {0, 1, 2.0},
+                              {1, 4, 2.0},
+                              {1, 5, 3.0},
+                              {2, 3, 4.0},
+                              {2, 5, 3.0},
+                              {2, 6, 5.0},
+                              {4, 6, 6.0}})
+      .ValueOrDie();
+}
+
+TEST(DijkstraTest, SingleSourceMatchesPaperExample) {
+  Graph g = PaperFig3();
+  GraphView view(&g);
+  auto dist = SingleSourceDistances(view, 3).ValueOrDie();  // q at n4
+  // Paper: d(q,n3)=4, d(q,n1)=5.
+  EXPECT_DOUBLE_EQ(dist[3], 0.0);
+  EXPECT_DOUBLE_EQ(dist[2], 4.0);
+  EXPECT_DOUBLE_EQ(dist[0], 5.0);
+  // d(q,n6): via n3 = 4+3 = 7.
+  EXPECT_DOUBLE_EQ(dist[5], 7.0);
+  // d(q,n5): via n1 = 5+3 = 8 vs via n1-n2-n5 = 5+2+2 = 9 -> 8.
+  EXPECT_DOUBLE_EQ(dist[4], 8.0);
+}
+
+TEST(DijkstraTest, PointToPointEqualsFullSearch) {
+  Graph g = PaperFig3();
+  GraphView view(&g);
+  auto dist = SingleSourceDistances(view, 0).ValueOrDie();
+  for (NodeId t = 0; t < g.num_nodes(); ++t) {
+    EXPECT_DOUBLE_EQ(ShortestPathDistance(view, 0, t).ValueOrDie(),
+                     dist[t]);
+  }
+}
+
+TEST(DijkstraTest, DisconnectedIsInfinite) {
+  auto g = Graph::FromEdges(4, {{0, 1, 1.0}, {2, 3, 1.0}}).ValueOrDie();
+  GraphView view(&g);
+  EXPECT_EQ(ShortestPathDistance(view, 0, 3).ValueOrDie(), kInfinity);
+  auto dist = SingleSourceDistances(view, 0).ValueOrDie();
+  EXPECT_EQ(dist[2], kInfinity);
+  EXPECT_EQ(dist[3], kInfinity);
+}
+
+TEST(DijkstraTest, OutOfRangeSource) {
+  Graph g = PaperFig3();
+  GraphView view(&g);
+  EXPECT_FALSE(SingleSourceDistances(view, 99).ok());
+  EXPECT_FALSE(ShortestPathDistance(view, 0, 99).ok());
+}
+
+TEST(DijkstraTest, ExpandByDistanceIsSortedAndComplete) {
+  Graph g = PaperFig3();
+  GraphView view(&g);
+  auto order = ExpandByDistance(view, 3, 0).ValueOrDie();
+  ASSERT_EQ(order.size(), 7u);
+  EXPECT_EQ(order[0].first, 3u);
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(order[i - 1].second, order[i].second);
+  }
+}
+
+TEST(DijkstraTest, ExpandByDistanceHonorsLimit) {
+  Graph g = PaperFig3();
+  GraphView view(&g);
+  auto order = ExpandByDistance(view, 3, 3).ValueOrDie();
+  EXPECT_EQ(order.size(), 3u);
+}
+
+// Random graphs: distances satisfy the triangle inequality through any
+// intermediate node, and symmetry d(a,b) == d(b,a).
+TEST(DijkstraTest, RandomGraphMetricProperties) {
+  Rng rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    const NodeId n = 30;
+    std::vector<Edge> edges;
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) {
+        if (rng.Bernoulli(0.15)) {
+          edges.push_back({u, v, rng.Uniform(0.5, 10.0)});
+        }
+      }
+    }
+    // Spanning chain keeps it connected.
+    for (NodeId u = 0; u + 1 < n; ++u) {
+      if (!std::any_of(edges.begin(), edges.end(), [&](const Edge& e) {
+            return (e.u == u && e.v == u + 1);
+          })) {
+        edges.push_back({u, static_cast<NodeId>(u + 1),
+                         rng.Uniform(0.5, 10.0)});
+      }
+    }
+    auto g = Graph::FromEdges(n, edges).ValueOrDie();
+    GraphView view(&g);
+
+    std::vector<std::vector<Weight>> d(n);
+    for (NodeId s = 0; s < n; ++s) {
+      d[s] = SingleSourceDistances(view, s).ValueOrDie();
+    }
+    for (NodeId a = 0; a < n; ++a) {
+      for (NodeId b = 0; b < n; ++b) {
+        EXPECT_NEAR(d[a][b], d[b][a], 1e-9);
+        for (NodeId c = 0; c < n; ++c) {
+          EXPECT_LE(d[a][b], d[a][c] + d[c][b] + 1e-9);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace grnn::graph

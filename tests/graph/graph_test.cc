@@ -1,0 +1,107 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace grnn::graph {
+namespace {
+
+// The running example of the paper (Fig 3a): 7 nodes, weighted edges.
+// n1..n7 map to ids 0..6. Weights chosen to match the figure's distances:
+// d(q=n4, n3)=4, d(q,n1)=5, d(n3,p1@n6)=3, d(n1,p2@n5)=3.
+std::vector<Edge> PaperFig3Edges() {
+  return {
+      {0, 3, 5.0},  // n1-n4
+      {0, 4, 3.0},  // n1-n5
+      {0, 1, 2.0},  // n1-n2
+      {1, 4, 2.0},  // n2-n5
+      {1, 5, 3.0},  // n2-n6
+      {2, 3, 4.0},  // n3-n4
+      {2, 5, 3.0},  // n3-n6
+      {2, 6, 5.0},  // n3-n7
+      {4, 6, 6.0},  // n5-n7
+  };
+}
+
+TEST(GraphTest, BuildsFromEdges) {
+  auto g = Graph::FromEdges(7, PaperFig3Edges());
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 7u);
+  EXPECT_EQ(g->num_edges(), 9u);
+}
+
+TEST(GraphTest, NeighborsSortedAndSymmetric) {
+  auto g = Graph::FromEdges(7, PaperFig3Edges()).ValueOrDie();
+  auto n0 = g.Neighbors(0);
+  ASSERT_EQ(n0.size(), 3u);
+  EXPECT_EQ(n0[0].node, 1u);
+  EXPECT_EQ(n0[1].node, 3u);
+  EXPECT_EQ(n0[2].node, 4u);
+  // Symmetry: 3 sees 0 with the same weight.
+  EXPECT_TRUE(g.HasEdge(3, 0));
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(3, 0).ValueOrDie(), 5.0);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 3).ValueOrDie(), 5.0);
+}
+
+TEST(GraphTest, DegreeAndAverageDegree) {
+  auto g = Graph::FromEdges(7, PaperFig3Edges()).ValueOrDie();
+  EXPECT_EQ(g.Degree(0), 3u);
+  EXPECT_EQ(g.Degree(6), 2u);
+  EXPECT_NEAR(g.AverageDegree(), 2.0 * 9 / 7, 1e-12);
+}
+
+TEST(GraphTest, HasEdgeNegativeCases) {
+  auto g = Graph::FromEdges(7, PaperFig3Edges()).ValueOrDie();
+  EXPECT_FALSE(g.HasEdge(0, 6));
+  EXPECT_FALSE(g.HasEdge(0, 100));
+  EXPECT_TRUE(g.EdgeWeight(0, 6).status().IsNotFound());
+}
+
+TEST(GraphTest, CollectEdgesRoundTrips) {
+  auto edges = PaperFig3Edges();
+  auto g = Graph::FromEdges(7, edges).ValueOrDie();
+  auto collected = g.CollectEdges();
+  EXPECT_EQ(collected.size(), edges.size());
+  auto g2 = Graph::FromEdges(7, collected).ValueOrDie();
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  for (NodeId n = 0; n < 7; ++n) {
+    EXPECT_EQ(g2.Degree(n), g.Degree(n));
+  }
+}
+
+TEST(GraphTest, RejectsOutOfRangeEndpoint) {
+  auto r = Graph::FromEdges(3, {{0, 5, 1.0}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(GraphTest, RejectsSelfLoop) {
+  auto r = Graph::FromEdges(3, {{1, 1, 1.0}});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(GraphTest, RejectsNonPositiveWeight) {
+  EXPECT_FALSE(Graph::FromEdges(3, {{0, 1, 0.0}}).ok());
+  EXPECT_FALSE(Graph::FromEdges(3, {{0, 1, -2.0}}).ok());
+}
+
+TEST(GraphTest, RejectsDuplicateEdges) {
+  EXPECT_FALSE(Graph::FromEdges(3, {{0, 1, 1.0}, {0, 1, 2.0}}).ok());
+  // Also in reversed orientation.
+  EXPECT_FALSE(Graph::FromEdges(3, {{0, 1, 1.0}, {1, 0, 2.0}}).ok());
+}
+
+TEST(GraphTest, EmptyGraphAllowed) {
+  auto g = Graph::FromEdges(0, {});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 0u);
+  EXPECT_EQ(g->AverageDegree(), 0.0);
+}
+
+TEST(GraphTest, IsolatedNodesHaveEmptyNeighbors) {
+  auto g = Graph::FromEdges(4, {{0, 1, 1.0}}).ValueOrDie();
+  EXPECT_TRUE(g.Neighbors(2).empty());
+  EXPECT_TRUE(g.Neighbors(3).empty());
+}
+
+}  // namespace
+}  // namespace grnn::graph

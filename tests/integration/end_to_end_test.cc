@@ -1,0 +1,195 @@
+// Integration: the full stack (generators -> paged storage -> buffer pool
+// -> algorithms) must agree with the in-memory path, charge plausible
+// I/O, and survive adverse conditions (tiny pools, pool exhaustion).
+
+#include <gtest/gtest.h>
+
+#include "bench_util.h"
+#include "core/brute_force.h"
+#include "core/eager.h"
+#include "core/lazy.h"
+#include "core/lazy_ep.h"
+#include "core/query.h"
+#include "gen/brite.h"
+#include "gen/points.h"
+#include "gen/road_network.h"
+#include "graph/network_view.h"
+
+namespace grnn {
+namespace {
+
+std::vector<PointId> Ids(const core::RknnResult& r) {
+  std::vector<PointId> ids;
+  for (const auto& m : r.results) {
+    ids.push_back(m.point);
+  }
+  return ids;
+}
+
+TEST(EndToEndTest, StoredAndInMemoryAgreeOnRoadNetwork) {
+  gen::RoadConfig cfg;
+  cfg.num_nodes = 3000;
+  auto net = gen::GenerateRoadNetwork(cfg).ValueOrDie();
+  Rng rng(5);
+  auto points =
+      gen::PlaceNodePoints(net.g.num_nodes(), 0.02, rng).ValueOrDie();
+  auto queries = gen::SampleQueryPoints(points, 10, rng);
+
+  auto env =
+      bench::BuildStoredRestricted(net.g, points, /*K=*/3).ValueOrDie();
+  graph::GraphView mem_view(&net.g);
+  core::MemoryKnnStore mem_store(net.g.num_nodes(), 3);
+  ASSERT_TRUE(core::BuildAllNn(mem_view, points, &mem_store).ok());
+
+  for (PointId qp : queries) {
+    core::RknnOptions opts;
+    opts.k = 2;
+    opts.exclude_point = qp;
+    std::vector<NodeId> q{points.NodeOf(qp)};
+    auto truth = core::BruteForceRknn(mem_view, points, q, opts)
+                     .ValueOrDie();
+    for (auto algo :
+         {core::Algorithm::kEager, core::Algorithm::kLazy,
+          core::Algorithm::kLazyEp}) {
+      auto mem = core::RunRknn(algo, mem_view, points, q, opts)
+                     .ValueOrDie();
+      auto stored =
+          core::RunRknn(algo, *env.view, points, q, opts).ValueOrDie();
+      EXPECT_EQ(Ids(mem), Ids(truth));
+      EXPECT_EQ(Ids(stored), Ids(truth));
+    }
+    auto em_mem = core::EagerMRknn(mem_view, points, &mem_store, q, opts)
+                      .ValueOrDie();
+    auto em_stored = core::EagerMRknn(*env.view, points,
+                                      env.knn_store.get(), q, opts)
+                         .ValueOrDie();
+    EXPECT_EQ(Ids(em_mem), Ids(truth));
+    EXPECT_EQ(Ids(em_stored), Ids(truth));
+  }
+  // Disk-backed runs must have charged I/O.
+  EXPECT_GT(env.pool->stats().logical_reads, 0u);
+  EXPECT_GT(env.pool->stats().physical_reads, 0u);
+}
+
+TEST(EndToEndTest, StoredUnrestrictedAgreesWithMemory) {
+  gen::RoadConfig cfg;
+  cfg.num_nodes = 2000;
+  auto net = gen::GenerateRoadNetwork(cfg).ValueOrDie();
+  Rng rng(7);
+  auto points = gen::PlaceEdgePoints(net.g, 0.02, rng).ValueOrDie();
+  auto queries = gen::SampleEdgeQueryPoints(points, 8, rng);
+
+  auto env =
+      bench::BuildStoredUnrestricted(net.g, points, /*K=*/2).ValueOrDie();
+  graph::GraphView mem_view(&net.g);
+  core::MemoryEdgePointReader mem_reader(&points);
+
+  for (PointId qp : queries) {
+    core::UnrestrictedQuery q;
+    q.position = points.PositionOf(qp);
+    q.exclude_point = qp;
+    auto truth = core::UnrestrictedBruteForceRknn(mem_view, points, q)
+                     .ValueOrDie();
+    auto mem = core::UnrestrictedEagerRknn(mem_view, points, mem_reader, q)
+                   .ValueOrDie();
+    auto stored = core::UnrestrictedEagerRknn(*env.view, points,
+                                              *env.reader, q)
+                      .ValueOrDie();
+    auto stored_lazy = core::UnrestrictedLazyRknn(*env.view, points,
+                                                  *env.reader, q)
+                           .ValueOrDie();
+    EXPECT_EQ(Ids(mem), Ids(truth));
+    EXPECT_EQ(Ids(stored), Ids(truth));
+    EXPECT_EQ(Ids(stored_lazy), Ids(truth));
+  }
+  EXPECT_GT(env.pool->stats().physical_reads, 0u);
+}
+
+TEST(EndToEndTest, TinyPoolStillAnswersCorrectly) {
+  // Failure-ish injection: a 2-page pool forces constant eviction; the
+  // algorithms must still be exact (just slow).
+  gen::BriteConfig cfg;
+  cfg.num_nodes = 1500;
+  cfg.unit_weights = false;
+  auto g = gen::GenerateBrite(cfg).ValueOrDie();
+  Rng rng(11);
+  auto points =
+      gen::PlaceNodePoints(g.num_nodes(), 0.02, rng).ValueOrDie();
+  auto env = bench::BuildStoredRestricted(g, points, /*K=*/0,
+                                          /*pool_pages=*/2)
+                 .ValueOrDie();
+  graph::GraphView mem_view(&g);
+  auto qp = gen::SampleQueryPoints(points, 4, rng);
+  for (PointId p : qp) {
+    core::RknnOptions opts;
+    opts.exclude_point = p;
+    std::vector<NodeId> q{points.NodeOf(p)};
+    auto truth =
+        core::BruteForceRknn(mem_view, points, q, opts).ValueOrDie();
+    auto stored =
+        core::EagerRknn(*env.view, points, q, opts).ValueOrDie();
+    EXPECT_EQ(Ids(stored), Ids(truth));
+  }
+  EXPECT_GT(env.pool->stats().evictions, 0u);
+}
+
+TEST(EndToEndTest, ZeroCapacityPoolWorks) {
+  // Fig 21's leftmost configuration: no caching at all.
+  gen::RoadConfig cfg;
+  cfg.num_nodes = 1000;
+  auto net = gen::GenerateRoadNetwork(cfg).ValueOrDie();
+  Rng rng(13);
+  auto points =
+      gen::PlaceNodePoints(net.g.num_nodes(), 0.02, rng).ValueOrDie();
+  auto env = bench::BuildStoredRestricted(net.g, points, /*K=*/0,
+                                          /*pool_pages=*/0)
+                 .ValueOrDie();
+  graph::GraphView mem_view(&net.g);
+  auto qp = gen::SampleQueryPoints(points, 3, rng);
+  for (PointId p : qp) {
+    core::RknnOptions opts;
+    opts.exclude_point = p;
+    std::vector<NodeId> q{points.NodeOf(p)};
+    auto truth =
+        core::BruteForceRknn(mem_view, points, q, opts).ValueOrDie();
+    auto stored =
+        core::LazyRknn(*env.view, points, q, opts).ValueOrDie();
+    EXPECT_EQ(Ids(stored), Ids(truth));
+  }
+  // Every logical read faulted.
+  EXPECT_EQ(env.pool->stats().logical_reads,
+            env.pool->stats().physical_reads);
+}
+
+TEST(EndToEndTest, FileBackedDiskManagerEndToEnd) {
+  // The same pipeline over a real file on disk.
+  std::string path = testing::TempDir() + "/grnn_e2e.pages";
+  std::remove(path.c_str());
+  auto disk = storage::FileDiskManager::Open(path).ValueOrDie();
+
+  gen::RoadConfig cfg;
+  cfg.num_nodes = 800;
+  auto net = gen::GenerateRoadNetwork(cfg).ValueOrDie();
+  auto file = storage::GraphFile::Build(net.g, &disk, {}).ValueOrDie();
+  storage::BufferPool pool(&disk, 32);
+  storage::StoredGraph view(&file, &pool);
+
+  Rng rng(17);
+  auto points =
+      gen::PlaceNodePoints(net.g.num_nodes(), 0.02, rng).ValueOrDie();
+  graph::GraphView mem_view(&net.g);
+  auto qp = gen::SampleQueryPoints(points, 3, rng);
+  for (PointId p : qp) {
+    core::RknnOptions opts;
+    opts.exclude_point = p;
+    std::vector<NodeId> q{points.NodeOf(p)};
+    auto truth =
+        core::BruteForceRknn(mem_view, points, q, opts).ValueOrDie();
+    auto stored = core::EagerRknn(view, points, q, opts).ValueOrDie();
+    EXPECT_EQ(Ids(stored), Ids(truth));
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace grnn

@@ -1,0 +1,187 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace grnn::storage {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_ = std::make_unique<MemoryDiskManager>(128);
+    for (int i = 0; i < 10; ++i) {
+      auto id = disk_->AllocatePage().ValueOrDie();
+      std::vector<uint8_t> data(128, static_cast<uint8_t>(i));
+      ASSERT_TRUE(disk_->WritePage(id, data.data()).ok());
+    }
+  }
+
+  std::unique_ptr<MemoryDiskManager> disk_;
+};
+
+TEST_F(BufferPoolTest, HitAvoidsPhysicalRead) {
+  BufferPool pool(disk_.get(), 4);
+  { auto g = pool.Acquire(3).ValueOrDie(); }
+  { auto g = pool.Acquire(3).ValueOrDie(); }
+  EXPECT_EQ(pool.stats().logical_reads, 2u);
+  EXPECT_EQ(pool.stats().physical_reads, 1u);
+  EXPECT_NEAR(pool.stats().HitRate(), 0.5, 1e-12);
+}
+
+TEST_F(BufferPoolTest, ReadsCorrectContent) {
+  BufferPool pool(disk_.get(), 4);
+  auto g = pool.Acquire(7).ValueOrDie();
+  EXPECT_EQ(g.data()[0], 7);
+  EXPECT_EQ(g.data()[127], 7);
+}
+
+TEST_F(BufferPoolTest, LruEvictsLeastRecentlyUsed) {
+  BufferPool pool(disk_.get(), 2);
+  { auto a = pool.Acquire(0).ValueOrDie(); }
+  { auto b = pool.Acquire(1).ValueOrDie(); }
+  // Touch 0 so that 1 is the LRU victim.
+  { auto a = pool.Acquire(0).ValueOrDie(); }
+  { auto c = pool.Acquire(2).ValueOrDie(); }  // evicts 1
+  pool.ResetStats();
+  { auto a = pool.Acquire(0).ValueOrDie(); }  // hit
+  EXPECT_EQ(pool.stats().physical_reads, 0u);
+  { auto b = pool.Acquire(1).ValueOrDie(); }  // miss (was evicted)
+  EXPECT_EQ(pool.stats().physical_reads, 1u);
+}
+
+TEST_F(BufferPoolTest, FifoEvictsOldestLoaded) {
+  BufferPool pool(disk_.get(), 2, ReplacementPolicy::kFifo);
+  { auto a = pool.Acquire(0).ValueOrDie(); }
+  { auto b = pool.Acquire(1).ValueOrDie(); }
+  // Re-touching 0 does NOT refresh FIFO age.
+  { auto a = pool.Acquire(0).ValueOrDie(); }
+  { auto c = pool.Acquire(2).ValueOrDie(); }  // evicts 0 (oldest load)
+  pool.ResetStats();
+  { auto b = pool.Acquire(1).ValueOrDie(); }  // hit
+  EXPECT_EQ(pool.stats().physical_reads, 0u);
+  { auto a = pool.Acquire(0).ValueOrDie(); }  // miss
+  EXPECT_EQ(pool.stats().physical_reads, 1u);
+}
+
+TEST_F(BufferPoolTest, PinnedPagesAreNotEvicted) {
+  BufferPool pool(disk_.get(), 2);
+  auto pinned = pool.Acquire(0).ValueOrDie();
+  { auto b = pool.Acquire(1).ValueOrDie(); }
+  { auto c = pool.Acquire(2).ValueOrDie(); }  // must evict 1, not pinned 0
+  pool.ResetStats();
+  { auto a = pool.Acquire(0).ValueOrDie(); }
+  EXPECT_EQ(pool.stats().physical_reads, 0u);
+  EXPECT_EQ(pinned.data()[5], 0);
+}
+
+TEST_F(BufferPoolTest, AllPinnedIsResourceExhausted) {
+  BufferPool pool(disk_.get(), 2);
+  auto a = pool.Acquire(0).ValueOrDie();
+  auto b = pool.Acquire(1).ValueOrDie();
+  auto c = pool.Acquire(2);
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(c.status().IsResourceExhausted());
+  // Releasing one pin unblocks.
+  a.Release();
+  EXPECT_TRUE(pool.Acquire(2).ok());
+}
+
+TEST_F(BufferPoolTest, DirtyPageWrittenBackOnEviction) {
+  BufferPool pool(disk_.get(), 1);
+  {
+    auto g = pool.Acquire(4).ValueOrDie();
+    g.mutable_data()[0] = 0xEE;
+  }
+  { auto other = pool.Acquire(5).ValueOrDie(); }  // evicts dirty page 4
+  EXPECT_EQ(pool.stats().physical_writes, 1u);
+  std::vector<uint8_t> buf(128);
+  ASSERT_TRUE(disk_->ReadPage(4, buf.data()).ok());
+  EXPECT_EQ(buf[0], 0xEE);
+  EXPECT_EQ(buf[1], 4);
+}
+
+TEST_F(BufferPoolTest, FlushAllWritesDirtyPages) {
+  BufferPool pool(disk_.get(), 4);
+  {
+    auto g = pool.Acquire(2).ValueOrDie();
+    g.mutable_data()[10] = 0x77;
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  std::vector<uint8_t> buf(128);
+  ASSERT_TRUE(disk_->ReadPage(2, buf.data()).ok());
+  EXPECT_EQ(buf[10], 0x77);
+}
+
+TEST_F(BufferPoolTest, InvalidateDropsCleanState) {
+  BufferPool pool(disk_.get(), 4);
+  { auto g = pool.Acquire(2).ValueOrDie(); }
+  ASSERT_TRUE(pool.Invalidate().ok());
+  EXPECT_EQ(pool.num_resident(), 0u);
+  pool.ResetStats();
+  { auto g = pool.Acquire(2).ValueOrDie(); }
+  EXPECT_EQ(pool.stats().physical_reads, 1u);
+}
+
+TEST_F(BufferPoolTest, ZeroCapacityFaultsEveryAccess) {
+  BufferPool pool(disk_.get(), 0);
+  for (int i = 0; i < 3; ++i) {
+    auto g = pool.Acquire(1).ValueOrDie();
+    EXPECT_EQ(g.data()[0], 1);
+  }
+  EXPECT_EQ(pool.stats().logical_reads, 3u);
+  EXPECT_EQ(pool.stats().physical_reads, 3u);
+}
+
+TEST_F(BufferPoolTest, ZeroCapacityAllowsConcurrentGuards) {
+  BufferPool pool(disk_.get(), 0);
+  auto a = pool.Acquire(1).ValueOrDie();
+  auto b = pool.Acquire(2).ValueOrDie();
+  EXPECT_EQ(a.data()[0], 1);
+  EXPECT_EQ(b.data()[0], 2);
+}
+
+TEST_F(BufferPoolTest, ZeroCapacityWritesThrough) {
+  BufferPool pool(disk_.get(), 0);
+  {
+    auto g = pool.Acquire(6).ValueOrDie();
+    g.mutable_data()[3] = 0x42;
+  }
+  std::vector<uint8_t> buf(128);
+  ASSERT_TRUE(disk_->ReadPage(6, buf.data()).ok());
+  EXPECT_EQ(buf[3], 0x42);
+  EXPECT_EQ(pool.stats().physical_writes, 1u);
+}
+
+TEST_F(BufferPoolTest, MoveGuardTransfersPin) {
+  BufferPool pool(disk_.get(), 2);
+  PageGuard g2;
+  {
+    auto g1 = pool.Acquire(0).ValueOrDie();
+    g2 = std::move(g1);
+    EXPECT_FALSE(g1.valid());  // NOLINT(bugprone-use-after-move)
+  }
+  EXPECT_TRUE(g2.valid());
+  EXPECT_EQ(g2.data()[0], 0);
+  EXPECT_EQ(pool.num_pinned(), 1u);
+  g2.Release();
+  EXPECT_EQ(pool.num_pinned(), 0u);
+}
+
+TEST_F(BufferPoolTest, StatsDeltaArithmetic) {
+  BufferPool pool(disk_.get(), 4);
+  { auto g = pool.Acquire(0).ValueOrDie(); }
+  IoStats before = pool.stats();
+  { auto g = pool.Acquire(1).ValueOrDie(); }
+  { auto g = pool.Acquire(0).ValueOrDie(); }
+  IoStats delta = pool.stats() - before;
+  EXPECT_EQ(delta.logical_reads, 2u);
+  EXPECT_EQ(delta.physical_reads, 1u);
+}
+
+TEST_F(BufferPoolTest, AcquireMissingPageFails) {
+  BufferPool pool(disk_.get(), 2);
+  EXPECT_FALSE(pool.Acquire(999).ok());
+}
+
+}  // namespace
+}  // namespace grnn::storage

@@ -1,0 +1,142 @@
+#include "storage/disk_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace grnn::storage {
+namespace {
+
+class DiskManagerTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    if (GetParam()) {
+      path_ = testing::TempDir() + "/grnn_disk_test.pages";
+      std::remove(path_.c_str());
+      auto r = FileDiskManager::Open(path_, 256);
+      ASSERT_TRUE(r.ok()) << r.status();
+      file_ = std::make_unique<FileDiskManager>(std::move(r).ValueUnsafe());
+      disk_ = file_.get();
+    } else {
+      mem_ = std::make_unique<MemoryDiskManager>(256);
+      disk_ = mem_.get();
+    }
+  }
+
+  void TearDown() override {
+    file_.reset();
+    if (!path_.empty()) {
+      std::remove(path_.c_str());
+    }
+  }
+
+  DiskManager* disk_ = nullptr;
+  std::unique_ptr<MemoryDiskManager> mem_;
+  std::unique_ptr<FileDiskManager> file_;
+  std::string path_;
+};
+
+TEST_P(DiskManagerTest, StartsEmpty) {
+  EXPECT_EQ(disk_->num_pages(), 0u);
+  EXPECT_EQ(disk_->page_size(), 256u);
+}
+
+TEST_P(DiskManagerTest, AllocateGivesSequentialIds) {
+  for (PageId want = 0; want < 5; ++want) {
+    auto got = disk_->AllocatePage();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, want);
+  }
+  EXPECT_EQ(disk_->num_pages(), 5u);
+}
+
+TEST_P(DiskManagerTest, FreshPageIsZeroed) {
+  auto id = disk_->AllocatePage().ValueOrDie();
+  std::vector<uint8_t> buf(256, 0xAB);
+  ASSERT_TRUE(disk_->ReadPage(id, buf.data()).ok());
+  for (uint8_t b : buf) {
+    EXPECT_EQ(b, 0);
+  }
+}
+
+TEST_P(DiskManagerTest, WriteThenReadRoundTrips) {
+  auto id = disk_->AllocatePage().ValueOrDie();
+  std::vector<uint8_t> in(256);
+  for (size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<uint8_t>(i * 7);
+  }
+  ASSERT_TRUE(disk_->WritePage(id, in.data()).ok());
+  std::vector<uint8_t> out(256, 0);
+  ASSERT_TRUE(disk_->ReadPage(id, out.data()).ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST_P(DiskManagerTest, PagesAreIndependent) {
+  auto a = disk_->AllocatePage().ValueOrDie();
+  auto b = disk_->AllocatePage().ValueOrDie();
+  std::vector<uint8_t> ones(256, 1), twos(256, 2), buf(256);
+  ASSERT_TRUE(disk_->WritePage(a, ones.data()).ok());
+  ASSERT_TRUE(disk_->WritePage(b, twos.data()).ok());
+  ASSERT_TRUE(disk_->ReadPage(a, buf.data()).ok());
+  EXPECT_EQ(buf[100], 1);
+  ASSERT_TRUE(disk_->ReadPage(b, buf.data()).ok());
+  EXPECT_EQ(buf[100], 2);
+}
+
+TEST_P(DiskManagerTest, ReadUnallocatedFails) {
+  std::vector<uint8_t> buf(256);
+  EXPECT_TRUE(disk_->ReadPage(3, buf.data()).IsOutOfRange());
+}
+
+TEST_P(DiskManagerTest, WriteUnallocatedFails) {
+  std::vector<uint8_t> buf(256, 0);
+  EXPECT_TRUE(disk_->WritePage(3, buf.data()).IsOutOfRange());
+}
+
+INSTANTIATE_TEST_SUITE_P(MemoryAndFile, DiskManagerTest,
+                         ::testing::Values(false, true),
+                         [](const auto& info) {
+                           return info.param ? "File" : "Memory";
+                         });
+
+TEST(FileDiskManagerTest, ReopenSeesExistingPages) {
+  std::string path = testing::TempDir() + "/grnn_reopen.pages";
+  std::remove(path.c_str());
+  {
+    auto disk = FileDiskManager::Open(path, 128).ValueOrDie();
+    auto id = disk.AllocatePage().ValueOrDie();
+    std::vector<uint8_t> data(128, 0x5C);
+    ASSERT_TRUE(disk.WritePage(id, data.data()).ok());
+  }
+  {
+    auto disk = FileDiskManager::Open(path, 128).ValueOrDie();
+    EXPECT_EQ(disk.num_pages(), 1u);
+    std::vector<uint8_t> buf(128);
+    ASSERT_TRUE(disk.ReadPage(0, buf.data()).ok());
+    EXPECT_EQ(buf[64], 0x5C);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FileDiskManagerTest, MisalignedFileIsCorruption) {
+  std::string path = testing::TempDir() + "/grnn_misaligned.pages";
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("short", f);
+  fclose(f);
+  auto r = FileDiskManager::Open(path, 128);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(MemoryDiskManagerTest, DefaultPageSizeIs4K) {
+  MemoryDiskManager disk;
+  EXPECT_EQ(disk.page_size(), kDefaultPageSize);
+  EXPECT_EQ(disk.page_size(), 4096u);
+}
+
+}  // namespace
+}  // namespace grnn::storage

@@ -1,0 +1,202 @@
+#include "storage/graph_file.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/network_view.h"
+#include "storage/stored_graph.h"
+
+namespace grnn::storage {
+namespace {
+
+graph::Graph PaperFig3() {
+  return graph::Graph::FromEdges(7, {{0, 3, 5.0},
+                                     {0, 4, 3.0},
+                                     {0, 1, 2.0},
+                                     {1, 4, 2.0},
+                                     {1, 5, 3.0},
+                                     {2, 3, 4.0},
+                                     {2, 5, 3.0},
+                                     {2, 6, 5.0},
+                                     {4, 6, 6.0}})
+      .ValueOrDie();
+}
+
+graph::Graph RandomGraph(NodeId n, double p, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.Bernoulli(p)) {
+        edges.push_back({u, v, rng.Uniform(0.1, 9.9)});
+      }
+    }
+  }
+  return graph::Graph::FromEdges(n, edges).ValueOrDie();
+}
+
+class GraphFileTest : public ::testing::TestWithParam<NodeOrder> {};
+
+TEST_P(GraphFileTest, RoundTripsAdjacency) {
+  auto g = PaperFig3();
+  MemoryDiskManager disk(128);
+  GraphFileOptions opts;
+  opts.order = GetParam();
+  auto file = GraphFile::Build(g, &disk, opts).ValueOrDie();
+  BufferPool pool(&disk, 8);
+
+  EXPECT_EQ(file.num_nodes(), g.num_nodes());
+  EXPECT_EQ(file.num_edges(), g.num_edges());
+  std::vector<AdjEntry> nbrs;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    ASSERT_TRUE(file.ReadNeighbors(&pool, n, &nbrs).ok());
+    auto want = g.Neighbors(n);
+    ASSERT_EQ(nbrs.size(), want.size()) << "node " << n;
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_EQ(nbrs[i].node, want[i].node);
+      EXPECT_DOUBLE_EQ(nbrs[i].weight, want[i].weight);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrders, GraphFileTest,
+                         ::testing::Values(NodeOrder::kBfs,
+                                           NodeOrder::kNatural,
+                                           NodeOrder::kRandom),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case NodeOrder::kBfs:
+                               return "Bfs";
+                             case NodeOrder::kNatural:
+                               return "Natural";
+                             default:
+                               return "Random";
+                           }
+                         });
+
+TEST(GraphFileBasicTest, DegreesMatch) {
+  auto g = PaperFig3();
+  MemoryDiskManager disk(128);
+  auto file = GraphFile::Build(g, &disk, {}).ValueOrDie();
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_EQ(file.Degree(n), g.Degree(n));
+  }
+}
+
+TEST(GraphFileBasicTest, PaddedListsDoNotStraddlePages) {
+  // Page of 128 bytes holds 10 entries of 12 bytes (120) + 8 padding.
+  auto g = RandomGraph(40, 0.2, 11);
+  MemoryDiskManager disk(128);
+  GraphFileOptions opts;
+  opts.pad_to_page_boundaries = true;
+  auto file = GraphFile::Build(g, &disk, opts).ValueOrDie();
+  const size_t max_per_page = 128 / kAdjEntryBytes;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    if (g.Degree(n) > 0 && g.Degree(n) <= max_per_page) {
+      EXPECT_EQ(file.PagesSpanned(n), 1u) << "node " << n;
+    }
+  }
+}
+
+TEST(GraphFileBasicTest, HugeListSpansMultiplePages) {
+  // Star graph: hub 0 with 50 leaves; page holds 10 entries.
+  std::vector<Edge> edges;
+  for (NodeId leaf = 1; leaf <= 50; ++leaf) {
+    edges.push_back({0, leaf, 1.0});
+  }
+  auto g = graph::Graph::FromEdges(51, edges).ValueOrDie();
+  MemoryDiskManager disk(128);
+  auto file = GraphFile::Build(g, &disk, {}).ValueOrDie();
+  EXPECT_GE(file.PagesSpanned(0), 5u);
+
+  BufferPool pool(&disk, 16);
+  std::vector<AdjEntry> nbrs;
+  ASSERT_TRUE(file.ReadNeighbors(&pool, 0, &nbrs).ok());
+  EXPECT_EQ(nbrs.size(), 50u);
+  // All leaves present.
+  std::vector<bool> seen(51, false);
+  for (const AdjEntry& a : nbrs) {
+    seen[a.node] = true;
+  }
+  for (NodeId leaf = 1; leaf <= 50; ++leaf) {
+    EXPECT_TRUE(seen[leaf]);
+  }
+}
+
+TEST(GraphFileBasicTest, IsolatedNodeReadsEmpty) {
+  auto g = graph::Graph::FromEdges(3, {{0, 1, 1.0}}).ValueOrDie();
+  MemoryDiskManager disk(128);
+  auto file = GraphFile::Build(g, &disk, {}).ValueOrDie();
+  BufferPool pool(&disk, 4);
+  std::vector<AdjEntry> nbrs;
+  ASSERT_TRUE(file.ReadNeighbors(&pool, 2, &nbrs).ok());
+  EXPECT_TRUE(nbrs.empty());
+}
+
+TEST(GraphFileBasicTest, BfsOrderUsesFewerPagesThanRandomForWalk) {
+  // Locality check: reading nodes in BFS-neighborhood order should fault
+  // less with BFS packing than with random packing on a path graph.
+  std::vector<Edge> edges;
+  const NodeId n = 400;
+  for (NodeId u = 0; u + 1 < n; ++u) {
+    edges.push_back({u, static_cast<NodeId>(u + 1), 1.0});
+  }
+  auto g = graph::Graph::FromEdges(n, edges).ValueOrDie();
+
+  auto count_faults = [&](NodeOrder order) {
+    MemoryDiskManager disk(128);
+    GraphFileOptions opts;
+    opts.order = order;
+    auto file = GraphFile::Build(g, &disk, opts).ValueOrDie();
+    BufferPool pool(&disk, 4);
+    std::vector<AdjEntry> nbrs;
+    for (NodeId u = 0; u < n; ++u) {
+      EXPECT_TRUE(file.ReadNeighbors(&pool, u, &nbrs).ok());
+    }
+    return pool.stats().physical_reads;
+  };
+
+  EXPECT_LT(count_faults(NodeOrder::kBfs),
+            count_faults(NodeOrder::kRandom) / 2);
+}
+
+TEST(GraphFileBasicTest, StoredGraphMatchesGraphView) {
+  auto g = RandomGraph(60, 0.1, 23);
+  MemoryDiskManager disk(256);
+  auto file = GraphFile::Build(g, &disk, {}).ValueOrDie();
+  BufferPool pool(&disk, 16);
+  StoredGraph stored(&file, &pool);
+  graph::GraphView view(&g);
+
+  EXPECT_EQ(stored.num_nodes(), view.num_nodes());
+  EXPECT_EQ(stored.num_edges(), view.num_edges());
+  std::vector<AdjEntry> a, b;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    ASSERT_TRUE(stored.GetNeighbors(u, &a).ok());
+    ASSERT_TRUE(view.GetNeighbors(u, &b).ok());
+    EXPECT_EQ(a, b) << "node " << u;
+  }
+}
+
+TEST(GraphFileBasicTest, RejectsEmptyGraph) {
+  auto g = graph::Graph::FromEdges(0, {}).ValueOrDie();
+  MemoryDiskManager disk(128);
+  EXPECT_FALSE(GraphFile::Build(g, &disk, {}).ok());
+}
+
+TEST(GraphFileBasicTest, RejectsNullDisk) {
+  auto g = PaperFig3();
+  EXPECT_FALSE(GraphFile::Build(g, nullptr, {}).ok());
+}
+
+TEST(GraphFileBasicTest, ReadOutOfRangeNodeFails) {
+  auto g = PaperFig3();
+  MemoryDiskManager disk(128);
+  auto file = GraphFile::Build(g, &disk, {}).ValueOrDie();
+  BufferPool pool(&disk, 4);
+  std::vector<AdjEntry> nbrs;
+  EXPECT_TRUE(file.ReadNeighbors(&pool, 100, &nbrs).IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace grnn::storage

@@ -1,0 +1,137 @@
+#include "storage/knn_file.h"
+
+#include <gtest/gtest.h>
+
+namespace grnn::storage {
+namespace {
+
+TEST(KnnFileTest, FreshSlotsReadEmpty) {
+  MemoryDiskManager disk(128);
+  auto file = KnnFile::Create(&disk, 20, 2).ValueOrDie();
+  BufferPool pool(&disk, 4);
+  std::vector<NnEntry> out;
+  for (NodeId n = 0; n < 20; ++n) {
+    ASSERT_TRUE(file.Read(&pool, n, &out).ok());
+    EXPECT_TRUE(out.empty());
+  }
+}
+
+TEST(KnnFileTest, WriteReadRoundTrip) {
+  MemoryDiskManager disk(128);
+  auto file = KnnFile::Create(&disk, 10, 3).ValueOrDie();
+  BufferPool pool(&disk, 4);
+  std::vector<NnEntry> in = {{5, 1.5}, {7, 2.25}, {2, 8.0}};
+  ASSERT_TRUE(file.Write(&pool, 4, in).ok());
+  std::vector<NnEntry> out;
+  ASSERT_TRUE(file.Read(&pool, 4, &out).ok());
+  EXPECT_EQ(out, in);
+}
+
+TEST(KnnFileTest, PartialListPreserved) {
+  MemoryDiskManager disk(128);
+  auto file = KnnFile::Create(&disk, 10, 4).ValueOrDie();
+  BufferPool pool(&disk, 4);
+  std::vector<NnEntry> in = {{1, 0.5}};
+  ASSERT_TRUE(file.Write(&pool, 0, in).ok());
+  std::vector<NnEntry> out;
+  ASSERT_TRUE(file.Read(&pool, 0, &out).ok());
+  EXPECT_EQ(out, in);
+}
+
+TEST(KnnFileTest, OverwriteShrinksList) {
+  MemoryDiskManager disk(128);
+  auto file = KnnFile::Create(&disk, 10, 3).ValueOrDie();
+  BufferPool pool(&disk, 4);
+  ASSERT_TRUE(file.Write(&pool, 2, {{1, 1.0}, {2, 2.0}, {3, 3.0}}).ok());
+  ASSERT_TRUE(file.Write(&pool, 2, {{9, 0.25}}).ok());
+  std::vector<NnEntry> out;
+  ASSERT_TRUE(file.Read(&pool, 2, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].point, 9u);
+}
+
+TEST(KnnFileTest, NeighborsSlotsDoNotInterfere) {
+  MemoryDiskManager disk(128);
+  auto file = KnnFile::Create(&disk, 30, 2).ValueOrDie();
+  BufferPool pool(&disk, 8);
+  for (NodeId n = 0; n < 30; ++n) {
+    ASSERT_TRUE(
+        file.Write(&pool, n, {{n, static_cast<double>(n)}}).ok());
+  }
+  std::vector<NnEntry> out;
+  for (NodeId n = 0; n < 30; ++n) {
+    ASSERT_TRUE(file.Read(&pool, n, &out).ok());
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].point, n);
+    EXPECT_DOUBLE_EQ(out[0].dist, static_cast<double>(n));
+  }
+}
+
+TEST(KnnFileTest, LargeKSpansPages) {
+  // K=20 entries * 12 bytes = 240 > 128-byte page.
+  MemoryDiskManager disk(128);
+  auto file = KnnFile::Create(&disk, 5, 20).ValueOrDie();
+  BufferPool pool(&disk, 8);
+  std::vector<NnEntry> in;
+  for (uint32_t i = 0; i < 20; ++i) {
+    in.push_back({i + 100, i * 0.5});
+  }
+  ASSERT_TRUE(file.Write(&pool, 3, in).ok());
+  std::vector<NnEntry> out;
+  ASSERT_TRUE(file.Read(&pool, 3, &out).ok());
+  EXPECT_EQ(out, in);
+  // Adjacent slots unaffected.
+  ASSERT_TRUE(file.Read(&pool, 2, &out).ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(file.Read(&pool, 4, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(KnnFileTest, ReadChargesIo) {
+  MemoryDiskManager disk(4096);
+  auto file = KnnFile::Create(&disk, 1000, 4).ValueOrDie();
+  BufferPool pool(&disk, 2);
+  std::vector<NnEntry> out;
+  ASSERT_TRUE(file.Read(&pool, 0, &out).ok());
+  EXPECT_EQ(pool.stats().physical_reads, 1u);
+  // A far-away node lives on a different page.
+  ASSERT_TRUE(file.Read(&pool, 999, &out).ok());
+  EXPECT_EQ(pool.stats().physical_reads, 2u);
+}
+
+TEST(KnnFileTest, WritesSurviveEvictionAndFlush) {
+  MemoryDiskManager disk(128);
+  auto file = KnnFile::Create(&disk, 40, 2).ValueOrDie();
+  {
+    BufferPool pool(&disk, 1);  // constant eviction pressure
+    for (NodeId n = 0; n < 40; ++n) {
+      ASSERT_TRUE(file.Write(&pool, n, {{n, 1.0}}).ok());
+    }
+    ASSERT_TRUE(pool.FlushAll().ok());
+  }
+  BufferPool fresh(&disk, 8);
+  std::vector<NnEntry> out;
+  for (NodeId n = 0; n < 40; ++n) {
+    ASSERT_TRUE(file.Read(&fresh, n, &out).ok());
+    ASSERT_EQ(out.size(), 1u) << "node " << n;
+    EXPECT_EQ(out[0].point, n);
+  }
+}
+
+TEST(KnnFileTest, RejectsInvalidArguments) {
+  MemoryDiskManager disk(128);
+  EXPECT_FALSE(KnnFile::Create(nullptr, 10, 1).ok());
+  EXPECT_FALSE(KnnFile::Create(&disk, 0, 1).ok());
+  EXPECT_FALSE(KnnFile::Create(&disk, 10, 0).ok());
+
+  auto file = KnnFile::Create(&disk, 10, 2).ValueOrDie();
+  BufferPool pool(&disk, 4);
+  std::vector<NnEntry> out;
+  EXPECT_TRUE(file.Read(&pool, 10, &out).IsOutOfRange());
+  EXPECT_TRUE(
+      file.Write(&pool, 0, {{1, 1.0}, {2, 2.0}, {3, 3.0}})
+          .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace grnn::storage

@@ -1,0 +1,117 @@
+#include "storage/point_file.h"
+
+#include <gtest/gtest.h>
+
+namespace grnn::storage {
+namespace {
+
+TEST(PointFileTest, EmptyFileHasNoPoints) {
+  MemoryDiskManager disk(128);
+  auto file = PointFile::Build(&disk, {}).ValueOrDie();
+  EXPECT_EQ(file.num_points(), 0u);
+  EXPECT_FALSE(file.EdgeHasPoints(0, 1));
+  BufferPool pool(&disk, 2);
+  std::vector<EdgePointRecord> out;
+  ASSERT_TRUE(file.ReadEdgePoints(&pool, 0, 1, &out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(pool.stats().logical_reads, 0u);  // index-only, no I/O
+}
+
+TEST(PointFileTest, RoundTripsSortedByPos) {
+  MemoryDiskManager disk(128);
+  std::vector<PointFile::EdgePoints> groups = {
+      {2, 6, {{1, 4.0}, {0, 1.0}, {2, 2.5}}},
+  };
+  auto file = PointFile::Build(&disk, groups).ValueOrDie();
+  EXPECT_EQ(file.num_points(), 3u);
+  BufferPool pool(&disk, 2);
+  std::vector<EdgePointRecord> out;
+  ASSERT_TRUE(file.ReadEdgePoints(&pool, 2, 6, &out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].point, 0u);
+  EXPECT_DOUBLE_EQ(out[0].pos, 1.0);
+  EXPECT_EQ(out[1].point, 2u);
+  EXPECT_EQ(out[2].point, 1u);
+}
+
+TEST(PointFileTest, LookupIsOrientationInsensitive) {
+  MemoryDiskManager disk(128);
+  auto file =
+      PointFile::Build(&disk, {{1, 3, {{7, 0.5}}}}).ValueOrDie();
+  EXPECT_TRUE(file.EdgeHasPoints(1, 3));
+  EXPECT_TRUE(file.EdgeHasPoints(3, 1));
+  BufferPool pool(&disk, 2);
+  std::vector<EdgePointRecord> fwd, rev;
+  ASSERT_TRUE(file.ReadEdgePoints(&pool, 1, 3, &fwd).ok());
+  ASSERT_TRUE(file.ReadEdgePoints(&pool, 3, 1, &rev).ok());
+  EXPECT_EQ(fwd, rev);
+  ASSERT_EQ(fwd.size(), 1u);
+  EXPECT_EQ(fwd[0].point, 7u);
+}
+
+TEST(PointFileTest, ManyEdgesIndependent) {
+  MemoryDiskManager disk(128);
+  std::vector<PointFile::EdgePoints> groups;
+  for (NodeId u = 0; u < 25; ++u) {
+    groups.push_back(
+        {u, static_cast<NodeId>(u + 100), {{u, 0.1}, {u + 1000, 1.0}}});
+  }
+  auto file = PointFile::Build(&disk, groups).ValueOrDie();
+  EXPECT_EQ(file.num_points(), 50u);
+  EXPECT_EQ(file.num_edges_with_points(), 25u);
+  BufferPool pool(&disk, 4);
+  std::vector<EdgePointRecord> out;
+  for (NodeId u = 0; u < 25; ++u) {
+    ASSERT_TRUE(
+        file.ReadEdgePoints(&pool, u, u + 100, &out).ok());
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].point, u);
+  }
+}
+
+TEST(PointFileTest, LargeGroupSpansPages) {
+  MemoryDiskManager disk(128);  // 10 records per page
+  PointFile::EdgePoints big{0, 1, {}};
+  for (uint32_t i = 0; i < 40; ++i) {
+    big.points.push_back({i, static_cast<double>(i)});
+  }
+  auto file = PointFile::Build(&disk, {big}).ValueOrDie();
+  BufferPool pool(&disk, 8);
+  std::vector<EdgePointRecord> out;
+  ASSERT_TRUE(file.ReadEdgePoints(&pool, 0, 1, &out).ok());
+  ASSERT_EQ(out.size(), 40u);
+  for (uint32_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(out[i].point, i);
+  }
+  EXPECT_GE(pool.stats().physical_reads, 4u);
+}
+
+TEST(PointFileTest, ReadChargesIoOnlyForPresentEdges) {
+  MemoryDiskManager disk(128);
+  auto file =
+      PointFile::Build(&disk, {{0, 1, {{3, 0.25}}}}).ValueOrDie();
+  BufferPool pool(&disk, 2);
+  std::vector<EdgePointRecord> out;
+  ASSERT_TRUE(file.ReadEdgePoints(&pool, 5, 6, &out).ok());
+  EXPECT_EQ(pool.stats().logical_reads, 0u);
+  ASSERT_TRUE(file.ReadEdgePoints(&pool, 0, 1, &out).ok());
+  EXPECT_EQ(pool.stats().logical_reads, 1u);
+}
+
+TEST(PointFileTest, RejectsBadInput) {
+  MemoryDiskManager disk(128);
+  // u >= v
+  EXPECT_FALSE(PointFile::Build(&disk, {{3, 1, {{0, 0.1}}}}).ok());
+  EXPECT_FALSE(PointFile::Build(&disk, {{1, 1, {{0, 0.1}}}}).ok());
+  // empty group
+  EXPECT_FALSE(PointFile::Build(&disk, {{0, 1, {}}}).ok());
+  // duplicate edge
+  EXPECT_FALSE(
+      PointFile::Build(&disk, {{0, 1, {{0, 0.1}}}, {0, 1, {{1, 0.2}}}})
+          .ok());
+  // null disk
+  EXPECT_FALSE(PointFile::Build(nullptr, {{0, 1, {{0, 0.1}}}}).ok());
+}
+
+}  // namespace
+}  // namespace grnn::storage
