@@ -7,7 +7,6 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "core/eager.h"
 #include "gen/points.h"
 #include "gen/road_network.h"
 
@@ -49,17 +48,20 @@ int main(int argc, char** argv) {
     storage::BufferPool pool(&disk, kDefaultPoolPages);
     storage::StoredGraph view(&file, &pool);
 
+    core::EngineSources sources;
+    sources.graph = &view;
+    sources.points = &points;
+    sources.pool = &pool;
+    auto engine = core::RknnEngine::Create(sources).ValueOrDie();
     auto m = RunWorkload(&pool, queries.size(),
                          [&](size_t i) -> Result<size_t> {
-                           core::RknnOptions o;
-                           o.exclude_point = queries[i];
-                           std::vector<NodeId> q{
-                               points.NodeOf(queries[i])};
-                           auto r = core::EagerRknn(view, points, q, o);
-                           if (!r.ok()) {
-                             return r.status();
-                           }
-                           return r->results.size();
+                           GRNN_ASSIGN_OR_RETURN(
+                               core::RknnResult r,
+                               engine.Run(core::QuerySpec::Monochromatic(
+                                   core::Algorithm::kEager,
+                                   points.NodeOf(queries[i]), /*k=*/1,
+                                   queries[i])));
+                           return r.results.size();
                          })
                  .ValueOrDie();
     table.AddRow({c.name, Table::Num(m.AvgFaults(), 1),

@@ -6,8 +6,6 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "core/eager.h"
-#include "core/lazy.h"
 #include "gen/points.h"
 #include "gen/road_network.h"
 
@@ -34,28 +32,24 @@ int main(int argc, char** argv) {
   auto env = BuildStoredRestricted(net.g, points, /*K=*/0).ValueOrDie();
 
   Table table({"algorithm", "policy", "IO/q", "CPUms/q"});
-  for (int algo = 0; algo < 2; ++algo) {
+  for (core::Algorithm a :
+       {core::Algorithm::kEager, core::Algorithm::kLazy}) {
     for (auto policy : {storage::ReplacementPolicy::kLru,
                         storage::ReplacementPolicy::kFifo}) {
       env.ResetPool(16, policy);
+      auto engine = MakeRestrictedEngine(env, points).ValueOrDie();
       auto m =
           RunWorkload(env.pool.get(), queries.size(),
                       [&](size_t i) -> Result<size_t> {
-                        core::RknnOptions o;
-                        o.exclude_point = queries[i];
-                        std::vector<NodeId> q{points.NodeOf(queries[i])};
-                        auto r = algo == 0
-                                     ? core::EagerRknn(*env.view, points,
-                                                       q, o)
-                                     : core::LazyRknn(*env.view, points,
-                                                      q, o);
-                        if (!r.ok()) {
-                          return r.status();
-                        }
-                        return r->results.size();
+                        GRNN_ASSIGN_OR_RETURN(
+                            core::RknnResult r,
+                            engine.Run(core::QuerySpec::Monochromatic(
+                                a, points.NodeOf(queries[i]), /*k=*/1,
+                                queries[i])));
+                        return r.results.size();
                       })
               .ValueOrDie();
-      table.AddRow({algo == 0 ? "eager" : "lazy",
+      table.AddRow({core::AlgorithmName(a),
                     policy == storage::ReplacementPolicy::kLru ? "LRU"
                                                                : "FIFO",
                     Table::Num(m.AvgFaults(), 1),

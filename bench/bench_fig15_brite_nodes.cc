@@ -25,8 +25,7 @@ int main(int argc, char** argv) {
   PrintBanner("Fig 15 -- cost vs |V| (BRITE-like, D=0.01, k=1)", args,
               "total = CPU + 10ms/fault; breakdown column = faults/CPUms");
 
-  Table table({"|V|", "E tot(s)", "EM tot(s)", "L tot(s)", "LP tot(s)",
-               "E io/cpu", "EM io/cpu", "L io/cpu", "LP io/cpu"});
+  Table table(FourWayHeaders({"|V|"}));
 
   for (NodeId n : sizes) {
     gen::BriteConfig cfg;
@@ -47,7 +46,7 @@ int main(int argc, char** argv) {
     auto env = BuildStoredRestricted(g, points,
                                      /*K=*/static_cast<uint32_t>(k) + 1)
                    .ValueOrDie();
-    auto fw = RunFourWayRestricted(env, points, queries, k).ValueOrDie();
+    auto fw = RunFourWayRestricted(env, points, queries, k, args.algos).ValueOrDie();
 
     std::vector<std::string> cells{std::to_string(n)};
     AppendFourWayCells(fw, &cells);

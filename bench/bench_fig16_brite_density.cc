@@ -31,8 +31,7 @@ int main(int argc, char** argv) {
                 n),
       args, "total = CPU + 10ms/fault; breakdown column = faults/CPUms");
 
-  Table table({"D", "E tot(s)", "EM tot(s)", "L tot(s)", "LP tot(s)",
-               "E io/cpu", "EM io/cpu", "L io/cpu", "LP io/cpu"});
+  Table table(FourWayHeaders({"D"}));
 
   for (double density : {0.0025, 0.005, 0.01, 0.02, 0.04}) {
     Rng rng(args.seed * 17 + static_cast<uint64_t>(density * 1e5));
@@ -43,7 +42,7 @@ int main(int argc, char** argv) {
     auto env = BuildStoredRestricted(g, points,
                                      /*K=*/static_cast<uint32_t>(k) + 1)
                    .ValueOrDie();
-    auto fw = RunFourWayRestricted(env, points, queries, k).ValueOrDie();
+    auto fw = RunFourWayRestricted(env, points, queries, k, args.algos).ValueOrDie();
 
     std::vector<std::string> cells{Table::Num(density, 4)};
     AppendFourWayCells(fw, &cells);

@@ -28,8 +28,7 @@ int main(int argc, char** argv) {
       StrPrintf("avg degree %.2f (SF: 2.55); points on edges",
                 net.g.AverageDegree()));
 
-  Table table({"D", "E tot(s)", "EM tot(s)", "L tot(s)", "LP tot(s)",
-               "E io/cpu", "EM io/cpu", "L io/cpu", "LP io/cpu"});
+  Table table(FourWayHeaders({"D"}));
 
   for (double density : {0.0025, 0.005, 0.01, 0.02, 0.04}) {
     Rng rng(args.seed * 19 + static_cast<uint64_t>(density * 1e5));
@@ -41,7 +40,7 @@ int main(int argc, char** argv) {
                    net.g, points, /*K=*/static_cast<uint32_t>(k) + 1)
                    .ValueOrDie();
     auto fw =
-        RunFourWayUnrestricted(env, points, queries, k).ValueOrDie();
+        RunFourWayUnrestricted(env, points, queries, k, args.algos).ValueOrDie();
 
     std::vector<std::string> cells{Table::Num(density, 4)};
     AppendFourWayCells(fw, &cells);

@@ -40,11 +40,10 @@ int main(int argc, char** argv) {
   auto env =
       BuildStoredUnrestricted(net.g, points, max_k + 1).ValueOrDie();
 
-  Table table({"k", "E tot(s)", "EM tot(s)", "L tot(s)", "LP tot(s)",
-               "E io/cpu", "EM io/cpu", "L io/cpu", "LP io/cpu"});
+  Table table(FourWayHeaders({"k"}));
   for (int k : ks) {
     auto fw =
-        RunFourWayUnrestricted(env, points, queries, k).ValueOrDie();
+        RunFourWayUnrestricted(env, points, queries, k, args.algos).ValueOrDie();
     std::vector<std::string> cells{std::to_string(k)};
     AppendFourWayCells(fw, &cells);
     table.AddRow(std::move(cells));

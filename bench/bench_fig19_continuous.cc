@@ -36,8 +36,7 @@ int main(int argc, char** argv) {
                                      /*K=*/static_cast<uint32_t>(k) + 1)
                  .ValueOrDie();
 
-  Table table({"route", "E tot(s)", "EM tot(s)", "L tot(s)", "LP tot(s)",
-               "E io/cpu", "EM io/cpu", "L io/cpu", "LP io/cpu"});
+  Table table(FourWayHeaders({"route"}));
 
   for (size_t route_len : {1u, 5u, 10u, 20u, 30u, 40u}) {
     // Pre-build the workload's routes (retrying stuck walks).
@@ -53,38 +52,21 @@ int main(int argc, char** argv) {
     }
 
     FourWay fw;
-    for (int a = 0; a < 4; ++a) {
+    for (core::Algorithm a : args.algos) {
+      const int slot = FourWayIndex(a);
+      if (slot < 0) {
+        continue;
+      }
       env.ResetPool(env.pool->capacity());
-      fw.m[a] =
+      auto engine = MakeUnrestrictedEngine(env, points).ValueOrDie();
+      fw.m[slot] =
           RunWorkload(env.pool.get(), routes.size(),
                       [&](size_t i) -> Result<size_t> {
-                        core::UnrestrictedQuery q;
-                        q.is_position = false;
-                        q.route = routes[i];
-                        q.k = k;
-                        Result<core::RknnResult> r = Status::OK();
-                        switch (a) {
-                          case 0:
-                            r = core::UnrestrictedEagerRknn(
-                                *env.view, points, *env.reader, q);
-                            break;
-                          case 1:
-                            r = core::UnrestrictedEagerMRknn(
-                                *env.view, points, *env.reader,
-                                env.knn_store.get(), q);
-                            break;
-                          case 2:
-                            r = core::UnrestrictedLazyRknn(
-                                *env.view, points, *env.reader, q);
-                            break;
-                          default:
-                            r = core::UnrestrictedLazyEpRknn(
-                                *env.view, points, *env.reader, q);
-                        }
-                        if (!r.ok()) {
-                          return r.status();
-                        }
-                        return r->results.size();
+                        GRNN_ASSIGN_OR_RETURN(
+                            core::RknnResult r,
+                            engine.Run(core::QuerySpec::Continuous(
+                                a, routes[i], k)));
+                        return r.results.size();
                       })
               .ValueOrDie();
     }

@@ -15,15 +15,17 @@ using namespace grnn::bench;
 
 namespace {
 
-void RunRow(const graph::Graph& g, double density, int k, size_t queries,
-            uint64_t seed, const std::string& label, Table* table) {
+void RunRow(const graph::Graph& g, double density, int k,
+            const BenchArgs& args, uint64_t seed, const std::string& label,
+            Table* table) {
   Rng rng(seed);
   auto points = gen::PlaceEdgePoints(g, density, rng).ValueOrDie();
-  auto qs = gen::SampleEdgeQueryPoints(points, queries, rng);
+  auto qs = gen::SampleEdgeQueryPoints(points, args.queries, rng);
   auto env = BuildStoredUnrestricted(g, points,
                                      /*K=*/static_cast<uint32_t>(k) + 1)
                  .ValueOrDie();
-  auto fw = RunFourWayUnrestricted(env, points, qs, k).ValueOrDie();
+  auto fw =
+      RunFourWayUnrestricted(env, points, qs, k, args.algos).ValueOrDie();
   std::vector<std::string> cells{label};
   AppendFourWayCells(fw, &cells);
   table->AddRow(std::move(cells));
@@ -41,8 +43,7 @@ int main(int argc, char** argv) {
 
   // ---- Fig 20a: node cardinality sweep at degree 4.
   std::printf("\n(a) cost vs |V| (degree = 4)\n");
-  Table ta({"|V|", "E tot(s)", "EM tot(s)", "L tot(s)", "LP tot(s)",
-            "E io/cpu", "EM io/cpu", "L io/cpu", "LP io/cpu"});
+  Table ta(FourWayHeaders({"|V|"}));
   std::vector<uint32_t> sides = args.pick<std::vector<uint32_t>>(
       {60, 100, 140}, {100, 200, 300}, {200, 300, 400});
   for (uint32_t side : sides) {
@@ -51,7 +52,7 @@ int main(int argc, char** argv) {
     cfg.cols = side;
     cfg.seed = args.seed;
     auto g = gen::GenerateGrid(cfg).ValueOrDie();
-    RunRow(g, density, k, args.queries, args.seed * 41 + side,
+    RunRow(g, density, k, args, args.seed * 41 + side,
            std::to_string(g.num_nodes()), &ta);
   }
   ta.Print();
@@ -60,8 +61,7 @@ int main(int argc, char** argv) {
   const uint32_t side_b = args.pick<uint32_t>(100u, 200u, 400u);
   std::printf("\n(b) cost vs average degree (|V| = %u)\n",
               side_b * side_b);
-  Table tb({"degree", "E tot(s)", "EM tot(s)", "L tot(s)", "LP tot(s)",
-            "E io/cpu", "EM io/cpu", "L io/cpu", "LP io/cpu"});
+  Table tb(FourWayHeaders({"degree"}));
   for (double degree : {4.0, 5.0, 6.0, 7.0}) {
     gen::GridConfig cfg;
     cfg.rows = side_b;
@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
     cfg.avg_degree = degree;
     cfg.seed = args.seed;
     auto g = gen::GenerateGrid(cfg).ValueOrDie();
-    RunRow(g, density, k, args.queries,
+    RunRow(g, density, k, args,
            args.seed * 43 + static_cast<uint64_t>(degree),
            Table::Num(degree, 0), &tb);
   }

@@ -41,25 +41,21 @@ int main(int argc, char** argv) {
   for (size_t pages : {size_t{0}, size_t{16}, size_t{64}, size_t{256},
                        size_t{1024}}) {
     Measurement per_algo[2];
+    const core::Algorithm algos[2] = {core::Algorithm::kEager,
+                                      core::Algorithm::kLazy};
     for (int a = 0; a < 2; ++a) {
       env.ResetPool(pages);
+      auto engine = MakeUnrestrictedEngine(env, points).ValueOrDie();
       per_algo[a] =
           RunWorkload(
               env.pool.get(), queries.size(),
               [&](size_t i) -> Result<size_t> {
-                core::UnrestrictedQuery q;
-                q.k = k;
-                q.position = points.PositionOf(queries[i]);
-                q.exclude_point = queries[i];
-                auto r = a == 0
-                             ? core::UnrestrictedEagerRknn(
-                                   *env.view, points, *env.reader, q)
-                             : core::UnrestrictedLazyRknn(
-                                   *env.view, points, *env.reader, q);
-                if (!r.ok()) {
-                  return r.status();
-                }
-                return r->results.size();
+                GRNN_ASSIGN_OR_RETURN(
+                    core::RknnResult r,
+                    engine.Run(core::QuerySpec::Unrestricted(
+                        algos[a], points.PositionOf(queries[i]), k,
+                        queries[i])));
+                return r.results.size();
               },
               /*cold_per_query=*/pages > 0)
               .ValueOrDie();

@@ -5,6 +5,8 @@
 
 #include "common/indexed_heap.h"
 #include "common/rng.h"
+#include "core/engine.h"
+#include "core/eager.h"
 #include "core/primitives.h"
 #include "gen/brite.h"
 #include "gen/points.h"
@@ -106,6 +108,57 @@ void BM_RangeNn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RangeNn)->Arg(100)->Arg(400)->Arg(1600);
+
+// Engine-session batching vs one-shot free-function calls: the same
+// eager workload, with and without cross-query workspace reuse.
+void BM_EngineBatchEager(benchmark::State& state) {
+  gen::RoadConfig cfg;
+  cfg.num_nodes = 20000;
+  auto net = gen::GenerateRoadNetwork(cfg).ValueOrDie();
+  graph::GraphView view(&net.g);
+  Rng rng(5);
+  auto points =
+      gen::PlaceNodePoints(net.g.num_nodes(), 0.01, rng).ValueOrDie();
+  auto queries = gen::SampleQueryPoints(points, 64, rng);
+  std::vector<core::QuerySpec> specs;
+  for (PointId qp : queries) {
+    specs.push_back(core::QuerySpec::Monochromatic(
+        core::Algorithm::kEager, points.NodeOf(qp), 1, qp));
+  }
+  core::EngineSources sources;
+  sources.graph = &view;
+  sources.points = &points;
+  auto engine = core::RknnEngine::Create(sources).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.RunBatch(specs).ValueOrDie());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(specs.size()));
+}
+BENCHMARK(BM_EngineBatchEager)->Unit(benchmark::kMillisecond);
+
+void BM_OneShotEager(benchmark::State& state) {
+  gen::RoadConfig cfg;
+  cfg.num_nodes = 20000;
+  auto net = gen::GenerateRoadNetwork(cfg).ValueOrDie();
+  graph::GraphView view(&net.g);
+  Rng rng(5);
+  auto points =
+      gen::PlaceNodePoints(net.g.num_nodes(), 0.01, rng).ValueOrDie();
+  auto queries = gen::SampleQueryPoints(points, 64, rng);
+  for (auto _ : state) {
+    for (PointId qp : queries) {
+      core::RknnOptions opts;
+      opts.exclude_point = qp;
+      std::vector<NodeId> q{points.NodeOf(qp)};
+      benchmark::DoNotOptimize(
+          core::EagerRknn(view, points, q, opts).ValueOrDie());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(queries.size()));
+}
+BENCHMARK(BM_OneShotEager)->Unit(benchmark::kMillisecond);
 
 void BM_AllNnBuild(benchmark::State& state) {
   gen::RoadConfig cfg;

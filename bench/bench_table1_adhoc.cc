@@ -7,8 +7,6 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "core/eager.h"
-#include "core/lazy.h"
 #include "gen/coauthorship.h"
 
 using namespace grnn;
@@ -44,23 +42,23 @@ int main(int argc, char** argv) {
         [&](NodeId n) { return net.venue0_papers[n] == c; });
 
     Measurement per_algo[2];
+    const core::Algorithm algos[2] = {core::Algorithm::kEager,
+                                      core::Algorithm::kLazy};
     for (int algo = 0; algo < 2; ++algo) {
       auto env =
           BuildStoredRestricted(net.g, subset, /*K=*/0).ValueOrDie();
+      auto engine = MakeRestrictedEngine(env, subset).ValueOrDie();
       auto m =
-          RunWorkload(env.pool.get(), args.queries, [&](size_t i) -> grnn::Result<size_t> {
-            core::RknnOptions opts;
-            opts.exclude_point = subset.PointAt(query_nodes[i]);
-            std::vector<NodeId> q{query_nodes[i]};
-            if (algo == 0) {
-              return core::EagerRknn(*env.view, subset, q, opts)
-                  .ValueOrDie()
-                  .results.size();
-            }
-            return core::LazyRknn(*env.view, subset, q, opts)
-                .ValueOrDie()
-                .results.size();
-          }).ValueOrDie();
+          RunWorkload(env.pool.get(), args.queries,
+                      [&](size_t i) -> grnn::Result<size_t> {
+                        GRNN_ASSIGN_OR_RETURN(
+                            core::RknnResult r,
+                            engine.Run(core::QuerySpec::Monochromatic(
+                                algos[algo], query_nodes[i], /*k=*/1,
+                                subset.PointAt(query_nodes[i]))));
+                        return r.results.size();
+                      })
+              .ValueOrDie();
       per_algo[algo] = m;
     }
     table.AddRow({StrPrintf("papers == %u", c),

@@ -5,8 +5,6 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "core/eager.h"
-#include "core/lazy.h"
 #include "gen/coauthorship.h"
 #include "gen/points.h"
 
@@ -36,23 +34,23 @@ int main(int argc, char** argv) {
     auto queries = gen::SampleQueryPoints(points, args.queries, rng);
 
     Measurement per_algo[2];
+    const core::Algorithm algos[2] = {core::Algorithm::kEager,
+                                      core::Algorithm::kLazy};
     for (int algo = 0; algo < 2; ++algo) {
       auto env =
           BuildStoredRestricted(net.g, points, /*K=*/0).ValueOrDie();
+      auto engine = MakeRestrictedEngine(env, points).ValueOrDie();
       per_algo[algo] =
-          RunWorkload(env.pool.get(), queries.size(), [&](size_t i) -> grnn::Result<size_t> {
-            core::RknnOptions opts;
-            opts.exclude_point = queries[i];
-            std::vector<NodeId> q{points.NodeOf(queries[i])};
-            if (algo == 0) {
-              return core::EagerRknn(*env.view, points, q, opts)
-                  .ValueOrDie()
-                  .results.size();
-            }
-            return core::LazyRknn(*env.view, points, q, opts)
-                .ValueOrDie()
-                .results.size();
-          }).ValueOrDie();
+          RunWorkload(env.pool.get(), queries.size(),
+                      [&](size_t i) -> grnn::Result<size_t> {
+                        GRNN_ASSIGN_OR_RETURN(
+                            core::RknnResult r,
+                            engine.Run(core::QuerySpec::Monochromatic(
+                                algos[algo], points.NodeOf(queries[i]),
+                                /*k=*/1, queries[i])));
+                        return r.results.size();
+                      })
+              .ValueOrDie();
     }
     table.AddRow({Table::Num(density, 4),
                   std::to_string(points.num_points()),

@@ -1,14 +1,46 @@
 #include "bench_util.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string_view>
 
 #include "common/string_util.h"
-#include "core/eager.h"
-#include "core/lazy.h"
-#include "core/lazy_ep.h"
 
 namespace grnn::bench {
+
+namespace {
+
+// Comma-separated algorithm list, each token through the central
+// parser. A token the parser rejects aborts the bench: silently
+// falling back to the full sweep is far costlier than re-typing a
+// flag.
+std::vector<core::Algorithm> ParseAlgos(const char* csv) {
+  std::vector<core::Algorithm> out;
+  std::string_view rest(csv);
+  while (!rest.empty()) {
+    const size_t comma = rest.find(',');
+    const std::string_view token = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view()
+                                           : rest.substr(comma + 1);
+    if (token.empty()) {
+      continue;
+    }
+    auto parsed = core::ParseAlgorithm(token);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      std::exit(2);
+    }
+    out.push_back(*parsed);
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "--algos= needs at least one algorithm\n");
+    std::exit(2);
+  }
+  return out;
+}
+
+}  // namespace
 
 BenchArgs BenchArgs::Parse(int argc, char** argv) {
   BenchArgs args;
@@ -29,9 +61,12 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
       args.queries = static_cast<size_t>(std::atoll(a + 10));
     } else if (std::strncmp(a, "--seed=", 7) == 0) {
       args.seed = static_cast<uint64_t>(std::atoll(a + 7));
+    } else if (std::strncmp(a, "--algos=", 8) == 0) {
+      args.algos = ParseAlgos(a + 8);
     } else if (std::strcmp(a, "--help") == 0) {
       std::printf(
-          "options: --scale=small|medium|full --queries=N --seed=S\n");
+          "options: --scale=small|medium|full --queries=N --seed=S "
+          "--algos=E,EM,L,LP\n");
     }
   }
   return args;
@@ -140,86 +175,101 @@ Result<StoredUnrestricted> BuildStoredUnrestricted(
   return env;
 }
 
-Result<FourWay> RunFourWayRestricted(StoredRestricted& env,
-                                     const core::NodePointSet& points,
-                                     const std::vector<PointId>& queries,
-                                     int k) {
+int FourWayIndex(core::Algorithm a) {
+  for (size_t i = 0; i < std::size(core::kAllAlgorithms); ++i) {
+    if (core::kAllAlgorithms[i] == a) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::vector<std::string> FourWayHeaders(std::vector<std::string> first) {
+  for (core::Algorithm a : core::kAllAlgorithms) {
+    first.push_back(StrPrintf("%s tot(s)", core::AlgorithmShortName(a)));
+  }
+  for (core::Algorithm a : core::kAllAlgorithms) {
+    first.push_back(StrPrintf("%s io/cpu", core::AlgorithmShortName(a)));
+  }
+  return first;
+}
+
+Result<core::RknnEngine> MakeRestrictedEngine(
+    const StoredRestricted& env, const core::NodePointSet& points) {
+  core::EngineSources sources;
+  sources.graph = env.view.get();
+  sources.points = &points;
+  sources.knn = env.knn_store.get();
+  sources.pool = env.pool.get();
+  return core::RknnEngine::Create(sources);
+}
+
+Result<core::RknnEngine> MakeUnrestrictedEngine(
+    const StoredUnrestricted& env, const core::EdgePointSet& points) {
+  core::EngineSources sources;
+  sources.graph = env.view.get();
+  sources.edge_points = &points;
+  sources.edge_reader = env.reader.get();
+  sources.knn = env.knn_store.get();
+  sources.pool = env.pool.get();
+  return core::RknnEngine::Create(sources);
+}
+
+Result<FourWay> RunFourWayRestricted(
+    StoredRestricted& env, const core::NodePointSet& points,
+    const std::vector<PointId>& queries, int k,
+    std::span<const core::Algorithm> algos) {
   FourWay out;
-  for (int a = 0; a < 4; ++a) {
+  for (core::Algorithm a : algos) {
+    const int slot = FourWayIndex(a);
+    if (slot < 0) {
+      continue;  // brute force has no column in the paper's figures
+    }
     env.ResetPool(env.pool->capacity());
+    GRNN_ASSIGN_OR_RETURN(core::RknnEngine engine,
+                          MakeRestrictedEngine(env, points));
     GRNN_ASSIGN_OR_RETURN(
-        out.m[a],
+        out.m[slot],
         RunWorkload(env.pool.get(), queries.size(),
                     [&](size_t i) -> Result<size_t> {
-                      core::RknnOptions opts;
-                      opts.k = k;
-                      opts.exclude_point = queries[i];
-                      std::vector<NodeId> q{points.NodeOf(queries[i])};
-                      Result<core::RknnResult> r = Status::OK();
-                      switch (a) {
-                        case 0:
-                          r = core::EagerRknn(*env.view, points, q, opts);
-                          break;
-                        case 1:
-                          r = core::EagerMRknn(*env.view, points,
-                                               env.knn_store.get(), q,
-                                               opts);
-                          break;
-                        case 2:
-                          r = core::LazyRknn(*env.view, points, q, opts);
-                          break;
-                        default:
-                          r = core::LazyEpRknn(*env.view, points, q, opts);
-                      }
-                      if (!r.ok()) {
-                        return r.status();
-                      }
-                      return r->results.size();
+                      // Run (not RunBatch): the paper charges each query
+                      // a cold buffer pool, which RunWorkload enforces
+                      // between calls; workspace reuse still applies.
+                      GRNN_ASSIGN_OR_RETURN(
+                          core::RknnResult r,
+                          engine.Run(core::QuerySpec::Monochromatic(
+                              a, points.NodeOf(queries[i]), k,
+                              queries[i])));
+                      return r.results.size();
                     }));
   }
   return out;
 }
 
-Result<FourWay> RunFourWayUnrestricted(StoredUnrestricted& env,
-                                       const core::EdgePointSet& points,
-                                       const std::vector<PointId>& queries,
-                                       int k) {
+Result<FourWay> RunFourWayUnrestricted(
+    StoredUnrestricted& env, const core::EdgePointSet& points,
+    const std::vector<PointId>& queries, int k,
+    std::span<const core::Algorithm> algos) {
   FourWay out;
-  for (int a = 0; a < 4; ++a) {
+  for (core::Algorithm a : algos) {
+    const int slot = FourWayIndex(a);
+    if (slot < 0) {
+      continue;
+    }
     env.ResetPool(env.pool->capacity());
+    GRNN_ASSIGN_OR_RETURN(core::RknnEngine engine,
+                          MakeUnrestrictedEngine(env, points));
     GRNN_ASSIGN_OR_RETURN(
-        out.m[a],
-        RunWorkload(
-            env.pool.get(), queries.size(),
-            [&](size_t i) -> Result<size_t> {
-              core::UnrestrictedQuery q;
-              q.k = k;
-              q.position = points.PositionOf(queries[i]);
-              q.exclude_point = queries[i];
-              Result<core::RknnResult> r = Status::OK();
-              switch (a) {
-                case 0:
-                  r = core::UnrestrictedEagerRknn(*env.view, points,
-                                                  *env.reader, q);
-                  break;
-                case 1:
-                  r = core::UnrestrictedEagerMRknn(*env.view, points,
-                                                   *env.reader,
-                                                   env.knn_store.get(), q);
-                  break;
-                case 2:
-                  r = core::UnrestrictedLazyRknn(*env.view, points,
-                                                 *env.reader, q);
-                  break;
-                default:
-                  r = core::UnrestrictedLazyEpRknn(*env.view, points,
-                                                   *env.reader, q);
-              }
-              if (!r.ok()) {
-                return r.status();
-              }
-              return r->results.size();
-            }));
+        out.m[slot],
+        RunWorkload(env.pool.get(), queries.size(),
+                    [&](size_t i) -> Result<size_t> {
+                      GRNN_ASSIGN_OR_RETURN(
+                          core::RknnResult r,
+                          engine.Run(core::QuerySpec::Unrestricted(
+                              a, points.PositionOf(queries[i]), k,
+                              queries[i])));
+                      return r.results.size();
+                    }));
   }
   return out;
 }

@@ -14,12 +14,16 @@
 #include <string>
 #include <vector>
 
+#include <span>
+
 #include "common/result.h"
 #include "common/string_util.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "core/engine.h"
 #include "core/materialize.h"
 #include "core/point_set.h"
+#include "core/query.h"
 #include "core/unrestricted.h"
 #include "graph/graph.h"
 #include "storage/buffer_pool.h"
@@ -40,6 +44,10 @@ struct BenchArgs {
   ScaleLevel scale = ScaleLevel::kMedium;
   size_t queries = 50;
   uint64_t seed = 1;
+  /// Paper algorithms to run, figure order. `--algos=E,LP` (any form
+  /// ParseAlgorithm accepts) narrows the sweep.
+  std::vector<core::Algorithm> algos{std::begin(core::kAllAlgorithms),
+                                     std::end(core::kAllAlgorithms)};
 
   static BenchArgs Parse(int argc, char** argv);
   const char* scale_name() const;
@@ -152,25 +160,46 @@ Result<Measurement> RunWorkload(storage::BufferPool* pool, size_t count,
   return m;
 }
 
-/// Results of the four paper algorithms, in figure order E / EM / L / LP.
+/// Results of the four paper algorithms, in figure order (the slot of
+/// algorithm `a` is FourWayIndex(a), i.e. its position in
+/// core::kAllAlgorithms). Algorithms not part of a run stay
+/// zero-measured.
 struct FourWay {
   Measurement m[4];
 };
-inline constexpr const char* kFourWayNames[4] = {"E", "EM", "L", "LP"};
 
-/// Runs eager / eager-M / lazy / lazy-EP over a workload of query points
-/// (each excluded from its own query), cold cache per algorithm.
-/// Requires env.knn_store (K >= k).
-Result<FourWay> RunFourWayRestricted(StoredRestricted& env,
-                                     const core::NodePointSet& points,
-                                     const std::vector<PointId>& queries,
-                                     int k);
+/// Position of `a` in core::kAllAlgorithms; -1 for the brute force.
+int FourWayIndex(core::Algorithm a);
+
+/// Engine session over a stored restricted environment (current view,
+/// KNN store when materialized, and the counted pool). Rebuild the
+/// engine after ResetPool: the views it holds are replaced.
+Result<core::RknnEngine> MakeRestrictedEngine(
+    const StoredRestricted& env, const core::NodePointSet& points);
+
+/// Unrestricted counterpart (edge points + stored reader).
+Result<core::RknnEngine> MakeUnrestrictedEngine(
+    const StoredUnrestricted& env, const core::EdgePointSet& points);
+
+/// Table headers for FourWay rows: `first` columns, then one total-cost
+/// column and one io/cpu breakdown column per paper algorithm, labelled
+/// through core::AlgorithmShortName.
+std::vector<std::string> FourWayHeaders(std::vector<std::string> first);
+
+/// Runs the selected paper algorithms over a workload of query points
+/// (each excluded from its own query) through an RknnEngine session,
+/// cold cache per algorithm. Requires env.knn_store (K >= k) when
+/// eager-M is selected.
+Result<FourWay> RunFourWayRestricted(
+    StoredRestricted& env, const core::NodePointSet& points,
+    const std::vector<PointId>& queries, int k,
+    std::span<const core::Algorithm> algos = core::kAllAlgorithms);
 
 /// Unrestricted counterpart: queries are edge-resident data points.
-Result<FourWay> RunFourWayUnrestricted(StoredUnrestricted& env,
-                                       const core::EdgePointSet& points,
-                                       const std::vector<PointId>& queries,
-                                       int k);
+Result<FourWay> RunFourWayUnrestricted(
+    StoredUnrestricted& env, const core::EdgePointSet& points,
+    const std::vector<PointId>& queries, int k,
+    std::span<const core::Algorithm> algos = core::kAllAlgorithms);
 
 /// Appends the four algorithms' total-cost cells (paper cost model) plus
 /// a breakdown suffix to `cells`.

@@ -14,8 +14,7 @@
 #include <cstdlib>
 
 #include "common/timer.h"
-#include "core/eager.h"
-#include "core/lazy.h"
+#include "core/engine.h"
 #include "gen/coauthorship.h"
 #include "graph/network_view.h"
 
@@ -57,15 +56,24 @@ int main(int argc, char** argv) {
       continue;
     }
 
+    // The ad-hoc subset is defined per condition, so each gets its own
+    // short-lived engine session (materialization stays impossible).
+    core::EngineSources sources;
+    sources.graph = &network;
+    sources.points = &subset;
+    auto engine = core::RknnEngine::Create(sources).ValueOrDie();
+
     WallTimer eager_t;
-    auto eager = core::EagerRknn(network, subset,
-                                 std::vector<NodeId>{query_author})
+    auto eager = engine
+                     .Run(core::QuerySpec::Monochromatic(
+                         core::Algorithm::kEager, query_author))
                      .ValueOrDie();
     double eager_s = eager_t.ElapsedSeconds();
 
     WallTimer lazy_t;
-    auto lazy = core::LazyRknn(network, subset,
-                               std::vector<NodeId>{query_author})
+    auto lazy = engine
+                    .Run(core::QuerySpec::Monochromatic(
+                        core::Algorithm::kLazy, query_author))
                     .ValueOrDie();
     double lazy_s = lazy_t.ElapsedSeconds();
 

@@ -10,9 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/brute_force.h"
-#include "core/eager.h"
-#include "core/query.h"
+#include "core/engine.h"
 #include "gen/brite.h"
 #include "gen/points.h"
 #include "graph/network_view.h"
@@ -47,10 +45,13 @@ int main(int argc, char** argv) {
 
   // --- Who should re-route to the newcomer? RkNN with eager (the method
   // of choice for exponential-expansion networks, Section 6.1).
-  core::RknnOptions opts;
-  opts.k = k;
-  auto result = core::EagerRknn(network, peers,
-                                std::vector<NodeId>{join_node}, opts)
+  core::EngineSources sources;
+  sources.graph = &network;
+  sources.points = &peers;
+  auto engine = core::RknnEngine::Create(sources).ValueOrDie();
+  auto result = engine
+                    .Run(core::QuerySpec::Monochromatic(
+                        core::Algorithm::kEager, join_node, k))
                     .ValueOrDie();
 
   std::printf("R%dNN(join) = %zu peers gain the newcomer as a top-%d "
@@ -72,8 +73,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.stats.verify_calls));
 
   // --- Contrast: the naive approach visits every peer.
-  auto naive = core::BruteForceRknn(network, peers,
-                                    std::vector<NodeId>{join_node}, opts)
+  auto naive = engine
+                   .Run(core::QuerySpec::Monochromatic(
+                       core::Algorithm::kBruteForce, join_node, k))
                    .ValueOrDie();
   std::printf("(brute force agrees: %zu peers)\n", naive.results.size());
   return 0;

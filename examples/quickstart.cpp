@@ -1,18 +1,15 @@
 // Quickstart: build a small network, place data points, and answer RkNN
-// queries with every algorithm in the library.
+// queries with every algorithm through the RknnEngine session API.
 //
 // The graph is the paper's running example (Fig 3): seven nodes n1..n7,
 // data points p1@n6, p2@n5, p3@n7, and a query issued at the empty
 // junction n4. The walkthrough in Section 3.2 derives RNN(q) = {p1, p2}.
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/quickstart
 
 #include <cstdio>
 
-#include "core/materialize.h"
-#include "core/brute_force.h"
-#include "core/eager.h"
-#include "core/query.h"
+#include "core/engine.h"
 #include "graph/network_view.h"
 
 using namespace grnn;
@@ -37,13 +34,31 @@ int main() {
               network.num_nodes(), network.num_edges(),
               points.num_points());
 
-  // --- 3. Single RNN query at n4 with each algorithm.
-  const std::vector<NodeId> query{3};
+  // --- 3. Materialize per-node 2-NN lists once (unlocks eager-M), then
+  // stand up the engine session that owns everything.
+  core::MemoryKnnStore store(network.num_nodes(), /*k=*/2);
+  auto build = core::BuildAllNn(network, points, &store);
+  if (!build.ok()) {
+    std::fprintf(stderr, "all-NN failed: %s\n", build.ToString().c_str());
+    return 1;
+  }
+  core::EngineSources sources;
+  sources.graph = &network;
+  sources.points = &points;
+  sources.knn = &store;
+  auto engine = core::RknnEngine::Create(sources).ValueOrDie();
+
+  // --- 4. Single RNN query at n4 with each algorithm: one QuerySpec,
+  // one entry point.
+  const NodeId query_node = 3;
   for (core::Algorithm algo :
-       {core::Algorithm::kEager, core::Algorithm::kLazy,
-        core::Algorithm::kLazyEp, core::Algorithm::kBruteForce}) {
-    auto result =
-        core::RunRknn(algo, network, points, query).ValueOrDie();
+       {core::Algorithm::kEager, core::Algorithm::kEagerM,
+        core::Algorithm::kLazy, core::Algorithm::kLazyEp,
+        core::Algorithm::kBruteForce}) {
+    auto result = engine
+                      .Run(core::QuerySpec::Monochromatic(algo,
+                                                          query_node))
+                      .ValueOrDie();
     std::printf("%-12s RNN(n4) = {", core::AlgorithmName(algo));
     for (size_t i = 0; i < result.results.size(); ++i) {
       const auto& m = result.results[i];
@@ -55,30 +70,34 @@ int main() {
                 static_cast<unsigned long long>(result.stats.verify_calls));
   }
 
-  // --- 4. Eager-M: materialize per-node 2-NN lists once, then query.
-  core::MemoryKnnStore store(network.num_nodes(), /*k=*/2);
-  auto build = core::BuildAllNn(network, points, &store);
-  if (!build.ok()) {
-    std::fprintf(stderr, "all-NN failed: %s\n", build.ToString().c_str());
-    return 1;
-  }
-  auto em = core::EagerMRknn(network, points, &store, query).ValueOrDie();
-  std::printf("%-12s RNN(n4) = {", "eager-M");
-  for (size_t i = 0; i < em.results.size(); ++i) {
-    std::printf("%sp%u", i ? ", " : "", em.results[i].point + 1);
-  }
-  std::printf("}  [%llu list reads, %llu shortcut accepts]\n",
-              static_cast<unsigned long long>(em.stats.knn_list_reads),
-              static_cast<unsigned long long>(em.stats.shortcut_accepts));
-
   // --- 5. RkNN with k = 2: one more neighbor may be closer.
-  core::RknnOptions k2;
-  k2.k = 2;
-  auto r2 = core::EagerRknn(network, points, query, k2).ValueOrDie();
+  auto r2 = engine
+                .Run(core::QuerySpec::Monochromatic(
+                    core::Algorithm::kEager, query_node, /*k=*/2))
+                .ValueOrDie();
   std::printf("eager        R2NN(n4) = {");
   for (size_t i = 0; i < r2.results.size(); ++i) {
     std::printf("%sp%u", i ? ", " : "", r2.results[i].point + 1);
   }
   std::printf("}\n");
+
+  // --- 6. Batched execution: one query per node, one call. The engine
+  // reuses its search workspace across the whole batch.
+  std::vector<core::QuerySpec> specs;
+  for (NodeId n = 0; n < network.num_nodes(); ++n) {
+    specs.push_back(
+        core::QuerySpec::Monochromatic(core::Algorithm::kLazy, n));
+  }
+  auto batch = engine.RunBatch(specs).ValueOrDie();
+  size_t total = 0;
+  for (const auto& r : batch.results) {
+    total += r.results.size();
+  }
+  std::printf(
+      "batch of %llu queries: %zu results, %llu nodes expanded, "
+      "%llu workspace growths\n",
+      static_cast<unsigned long long>(batch.stats.queries), total,
+      static_cast<unsigned long long>(batch.stats.search.nodes_expanded),
+      static_cast<unsigned long long>(batch.stats.workspace_grows));
   return 0;
 }

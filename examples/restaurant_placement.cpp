@@ -11,8 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/bichromatic.h"
-#include "core/materialize.h"
+#include "core/engine.h"
 #include "gen/points.h"
 #include "gen/road_network.h"
 #include "graph/network_view.h"
@@ -57,19 +56,33 @@ int main(int argc, char** argv) {
   }
 
   // --- Evaluate five candidate sites.
+  core::EngineSources sources;
+  sources.graph = &network;
+  sources.points = &blocks;       // P: candidate objects
+  sources.sites = &restaurants;   // Q: competing sites
+  sources.site_knn = &site_knn;
+  auto engine = core::RknnEngine::Create(sources).ValueOrDie();
+
   std::printf("\ncandidate sites (bichromatic RNN = blocks captured):\n");
+  std::vector<NodeId> candidates;
+  std::vector<core::QuerySpec> specs;
+  while (candidates.size() < 5) {
+    NodeId site = static_cast<NodeId>(rng.UniformInt(net.g.num_nodes()));
+    if (restaurants.Contains(site)) {
+      continue;
+    }
+    candidates.push_back(site);
+    specs.push_back(
+        core::QuerySpec::Bichromatic(core::Algorithm::kEagerM, site));
+  }
+  // One batched call evaluates every candidate site.
+  auto batch = engine.RunBatch(specs).ValueOrDie();
+
   NodeId best_site = kInvalidNode;
   size_t best_blocks = 0;
-  for (int c = 0; c < 5; ++c) {
-    NodeId site;
-    do {
-      site = static_cast<NodeId>(rng.UniformInt(net.g.num_nodes()));
-    } while (restaurants.Contains(site));
-    auto captured =
-        core::BichromaticRknnMaterialized(network, blocks, restaurants,
-                                          &site_knn,
-                                          std::vector<NodeId>{site})
-            .ValueOrDie();
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    const NodeId site = candidates[c];
+    const auto& captured = batch.results[c];
     std::printf("  site @ node %6u (%.0f, %.0f): captures %zu blocks "
                 "[%llu nodes expanded]\n",
                 site, net.coords[site].first, net.coords[site].second,
@@ -85,8 +98,9 @@ int main(int argc, char** argv) {
               best_blocks);
 
   // --- Cross-check the winner with the non-materialized algorithm.
-  auto check = core::BichromaticRknn(network, blocks, restaurants,
-                                     std::vector<NodeId>{best_site})
+  auto check = engine
+                   .Run(core::QuerySpec::Bichromatic(
+                       core::Algorithm::kEager, best_site))
                    .ValueOrDie();
   std::printf("(eager bichromatic agrees: %zu blocks)\n",
               check.results.size());

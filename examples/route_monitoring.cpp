@@ -11,7 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/unrestricted.h"
+#include "core/engine.h"
 #include "gen/points.h"
 #include "gen/road_network.h"
 #include "graph/network_view.h"
@@ -33,9 +33,15 @@ int main(int argc, char** argv) {
   Rng rng(17);
   auto customers =
       gen::PlaceEdgePoints(net.g, 0.01, rng).ValueOrDie();
-  core::MemoryEdgePointReader reader(&customers);
   std::printf("road network: %u junctions, %zu customers on edges\n",
               net.g.num_nodes(), customers.num_points());
+
+  // An engine over edge-resident points answers continuous (route)
+  // queries with the unrestricted machinery of Section 5.2.
+  core::EngineSources sources;
+  sources.graph = &network;
+  sources.edge_points = &customers;
+  auto engine = core::RknnEngine::Create(sources).ValueOrDie();
 
   // --- Build a route (random walk without repeats).
   std::vector<NodeId> route;
@@ -49,13 +55,10 @@ int main(int argc, char** argv) {
 
   // --- Continuous RkNN for k = 1 and k = 2.
   for (int k = 1; k <= 2; ++k) {
-    core::UnrestrictedQuery q;
-    q.is_position = false;
-    q.route = route;
-    q.k = k;
-    auto result =
-        core::UnrestrictedEagerRknn(network, customers, reader, q)
-            .ValueOrDie();
+    auto result = engine
+                      .Run(core::QuerySpec::Continuous(
+                          core::Algorithm::kEager, route, k))
+                      .ValueOrDie();
     std::printf(
         "cR%dNN(route): %zu customers captured "
         "[%llu nodes expanded, %llu pruned]\n",
@@ -74,11 +77,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  // --- The lazy variants answer the same query.
-  core::UnrestrictedQuery q;
-  q.is_position = false;
-  q.route = route;
-  auto lazy = core::UnrestrictedLazyRknn(network, customers, reader, q)
+  // --- The lazy variant answers the same query through the same spec.
+  auto lazy = engine
+                  .Run(core::QuerySpec::Continuous(core::Algorithm::kLazy,
+                                                   route))
                   .ValueOrDie();
   std::printf("(lazy agrees: %zu customers at k=1)\n",
               lazy.results.size());

@@ -43,6 +43,10 @@ class IndexedHeap {
 
   bool empty() const { return heap_.empty(); }
   size_t size() const { return heap_.size(); }
+  /// Number of entry slots the heap can hold without reallocating.
+  /// clear() keeps the backing storage, so a reused heap stops
+  /// allocating once it has seen its high-water mark.
+  size_t slot_capacity() const { return slots_.capacity(); }
 
   /// Inserts an entry; O(log n). The returned handle stays valid until the
   /// entry is popped or erased.

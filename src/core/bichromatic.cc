@@ -1,10 +1,12 @@
 #include "core/bichromatic.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "common/indexed_heap.h"
 #include "common/numeric.h"
 #include "core/primitives.h"
+#include "core/workspace.h"
 #include "graph/dijkstra.h"
 
 namespace grnn::core {
@@ -28,6 +30,13 @@ Status Validate(const graph::NetworkView& g,
   return Status::OK();
 }
 
+void SortResults(RknnResult& r) {
+  std::sort(r.results.begin(), r.results.end(),
+            [](const PointMatch& a, const PointMatch& b) {
+              return a.point < b.point;
+            });
+}
+
 // Shared expansion: qualifies nodes by "q is among the k nearest sites",
 // where `count_closer_sites(n, d)` returns the number of sites strictly
 // closer to n than d (capped at k). P-points on qualified nodes are
@@ -37,30 +46,29 @@ Result<RknnResult> QualifyNodes(const graph::NetworkView& g,
                                 const NodePointSet& data_points,
                                 std::span<const NodeId> query_nodes,
                                 const RknnOptions& options,
+                                SearchWorkspace& ws,
                                 CountCloserFn count_closer_sites) {
   const size_t k = static_cast<size_t>(options.k);
   RknnResult out;
 
-  IndexedHeap<Weight, NodeId> heap;
-  StampedDistances best;
-  StampedSet visited;
-  best.Reset(g.num_nodes());
-  visited.Reset(g.num_nodes());
+  auto& heap = ws.node_heap;
+  heap.clear();
+  ws.best.Reset(g.num_nodes());
+  ws.visited.Reset(g.num_nodes());
   for (NodeId q : query_nodes) {
-    if (!best.Has(q)) {
-      best.Set(q, 0.0);
+    if (!ws.best.Has(q)) {
+      ws.best.Set(q, 0.0);
       heap.Push(0.0, q);
       out.stats.heap_pushes++;
     }
   }
 
-  std::vector<AdjEntry> nbrs;
   while (!heap.empty()) {
     auto [dist, node] = heap.Pop();
-    if (visited.Contains(node)) {
+    if (ws.visited.Contains(node)) {
       continue;
     }
-    visited.Insert(node);
+    ws.visited.Insert(node);
     out.stats.nodes_expanded++;
     out.stats.nodes_scanned++;
 
@@ -76,21 +84,18 @@ Result<RknnResult> QualifyNodes(const graph::NetworkView& g,
       out.results.push_back(PointMatch{p, node, dist});
     }
 
-    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &nbrs));
-    for (const AdjEntry& a : nbrs) {
+    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &ws.nbrs));
+    for (const AdjEntry& a : ws.nbrs) {
       const Weight nd = dist + a.weight;
-      if (!visited.Contains(a.node) && nd < best.Get(a.node)) {
-        best.Set(a.node, nd);
+      if (!ws.visited.Contains(a.node) && nd < ws.best.Get(a.node)) {
+        ws.best.Set(a.node, nd);
         heap.Push(nd, a.node);
         out.stats.heap_pushes++;
       }
     }
   }
 
-  std::sort(out.results.begin(), out.results.end(),
-            [](const PointMatch& a, const PointMatch& b) {
-              return a.point < b.point;
-            });
+  SortResults(out);
   return out;
 }
 
@@ -101,25 +106,181 @@ Result<RknnResult> BichromaticRknn(const graph::NetworkView& g,
                                    const NodePointSet& sites,
                                    std::span<const NodeId> query_nodes,
                                    const RknnOptions& options) {
+  SearchWorkspace ws;
+  return BichromaticRknn(g, data_points, sites, query_nodes, options, ws);
+}
+
+Result<RknnResult> BichromaticRknn(const graph::NetworkView& g,
+                                   const NodePointSet& data_points,
+                                   const NodePointSet& sites,
+                                   std::span<const NodeId> query_nodes,
+                                   const RknnOptions& options,
+                                   SearchWorkspace& ws) {
   GRNN_RETURN_NOT_OK(Validate(g, query_nodes, options));
-  NnSearcher site_searcher(&g, &sites);
+  ws.searcher.Bind(&g, &sites);
   return QualifyNodes(
-      g, data_points, query_nodes, options,
+      g, data_points, query_nodes, options, ws,
       [&](NodeId n, Weight d, SearchStats* stats) -> Result<size_t> {
         if (!(d > 0)) {
           return size_t{0};
         }
-        GRNN_ASSIGN_OR_RETURN(
-            auto hits, site_searcher.RangeNn(n, options.k, d,
-                                             options.exclude_point, stats));
-        return hits.size();
+        GRNN_RETURN_NOT_OK(
+            ws.searcher.RangeNnInto(n, options.k, d, options.exclude_point,
+                                    stats, &ws.nn_results));
+        return ws.nn_results.size();
       });
+}
+
+Result<RknnResult> BichromaticLazyRknn(const graph::NetworkView& g,
+                                       const NodePointSet& data_points,
+                                       const NodePointSet& sites,
+                                       std::span<const NodeId> query_nodes,
+                                       const RknnOptions& options) {
+  SearchWorkspace ws;
+  return BichromaticLazyRknn(g, data_points, sites, query_nodes, options,
+                             ws);
+}
+
+Result<RknnResult> BichromaticLazyRknn(const graph::NetworkView& g,
+                                       const NodePointSet& data_points,
+                                       const NodePointSet& sites,
+                                       std::span<const NodeId> query_nodes,
+                                       const RknnOptions& options,
+                                       SearchWorkspace& ws) {
+  GRNN_RETURN_NOT_OK(Validate(g, query_nodes, options));
+  const size_t k = static_cast<size_t>(options.k);
+  ws.searcher.Bind(&g, &sites);
+
+  RknnResult out;
+
+  auto& heap = ws.node_heap;
+  heap.clear();
+  ws.best.Reset(g.num_nodes());
+  ws.visited.Reset(g.num_nodes());
+  for (NodeId q : query_nodes) {
+    if (!ws.best.Has(q)) {
+      ws.best.Set(q, 0.0);
+      heap.Push(0.0, q);
+      out.stats.heap_pushes++;
+    }
+  }
+
+  // H' over discovered sites: per node, the k nearest discovered-site
+  // distances (exactly the lazy-EP machinery with Q as the point set).
+  auto& ep_heap = ws.ep_heap;
+  ep_heap.clear();
+  std::unordered_map<NodeId, DiscoveredList> discovered;
+
+  auto& known_sites = ws.seen_points;
+  known_sites.clear();
+
+  auto feed_site = [&](NodeId host, PointId s) {
+    if (s != kInvalidPoint && s != options.exclude_point &&
+        known_sites.insert(s).second) {
+      ep_heap.Push(0.0, {host, s});
+      out.stats.heap_pushes++;
+    }
+  };
+
+  auto drain_ep = [&](Weight frontier) -> Status {
+    while (!ep_heap.empty() && ep_heap.top_key() < frontier) {
+      auto [d, entry] = ep_heap.Pop();
+      auto [node, site] = entry;
+      DiscoveredList& list = discovered[node];
+      if (list.ContainsPoint(site) || list.SaturatedAt(d, k)) {
+        continue;
+      }
+      list.Insert(d, site, k);
+      out.stats.nodes_scanned++;
+      GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &ws.aux_nbrs));
+      for (const AdjEntry& a : ws.aux_nbrs) {
+        ep_heap.Push(d + a.weight, {a.node, site});
+        out.stats.heap_pushes++;
+      }
+    }
+    return Status::OK();
+  };
+
+  while (!heap.empty()) {
+    auto [dist, node] = heap.Pop();
+    if (ws.visited.Contains(node)) {
+      continue;
+    }
+    ws.visited.Insert(node);
+    GRNN_RETURN_NOT_OK(drain_ep(dist));
+
+    // Lemma 1 over Q with discovered-site distances: k sites strictly
+    // closer than the query both disqualify this node and block every
+    // path through it.
+    auto it = discovered.find(node);
+    if (it != discovered.end() && it->second.CountBelow(dist) >= k) {
+      out.stats.nodes_pruned++;
+      continue;
+    }
+    out.stats.nodes_expanded++;
+    out.stats.nodes_scanned++;
+
+    // A site hosted here starts pruning through H'.
+    feed_site(node, sites.PointAt(node));
+    GRNN_RETURN_NOT_OK(drain_ep(dist));
+    it = discovered.find(node);
+    if (it != discovered.end() && it->second.CountBelow(dist) >= k) {
+      // The site just fed (or a drained one) disqualified it; this is
+      // still a Lemma 1 cut.
+      out.stats.nodes_pruned++;
+      continue;
+    }
+
+    // Qualification is deferred to the nodes that matter: only a node
+    // hosting a P-point pays for an exact site count.
+    PointId p = data_points.PointAt(node);
+    if (p != kInvalidPoint) {
+      size_t closer = 0;
+      if (dist > 0) {
+        GRNN_RETURN_NOT_OK(
+            ws.searcher.RangeNnInto(node, options.k, dist,
+                                    options.exclude_point, &out.stats,
+                                    &ws.nn_results));
+        closer = ws.nn_results.size();
+        // The exact count discovered sites too; let them prune.
+        for (const NnResult& hit : ws.nn_results) {
+          feed_site(hit.node, hit.point);
+        }
+      }
+      if (closer < k) {
+        out.results.push_back(PointMatch{p, node, dist});
+      }
+    }
+
+    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &ws.nbrs));
+    for (const AdjEntry& a : ws.nbrs) {
+      const Weight nd = dist + a.weight;
+      if (!ws.visited.Contains(a.node) && nd < ws.best.Get(a.node)) {
+        ws.best.Set(a.node, nd);
+        heap.Push(nd, a.node);
+        out.stats.heap_pushes++;
+      }
+    }
+  }
+
+  SortResults(out);
+  return out;
 }
 
 Result<RknnResult> BichromaticRknnMaterialized(
     const graph::NetworkView& g, const NodePointSet& data_points,
     const NodePointSet& sites, KnnStore* site_knn,
     std::span<const NodeId> query_nodes, const RknnOptions& options) {
+  SearchWorkspace ws;
+  return BichromaticRknnMaterialized(g, data_points, sites, site_knn,
+                                     query_nodes, options, ws);
+}
+
+Result<RknnResult> BichromaticRknnMaterialized(
+    const graph::NetworkView& g, const NodePointSet& data_points,
+    const NodePointSet& sites, KnnStore* site_knn,
+    std::span<const NodeId> query_nodes, const RknnOptions& options,
+    SearchWorkspace& ws) {
   GRNN_RETURN_NOT_OK(Validate(g, query_nodes, options));
   if (site_knn == nullptr) {
     return Status::InvalidArgument("site KNN store is null");
@@ -128,14 +289,13 @@ Result<RknnResult> BichromaticRknnMaterialized(
     return Status::InvalidArgument("query k exceeds materialized K");
   }
   (void)sites;
-  auto list = std::make_shared<std::vector<NnEntry>>();
   return QualifyNodes(
-      g, data_points, query_nodes, options,
-      [&, list](NodeId n, Weight d, SearchStats* stats) -> Result<size_t> {
-        GRNN_RETURN_NOT_OK(site_knn->Read(n, list.get()));
+      g, data_points, query_nodes, options, ws,
+      [&](NodeId n, Weight d, SearchStats* stats) -> Result<size_t> {
+        GRNN_RETURN_NOT_OK(site_knn->Read(n, &ws.knn_list));
         stats->knn_list_reads++;
         size_t closer = 0;
-        for (const NnEntry& e : *list) {
+        for (const NnEntry& e : ws.knn_list) {
           if (e.point != options.exclude_point && DistLess(e.dist, d)) {
             if (++closer >= static_cast<size_t>(options.k)) {
               break;
@@ -176,10 +336,7 @@ Result<RknnResult> BruteForceBichromaticRknn(
       out.results.push_back(PointMatch{p, home, d_query});
     }
   }
-  std::sort(out.results.begin(), out.results.end(),
-            [](const PointMatch& a, const PointMatch& b) {
-              return a.point < b.point;
-            });
+  SortResults(out);
   return out;
 }
 

@@ -20,6 +20,8 @@
 
 namespace grnn::core {
 
+class SearchWorkspace;
+
 /// \brief Bichromatic RkNN via eager node qualification over Q.
 ///
 /// \param data_points   the set P of candidate objects.
@@ -32,12 +34,48 @@ Result<RknnResult> BichromaticRknn(const graph::NetworkView& g,
                                    std::span<const NodeId> query_nodes,
                                    const RknnOptions& options = {});
 
+/// Workspace-reusing form (see EagerRknn in eager.h).
+Result<RknnResult> BichromaticRknn(const graph::NetworkView& g,
+                                   const NodePointSet& data_points,
+                                   const NodePointSet& sites,
+                                   std::span<const NodeId> query_nodes,
+                                   const RknnOptions& options,
+                                   SearchWorkspace& ws);
+
+/// \brief Bichromatic RkNN by lazy qualification: the expansion defers
+/// site counting to the nodes that actually host P-points, and prunes
+/// with an H'-style expansion around the sites discovered along the way
+/// (the Section 4.2 machinery applied to the bichromatic reduction).
+/// Lazy and lazy-EP coincide in this reduction — the discovered-site
+/// expansion IS the extended pruning; there is no cheaper deferred form
+/// because qualification needs exact site counts (see DESIGN.md).
+Result<RknnResult> BichromaticLazyRknn(const graph::NetworkView& g,
+                                       const NodePointSet& data_points,
+                                       const NodePointSet& sites,
+                                       std::span<const NodeId> query_nodes,
+                                       const RknnOptions& options = {});
+
+/// Workspace-reusing form.
+Result<RknnResult> BichromaticLazyRknn(const graph::NetworkView& g,
+                                       const NodePointSet& data_points,
+                                       const NodePointSet& sites,
+                                       std::span<const NodeId> query_nodes,
+                                       const RknnOptions& options,
+                                       SearchWorkspace& ws);
+
 /// \brief Bichromatic RkNN accelerated by KNN lists materialized over Q
 /// (the eager-M reduction: "we simply materialize KNN(n) subset of Q").
 Result<RknnResult> BichromaticRknnMaterialized(
     const graph::NetworkView& g, const NodePointSet& data_points,
     const NodePointSet& sites, KnnStore* site_knn,
     std::span<const NodeId> query_nodes, const RknnOptions& options = {});
+
+/// Workspace-reusing form.
+Result<RknnResult> BichromaticRknnMaterialized(
+    const graph::NetworkView& g, const NodePointSet& data_points,
+    const NodePointSet& sites, KnnStore* site_knn,
+    std::span<const NodeId> query_nodes, const RknnOptions& options,
+    SearchWorkspace& ws);
 
 /// \brief Brute-force bichromatic oracle (per-P-point shortest paths).
 Result<RknnResult> BruteForceBichromaticRknn(

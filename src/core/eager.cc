@@ -1,10 +1,10 @@
 #include "core/eager.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "common/indexed_heap.h"
 #include "core/primitives.h"
+#include "core/workspace.h"
 
 namespace grnn::core {
 
@@ -33,36 +33,43 @@ Result<RknnResult> EagerRknn(const graph::NetworkView& g,
                              const NodePointSet& points,
                              std::span<const NodeId> query_nodes,
                              const RknnOptions& options) {
+  SearchWorkspace ws;
+  return EagerRknn(g, points, query_nodes, options, ws);
+}
+
+Result<RknnResult> EagerRknn(const graph::NetworkView& g,
+                             const NodePointSet& points,
+                             std::span<const NodeId> query_nodes,
+                             const RknnOptions& options,
+                             SearchWorkspace& ws) {
   GRNN_RETURN_NOT_OK(ValidateQuery(g, query_nodes, options));
   const int k = options.k;
-  const std::vector<NodeId> query_vec(query_nodes.begin(),
-                                      query_nodes.end());
+  ws.query_nodes.assign(query_nodes.begin(), query_nodes.end());
+  ws.searcher.Bind(&g, &points);
 
   RknnResult out;
-  NnSearcher searcher(&g, &points);
 
-  IndexedHeap<Weight, NodeId> heap;
-  StampedDistances best;
-  StampedSet visited;
-  best.Reset(g.num_nodes());
-  visited.Reset(g.num_nodes());
+  auto& heap = ws.node_heap;
+  heap.clear();
+  ws.best.Reset(g.num_nodes());
+  ws.visited.Reset(g.num_nodes());
   for (NodeId q : query_nodes) {
-    if (!best.Has(q)) {
-      best.Set(q, 0.0);
+    if (!ws.best.Has(q)) {
+      ws.best.Set(q, 0.0);
       heap.Push(0.0, q);
       out.stats.heap_pushes++;
     }
   }
 
-  std::unordered_set<PointId> verified;
-  std::vector<AdjEntry> nbrs;
+  auto& verified = ws.seen_points;
+  verified.clear();
 
   while (!heap.empty()) {
     auto [dist, node] = heap.Pop();
-    if (visited.Contains(node)) {
+    if (ws.visited.Contains(node)) {
       continue;
     }
-    visited.Insert(node);
+    ws.visited.Insert(node);
     out.stats.nodes_expanded++;
     out.stats.nodes_scanned++;
 
@@ -79,11 +86,11 @@ Result<RknnResult> EagerRknn(const graph::NetworkView& g,
 
     // range-NN(n, k, d(n,q)): the points strictly closer to n than the
     // query. Source nodes (d == 0) trivially return nothing.
-    std::vector<NnResult> closer;
+    std::vector<NnResult>& closer = ws.nn_results;
+    closer.clear();
     if (dist > 0) {
-      GRNN_ASSIGN_OR_RETURN(
-          closer, searcher.RangeNn(node, k, dist, options.exclude_point,
-                                   &out.stats));
+      GRNN_RETURN_NOT_OK(ws.searcher.RangeNnInto(
+          node, k, dist, options.exclude_point, &out.stats, &closer));
     }
 
     // Verify every discovered point once (Lemma 1 says nothing about the
@@ -93,8 +100,9 @@ Result<RknnResult> EagerRknn(const graph::NetworkView& g,
         continue;
       }
       GRNN_ASSIGN_OR_RETURN(
-          auto outcome, searcher.Verify(c.point, k, query_vec,
-                                        options.exclude_point, &out.stats));
+          auto outcome,
+          ws.searcher.Verify(c.point, k, ws.query_nodes,
+                             options.exclude_point, &out.stats));
       if (outcome.is_rknn) {
         out.results.push_back(
             PointMatch{c.point, c.node, outcome.dist_to_query});
@@ -108,11 +116,11 @@ Result<RknnResult> EagerRknn(const graph::NetworkView& g,
       continue;
     }
 
-    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &nbrs));
-    for (const AdjEntry& a : nbrs) {
+    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &ws.nbrs));
+    for (const AdjEntry& a : ws.nbrs) {
       const Weight nd = dist + a.weight;
-      if (!visited.Contains(a.node) && nd < best.Get(a.node)) {
-        best.Set(a.node, nd);
+      if (!ws.visited.Contains(a.node) && nd < ws.best.Get(a.node)) {
+        ws.best.Set(a.node, nd);
         heap.Push(nd, a.node);
         out.stats.heap_pushes++;
       }

@@ -20,6 +20,8 @@
 
 namespace grnn::core {
 
+class SearchWorkspace;
+
 /// \brief Monochromatic RkNN by eager pruning.
 ///
 /// \param query_nodes one node for a point query; several nodes for a
@@ -30,6 +32,15 @@ Result<RknnResult> EagerRknn(const graph::NetworkView& g,
                              const NodePointSet& points,
                              std::span<const NodeId> query_nodes,
                              const RknnOptions& options = {});
+
+/// Workspace-reusing form: all search state is drawn from `ws`, so a
+/// caller issuing many queries (RknnEngine::RunBatch) allocates nothing
+/// per call once the workspace is warm.
+Result<RknnResult> EagerRknn(const graph::NetworkView& g,
+                             const NodePointSet& points,
+                             std::span<const NodeId> query_nodes,
+                             const RknnOptions& options,
+                             SearchWorkspace& ws);
 
 }  // namespace grnn::core
 

@@ -1,0 +1,270 @@
+#include "core/engine.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+#include "core/brute_force.h"
+#include "core/eager.h"
+#include "core/lazy.h"
+#include "core/lazy_ep.h"
+
+namespace grnn::core {
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kMonochromatic:
+      return "monochromatic";
+    case QueryKind::kBichromatic:
+      return "bichromatic";
+    case QueryKind::kContinuous:
+      return "continuous";
+    case QueryKind::kUnrestricted:
+      return "unrestricted";
+  }
+  return "unknown";
+}
+
+QuerySpec QuerySpec::Monochromatic(Algorithm a, NodeId node, int k,
+                                   PointId exclude) {
+  QuerySpec spec;
+  spec.kind = QueryKind::kMonochromatic;
+  spec.algorithm = a;
+  spec.k = k;
+  spec.exclude_point = exclude;
+  spec.query_nodes = {node};
+  return spec;
+}
+
+QuerySpec QuerySpec::Bichromatic(Algorithm a, NodeId node, int k,
+                                 PointId exclude) {
+  QuerySpec spec;
+  spec.kind = QueryKind::kBichromatic;
+  spec.algorithm = a;
+  spec.k = k;
+  spec.exclude_point = exclude;
+  spec.query_nodes = {node};
+  return spec;
+}
+
+QuerySpec QuerySpec::Continuous(Algorithm a, std::vector<NodeId> route,
+                                int k, PointId exclude) {
+  QuerySpec spec;
+  spec.kind = QueryKind::kContinuous;
+  spec.algorithm = a;
+  spec.k = k;
+  spec.exclude_point = exclude;
+  spec.query_nodes = std::move(route);
+  return spec;
+}
+
+QuerySpec QuerySpec::Unrestricted(Algorithm a, EdgePosition pos, int k,
+                                  PointId exclude) {
+  QuerySpec spec;
+  spec.kind = QueryKind::kUnrestricted;
+  spec.algorithm = a;
+  spec.k = k;
+  spec.exclude_point = exclude;
+  spec.position = pos;
+  return spec;
+}
+
+RknnEngine::RknnEngine(const EngineSources& sources)
+    : src_(sources), ws_(std::make_unique<SearchWorkspace>()) {
+  if (src_.edge_points != nullptr && src_.edge_reader == nullptr) {
+    owned_reader_ =
+        std::make_unique<MemoryEdgePointReader>(src_.edge_points);
+  }
+}
+
+Result<RknnEngine> RknnEngine::Create(const EngineSources& sources) {
+  if (sources.graph == nullptr) {
+    return Status::InvalidArgument("engine requires a graph");
+  }
+  if (sources.points == nullptr && sources.edge_points == nullptr) {
+    return Status::InvalidArgument(
+        "engine requires at least one data-point source");
+  }
+  if (sources.edge_reader != nullptr && sources.edge_points == nullptr) {
+    return Status::InvalidArgument(
+        "an edge reader without edge points is meaningless");
+  }
+  return RknnEngine(sources);
+}
+
+Result<RknnResult> RknnEngine::RunMonochromatic(const QuerySpec& spec) {
+  if (src_.points == nullptr) {
+    return Status::FailedPrecondition(
+        "engine has no node point set; monochromatic/continuous queries "
+        "are unavailable");
+  }
+  if (spec.kind == QueryKind::kMonochromatic &&
+      spec.query_nodes.size() != 1) {
+    return Status::InvalidArgument(StrPrintf(
+        "monochromatic query takes exactly one node, got %zu",
+        spec.query_nodes.size()));
+  }
+  const RknnOptions options = spec.options();
+  const std::span<const NodeId> nodes(spec.query_nodes);
+  switch (spec.algorithm) {
+    case Algorithm::kEager:
+      return EagerRknn(*src_.graph, *src_.points, nodes, options, *ws_);
+    case Algorithm::kLazy:
+      return LazyRknn(*src_.graph, *src_.points, nodes, options, *ws_);
+    case Algorithm::kLazyEp:
+      return LazyEpRknn(*src_.graph, *src_.points, nodes, options, *ws_);
+    case Algorithm::kEagerM:
+      if (src_.knn == nullptr) {
+        return Status::FailedPrecondition(
+            "eager-M requires the engine to own a materialized KNN store");
+      }
+      return EagerMRknn(*src_.graph, *src_.points, src_.knn, nodes,
+                        options, *ws_);
+    case Algorithm::kBruteForce:
+      return BruteForceRknn(*src_.graph, *src_.points, nodes, options);
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+Result<RknnResult> RknnEngine::RunBichromatic(const QuerySpec& spec) {
+  if (src_.points == nullptr || src_.sites == nullptr) {
+    return Status::FailedPrecondition(
+        "bichromatic queries need both a data point set (P) and a site "
+        "set (Q)");
+  }
+  const RknnOptions options = spec.options();
+  const std::span<const NodeId> nodes(spec.query_nodes);
+  switch (spec.algorithm) {
+    case Algorithm::kEager:
+      return BichromaticRknn(*src_.graph, *src_.points, *src_.sites,
+                             nodes, options, *ws_);
+    case Algorithm::kLazy:
+    case Algorithm::kLazyEp:
+      // Lazy and lazy-EP coincide in the bichromatic reduction (see
+      // bichromatic.h).
+      return BichromaticLazyRknn(*src_.graph, *src_.points, *src_.sites,
+                                 nodes, options, *ws_);
+    case Algorithm::kEagerM:
+      if (src_.site_knn == nullptr) {
+        return Status::FailedPrecondition(
+            "bichromatic eager-M requires a KNN store materialized over "
+            "the sites");
+      }
+      return BichromaticRknnMaterialized(*src_.graph, *src_.points,
+                                         *src_.sites, src_.site_knn,
+                                         nodes, options, *ws_);
+    case Algorithm::kBruteForce:
+      return BruteForceBichromaticRknn(*src_.graph, *src_.points,
+                                       *src_.sites, nodes, options);
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+Result<RknnResult> RknnEngine::RunContinuous(const QuerySpec& spec) {
+  // Engines over node points answer routes with the restricted
+  // machinery; engines over edge points answer them as unrestricted
+  // route queries (both are Section 5.1 + 5.2 semantics).
+  if (src_.points != nullptr) {
+    return RunMonochromatic(spec);
+  }
+  UnrestrictedQuery query;
+  query.is_position = false;
+  query.route = spec.query_nodes;
+  return RunUnrestricted(spec, query);
+}
+
+Result<RknnResult> RknnEngine::RunUnrestricted(
+    const QuerySpec& spec, const UnrestrictedQuery& query) {
+  if (src_.edge_points == nullptr) {
+    return Status::FailedPrecondition(
+        "engine has no edge point set; unrestricted queries are "
+        "unavailable");
+  }
+  const RknnOptions options = spec.options();
+  const EdgePointReader& reader = *edge_reader();
+  switch (spec.algorithm) {
+    case Algorithm::kEager:
+      return UnrestrictedEagerRknn(*src_.graph, *src_.edge_points, reader,
+                                   query, options, *ws_);
+    case Algorithm::kLazy:
+      return UnrestrictedLazyRknn(*src_.graph, *src_.edge_points, reader,
+                                  query, options, *ws_);
+    case Algorithm::kLazyEp:
+      return UnrestrictedLazyEpRknn(*src_.graph, *src_.edge_points,
+                                    reader, query, options, *ws_);
+    case Algorithm::kEagerM:
+      if (src_.knn == nullptr) {
+        return Status::FailedPrecondition(
+            "unrestricted eager-M requires a KNN store materialized over "
+            "the edge points");
+      }
+      return UnrestrictedEagerMRknn(*src_.graph, *src_.edge_points,
+                                    reader, src_.knn, query, options,
+                                    *ws_);
+    case Algorithm::kBruteForce:
+      return UnrestrictedBruteForceRknn(*src_.graph, *src_.edge_points,
+                                        query, options);
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+Result<RknnResult> RknnEngine::Dispatch(const QuerySpec& spec) {
+  if (spec.k <= 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  switch (spec.kind) {
+    case QueryKind::kMonochromatic:
+      return RunMonochromatic(spec);
+    case QueryKind::kBichromatic:
+      return RunBichromatic(spec);
+    case QueryKind::kContinuous:
+      return RunContinuous(spec);
+    case QueryKind::kUnrestricted: {
+      UnrestrictedQuery query;
+      query.is_position = true;
+      query.position = spec.position;
+      return RunUnrestricted(spec, query);
+    }
+  }
+  return Status::InvalidArgument("unknown query kind");
+}
+
+Result<RknnResult> RknnEngine::Run(const QuerySpec& spec) {
+  const size_t footprint = ws_->CapacityFootprint();
+  const storage::IoStats io_before =
+      src_.pool != nullptr ? src_.pool->stats() : storage::IoStats{};
+  GRNN_ASSIGN_OR_RETURN(RknnResult result, Dispatch(spec));
+  lifetime_.queries++;
+  lifetime_.search += result.stats;
+  if (src_.pool != nullptr) {
+    lifetime_.io += src_.pool->stats() - io_before;
+  }
+  if (ws_->CapacityFootprint() > footprint) {
+    lifetime_.workspace_grows++;
+  }
+  return result;
+}
+
+Result<RknnEngine::BatchResult> RknnEngine::RunBatch(
+    std::span<const QuerySpec> specs) {
+  BatchResult batch;
+  batch.results.reserve(specs.size());
+  const storage::IoStats io_before =
+      src_.pool != nullptr ? src_.pool->stats() : storage::IoStats{};
+  for (const QuerySpec& spec : specs) {
+    const size_t footprint = ws_->CapacityFootprint();
+    GRNN_ASSIGN_OR_RETURN(RknnResult result, Dispatch(spec));
+    batch.stats.queries++;
+    batch.stats.search += result.stats;
+    if (ws_->CapacityFootprint() > footprint) {
+      batch.stats.workspace_grows++;
+    }
+    batch.results.push_back(std::move(result));
+  }
+  if (src_.pool != nullptr) {
+    batch.stats.io = src_.pool->stats() - io_before;
+  }
+  lifetime_ += batch.stats;
+  return batch;
+}
+
+}  // namespace grnn::core

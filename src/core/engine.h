@@ -1,0 +1,182 @@
+// Copyright (c) GRNN authors.
+// RknnEngine: the session API unifying every RkNN query variant of the
+// paper behind one entry point.
+//
+// The paper defines a single query contract — RkNN over network
+// distance — served by four algorithms across four settings:
+// monochromatic node queries (Section 3), bichromatic queries
+// (Section 5.1), continuous route queries (Section 5.1) and unrestricted
+// edge-position queries (Section 5.2). The engine owns the graph view,
+// the point sources, the materialization and the buffer pool once, and
+// answers any QuerySpec through Run(); RunBatch() additionally reuses
+// the per-engine SearchWorkspace so consecutive queries stop paying
+// per-call allocation (see DESIGN.md, "The engine").
+
+#ifndef GRNN_CORE_ENGINE_H_
+#define GRNN_CORE_ENGINE_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "core/bichromatic.h"
+#include "core/materialize.h"
+#include "core/point_set.h"
+#include "core/query.h"
+#include "core/types.h"
+#include "core/unrestricted.h"
+#include "core/workspace.h"
+#include "graph/network_view.h"
+#include "storage/buffer_pool.h"
+#include "storage/io_stats.h"
+
+namespace grnn::core {
+
+/// The four query settings of the paper.
+enum class QueryKind {
+  kMonochromatic,  // RkNN(q) at a node, P = competitors (Section 3)
+  kBichromatic,    // bRkNN(q) over sites Q, results from P (Section 5.1)
+  kContinuous,     // cRkNN(route) along node routes (Section 5.1)
+  kUnrestricted,   // RkNN(q) at an edge position (Section 5.2)
+};
+
+const char* QueryKindName(QueryKind kind);
+
+inline constexpr QueryKind kAllQueryKinds[] = {
+    QueryKind::kMonochromatic, QueryKind::kBichromatic,
+    QueryKind::kContinuous, QueryKind::kUnrestricted};
+
+/// \brief One query, fully described: the single tagged descriptor that
+/// replaces the historical RknnOptions / UnrestrictedQuery split.
+///
+/// Target fields by kind:
+///   * kMonochromatic — query_nodes holds exactly one node;
+///   * kBichromatic   — query_nodes holds the (usually one) query node(s);
+///   * kContinuous    — query_nodes is the route. Engines built over node
+///     points answer it with the restricted machinery; engines built over
+///     edge points answer it as an unrestricted route query;
+///   * kUnrestricted  — position locates the query on an edge;
+///     query_nodes is ignored.
+///
+/// `k` and `exclude_point` follow the RknnOptions semantics of
+/// core/types.h (ties favour the candidate) for every kind.
+struct QuerySpec {
+  QueryKind kind = QueryKind::kMonochromatic;
+  Algorithm algorithm = Algorithm::kEager;
+  int k = 1;
+  PointId exclude_point = kInvalidPoint;
+  std::vector<NodeId> query_nodes;
+  EdgePosition position;
+
+  RknnOptions options() const { return RknnOptions{k, exclude_point}; }
+
+  static QuerySpec Monochromatic(Algorithm a, NodeId node, int k = 1,
+                                 PointId exclude = kInvalidPoint);
+  static QuerySpec Bichromatic(Algorithm a, NodeId node, int k = 1,
+                               PointId exclude = kInvalidPoint);
+  static QuerySpec Continuous(Algorithm a, std::vector<NodeId> route,
+                              int k = 1, PointId exclude = kInvalidPoint);
+  static QuerySpec Unrestricted(Algorithm a, EdgePosition pos, int k = 1,
+                                PointId exclude = kInvalidPoint);
+};
+
+/// \brief Everything an engine serves queries from. The graph is
+/// mandatory; each point source unlocks the query kinds that need it.
+/// All pointees must outlive the engine.
+struct EngineSources {
+  const graph::NetworkView* graph = nullptr;       // required
+  const NodePointSet* points = nullptr;            // P (mono/continuous)
+  const NodePointSet* sites = nullptr;             // Q (bichromatic)
+  const EdgePointSet* edge_points = nullptr;       // unrestricted P
+  /// Access path for edge-point records; defaults to an in-memory reader
+  /// over `edge_points` when omitted.
+  const EdgePointReader* edge_reader = nullptr;
+  KnnStore* knn = nullptr;       // eager-M over points / edge_points
+  KnnStore* site_knn = nullptr;  // eager-M over sites (bichromatic)
+  /// When set, RunBatch reports the I/O charged to this pool per batch.
+  storage::BufferPool* pool = nullptr;
+};
+
+/// Aggregated execution counters, kept per batch and cumulatively for
+/// the engine lifetime.
+struct EngineStats {
+  uint64_t queries = 0;
+  SearchStats search;
+  storage::IoStats io;
+  /// Queries during which a pooled workspace buffer had to (re)allocate.
+  /// After a warm-up query on a given graph this stays flat: batched
+  /// execution performs no per-query workspace allocation.
+  uint64_t workspace_grows = 0;
+
+  EngineStats& operator+=(const EngineStats& o) {
+    queries += o.queries;
+    search += o.search;
+    io += o.io;
+    workspace_grows += o.workspace_grows;
+    return *this;
+  }
+};
+
+/// \brief Session object answering RkNN queries of every kind through a
+/// single entry point, with workspace reuse across calls.
+///
+/// Not thread-safe: one engine per serving thread (the workspace is the
+/// per-engine mutable state; sources are shared read-only).
+class RknnEngine {
+ public:
+  static Result<RknnEngine> Create(const EngineSources& sources);
+
+  RknnEngine(RknnEngine&&) = default;
+  RknnEngine& operator=(RknnEngine&&) = default;
+
+  /// Answers one query. Reuses the engine workspace, so even single
+  /// queries amortize allocation across calls.
+  Result<RknnResult> Run(const QuerySpec& spec);
+
+  struct BatchResult {
+    /// Per-query results, in spec order.
+    std::vector<RknnResult> results;
+    /// Aggregated over the batch (search counters summed; io is the
+    /// buffer-pool delta when the engine has a pool).
+    EngineStats stats;
+  };
+
+  /// Answers a batch of queries over the shared workspace. The first
+  /// failing query aborts the batch.
+  Result<BatchResult> RunBatch(std::span<const QuerySpec> specs);
+
+  /// Cumulative counters across every Run/RunBatch on this engine.
+  const EngineStats& lifetime_stats() const { return lifetime_; }
+
+  const EngineSources& sources() const { return src_; }
+
+  /// The pooled search state (exposed for tests and diagnostics).
+  SearchWorkspace& workspace() { return *ws_; }
+
+ private:
+  explicit RknnEngine(const EngineSources& sources);
+
+  const EdgePointReader* edge_reader() const {
+    return src_.edge_reader != nullptr ? src_.edge_reader
+                                       : owned_reader_.get();
+  }
+
+  Result<RknnResult> Dispatch(const QuerySpec& spec);
+  Result<RknnResult> RunMonochromatic(const QuerySpec& spec);
+  Result<RknnResult> RunBichromatic(const QuerySpec& spec);
+  Result<RknnResult> RunContinuous(const QuerySpec& spec);
+  Result<RknnResult> RunUnrestricted(const QuerySpec& spec,
+                                     const UnrestrictedQuery& query);
+
+  EngineSources src_;
+  std::unique_ptr<MemoryEdgePointReader> owned_reader_;
+  // unique_ptr keeps the engine cheaply movable (workspaces hold large
+  // buffers and internal references would dangle on move otherwise).
+  std::unique_ptr<SearchWorkspace> ws_;
+  EngineStats lifetime_;
+};
+
+}  // namespace grnn::core
+
+#endif  // GRNN_CORE_ENGINE_H_

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "common/indexed_heap.h"
 #include "common/numeric.h"
 #include "core/primitives.h"
+#include "core/workspace.h"
 
 namespace grnn::core {
 
@@ -58,14 +58,21 @@ struct NodeBook {
   std::vector<Heap::Handle> children;  // heap entries inserted by this node
 };
 
+// Search state on top of a SearchWorkspace: the main heap, the query
+// marks, the verification scratch and the point memo all come from the
+// workspace; only the per-node book (sized by the visited region, not the
+// graph) is query-local.
 class LazyState {
  public:
   LazyState(const graph::NetworkView& g, const NodePointSet& points,
-            std::span<const NodeId> query_nodes, const RknnOptions& options)
-      : g_(g), points_(points), options_(options) {
-    query_mark_.Reset(g.num_nodes());
+            std::span<const NodeId> query_nodes, const RknnOptions& options,
+            SearchWorkspace& ws)
+      : g_(g), points_(points), options_(options), ws_(ws) {
+    ws_.node_heap.clear();
+    ws_.mark.Reset(g.num_nodes());
+    ws_.seen_points.clear();
     for (NodeId q : query_nodes) {
-      query_mark_.Insert(q);
+      ws_.mark.Insert(q);
     }
   }
 
@@ -90,18 +97,9 @@ class LazyState {
   const graph::NetworkView& g_;
   const NodePointSet& points_;
   const RknnOptions& options_;
+  SearchWorkspace& ws_;
 
-  Heap heap_;
   std::unordered_map<NodeId, NodeBook> book_;
-  StampedSet query_mark_;
-
-  // Scratch for verification expansions (epoch-reset per call).
-  Heap vheap_;
-  StampedDistances vbest_;
-  StampedSet vsettled_;
-
-  std::vector<AdjEntry> nbrs_;
-  std::unordered_set<PointId> verified_;
   RknnResult out_;
 };
 
@@ -110,25 +108,27 @@ Result<bool> LazyState::VerifyWithBookkeeping(PointId candidate,
   out_.stats.verify_calls++;
   const size_t k = static_cast<size_t>(options_.k);
 
-  vheap_.clear();
-  vbest_.Reset(g_.num_nodes());
-  vsettled_.Reset(g_.num_nodes());
-  vheap_.Push(0.0, host);
-  vbest_.Set(host, 0.0);
+  auto& vheap = ws_.aux_node_heap;
+  auto& vbest = ws_.aux_best;
+  auto& vsettled = ws_.aux_visited;
+  vheap.clear();
+  vbest.Reset(g_.num_nodes());
+  vsettled.Reset(g_.num_nodes());
+  vheap.Push(0.0, host);
+  vbest.Set(host, 0.0);
 
   std::vector<Weight> competitors;  // k smallest, ascending
   competitors.reserve(k);
 
-  std::vector<AdjEntry> nbrs;
-  while (!vheap_.empty()) {
-    auto [dist, node] = vheap_.Pop();
-    if (vsettled_.Contains(node)) {
+  while (!vheap.empty()) {
+    auto [dist, node] = vheap.Pop();
+    if (vsettled.Contains(node)) {
       continue;
     }
-    vsettled_.Insert(node);
+    vsettled.Insert(node);
     out_.stats.nodes_scanned++;
 
-    if (query_mark_.Contains(node)) {
+    if (ws_.mark.Contains(node)) {
       size_t strictly_closer = 0;
       for (Weight c : competitors) {
         strictly_closer += DistLess(c, dist);
@@ -155,7 +155,7 @@ Result<bool> LazyState::VerifyWithBookkeeping(PointId candidate,
             bm.competitor_dists.CountBelow(bm.dist_q) >= k) {
           bm.children_erased = true;
           for (Heap::Handle h : bm.children) {
-            heap_.Erase(h);  // stale handles are harmless no-ops
+            ws_.node_heap.Erase(h);  // stale handles are harmless no-ops
           }
           bm.children.clear();
         }
@@ -166,20 +166,20 @@ Result<bool> LazyState::VerifyWithBookkeeping(PointId candidate,
 
     // Early failure: the k-th closest competitor is strictly closer than
     // the frontier, so any future query settlement loses.
-    if (competitors.size() == k && !vheap_.empty() &&
-        DistLess(competitors.back(), vheap_.top_key())) {
+    if (competitors.size() == k && !vheap.empty() &&
+        DistLess(competitors.back(), vheap.top_key())) {
       return false;
     }
 
-    GRNN_RETURN_NOT_OK(g_.GetNeighbors(node, &nbrs));
-    for (const AdjEntry& a : nbrs) {
+    GRNN_RETURN_NOT_OK(g_.GetNeighbors(node, &ws_.aux_nbrs));
+    for (const AdjEntry& a : ws_.aux_nbrs) {
       const Weight nd = dist + a.weight;
       // The expansion cannot affect anything past the query distance: the
       // query settles at (floating-point-)exactly d_query.
-      if (DistLessOrTied(nd, d_query) && !vsettled_.Contains(a.node) &&
-          nd < vbest_.Get(a.node)) {
-        vbest_.Set(a.node, nd);
-        vheap_.Push(nd, a.node);
+      if (DistLessOrTied(nd, d_query) && !vsettled.Contains(a.node) &&
+          nd < vbest.Get(a.node)) {
+        vbest.Set(a.node, nd);
+        vheap.Push(nd, a.node);
         out_.stats.heap_pushes++;
       }
     }
@@ -189,17 +189,26 @@ Result<bool> LazyState::VerifyWithBookkeeping(PointId candidate,
 
 Result<RknnResult> LazyState::Run(std::span<const NodeId> query_nodes) {
   const size_t k = static_cast<size_t>(options_.k);
+  auto& heap = ws_.node_heap;
 
-  std::unordered_set<NodeId> seeded;
-  for (NodeId q : query_nodes) {
-    if (seeded.insert(q).second) {
-      heap_.Push(0.0, q);
+  // Seed each distinct query node once (routes are short; a linear
+  // prefix scan avoids a per-query hash set).
+  for (size_t i = 0; i < query_nodes.size(); ++i) {
+    bool duplicate = false;
+    for (size_t j = 0; j < i; ++j) {
+      if (query_nodes[j] == query_nodes[i]) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      heap.Push(0.0, query_nodes[i]);
       out_.stats.heap_pushes++;
     }
   }
 
-  while (!heap_.empty()) {
-    auto [dist, node] = heap_.Pop();
+  while (!heap.empty()) {
+    auto [dist, node] = heap.Pop();
     NodeBook& b = BookOf(node);
     if (b.visited) {
       continue;  // duplicate entry via another parent
@@ -217,7 +226,7 @@ Result<RknnResult> LazyState::Run(std::span<const NodeId> query_nodes) {
 
     PointId p = points_.PointAt(node);
     if (p != kInvalidPoint && p != options_.exclude_point &&
-        verified_.insert(p).second) {
+        ws_.seen_points.insert(p).second) {
       GRNN_ASSIGN_OR_RETURN(bool is_rknn,
                             VerifyWithBookkeeping(p, node, dist));
       if (is_rknn) {
@@ -232,10 +241,10 @@ Result<RknnResult> LazyState::Run(std::span<const NodeId> query_nodes) {
       continue;
     }
 
-    GRNN_RETURN_NOT_OK(g_.GetNeighbors(node, &nbrs_));
-    for (const AdjEntry& a : nbrs_) {
+    GRNN_RETURN_NOT_OK(g_.GetNeighbors(node, &ws_.nbrs));
+    for (const AdjEntry& a : ws_.nbrs) {
       if (!BookOf(a.node).visited) {
-        Heap::Handle h = heap_.Push(dist + a.weight, a.node);
+        Heap::Handle h = heap.Push(dist + a.weight, a.node);
         out_.stats.heap_pushes++;
         // Re-fetch: BookOf may rehash the map, but references into
         // unordered_map values stay valid across inserts; keep it simple
@@ -258,6 +267,15 @@ Result<RknnResult> LazyRknn(const graph::NetworkView& g,
                             const NodePointSet& points,
                             std::span<const NodeId> query_nodes,
                             const RknnOptions& options) {
+  SearchWorkspace ws;
+  return LazyRknn(g, points, query_nodes, options, ws);
+}
+
+Result<RknnResult> LazyRknn(const graph::NetworkView& g,
+                            const NodePointSet& points,
+                            std::span<const NodeId> query_nodes,
+                            const RknnOptions& options,
+                            SearchWorkspace& ws) {
   if (options.k <= 0) {
     return Status::InvalidArgument("k must be positive");
   }
@@ -269,7 +287,7 @@ Result<RknnResult> LazyRknn(const graph::NetworkView& g,
       return Status::OutOfRange("query node out of range");
     }
   }
-  LazyState state(g, points, query_nodes, options);
+  LazyState state(g, points, query_nodes, options, ws);
   return state.Run(query_nodes);
 }
 

@@ -22,11 +22,20 @@
 
 namespace grnn::core {
 
+class SearchWorkspace;
+
 /// \brief Monochromatic RkNN by lazy pruning. Same contract as EagerRknn.
 Result<RknnResult> LazyRknn(const graph::NetworkView& g,
                             const NodePointSet& points,
                             std::span<const NodeId> query_nodes,
                             const RknnOptions& options = {});
+
+/// Workspace-reusing form (see EagerRknn).
+Result<RknnResult> LazyRknn(const graph::NetworkView& g,
+                            const NodePointSet& points,
+                            std::span<const NodeId> query_nodes,
+                            const RknnOptions& options,
+                            SearchWorkspace& ws);
 
 }  // namespace grnn::core
 

@@ -2,60 +2,27 @@
 
 #include <algorithm>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "common/indexed_heap.h"
 #include "common/numeric.h"
 #include "core/primitives.h"
+#include "core/workspace.h"
 
 namespace grnn::core {
-
-namespace {
-
-// Per-node list of the k nearest *discovered* points (H' expansion state):
-// (distance, point), ascending by distance, distinct points.
-struct DiscoveredList {
-  std::vector<std::pair<Weight, PointId>> entries;
-
-  bool ContainsPoint(PointId p) const {
-    for (const auto& [d, q] : entries) {
-      if (q == p) {
-        return true;
-      }
-    }
-    return false;
-  }
-
-  // True if the list already holds k entries no farther than `dist`.
-  bool SaturatedAt(Weight dist, size_t k) const {
-    return entries.size() >= k && entries[k - 1].first <= dist;
-  }
-
-  void Insert(Weight dist, PointId p, size_t k) {
-    auto it = std::upper_bound(
-        entries.begin(), entries.end(), std::make_pair(dist, PointId{0}),
-        [](const auto& a, const auto& b) { return a.first < b.first; });
-    entries.insert(it, {dist, p});
-    if (entries.size() > k) {
-      entries.pop_back();
-    }
-  }
-
-  size_t CountBelow(Weight bound) const {
-    size_t n = 0;
-    for (const auto& [d, p] : entries) {
-      n += DistLess(d, bound);
-    }
-    return n;
-  }
-};
-
-}  // namespace
 
 Result<RknnResult> LazyEpRknn(const graph::NetworkView& g,
                               const NodePointSet& points,
                               std::span<const NodeId> query_nodes,
                               const RknnOptions& options) {
+  SearchWorkspace ws;
+  return LazyEpRknn(g, points, query_nodes, options, ws);
+}
+
+Result<RknnResult> LazyEpRknn(const graph::NetworkView& g,
+                              const NodePointSet& points,
+                              std::span<const NodeId> query_nodes,
+                              const RknnOptions& options,
+                              SearchWorkspace& ws) {
   if (options.k <= 0) {
     return Status::InvalidArgument("k must be positive");
   }
@@ -68,32 +35,31 @@ Result<RknnResult> LazyEpRknn(const graph::NetworkView& g,
     }
   }
   const size_t k = static_cast<size_t>(options.k);
-  const std::vector<NodeId> query_vec(query_nodes.begin(),
-                                      query_nodes.end());
+  ws.query_nodes.assign(query_nodes.begin(), query_nodes.end());
+  ws.searcher.Bind(&g, &points);
 
   RknnResult out;
-  NnSearcher searcher(&g, &points);
 
   // Main expansion H around the query.
-  IndexedHeap<Weight, NodeId> heap;
-  StampedDistances best;
-  StampedSet visited;
-  best.Reset(g.num_nodes());
-  visited.Reset(g.num_nodes());
+  auto& heap = ws.node_heap;
+  heap.clear();
+  ws.best.Reset(g.num_nodes());
+  ws.visited.Reset(g.num_nodes());
   for (NodeId q : query_nodes) {
-    if (!best.Has(q)) {
-      best.Set(q, 0.0);
+    if (!ws.best.Has(q)) {
+      ws.best.Set(q, 0.0);
       heap.Push(0.0, q);
       out.stats.heap_pushes++;
     }
   }
 
   // Parallel expansion H' around discovered points.
-  IndexedHeap<Weight, std::pair<NodeId, PointId>> ep_heap;
+  auto& ep_heap = ws.ep_heap;
+  ep_heap.clear();
   std::unordered_map<NodeId, DiscoveredList> discovered;
 
-  std::unordered_set<PointId> found_points;
-  std::vector<AdjEntry> nbrs;
+  auto& found_points = ws.seen_points;
+  found_points.clear();
 
   // Advances H' while its top entry is below `frontier` (the last distance
   // deheaped from H), marking nodes with discovered-point distances.
@@ -107,11 +73,10 @@ Result<RknnResult> LazyEpRknn(const graph::NetworkView& g,
       }
       list.Insert(dist, point, k);
       out.stats.nodes_scanned++;
-      // Own scratch: the main loop's `nbrs` must survive a mid-iteration
-      // drain.
-      std::vector<AdjEntry> ep_nbrs;
-      GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &ep_nbrs));
-      for (const AdjEntry& a : ep_nbrs) {
+      // Own scratch: the main loop's `ws.nbrs` must survive a
+      // mid-iteration drain.
+      GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &ws.aux_nbrs));
+      for (const AdjEntry& a : ws.aux_nbrs) {
         ep_heap.Push(dist + a.weight, {a.node, point});
         out.stats.heap_pushes++;
       }
@@ -121,10 +86,10 @@ Result<RknnResult> LazyEpRknn(const graph::NetworkView& g,
 
   while (!heap.empty()) {
     auto [dist, node] = heap.Pop();
-    if (visited.Contains(node)) {
+    if (ws.visited.Contains(node)) {
       continue;
     }
-    visited.Insert(node);
+    ws.visited.Insert(node);
 
     // Let H' catch up to this frontier before deciding about `node`.
     GRNN_RETURN_NOT_OK(drain_ep(dist));
@@ -144,8 +109,9 @@ Result<RknnResult> LazyEpRknn(const graph::NetworkView& g,
         found_points.insert(p).second) {
       // Membership still requires a verification query...
       GRNN_ASSIGN_OR_RETURN(
-          auto outcome, searcher.Verify(p, options.k, query_vec,
-                                        options.exclude_point, &out.stats));
+          auto outcome,
+          ws.searcher.Verify(p, options.k, ws.query_nodes,
+                             options.exclude_point, &out.stats));
       if (outcome.is_rknn) {
         out.results.push_back(PointMatch{p, node, outcome.dist_to_query});
       }
@@ -163,11 +129,11 @@ Result<RknnResult> LazyEpRknn(const graph::NetworkView& g,
       continue;
     }
 
-    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &nbrs));
-    for (const AdjEntry& a : nbrs) {
+    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &ws.nbrs));
+    for (const AdjEntry& a : ws.nbrs) {
       const Weight nd = dist + a.weight;
-      if (!visited.Contains(a.node) && nd < best.Get(a.node)) {
-        best.Set(a.node, nd);
+      if (!ws.visited.Contains(a.node) && nd < ws.best.Get(a.node)) {
+        ws.best.Set(a.node, nd);
         heap.Push(nd, a.node);
         out.stats.heap_pushes++;
       }

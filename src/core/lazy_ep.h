@@ -21,12 +21,21 @@
 
 namespace grnn::core {
 
+class SearchWorkspace;
+
 /// \brief Monochromatic RkNN by lazy evaluation with extended pruning.
 /// Same contract as EagerRknn / LazyRknn.
 Result<RknnResult> LazyEpRknn(const graph::NetworkView& g,
                               const NodePointSet& points,
                               std::span<const NodeId> query_nodes,
                               const RknnOptions& options = {});
+
+/// Workspace-reusing form (see EagerRknn).
+Result<RknnResult> LazyEpRknn(const graph::NetworkView& g,
+                              const NodePointSet& points,
+                              std::span<const NodeId> query_nodes,
+                              const RknnOptions& options,
+                              SearchWorkspace& ws);
 
 }  // namespace grnn::core
 

@@ -8,6 +8,7 @@
 #include "common/numeric.h"
 #include "common/string_util.h"
 #include "core/primitives.h"
+#include "core/workspace.h"
 
 namespace grnn::core {
 
@@ -382,6 +383,15 @@ Result<RknnResult> EagerMRknn(const graph::NetworkView& g,
                               const NodePointSet& points, KnnStore* store,
                               std::span<const NodeId> query_nodes,
                               const RknnOptions& options) {
+  SearchWorkspace ws;
+  return EagerMRknn(g, points, store, query_nodes, options, ws);
+}
+
+Result<RknnResult> EagerMRknn(const graph::NetworkView& g,
+                              const NodePointSet& points, KnnStore* store,
+                              std::span<const NodeId> query_nodes,
+                              const RknnOptions& options,
+                              SearchWorkspace& ws) {
   if (store == nullptr) {
     return Status::InvalidArgument("store is null");
   }
@@ -402,29 +412,30 @@ Result<RknnResult> EagerMRknn(const graph::NetworkView& g,
     }
   }
   const size_t k = static_cast<size_t>(options.k);
-  const std::vector<NodeId> query_vec(query_nodes.begin(),
-                                      query_nodes.end());
+  ws.query_nodes.assign(query_nodes.begin(), query_nodes.end());
+  ws.searcher.Bind(&g, &points);
 
   RknnResult out;
-  NnSearcher searcher(&g, &points);
 
-  IndexedHeap<Weight, NodeId> heap;
-  StampedDistances best;
-  StampedSet visited;
-  best.Reset(g.num_nodes());
-  visited.Reset(g.num_nodes());
+  auto& heap = ws.node_heap;
+  heap.clear();
+  ws.best.Reset(g.num_nodes());
+  ws.visited.Reset(g.num_nodes());
   for (NodeId q : query_nodes) {
-    if (!best.Has(q)) {
-      best.Set(q, 0.0);
+    if (!ws.best.Has(q)) {
+      ws.best.Set(q, 0.0);
       heap.Push(0.0, q);
       out.stats.heap_pushes++;
     }
   }
 
-  std::unordered_set<PointId> verified;
-  std::vector<NnEntry> list;
-  std::vector<NnEntry> cand_list;
-  std::vector<AdjEntry> nbrs;
+  auto& verified = ws.seen_points;
+  verified.clear();
+  auto& list = ws.knn_list;
+  auto& cand_list = ws.aux_knn_list;
+  auto& nbrs = ws.nbrs;
+  auto& best = ws.best;
+  auto& visited = ws.visited;
 
   while (!heap.empty()) {
     auto [dist, node] = heap.Pop();
@@ -493,8 +504,8 @@ Result<RknnResult> EagerMRknn(const graph::NetworkView& g,
           if (!decided) {
             GRNN_ASSIGN_OR_RETURN(
                 auto outcome,
-                searcher.Verify(e.point, options.k, query_vec,
-                                options.exclude_point, &out.stats));
+                ws.searcher.Verify(e.point, options.k, ws.query_nodes,
+                                   options.exclude_point, &out.stats));
             accepted = outcome.is_rknn;
             if (accepted) {
               out.results.push_back(PointMatch{e.point, cand_node,

@@ -154,6 +154,8 @@ Status MaterializedDelete(const graph::NetworkView& g,
                           NodeId host, KnnStore* store,
                           UpdateStats* stats = nullptr);
 
+class SearchWorkspace;
+
 /// \brief Eager-M: the eager algorithm with range-NN queries replaced by
 /// materialized-list lookups, and verifications short-circuited through
 /// the candidate's own list (Section 4.1). Requires options.k <= store K.
@@ -161,6 +163,13 @@ Result<RknnResult> EagerMRknn(const graph::NetworkView& g,
                               const NodePointSet& points, KnnStore* store,
                               std::span<const NodeId> query_nodes,
                               const RknnOptions& options = {});
+
+/// Workspace-reusing form (see EagerRknn in eager.h).
+Result<RknnResult> EagerMRknn(const graph::NetworkView& g,
+                              const NodePointSet& points, KnnStore* store,
+                              std::span<const NodeId> query_nodes,
+                              const RknnOptions& options,
+                              SearchWorkspace& ws);
 
 }  // namespace grnn::core
 

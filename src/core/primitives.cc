@@ -17,6 +17,15 @@ NnSearcher::NnSearcher(const graph::NetworkView* g,
 Result<std::vector<NnResult>> NnSearcher::RangeNn(NodeId source, int k,
                                                   Weight e, PointId exclude,
                                                   SearchStats* stats) {
+  std::vector<NnResult> out;
+  GRNN_RETURN_NOT_OK(RangeNnInto(source, k, e, exclude, stats, &out));
+  return out;
+}
+
+Status NnSearcher::RangeNnInto(NodeId source, int k, Weight e,
+                               PointId exclude, SearchStats* stats,
+                               std::vector<NnResult>* result) {
+  result->clear();
   if (source >= g_->num_nodes()) {
     return Status::OutOfRange(
         StrPrintf("range-NN source %u out of range", source));
@@ -27,9 +36,9 @@ Result<std::vector<NnResult>> NnSearcher::RangeNn(NodeId source, int k,
   if (stats != nullptr) {
     stats->range_nn_calls++;
   }
-  std::vector<NnResult> out;
+  std::vector<NnResult>& out = *result;
   if (!(e > 0)) {
-    return out;  // strict range: nothing can qualify
+    return Status::OK();  // strict range: nothing can qualify
   }
 
   heap_.clear();
@@ -54,7 +63,7 @@ Result<std::vector<NnResult>> NnSearcher::RangeNn(NodeId source, int k,
     if (p != kInvalidPoint && p != exclude) {
       out.push_back(NnResult{p, node, dist});
       if (out.size() == static_cast<size_t>(k)) {
-        return out;
+        return Status::OK();
       }
     }
     GRNN_RETURN_NOT_OK(g_->GetNeighbors(node, &nbrs_));
@@ -70,7 +79,7 @@ Result<std::vector<NnResult>> NnSearcher::RangeNn(NodeId source, int k,
       }
     }
   }
-  return out;
+  return Status::OK();
 }
 
 Result<NnSearcher::VerifyOutcome> NnSearcher::Verify(

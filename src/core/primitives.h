@@ -6,9 +6,12 @@
 #ifndef GRNN_CORE_PRIMITIVES_H_
 #define GRNN_CORE_PRIMITIVES_H_
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "common/indexed_heap.h"
+#include "common/numeric.h"
 #include "common/result.h"
 #include "core/point_set.h"
 #include "core/types.h"
@@ -23,6 +26,8 @@ namespace grnn::core {
 /// with hundreds of thousands of nodes.
 class StampedDistances {
  public:
+  /// O(1) unless the backing arrays have to grow (first use, or a
+  /// larger graph than ever seen); growth is visible via capacity().
   void Reset(size_t num_nodes) {
     if (stamp_.size() < num_nodes) {
       stamp_.resize(num_nodes, 0);
@@ -30,6 +35,9 @@ class StampedDistances {
     }
     ++epoch_;
   }
+
+  /// Number of nodes the map can address without reallocating.
+  size_t capacity() const { return stamp_.size(); }
 
   bool Has(NodeId n) const { return stamp_[n] == epoch_; }
   Weight Get(NodeId n) const { return Has(n) ? value_[n] : kInfinity; }
@@ -47,12 +55,17 @@ class StampedDistances {
 /// \brief O(1)-reset node set based on epoch stamping.
 class StampedSet {
  public:
+  /// O(1) unless the backing array has to grow; growth is visible via
+  /// capacity().
   void Reset(size_t num_nodes) {
     if (stamp_.size() < num_nodes) {
       stamp_.resize(num_nodes, 0);
     }
     ++epoch_;
   }
+
+  /// Number of nodes the set can address without reallocating.
+  size_t capacity() const { return stamp_.size(); }
 
   bool Contains(NodeId n) const { return stamp_[n] == epoch_; }
   void Insert(NodeId n) { stamp_[n] = epoch_; }
@@ -62,12 +75,73 @@ class StampedSet {
   uint64_t epoch_ = 0;
 };
 
+/// \brief Per-node list of the k nearest *discovered* points: (distance,
+/// point) ascending, distinct points, capped at k. The H'-expansion
+/// state shared by lazy-EP (Section 4.2) and its unrestricted and
+/// bichromatic counterparts.
+struct DiscoveredList {
+  std::vector<std::pair<Weight, PointId>> entries;
+
+  bool ContainsPoint(PointId p) const {
+    for (const auto& [d, q] : entries) {
+      if (q == p) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// True if the list already holds k entries no farther than `dist`.
+  bool SaturatedAt(Weight dist, size_t k) const {
+    return entries.size() >= k && entries[k - 1].first <= dist;
+  }
+
+  void Insert(Weight dist, PointId p, size_t k) {
+    auto it = std::upper_bound(
+        entries.begin(), entries.end(), std::make_pair(dist, PointId{0}),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    entries.insert(it, {dist, p});
+    if (entries.size() > k) {
+      entries.pop_back();
+    }
+  }
+
+  /// Entries strictly (mod fp noise) below `bound`; k means "at least
+  /// k overall" since only the k smallest are kept.
+  size_t CountBelow(Weight bound) const {
+    size_t n = 0;
+    for (const auto& [d, p] : entries) {
+      n += DistLess(d, bound);
+    }
+    return n;
+  }
+};
+
 /// \brief Reusable engine for the local NN queries issued by the RNN
-/// algorithms. One instance per query keeps scratch allocations amortized.
+/// algorithms. One instance per query keeps scratch allocations amortized;
+/// a rebindable instance inside a SearchWorkspace amortizes them across
+/// whole query batches.
 class NnSearcher {
  public:
+  /// Unbound searcher; Bind() before use.
+  NnSearcher() = default;
   /// \param g, points must outlive the searcher.
   NnSearcher(const graph::NetworkView* g, const NodePointSet* points);
+
+  /// Re-targets the searcher, keeping all scratch buffers.
+  void Bind(const graph::NetworkView* g, const NodePointSet* points) {
+    GRNN_CHECK(g != nullptr);
+    GRNN_CHECK(points != nullptr);
+    g_ = g;
+    points_ = points;
+  }
+
+  /// Total element capacity of the scratch buffers (workspace-growth
+  /// accounting).
+  size_t CapacityFootprint() const {
+    return heap_.slot_capacity() + best_.capacity() + settled_.capacity() +
+           query_mark_.capacity() + nbrs_.capacity();
+  }
 
   /// range-NN(n, k, e): up to k nearest points with network distance
   /// STRICTLY smaller than `e`, ascending by distance. `exclude` (and any
@@ -75,6 +149,10 @@ class NnSearcher {
   Result<std::vector<NnResult>> RangeNn(NodeId source, int k, Weight e,
                                         PointId exclude,
                                         SearchStats* stats);
+
+  /// Allocation-free form of RangeNn: replaces `*out` with the result.
+  Status RangeNnInto(NodeId source, int k, Weight e, PointId exclude,
+                     SearchStats* stats, std::vector<NnResult>* out);
 
   /// Plain k-nearest-neighbor query from a node (e = infinity).
   Result<std::vector<NnResult>> Knn(NodeId source, int k, PointId exclude,
@@ -106,8 +184,8 @@ class NnSearcher {
   const NodePointSet& points() const { return *points_; }
 
  private:
-  const graph::NetworkView* g_;
-  const NodePointSet* points_;
+  const graph::NetworkView* g_ = nullptr;
+  const NodePointSet* points_ = nullptr;
   IndexedHeap<Weight, NodeId> heap_;
   StampedDistances best_;
   StampedSet settled_;

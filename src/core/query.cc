@@ -1,9 +1,10 @@
 #include "core/query.h"
 
-#include "core/brute_force.h"
-#include "core/eager.h"
-#include "core/lazy.h"
-#include "core/lazy_ep.h"
+#include <cctype>
+#include <string>
+
+#include "common/string_util.h"
+#include "core/engine.h"
 
 namespace grnn::core {
 
@@ -39,28 +40,58 @@ const char* AlgorithmName(Algorithm a) {
   return "unknown";
 }
 
+Result<Algorithm> ParseAlgorithm(std::string_view name) {
+  auto iequals = [](std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(a[i])) !=
+          std::tolower(static_cast<unsigned char>(b[i]))) {
+        return false;
+      }
+    }
+    return true;
+  };
+  constexpr Algorithm kParseable[] = {
+      Algorithm::kEager, Algorithm::kEagerM, Algorithm::kLazy,
+      Algorithm::kLazyEp, Algorithm::kBruteForce};
+  for (Algorithm a : kParseable) {
+    if (iequals(name, AlgorithmName(a)) ||
+        iequals(name, AlgorithmShortName(a))) {
+      return a;
+    }
+  }
+  return Status::InvalidArgument(
+      StrPrintf("unknown algorithm '%.*s' (expected one of E, EM, L, LP, "
+                "BF or their full names)",
+                static_cast<int>(name.size()), name.data()));
+}
+
+// Deprecated shim: a throwaway single-query engine session. Callers that
+// issue more than one query should hold an RknnEngine instead.
 Result<RknnResult> RunRknn(Algorithm algorithm, const graph::NetworkView& g,
                            const NodePointSet& points,
                            std::span<const NodeId> query_nodes,
                            const RknnOptions& options,
                            KnnStore* materialized) {
-  switch (algorithm) {
-    case Algorithm::kEager:
-      return EagerRknn(g, points, query_nodes, options);
-    case Algorithm::kLazy:
-      return LazyRknn(g, points, query_nodes, options);
-    case Algorithm::kLazyEp:
-      return LazyEpRknn(g, points, query_nodes, options);
-    case Algorithm::kEagerM:
-      if (materialized == nullptr) {
-        return Status::InvalidArgument(
-            "eager-M requires a materialized KNN store");
-      }
-      return EagerMRknn(g, points, materialized, query_nodes, options);
-    case Algorithm::kBruteForce:
-      return BruteForceRknn(g, points, query_nodes, options);
+  if (algorithm == Algorithm::kEagerM && materialized == nullptr) {
+    return Status::InvalidArgument(
+        "eager-M requires a materialized KNN store");
   }
-  return Status::InvalidArgument("unknown algorithm");
+  EngineSources sources;
+  sources.graph = &g;
+  sources.points = &points;
+  sources.knn = materialized;
+  GRNN_ASSIGN_OR_RETURN(RknnEngine engine, RknnEngine::Create(sources));
+  QuerySpec spec;
+  spec.kind = query_nodes.size() == 1 ? QueryKind::kMonochromatic
+                                      : QueryKind::kContinuous;
+  spec.algorithm = algorithm;
+  spec.k = options.k;
+  spec.exclude_point = options.exclude_point;
+  spec.query_nodes.assign(query_nodes.begin(), query_nodes.end());
+  return engine.Run(spec);
 }
 
 }  // namespace grnn::core

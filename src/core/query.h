@@ -8,6 +8,7 @@
 
 #include <span>
 #include <string>
+#include <string_view>
 
 #include "common/result.h"
 #include "core/materialize.h"
@@ -30,6 +31,9 @@ enum class Algorithm {
 const char* AlgorithmShortName(Algorithm a);
 /// Full name ("eager", "lazy", "lazy-EP", "eager-M", "brute-force").
 const char* AlgorithmName(Algorithm a);
+/// Inverse of both name forms, case-insensitive ("E", "eager", "LP",
+/// "lazy-ep", ...). The single parser every CLI flag goes through.
+Result<Algorithm> ParseAlgorithm(std::string_view name);
 
 /// All algorithms in the order the paper's figures list them.
 inline constexpr Algorithm kAllAlgorithms[] = {
@@ -38,6 +42,10 @@ inline constexpr Algorithm kAllAlgorithms[] = {
 
 /// \brief Runs a monochromatic (or continuous, via multi-node query) RkNN
 /// query with the chosen algorithm.
+///
+/// \deprecated Thin shim over RknnEngine (core/engine.h): construct an
+/// engine and use Run/RunBatch instead — the engine reuses search
+/// workspaces across queries, which this one-shot form cannot.
 ///
 /// \param materialized required iff algorithm == kEagerM; ignored
 ///        otherwise.

@@ -33,12 +33,15 @@ struct RknnResult {
 
 /// Options common to all RkNN algorithms.
 ///
-/// Semantics (identical across algorithms and the brute-force oracle):
-/// a candidate point p belongs to RkNN(q) iff strictly fewer than k other
-/// live points (excluding p itself, the query point and `exclude_point`)
-/// are strictly closer to p than the query. Ties in distance therefore
-/// favour the candidate, which keeps unit-weight graphs (DBLP) well
-/// defined.
+/// This is the CANONICAL definition of the query semantics, shared by
+/// every query kind (monochromatic, bichromatic, continuous and
+/// unrestricted — see QuerySpec in core/engine.h, which mirrors these
+/// fields), every algorithm and the brute-force oracles: a candidate
+/// point p belongs to RkNN(q) iff strictly fewer than k other live
+/// competitors (excluding p itself, the query point and
+/// `exclude_point`) are strictly closer to p than the query. Ties in
+/// distance therefore favour the candidate, which keeps unit-weight
+/// graphs (DBLP) well defined. See DESIGN.md §4.
 struct RknnOptions {
   int k = 1;
   /// The query's own point (monochromatic queries are sampled from the

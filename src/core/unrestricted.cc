@@ -8,6 +8,7 @@
 #include "common/numeric.h"
 #include "common/string_util.h"
 #include "core/primitives.h"
+#include "core/workspace.h"
 
 namespace grnn::core {
 
@@ -59,12 +60,18 @@ Result<Weight> ViewEdgeWeight(const graph::NetworkView& g, NodeId u,
 
 // ---------------------------------------------------------------------
 // Mixed node/point expansion machinery
+//
+// Heap entries are (node, point) pairs drawn from the workspace's mixed
+// heap: point == kInvalidPoint marks a node entry, anything else a point
+// entry (the node half is ignored for those).
 
-struct MixedEntry {
-  NodeId node = kInvalidNode;    // valid for node entries
-  PointId point = kInvalidPoint; // valid for point entries
-  bool is_point() const { return point != kInvalidPoint; }
-};
+using MixedEntry = std::pair<NodeId, PointId>;
+
+inline MixedEntry NodeEntry(NodeId n) { return {n, kInvalidPoint}; }
+inline MixedEntry PointEntry(PointId p) { return {kInvalidNode, p}; }
+inline bool IsPointEntry(const MixedEntry& e) {
+  return e.second != kInvalidPoint;
+}
 
 // k smallest competitor distances, ascending.
 class CompetitorList {
@@ -101,18 +108,29 @@ struct VerifyResult {
 };
 
 // Shared expansion engine: mixed node/point Dijkstra with incident-edge
-// point discovery. One instance per query amortizes scratch state.
+// point discovery. All scratch state lives in the workspace's aux
+// buffers, so batched queries reuse it across calls; the main expansions
+// own the non-aux buffers of the same workspace.
 class UnrestrictedSearcher {
  public:
   UnrestrictedSearcher(const graph::NetworkView* g,
                        const EdgePointSet* points,
                        const EdgePointReader* reader,
-                       const UnrestrictedQuery* query, Weight query_edge_w)
+                       const UnrestrictedQuery* query, Weight query_edge_w,
+                       const RknnOptions* options, SearchWorkspace* ws)
       : g_(g),
         points_(points),
         reader_(reader),
         query_(query),
-        query_edge_w_(query_edge_w) {
+        options_(options),
+        query_edge_w_(query_edge_w),
+        heap_(ws->mixed_heap),
+        node_settled_(ws->aux_visited),
+        node_best_(ws->aux_best),
+        point_seen_(ws->aux_seen_points),
+        nbrs_(ws->aux_nbrs),
+        records_(ws->aux_records),
+        route_mark_(ws->mark) {
     if (!query->is_position) {
       route_mark_.Reset(g->num_nodes());
       for (NodeId n : query->route) {
@@ -155,7 +173,7 @@ class UnrestrictedSearcher {
         if (r.point != candidate) {
           Weight d = std::abs(r.pos - cpos.pos);
           if (DistLessOrTied(d, max_range)) {
-            heap_.Push(d, MixedEntry{kInvalidNode, r.point});
+            heap_.Push(d, PointEntry(r.point));
           }
         }
       }
@@ -169,11 +187,11 @@ class UnrestrictedSearcher {
       if (!DistLess(key, best_q)) {
         return VerifyResult{competitors.CountBelow(best_q) < kk, best_q};
       }
-      if (entry.is_point()) {
-        if (!point_seen_.insert(entry.point).second) {
+      if (IsPointEntry(entry)) {
+        if (!point_seen_.insert(entry.second).second) {
           continue;  // later path to an already-settled point
         }
-        if (entry.point != query_->exclude_point) {
+        if (entry.second != options_->exclude_point) {
           competitors.Insert(key);
           if (competitors.FullAndBelow(key)) {
             return VerifyResult{false, kInfinity};
@@ -181,7 +199,7 @@ class UnrestrictedSearcher {
         }
         continue;
       }
-      const NodeId m = entry.node;
+      const NodeId m = entry.first;
       if (node_settled_.Contains(m)) {
         continue;
       }
@@ -217,7 +235,7 @@ class UnrestrictedSearcher {
                 m < a.node ? r.pos : a.weight - r.pos;
             const Weight nd = key + offset;
             if (DistLessOrTied(nd, max_range)) {
-              heap_.Push(nd, MixedEntry{kInvalidNode, r.point});
+              heap_.Push(nd, PointEntry(r.point));
             }
           }
         }
@@ -226,7 +244,7 @@ class UnrestrictedSearcher {
             !node_settled_.Contains(a.node) &&
             nd < node_best_.Get(a.node)) {
           node_best_.Set(a.node, nd);
-          heap_.Push(nd, MixedEntry{a.node, kInvalidPoint});
+          heap_.Push(nd, NodeEntry(a.node));
           if (stats != nullptr) {
             stats->heap_pushes++;
           }
@@ -281,13 +299,15 @@ class UnrestrictedSearcher {
       if (!DistLess(key, e)) {
         break;
       }
-      if (entry.is_point()) {
-        if (!point_seen_.insert(entry.point).second) {
+      if (IsPointEntry(entry)) {
+        const PointId found_point = entry.second;
+        if (!point_seen_.insert(found_point).second) {
           continue;
         }
-        if (entry.point != query_->exclude_point) {
-          out.push_back(Found{entry.point, points_->PositionOf(entry.point),
-                              points_->EdgeWeightOfPoint(entry.point),
+        if (found_point != options_->exclude_point) {
+          out.push_back(Found{found_point,
+                              points_->PositionOf(found_point),
+                              points_->EdgeWeightOfPoint(found_point),
                               key});
           if (out.size() == static_cast<size_t>(k)) {
             return out;
@@ -295,7 +315,7 @@ class UnrestrictedSearcher {
         }
         continue;
       }
-      const NodeId m = entry.node;
+      const NodeId m = entry.first;
       if (node_settled_.Contains(m)) {
         continue;
       }
@@ -314,7 +334,7 @@ class UnrestrictedSearcher {
             const Weight offset = m < a.node ? r.pos : a.weight - r.pos;
             const Weight nd = key + offset;
             if (DistLess(nd, e)) {
-              heap_.Push(nd, MixedEntry{kInvalidNode, r.point});
+              heap_.Push(nd, PointEntry(r.point));
             }
           }
         }
@@ -322,7 +342,7 @@ class UnrestrictedSearcher {
         if (DistLess(nd, e) && !node_settled_.Contains(a.node) &&
             nd < node_best_.Get(a.node)) {
           node_best_.Set(a.node, nd);
-          heap_.Push(nd, MixedEntry{a.node, kInvalidPoint});
+          heap_.Push(nd, NodeEntry(a.node));
           if (stats != nullptr) {
             stats->heap_pushes++;
           }
@@ -336,7 +356,7 @@ class UnrestrictedSearcher {
   void PushNode(NodeId n, Weight d, Weight max_range) {
     if (DistLessOrTied(d, max_range) && d < node_best_.Get(n)) {
       node_best_.Set(n, d);
-      heap_.Push(d, MixedEntry{n, kInvalidPoint});
+      heap_.Push(d, NodeEntry(n));
     }
   }
 
@@ -344,20 +364,23 @@ class UnrestrictedSearcher {
   const EdgePointSet* points_;
   const EdgePointReader* reader_;
   const UnrestrictedQuery* query_;
+  const RknnOptions* options_;
   Weight query_edge_w_;
-  StampedSet route_mark_;
 
-  IndexedHeap<Weight, MixedEntry> heap_;
-  StampedSet node_settled_;
-  StampedDistances node_best_;
-  std::unordered_set<PointId> point_seen_;
-  std::vector<AdjEntry> nbrs_;
-  std::vector<EdgePointRecord> records_;
+  // Workspace aux buffers (see workspace.h).
+  IndexedHeap<Weight, MixedEntry>& heap_;
+  StampedSet& node_settled_;
+  StampedDistances& node_best_;
+  std::unordered_set<PointId>& point_seen_;
+  std::vector<AdjEntry>& nbrs_;
+  std::vector<EdgePointRecord>& records_;
+  StampedSet& route_mark_;
 };
 
 Status ValidateQuery(const graph::NetworkView& g,
-                     const UnrestrictedQuery& q) {
-  if (q.k <= 0) {
+                     const UnrestrictedQuery& q,
+                     const RknnOptions& options) {
+  if (options.k <= 0) {
     return Status::InvalidArgument("k must be positive");
   }
   if (q.is_position) {
@@ -380,8 +403,9 @@ Status ValidateQuery(const graph::NetworkView& g,
 
 // Canonicalizes the query position and resolves its edge weight.
 Result<std::pair<UnrestrictedQuery, Weight>> PrepareQuery(
-    const graph::NetworkView& g, const UnrestrictedQuery& q) {
-  GRNN_RETURN_NOT_OK(ValidateQuery(g, q));
+    const graph::NetworkView& g, const UnrestrictedQuery& q,
+    const RknnOptions& options) {
+  GRNN_RETURN_NOT_OK(ValidateQuery(g, q, options));
   UnrestrictedQuery prepared = q;
   Weight qw = 0;
   if (q.is_position) {
@@ -542,34 +566,44 @@ std::vector<PointSeed> EdgePointSet::SeedsOf(const EdgePosition& pos,
 Result<RknnResult> UnrestrictedEagerRknn(const graph::NetworkView& g,
                                          const EdgePointSet& points,
                                          const EdgePointReader& reader,
-                                         const UnrestrictedQuery& query) {
-  GRNN_ASSIGN_OR_RETURN(auto prep, PrepareQuery(g, query));
+                                         const UnrestrictedQuery& query,
+                                         const RknnOptions& options) {
+  SearchWorkspace ws;
+  return UnrestrictedEagerRknn(g, points, reader, query, options, ws);
+}
+
+Result<RknnResult> UnrestrictedEagerRknn(const graph::NetworkView& g,
+                                         const EdgePointSet& points,
+                                         const EdgePointReader& reader,
+                                         const UnrestrictedQuery& query,
+                                         const RknnOptions& options,
+                                         SearchWorkspace& ws) {
+  GRNN_ASSIGN_OR_RETURN(auto prep, PrepareQuery(g, query, options));
   const auto& [q, qw] = prep;
-  const size_t k = static_cast<size_t>(q.k);
+  const size_t k = static_cast<size_t>(options.k);
 
   RknnResult out;
-  UnrestrictedSearcher searcher(&g, &points, &reader, &q, qw);
+  UnrestrictedSearcher searcher(&g, &points, &reader, &q, qw, &options,
+                                &ws);
 
-  IndexedHeap<Weight, NodeId> heap;
-  StampedDistances best;
-  StampedSet visited;
-  best.Reset(g.num_nodes());
-  visited.Reset(g.num_nodes());
-  SeedQuery(q, qw, heap, best, &out.stats);
+  auto& heap = ws.node_heap;
+  heap.clear();
+  ws.best.Reset(g.num_nodes());
+  ws.visited.Reset(g.num_nodes());
+  SeedQuery(q, qw, heap, ws.best, &out.stats);
 
-  std::unordered_set<PointId> verified;
-  std::vector<AdjEntry> nbrs;
-  std::vector<EdgePointRecord> records;
+  auto& verified = ws.seen_points;
+  verified.clear();
 
   auto verify_candidate = [&](PointId p) -> Status {
-    if (p == q.exclude_point || !verified.insert(p).second) {
+    if (p == options.exclude_point || !verified.insert(p).second) {
       return Status::OK();
     }
     const EdgePosition& cpos = points.PositionOf(p);
     const Weight cw = points.EdgeWeightOfPoint(p);
     GRNN_ASSIGN_OR_RETURN(
-        auto v, searcher.Verify(p, cpos, cw, q.k, kInfinity, &out.stats,
-                                [](NodeId, Weight) {}));
+        auto v, searcher.Verify(p, cpos, cw, options.k, kInfinity,
+                                &out.stats, [](NodeId, Weight) {}));
     if (v.is_rknn) {
       out.results.push_back(PointMatch{p, cpos.u, v.dist});
     }
@@ -578,20 +612,20 @@ Result<RknnResult> UnrestrictedEagerRknn(const graph::NetworkView& g,
 
   while (!heap.empty()) {
     auto [dist, node] = heap.Pop();
-    if (visited.Contains(node)) {
+    if (ws.visited.Contains(node)) {
       continue;
     }
-    visited.Insert(node);
+    ws.visited.Insert(node);
     out.stats.nodes_expanded++;
     out.stats.nodes_scanned++;
 
-    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &nbrs));
+    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &ws.nbrs));
 
     // Candidate discovery on incident edges (completeness; see header).
-    for (const AdjEntry& a : nbrs) {
+    for (const AdjEntry& a : ws.nbrs) {
       if (reader.Has(node, a.node)) {
-        GRNN_RETURN_NOT_OK(reader.Read(node, a.node, &records));
-        for (const EdgePointRecord& r : records) {
+        GRNN_RETURN_NOT_OK(reader.Read(node, a.node, &ws.records));
+        for (const EdgePointRecord& r : ws.records) {
           GRNN_RETURN_NOT_OK(verify_candidate(r.point));
         }
       }
@@ -601,8 +635,8 @@ Result<RknnResult> UnrestrictedEagerRknn(const graph::NetworkView& g,
     // candidates too (as in Fig 4).
     size_t closer = 0;
     if (dist > 0) {
-      GRNN_ASSIGN_OR_RETURN(auto found,
-                            searcher.RangeNn(node, q.k, dist, &out.stats));
+      GRNN_ASSIGN_OR_RETURN(
+          auto found, searcher.RangeNn(node, options.k, dist, &out.stats));
       closer = found.size();
       for (const auto& f : found) {
         GRNN_RETURN_NOT_OK(verify_candidate(f.point));
@@ -613,10 +647,10 @@ Result<RknnResult> UnrestrictedEagerRknn(const graph::NetworkView& g,
       continue;
     }
 
-    for (const AdjEntry& a : nbrs) {
+    for (const AdjEntry& a : ws.nbrs) {
       const Weight nd = dist + a.weight;
-      if (!visited.Contains(a.node) && nd < best.Get(a.node)) {
-        best.Set(a.node, nd);
+      if (!ws.visited.Contains(a.node) && nd < ws.best.Get(a.node)) {
+        ws.best.Set(a.node, nd);
         heap.Push(nd, a.node);
         out.stats.heap_pushes++;
       }
@@ -629,13 +663,25 @@ Result<RknnResult> UnrestrictedEagerRknn(const graph::NetworkView& g,
 Result<RknnResult> UnrestrictedLazyRknn(const graph::NetworkView& g,
                                         const EdgePointSet& points,
                                         const EdgePointReader& reader,
-                                        const UnrestrictedQuery& query) {
-  GRNN_ASSIGN_OR_RETURN(auto prep, PrepareQuery(g, query));
+                                        const UnrestrictedQuery& query,
+                                        const RknnOptions& options) {
+  SearchWorkspace ws;
+  return UnrestrictedLazyRknn(g, points, reader, query, options, ws);
+}
+
+Result<RknnResult> UnrestrictedLazyRknn(const graph::NetworkView& g,
+                                        const EdgePointSet& points,
+                                        const EdgePointReader& reader,
+                                        const UnrestrictedQuery& query,
+                                        const RknnOptions& options,
+                                        SearchWorkspace& ws) {
+  GRNN_ASSIGN_OR_RETURN(auto prep, PrepareQuery(g, query, options));
   const auto& [q, qw] = prep;
-  const size_t k = static_cast<size_t>(q.k);
+  const size_t k = static_cast<size_t>(options.k);
 
   RknnResult out;
-  UnrestrictedSearcher searcher(&g, &points, &reader, &q, qw);
+  UnrestrictedSearcher searcher(&g, &points, &reader, &q, qw, &options,
+                                &ws);
 
   using Heap = IndexedHeap<Weight, NodeId>;
   struct NodeBook {
@@ -646,7 +692,8 @@ Result<RknnResult> UnrestrictedLazyRknn(const graph::NetworkView& g,
     Weight dist_q = kInfinity;
     std::vector<Heap::Handle> children;
   };
-  Heap heap;
+  Heap& heap = ws.node_heap;
+  heap.clear();
   std::unordered_map<NodeId, NodeBook> book;
   auto book_of = [&](NodeId n) -> NodeBook& {
     auto it = book.find(n);
@@ -675,9 +722,8 @@ Result<RknnResult> UnrestrictedLazyRknn(const graph::NetworkView& g,
     }
   }
 
-  std::unordered_set<PointId> verified;
-  std::vector<AdjEntry> nbrs;
-  std::vector<EdgePointRecord> records;
+  auto& verified = ws.seen_points;
+  verified.clear();
 
   auto on_settle = [&](NodeId m, Weight dd) {
     NodeBook& bm = book_of(m);
@@ -713,16 +759,16 @@ Result<RknnResult> UnrestrictedLazyRknn(const graph::NetworkView& g,
     out.stats.nodes_expanded++;
     out.stats.nodes_scanned++;
 
-    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &nbrs));
+    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &ws.nbrs));
 
     // Edge-triggered point discovery + verification-with-bookkeeping.
-    for (const AdjEntry& a : nbrs) {
+    for (const AdjEntry& a : ws.nbrs) {
       if (!reader.Has(node, a.node)) {
         continue;
       }
-      GRNN_RETURN_NOT_OK(reader.Read(node, a.node, &records));
-      for (const EdgePointRecord& r : records) {
-        if (r.point == q.exclude_point ||
+      GRNN_RETURN_NOT_OK(reader.Read(node, a.node, &ws.records));
+      for (const EdgePointRecord& r : ws.records) {
+        if (r.point == options.exclude_point ||
             !verified.insert(r.point).second) {
           continue;
         }
@@ -731,7 +777,7 @@ Result<RknnResult> UnrestrictedLazyRknn(const graph::NetworkView& g,
         const Weight offset = node < a.node ? r.pos : a.weight - r.pos;
         const Weight upper = dist + offset;  // >= d(p, q)
         GRNN_ASSIGN_OR_RETURN(
-            auto v, searcher.Verify(r.point, cpos, cw, q.k, upper,
+            auto v, searcher.Verify(r.point, cpos, cw, options.k, upper,
                                     &out.stats, on_settle));
         if (v.is_rknn) {
           out.results.push_back(PointMatch{r.point, cpos.u, v.dist});
@@ -743,7 +789,7 @@ Result<RknnResult> UnrestrictedLazyRknn(const graph::NetworkView& g,
     if (b.competitors.CountBelow(dist) >= k) {
       continue;
     }
-    for (const AdjEntry& a : nbrs) {
+    for (const AdjEntry& a : ws.nbrs) {
       if (!book_of(a.node).visited) {
         Heap::Handle h = heap.Push(dist + a.weight, a.node);
         out.stats.heap_pushes++;
@@ -758,74 +804,54 @@ Result<RknnResult> UnrestrictedLazyRknn(const graph::NetworkView& g,
 Result<RknnResult> UnrestrictedLazyEpRknn(const graph::NetworkView& g,
                                           const EdgePointSet& points,
                                           const EdgePointReader& reader,
-                                          const UnrestrictedQuery& query) {
-  GRNN_ASSIGN_OR_RETURN(auto prep, PrepareQuery(g, query));
+                                          const UnrestrictedQuery& query,
+                                          const RknnOptions& options) {
+  SearchWorkspace ws;
+  return UnrestrictedLazyEpRknn(g, points, reader, query, options, ws);
+}
+
+Result<RknnResult> UnrestrictedLazyEpRknn(const graph::NetworkView& g,
+                                          const EdgePointSet& points,
+                                          const EdgePointReader& reader,
+                                          const UnrestrictedQuery& query,
+                                          const RknnOptions& options,
+                                          SearchWorkspace& ws) {
+  GRNN_ASSIGN_OR_RETURN(auto prep, PrepareQuery(g, query, options));
   const auto& [q, qw] = prep;
-  const size_t k = static_cast<size_t>(q.k);
+  const size_t k = static_cast<size_t>(options.k);
 
   RknnResult out;
-  UnrestrictedSearcher searcher(&g, &points, &reader, &q, qw);
+  UnrestrictedSearcher searcher(&g, &points, &reader, &q, qw, &options,
+                                &ws);
 
-  IndexedHeap<Weight, NodeId> heap;
-  StampedDistances best;
-  StampedSet visited;
-  best.Reset(g.num_nodes());
-  visited.Reset(g.num_nodes());
-  SeedQuery(q, qw, heap, best, &out.stats);
+  auto& heap = ws.node_heap;
+  heap.clear();
+  ws.best.Reset(g.num_nodes());
+  ws.visited.Reset(g.num_nodes());
+  SeedQuery(q, qw, heap, ws.best, &out.stats);
 
   // H': per-discovered-point expansion.
-  IndexedHeap<Weight, std::pair<NodeId, PointId>> ep_heap;
-  struct DiscoveredList {
-    std::vector<std::pair<Weight, PointId>> entries;
-    bool Contains(PointId p) const {
-      for (const auto& [d, x] : entries) {
-        if (x == p) {
-          return true;
-        }
-      }
-      return false;
-    }
-    bool SaturatedAt(Weight d, size_t kk) const {
-      return entries.size() >= kk && entries[kk - 1].first <= d;
-    }
-    void Insert(Weight d, PointId p, size_t kk) {
-      auto it = std::upper_bound(
-          entries.begin(), entries.end(), std::make_pair(d, PointId{0}),
-          [](const auto& a, const auto& b) { return a.first < b.first; });
-      entries.insert(it, {d, p});
-      if (entries.size() > kk) {
-        entries.pop_back();
-      }
-    }
-    size_t CountBelow(Weight bound) const {
-      size_t n = 0;
-      for (const auto& [d, p] : entries) {
-        n += DistLess(d, bound);
-      }
-      return n;
-    }
-  };
+  auto& ep_heap = ws.ep_heap;
+  ep_heap.clear();
   std::unordered_map<NodeId, DiscoveredList> discovered;
 
-  std::unordered_set<PointId> found;
-  std::vector<AdjEntry> nbrs;
-  std::vector<EdgePointRecord> records;
+  auto& found = ws.seen_points;
+  found.clear();
 
   auto drain_ep = [&](Weight frontier) -> Status {
     while (!ep_heap.empty() && ep_heap.top_key() < frontier) {
       auto [d, entry] = ep_heap.Pop();
       auto [node, point] = entry;
       DiscoveredList& list = discovered[node];
-      if (list.Contains(point) || list.SaturatedAt(d, k)) {
+      if (list.ContainsPoint(point) || list.SaturatedAt(d, k)) {
         continue;
       }
       list.Insert(d, point, k);
       out.stats.nodes_scanned++;
-      // Own scratch: the main loop's `nbrs` must survive a mid-iteration
-      // drain.
-      std::vector<AdjEntry> ep_nbrs;
-      GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &ep_nbrs));
-      for (const AdjEntry& a : ep_nbrs) {
+      // Own scratch: the main loop's `ws.nbrs` must survive a
+      // mid-iteration drain.
+      GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &ws.aux_nbrs));
+      for (const AdjEntry& a : ws.aux_nbrs) {
         ep_heap.Push(d + a.weight, {a.node, point});
         out.stats.heap_pushes++;
       }
@@ -835,10 +861,10 @@ Result<RknnResult> UnrestrictedLazyEpRknn(const graph::NetworkView& g,
 
   while (!heap.empty()) {
     auto [dist, node] = heap.Pop();
-    if (visited.Contains(node)) {
+    if (ws.visited.Contains(node)) {
       continue;
     }
-    visited.Insert(node);
+    ws.visited.Insert(node);
     GRNN_RETURN_NOT_OK(drain_ep(dist));
 
     auto it = discovered.find(node);
@@ -849,21 +875,23 @@ Result<RknnResult> UnrestrictedLazyEpRknn(const graph::NetworkView& g,
     out.stats.nodes_expanded++;
     out.stats.nodes_scanned++;
 
-    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &nbrs));
-    for (const AdjEntry& a : nbrs) {
+    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &ws.nbrs));
+    for (const AdjEntry& a : ws.nbrs) {
       if (!reader.Has(node, a.node)) {
         continue;
       }
-      GRNN_RETURN_NOT_OK(reader.Read(node, a.node, &records));
-      for (const EdgePointRecord& r : records) {
-        if (r.point == q.exclude_point || !found.insert(r.point).second) {
+      GRNN_RETURN_NOT_OK(reader.Read(node, a.node, &ws.records));
+      for (const EdgePointRecord& r : ws.records) {
+        if (r.point == options.exclude_point ||
+            !found.insert(r.point).second) {
           continue;
         }
         const EdgePosition& cpos = points.PositionOf(r.point);
         const Weight cw = points.EdgeWeightOfPoint(r.point);
         GRNN_ASSIGN_OR_RETURN(
-            auto v, searcher.Verify(r.point, cpos, cw, q.k, kInfinity,
-                                    &out.stats, [](NodeId, Weight) {}));
+            auto v, searcher.Verify(r.point, cpos, cw, options.k,
+                                    kInfinity, &out.stats,
+                                    [](NodeId, Weight) {}));
         if (v.is_rknn) {
           out.results.push_back(PointMatch{r.point, cpos.u, v.dist});
         }
@@ -880,10 +908,10 @@ Result<RknnResult> UnrestrictedLazyEpRknn(const graph::NetworkView& g,
       continue;
     }
 
-    for (const AdjEntry& a : nbrs) {
+    for (const AdjEntry& a : ws.nbrs) {
       const Weight nd = dist + a.weight;
-      if (!visited.Contains(a.node) && nd < best.Get(a.node)) {
-        best.Set(a.node, nd);
+      if (!ws.visited.Contains(a.node) && nd < ws.best.Get(a.node)) {
+        ws.best.Set(a.node, nd);
         heap.Push(nd, a.node);
         out.stats.heap_pushes++;
       }
@@ -897,41 +925,53 @@ Result<RknnResult> UnrestrictedEagerMRknn(const graph::NetworkView& g,
                                           const EdgePointSet& points,
                                           const EdgePointReader& reader,
                                           KnnStore* store,
-                                          const UnrestrictedQuery& query) {
+                                          const UnrestrictedQuery& query,
+                                          const RknnOptions& options) {
+  SearchWorkspace ws;
+  return UnrestrictedEagerMRknn(g, points, reader, store, query, options,
+                                ws);
+}
+
+Result<RknnResult> UnrestrictedEagerMRknn(const graph::NetworkView& g,
+                                          const EdgePointSet& points,
+                                          const EdgePointReader& reader,
+                                          KnnStore* store,
+                                          const UnrestrictedQuery& query,
+                                          const RknnOptions& options,
+                                          SearchWorkspace& ws) {
   if (store == nullptr) {
     return Status::InvalidArgument("store is null");
   }
-  if (static_cast<uint32_t>(query.k) > store->k()) {
+  if (static_cast<uint32_t>(options.k) > store->k()) {
     return Status::InvalidArgument("query k exceeds materialized K");
   }
-  GRNN_ASSIGN_OR_RETURN(auto prep, PrepareQuery(g, query));
+  GRNN_ASSIGN_OR_RETURN(auto prep, PrepareQuery(g, query, options));
   const auto& [q, qw] = prep;
-  const size_t k = static_cast<size_t>(q.k);
+  const size_t k = static_cast<size_t>(options.k);
 
   RknnResult out;
-  UnrestrictedSearcher searcher(&g, &points, &reader, &q, qw);
+  UnrestrictedSearcher searcher(&g, &points, &reader, &q, qw, &options,
+                                &ws);
 
-  IndexedHeap<Weight, NodeId> heap;
-  StampedDistances best;
-  StampedSet visited;
-  best.Reset(g.num_nodes());
-  visited.Reset(g.num_nodes());
-  SeedQuery(q, qw, heap, best, &out.stats);
+  auto& heap = ws.node_heap;
+  heap.clear();
+  ws.best.Reset(g.num_nodes());
+  ws.visited.Reset(g.num_nodes());
+  SeedQuery(q, qw, heap, ws.best, &out.stats);
 
-  std::unordered_set<PointId> verified;
-  std::vector<AdjEntry> nbrs;
-  std::vector<EdgePointRecord> records;
-  std::vector<NnEntry> list;
+  auto& verified = ws.seen_points;
+  verified.clear();
+  auto& list = ws.knn_list;
 
   auto verify_candidate = [&](PointId p) -> Status {
-    if (p == q.exclude_point || !verified.insert(p).second) {
+    if (p == options.exclude_point || !verified.insert(p).second) {
       return Status::OK();
     }
     const EdgePosition& cpos = points.PositionOf(p);
     const Weight cw = points.EdgeWeightOfPoint(p);
     GRNN_ASSIGN_OR_RETURN(
-        auto v, searcher.Verify(p, cpos, cw, q.k, kInfinity, &out.stats,
-                                [](NodeId, Weight) {}));
+        auto v, searcher.Verify(p, cpos, cw, options.k, kInfinity,
+                                &out.stats, [](NodeId, Weight) {}));
     if (v.is_rknn) {
       out.results.push_back(PointMatch{p, cpos.u, v.dist});
     }
@@ -940,18 +980,18 @@ Result<RknnResult> UnrestrictedEagerMRknn(const graph::NetworkView& g,
 
   while (!heap.empty()) {
     auto [dist, node] = heap.Pop();
-    if (visited.Contains(node)) {
+    if (ws.visited.Contains(node)) {
       continue;
     }
-    visited.Insert(node);
+    ws.visited.Insert(node);
     out.stats.nodes_expanded++;
     out.stats.nodes_scanned++;
 
-    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &nbrs));
-    for (const AdjEntry& a : nbrs) {
+    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &ws.nbrs));
+    for (const AdjEntry& a : ws.nbrs) {
       if (reader.Has(node, a.node)) {
-        GRNN_RETURN_NOT_OK(reader.Read(node, a.node, &records));
-        for (const EdgePointRecord& r : records) {
+        GRNN_RETURN_NOT_OK(reader.Read(node, a.node, &ws.records));
+        for (const EdgePointRecord& r : ws.records) {
           GRNN_RETURN_NOT_OK(verify_candidate(r.point));
         }
       }
@@ -962,7 +1002,7 @@ Result<RknnResult> UnrestrictedEagerMRknn(const graph::NetworkView& g,
     out.stats.knn_list_reads++;
     size_t closer = 0;
     for (const NnEntry& e : list) {
-      if (e.point != q.exclude_point && DistLess(e.dist, dist)) {
+      if (e.point != options.exclude_point && DistLess(e.dist, dist)) {
         GRNN_RETURN_NOT_OK(verify_candidate(e.point));
         if (++closer >= k) {
           break;
@@ -974,10 +1014,10 @@ Result<RknnResult> UnrestrictedEagerMRknn(const graph::NetworkView& g,
       continue;
     }
 
-    for (const AdjEntry& a : nbrs) {
+    for (const AdjEntry& a : ws.nbrs) {
       const Weight nd = dist + a.weight;
-      if (!visited.Contains(a.node) && nd < best.Get(a.node)) {
-        best.Set(a.node, nd);
+      if (!ws.visited.Contains(a.node) && nd < ws.best.Get(a.node)) {
+        ws.best.Set(a.node, nd);
         heap.Push(nd, a.node);
         out.stats.heap_pushes++;
       }
@@ -989,8 +1029,8 @@ Result<RknnResult> UnrestrictedEagerMRknn(const graph::NetworkView& g,
 
 Result<RknnResult> UnrestrictedBruteForceRknn(
     const graph::NetworkView& g, const EdgePointSet& points,
-    const UnrestrictedQuery& query) {
-  GRNN_ASSIGN_OR_RETURN(auto prep, PrepareQuery(g, query));
+    const UnrestrictedQuery& query, const RknnOptions& options) {
+  GRNN_ASSIGN_OR_RETURN(auto prep, PrepareQuery(g, query, options));
   const auto& [q, qw] = prep;
 
   // Multi-seed Dijkstra over nodes (local, test-oriented implementation).
@@ -1037,7 +1077,7 @@ Result<RknnResult> UnrestrictedBruteForceRknn(
 
   RknnResult out;
   for (PointId p : points.LivePoints()) {
-    if (p == q.exclude_point) {
+    if (p == options.exclude_point) {
       continue;
     }
     const EdgePosition& ppos = points.PositionOf(p);
@@ -1058,7 +1098,7 @@ Result<RknnResult> UnrestrictedBruteForceRknn(
     }
     size_t closer = 0;
     for (PointId r : points.LivePoints()) {
-      if (r == p || r == q.exclude_point) {
+      if (r == p || r == options.exclude_point) {
         continue;
       }
       const EdgePosition& rpos = points.PositionOf(r);
@@ -1068,7 +1108,7 @@ Result<RknnResult> UnrestrictedBruteForceRknn(
         ++closer;
       }
     }
-    if (closer < static_cast<size_t>(q.k)) {
+    if (closer < static_cast<size_t>(options.k)) {
       out.results.push_back(PointMatch{p, ppos.u, d_query});
     }
   }

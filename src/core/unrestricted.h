@@ -150,35 +150,66 @@ class StoredEdgePointReader final : public EdgePointReader {
   storage::BufferPool* pool_;
 };
 
-/// \brief Query specification for unrestricted networks: either a
-/// position on an edge (point query) or a route of nodes (continuous
-/// query, Section 5.1 + 5.2).
+class SearchWorkspace;
+
+/// \brief Query target in an unrestricted network: either a position on
+/// an edge (point query) or a route of nodes (continuous query,
+/// Section 5.1 + 5.2).
+///
+/// `k` and the excluded point travel in RknnOptions, exactly as for the
+/// restricted algorithms; the RkNN semantics — including the
+/// ties-favour-the-candidate rule — are the ones documented on
+/// RknnOptions in core/types.h.
 struct UnrestrictedQuery {
   bool is_position = true;
   EdgePosition position;        // used when is_position
   std::vector<NodeId> route;    // used otherwise
-  int k = 1;
-  /// Excluded from candidates and competitors (the query's own point).
-  PointId exclude_point = kInvalidPoint;
 };
 
 /// \brief Eager RkNN for unrestricted networks.
 Result<RknnResult> UnrestrictedEagerRknn(const graph::NetworkView& g,
                                          const EdgePointSet& points,
                                          const EdgePointReader& reader,
-                                         const UnrestrictedQuery& query);
+                                         const UnrestrictedQuery& query,
+                                         const RknnOptions& options = {});
+
+/// Workspace-reusing form (see EagerRknn in eager.h).
+Result<RknnResult> UnrestrictedEagerRknn(const graph::NetworkView& g,
+                                         const EdgePointSet& points,
+                                         const EdgePointReader& reader,
+                                         const UnrestrictedQuery& query,
+                                         const RknnOptions& options,
+                                         SearchWorkspace& ws);
 
 /// \brief Lazy RkNN for unrestricted networks (edge-triggered pruning).
 Result<RknnResult> UnrestrictedLazyRknn(const graph::NetworkView& g,
                                         const EdgePointSet& points,
                                         const EdgePointReader& reader,
-                                        const UnrestrictedQuery& query);
+                                        const UnrestrictedQuery& query,
+                                        const RknnOptions& options = {});
+
+/// Workspace-reusing form.
+Result<RknnResult> UnrestrictedLazyRknn(const graph::NetworkView& g,
+                                        const EdgePointSet& points,
+                                        const EdgePointReader& reader,
+                                        const UnrestrictedQuery& query,
+                                        const RknnOptions& options,
+                                        SearchWorkspace& ws);
 
 /// \brief Lazy-EP RkNN for unrestricted networks.
 Result<RknnResult> UnrestrictedLazyEpRknn(const graph::NetworkView& g,
                                           const EdgePointSet& points,
                                           const EdgePointReader& reader,
-                                          const UnrestrictedQuery& query);
+                                          const UnrestrictedQuery& query,
+                                          const RknnOptions& options = {});
+
+/// Workspace-reusing form.
+Result<RknnResult> UnrestrictedLazyEpRknn(const graph::NetworkView& g,
+                                          const EdgePointSet& points,
+                                          const EdgePointReader& reader,
+                                          const UnrestrictedQuery& query,
+                                          const RknnOptions& options,
+                                          SearchWorkspace& ws);
 
 /// \brief Eager-M for unrestricted networks: materialized node-to-point
 /// KNN lists drive pruning and candidate discovery; verification is a
@@ -188,13 +219,23 @@ Result<RknnResult> UnrestrictedEagerMRknn(const graph::NetworkView& g,
                                           const EdgePointSet& points,
                                           const EdgePointReader& reader,
                                           KnnStore* store,
-                                          const UnrestrictedQuery& query);
+                                          const UnrestrictedQuery& query,
+                                          const RknnOptions& options = {});
+
+/// Workspace-reusing form.
+Result<RknnResult> UnrestrictedEagerMRknn(const graph::NetworkView& g,
+                                          const EdgePointSet& points,
+                                          const EdgePointReader& reader,
+                                          KnnStore* store,
+                                          const UnrestrictedQuery& query,
+                                          const RknnOptions& options,
+                                          SearchWorkspace& ws);
 
 /// \brief Brute-force oracle for unrestricted networks (per-point
 /// shortest paths; shares no search code with the algorithms above).
-Result<RknnResult> UnrestrictedBruteForceRknn(const graph::NetworkView& g,
-                                              const EdgePointSet& points,
-                                              const UnrestrictedQuery& query);
+Result<RknnResult> UnrestrictedBruteForceRknn(
+    const graph::NetworkView& g, const EdgePointSet& points,
+    const UnrestrictedQuery& query, const RknnOptions& options = {});
 
 /// \brief All-NN over edge-resident points (two seeds per point).
 Status UnrestrictedBuildAllNn(const graph::NetworkView& g,

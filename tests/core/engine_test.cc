@@ -1,0 +1,406 @@
+// RknnEngine: the unified session API. Every (query kind x algorithm)
+// combination is cross-checked against the brute-force oracle on small
+// fixture graphs; batched execution must match one-at-a-time execution
+// and reuse the workspace without leaking state between queries.
+
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <tuple>
+
+#include "graph/network_view.h"
+#include "test_fixtures.h"
+
+namespace grnn::core {
+namespace {
+
+using testfix::Ids;
+using testfix::RandomConnectedGraph;
+
+// One world with every point source: node points P, sites Q and
+// edge-resident points, plus the materializations each kind needs.
+struct EngineWorld {
+  graph::Graph g;
+  std::optional<graph::GraphView> view;
+  NodePointSet points{0};
+  NodePointSet sites{0};
+  EdgePointSet edge_points;
+  MemoryKnnStore knn{0, 1};
+  MemoryKnnStore site_knn{0, 1};
+  MemoryKnnStore edge_knn{0, 1};
+};
+
+std::unique_ptr<EngineWorld> MakeWorld(uint64_t seed, uint32_t max_k) {
+  auto w = std::make_unique<EngineWorld>();
+  Rng rng(seed * 7919 + 17);
+  w->g = RandomConnectedGraph(40, 1.0, rng);
+  w->view.emplace(&w->g);
+
+  // Node points P on 10 distinct nodes, sites Q on 6 others.
+  auto p_nodes = rng.SampleWithoutReplacement(w->g.num_nodes(), 16);
+  std::vector<NodeId> p_locs(p_nodes.begin(), p_nodes.begin() + 10);
+  std::vector<NodeId> q_locs(p_nodes.begin() + 10, p_nodes.end());
+  w->points =
+      NodePointSet::FromLocations(w->g.num_nodes(), p_locs).ValueOrDie();
+  w->sites =
+      NodePointSet::FromLocations(w->g.num_nodes(), q_locs).ValueOrDie();
+
+  // Edge points on 10 distinct random edges.
+  auto edges = w->g.CollectEdges();
+  std::vector<EdgePosition> positions;
+  for (uint64_t ei : rng.SampleWithoutReplacement(edges.size(), 10)) {
+    const Edge& e = edges[ei];
+    positions.push_back({e.u, e.v, rng.Uniform(0.0, e.w)});
+  }
+  w->edge_points = EdgePointSet::Create(w->g, positions).ValueOrDie();
+
+  w->knn = MemoryKnnStore(w->g.num_nodes(), max_k + 1);
+  EXPECT_TRUE(BuildAllNn(*w->view, w->points, &w->knn).ok());
+  w->site_knn = MemoryKnnStore(w->g.num_nodes(), max_k + 1);
+  EXPECT_TRUE(BuildAllNn(*w->view, w->sites, &w->site_knn).ok());
+  w->edge_knn = MemoryKnnStore(w->g.num_nodes(), max_k + 1);
+  EXPECT_TRUE(
+      UnrestrictedBuildAllNn(*w->view, w->edge_points, &w->edge_knn).ok());
+  return w;
+}
+
+// Engine serving the node-resident kinds (mono, bichromatic, continuous
+// routes over P).
+RknnEngine NodeEngine(EngineWorld& w) {
+  EngineSources sources;
+  sources.graph = &*w.view;
+  sources.points = &w.points;
+  sources.sites = &w.sites;
+  sources.knn = &w.knn;
+  sources.site_knn = &w.site_knn;
+  return RknnEngine::Create(sources).ValueOrDie();
+}
+
+// Engine serving the unrestricted kinds (positions and routes over the
+// edge-resident points).
+RknnEngine EdgeEngine(EngineWorld& w) {
+  EngineSources sources;
+  sources.graph = &*w.view;
+  sources.edge_points = &w.edge_points;
+  sources.knn = &w.edge_knn;
+  return RknnEngine::Create(sources).ValueOrDie();
+}
+
+// Builds a batch of specs of the given kind with mixed targets:
+// queries at data points (paper workload, excluded from their own
+// query) alternate with queries at arbitrary locations.
+std::vector<QuerySpec> MakeSpecs(EngineWorld& w, QueryKind kind,
+                                 Algorithm algo, int k, size_t count,
+                                 Rng& rng) {
+  std::vector<QuerySpec> specs;
+  auto edges = w.g.CollectEdges();
+  for (size_t i = 0; i < count; ++i) {
+    QuerySpec spec;
+    switch (kind) {
+      case QueryKind::kMonochromatic: {
+        if (i % 2 == 0) {
+          auto live = w.points.LivePoints();
+          PointId qp = live[rng.UniformInt(live.size())];
+          spec = QuerySpec::Monochromatic(algo, w.points.NodeOf(qp), k,
+                                          qp);
+        } else {
+          spec = QuerySpec::Monochromatic(
+              algo, static_cast<NodeId>(rng.UniformInt(w.g.num_nodes())),
+              k);
+        }
+        break;
+      }
+      case QueryKind::kBichromatic: {
+        if (i % 2 == 0) {
+          // "What if" at an existing site, competing against the rest.
+          auto live = w.sites.LivePoints();
+          PointId qs = live[rng.UniformInt(live.size())];
+          spec = QuerySpec::Bichromatic(algo, w.sites.NodeOf(qs), k, qs);
+        } else {
+          spec = QuerySpec::Bichromatic(
+              algo, static_cast<NodeId>(rng.UniformInt(w.g.num_nodes())),
+              k);
+        }
+        break;
+      }
+      case QueryKind::kContinuous: {
+        std::vector<NodeId> route;
+        NodeId cur =
+            static_cast<NodeId>(rng.UniformInt(w.g.num_nodes()));
+        route.push_back(cur);
+        for (int hop = 0; hop < 3; ++hop) {
+          auto nbrs = w.g.Neighbors(cur);
+          cur = nbrs[rng.UniformInt(nbrs.size())].node;
+          route.push_back(cur);
+        }
+        spec = QuerySpec::Continuous(algo, std::move(route), k);
+        break;
+      }
+      case QueryKind::kUnrestricted: {
+        if (i % 2 == 0) {
+          auto live = w.edge_points.LivePoints();
+          PointId qp = live[rng.UniformInt(live.size())];
+          spec = QuerySpec::Unrestricted(
+              algo, w.edge_points.PositionOf(qp), k, qp);
+        } else {
+          const Edge& e = edges[rng.UniformInt(edges.size())];
+          spec = QuerySpec::Unrestricted(
+              algo, EdgePosition{e.u, e.v, rng.Uniform(0.0, e.w)}, k);
+        }
+        break;
+      }
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+// ---------------------------------------------------------------------
+// Matrix: every (kind x algorithm) agrees with the brute-force oracle.
+
+class EngineMatrixTest
+    : public ::testing::TestWithParam<
+          std::tuple<QueryKind, Algorithm, int, int>> {};
+
+TEST_P(EngineMatrixTest, AgreesWithBruteForceOracle) {
+  const auto [kind, algo, k, seed] = GetParam();
+  auto w = MakeWorld(static_cast<uint64_t>(seed), /*max_k=*/3);
+  RknnEngine engine = kind == QueryKind::kUnrestricted ? EdgeEngine(*w)
+                                                       : NodeEngine(*w);
+
+  Rng rng(static_cast<uint64_t>(seed) * 31 + 5);
+  auto specs = MakeSpecs(*w, kind, algo, k, /*count=*/6, rng);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    auto result = engine.Run(specs[i]);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    QuerySpec oracle_spec = specs[i];
+    oracle_spec.algorithm = Algorithm::kBruteForce;
+    auto oracle = engine.Run(oracle_spec);
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+    EXPECT_EQ(Ids(*result), Ids(*oracle))
+        << QueryKindName(kind) << "/" << AlgorithmName(algo) << " k=" << k
+        << " seed=" << seed << " query=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAllAlgorithms, EngineMatrixTest,
+    ::testing::Combine(
+        ::testing::ValuesIn(kAllQueryKinds),
+        ::testing::ValuesIn(kAllAlgorithms),
+        ::testing::Values(1, 2),
+        ::testing::Values(1, 2, 3)),
+    [](const auto& info) {
+      return std::string(QueryKindName(std::get<0>(info.param))) + "_" +
+             AlgorithmShortName(std::get<1>(info.param)) + "_k" +
+             std::to_string(std::get<2>(info.param)) + "_s" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+// Routes over edge-resident points: kContinuous on an edge engine takes
+// the unrestricted path and must match its oracle.
+TEST(EngineTest, ContinuousOverEdgePointsMatchesOracle) {
+  auto w = MakeWorld(9, 3);
+  RknnEngine engine = EdgeEngine(*w);
+  Rng rng(77);
+  for (Algorithm algo : kAllAlgorithms) {
+    auto specs =
+        MakeSpecs(*w, QueryKind::kContinuous, algo, /*k=*/2, 4, rng);
+    for (const QuerySpec& spec : specs) {
+      auto result = engine.Run(spec);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      QuerySpec oracle_spec = spec;
+      oracle_spec.algorithm = Algorithm::kBruteForce;
+      auto oracle = engine.Run(oracle_spec).ValueOrDie();
+      EXPECT_EQ(Ids(*result), Ids(oracle)) << AlgorithmName(algo);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Batched execution.
+
+TEST(EngineBatchTest, BatchMatchesOneAtATime) {
+  auto w = MakeWorld(4, 3);
+  Rng rng(1234);
+
+  // A mixed batch across kinds and algorithms on the node engine...
+  std::vector<QuerySpec> specs;
+  for (Algorithm algo : kAllAlgorithms) {
+    for (QueryKind kind :
+         {QueryKind::kMonochromatic, QueryKind::kBichromatic,
+          QueryKind::kContinuous}) {
+      auto part = MakeSpecs(*w, kind, algo, /*k=*/2, 10, rng);
+      specs.insert(specs.end(), part.begin(), part.end());
+    }
+  }
+  ASSERT_GE(specs.size(), 100u);
+
+  RknnEngine batch_engine = NodeEngine(*w);
+  auto batch = batch_engine.RunBatch(specs).ValueOrDie();
+  ASSERT_EQ(batch.results.size(), specs.size());
+  EXPECT_EQ(batch.stats.queries, specs.size());
+
+  // ... must agree, result by result, with fresh one-at-a-time runs.
+  RknnEngine single_engine = NodeEngine(*w);
+  SearchStats sum;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    auto single = single_engine.Run(specs[i]).ValueOrDie();
+    EXPECT_EQ(batch.results[i].results, single.results) << "query " << i;
+    sum += single.stats;
+  }
+  EXPECT_EQ(batch.stats.search.nodes_expanded, sum.nodes_expanded);
+  EXPECT_EQ(batch.stats.search.verify_calls, sum.verify_calls);
+}
+
+TEST(EngineBatchTest, NoWorkspaceAllocationOnceWarm) {
+  auto w = MakeWorld(6, 3);
+  Rng rng(99);
+  std::vector<QuerySpec> specs;
+  for (Algorithm algo : kAllAlgorithms) {
+    auto part =
+        MakeSpecs(*w, QueryKind::kMonochromatic, algo, /*k=*/2, 25, rng);
+    specs.insert(specs.end(), part.begin(), part.end());
+  }
+  ASSERT_GE(specs.size(), 100u);
+
+  RknnEngine engine = NodeEngine(*w);
+  // First pass warms the workspace to its high-water mark...
+  auto warm = engine.RunBatch(specs).ValueOrDie();
+  // ... after which re-running the identical >= 100-query batch must not
+  // allocate any pooled buffer again.
+  auto second = engine.RunBatch(specs).ValueOrDie();
+  EXPECT_EQ(second.stats.workspace_grows, 0u)
+      << "warm batch reallocated workspace buffers (first pass grew "
+      << warm.stats.workspace_grows << " times)";
+  EXPECT_EQ(second.stats.queries, specs.size());
+}
+
+TEST(EngineBatchTest, UnrestrictedBatchNoAllocationOnceWarm) {
+  auto w = MakeWorld(8, 3);
+  Rng rng(5);
+  std::vector<QuerySpec> specs;
+  for (Algorithm algo : kAllAlgorithms) {
+    auto part =
+        MakeSpecs(*w, QueryKind::kUnrestricted, algo, /*k=*/2, 25, rng);
+    specs.insert(specs.end(), part.begin(), part.end());
+  }
+  RknnEngine engine = EdgeEngine(*w);
+  (void)engine.RunBatch(specs).ValueOrDie();
+  auto second = engine.RunBatch(specs).ValueOrDie();
+  EXPECT_EQ(second.stats.workspace_grows, 0u);
+}
+
+TEST(EngineBatchTest, WorkspaceReuseDoesNotLeakStateBetweenQueries) {
+  auto w = MakeWorld(3, 3);
+  RknnEngine engine = NodeEngine(*w);
+
+  // Alternating queries with different k, exclusions and kinds, each
+  // repeated: a reused workspace must give identical answers every time.
+  auto live = w->points.LivePoints();
+  const NodeId a = w->points.NodeOf(live[0]);
+  const NodeId b = w->points.NodeOf(live[1]);
+  std::vector<QuerySpec> alternating;
+  for (int rep = 0; rep < 5; ++rep) {
+    alternating.push_back(QuerySpec::Monochromatic(
+        Algorithm::kLazy, a, /*k=*/1, live[0]));
+    alternating.push_back(QuerySpec::Monochromatic(
+        Algorithm::kLazy, b, /*k=*/3, live[1]));
+    alternating.push_back(
+        QuerySpec::Bichromatic(Algorithm::kLazyEp, a, /*k=*/2));
+  }
+  auto batch = engine.RunBatch(alternating).ValueOrDie();
+  for (int rep = 1; rep < 5; ++rep) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_EQ(batch.results[3 * rep + j].results,
+                batch.results[j].results)
+          << "repetition " << rep << " slot " << j
+          << " diverged from its first occurrence";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Validation and error paths.
+
+TEST(EngineTest, CreateValidatesSources) {
+  EngineSources empty;
+  EXPECT_FALSE(RknnEngine::Create(empty).ok());
+
+  auto w = MakeWorld(1, 1);
+  EngineSources no_points;
+  no_points.graph = &*w->view;
+  EXPECT_FALSE(RknnEngine::Create(no_points).ok());
+}
+
+TEST(EngineTest, MissingSourcesAreReported) {
+  auto w = MakeWorld(1, 1);
+
+  // A node engine without sites rejects bichromatic queries...
+  EngineSources sources;
+  sources.graph = &*w->view;
+  sources.points = &w->points;
+  auto engine = RknnEngine::Create(sources).ValueOrDie();
+  EXPECT_FALSE(
+      engine.Run(QuerySpec::Bichromatic(Algorithm::kEager, 0)).ok());
+  // ... and unrestricted ones.
+  auto pos = w->edge_points.PositionOf(0);
+  EXPECT_FALSE(
+      engine.Run(QuerySpec::Unrestricted(Algorithm::kEager, pos)).ok());
+  // Eager-M without a store is rejected, other algorithms work.
+  EXPECT_FALSE(
+      engine.Run(QuerySpec::Monochromatic(Algorithm::kEagerM, 0)).ok());
+  EXPECT_TRUE(
+      engine.Run(QuerySpec::Monochromatic(Algorithm::kEager, 0)).ok());
+}
+
+TEST(EngineTest, RejectsMalformedSpecs) {
+  auto w = MakeWorld(2, 1);
+  RknnEngine engine = NodeEngine(*w);
+
+  QuerySpec two_nodes = QuerySpec::Monochromatic(Algorithm::kEager, 0);
+  two_nodes.query_nodes.push_back(1);
+  EXPECT_FALSE(engine.Run(two_nodes).ok());
+
+  EXPECT_FALSE(
+      engine.Run(QuerySpec::Monochromatic(Algorithm::kEager, 0, 0)).ok());
+
+  QuerySpec empty_route =
+      QuerySpec::Continuous(Algorithm::kEager, {});
+  EXPECT_FALSE(engine.Run(empty_route).ok());
+}
+
+TEST(EngineTest, BatchAbortsOnFirstError) {
+  auto w = MakeWorld(2, 1);
+  RknnEngine engine = NodeEngine(*w);
+  std::vector<QuerySpec> specs{
+      QuerySpec::Monochromatic(Algorithm::kEager, 0),
+      QuerySpec::Monochromatic(Algorithm::kEager, 1, /*k=*/0),  // invalid
+      QuerySpec::Monochromatic(Algorithm::kEager, 2)};
+  EXPECT_FALSE(engine.RunBatch(specs).ok());
+}
+
+TEST(EngineTest, LifetimeStatsAccumulate) {
+  auto w = MakeWorld(2, 1);
+  RknnEngine engine = NodeEngine(*w);
+  ASSERT_TRUE(
+      engine.Run(QuerySpec::Monochromatic(Algorithm::kEager, 0)).ok());
+  std::vector<QuerySpec> specs{
+      QuerySpec::Monochromatic(Algorithm::kLazy, 1),
+      QuerySpec::Monochromatic(Algorithm::kLazy, 2)};
+  ASSERT_TRUE(engine.RunBatch(specs).ok());
+  EXPECT_EQ(engine.lifetime_stats().queries, 3u);
+  EXPECT_GT(engine.lifetime_stats().search.nodes_scanned, 0u);
+}
+
+TEST(EngineTest, QueryKindNames) {
+  EXPECT_STREQ(QueryKindName(QueryKind::kMonochromatic), "monochromatic");
+  EXPECT_STREQ(QueryKindName(QueryKind::kBichromatic), "bichromatic");
+  EXPECT_STREQ(QueryKindName(QueryKind::kContinuous), "continuous");
+  EXPECT_STREQ(QueryKindName(QueryKind::kUnrestricted), "unrestricted");
+}
+
+}  // namespace
+}  // namespace grnn::core

@@ -20,6 +20,29 @@ TEST(QueryFacadeTest, Names) {
   EXPECT_STREQ(AlgorithmShortName(Algorithm::kLazyEp), "LP");
 }
 
+TEST(QueryFacadeTest, ParseAlgorithmRoundTripsBothNameForms) {
+  for (Algorithm a :
+       {Algorithm::kEager, Algorithm::kEagerM, Algorithm::kLazy,
+        Algorithm::kLazyEp, Algorithm::kBruteForce}) {
+    auto by_name = ParseAlgorithm(AlgorithmName(a));
+    ASSERT_TRUE(by_name.ok()) << AlgorithmName(a);
+    EXPECT_EQ(*by_name, a);
+    auto by_short = ParseAlgorithm(AlgorithmShortName(a));
+    ASSERT_TRUE(by_short.ok()) << AlgorithmShortName(a);
+    EXPECT_EQ(*by_short, a);
+  }
+}
+
+TEST(QueryFacadeTest, ParseAlgorithmIsCaseInsensitiveAndRejectsJunk) {
+  EXPECT_EQ(*ParseAlgorithm("EAGER"), Algorithm::kEager);
+  EXPECT_EQ(*ParseAlgorithm("lazy-ep"), Algorithm::kLazyEp);
+  EXPECT_EQ(*ParseAlgorithm("lp"), Algorithm::kLazyEp);
+  EXPECT_EQ(*ParseAlgorithm("em"), Algorithm::kEagerM);
+  EXPECT_EQ(*ParseAlgorithm("bf"), Algorithm::kBruteForce);
+  EXPECT_TRUE(ParseAlgorithm("").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseAlgorithm("greedy").status().IsInvalidArgument());
+}
+
 TEST(QueryFacadeTest, FigureOrderConstant) {
   ASSERT_EQ(std::size(kAllAlgorithms), 4u);
   EXPECT_EQ(kAllAlgorithms[0], Algorithm::kEager);

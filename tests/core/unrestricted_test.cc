@@ -146,18 +146,21 @@ TEST(UnrestrictedAlgorithmsTest, AllAlgorithmsAgreeOnFixture) {
 
   for (int k = 1; k <= 3; ++k) {
     for (const Edge& e : f.g.CollectEdges()) {
+      RknnOptions opts;
+      opts.k = k;
       UnrestrictedQuery q;
-      q.k = k;
       q.position = {e.u, e.v, e.w / 3.0};
-      auto truth =
-          UnrestrictedBruteForceRknn(view, f.points, q).ValueOrDie();
+      auto truth = UnrestrictedBruteForceRknn(view, f.points, q, opts)
+                       .ValueOrDie();
       auto eager =
-          UnrestrictedEagerRknn(view, f.points, reader, q).ValueOrDie();
-      auto lazy =
-          UnrestrictedLazyRknn(view, f.points, reader, q).ValueOrDie();
-      auto lep =
-          UnrestrictedLazyEpRknn(view, f.points, reader, q).ValueOrDie();
-      auto em = UnrestrictedEagerMRknn(view, f.points, reader, &store, q)
+          UnrestrictedEagerRknn(view, f.points, reader, q, opts)
+              .ValueOrDie();
+      auto lazy = UnrestrictedLazyRknn(view, f.points, reader, q, opts)
+                      .ValueOrDie();
+      auto lep = UnrestrictedLazyEpRknn(view, f.points, reader, q, opts)
+                     .ValueOrDie();
+      auto em = UnrestrictedEagerMRknn(view, f.points, reader, &store, q,
+                                       opts)
                     .ValueOrDie();
       EXPECT_EQ(Ids(eager), Ids(truth)) << "k=" << k;
       EXPECT_EQ(Ids(lazy), Ids(truth)) << "k=" << k;
@@ -203,29 +206,31 @@ TEST_P(UnrestrictedSweep, AllAlgorithmsMatchBruteForce) {
   ASSERT_TRUE(UnrestrictedBuildAllNn(view, points, &store).ok());
 
   for (int trial = 0; trial < 6; ++trial) {
+    RknnOptions opts;
+    opts.k = k;
     UnrestrictedQuery q;
-    q.k = k;
     if (trial % 2 == 0) {
       // Query at a data point, excluding it (paper workloads).
       auto live = points.LivePoints();
       PointId qp = live[rng.UniformInt(live.size())];
       q.position = points.PositionOf(qp);
-      q.exclude_point = qp;
+      opts.exclude_point = qp;
     } else {
       const Edge& e = edges[rng.UniformInt(edges.size())];
       q.position = {e.u, e.v, rng.Uniform(0.0, e.w)};
     }
 
     auto truth =
-        UnrestrictedBruteForceRknn(view, points, q).ValueOrDie();
-    auto eager =
-        UnrestrictedEagerRknn(view, points, reader, q).ValueOrDie();
-    auto lazy =
-        UnrestrictedLazyRknn(view, points, reader, q).ValueOrDie();
-    auto lep =
-        UnrestrictedLazyEpRknn(view, points, reader, q).ValueOrDie();
-    auto em = UnrestrictedEagerMRknn(view, points, reader, &store, q)
-                  .ValueOrDie();
+        UnrestrictedBruteForceRknn(view, points, q, opts).ValueOrDie();
+    auto eager = UnrestrictedEagerRknn(view, points, reader, q, opts)
+                     .ValueOrDie();
+    auto lazy = UnrestrictedLazyRknn(view, points, reader, q, opts)
+                    .ValueOrDie();
+    auto lep = UnrestrictedLazyEpRknn(view, points, reader, q, opts)
+                   .ValueOrDie();
+    auto em =
+        UnrestrictedEagerMRknn(view, points, reader, &store, q, opts)
+            .ValueOrDie();
 
     EXPECT_EQ(Ids(eager), Ids(truth)) << "k=" << k << " seed=" << seed
                                       << " trial=" << trial;
@@ -262,14 +267,16 @@ TEST(UnrestrictedAlgorithmsTest, MultiplePointsPerEdge) {
   MemoryEdgePointReader reader(&points);
 
   for (int k = 1; k <= 3; ++k) {
+    RknnOptions opts;
+    opts.k = k;
     UnrestrictedQuery q;
-    q.k = k;
     q.position = {0, 1, 6.0};
-    auto truth = UnrestrictedBruteForceRknn(view, points, q).ValueOrDie();
-    auto eager =
-        UnrestrictedEagerRknn(view, points, reader, q).ValueOrDie();
-    auto lazy =
-        UnrestrictedLazyRknn(view, points, reader, q).ValueOrDie();
+    auto truth =
+        UnrestrictedBruteForceRknn(view, points, q, opts).ValueOrDie();
+    auto eager = UnrestrictedEagerRknn(view, points, reader, q, opts)
+                     .ValueOrDie();
+    auto lazy = UnrestrictedLazyRknn(view, points, reader, q, opts)
+                    .ValueOrDie();
     EXPECT_EQ(Ids(eager), Ids(truth)) << "k=" << k;
     EXPECT_EQ(Ids(lazy), Ids(truth)) << "k=" << k;
   }
@@ -290,9 +297,10 @@ TEST(UnrestrictedAlgorithmsTest, RouteQueries) {
   MemoryEdgePointReader reader(&points);
 
   for (int trial = 0; trial < 6; ++trial) {
+    RknnOptions opts;
+    opts.k = 1 + static_cast<int>(rng.UniformInt(2));
     UnrestrictedQuery q;
     q.is_position = false;
-    q.k = 1 + static_cast<int>(rng.UniformInt(2));
     NodeId cur = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
     q.route.push_back(cur);
     for (int i = 0; i < 5; ++i) {
@@ -303,13 +311,14 @@ TEST(UnrestrictedAlgorithmsTest, RouteQueries) {
       cur = nbrs[rng.UniformInt(nbrs.size())].node;
       q.route.push_back(cur);
     }
-    auto truth = UnrestrictedBruteForceRknn(view, points, q).ValueOrDie();
-    auto eager =
-        UnrestrictedEagerRknn(view, points, reader, q).ValueOrDie();
-    auto lazy =
-        UnrestrictedLazyRknn(view, points, reader, q).ValueOrDie();
-    auto lep =
-        UnrestrictedLazyEpRknn(view, points, reader, q).ValueOrDie();
+    auto truth =
+        UnrestrictedBruteForceRknn(view, points, q, opts).ValueOrDie();
+    auto eager = UnrestrictedEagerRknn(view, points, reader, q, opts)
+                     .ValueOrDie();
+    auto lazy = UnrestrictedLazyRknn(view, points, reader, q, opts)
+                    .ValueOrDie();
+    auto lep = UnrestrictedLazyEpRknn(view, points, reader, q, opts)
+                   .ValueOrDie();
     EXPECT_EQ(Ids(eager), Ids(truth)) << "trial " << trial;
     EXPECT_EQ(Ids(lazy), Ids(truth)) << "trial " << trial;
     EXPECT_EQ(Ids(lep), Ids(truth)) << "trial " << trial;
@@ -371,9 +380,10 @@ TEST(UnrestrictedAlgorithmsTest, InvalidQueries) {
   MemoryEdgePointReader reader(&f.points);
   UnrestrictedQuery bad_k;
   bad_k.position = {0, 1, 1.0};
-  bad_k.k = 0;
+  RknnOptions zero_k;
+  zero_k.k = 0;
   EXPECT_FALSE(
-      UnrestrictedEagerRknn(view, f.points, reader, bad_k).ok());
+      UnrestrictedEagerRknn(view, f.points, reader, bad_k, zero_k).ok());
 
   UnrestrictedQuery no_edge;
   no_edge.position = {0, 5, 1.0};  // edge does not exist

@@ -87,16 +87,19 @@ TEST(EndToEndTest, StoredUnrestrictedAgreesWithMemory) {
   for (PointId qp : queries) {
     core::UnrestrictedQuery q;
     q.position = points.PositionOf(qp);
-    q.exclude_point = qp;
-    auto truth = core::UnrestrictedBruteForceRknn(mem_view, points, q)
-                     .ValueOrDie();
-    auto mem = core::UnrestrictedEagerRknn(mem_view, points, mem_reader, q)
+    core::RknnOptions opts;
+    opts.exclude_point = qp;
+    auto truth =
+        core::UnrestrictedBruteForceRknn(mem_view, points, q, opts)
+            .ValueOrDie();
+    auto mem = core::UnrestrictedEagerRknn(mem_view, points, mem_reader,
+                                           q, opts)
                    .ValueOrDie();
     auto stored = core::UnrestrictedEagerRknn(*env.view, points,
-                                              *env.reader, q)
+                                              *env.reader, q, opts)
                       .ValueOrDie();
     auto stored_lazy = core::UnrestrictedLazyRknn(*env.view, points,
-                                                  *env.reader, q)
+                                                  *env.reader, q, opts)
                            .ValueOrDie();
     EXPECT_EQ(Ids(mem), Ids(truth));
     EXPECT_EQ(Ids(stored), Ids(truth));
