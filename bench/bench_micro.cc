@@ -6,7 +6,6 @@
 #include "common/indexed_heap.h"
 #include "common/rng.h"
 #include "core/engine.h"
-#include "core/eager.h"
 #include "core/primitives.h"
 #include "gen/brite.h"
 #include "gen/points.h"
@@ -137,7 +136,7 @@ void BM_EngineBatchEager(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineBatchEager)->Unit(benchmark::kMillisecond);
 
-void BM_OneShotEager(benchmark::State& state) {
+void BM_SingleQueryEager(benchmark::State& state) {
   gen::RoadConfig cfg;
   cfg.num_nodes = 20000;
   auto net = gen::GenerateRoadNetwork(cfg).ValueOrDie();
@@ -146,19 +145,23 @@ void BM_OneShotEager(benchmark::State& state) {
   auto points =
       gen::PlaceNodePoints(net.g.num_nodes(), 0.01, rng).ValueOrDie();
   auto queries = gen::SampleQueryPoints(points, 64, rng);
+  core::EngineSources sources;
+  sources.graph = &view;
+  sources.points = &points;
+  auto engine = core::RknnEngine::Create(sources).ValueOrDie();
   for (auto _ : state) {
     for (PointId qp : queries) {
-      core::RknnOptions opts;
-      opts.exclude_point = qp;
-      std::vector<NodeId> q{points.NodeOf(qp)};
       benchmark::DoNotOptimize(
-          core::EagerRknn(view, points, q, opts).ValueOrDie());
+          engine
+              .Run(core::QuerySpec::Monochromatic(
+                  core::Algorithm::kEager, points.NodeOf(qp), 1, qp))
+              .ValueOrDie());
     }
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(queries.size()));
 }
-BENCHMARK(BM_OneShotEager)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SingleQueryEager)->Unit(benchmark::kMillisecond);
 
 void BM_AllNnBuild(benchmark::State& state) {
   gen::RoadConfig cfg;

@@ -61,12 +61,18 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
       args.queries = static_cast<size_t>(std::atoll(a + 10));
     } else if (std::strncmp(a, "--seed=", 7) == 0) {
       args.seed = static_cast<uint64_t>(std::atoll(a + 7));
+    } else if (std::strncmp(a, "--threads=", 10) == 0) {
+      args.threads = std::atoi(a + 10);
+      if (args.threads < 1) {
+        std::fprintf(stderr, "--threads= must be >= 1\n");
+        std::exit(2);
+      }
     } else if (std::strncmp(a, "--algos=", 8) == 0) {
       args.algos = ParseAlgos(a + 8);
     } else if (std::strcmp(a, "--help") == 0) {
       std::printf(
           "options: --scale=small|medium|full --queries=N --seed=S "
-          "--algos=E,EM,L,LP\n");
+          "--threads=N --algos=E,EM,L,LP\n");
     }
   }
   return args;

@@ -5,6 +5,10 @@
 //   --scale=small|medium|full   experiment sizes (default medium)
 //   --queries=N                 workload size (default 50, as the paper)
 //   --seed=S                    RNG seed (default 1)
+//   --threads=N                 worker threads for engine batches
+//                               (default 1 = serial; used by benches that
+//                               serve through RunBatch, e.g.
+//                               bench_throughput)
 
 #ifndef GRNN_BENCH_BENCH_UTIL_H_
 #define GRNN_BENCH_BENCH_UTIL_H_
@@ -44,6 +48,9 @@ struct BenchArgs {
   ScaleLevel scale = ScaleLevel::kMedium;
   size_t queries = 50;
   uint64_t seed = 1;
+  /// Worker threads for parallel RunBatch serving (core::ParallelOptions);
+  /// 1 keeps the paper's serial execution model.
+  int threads = 1;
   /// Paper algorithms to run, figure order. `--algos=E,LP` (any form
   /// ParseAlgorithm accepts) narrows the sweep.
   std::vector<core::Algorithm> algos{std::begin(core::kAllAlgorithms),

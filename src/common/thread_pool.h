@@ -1,0 +1,139 @@
+// Copyright (c) GRNN authors.
+// ThreadPool: a small fixed-size worker pool for data-parallel batches.
+//
+// The pool exists for RknnEngine::RunBatch, which fans independent
+// queries out over per-worker SearchWorkspaces: workers are identified
+// by a dense index in [0, num_threads) so callers can give each worker
+// its own mutable state and merge the results deterministically after
+// the join. Tasks are claimed dynamically (one shared cursor), which
+// load-balances skewed query costs without giving up the worker-index
+// mapping.
+//
+// Concurrency contract:
+//   * ParallelFor blocks the calling thread until every task ran.
+//   * Concurrent ParallelFor calls from different threads are safe; they
+//     serialize on an internal mutex (one job owns the workers at a
+//     time).
+//   * A task must not call ParallelFor on the pool executing it
+//     (the job mutex is not reentrant; doing so deadlocks).
+//   * Task callbacks must not throw: the codebase reports errors through
+//     Status values, and an escaping exception would terminate.
+
+#ifndef GRNN_COMMON_THREAD_POOL_H_
+#define GRNN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace grnn::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` (clamped to >= 1) workers that sleep until a
+  /// ParallelFor publishes work.
+  explicit ThreadPool(int num_threads) {
+    const int n = num_threads < 1 ? 1 : num_threads;
+    workers_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      workers_.emplace_back([this, i] { WorkerLoop(i); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread& t : workers_) {
+      t.join();
+    }
+  }
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs `fn(worker, task)` for every task in [0, num_tasks), spread
+  /// over the workers, and returns once all tasks completed. `worker` is
+  /// the dense index of the executing worker in [0, max_workers).
+  ///
+  /// `max_workers` restricts the job to the first `max_workers` workers
+  /// (<= 0 or larger than the pool: all of them), so one persistent pool
+  /// can serve narrower jobs without tearing threads down.
+  void ParallelFor(size_t num_tasks,
+                   const std::function<void(int, size_t)>& fn,
+                   int max_workers = -1) {
+    if (num_tasks == 0) {
+      return;
+    }
+    // One job at a time; concurrent callers queue up here.
+    std::lock_guard<std::mutex> job_lock(job_mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    GRNN_CHECK(fn_ == nullptr);
+    fn_ = &fn;
+    num_tasks_ = num_tasks;
+    next_task_ = 0;
+    pending_ = num_tasks;
+    active_workers_ = (max_workers <= 0 || max_workers > num_threads())
+                          ? num_threads()
+                          : max_workers;
+    ++generation_;
+    wake_cv_.notify_all();
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    fn_ = nullptr;
+  }
+
+ private:
+  void WorkerLoop(int worker) {
+    uint64_t seen_generation = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      wake_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) {
+        return;
+      }
+      seen_generation = generation_;
+      if (worker >= active_workers_) {
+        continue;  // this job runs on a narrower worker subset
+      }
+      while (next_task_ < num_tasks_) {
+        const size_t task = next_task_++;
+        const auto* fn = fn_;
+        lock.unlock();
+        (*fn)(worker, task);
+        lock.lock();
+        if (--pending_ == 0) {
+          done_cv_.notify_all();
+        }
+      }
+    }
+  }
+
+  std::mutex job_mu_;  // serializes whole ParallelFor jobs
+  std::mutex mu_;      // guards all state below
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int, size_t)>* fn_ = nullptr;
+  size_t num_tasks_ = 0;
+  size_t next_task_ = 0;
+  size_t pending_ = 0;
+  int active_workers_ = 0;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace grnn::common
+
+#endif  // GRNN_COMMON_THREAD_POOL_H_

@@ -105,15 +105,6 @@ Result<RknnResult> BichromaticRknn(const graph::NetworkView& g,
                                    const NodePointSet& data_points,
                                    const NodePointSet& sites,
                                    std::span<const NodeId> query_nodes,
-                                   const RknnOptions& options) {
-  SearchWorkspace ws;
-  return BichromaticRknn(g, data_points, sites, query_nodes, options, ws);
-}
-
-Result<RknnResult> BichromaticRknn(const graph::NetworkView& g,
-                                   const NodePointSet& data_points,
-                                   const NodePointSet& sites,
-                                   std::span<const NodeId> query_nodes,
                                    const RknnOptions& options,
                                    SearchWorkspace& ws) {
   GRNN_RETURN_NOT_OK(Validate(g, query_nodes, options));
@@ -129,16 +120,6 @@ Result<RknnResult> BichromaticRknn(const graph::NetworkView& g,
                                     stats, &ws.nn_results));
         return ws.nn_results.size();
       });
-}
-
-Result<RknnResult> BichromaticLazyRknn(const graph::NetworkView& g,
-                                       const NodePointSet& data_points,
-                                       const NodePointSet& sites,
-                                       std::span<const NodeId> query_nodes,
-                                       const RknnOptions& options) {
-  SearchWorkspace ws;
-  return BichromaticLazyRknn(g, data_points, sites, query_nodes, options,
-                             ws);
 }
 
 Result<RknnResult> BichromaticLazyRknn(const graph::NetworkView& g,
@@ -269,16 +250,7 @@ Result<RknnResult> BichromaticLazyRknn(const graph::NetworkView& g,
 
 Result<RknnResult> BichromaticRknnMaterialized(
     const graph::NetworkView& g, const NodePointSet& data_points,
-    const NodePointSet& sites, KnnStore* site_knn,
-    std::span<const NodeId> query_nodes, const RknnOptions& options) {
-  SearchWorkspace ws;
-  return BichromaticRknnMaterialized(g, data_points, sites, site_knn,
-                                     query_nodes, options, ws);
-}
-
-Result<RknnResult> BichromaticRknnMaterialized(
-    const graph::NetworkView& g, const NodePointSet& data_points,
-    const NodePointSet& sites, KnnStore* site_knn,
+    const NodePointSet& sites, const KnnStore* site_knn,
     std::span<const NodeId> query_nodes, const RknnOptions& options,
     SearchWorkspace& ws) {
   GRNN_RETURN_NOT_OK(Validate(g, query_nodes, options));

@@ -28,13 +28,8 @@ class SearchWorkspace;
 /// \param sites         the set Q of competing sites; the query must be a
 ///        node hosting a site (or any node, for "what if" placements).
 /// Results report P-points with their distance to the query.
-Result<RknnResult> BichromaticRknn(const graph::NetworkView& g,
-                                   const NodePointSet& data_points,
-                                   const NodePointSet& sites,
-                                   std::span<const NodeId> query_nodes,
-                                   const RknnOptions& options = {});
-
-/// Workspace-reusing form (see EagerRknn in eager.h).
+/// Workspace-threaded (see EagerRknn in eager.h); one-shot callers use
+/// RknnEngine.
 Result<RknnResult> BichromaticRknn(const graph::NetworkView& g,
                                    const NodePointSet& data_points,
                                    const NodePointSet& sites,
@@ -53,13 +48,6 @@ Result<RknnResult> BichromaticLazyRknn(const graph::NetworkView& g,
                                        const NodePointSet& data_points,
                                        const NodePointSet& sites,
                                        std::span<const NodeId> query_nodes,
-                                       const RknnOptions& options = {});
-
-/// Workspace-reusing form.
-Result<RknnResult> BichromaticLazyRknn(const graph::NetworkView& g,
-                                       const NodePointSet& data_points,
-                                       const NodePointSet& sites,
-                                       std::span<const NodeId> query_nodes,
                                        const RknnOptions& options,
                                        SearchWorkspace& ws);
 
@@ -67,13 +55,7 @@ Result<RknnResult> BichromaticLazyRknn(const graph::NetworkView& g,
 /// (the eager-M reduction: "we simply materialize KNN(n) subset of Q").
 Result<RknnResult> BichromaticRknnMaterialized(
     const graph::NetworkView& g, const NodePointSet& data_points,
-    const NodePointSet& sites, KnnStore* site_knn,
-    std::span<const NodeId> query_nodes, const RknnOptions& options = {});
-
-/// Workspace-reusing form.
-Result<RknnResult> BichromaticRknnMaterialized(
-    const graph::NetworkView& g, const NodePointSet& data_points,
-    const NodePointSet& sites, KnnStore* site_knn,
+    const NodePointSet& sites, const KnnStore* site_knn,
     std::span<const NodeId> query_nodes, const RknnOptions& options,
     SearchWorkspace& ws);
 

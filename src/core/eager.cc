@@ -32,14 +32,6 @@ Status ValidateQuery(const graph::NetworkView& g,
 Result<RknnResult> EagerRknn(const graph::NetworkView& g,
                              const NodePointSet& points,
                              std::span<const NodeId> query_nodes,
-                             const RknnOptions& options) {
-  SearchWorkspace ws;
-  return EagerRknn(g, points, query_nodes, options, ws);
-}
-
-Result<RknnResult> EagerRknn(const graph::NetworkView& g,
-                             const NodePointSet& points,
-                             std::span<const NodeId> query_nodes,
                              const RknnOptions& options,
                              SearchWorkspace& ws) {
   GRNN_RETURN_NOT_OK(ValidateQuery(g, query_nodes, options));

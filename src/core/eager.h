@@ -28,14 +28,10 @@ class SearchWorkspace;
 ///        continuous (route) query, in which case distances are
 ///        d(r, n) = min over route nodes (Section 5.1).
 /// Results are sorted by point id.
-Result<RknnResult> EagerRknn(const graph::NetworkView& g,
-                             const NodePointSet& points,
-                             std::span<const NodeId> query_nodes,
-                             const RknnOptions& options = {});
-
-/// Workspace-reusing form: all search state is drawn from `ws`, so a
-/// caller issuing many queries (RknnEngine::RunBatch) allocates nothing
-/// per call once the workspace is warm.
+///
+/// All search state is drawn from `ws`, so a caller issuing many queries
+/// (RknnEngine::RunBatch) allocates nothing per call once the workspace
+/// is warm. Issue one-shot queries through core::RknnEngine instead.
 Result<RknnResult> EagerRknn(const graph::NetworkView& g,
                              const NodePointSet& points,
                              std::span<const NodeId> query_nodes,

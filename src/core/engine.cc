@@ -1,14 +1,36 @@
 #include "core/engine.h"
 
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <mutex>
 #include <utility>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/brute_force.h"
 #include "core/eager.h"
 #include "core/lazy.h"
 #include "core/lazy_ep.h"
 
 namespace grnn::core {
+
+/// Mutable serving state shared by every thread using the engine.
+struct RknnEngine::State {
+  /// Guards the idle-workspace pool. The pool is FIFO: successive
+  /// acquisitions rotate through every pooled workspace, so repeated
+  /// batches warm all of them toward the workload's high-water mark
+  /// instead of hammering one lucky workspace.
+  std::mutex ws_mu;
+  std::deque<std::unique_ptr<SearchWorkspace>> idle_ws;
+  /// Guards the lifetime counters.
+  mutable std::mutex stats_mu;
+  EngineStats lifetime;
+  /// Owns the worker team; held for the duration of a parallel batch,
+  /// so concurrent parallel batches serialize here.
+  std::mutex workers_mu;
+  std::unique_ptr<common::ThreadPool> workers;
+};
 
 const char* QueryKindName(QueryKind kind) {
   switch (kind) {
@@ -68,12 +90,43 @@ QuerySpec QuerySpec::Unrestricted(Algorithm a, EdgePosition pos, int k,
   return spec;
 }
 
+RknnEngine::RknnEngine(RknnEngine&&) noexcept = default;
+RknnEngine& RknnEngine::operator=(RknnEngine&&) noexcept = default;
+RknnEngine::~RknnEngine() = default;
+
 RknnEngine::RknnEngine(const EngineSources& sources)
-    : src_(sources), ws_(std::make_unique<SearchWorkspace>()) {
+    : src_(sources), state_(std::make_unique<State>()) {
   if (src_.edge_points != nullptr && src_.edge_reader == nullptr) {
     owned_reader_ =
         std::make_unique<MemoryEdgePointReader>(src_.edge_points);
   }
+}
+
+std::unique_ptr<SearchWorkspace> RknnEngine::AcquireWorkspace() {
+  {
+    std::lock_guard<std::mutex> lock(state_->ws_mu);
+    if (!state_->idle_ws.empty()) {
+      auto ws = std::move(state_->idle_ws.front());
+      state_->idle_ws.pop_front();
+      return ws;
+    }
+  }
+  return std::make_unique<SearchWorkspace>();
+}
+
+void RknnEngine::ReleaseWorkspace(std::unique_ptr<SearchWorkspace> ws) {
+  std::lock_guard<std::mutex> lock(state_->ws_mu);
+  state_->idle_ws.push_back(std::move(ws));
+}
+
+size_t RknnEngine::num_pooled_workspaces() const {
+  std::lock_guard<std::mutex> lock(state_->ws_mu);
+  return state_->idle_ws.size();
+}
+
+EngineStats RknnEngine::lifetime_stats() const {
+  std::lock_guard<std::mutex> lock(state_->stats_mu);
+  return state_->lifetime;
 }
 
 Result<RknnEngine> RknnEngine::Create(const EngineSources& sources) {
@@ -91,7 +144,8 @@ Result<RknnEngine> RknnEngine::Create(const EngineSources& sources) {
   return RknnEngine(sources);
 }
 
-Result<RknnResult> RknnEngine::RunMonochromatic(const QuerySpec& spec) {
+Result<RknnResult> RknnEngine::RunMonochromatic(const QuerySpec& spec,
+                                                SearchWorkspace& ws) {
   if (src_.points == nullptr) {
     return Status::FailedPrecondition(
         "engine has no node point set; monochromatic/continuous queries "
@@ -107,25 +161,26 @@ Result<RknnResult> RknnEngine::RunMonochromatic(const QuerySpec& spec) {
   const std::span<const NodeId> nodes(spec.query_nodes);
   switch (spec.algorithm) {
     case Algorithm::kEager:
-      return EagerRknn(*src_.graph, *src_.points, nodes, options, *ws_);
+      return EagerRknn(*src_.graph, *src_.points, nodes, options, ws);
     case Algorithm::kLazy:
-      return LazyRknn(*src_.graph, *src_.points, nodes, options, *ws_);
+      return LazyRknn(*src_.graph, *src_.points, nodes, options, ws);
     case Algorithm::kLazyEp:
-      return LazyEpRknn(*src_.graph, *src_.points, nodes, options, *ws_);
+      return LazyEpRknn(*src_.graph, *src_.points, nodes, options, ws);
     case Algorithm::kEagerM:
       if (src_.knn == nullptr) {
         return Status::FailedPrecondition(
             "eager-M requires the engine to own a materialized KNN store");
       }
       return EagerMRknn(*src_.graph, *src_.points, src_.knn, nodes,
-                        options, *ws_);
+                        options, ws);
     case Algorithm::kBruteForce:
       return BruteForceRknn(*src_.graph, *src_.points, nodes, options);
   }
   return Status::InvalidArgument("unknown algorithm");
 }
 
-Result<RknnResult> RknnEngine::RunBichromatic(const QuerySpec& spec) {
+Result<RknnResult> RknnEngine::RunBichromatic(const QuerySpec& spec,
+                                              SearchWorkspace& ws) {
   if (src_.points == nullptr || src_.sites == nullptr) {
     return Status::FailedPrecondition(
         "bichromatic queries need both a data point set (P) and a site "
@@ -136,13 +191,13 @@ Result<RknnResult> RknnEngine::RunBichromatic(const QuerySpec& spec) {
   switch (spec.algorithm) {
     case Algorithm::kEager:
       return BichromaticRknn(*src_.graph, *src_.points, *src_.sites,
-                             nodes, options, *ws_);
+                             nodes, options, ws);
     case Algorithm::kLazy:
     case Algorithm::kLazyEp:
       // Lazy and lazy-EP coincide in the bichromatic reduction (see
       // bichromatic.h).
       return BichromaticLazyRknn(*src_.graph, *src_.points, *src_.sites,
-                                 nodes, options, *ws_);
+                                 nodes, options, ws);
     case Algorithm::kEagerM:
       if (src_.site_knn == nullptr) {
         return Status::FailedPrecondition(
@@ -151,7 +206,7 @@ Result<RknnResult> RknnEngine::RunBichromatic(const QuerySpec& spec) {
       }
       return BichromaticRknnMaterialized(*src_.graph, *src_.points,
                                          *src_.sites, src_.site_knn,
-                                         nodes, options, *ws_);
+                                         nodes, options, ws);
     case Algorithm::kBruteForce:
       return BruteForceBichromaticRknn(*src_.graph, *src_.points,
                                        *src_.sites, nodes, options);
@@ -159,21 +214,23 @@ Result<RknnResult> RknnEngine::RunBichromatic(const QuerySpec& spec) {
   return Status::InvalidArgument("unknown algorithm");
 }
 
-Result<RknnResult> RknnEngine::RunContinuous(const QuerySpec& spec) {
+Result<RknnResult> RknnEngine::RunContinuous(const QuerySpec& spec,
+                                             SearchWorkspace& ws) {
   // Engines over node points answer routes with the restricted
   // machinery; engines over edge points answer them as unrestricted
   // route queries (both are Section 5.1 + 5.2 semantics).
   if (src_.points != nullptr) {
-    return RunMonochromatic(spec);
+    return RunMonochromatic(spec, ws);
   }
   UnrestrictedQuery query;
   query.is_position = false;
   query.route = spec.query_nodes;
-  return RunUnrestricted(spec, query);
+  return RunUnrestricted(spec, query, ws);
 }
 
 Result<RknnResult> RknnEngine::RunUnrestricted(
-    const QuerySpec& spec, const UnrestrictedQuery& query) {
+    const QuerySpec& spec, const UnrestrictedQuery& query,
+    SearchWorkspace& ws) {
   if (src_.edge_points == nullptr) {
     return Status::FailedPrecondition(
         "engine has no edge point set; unrestricted queries are "
@@ -184,13 +241,13 @@ Result<RknnResult> RknnEngine::RunUnrestricted(
   switch (spec.algorithm) {
     case Algorithm::kEager:
       return UnrestrictedEagerRknn(*src_.graph, *src_.edge_points, reader,
-                                   query, options, *ws_);
+                                   query, options, ws);
     case Algorithm::kLazy:
       return UnrestrictedLazyRknn(*src_.graph, *src_.edge_points, reader,
-                                  query, options, *ws_);
+                                  query, options, ws);
     case Algorithm::kLazyEp:
       return UnrestrictedLazyEpRknn(*src_.graph, *src_.edge_points,
-                                    reader, query, options, *ws_);
+                                    reader, query, options, ws);
     case Algorithm::kEagerM:
       if (src_.knn == nullptr) {
         return Status::FailedPrecondition(
@@ -199,7 +256,7 @@ Result<RknnResult> RknnEngine::RunUnrestricted(
       }
       return UnrestrictedEagerMRknn(*src_.graph, *src_.edge_points,
                                     reader, src_.knn, query, options,
-                                    *ws_);
+                                    ws);
     case Algorithm::kBruteForce:
       return UnrestrictedBruteForceRknn(*src_.graph, *src_.edge_points,
                                         query, options);
@@ -207,63 +264,189 @@ Result<RknnResult> RknnEngine::RunUnrestricted(
   return Status::InvalidArgument("unknown algorithm");
 }
 
-Result<RknnResult> RknnEngine::Dispatch(const QuerySpec& spec) {
+Result<RknnResult> RknnEngine::Dispatch(const QuerySpec& spec,
+                                        SearchWorkspace& ws) {
   if (spec.k <= 0) {
     return Status::InvalidArgument("k must be positive");
   }
   switch (spec.kind) {
     case QueryKind::kMonochromatic:
-      return RunMonochromatic(spec);
+      return RunMonochromatic(spec, ws);
     case QueryKind::kBichromatic:
-      return RunBichromatic(spec);
+      return RunBichromatic(spec, ws);
     case QueryKind::kContinuous:
-      return RunContinuous(spec);
+      return RunContinuous(spec, ws);
     case QueryKind::kUnrestricted: {
       UnrestrictedQuery query;
       query.is_position = true;
       query.position = spec.position;
-      return RunUnrestricted(spec, query);
+      return RunUnrestricted(spec, query, ws);
     }
   }
   return Status::InvalidArgument("unknown query kind");
 }
 
 Result<RknnResult> RknnEngine::Run(const QuerySpec& spec) {
-  const size_t footprint = ws_->CapacityFootprint();
+  std::unique_ptr<SearchWorkspace> ws = AcquireWorkspace();
+  const size_t footprint = ws->CapacityFootprint();
   const storage::IoStats io_before =
       src_.pool != nullptr ? src_.pool->stats() : storage::IoStats{};
-  GRNN_ASSIGN_OR_RETURN(RknnResult result, Dispatch(spec));
-  lifetime_.queries++;
-  lifetime_.search += result.stats;
+  Result<RknnResult> result = Dispatch(spec, *ws);
+  const bool grew = ws->CapacityFootprint() > footprint;
+  ReleaseWorkspace(std::move(ws));
+  if (!result.ok()) {
+    return result;
+  }
+  std::lock_guard<std::mutex> lock(state_->stats_mu);
+  state_->lifetime.queries++;
+  state_->lifetime.search += result->stats;
   if (src_.pool != nullptr) {
-    lifetime_.io += src_.pool->stats() - io_before;
+    // Pool-wide delta: with concurrent callers this attribution is
+    // approximate (it may include their faults).
+    state_->lifetime.io += src_.pool->stats() - io_before;
   }
-  if (ws_->CapacityFootprint() > footprint) {
-    lifetime_.workspace_grows++;
-  }
+  state_->lifetime.workspace_grows += grew ? 1 : 0;
   return result;
 }
 
 Result<RknnEngine::BatchResult> RknnEngine::RunBatch(
     std::span<const QuerySpec> specs) {
+  return RunBatchSerial(specs);
+}
+
+Result<RknnEngine::BatchResult> RknnEngine::RunBatch(
+    std::span<const QuerySpec> specs, const ParallelOptions& parallel) {
+  // Serial for num_threads <= 1 (including nonsense negative values)
+  // BEFORE any size_t arithmetic on the thread count.
+  int workers = parallel.num_threads;
+  if (workers <= 1) {
+    return RunBatchSerial(specs);
+  }
+  const size_t chunk =
+      parallel.chunk < 1 ? 1 : static_cast<size_t>(parallel.chunk);
+  const size_t num_chunks = (specs.size() + chunk - 1) / chunk;
+  if (static_cast<size_t>(workers) > num_chunks) {
+    workers = static_cast<int>(num_chunks);
+  }
+  if (workers <= 1) {
+    return RunBatchSerial(specs);
+  }
+  return RunBatchParallel(specs, workers, chunk, num_chunks);
+}
+
+Result<RknnEngine::BatchResult> RknnEngine::RunBatchSerial(
+    std::span<const QuerySpec> specs) {
+  std::unique_ptr<SearchWorkspace> ws = AcquireWorkspace();
   BatchResult batch;
   batch.results.reserve(specs.size());
   const storage::IoStats io_before =
       src_.pool != nullptr ? src_.pool->stats() : storage::IoStats{};
   for (const QuerySpec& spec : specs) {
-    const size_t footprint = ws_->CapacityFootprint();
-    GRNN_ASSIGN_OR_RETURN(RknnResult result, Dispatch(spec));
+    const size_t footprint = ws->CapacityFootprint();
+    Result<RknnResult> result = Dispatch(spec, *ws);
+    if (!result.ok()) {
+      ReleaseWorkspace(std::move(ws));
+      return result.status();
+    }
     batch.stats.queries++;
-    batch.stats.search += result.stats;
-    if (ws_->CapacityFootprint() > footprint) {
+    batch.stats.search += result->stats;
+    if (ws->CapacityFootprint() > footprint) {
       batch.stats.workspace_grows++;
     }
-    batch.results.push_back(std::move(result));
+    batch.results.push_back(std::move(*result));
+  }
+  ReleaseWorkspace(std::move(ws));
+  if (src_.pool != nullptr) {
+    batch.stats.io = src_.pool->stats() - io_before;
+  }
+  std::lock_guard<std::mutex> lock(state_->stats_mu);
+  state_->lifetime += batch.stats;
+  return batch;
+}
+
+Result<RknnEngine::BatchResult> RknnEngine::RunBatchParallel(
+    std::span<const QuerySpec> specs, int num_workers, size_t chunk,
+    size_t num_chunks) {
+  // One parallel batch owns the worker team at a time; concurrent
+  // parallel batches on the same engine queue up here (concurrent Run /
+  // serial RunBatch calls are unaffected).
+  std::lock_guard<std::mutex> team_lock(state_->workers_mu);
+  if (state_->workers == nullptr ||
+      state_->workers->num_threads() < num_workers) {
+    state_->workers = std::make_unique<common::ThreadPool>(num_workers);
+  }
+  common::ThreadPool& team = *state_->workers;
+  // The team may be wider than this batch asked for (it persists across
+  // batches and only grows); the job below is capped to `num_workers`
+  // so the requested parallelism is honoured exactly.
+
+  // One leased workspace per worker (not per chunk): a worker reuses its
+  // workspace across every chunk it claims, and the lease returns to the
+  // pool afterwards, so warm batches stay allocation-free per worker.
+  std::vector<std::unique_ptr<SearchWorkspace>> leases;
+  leases.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    leases.push_back(AcquireWorkspace());
+  }
+
+  BatchResult batch;
+  batch.results.resize(specs.size());
+  std::vector<EngineStats> worker_stats(static_cast<size_t>(num_workers));
+  const storage::IoStats io_before =
+      src_.pool != nullptr ? src_.pool->stats() : storage::IoStats{};
+
+  // Serial semantics on failure: report the lowest-index failing query.
+  // `failed` short-circuits chunks that start after a failure was seen;
+  // chunks already running finish their current query and stop.
+  std::atomic<bool> failed{false};
+  std::mutex err_mu;
+  size_t first_bad = SIZE_MAX;
+  Status err = Status::OK();
+
+  team.ParallelFor(num_chunks, [&](int worker, size_t c) {
+    if (failed.load(std::memory_order_relaxed)) {
+      return;
+    }
+    SearchWorkspace& ws = *leases[static_cast<size_t>(worker)];
+    EngineStats& stats = worker_stats[static_cast<size_t>(worker)];
+    const size_t begin = c * chunk;
+    const size_t end = std::min(specs.size(), begin + chunk);
+    for (size_t i = begin; i < end; ++i) {
+      const size_t footprint = ws.CapacityFootprint();
+      Result<RknnResult> result = Dispatch(specs[i], ws);
+      if (!result.ok()) {
+        failed.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (i < first_bad) {
+          first_bad = i;
+          err = result.status();
+        }
+        return;
+      }
+      stats.queries++;
+      stats.search += result->stats;
+      if (ws.CapacityFootprint() > footprint) {
+        stats.workspace_grows++;
+      }
+      batch.results[i] = std::move(*result);
+    }
+  }, num_workers);
+
+  for (auto& lease : leases) {
+    ReleaseWorkspace(std::move(lease));
+  }
+  if (first_bad != SIZE_MAX) {
+    return err;
+  }
+  // Deterministic merge: per-worker counters summed in worker order.
+  for (const EngineStats& stats : worker_stats) {
+    batch.stats += stats;
   }
   if (src_.pool != nullptr) {
     batch.stats.io = src_.pool->stats() - io_before;
   }
-  lifetime_ += batch.stats;
+  std::lock_guard<std::mutex> lock(state_->stats_mu);
+  state_->lifetime += batch.stats;
   return batch;
 }
 

@@ -9,8 +9,26 @@
 // edge-position queries (Section 5.2). The engine owns the graph view,
 // the point sources, the materialization and the buffer pool once, and
 // answers any QuerySpec through Run(); RunBatch() additionally reuses
-// the per-engine SearchWorkspace so consecutive queries stop paying
-// per-call allocation (see DESIGN.md, "The engine").
+// pooled SearchWorkspaces so consecutive queries stop paying per-call
+// allocation, and fans independent queries out over a worker pool when
+// given ParallelOptions (see DESIGN.md, "The engine" and "Concurrency
+// model").
+//
+// Concurrency contract (audited in PR 2):
+//   * One engine may serve Run / RunBatch calls from many threads
+//     concurrently. Mutable per-query state lives in pooled
+//     SearchWorkspaces (one per in-flight query / worker); lifetime
+//     counters are mutex-guarded.
+//   * Everything in EngineSources is shared read-only during queries:
+//     NetworkView::GetNeighbors, the point sets, KnnStore::Read and
+//     EdgePointReader::Read must be safe for concurrent callers. The
+//     in-memory implementations are pure reads; the disk-backed ones
+//     (StoredGraph, FileKnnStore, StoredEdgePointReader) serialize on
+//     the BufferPool's internal mutex.
+//   * Updating sources (point insert/delete, materialization
+//     maintenance) while queries run is NOT supported — quiesce the
+//     engine first.
+//   * Moving an engine while queries are in flight is undefined.
 
 #ifndef GRNN_CORE_ENGINE_H_
 #define GRNN_CORE_ENGINE_H_
@@ -92,10 +110,28 @@ struct EngineSources {
   /// Access path for edge-point records; defaults to an in-memory reader
   /// over `edge_points` when omitted.
   const EdgePointReader* edge_reader = nullptr;
-  KnnStore* knn = nullptr;       // eager-M over points / edge_points
-  KnnStore* site_knn = nullptr;  // eager-M over sites (bichromatic)
+  const KnnStore* knn = nullptr;       // eager-M over points / edge_points
+  const KnnStore* site_knn = nullptr;  // eager-M over sites (bichromatic)
   /// When set, RunBatch reports the I/O charged to this pool per batch.
   storage::BufferPool* pool = nullptr;
+};
+
+/// \brief Execution knobs for RunBatch.
+///
+/// `num_threads <= 1` (the default) runs the batch serially on the
+/// calling thread. With more threads the batch is cut into chunks of
+/// `chunk` consecutive specs, executed by a pooled worker team with one
+/// SearchWorkspace per worker; results land at their spec index, so the
+/// output is bit-for-bit identical to serial execution regardless of
+/// scheduling. The worker pool and the workspaces persist inside the
+/// engine across batches (the warm-batch zero-allocation invariant
+/// holds per worker).
+struct ParallelOptions {
+  /// Worker threads executing queries; the calling thread only waits.
+  int num_threads = 1;
+  /// Consecutive specs per scheduling unit. Larger chunks amortize
+  /// scheduling, smaller chunks balance skewed per-query costs.
+  int chunk = 16;
 };
 
 /// Aggregated execution counters, kept per batch and cumulatively for
@@ -121,40 +157,61 @@ struct EngineStats {
 /// \brief Session object answering RkNN queries of every kind through a
 /// single entry point, with workspace reuse across calls.
 ///
-/// Not thread-safe: one engine per serving thread (the workspace is the
-/// per-engine mutable state; sources are shared read-only).
+/// Thread-safe: Run and RunBatch may be called concurrently from many
+/// threads (see the concurrency contract in the file header). Each call
+/// leases a SearchWorkspace from the engine's pool and returns it when
+/// done, so workspaces — and their warmed-up buffers — are reused both
+/// across batches and across serving threads.
 class RknnEngine {
  public:
   static Result<RknnEngine> Create(const EngineSources& sources);
 
-  RknnEngine(RknnEngine&&) = default;
-  RknnEngine& operator=(RknnEngine&&) = default;
+  // Out-of-line: State is incomplete here.
+  RknnEngine(RknnEngine&&) noexcept;
+  RknnEngine& operator=(RknnEngine&&) noexcept;
+  ~RknnEngine();
 
-  /// Answers one query. Reuses the engine workspace, so even single
+  /// Answers one query. Reuses a pooled workspace, so even single
   /// queries amortize allocation across calls.
   Result<RknnResult> Run(const QuerySpec& spec);
 
   struct BatchResult {
-    /// Per-query results, in spec order.
+    /// Per-query results, in spec order (identical for serial and
+    /// parallel execution).
     std::vector<RknnResult> results;
-    /// Aggregated over the batch (search counters summed; io is the
-    /// buffer-pool delta when the engine has a pool).
+    /// Aggregated over the batch (search counters and workspace_grows
+    /// summed over all workers; io is the buffer-pool delta during the
+    /// batch when the engine has a pool — under concurrent callers that
+    /// delta includes their traffic too).
     EngineStats stats;
   };
 
-  /// Answers a batch of queries over the shared workspace. The first
-  /// failing query aborts the batch.
+  /// Answers a batch of queries serially over one pooled workspace. The
+  /// first failing query aborts the batch.
   Result<BatchResult> RunBatch(std::span<const QuerySpec> specs);
 
-  /// Cumulative counters across every Run/RunBatch on this engine.
-  const EngineStats& lifetime_stats() const { return lifetime_; }
+  /// Answers a batch with `parallel.num_threads` pooled workers, one
+  /// leased workspace per worker. Results and error behaviour match the
+  /// serial form: results are ordered by spec index, and a failure
+  /// reports the error of the lowest-index failing query (workers stop
+  /// picking up new chunks once a failure is seen). Concurrent parallel
+  /// batches on one engine serialize on the engine's worker pool.
+  Result<BatchResult> RunBatch(std::span<const QuerySpec> specs,
+                               const ParallelOptions& parallel);
+
+  /// Snapshot of the cumulative counters across every completed
+  /// Run/RunBatch on this engine.
+  EngineStats lifetime_stats() const;
 
   const EngineSources& sources() const { return src_; }
 
-  /// The pooled search state (exposed for tests and diagnostics).
-  SearchWorkspace& workspace() { return *ws_; }
+  /// Number of idle pooled workspaces (diagnostics: after a parallel
+  /// batch with N workers this is at least N).
+  size_t num_pooled_workspaces() const;
 
  private:
+  struct State;
+
   explicit RknnEngine(const EngineSources& sources);
 
   const EdgePointReader* edge_reader() const {
@@ -162,19 +219,30 @@ class RknnEngine {
                                        : owned_reader_.get();
   }
 
-  Result<RknnResult> Dispatch(const QuerySpec& spec);
-  Result<RknnResult> RunMonochromatic(const QuerySpec& spec);
-  Result<RknnResult> RunBichromatic(const QuerySpec& spec);
-  Result<RknnResult> RunContinuous(const QuerySpec& spec);
+  std::unique_ptr<SearchWorkspace> AcquireWorkspace();
+  void ReleaseWorkspace(std::unique_ptr<SearchWorkspace> ws);
+
+  Result<RknnResult> Dispatch(const QuerySpec& spec, SearchWorkspace& ws);
+  Result<RknnResult> RunMonochromatic(const QuerySpec& spec,
+                                      SearchWorkspace& ws);
+  Result<RknnResult> RunBichromatic(const QuerySpec& spec,
+                                    SearchWorkspace& ws);
+  Result<RknnResult> RunContinuous(const QuerySpec& spec,
+                                   SearchWorkspace& ws);
   Result<RknnResult> RunUnrestricted(const QuerySpec& spec,
-                                     const UnrestrictedQuery& query);
+                                     const UnrestrictedQuery& query,
+                                     SearchWorkspace& ws);
+  Result<BatchResult> RunBatchSerial(std::span<const QuerySpec> specs);
+  Result<BatchResult> RunBatchParallel(std::span<const QuerySpec> specs,
+                                       int num_workers, size_t chunk,
+                                       size_t num_chunks);
 
   EngineSources src_;
   std::unique_ptr<MemoryEdgePointReader> owned_reader_;
-  // unique_ptr keeps the engine cheaply movable (workspaces hold large
-  // buffers and internal references would dangle on move otherwise).
-  std::unique_ptr<SearchWorkspace> ws_;
-  EngineStats lifetime_;
+  // All mutable serving state (workspace pool, worker team, lifetime
+  // counters and their mutexes) lives behind one pointer so the engine
+  // stays cheaply movable.
+  std::unique_ptr<State> state_;
 };
 
 }  // namespace grnn::core

@@ -266,14 +266,6 @@ Result<RknnResult> LazyState::Run(std::span<const NodeId> query_nodes) {
 Result<RknnResult> LazyRknn(const graph::NetworkView& g,
                             const NodePointSet& points,
                             std::span<const NodeId> query_nodes,
-                            const RknnOptions& options) {
-  SearchWorkspace ws;
-  return LazyRknn(g, points, query_nodes, options, ws);
-}
-
-Result<RknnResult> LazyRknn(const graph::NetworkView& g,
-                            const NodePointSet& points,
-                            std::span<const NodeId> query_nodes,
                             const RknnOptions& options,
                             SearchWorkspace& ws) {
   if (options.k <= 0) {

@@ -24,13 +24,8 @@ namespace grnn::core {
 
 class SearchWorkspace;
 
-/// \brief Monochromatic RkNN by lazy pruning. Same contract as EagerRknn.
-Result<RknnResult> LazyRknn(const graph::NetworkView& g,
-                            const NodePointSet& points,
-                            std::span<const NodeId> query_nodes,
-                            const RknnOptions& options = {});
-
-/// Workspace-reusing form (see EagerRknn).
+/// \brief Monochromatic RkNN by lazy pruning. Same contract as
+/// EagerRknn (workspace-threaded; one-shot callers use RknnEngine).
 Result<RknnResult> LazyRknn(const graph::NetworkView& g,
                             const NodePointSet& points,
                             std::span<const NodeId> query_nodes,

@@ -13,14 +13,6 @@ namespace grnn::core {
 Result<RknnResult> LazyEpRknn(const graph::NetworkView& g,
                               const NodePointSet& points,
                               std::span<const NodeId> query_nodes,
-                              const RknnOptions& options) {
-  SearchWorkspace ws;
-  return LazyEpRknn(g, points, query_nodes, options, ws);
-}
-
-Result<RknnResult> LazyEpRknn(const graph::NetworkView& g,
-                              const NodePointSet& points,
-                              std::span<const NodeId> query_nodes,
                               const RknnOptions& options,
                               SearchWorkspace& ws) {
   if (options.k <= 0) {

@@ -24,13 +24,8 @@ namespace grnn::core {
 class SearchWorkspace;
 
 /// \brief Monochromatic RkNN by lazy evaluation with extended pruning.
-/// Same contract as EagerRknn / LazyRknn.
-Result<RknnResult> LazyEpRknn(const graph::NetworkView& g,
-                              const NodePointSet& points,
-                              std::span<const NodeId> query_nodes,
-                              const RknnOptions& options = {});
-
-/// Workspace-reusing form (see EagerRknn).
+/// Same contract as EagerRknn / LazyRknn (workspace-threaded; one-shot
+/// callers use RknnEngine).
 Result<RknnResult> LazyEpRknn(const graph::NetworkView& g,
                               const NodePointSet& points,
                               std::span<const NodeId> query_nodes,

@@ -37,7 +37,7 @@ uint64_t PairKey(NodeId n, PointId p) {
 
 }  // namespace
 
-Status MemoryKnnStore::Read(NodeId n, std::vector<NnEntry>* out) {
+Status MemoryKnnStore::Read(NodeId n, std::vector<NnEntry>* out) const {
   if (n >= lists_.size()) {
     return Status::OutOfRange(StrPrintf("node %u out of range", n));
   }
@@ -380,15 +380,8 @@ Status MaterializedDelete(const graph::NetworkView& g,
 }
 
 Result<RknnResult> EagerMRknn(const graph::NetworkView& g,
-                              const NodePointSet& points, KnnStore* store,
-                              std::span<const NodeId> query_nodes,
-                              const RknnOptions& options) {
-  SearchWorkspace ws;
-  return EagerMRknn(g, points, store, query_nodes, options, ws);
-}
-
-Result<RknnResult> EagerMRknn(const graph::NetworkView& g,
-                              const NodePointSet& points, KnnStore* store,
+                              const NodePointSet& points,
+                              const KnnStore* store,
                               std::span<const NodeId> query_nodes,
                               const RknnOptions& options,
                               SearchWorkspace& ws) {

@@ -38,8 +38,10 @@ class KnnStore {
   virtual uint32_t k() const = 0;
   virtual NodeId num_nodes() const = 0;
 
-  /// Reads the (ascending-by-distance) list of `n`.
-  virtual Status Read(NodeId n, std::vector<NnEntry>* out) = 0;
+  /// Reads the (ascending-by-distance) list of `n`. Must be safe for
+  /// concurrent callers when no Write is in flight (the engine's
+  /// concurrency contract, see core/engine.h).
+  virtual Status Read(NodeId n, std::vector<NnEntry>* out) const = 0;
 
   /// Replaces the list of `n` (size <= K, ascending by distance).
   virtual Status Write(NodeId n, const std::vector<NnEntry>& entries) = 0;
@@ -55,7 +57,7 @@ class MemoryKnnStore final : public KnnStore {
   NodeId num_nodes() const override {
     return static_cast<NodeId>(lists_.size());
   }
-  Status Read(NodeId n, std::vector<NnEntry>* out) override;
+  Status Read(NodeId n, std::vector<NnEntry>* out) const override;
   Status Write(NodeId n, const std::vector<NnEntry>& entries) override;
 
  private:
@@ -74,7 +76,7 @@ class FileKnnStore final : public KnnStore {
 
   uint32_t k() const override { return file_->k(); }
   NodeId num_nodes() const override { return file_->num_nodes(); }
-  Status Read(NodeId n, std::vector<NnEntry>* out) override {
+  Status Read(NodeId n, std::vector<NnEntry>* out) const override {
     return file_->Read(pool_, n, out);
   }
   Status Write(NodeId n, const std::vector<NnEntry>& entries) override {
@@ -159,14 +161,11 @@ class SearchWorkspace;
 /// \brief Eager-M: the eager algorithm with range-NN queries replaced by
 /// materialized-list lookups, and verifications short-circuited through
 /// the candidate's own list (Section 4.1). Requires options.k <= store K.
+/// All search state is drawn from `ws` (see EagerRknn in eager.h); issue
+/// one-shot queries through core::RknnEngine instead.
 Result<RknnResult> EagerMRknn(const graph::NetworkView& g,
-                              const NodePointSet& points, KnnStore* store,
-                              std::span<const NodeId> query_nodes,
-                              const RknnOptions& options = {});
-
-/// Workspace-reusing form (see EagerRknn in eager.h).
-Result<RknnResult> EagerMRknn(const graph::NetworkView& g,
-                              const NodePointSet& points, KnnStore* store,
+                              const NodePointSet& points,
+                              const KnnStore* store,
                               std::span<const NodeId> query_nodes,
                               const RknnOptions& options,
                               SearchWorkspace& ws);

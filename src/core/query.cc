@@ -1,10 +1,8 @@
 #include "core/query.h"
 
 #include <cctype>
-#include <string>
 
 #include "common/string_util.h"
-#include "core/engine.h"
 
 namespace grnn::core {
 
@@ -66,32 +64,6 @@ Result<Algorithm> ParseAlgorithm(std::string_view name) {
       StrPrintf("unknown algorithm '%.*s' (expected one of E, EM, L, LP, "
                 "BF or their full names)",
                 static_cast<int>(name.size()), name.data()));
-}
-
-// Deprecated shim: a throwaway single-query engine session. Callers that
-// issue more than one query should hold an RknnEngine instead.
-Result<RknnResult> RunRknn(Algorithm algorithm, const graph::NetworkView& g,
-                           const NodePointSet& points,
-                           std::span<const NodeId> query_nodes,
-                           const RknnOptions& options,
-                           KnnStore* materialized) {
-  if (algorithm == Algorithm::kEagerM && materialized == nullptr) {
-    return Status::InvalidArgument(
-        "eager-M requires a materialized KNN store");
-  }
-  EngineSources sources;
-  sources.graph = &g;
-  sources.points = &points;
-  sources.knn = materialized;
-  GRNN_ASSIGN_OR_RETURN(RknnEngine engine, RknnEngine::Create(sources));
-  QuerySpec spec;
-  spec.kind = query_nodes.size() == 1 ? QueryKind::kMonochromatic
-                                      : QueryKind::kContinuous;
-  spec.algorithm = algorithm;
-  spec.k = options.k;
-  spec.exclude_point = options.exclude_point;
-  spec.query_nodes.assign(query_nodes.begin(), query_nodes.end());
-  return engine.Run(spec);
 }
 
 }  // namespace grnn::core

@@ -1,20 +1,13 @@
 // Copyright (c) GRNN authors.
-// Unified entry point over the four RkNN algorithms plus the brute-force
-// baseline. Benchmarks and examples dispatch through RunRknn so that every
-// method answers exactly the same query contract.
+// The Algorithm enum shared by every query path (core/engine.h dispatches
+// on it) plus its display names and the CLI parser.
 
 #ifndef GRNN_CORE_QUERY_H_
 #define GRNN_CORE_QUERY_H_
 
-#include <span>
-#include <string>
 #include <string_view>
 
 #include "common/result.h"
-#include "core/materialize.h"
-#include "core/point_set.h"
-#include "core/types.h"
-#include "graph/network_view.h"
 
 namespace grnn::core {
 
@@ -39,22 +32,6 @@ Result<Algorithm> ParseAlgorithm(std::string_view name);
 inline constexpr Algorithm kAllAlgorithms[] = {
     Algorithm::kEager, Algorithm::kEagerM, Algorithm::kLazy,
     Algorithm::kLazyEp};
-
-/// \brief Runs a monochromatic (or continuous, via multi-node query) RkNN
-/// query with the chosen algorithm.
-///
-/// \deprecated Thin shim over RknnEngine (core/engine.h): construct an
-/// engine and use Run/RunBatch instead — the engine reuses search
-/// workspaces across queries, which this one-shot form cannot.
-///
-/// \param materialized required iff algorithm == kEagerM; ignored
-///        otherwise.
-Result<RknnResult> RunRknn(Algorithm algorithm,
-                           const graph::NetworkView& g,
-                           const NodePointSet& points,
-                           std::span<const NodeId> query_nodes,
-                           const RknnOptions& options = {},
-                           KnnStore* materialized = nullptr);
 
 }  // namespace grnn::core
 

@@ -41,7 +41,7 @@ struct RknnResult {
 /// competitors (excluding p itself, the query point and
 /// `exclude_point`) are strictly closer to p than the query. Ties in
 /// distance therefore favour the candidate, which keeps unit-weight
-/// graphs (DBLP) well defined. See DESIGN.md §4.
+/// graphs (DBLP) well defined. See DESIGN.md §5.
 struct RknnOptions {
   int k = 1;
   /// The query's own point (monochromatic queries are sampled from the

@@ -567,15 +567,6 @@ Result<RknnResult> UnrestrictedEagerRknn(const graph::NetworkView& g,
                                          const EdgePointSet& points,
                                          const EdgePointReader& reader,
                                          const UnrestrictedQuery& query,
-                                         const RknnOptions& options) {
-  SearchWorkspace ws;
-  return UnrestrictedEagerRknn(g, points, reader, query, options, ws);
-}
-
-Result<RknnResult> UnrestrictedEagerRknn(const graph::NetworkView& g,
-                                         const EdgePointSet& points,
-                                         const EdgePointReader& reader,
-                                         const UnrestrictedQuery& query,
                                          const RknnOptions& options,
                                          SearchWorkspace& ws) {
   GRNN_ASSIGN_OR_RETURN(auto prep, PrepareQuery(g, query, options));
@@ -658,15 +649,6 @@ Result<RknnResult> UnrestrictedEagerRknn(const graph::NetworkView& g,
   }
   SortResults(out);
   return out;
-}
-
-Result<RknnResult> UnrestrictedLazyRknn(const graph::NetworkView& g,
-                                        const EdgePointSet& points,
-                                        const EdgePointReader& reader,
-                                        const UnrestrictedQuery& query,
-                                        const RknnOptions& options) {
-  SearchWorkspace ws;
-  return UnrestrictedLazyRknn(g, points, reader, query, options, ws);
 }
 
 Result<RknnResult> UnrestrictedLazyRknn(const graph::NetworkView& g,
@@ -805,15 +787,6 @@ Result<RknnResult> UnrestrictedLazyEpRknn(const graph::NetworkView& g,
                                           const EdgePointSet& points,
                                           const EdgePointReader& reader,
                                           const UnrestrictedQuery& query,
-                                          const RknnOptions& options) {
-  SearchWorkspace ws;
-  return UnrestrictedLazyEpRknn(g, points, reader, query, options, ws);
-}
-
-Result<RknnResult> UnrestrictedLazyEpRknn(const graph::NetworkView& g,
-                                          const EdgePointSet& points,
-                                          const EdgePointReader& reader,
-                                          const UnrestrictedQuery& query,
                                           const RknnOptions& options,
                                           SearchWorkspace& ws) {
   GRNN_ASSIGN_OR_RETURN(auto prep, PrepareQuery(g, query, options));
@@ -924,18 +897,7 @@ Result<RknnResult> UnrestrictedLazyEpRknn(const graph::NetworkView& g,
 Result<RknnResult> UnrestrictedEagerMRknn(const graph::NetworkView& g,
                                           const EdgePointSet& points,
                                           const EdgePointReader& reader,
-                                          KnnStore* store,
-                                          const UnrestrictedQuery& query,
-                                          const RknnOptions& options) {
-  SearchWorkspace ws;
-  return UnrestrictedEagerMRknn(g, points, reader, store, query, options,
-                                ws);
-}
-
-Result<RknnResult> UnrestrictedEagerMRknn(const graph::NetworkView& g,
-                                          const EdgePointSet& points,
-                                          const EdgePointReader& reader,
-                                          KnnStore* store,
+                                          const KnnStore* store,
                                           const UnrestrictedQuery& query,
                                           const RknnOptions& options,
                                           SearchWorkspace& ws) {

@@ -166,14 +166,8 @@ struct UnrestrictedQuery {
   std::vector<NodeId> route;    // used otherwise
 };
 
-/// \brief Eager RkNN for unrestricted networks.
-Result<RknnResult> UnrestrictedEagerRknn(const graph::NetworkView& g,
-                                         const EdgePointSet& points,
-                                         const EdgePointReader& reader,
-                                         const UnrestrictedQuery& query,
-                                         const RknnOptions& options = {});
-
-/// Workspace-reusing form (see EagerRknn in eager.h).
+/// \brief Eager RkNN for unrestricted networks. Workspace-threaded
+/// (see EagerRknn in eager.h); one-shot callers use RknnEngine.
 Result<RknnResult> UnrestrictedEagerRknn(const graph::NetworkView& g,
                                          const EdgePointSet& points,
                                          const EdgePointReader& reader,
@@ -186,24 +180,10 @@ Result<RknnResult> UnrestrictedLazyRknn(const graph::NetworkView& g,
                                         const EdgePointSet& points,
                                         const EdgePointReader& reader,
                                         const UnrestrictedQuery& query,
-                                        const RknnOptions& options = {});
-
-/// Workspace-reusing form.
-Result<RknnResult> UnrestrictedLazyRknn(const graph::NetworkView& g,
-                                        const EdgePointSet& points,
-                                        const EdgePointReader& reader,
-                                        const UnrestrictedQuery& query,
                                         const RknnOptions& options,
                                         SearchWorkspace& ws);
 
 /// \brief Lazy-EP RkNN for unrestricted networks.
-Result<RknnResult> UnrestrictedLazyEpRknn(const graph::NetworkView& g,
-                                          const EdgePointSet& points,
-                                          const EdgePointReader& reader,
-                                          const UnrestrictedQuery& query,
-                                          const RknnOptions& options = {});
-
-/// Workspace-reusing form.
 Result<RknnResult> UnrestrictedLazyEpRknn(const graph::NetworkView& g,
                                           const EdgePointSet& points,
                                           const EdgePointReader& reader,
@@ -218,15 +198,7 @@ Result<RknnResult> UnrestrictedLazyEpRknn(const graph::NetworkView& g,
 Result<RknnResult> UnrestrictedEagerMRknn(const graph::NetworkView& g,
                                           const EdgePointSet& points,
                                           const EdgePointReader& reader,
-                                          KnnStore* store,
-                                          const UnrestrictedQuery& query,
-                                          const RknnOptions& options = {});
-
-/// Workspace-reusing form.
-Result<RknnResult> UnrestrictedEagerMRknn(const graph::NetworkView& g,
-                                          const EdgePointSet& points,
-                                          const EdgePointReader& reader,
-                                          KnnStore* store,
+                                          const KnnStore* store,
                                           const UnrestrictedQuery& query,
                                           const RknnOptions& options,
                                           SearchWorkspace& ws);

@@ -39,7 +39,7 @@ PageGuard::~PageGuard() { Release(); }
 uint8_t* PageGuard::mutable_data() {
   GRNN_CHECK(valid());
   if (frame_ != SIZE_MAX) {
-    pool_->frames_[frame_].dirty = true;
+    pool_->MarkDirty(frame_);
   } else {
     dirty_passthrough_ = true;
   }
@@ -52,8 +52,7 @@ void PageGuard::Release() {
       pool_->Unpin(frame_, /*dirty=*/false);
     } else if (dirty_passthrough_) {
       // Unbuffered write-through.
-      pool_->stats_.physical_writes++;
-      (void)pool_->disk_->WritePage(page_id_, data_);
+      pool_->CountPassthroughWrite(page_id_, data_);
     }
   }
   pool_ = nullptr;
@@ -72,6 +71,7 @@ BufferPool::BufferPool(DiskManager* disk, size_t capacity_pages,
 BufferPool::~BufferPool() { (void)FlushAll(); }
 
 Result<PageGuard> BufferPool::Acquire(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   stats_.logical_reads++;
 
   if (capacity_ == 0) {
@@ -117,6 +117,7 @@ Result<PageGuard> BufferPool::Acquire(PageId id) {
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (Frame& f : frames_) {
     if (f.page != kInvalidPage && f.dirty) {
       stats_.physical_writes++;
@@ -129,6 +130,7 @@ Status BufferPool::FlushAll() {
 
 Status BufferPool::Invalidate() {
   GRNN_RETURN_NOT_OK(FlushAll());
+  std::lock_guard<std::mutex> lock(mu_);
   for (Frame& f : frames_) {
     if (f.page != kInvalidPage && f.pins == 0) {
       page_table_.erase(f.page);
@@ -139,7 +141,13 @@ Status BufferPool::Invalidate() {
   return Status::OK();
 }
 
+size_t BufferPool::num_resident() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return page_table_.size();
+}
+
 size_t BufferPool::num_pinned() const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t n = 0;
   for (const Frame& f : frames_) {
     n += (f.page != kInvalidPage && f.pins > 0);
@@ -147,11 +155,33 @@ size_t BufferPool::num_pinned() const {
   return n;
 }
 
+IoStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BufferPool::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = IoStats{};
+}
+
 void BufferPool::Unpin(size_t frame, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
   Frame& f = frames_[frame];
   GRNN_DCHECK(f.pins > 0);
   f.pins--;
   f.dirty = f.dirty || dirty;
+}
+
+void BufferPool::MarkDirty(size_t frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  frames_[frame].dirty = true;
+}
+
+void BufferPool::CountPassthroughWrite(PageId page, const uint8_t* data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.physical_writes++;
+  (void)disk_->WritePage(page, data);
 }
 
 Result<size_t> BufferPool::FindVictim() {

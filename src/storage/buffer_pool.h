@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -79,7 +80,13 @@ class PageGuard {
 
 /// \brief Page cache in front of a DiskManager.
 ///
-/// Not thread-safe (single-threaded query processing, as in the paper).
+/// Thread-safe for concurrent readers: Acquire / guard release / stats
+/// are serialized on one internal mutex (pin bookkeeping, eviction and
+/// the disk fault all happen under it), so parallel query threads may
+/// share a pool — see DESIGN.md, "Concurrency model". The bytes of a
+/// pinned page are only safe to read concurrently; callers that *write*
+/// pages (PageGuard::mutable_data, the materialization-maintenance
+/// path) need external synchronization against readers of those pages.
 class BufferPool {
  public:
   /// \param disk backing store; must outlive the pool.
@@ -104,10 +111,12 @@ class BufferPool {
   Status Invalidate();
 
   size_t capacity() const { return capacity_; }
-  size_t num_resident() const { return page_table_.size(); }
+  size_t num_resident() const;
   size_t num_pinned() const;
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = IoStats{}; }
+  /// Snapshot of the I/O counters (by value: the counters move under
+  /// concurrent readers).
+  IoStats stats() const;
+  void ResetStats();
   DiskManager* disk() const { return disk_; }
 
  private:
@@ -122,11 +131,15 @@ class BufferPool {
   };
 
   void Unpin(size_t frame, bool dirty);
+  void MarkDirty(size_t frame);
+  void CountPassthroughWrite(PageId page, const uint8_t* data);
   Result<size_t> FindVictim();
 
   DiskManager* disk_;
   size_t capacity_;
   ReplacementPolicy policy_;
+  /// Guards every field below (and all DiskManager access).
+  mutable std::mutex mu_;
   std::vector<Frame> frames_;
   std::unordered_map<PageId, size_t> page_table_;
   uint64_t tick_ = 0;

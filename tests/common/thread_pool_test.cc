@@ -1,0 +1,106 @@
+// ThreadPool: task coverage, worker indexing, reuse across jobs and
+// concurrent ParallelFor callers.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace grnn::common {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(hits.size(), [&](int, size_t task) {
+    hits[task].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolTest, WorkerIndicesAreDenseAndInRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> by_worker(3);
+  pool.ParallelFor(300, [&](int worker, size_t) {
+    ASSERT_GE(worker, 0);
+    ASSERT_LT(worker, 3);
+    by_worker[static_cast<size_t>(worker)].fetch_add(1);
+  });
+  int total = 0;
+  for (auto& c : by_worker) {
+    total += c.load();
+  }
+  EXPECT_EQ(total, 300);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossJobsAndEmptyJobIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [&](int, size_t) { FAIL(); });
+  std::atomic<uint64_t> sum{0};
+  for (int job = 0; job < 20; ++job) {
+    pool.ParallelFor(10, [&](int, size_t task) {
+      sum.fetch_add(task + 1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(sum.load(), 20u * 55u);
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int> count{0};
+  pool.ParallelFor(5, [&](int worker, size_t) {
+    EXPECT_EQ(worker, 0);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 5);
+}
+
+TEST(ThreadPoolTest, MaxWorkersRestrictsTheJobToAPrefixOfWorkers) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> by_worker(4);
+  pool.ParallelFor(
+      200,
+      [&](int worker, size_t) {
+        by_worker[static_cast<size_t>(worker)].fetch_add(1);
+      },
+      /*max_workers=*/2);
+  EXPECT_EQ(by_worker[0].load() + by_worker[1].load(), 200);
+  EXPECT_EQ(by_worker[2].load(), 0);
+  EXPECT_EQ(by_worker[3].load(), 0);
+
+  // The idled workers rejoin the next unrestricted job.
+  std::atomic<int> count{0};
+  pool.ParallelFor(100, [&](int, size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersSerializeSafely) {
+  ThreadPool pool(2);
+  std::atomic<uint64_t> sum{0};
+  std::vector<std::thread> callers;
+  callers.reserve(4);
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < 8; ++round) {
+        pool.ParallelFor(25, [&](int, size_t task) {
+          sum.fetch_add(task, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& t : callers) {
+    t.join();
+  }
+  EXPECT_EQ(sum.load(), 4u * 8u * 300u);  // 300 = 0 + 1 + ... + 24
+}
+
+}  // namespace
+}  // namespace grnn::common

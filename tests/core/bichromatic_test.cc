@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/workspace.h"
 #include "graph/network_view.h"
 #include "test_fixtures.h"
 
@@ -43,8 +44,9 @@ TEST(BichromaticTest, RoadScenarioK1) {
   graph::GraphView view(&f.g);
   RknnOptions opts;
   opts.exclude_point = 0;  // restaurant 0 (at node 2) is the query
+  SearchWorkspace ws;
   auto r = BichromaticRknn(view, f.blocks, f.restaurants,
-                           std::vector<NodeId>{2}, opts)
+                           std::vector<NodeId>{2}, opts, ws)
                .ValueOrDie();
   // Blocks closer to node 2 than to node 5: b0(0)@d2, b1(1)@d1, b2(2)@d1.
   // b3 at node 4: d(q)=2, d(r1)=1 -> out. b4 at node 6: d(q)=4, d(r1)=1.
@@ -56,8 +58,9 @@ TEST(BichromaticTest, RoadScenarioOtherRestaurant) {
   graph::GraphView view(&f.g);
   RknnOptions opts;
   opts.exclude_point = 1;  // query from restaurant 1 (node 5)
+  SearchWorkspace ws;
   auto r = BichromaticRknn(view, f.blocks, f.restaurants,
-                           std::vector<NodeId>{5}, opts)
+                           std::vector<NodeId>{5}, opts, ws)
                .ValueOrDie();
   EXPECT_EQ(Ids(r), (std::vector<PointId>{3, 4}));  // b3@4, b4@6
 }
@@ -68,8 +71,9 @@ TEST(BichromaticTest, K2CoversBothRestaurants) {
   RknnOptions opts;
   opts.k = 2;
   opts.exclude_point = 0;
+  SearchWorkspace ws;
   auto r = BichromaticRknn(view, f.blocks, f.restaurants,
-                           std::vector<NodeId>{2}, opts)
+                           std::vector<NodeId>{2}, opts, ws)
                .ValueOrDie();
   // With only one competing restaurant, every connected block qualifies.
   EXPECT_EQ(Ids(r), (std::vector<PointId>{0, 1, 2, 3, 4}));
@@ -79,8 +83,9 @@ TEST(BichromaticTest, NewSitePlacementQuery) {
   // "What if we open a restaurant at node 6?" -- query node hosts no site.
   auto f = MakeRoad();
   graph::GraphView view(&f.g);
+  SearchWorkspace ws;
   auto r = BichromaticRknn(view, f.blocks, f.restaurants,
-                           std::vector<NodeId>{6}, RknnOptions{})
+                           std::vector<NodeId>{6}, RknnOptions{}, ws)
                .ValueOrDie();
   // Block b4@6: d=0 vs restaurants at >= 1 -> in. b3@4: d(q@6)=2,
   // d(r1@5)=1 -> out. Others are closer to existing restaurants.
@@ -105,6 +110,7 @@ TEST_P(BichromaticSweep, EagerAndMaterializedMatchBruteForce) {
 
   MemoryKnnStore site_knn(g.num_nodes(), static_cast<uint32_t>(k));
   ASSERT_TRUE(BuildAllNn(view, Q, &site_knn).ok());
+  SearchWorkspace ws;
 
   for (PointId qs : Q.LivePoints()) {
     RknnOptions opts;
@@ -114,9 +120,9 @@ TEST_P(BichromaticSweep, EagerAndMaterializedMatchBruteForce) {
 
     auto truth =
         BruteForceBichromaticRknn(view, P, Q, query, opts).ValueOrDie();
-    auto eager = BichromaticRknn(view, P, Q, query, opts).ValueOrDie();
+    auto eager = BichromaticRknn(view, P, Q, query, opts, ws).ValueOrDie();
     auto mat = BichromaticRknnMaterialized(view, P, Q, &site_knn, query,
-                                           opts)
+                                           opts, ws)
                    .ValueOrDie();
     EXPECT_EQ(Ids(eager), Ids(truth)) << "site " << qs << " k=" << k;
     EXPECT_EQ(Ids(mat), Ids(truth)) << "site " << qs << " k=" << k;
@@ -131,8 +137,9 @@ TEST(BichromaticTest, EmptySitesMakesEveryConnectedBlockQualify) {
   auto f = MakeRoad();
   graph::GraphView view(&f.g);
   NodePointSet no_sites(f.g.num_nodes());
+  SearchWorkspace ws;
   auto r = BichromaticRknn(view, f.blocks, no_sites,
-                           std::vector<NodeId>{2}, RknnOptions{})
+                           std::vector<NodeId>{2}, RknnOptions{}, ws)
                .ValueOrDie();
   EXPECT_EQ(r.results.size(), f.blocks.num_points());
 }
@@ -142,15 +149,16 @@ TEST(BichromaticTest, InvalidArguments) {
   graph::GraphView view(&f.g);
   RknnOptions bad;
   bad.k = 0;
+  SearchWorkspace ws;
   EXPECT_FALSE(BichromaticRknn(view, f.blocks, f.restaurants,
-                               std::vector<NodeId>{2}, bad)
+                               std::vector<NodeId>{2}, bad, ws)
                    .ok());
   EXPECT_FALSE(BichromaticRknn(view, f.blocks, f.restaurants,
-                               std::vector<NodeId>{}, RknnOptions{})
+                               std::vector<NodeId>{}, RknnOptions{}, ws)
                    .ok());
   EXPECT_FALSE(BichromaticRknnMaterialized(view, f.blocks, f.restaurants,
                                            nullptr, std::vector<NodeId>{2},
-                                           RknnOptions{})
+                                           RknnOptions{}, ws)
                    .ok());
 }
 

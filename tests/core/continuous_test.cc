@@ -8,6 +8,7 @@
 #include "core/lazy.h"
 #include "core/lazy_ep.h"
 #include "core/materialize.h"
+#include "core/workspace.h"
 #include "graph/network_view.h"
 #include "test_fixtures.h"
 
@@ -49,7 +50,8 @@ TEST(ContinuousTest, RouteCoveringPointNodesReturnsThem) {
   graph::GraphView view(&f.g);
   // Route through n4-n3-n6 (ids 3, 2, 5): p0 on n6 is at distance 0.
   std::vector<NodeId> route{3, 2, 5};
-  auto r = EagerRknn(view, f.points, route, RknnOptions{}).ValueOrDie();
+  SearchWorkspace ws;
+  auto r = EagerRknn(view, f.points, route, RknnOptions{}, ws).ValueOrDie();
   // p0@5: d=0, trivially a result. p1@4: d(r,p1)=min(8,?..)
   //   via n3: d(n3=2, n5=4)? 2-3-0-4: 4+5+3 = 12; via q=3: 8; via 5:
   //   5-1-4: 4+5 = 9 -> 8. Competitor p0: d(p1,p0) = 9 ... wait
@@ -66,11 +68,12 @@ TEST(ContinuousTest, RouteCoveringPointNodesReturnsThem) {
 TEST(ContinuousTest, SingleNodeRouteEqualsPointQuery) {
   auto f = PaperExample();
   graph::GraphView view(&f.g);
+  SearchWorkspace ws;
   auto point_q =
-      EagerRknn(view, f.points, std::vector<NodeId>{3}, RknnOptions{})
+      EagerRknn(view, f.points, std::vector<NodeId>{3}, RknnOptions{}, ws)
           .ValueOrDie();
   auto route_q = EagerRknn(view, f.points, std::vector<NodeId>{3, 3},
-                           RknnOptions{})
+                           RknnOptions{}, ws)
                      .ValueOrDie();
   EXPECT_EQ(Ids(point_q), Ids(route_q));
 }
@@ -83,11 +86,13 @@ TEST(ContinuousTest, LongerRoutesNeverShrinkResults) {
   graph::GraphView view(&g);
   auto route = RandomWalkRoute(
       g, static_cast<NodeId>(rng.UniformInt(g.num_nodes())), 12, rng);
+  SearchWorkspace ws;
   std::vector<PointId> prev;
   for (size_t len = 1; len <= route.size(); ++len) {
     std::vector<NodeId> prefix(route.begin(),
                                route.begin() + static_cast<long>(len));
-    auto r = EagerRknn(view, points, prefix, RknnOptions{}).ValueOrDie();
+    auto r =
+        EagerRknn(view, points, prefix, RknnOptions{}, ws).ValueOrDie();
     auto ids = Ids(r);
     for (PointId p : prev) {
       EXPECT_TRUE(std::find(ids.begin(), ids.end(), p) != ids.end())
@@ -108,6 +113,7 @@ TEST_P(ContinuousSweep, AllAlgorithmsMatchBruteForceOnRoutes) {
   graph::GraphView view(&g);
   MemoryKnnStore store(g.num_nodes(), static_cast<uint32_t>(k) + 1);
   ASSERT_TRUE(BuildAllNn(view, points, &store).ok());
+  SearchWorkspace ws;
 
   for (int trial = 0; trial < 3; ++trial) {
     auto route = RandomWalkRoute(
@@ -117,11 +123,11 @@ TEST_P(ContinuousSweep, AllAlgorithmsMatchBruteForceOnRoutes) {
     opts.k = k;
 
     auto truth = BruteForceRknn(view, points, route, opts).ValueOrDie();
-    auto eager = EagerRknn(view, points, route, opts).ValueOrDie();
-    auto lazy = LazyRknn(view, points, route, opts).ValueOrDie();
-    auto lazy_ep = LazyEpRknn(view, points, route, opts).ValueOrDie();
+    auto eager = EagerRknn(view, points, route, opts, ws).ValueOrDie();
+    auto lazy = LazyRknn(view, points, route, opts, ws).ValueOrDie();
+    auto lazy_ep = LazyEpRknn(view, points, route, opts, ws).ValueOrDie();
     auto eager_m =
-        EagerMRknn(view, points, &store, route, opts).ValueOrDie();
+        EagerMRknn(view, points, &store, route, opts, ws).ValueOrDie();
 
     EXPECT_EQ(Ids(eager), Ids(truth)) << "eager route len " << route_len;
     EXPECT_EQ(Ids(lazy), Ids(truth)) << "lazy route len " << route_len;

@@ -1,0 +1,294 @@
+// Randomized differential harness for the whole engine surface.
+//
+// Each seed deterministically generates a world from one of the paper's
+// graph families (grid / BRITE / road, src/gen/), places node points,
+// sites and edge points, and fires QuerySpecs across every
+// kind x algorithm x k x exclusion combination. Every result is checked
+// against the independent brute-force oracle, and the full spec batch is
+// re-executed through the parallel RunBatch path, which must match the
+// serial path bit-for-bit (points, hosting nodes and distances).
+//
+// On failure, the gtest parameter is the seed: replay with
+//   differential_test --gtest_filter='*/DifferentialHarness.*/<seed>'
+//
+// Registered under the `stress` ctest label (tier1 jobs skip it; the
+// dedicated stress job and the TSan job run it).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/brute_force.h"
+#include "core/engine.h"
+#include "gen/brite.h"
+#include "gen/grid.h"
+#include "gen/points.h"
+#include "gen/road_network.h"
+#include "graph/network_view.h"
+#include "test_fixtures.h"
+
+namespace grnn::core {
+namespace {
+
+using testfix::Ids;
+
+// Everything one seed's world serves queries from. Kept on the heap so
+// engine source pointers stay stable.
+struct World {
+  graph::Graph g;
+  std::optional<graph::GraphView> view;
+  NodePointSet points{0};
+  NodePointSet sites{0};
+  EdgePointSet edge_points;
+  MemoryKnnStore knn{0, 1};
+  MemoryKnnStore site_knn{0, 1};
+  MemoryKnnStore edge_knn{0, 1};
+};
+
+constexpr uint32_t kMaxK = 3;
+
+graph::Graph GenerateGraph(uint64_t seed) {
+  switch (seed % 3) {
+    case 0: {
+      gen::GridConfig cfg;
+      cfg.rows = 8;
+      cfg.cols = 8;
+      cfg.avg_degree = 4.5;
+      cfg.unit_weights = (seed % 2 == 0);  // exercise distance ties
+      cfg.seed = seed;
+      return gen::GenerateGrid(cfg).ValueOrDie();
+    }
+    case 1: {
+      gen::BriteConfig cfg;
+      cfg.num_nodes = 70;
+      cfg.unit_weights = true;  // hop counts: ties abound
+      cfg.seed = seed;
+      return gen::GenerateBrite(cfg).ValueOrDie();
+    }
+    default: {
+      gen::RoadConfig cfg;
+      cfg.num_nodes = 80;
+      cfg.seed = seed;
+      return gen::GenerateRoadNetwork(cfg).ValueOrDie().g;
+    }
+  }
+}
+
+std::unique_ptr<World> MakeWorld(uint64_t seed) {
+  auto w = std::make_unique<World>();
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  w->g = GenerateGraph(seed);
+  w->view.emplace(&w->g);
+  const NodeId n = w->g.num_nodes();
+
+  // Disjoint node placements: ~20% of nodes host points, 8 host sites.
+  const size_t num_points = std::max<size_t>(4, n / 5);
+  auto nodes = rng.SampleWithoutReplacement(n, num_points + 8);
+  std::vector<NodeId> p_locs(nodes.begin(),
+                             nodes.begin() + static_cast<long>(num_points));
+  std::vector<NodeId> q_locs(nodes.begin() + static_cast<long>(num_points),
+                             nodes.end());
+  w->points = NodePointSet::FromLocations(n, p_locs).ValueOrDie();
+  w->sites = NodePointSet::FromLocations(n, q_locs).ValueOrDie();
+
+  // Edge points on ~12 distinct random edges.
+  auto edges = w->g.CollectEdges();
+  std::vector<EdgePosition> positions;
+  for (uint64_t ei : rng.SampleWithoutReplacement(
+           edges.size(), std::min<size_t>(12, edges.size()))) {
+    const Edge& e = edges[ei];
+    positions.push_back({e.u, e.v, rng.Uniform(0.0, e.w)});
+  }
+  w->edge_points = EdgePointSet::Create(w->g, positions).ValueOrDie();
+
+  w->knn = MemoryKnnStore(n, kMaxK + 1);
+  EXPECT_TRUE(BuildAllNn(*w->view, w->points, &w->knn).ok());
+  w->site_knn = MemoryKnnStore(n, kMaxK + 1);
+  EXPECT_TRUE(BuildAllNn(*w->view, w->sites, &w->site_knn).ok());
+  w->edge_knn = MemoryKnnStore(n, kMaxK + 1);
+  EXPECT_TRUE(
+      UnrestrictedBuildAllNn(*w->view, w->edge_points, &w->edge_knn).ok());
+  return w;
+}
+
+RknnEngine NodeEngine(World& w) {
+  EngineSources sources;
+  sources.graph = &*w.view;
+  sources.points = &w.points;
+  sources.sites = &w.sites;
+  sources.knn = &w.knn;
+  sources.site_knn = &w.site_knn;
+  return RknnEngine::Create(sources).ValueOrDie();
+}
+
+RknnEngine EdgeEngine(World& w) {
+  EngineSources sources;
+  sources.graph = &*w.view;
+  sources.edge_points = &w.edge_points;
+  sources.knn = &w.edge_knn;
+  return RknnEngine::Create(sources).ValueOrDie();
+}
+
+// One spec of the given kind. `exclude_self` queries from a live data
+// point / site and excludes it (the paper's workload); otherwise the
+// target is an arbitrary location.
+QuerySpec MakeSpec(World& w, QueryKind kind, Algorithm algo, int k,
+                   bool exclude_self, Rng& rng) {
+  switch (kind) {
+    case QueryKind::kMonochromatic: {
+      if (exclude_self) {
+        auto live = w.points.LivePoints();
+        PointId qp = live[rng.UniformInt(live.size())];
+        return QuerySpec::Monochromatic(algo, w.points.NodeOf(qp), k, qp);
+      }
+      return QuerySpec::Monochromatic(
+          algo, static_cast<NodeId>(rng.UniformInt(w.g.num_nodes())), k);
+    }
+    case QueryKind::kBichromatic: {
+      if (exclude_self) {
+        auto live = w.sites.LivePoints();
+        PointId qs = live[rng.UniformInt(live.size())];
+        return QuerySpec::Bichromatic(algo, w.sites.NodeOf(qs), k, qs);
+      }
+      return QuerySpec::Bichromatic(
+          algo, static_cast<NodeId>(rng.UniformInt(w.g.num_nodes())), k);
+    }
+    case QueryKind::kContinuous: {
+      std::vector<NodeId> route;
+      NodeId cur = static_cast<NodeId>(rng.UniformInt(w.g.num_nodes()));
+      route.push_back(cur);
+      for (int hop = 0; hop < 4; ++hop) {
+        auto nbrs = w.g.Neighbors(cur);
+        cur = nbrs[rng.UniformInt(nbrs.size())].node;
+        route.push_back(cur);
+      }
+      // Routes query arbitrary locations; exclusion still exercises the
+      // competitor filter.
+      PointId excl = kInvalidPoint;
+      if (exclude_self) {
+        auto live = w.points.LivePoints();
+        excl = live[rng.UniformInt(live.size())];
+      }
+      return QuerySpec::Continuous(algo, std::move(route), k, excl);
+    }
+    case QueryKind::kUnrestricted:
+      break;
+  }
+  if (exclude_self) {
+    auto live = w.edge_points.LivePoints();
+    PointId qp = live[rng.UniformInt(live.size())];
+    return QuerySpec::Unrestricted(algo, w.edge_points.PositionOf(qp), k,
+                                   qp);
+  }
+  auto edges = w.g.CollectEdges();
+  const Edge& e = edges[rng.UniformInt(edges.size())];
+  return QuerySpec::Unrestricted(
+      algo, EdgePosition{e.u, e.v, rng.Uniform(0.0, e.w)}, k);
+}
+
+// The full combination sweep for the kinds an engine serves:
+// every algorithm x k in [1, kMaxK] x {exclude-self, arbitrary target},
+// `reps` random targets each.
+std::vector<QuerySpec> MakeSpecs(World& w,
+                                 std::vector<QueryKind> kinds,
+                                 int reps, Rng& rng) {
+  std::vector<QuerySpec> specs;
+  for (QueryKind kind : kinds) {
+    for (Algorithm algo : kAllAlgorithms) {
+      for (int k = 1; k <= static_cast<int>(kMaxK); ++k) {
+        for (bool exclude_self : {true, false}) {
+          for (int rep = 0; rep < reps; ++rep) {
+            specs.push_back(
+                MakeSpec(w, kind, algo, k, exclude_self, rng));
+          }
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+void CheckAgainstOracle(RknnEngine& engine,
+                        const std::vector<QuerySpec>& specs,
+                        uint64_t seed) {
+  for (size_t i = 0; i < specs.size(); ++i) {
+    auto result = engine.Run(specs[i]);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    QuerySpec oracle_spec = specs[i];
+    oracle_spec.algorithm = Algorithm::kBruteForce;
+    auto oracle = engine.Run(oracle_spec);
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+    EXPECT_EQ(Ids(*result), Ids(*oracle))
+        << "replay: seed=" << seed << " spec=" << i << " kind="
+        << QueryKindName(specs[i].kind) << " algo="
+        << AlgorithmName(specs[i].algorithm) << " k=" << specs[i].k
+        << " exclude=" << specs[i].exclude_point;
+  }
+}
+
+void CheckParallelMatchesSerial(RknnEngine& engine,
+                                const std::vector<QuerySpec>& specs,
+                                uint64_t seed) {
+  auto serial = engine.RunBatch(specs);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  for (ParallelOptions par : {ParallelOptions{2, 7},
+                              ParallelOptions{4, 3},
+                              ParallelOptions{8, 1}}) {
+    auto parallel = engine.RunBatch(specs, par);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ASSERT_EQ(parallel->results.size(), serial->results.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+      // Bit-for-bit: same points, same hosting nodes, same distances.
+      EXPECT_EQ(parallel->results[i].results, serial->results[i].results)
+          << "replay: seed=" << seed << " spec=" << i << " threads="
+          << par.num_threads << " chunk=" << par.chunk;
+    }
+    // Aggregated counters are order-independent sums: no stat loss.
+    EXPECT_EQ(parallel->stats.queries, serial->stats.queries);
+    EXPECT_EQ(parallel->stats.search.nodes_expanded,
+              serial->stats.search.nodes_expanded);
+    EXPECT_EQ(parallel->stats.search.verify_calls,
+              serial->stats.search.verify_calls);
+    EXPECT_EQ(parallel->stats.search.heap_pushes,
+              serial->stats.search.heap_pushes);
+  }
+}
+
+class DifferentialHarness : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialHarness, EveryCombinationMatchesOracleAndParallel) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  SCOPED_TRACE("replay: differential_test seed=" + std::to_string(seed));
+  auto w = MakeWorld(seed);
+  Rng rng(seed * 31 + 7);
+
+  RknnEngine node_engine = NodeEngine(*w);
+  auto node_specs = MakeSpecs(
+      *w,
+      {QueryKind::kMonochromatic, QueryKind::kBichromatic,
+       QueryKind::kContinuous},
+      /*reps=*/2, rng);
+  CheckAgainstOracle(node_engine, node_specs, seed);
+  CheckParallelMatchesSerial(node_engine, node_specs, seed);
+
+  RknnEngine edge_engine = EdgeEngine(*w);
+  auto edge_specs = MakeSpecs(
+      *w, {QueryKind::kUnrestricted, QueryKind::kContinuous},
+      /*reps=*/2, rng);
+  CheckAgainstOracle(edge_engine, edge_specs, seed);
+  CheckParallelMatchesSerial(edge_engine, edge_specs, seed);
+}
+
+// 6 seeds x (3 + 2) kinds x 4 algorithms x 3 k x 2 exclusion modes x
+// 2 reps = 2880 oracle-checked queries, each additionally replayed
+// through 3 parallel configurations.
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialHarness,
+                         ::testing::Range(1, 7),
+                         ::testing::PrintToStringParamName());
+
+}  // namespace
+}  // namespace grnn::core

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/brute_force.h"
+#include "core/workspace.h"
 #include "graph/dijkstra.h"
 #include "graph/network_view.h"
 #include "test_fixtures.h"
@@ -244,7 +245,9 @@ TEST(EagerMTest, RejectsKBeyondMaterializedK) {
   ASSERT_TRUE(BuildAllNn(view, f.points, &store).ok());
   RknnOptions opts;
   opts.k = 3;
-  auto r = EagerMRknn(view, f.points, &store, std::vector<NodeId>{3}, opts);
+  SearchWorkspace ws;
+  auto r = EagerMRknn(view, f.points, &store, std::vector<NodeId>{3}, opts,
+                      ws);
   EXPECT_FALSE(r.ok());
 }
 
@@ -255,8 +258,9 @@ TEST(EagerMTest, ShortcutAcceptsRecorded) {
   graph::GraphView view(&f.g);
   MemoryKnnStore store(f.g.num_nodes(), 2);
   ASSERT_TRUE(BuildAllNn(view, f.points, &store).ok());
+  SearchWorkspace ws;
   auto r = EagerMRknn(view, f.points, &store, std::vector<NodeId>{3},
-                      RknnOptions{})
+                      RknnOptions{}, ws)
                .ValueOrDie();
   EXPECT_EQ(testfix::Ids(r), (std::vector<PointId>{0, 1}));
   EXPECT_GT(r.stats.shortcut_accepts, 0u);

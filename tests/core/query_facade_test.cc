@@ -2,9 +2,6 @@
 
 #include <gtest/gtest.h>
 
-#include "graph/network_view.h"
-#include "test_fixtures.h"
-
 namespace grnn::core {
 namespace {
 
@@ -51,27 +48,9 @@ TEST(QueryFacadeTest, FigureOrderConstant) {
   EXPECT_EQ(kAllAlgorithms[3], Algorithm::kLazyEp);
 }
 
-TEST(QueryFacadeTest, EagerMWithoutStoreIsRejected) {
-  auto f = testfix::PaperExample();
-  graph::GraphView view(&f.g);
-  auto r = RunRknn(Algorithm::kEagerM, view, f.points,
-                   std::vector<NodeId>{3});
-  EXPECT_FALSE(r.ok());
-  EXPECT_TRUE(r.status().IsInvalidArgument());
-}
-
-TEST(QueryFacadeTest, DispatchesAllAlgorithms) {
-  auto f = testfix::PaperExample();
-  graph::GraphView view(&f.g);
-  MemoryKnnStore store(f.g.num_nodes(), 2);
-  ASSERT_TRUE(BuildAllNn(view, f.points, &store).ok());
-  for (Algorithm a : kAllAlgorithms) {
-    auto r = RunRknn(a, view, f.points, std::vector<NodeId>{3}, {},
-                     &store);
-    ASSERT_TRUE(r.ok()) << AlgorithmName(a);
-    EXPECT_EQ(r->results.size(), 2u) << AlgorithmName(a);
-  }
-}
+// One-shot dispatch now lives on RknnEngine; engine_test.cc covers the
+// kind x algorithm matrix. This suite keeps the enum/name/parser
+// contract.
 
 }  // namespace
 }  // namespace grnn::core

@@ -6,14 +6,17 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <tuple>
 
 #include "core/brute_force.h"
 #include "core/eager.h"
+#include "core/engine.h"
 #include "core/lazy.h"
 #include "core/lazy_ep.h"
 #include "core/materialize.h"
 #include "core/query.h"
+#include "core/workspace.h"
 #include "graph/dijkstra.h"
 #include "graph/network_view.h"
 #include "test_fixtures.h"
@@ -26,20 +29,33 @@ using testfix::PaperExample;
 using testfix::RandomConnectedGraph;
 using testfix::RandomPoints;
 
+// Dispatches through a throwaway engine session: the engine is the only
+// one-shot entry point since the PR 1 shims were removed.
 Result<RknnResult> RunAlgo(Algorithm algo, const graph::NetworkView& view,
                            const NodePointSet& points,
                            std::vector<NodeId> query,
                            const RknnOptions& opts) {
+  std::optional<MemoryKnnStore> store;
+  EngineSources sources;
+  sources.graph = &view;
+  sources.points = &points;
   if (algo == Algorithm::kEagerM) {
-    MemoryKnnStore store(view.num_nodes(),
-                         static_cast<uint32_t>(opts.k) + 2);
-    auto st = BuildAllNn(view, points, &store);
+    store.emplace(view.num_nodes(), static_cast<uint32_t>(opts.k) + 2);
+    auto st = BuildAllNn(view, points, &*store);
     if (!st.ok()) {
       return st;
     }
-    return EagerMRknn(view, points, &store, query, opts);
+    sources.knn = &*store;
   }
-  return RunRknn(algo, view, points, query, opts);
+  GRNN_ASSIGN_OR_RETURN(RknnEngine engine, RknnEngine::Create(sources));
+  QuerySpec spec;
+  spec.kind = query.size() == 1 ? QueryKind::kMonochromatic
+                                : QueryKind::kContinuous;
+  spec.algorithm = algo;
+  spec.k = opts.k;
+  spec.exclude_point = opts.exclude_point;
+  spec.query_nodes = std::move(query);
+  return engine.Run(spec);
 }
 
 class AllAlgorithmsTest : public ::testing::TestWithParam<Algorithm> {};
@@ -81,18 +97,9 @@ TEST_P(AllAlgorithmsTest, EmptyPointSetYieldsNoResults) {
   auto f = PaperExample();
   NodePointSet empty(f.g.num_nodes());
   graph::GraphView view(&f.g);
-  if (GetParam() == Algorithm::kEagerM) {
-    MemoryKnnStore store(view.num_nodes(), 2);
-    ASSERT_TRUE(BuildAllNn(view, empty, &store).ok());
-    auto r = EagerMRknn(view, empty, &store, std::vector<NodeId>{3},
-                        RknnOptions{})
-                 .ValueOrDie();
-    EXPECT_TRUE(r.results.empty());
-  } else {
-    auto r = RunAlgo(GetParam(), view, empty, {3}, RknnOptions{})
-                 .ValueOrDie();
-    EXPECT_TRUE(r.results.empty());
-  }
+  auto r = RunAlgo(GetParam(), view, empty, {3}, RknnOptions{})
+               .ValueOrDie();
+  EXPECT_TRUE(r.results.empty());
 }
 
 TEST_P(AllAlgorithmsTest, SinglePointIsAlwaysRnn) {
@@ -179,6 +186,7 @@ TEST_P(DifferentialSweep, AllAlgorithmsMatchBruteForce) {
 
   MemoryKnnStore store(g.num_nodes(), static_cast<uint32_t>(k) + 1);
   ASSERT_TRUE(BuildAllNn(view, points, &store).ok());
+  SearchWorkspace ws;
 
   // Several queries per instance: from data points (with self-exclusion,
   // as the paper's workloads do) and from random empty nodes.
@@ -198,11 +206,11 @@ TEST_P(DifferentialSweep, AllAlgorithmsMatchBruteForce) {
     std::vector<NodeId> query{qnode};
 
     auto truth = BruteForceRknn(view, points, query, opts).ValueOrDie();
-    auto eager = EagerRknn(view, points, query, opts).ValueOrDie();
-    auto lazy = LazyRknn(view, points, query, opts).ValueOrDie();
-    auto lazy_ep = LazyEpRknn(view, points, query, opts).ValueOrDie();
+    auto eager = EagerRknn(view, points, query, opts, ws).ValueOrDie();
+    auto lazy = LazyRknn(view, points, query, opts, ws).ValueOrDie();
+    auto lazy_ep = LazyEpRknn(view, points, query, opts, ws).ValueOrDie();
     auto eager_m =
-        EagerMRknn(view, points, &store, query, opts).ValueOrDie();
+        EagerMRknn(view, points, &store, query, opts, ws).ValueOrDie();
 
     EXPECT_EQ(Ids(eager), Ids(truth))
         << "eager mismatch @ n=" << n << " k=" << k << " seed=" << seed
@@ -247,6 +255,7 @@ INSTANTIATE_TEST_SUITE_P(
 // RkNN monotonicity: results grow with k.
 TEST(RknnPropertyTest, ResultsMonotoneInK) {
   Rng rng(77);
+  SearchWorkspace ws;
   for (int trial = 0; trial < 10; ++trial) {
     auto g = RandomConnectedGraph(60, 1.5, rng);
     auto points = RandomPoints(g.num_nodes(), 10, rng);
@@ -257,7 +266,7 @@ TEST(RknnPropertyTest, ResultsMonotoneInK) {
     std::vector<PointId> prev;
     for (int k = 1; k <= 5; ++k) {
       opts.k = k;
-      auto r = EagerRknn(view, points, std::vector<NodeId>{q}, opts)
+      auto r = EagerRknn(view, points, std::vector<NodeId>{q}, opts, ws)
                    .ValueOrDie();
       auto ids = Ids(r);
       // prev must be a subset of ids.
@@ -277,13 +286,14 @@ TEST(RknnPropertyTest, ReportedDistancesAreShortestPaths) {
   auto g = RandomConnectedGraph(80, 1.0, rng);
   auto points = RandomPoints(g.num_nodes(), 12, rng);
   graph::GraphView view(&g);
+  SearchWorkspace ws;
   for (int trial = 0; trial < 5; ++trial) {
     NodeId q = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
     RknnOptions opts;
     opts.k = 2;
     opts.exclude_point = points.PointAt(q);
     auto dist = graph::SingleSourceDistances(view, q).ValueOrDie();
-    auto r = EagerRknn(view, points, std::vector<NodeId>{q}, opts)
+    auto r = EagerRknn(view, points, std::vector<NodeId>{q}, opts, ws)
                  .ValueOrDie();
     for (const PointMatch& m : r.results) {
       EXPECT_NEAR(m.dist, dist[m.node], 1e-9);
@@ -304,7 +314,7 @@ TEST(RknnPropertyTest, SelfNeverInResult) {
     std::vector<NodeId> query{points.NodeOf(qp)};
     for (Algorithm a : {Algorithm::kEager, Algorithm::kLazy,
                         Algorithm::kLazyEp, Algorithm::kBruteForce}) {
-      auto r = RunRknn(a, view, points, query, opts).ValueOrDie();
+      auto r = RunAlgo(a, view, points, query, opts).ValueOrDie();
       for (const PointMatch& m : r.results) {
         EXPECT_NE(m.point, qp);
       }

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/workspace.h"
 #include "graph/network_view.h"
 #include "test_fixtures.h"
 
@@ -133,7 +134,10 @@ TEST(UnrestrictedAlgorithmsTest, SameEdgeDirectDistance) {
   ASSERT_FALSE(r.results.empty());
   EXPECT_EQ(r.results[0].point, 0u);
   EXPECT_DOUBLE_EQ(r.results[0].dist, 2.0);
-  auto e = UnrestrictedEagerRknn(view, f.points, reader, q).ValueOrDie();
+  SearchWorkspace ws;
+  auto e = UnrestrictedEagerRknn(view, f.points, reader, q, RknnOptions{},
+                                 ws)
+               .ValueOrDie();
   EXPECT_EQ(Ids(e), Ids(r));
 }
 
@@ -143,6 +147,7 @@ TEST(UnrestrictedAlgorithmsTest, AllAlgorithmsAgreeOnFixture) {
   MemoryEdgePointReader reader(&f.points);
   MemoryKnnStore store(f.g.num_nodes(), 3);
   ASSERT_TRUE(UnrestrictedBuildAllNn(view, f.points, &store).ok());
+  SearchWorkspace ws;
 
   for (int k = 1; k <= 3; ++k) {
     for (const Edge& e : f.g.CollectEdges()) {
@@ -153,14 +158,16 @@ TEST(UnrestrictedAlgorithmsTest, AllAlgorithmsAgreeOnFixture) {
       auto truth = UnrestrictedBruteForceRknn(view, f.points, q, opts)
                        .ValueOrDie();
       auto eager =
-          UnrestrictedEagerRknn(view, f.points, reader, q, opts)
+          UnrestrictedEagerRknn(view, f.points, reader, q, opts, ws)
               .ValueOrDie();
-      auto lazy = UnrestrictedLazyRknn(view, f.points, reader, q, opts)
-                      .ValueOrDie();
-      auto lep = UnrestrictedLazyEpRknn(view, f.points, reader, q, opts)
-                     .ValueOrDie();
+      auto lazy =
+          UnrestrictedLazyRknn(view, f.points, reader, q, opts, ws)
+              .ValueOrDie();
+      auto lep =
+          UnrestrictedLazyEpRknn(view, f.points, reader, q, opts, ws)
+              .ValueOrDie();
       auto em = UnrestrictedEagerMRknn(view, f.points, reader, &store, q,
-                                       opts)
+                                       opts, ws)
                     .ValueOrDie();
       EXPECT_EQ(Ids(eager), Ids(truth)) << "k=" << k;
       EXPECT_EQ(Ids(lazy), Ids(truth)) << "k=" << k;
@@ -204,6 +211,7 @@ TEST_P(UnrestrictedSweep, AllAlgorithmsMatchBruteForce) {
 
   MemoryKnnStore store(g.num_nodes(), static_cast<uint32_t>(k) + 1);
   ASSERT_TRUE(UnrestrictedBuildAllNn(view, points, &store).ok());
+  SearchWorkspace ws;
 
   for (int trial = 0; trial < 6; ++trial) {
     RknnOptions opts;
@@ -222,14 +230,14 @@ TEST_P(UnrestrictedSweep, AllAlgorithmsMatchBruteForce) {
 
     auto truth =
         UnrestrictedBruteForceRknn(view, points, q, opts).ValueOrDie();
-    auto eager = UnrestrictedEagerRknn(view, points, reader, q, opts)
+    auto eager = UnrestrictedEagerRknn(view, points, reader, q, opts, ws)
                      .ValueOrDie();
-    auto lazy = UnrestrictedLazyRknn(view, points, reader, q, opts)
+    auto lazy = UnrestrictedLazyRknn(view, points, reader, q, opts, ws)
                     .ValueOrDie();
-    auto lep = UnrestrictedLazyEpRknn(view, points, reader, q, opts)
+    auto lep = UnrestrictedLazyEpRknn(view, points, reader, q, opts, ws)
                    .ValueOrDie();
     auto em =
-        UnrestrictedEagerMRknn(view, points, reader, &store, q, opts)
+        UnrestrictedEagerMRknn(view, points, reader, &store, q, opts, ws)
             .ValueOrDie();
 
     EXPECT_EQ(Ids(eager), Ids(truth)) << "k=" << k << " seed=" << seed
@@ -265,6 +273,7 @@ TEST(UnrestrictedAlgorithmsTest, MultiplePointsPerEdge) {
                     .ValueOrDie();
   graph::GraphView view(&g);
   MemoryEdgePointReader reader(&points);
+  SearchWorkspace ws;
 
   for (int k = 1; k <= 3; ++k) {
     RknnOptions opts;
@@ -273,9 +282,9 @@ TEST(UnrestrictedAlgorithmsTest, MultiplePointsPerEdge) {
     q.position = {0, 1, 6.0};
     auto truth =
         UnrestrictedBruteForceRknn(view, points, q, opts).ValueOrDie();
-    auto eager = UnrestrictedEagerRknn(view, points, reader, q, opts)
+    auto eager = UnrestrictedEagerRknn(view, points, reader, q, opts, ws)
                      .ValueOrDie();
-    auto lazy = UnrestrictedLazyRknn(view, points, reader, q, opts)
+    auto lazy = UnrestrictedLazyRknn(view, points, reader, q, opts, ws)
                     .ValueOrDie();
     EXPECT_EQ(Ids(eager), Ids(truth)) << "k=" << k;
     EXPECT_EQ(Ids(lazy), Ids(truth)) << "k=" << k;
@@ -295,6 +304,7 @@ TEST(UnrestrictedAlgorithmsTest, RouteQueries) {
   auto points = EdgePointSet::Create(g, pos).ValueOrDie();
   graph::GraphView view(&g);
   MemoryEdgePointReader reader(&points);
+  SearchWorkspace ws;
 
   for (int trial = 0; trial < 6; ++trial) {
     RknnOptions opts;
@@ -313,11 +323,11 @@ TEST(UnrestrictedAlgorithmsTest, RouteQueries) {
     }
     auto truth =
         UnrestrictedBruteForceRknn(view, points, q, opts).ValueOrDie();
-    auto eager = UnrestrictedEagerRknn(view, points, reader, q, opts)
+    auto eager = UnrestrictedEagerRknn(view, points, reader, q, opts, ws)
                      .ValueOrDie();
-    auto lazy = UnrestrictedLazyRknn(view, points, reader, q, opts)
+    auto lazy = UnrestrictedLazyRknn(view, points, reader, q, opts, ws)
                     .ValueOrDie();
-    auto lep = UnrestrictedLazyEpRknn(view, points, reader, q, opts)
+    auto lep = UnrestrictedLazyEpRknn(view, points, reader, q, opts, ws)
                    .ValueOrDie();
     EXPECT_EQ(Ids(eager), Ids(truth)) << "trial " << trial;
     EXPECT_EQ(Ids(lazy), Ids(truth)) << "trial " << trial;
@@ -378,22 +388,26 @@ TEST(UnrestrictedAlgorithmsTest, InvalidQueries) {
   auto f = MakeFixture();
   graph::GraphView view(&f.g);
   MemoryEdgePointReader reader(&f.points);
+  SearchWorkspace ws;
   UnrestrictedQuery bad_k;
   bad_k.position = {0, 1, 1.0};
   RknnOptions zero_k;
   zero_k.k = 0;
-  EXPECT_FALSE(
-      UnrestrictedEagerRknn(view, f.points, reader, bad_k, zero_k).ok());
+  EXPECT_FALSE(UnrestrictedEagerRknn(view, f.points, reader, bad_k,
+                                     zero_k, ws)
+                   .ok());
 
   UnrestrictedQuery no_edge;
   no_edge.position = {0, 5, 1.0};  // edge does not exist
-  EXPECT_FALSE(
-      UnrestrictedEagerRknn(view, f.points, reader, no_edge).ok());
+  EXPECT_FALSE(UnrestrictedEagerRknn(view, f.points, reader, no_edge,
+                                     RknnOptions{}, ws)
+                   .ok());
 
   UnrestrictedQuery empty_route;
   empty_route.is_position = false;
-  EXPECT_FALSE(
-      UnrestrictedLazyRknn(view, f.points, reader, empty_route).ok());
+  EXPECT_FALSE(UnrestrictedLazyRknn(view, f.points, reader, empty_route,
+                                    RknnOptions{}, ws)
+                   .ok());
 }
 
 }  // namespace

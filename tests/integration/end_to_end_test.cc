@@ -6,10 +6,7 @@
 
 #include "bench_util.h"
 #include "core/brute_force.h"
-#include "core/eager.h"
-#include "core/lazy.h"
-#include "core/lazy_ep.h"
-#include "core/query.h"
+#include "core/engine.h"
 #include "gen/brite.h"
 #include "gen/points.h"
 #include "gen/road_network.h"
@@ -41,6 +38,14 @@ TEST(EndToEndTest, StoredAndInMemoryAgreeOnRoadNetwork) {
   core::MemoryKnnStore mem_store(net.g.num_nodes(), 3);
   ASSERT_TRUE(core::BuildAllNn(mem_view, points, &mem_store).ok());
 
+  core::EngineSources mem_src;
+  mem_src.graph = &mem_view;
+  mem_src.points = &points;
+  mem_src.knn = &mem_store;
+  auto mem_engine = core::RknnEngine::Create(mem_src).ValueOrDie();
+  auto stored_engine =
+      bench::MakeRestrictedEngine(env, points).ValueOrDie();
+
   for (PointId qp : queries) {
     core::RknnOptions opts;
     opts.k = 2;
@@ -48,23 +53,13 @@ TEST(EndToEndTest, StoredAndInMemoryAgreeOnRoadNetwork) {
     std::vector<NodeId> q{points.NodeOf(qp)};
     auto truth = core::BruteForceRknn(mem_view, points, q, opts)
                      .ValueOrDie();
-    for (auto algo :
-         {core::Algorithm::kEager, core::Algorithm::kLazy,
-          core::Algorithm::kLazyEp}) {
-      auto mem = core::RunRknn(algo, mem_view, points, q, opts)
-                     .ValueOrDie();
-      auto stored =
-          core::RunRknn(algo, *env.view, points, q, opts).ValueOrDie();
+    for (auto algo : core::kAllAlgorithms) {
+      auto spec = core::QuerySpec::Monochromatic(algo, q[0], opts.k, qp);
+      auto mem = mem_engine.Run(spec).ValueOrDie();
+      auto stored = stored_engine.Run(spec).ValueOrDie();
       EXPECT_EQ(Ids(mem), Ids(truth));
       EXPECT_EQ(Ids(stored), Ids(truth));
     }
-    auto em_mem = core::EagerMRknn(mem_view, points, &mem_store, q, opts)
-                      .ValueOrDie();
-    auto em_stored = core::EagerMRknn(*env.view, points,
-                                      env.knn_store.get(), q, opts)
-                         .ValueOrDie();
-    EXPECT_EQ(Ids(em_mem), Ids(truth));
-    EXPECT_EQ(Ids(em_stored), Ids(truth));
   }
   // Disk-backed runs must have charged I/O.
   EXPECT_GT(env.pool->stats().logical_reads, 0u);
@@ -82,7 +77,13 @@ TEST(EndToEndTest, StoredUnrestrictedAgreesWithMemory) {
   auto env =
       bench::BuildStoredUnrestricted(net.g, points, /*K=*/2).ValueOrDie();
   graph::GraphView mem_view(&net.g);
-  core::MemoryEdgePointReader mem_reader(&points);
+
+  core::EngineSources mem_src;
+  mem_src.graph = &mem_view;
+  mem_src.edge_points = &points;  // memory reader is the engine default
+  auto mem_engine = core::RknnEngine::Create(mem_src).ValueOrDie();
+  auto stored_engine =
+      bench::MakeUnrestrictedEngine(env, points).ValueOrDie();
 
   for (PointId qp : queries) {
     core::UnrestrictedQuery q;
@@ -92,15 +93,13 @@ TEST(EndToEndTest, StoredUnrestrictedAgreesWithMemory) {
     auto truth =
         core::UnrestrictedBruteForceRknn(mem_view, points, q, opts)
             .ValueOrDie();
-    auto mem = core::UnrestrictedEagerRknn(mem_view, points, mem_reader,
-                                           q, opts)
-                   .ValueOrDie();
-    auto stored = core::UnrestrictedEagerRknn(*env.view, points,
-                                              *env.reader, q, opts)
-                      .ValueOrDie();
-    auto stored_lazy = core::UnrestrictedLazyRknn(*env.view, points,
-                                                  *env.reader, q, opts)
-                           .ValueOrDie();
+    auto eager_spec = core::QuerySpec::Unrestricted(
+        core::Algorithm::kEager, q.position, opts.k, qp);
+    auto lazy_spec = core::QuerySpec::Unrestricted(
+        core::Algorithm::kLazy, q.position, opts.k, qp);
+    auto mem = mem_engine.Run(eager_spec).ValueOrDie();
+    auto stored = stored_engine.Run(eager_spec).ValueOrDie();
+    auto stored_lazy = stored_engine.Run(lazy_spec).ValueOrDie();
     EXPECT_EQ(Ids(mem), Ids(truth));
     EXPECT_EQ(Ids(stored), Ids(truth));
     EXPECT_EQ(Ids(stored_lazy), Ids(truth));
@@ -122,6 +121,8 @@ TEST(EndToEndTest, TinyPoolStillAnswersCorrectly) {
                                           /*pool_pages=*/2)
                  .ValueOrDie();
   graph::GraphView mem_view(&g);
+  auto stored_engine =
+      bench::MakeRestrictedEngine(env, points).ValueOrDie();
   auto qp = gen::SampleQueryPoints(points, 4, rng);
   for (PointId p : qp) {
     core::RknnOptions opts;
@@ -129,8 +130,10 @@ TEST(EndToEndTest, TinyPoolStillAnswersCorrectly) {
     std::vector<NodeId> q{points.NodeOf(p)};
     auto truth =
         core::BruteForceRknn(mem_view, points, q, opts).ValueOrDie();
-    auto stored =
-        core::EagerRknn(*env.view, points, q, opts).ValueOrDie();
+    auto stored = stored_engine
+                      .Run(core::QuerySpec::Monochromatic(
+                          core::Algorithm::kEager, q[0], opts.k, p))
+                      .ValueOrDie();
     EXPECT_EQ(Ids(stored), Ids(truth));
   }
   EXPECT_GT(env.pool->stats().evictions, 0u);
@@ -148,6 +151,8 @@ TEST(EndToEndTest, ZeroCapacityPoolWorks) {
                                           /*pool_pages=*/0)
                  .ValueOrDie();
   graph::GraphView mem_view(&net.g);
+  auto stored_engine =
+      bench::MakeRestrictedEngine(env, points).ValueOrDie();
   auto qp = gen::SampleQueryPoints(points, 3, rng);
   for (PointId p : qp) {
     core::RknnOptions opts;
@@ -155,8 +160,10 @@ TEST(EndToEndTest, ZeroCapacityPoolWorks) {
     std::vector<NodeId> q{points.NodeOf(p)};
     auto truth =
         core::BruteForceRknn(mem_view, points, q, opts).ValueOrDie();
-    auto stored =
-        core::LazyRknn(*env.view, points, q, opts).ValueOrDie();
+    auto stored = stored_engine
+                      .Run(core::QuerySpec::Monochromatic(
+                          core::Algorithm::kLazy, q[0], opts.k, p))
+                      .ValueOrDie();
     EXPECT_EQ(Ids(stored), Ids(truth));
   }
   // Every logical read faulted.
@@ -181,6 +188,11 @@ TEST(EndToEndTest, FileBackedDiskManagerEndToEnd) {
   auto points =
       gen::PlaceNodePoints(net.g.num_nodes(), 0.02, rng).ValueOrDie();
   graph::GraphView mem_view(&net.g);
+  core::EngineSources stored_src;
+  stored_src.graph = &view;
+  stored_src.points = &points;
+  stored_src.pool = &pool;
+  auto stored_engine = core::RknnEngine::Create(stored_src).ValueOrDie();
   auto qp = gen::SampleQueryPoints(points, 3, rng);
   for (PointId p : qp) {
     core::RknnOptions opts;
@@ -188,7 +200,10 @@ TEST(EndToEndTest, FileBackedDiskManagerEndToEnd) {
     std::vector<NodeId> q{points.NodeOf(p)};
     auto truth =
         core::BruteForceRknn(mem_view, points, q, opts).ValueOrDie();
-    auto stored = core::EagerRknn(view, points, q, opts).ValueOrDie();
+    auto stored = stored_engine
+                      .Run(core::QuerySpec::Monochromatic(
+                          core::Algorithm::kEager, q[0], opts.k, p))
+                      .ValueOrDie();
     EXPECT_EQ(Ids(stored), Ids(truth));
   }
   std::remove(path.c_str());
