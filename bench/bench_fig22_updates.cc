@@ -4,6 +4,12 @@
 //  (b) cost vs K at D = 0.01.
 // Deletions are costlier than insertions (two-step algorithm), cost
 // rises with K, and every operation stays well under a second.
+//
+// Since PR 3 the workload goes through the engine's live update path
+// (core::UpdateSpec + RknnEngine::ApplyUpdate): point-set mutation and
+// incremental KNN maintenance happen atomically under the edge domain's
+// exclusive lock, and the maintenance counters (lists written, nodes
+// touched) are read off EngineStats instead of per-bench side tallies.
 
 #include <cstdio>
 
@@ -19,43 +25,59 @@ namespace {
 struct UpdateCost {
   Measurement insert;
   Measurement remove;
+  core::UpdateStats insert_maint;  // engine-reported maintenance totals
+  core::UpdateStats remove_maint;
 };
 
 // Runs `ops` insertions (random positions, data distribution) and `ops`
-// deletions (random existing points) through the file-backed store.
+// deletions (random existing points) through the engine over the
+// file-backed store.
 Result<UpdateCost> RunUpdates(const graph::Graph& g,
                               core::EdgePointSet points, uint32_t K,
                               size_t ops, uint64_t seed) {
   GRNN_ASSIGN_OR_RETURN(auto env, BuildStoredUnrestricted(g, points, K));
+  GRNN_ASSIGN_OR_RETURN(auto engine,
+                        MakeUnrestrictedUpdatableEngine(env, points, g));
   auto edges = g.CollectEdges();
   Rng rng(seed);
   UpdateCost out;
 
+  core::EngineStats before = engine.lifetime_stats();
   GRNN_ASSIGN_OR_RETURN(
       out.insert,
       RunWorkload(env.pool.get(), ops, [&](size_t) -> Result<size_t> {
         const Edge& e = edges[rng.UniformInt(edges.size())];
         GRNN_ASSIGN_OR_RETURN(
-            PointId id,
-            points.AddPoint(g, {e.u, e.v, rng.Uniform(0.0, e.w)}));
-        GRNN_RETURN_NOT_OK(core::UnrestrictedMaterializedInsert(
-            *env.view, points, id, env.knn_store.get()));
-        return size_t{1};
+            auto applied,
+            engine.ApplyUpdate(core::UpdateSpec::InsertEdgePoint(
+                {e.u, e.v, rng.Uniform(0.0, e.w)})));
+        return size_t{applied.stats.lists_written};
       }));
+  core::EngineStats after = engine.lifetime_stats();
+  out.insert_maint = after.update - before.update;
 
+  before = after;
   GRNN_ASSIGN_OR_RETURN(
       out.remove,
       RunWorkload(env.pool.get(), ops, [&](size_t) -> Result<size_t> {
         auto live = points.LivePoints();
         PointId victim = live[rng.UniformInt(live.size())];
-        core::EdgePosition pos = points.PositionOf(victim);
-        Weight w = points.EdgeWeightOfPoint(victim);
-        GRNN_RETURN_NOT_OK(points.RemovePoint(victim));
-        GRNN_RETURN_NOT_OK(core::UnrestrictedMaterializedDelete(
-            *env.view, points, victim, pos, w, env.knn_store.get()));
-        return size_t{1};
+        GRNN_ASSIGN_OR_RETURN(
+            auto applied,
+            engine.ApplyUpdate(core::UpdateSpec::DeleteEdgePoint(victim)));
+        return size_t{applied.stats.lists_written};
       }));
+  after = engine.lifetime_stats();
+  out.remove_maint = after.update - before.update;
   return out;
+}
+
+std::string MaintCell(const core::UpdateStats& m, size_t ops) {
+  return StrPrintf("%.0f/%.0f",
+                   static_cast<double>(m.lists_written) /
+                       static_cast<double>(ops),
+                   static_cast<double>(m.nodes_touched) /
+                       static_cast<double>(ops));
 }
 
 }  // namespace
@@ -71,11 +93,14 @@ int main(int argc, char** argv) {
   PrintBanner(
       StrPrintf("Fig 22 -- materialization update cost (SF-like, |V|=%u)",
                 net.g.num_nodes()),
-      args, StrPrintf("%zu insertions + %zu deletions per row", ops, ops));
+      args,
+      StrPrintf("%zu insertions + %zu deletions per row, engine update "
+                "path (wr/rd = lists written / lists read per op)",
+                ops, ops));
 
   std::printf("\n(a) cost vs density D (K = 1)\n");
-  Table ta({"D", "insert tot(s)", "insert io/cpu", "delete tot(s)",
-            "delete io/cpu"});
+  Table ta({"D", "insert tot(s)", "insert io/cpu", "insert wr/rd",
+            "delete tot(s)", "delete io/cpu", "delete wr/rd"});
   for (double density : {0.0025, 0.005, 0.01, 0.02, 0.04}) {
     Rng rng(args.seed * 47 + static_cast<uint64_t>(density * 1e5));
     auto points =
@@ -87,15 +112,17 @@ int main(int argc, char** argv) {
                Table::Num(cost.insert.AvgTotalS(), 3),
                StrPrintf("%.0f/%.1f", cost.insert.AvgFaults(),
                          cost.insert.AvgCpuMs()),
+               MaintCell(cost.insert_maint, ops),
                Table::Num(cost.remove.AvgTotalS(), 3),
                StrPrintf("%.0f/%.1f", cost.remove.AvgFaults(),
-                         cost.remove.AvgCpuMs())});
+                         cost.remove.AvgCpuMs()),
+               MaintCell(cost.remove_maint, ops)});
   }
   ta.Print();
 
   std::printf("\n(b) cost vs K (D = 0.01)\n");
-  Table tb({"K", "insert tot(s)", "insert io/cpu", "delete tot(s)",
-            "delete io/cpu"});
+  Table tb({"K", "insert tot(s)", "insert io/cpu", "insert wr/rd",
+            "delete tot(s)", "delete io/cpu", "delete wr/rd"});
   for (uint32_t K : {1u, 2u, 4u, 8u}) {
     Rng rng(args.seed * 59 + K);
     auto points = gen::PlaceEdgePoints(net.g, 0.01, rng).ValueOrDie();
@@ -106,9 +133,11 @@ int main(int argc, char** argv) {
                Table::Num(cost.insert.AvgTotalS(), 3),
                StrPrintf("%.0f/%.1f", cost.insert.AvgFaults(),
                          cost.insert.AvgCpuMs()),
+               MaintCell(cost.insert_maint, ops),
                Table::Num(cost.remove.AvgTotalS(), 3),
                StrPrintf("%.0f/%.1f", cost.remove.AvgFaults(),
-                         cost.remove.AvgCpuMs())});
+                         cost.remove.AvgCpuMs()),
+               MaintCell(cost.remove_maint, ops)});
   }
   tb.Print();
 

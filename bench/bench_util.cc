@@ -91,8 +91,10 @@ const char* BenchArgs::scale_name() const {
 }
 
 void StoredRestricted::ResetPool(size_t pages,
-                                 storage::ReplacementPolicy policy) {
-  pool = std::make_unique<storage::BufferPool>(disk.get(), pages, policy);
+                                 storage::ReplacementPolicy policy,
+                                 size_t pool_shards) {
+  pool = std::make_unique<storage::BufferPool>(disk.get(), pages, policy,
+                                               pool_shards);
   view = std::make_unique<storage::StoredGraph>(file.get(), pool.get());
   if (knn_file != nullptr) {
     knn_store =
@@ -102,7 +104,7 @@ void StoredRestricted::ResetPool(size_t pages,
 
 Result<StoredRestricted> BuildStoredRestricted(
     const graph::Graph& g, const core::NodePointSet& points, uint32_t K,
-    size_t pool_pages) {
+    size_t pool_pages, size_t pool_shards) {
   StoredRestricted env;
   env.disk = std::make_unique<storage::MemoryDiskManager>();
   GRNN_ASSIGN_OR_RETURN(auto file,
@@ -129,13 +131,16 @@ Result<StoredRestricted> BuildStoredRestricted(
         core::BuildAllNn(build_view, points, &build_store));
     GRNN_RETURN_NOT_OK(build_pool.FlushAll());
   }
-  env.ResetPool(pool_pages);
+  env.ResetPool(pool_pages, storage::ReplacementPolicy::kLru,
+                pool_shards);
   return env;
 }
 
 void StoredUnrestricted::ResetPool(size_t pages,
-                                   storage::ReplacementPolicy policy) {
-  pool = std::make_unique<storage::BufferPool>(disk.get(), pages, policy);
+                                   storage::ReplacementPolicy policy,
+                                   size_t pool_shards) {
+  pool = std::make_unique<storage::BufferPool>(disk.get(), pages, policy,
+                                               pool_shards);
   view = std::make_unique<storage::StoredGraph>(file.get(), pool.get());
   reader = std::make_unique<core::StoredEdgePointReader>(point_file.get(),
                                                          pool.get());
@@ -147,7 +152,7 @@ void StoredUnrestricted::ResetPool(size_t pages,
 
 Result<StoredUnrestricted> BuildStoredUnrestricted(
     const graph::Graph& g, const core::EdgePointSet& points, uint32_t K,
-    size_t pool_pages) {
+    size_t pool_pages, size_t pool_shards) {
   StoredUnrestricted env;
   env.disk = std::make_unique<storage::MemoryDiskManager>();
   GRNN_ASSIGN_OR_RETURN(auto file,
@@ -177,7 +182,8 @@ Result<StoredUnrestricted> BuildStoredUnrestricted(
         core::UnrestrictedBuildAllNn(build_view, points, &build_store));
     GRNN_RETURN_NOT_OK(build_pool.FlushAll());
   }
-  env.ResetPool(pool_pages);
+  env.ResetPool(pool_pages, storage::ReplacementPolicy::kLru,
+                pool_shards);
   return env;
 }
 
@@ -218,6 +224,33 @@ Result<core::RknnEngine> MakeUnrestrictedEngine(
   sources.edge_reader = env.reader.get();
   sources.knn = env.knn_store.get();
   sources.pool = env.pool.get();
+  return core::RknnEngine::Create(sources);
+}
+
+Result<core::RknnEngine> MakeRestrictedUpdatableEngine(
+    const StoredRestricted& env, core::NodePointSet& points) {
+  core::EngineSources sources;
+  sources.graph = env.view.get();
+  sources.points = &points;
+  sources.knn = env.knn_store.get();
+  sources.pool = env.pool.get();
+  sources.updates.points = &points;
+  sources.updates.knn = env.knn_store.get();
+  return core::RknnEngine::Create(sources);
+}
+
+Result<core::RknnEngine> MakeUnrestrictedUpdatableEngine(
+    const StoredUnrestricted& env, core::EdgePointSet& points,
+    const graph::Graph& g) {
+  core::EngineSources sources;
+  sources.graph = env.view.get();
+  sources.edge_points = &points;
+  // No stored reader: the engine's in-memory reader tracks live updates.
+  sources.knn = env.knn_store.get();
+  sources.pool = env.pool.get();
+  sources.updates.edge_points = &points;
+  sources.updates.knn = env.knn_store.get();
+  sources.updates.base_graph = &g;
   return core::RknnEngine::Create(sources);
 }
 

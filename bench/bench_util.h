@@ -86,16 +86,20 @@ struct StoredRestricted {
   std::unique_ptr<core::FileKnnStore> knn_store;
 
   /// Replaces the buffer pool (e.g. for the Fig 21 buffer sweep) and
-  /// re-binds the views.
-  void ResetPool(size_t pages, storage::ReplacementPolicy policy =
-                                   storage::ReplacementPolicy::kLru);
+  /// re-binds the views. `pool_shards` = 1 keeps the paper's global
+  /// LRU order; concurrent serving benches/tests pass
+  /// storage::kDefaultConcurrentShards.
+  void ResetPool(size_t pages,
+                 storage::ReplacementPolicy policy =
+                     storage::ReplacementPolicy::kLru,
+                 size_t pool_shards = 1);
 };
 
 /// Builds the paged environment; if K > 0, also materializes per-node
 /// K-NN lists (construction through a separate uncounted pool).
 Result<StoredRestricted> BuildStoredRestricted(
     const graph::Graph& g, const core::NodePointSet& points, uint32_t K,
-    size_t pool_pages = kDefaultPoolPages);
+    size_t pool_pages = kDefaultPoolPages, size_t pool_shards = 1);
 
 /// \brief Disk-resident unrestricted network: paged graph + edge-point
 /// file + optional KNN file behind one pool.
@@ -109,13 +113,15 @@ struct StoredUnrestricted {
   std::unique_ptr<core::StoredEdgePointReader> reader;
   std::unique_ptr<core::FileKnnStore> knn_store;
 
-  void ResetPool(size_t pages, storage::ReplacementPolicy policy =
-                                   storage::ReplacementPolicy::kLru);
+  void ResetPool(size_t pages,
+                 storage::ReplacementPolicy policy =
+                     storage::ReplacementPolicy::kLru,
+                 size_t pool_shards = 1);
 };
 
 Result<StoredUnrestricted> BuildStoredUnrestricted(
     const graph::Graph& g, const core::EdgePointSet& points, uint32_t K,
-    size_t pool_pages = kDefaultPoolPages);
+    size_t pool_pages = kDefaultPoolPages, size_t pool_shards = 1);
 
 /// \brief One measured workload: CPU time + buffer-pool fault delta.
 struct Measurement {
@@ -187,6 +193,21 @@ Result<core::RknnEngine> MakeRestrictedEngine(
 /// Unrestricted counterpart (edge points + stored reader).
 Result<core::RknnEngine> MakeUnrestrictedEngine(
     const StoredUnrestricted& env, const core::EdgePointSet& points);
+
+/// Engine with live-update sinks over a stored restricted environment:
+/// queries and core::UpdateSpec inserts/deletes (maintaining
+/// env.knn_store incrementally) may run concurrently. `points` must be
+/// the set the environment's KNN file was materialized from.
+Result<core::RknnEngine> MakeRestrictedUpdatableEngine(
+    const StoredRestricted& env, core::NodePointSet& points);
+
+/// Updatable unrestricted engine (the Fig 22 maintenance workload). The
+/// engine reads edge points through its in-memory reader — a stored
+/// PointFile reader would not see inserted points — while KNN
+/// maintenance still flows through env.knn_store and the counted pool.
+Result<core::RknnEngine> MakeUnrestrictedUpdatableEngine(
+    const StoredUnrestricted& env, core::EdgePointSet& points,
+    const graph::Graph& g);
 
 /// Table headers for FourWay rows: `first` columns, then one total-cost
 /// column and one io/cpu breakdown column per paper algorithm, labelled

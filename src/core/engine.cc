@@ -4,6 +4,7 @@
 #include <atomic>
 #include <deque>
 #include <mutex>
+#include <shared_mutex>
 #include <utility>
 
 #include "common/string_util.h"
@@ -15,8 +16,28 @@
 
 namespace grnn::core {
 
+namespace {
+
+/// The engine's concurrency domains: each point population and its
+/// materialized store form one reader-writer unit. Queries take shared
+/// locks on the domains their kind reads (in this fixed index order, so
+/// multi-domain readers cannot deadlock); an update takes the exclusive
+/// lock of the single domain it rewrites.
+enum Domain {
+  kDomainPoints = 0,  // points + knn (node engines)
+  kDomainSites = 1,   // sites + site_knn
+  kDomainEdge = 2,    // edge_points + knn (edge engines)
+  kNumDomains = 3,
+};
+
+}  // namespace
+
 /// Mutable serving state shared by every thread using the engine.
 struct RknnEngine::State {
+  /// Reader-writer locks of the three concurrency domains. Declared
+  /// first: conceptually they guard the *sources*, everything below
+  /// guards engine-internal bookkeeping.
+  std::shared_mutex domain_mu[kNumDomains];
   /// Guards the idle-workspace pool. The pool is FIFO: successive
   /// acquisitions rotate through every pooled workspace, so repeated
   /// batches warm all of them toward the workload's high-water mark
@@ -44,6 +65,80 @@ const char* QueryKindName(QueryKind kind) {
       return "unrestricted";
   }
   return "unknown";
+}
+
+const char* UpdateSetName(UpdateSet set) {
+  switch (set) {
+    case UpdateSet::kPoints:
+      return "points";
+    case UpdateSet::kSites:
+      return "sites";
+    case UpdateSet::kEdgePoints:
+      return "edge_points";
+  }
+  return "unknown";
+}
+
+UpdateSpec UpdateSpec::InsertPoint(NodeId node) {
+  UpdateSpec spec;
+  spec.op = Op::kInsert;
+  spec.set = UpdateSet::kPoints;
+  spec.node = node;
+  return spec;
+}
+
+UpdateSpec UpdateSpec::InsertSite(NodeId node) {
+  UpdateSpec spec;
+  spec.op = Op::kInsert;
+  spec.set = UpdateSet::kSites;
+  spec.node = node;
+  return spec;
+}
+
+UpdateSpec UpdateSpec::InsertEdgePoint(EdgePosition position) {
+  UpdateSpec spec;
+  spec.op = Op::kInsert;
+  spec.set = UpdateSet::kEdgePoints;
+  spec.position = position;
+  return spec;
+}
+
+UpdateSpec UpdateSpec::DeletePoint(PointId point) {
+  UpdateSpec spec;
+  spec.op = Op::kDelete;
+  spec.set = UpdateSet::kPoints;
+  spec.point = point;
+  return spec;
+}
+
+UpdateSpec UpdateSpec::DeleteSite(PointId point) {
+  UpdateSpec spec;
+  spec.op = Op::kDelete;
+  spec.set = UpdateSet::kSites;
+  spec.point = point;
+  return spec;
+}
+
+UpdateSpec UpdateSpec::DeleteEdgePoint(PointId point) {
+  UpdateSpec spec;
+  spec.op = Op::kDelete;
+  spec.set = UpdateSet::kEdgePoints;
+  spec.point = point;
+  return spec;
+}
+
+RknnEngine::MixedOp RknnEngine::MixedOp::Query(QuerySpec spec) {
+  MixedOp op;
+  op.is_update = false;
+  op.query = std::move(spec);
+  return op;
+}
+
+RknnEngine::MixedOp RknnEngine::MixedOp::Update(UpdateSpec spec) {
+  MixedOp op;
+  op.is_update = true;
+  op.update = spec;
+  return op;
 }
 
 QuerySpec QuerySpec::Monochromatic(Algorithm a, NodeId node, int k,
@@ -140,6 +235,75 @@ Result<RknnEngine> RknnEngine::Create(const EngineSources& sources) {
   if (sources.edge_reader != nullptr && sources.edge_points == nullptr) {
     return Status::InvalidArgument(
         "an edge reader without edge points is meaningless");
+  }
+  // Update sinks must alias the read-only sources: queries and updates
+  // have to observe the same objects for the domain locks to mean
+  // anything.
+  const UpdateSinks& up = sources.updates;
+  if (up.points != nullptr && up.points != sources.points) {
+    return Status::InvalidArgument(
+        "updates.points must alias sources.points");
+  }
+  if (up.sites != nullptr && up.sites != sources.sites) {
+    return Status::InvalidArgument(
+        "updates.sites must alias sources.sites");
+  }
+  if (up.edge_points != nullptr &&
+      up.edge_points != sources.edge_points) {
+    return Status::InvalidArgument(
+        "updates.edge_points must alias sources.edge_points");
+  }
+  if (up.knn != nullptr && up.knn != sources.knn) {
+    return Status::InvalidArgument("updates.knn must alias sources.knn");
+  }
+  if (up.site_knn != nullptr && up.site_knn != sources.site_knn) {
+    return Status::InvalidArgument(
+        "updates.site_knn must alias sources.site_knn");
+  }
+  // A maintained `knn` is rewritten under the updating population's
+  // domain lock, so every reader of `knn` must live in that same
+  // domain: an engine serving BOTH node and edge points cannot have an
+  // updatable knn (monochromatic eager-M reads it under the points
+  // lock, unrestricted eager-M under the edge lock — split the engine).
+  if (up.knn != nullptr && sources.points != nullptr &&
+      sources.edge_points != nullptr) {
+    return Status::InvalidArgument(
+        "updates.knn is unsafe when the engine serves both node and "
+        "edge points (its readers span two lock domains); split the "
+        "engine");
+  }
+  // Conversely, an updatable population whose store the engine serves
+  // queries from MUST maintain that store — otherwise every update
+  // silently leaves eager-M reading stale lists. (On a dual-population
+  // engine this combines with the check above to reject updatable
+  // points outright when a store is present: split the engine.)
+  if (up.points != nullptr && sources.knn != nullptr &&
+      up.knn == nullptr) {
+    return Status::InvalidArgument(
+        "updates.points without updates.knn would leave the engine's "
+        "materialized store stale");
+  }
+  if (up.edge_points != nullptr && sources.knn != nullptr &&
+      up.knn == nullptr) {
+    return Status::InvalidArgument(
+        "updates.edge_points without updates.knn would leave the "
+        "engine's materialized store stale");
+  }
+  if (up.sites != nullptr && sources.site_knn != nullptr &&
+      up.site_knn == nullptr) {
+    return Status::InvalidArgument(
+        "updates.sites without updates.site_knn would leave the "
+        "engine's site store stale");
+  }
+  if (up.edge_points != nullptr && up.base_graph == nullptr) {
+    return Status::InvalidArgument(
+        "edge-point updates need updates.base_graph to validate "
+        "positions");
+  }
+  if (up.edge_points != nullptr && sources.edge_reader != nullptr) {
+    return Status::InvalidArgument(
+        "edge-point updates require the engine's in-memory edge reader; "
+        "a stored PointFile reader would not see inserted points");
   }
   return RknnEngine(sources);
 }
@@ -269,6 +433,36 @@ Result<RknnResult> RknnEngine::Dispatch(const QuerySpec& spec,
   if (spec.k <= 0) {
     return Status::InvalidArgument("k must be positive");
   }
+  // Shared access on every domain this kind reads, acquired in domain
+  // index order (multi-domain readers use the same order, updates take a
+  // single lock: no deadlock cycle is possible). Readers of one domain
+  // proceed concurrently with each other and with updates of the others.
+  std::shared_lock<std::shared_mutex> points_lock;
+  std::shared_lock<std::shared_mutex> sites_lock;
+  std::shared_lock<std::shared_mutex> edge_lock;
+  switch (spec.kind) {
+    case QueryKind::kMonochromatic:
+      points_lock =
+          std::shared_lock(state_->domain_mu[kDomainPoints]);
+      break;
+    case QueryKind::kBichromatic:
+      points_lock =
+          std::shared_lock(state_->domain_mu[kDomainPoints]);
+      sites_lock = std::shared_lock(state_->domain_mu[kDomainSites]);
+      break;
+    case QueryKind::kContinuous:
+      // Routes dispatch on the engine's sources (see RunContinuous).
+      if (src_.points != nullptr) {
+        points_lock =
+            std::shared_lock(state_->domain_mu[kDomainPoints]);
+      } else {
+        edge_lock = std::shared_lock(state_->domain_mu[kDomainEdge]);
+      }
+      break;
+    case QueryKind::kUnrestricted:
+      edge_lock = std::shared_lock(state_->domain_mu[kDomainEdge]);
+      break;
+  }
   switch (spec.kind) {
     case QueryKind::kMonochromatic:
       return RunMonochromatic(spec, ws);
@@ -307,6 +501,183 @@ Result<RknnResult> RknnEngine::Run(const QuerySpec& spec) {
   }
   state_->lifetime.workspace_grows += grew ? 1 : 0;
   return result;
+}
+
+Result<RknnEngine::UpdateResult> RknnEngine::ApplyNodeUpdate(
+    const UpdateSpec& spec, NodePointSet& set, KnnStore* store) {
+  UpdateResult out;
+  if (spec.op == UpdateSpec::Op::kInsert) {
+    GRNN_ASSIGN_OR_RETURN(out.point, set.AddPoint(spec.node));
+    if (store != nullptr) {
+      Status maintained = MaterializedInsert(*src_.graph, set, spec.node,
+                                             store, &out.stats);
+      if (!maintained.ok()) {
+        // Pre-write failures (validation) are fully undone here; a
+        // mid-maintenance I/O failure leaves the store partially
+        // written — see the ApplyUpdate failure-atomicity contract.
+        (void)set.RemovePoint(out.point);
+        return maintained;
+      }
+    }
+    return out;
+  }
+  const NodeId host = set.NodeOf(spec.point);
+  if (host == kInvalidNode) {
+    return Status::NotFound(StrPrintf(
+        "point %u is not live in the %s set", spec.point,
+        UpdateSetName(spec.set)));
+  }
+  GRNN_RETURN_NOT_OK(set.RemovePoint(spec.point));
+  if (store != nullptr) {
+    GRNN_RETURN_NOT_OK(MaterializedDelete(*src_.graph, set, spec.point,
+                                          host, store, &out.stats));
+  }
+  out.point = spec.point;
+  return out;
+}
+
+Result<RknnEngine::UpdateResult> RknnEngine::ApplyEdgeUpdate(
+    const UpdateSpec& spec) {
+  EdgePointSet& set = *src_.updates.edge_points;
+  // knn (when present) is the edge-point store: Create rejects an
+  // updatable knn on an engine that also serves node points.
+  KnnStore* store = src_.updates.knn;
+  UpdateResult out;
+  if (spec.op == UpdateSpec::Op::kInsert) {
+    GRNN_ASSIGN_OR_RETURN(
+        out.point, set.AddPoint(*src_.updates.base_graph, spec.position));
+    if (store != nullptr) {
+      Status maintained = UnrestrictedMaterializedInsert(
+          *src_.graph, set, out.point, store, &out.stats);
+      if (!maintained.ok()) {
+        (void)set.RemovePoint(out.point);
+        return maintained;
+      }
+    }
+    return out;
+  }
+  if (!set.IsLive(spec.point)) {
+    return Status::NotFound(StrPrintf(
+        "point %u is not live in the edge point set", spec.point));
+  }
+  const EdgePosition old_pos = set.PositionOf(spec.point);
+  const Weight old_weight = set.EdgeWeightOfPoint(spec.point);
+  GRNN_RETURN_NOT_OK(set.RemovePoint(spec.point));
+  if (store != nullptr) {
+    GRNN_RETURN_NOT_OK(UnrestrictedMaterializedDelete(
+        *src_.graph, set, spec.point, old_pos, old_weight, store,
+        &out.stats));
+  }
+  out.point = spec.point;
+  return out;
+}
+
+Result<RknnEngine::UpdateResult> RknnEngine::DispatchUpdate(
+    const UpdateSpec& spec) {
+  switch (spec.set) {
+    case UpdateSet::kPoints: {
+      if (src_.updates.points == nullptr) {
+        return Status::FailedPrecondition(
+            "engine has no mutable node point set "
+            "(EngineSources::updates.points)");
+      }
+      std::unique_lock<std::shared_mutex> lock(
+          state_->domain_mu[kDomainPoints]);
+      return ApplyNodeUpdate(spec, *src_.updates.points,
+                             src_.updates.knn);
+    }
+    case UpdateSet::kSites: {
+      if (src_.updates.sites == nullptr) {
+        return Status::FailedPrecondition(
+            "engine has no mutable site set "
+            "(EngineSources::updates.sites)");
+      }
+      std::unique_lock<std::shared_mutex> lock(
+          state_->domain_mu[kDomainSites]);
+      return ApplyNodeUpdate(spec, *src_.updates.sites,
+                             src_.updates.site_knn);
+    }
+    case UpdateSet::kEdgePoints: {
+      if (src_.updates.edge_points == nullptr) {
+        return Status::FailedPrecondition(
+            "engine has no mutable edge point set "
+            "(EngineSources::updates.edge_points)");
+      }
+      std::unique_lock<std::shared_mutex> lock(
+          state_->domain_mu[kDomainEdge]);
+      return ApplyEdgeUpdate(spec);
+    }
+  }
+  return Status::InvalidArgument("unknown update set");
+}
+
+Result<RknnEngine::UpdateResult> RknnEngine::ApplyUpdate(
+    const UpdateSpec& spec) {
+  const storage::IoStats io_before =
+      src_.pool != nullptr ? src_.pool->stats() : storage::IoStats{};
+  Result<UpdateResult> result = DispatchUpdate(spec);
+  if (!result.ok()) {
+    return result;
+  }
+  std::lock_guard<std::mutex> lock(state_->stats_mu);
+  state_->lifetime.updates++;
+  state_->lifetime.update += result->stats;
+  if (src_.pool != nullptr) {
+    // Pool-wide delta: approximate under concurrent callers, as for Run.
+    state_->lifetime.io += src_.pool->stats() - io_before;
+  }
+  return result;
+}
+
+Result<RknnEngine::MixedBatchResult> RknnEngine::RunMixedBatch(
+    std::span<const MixedOp> ops) {
+  std::unique_ptr<SearchWorkspace> ws = AcquireWorkspace();
+  MixedBatchResult batch;
+  batch.results.reserve(ops.size());
+  const storage::IoStats io_before =
+      src_.pool != nullptr ? src_.pool->stats() : storage::IoStats{};
+  // Committed ops are flushed into the lifetime counters even when a
+  // later op aborts the batch: the updates persisted, so the zero-
+  // stat-loss invariant demands they be counted.
+  auto flush_lifetime = [&] {
+    if (src_.pool != nullptr) {
+      batch.stats.io = src_.pool->stats() - io_before;
+    }
+    std::lock_guard<std::mutex> lock(state_->stats_mu);
+    state_->lifetime += batch.stats;
+  };
+  for (const MixedOp& op : ops) {
+    MixedOpResult out;
+    if (op.is_update) {
+      Result<UpdateResult> r = DispatchUpdate(op.update);
+      if (!r.ok()) {
+        ReleaseWorkspace(std::move(ws));
+        flush_lifetime();
+        return r.status();
+      }
+      batch.stats.updates++;
+      batch.stats.update += r->stats;
+      out.update = std::move(*r);
+    } else {
+      const size_t footprint = ws->CapacityFootprint();
+      Result<RknnResult> r = Dispatch(op.query, *ws);
+      if (!r.ok()) {
+        ReleaseWorkspace(std::move(ws));
+        flush_lifetime();
+        return r.status();
+      }
+      batch.stats.queries++;
+      batch.stats.search += r->stats;
+      if (ws->CapacityFootprint() > footprint) {
+        batch.stats.workspace_grows++;
+      }
+      out.query = std::move(*r);
+    }
+    batch.results.push_back(std::move(out));
+  }
+  ReleaseWorkspace(std::move(ws));
+  flush_lifetime();
+  return batch;
 }
 
 Result<RknnEngine::BatchResult> RknnEngine::RunBatch(

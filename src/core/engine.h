@@ -14,26 +14,34 @@
 // given ParallelOptions (see DESIGN.md, "The engine" and "Concurrency
 // model").
 //
-// Concurrency contract (audited in PR 2):
-//   * One engine may serve Run / RunBatch calls from many threads
-//     concurrently. Mutable per-query state lives in pooled
-//     SearchWorkspaces (one per in-flight query / worker); lifetime
-//     counters are mutex-guarded.
-//   * Everything in EngineSources is shared read-only during queries:
-//     NetworkView::GetNeighbors, the point sets, KnnStore::Read and
-//     EdgePointReader::Read must be safe for concurrent callers. The
-//     in-memory implementations are pure reads; the disk-backed ones
-//     (StoredGraph, FileKnnStore, StoredEdgePointReader) serialize on
-//     the BufferPool's internal mutex.
-//   * Updating sources (point insert/delete, materialization
-//     maintenance) while queries run is NOT supported — quiesce the
-//     engine first.
-//   * Moving an engine while queries are in flight is undefined.
+// Concurrency contract (PR 2 audit, extended by the PR 3 live-update
+// path; full protocol in DESIGN.md, "Concurrency model"):
+//   * One engine may serve Run / RunBatch / ApplyUpdate / RunMixedBatch
+//     calls from many threads concurrently. Mutable per-query state
+//     lives in pooled SearchWorkspaces (one per in-flight query /
+//     worker); lifetime counters are mutex-guarded.
+//   * Queries and updates synchronize on per-domain reader-writer locks
+//     (domains: node points + their KNN store, sites + site store, edge
+//     points + their store). A query takes shared access on the domains
+//     its kind reads; an update takes exclusive access on the single
+//     domain it rewrites. Queries therefore never block on domains an
+//     update does not touch, and every query observes either the
+//     pre-update or the post-update world — never a torn one.
+//   * Everything else in EngineSources is shared read-only:
+//     NetworkView::GetNeighbors and EdgePointReader::Read must be safe
+//     for concurrent callers. The in-memory implementations are pure
+//     reads; the disk-backed ones (StoredGraph, FileKnnStore,
+//     StoredEdgePointReader) serialize on their BufferPool shard.
+//   * Updating a point set or KNN store BEHIND the engine's back (not
+//     through ApplyUpdate / RunMixedBatch) while queries run remains
+//     unsupported — quiesce first.
+//   * Moving an engine while calls are in flight is undefined.
 
 #ifndef GRNN_CORE_ENGINE_H_
 #define GRNN_CORE_ENGINE_H_
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -99,6 +107,64 @@ struct QuerySpec {
                                 PointId exclude = kInvalidPoint);
 };
 
+/// Which point population an update targets. Each set is its own
+/// concurrency domain: updates lock only their set (and its KNN store),
+/// queries lock the sets their kind reads.
+enum class UpdateSet {
+  kPoints,      // data points P on nodes (mono/continuous)
+  kSites,       // sites Q (bichromatic)
+  kEdgePoints,  // edge-resident data points (unrestricted)
+};
+
+const char* UpdateSetName(UpdateSet set);
+
+/// \brief One live update, fully described: insert or delete of a data
+/// point in one of the engine's point populations. Applying it through
+/// RknnEngine::ApplyUpdate mutates the point set AND incrementally
+/// maintains the matching materialized KNN store (Figs 9-11) under the
+/// domain's exclusive lock, so concurrent queries see either the whole
+/// update or none of it.
+struct UpdateSpec {
+  enum class Op { kInsert, kDelete };
+
+  Op op = Op::kInsert;
+  UpdateSet set = UpdateSet::kPoints;
+  /// Insert target for node populations (must not already host a point
+  /// of that population).
+  NodeId node = kInvalidNode;
+  /// Insert target for kEdgePoints.
+  EdgePosition position;
+  /// Delete target (a live point id of the population).
+  PointId point = kInvalidPoint;
+
+  static UpdateSpec InsertPoint(NodeId node);
+  static UpdateSpec InsertSite(NodeId node);
+  static UpdateSpec InsertEdgePoint(EdgePosition position);
+  static UpdateSpec DeletePoint(PointId point);
+  static UpdateSpec DeleteSite(PointId point);
+  static UpdateSpec DeleteEdgePoint(PointId point);
+};
+
+/// \brief Mutable access used by the engine's update path. Every pointer
+/// that is set must alias the matching read-only pointer in
+/// EngineSources (the engine validates this at Create): updates go to
+/// the same objects queries read, just through the write interface.
+/// Leaving a pointer null disables updates for that population.
+struct UpdateSinks {
+  NodePointSet* points = nullptr;
+  NodePointSet* sites = nullptr;
+  EdgePointSet* edge_points = nullptr;
+  /// Maintained on kPoints updates (node engines) or kEdgePoints updates
+  /// (edge engines); must alias EngineSources::knn.
+  KnnStore* knn = nullptr;
+  /// Maintained on kSites updates; must alias EngineSources::site_knn.
+  KnnStore* site_knn = nullptr;
+  /// Edge-point inserts validate positions against the base graph
+  /// (edge existence, pos within the edge weight); required when
+  /// edge_points is set.
+  const graph::Graph* base_graph = nullptr;
+};
+
 /// \brief Everything an engine serves queries from. The graph is
 /// mandatory; each point source unlocks the query kinds that need it.
 /// All pointees must outlive the engine.
@@ -114,6 +180,9 @@ struct EngineSources {
   const KnnStore* site_knn = nullptr;  // eager-M over sites (bichromatic)
   /// When set, RunBatch reports the I/O charged to this pool per batch.
   storage::BufferPool* pool = nullptr;
+  /// Mutable aliases of the sources above; unlocks ApplyUpdate /
+  /// RunMixedBatch for the populations that are set.
+  UpdateSinks updates;
 };
 
 /// \brief Execution knobs for RunBatch.
@@ -144,12 +213,19 @@ struct EngineStats {
   /// After a warm-up query on a given graph this stays flat: batched
   /// execution performs no per-query workspace allocation.
   uint64_t workspace_grows = 0;
+  /// Updates applied (ApplyUpdate / RunMixedBatch update ops).
+  uint64_t updates = 0;
+  /// Maintenance-cost totals over those updates (Fig 22's metric), so
+  /// benches read update cost off the engine instead of side tallies.
+  UpdateStats update;
 
   EngineStats& operator+=(const EngineStats& o) {
     queries += o.queries;
     search += o.search;
     io += o.io;
     workspace_grows += o.workspace_grows;
+    updates += o.updates;
+    update += o.update;
     return *this;
   }
 };
@@ -190,6 +266,73 @@ class RknnEngine {
   /// first failing query aborts the batch.
   Result<BatchResult> RunBatch(std::span<const QuerySpec> specs);
 
+  /// \brief Outcome of one applied update.
+  struct UpdateResult {
+    /// The point the update created (insert: its freshly assigned id) or
+    /// removed (delete: the id from the spec).
+    PointId point = kInvalidPoint;
+    /// Maintenance cost of this operation (zeroed when the engine has no
+    /// store to maintain for the domain).
+    UpdateStats stats;
+  };
+
+  /// Applies one insert/delete, incrementally maintaining the domain's
+  /// materialized KNN store, under the domain's exclusive lock. Safe
+  /// concurrent with queries and with updates of other domains.
+  /// Requires the matching UpdateSinks pointers.
+  ///
+  /// Failure atomicity: validation errors (bad spec, unknown point,
+  /// occupied node) are raised before anything mutates and leave the
+  /// domain untouched; a failed insert additionally rolls the point
+  /// back out of the set. A maintenance I/O error is NOT undone — for
+  /// deletes the point is already out of the set and its list entries
+  /// may survive, for inserts mid-maintenance the store may hold a
+  /// partial write — so treat any maintenance error as the domain
+  /// being corrupt: quiesce and rebuild with BuildAllNn. (The buffer
+  /// pool absorbs transient pin contention internally, so maintenance
+  /// errors mean real I/O trouble, not concurrency noise.)
+  Result<UpdateResult> ApplyUpdate(const UpdateSpec& spec);
+
+  /// \brief One operation of a mixed read/write batch.
+  struct MixedOp {
+    bool is_update = false;
+    QuerySpec query;    // valid when !is_update
+    UpdateSpec update;  // valid when is_update
+
+    static MixedOp Query(QuerySpec spec);
+    static MixedOp Update(UpdateSpec spec);
+  };
+
+  /// Result of one mixed op: exactly one member is engaged, matching the
+  /// op's type.
+  struct MixedOpResult {
+    std::optional<RknnResult> query;
+    std::optional<UpdateResult> update;
+  };
+
+  struct MixedBatchResult {
+    /// Per-op results, in op order.
+    std::vector<MixedOpResult> results;
+    /// Aggregated over the batch (queries + updates + io delta).
+    EngineStats stats;
+  };
+
+  /// Runs a mixed stream of queries and updates in op order on the
+  /// calling thread. Determinism contract: given the same starting world
+  /// and ops, the results are identical — each query observes exactly
+  /// the updates that precede it in the batch (plus whatever concurrent
+  /// callers commit, each one atomically). Queries reuse one pooled
+  /// workspace; each op takes its own domain locks, so a long mixed
+  /// batch never starves concurrent readers for more than one update.
+  ///
+  /// The first failing op aborts the batch and returns only its error:
+  /// updates committed by EARLIER ops persist, and their UpdateResults
+  /// (including engine-assigned insert ids) are discarded with the
+  /// batch. Callers mixing fallible queries with inserts they may need
+  /// to reference afterwards should validate specs up front or issue
+  /// the inserts through ApplyUpdate.
+  Result<MixedBatchResult> RunMixedBatch(std::span<const MixedOp> ops);
+
   /// Answers a batch with `parallel.num_threads` pooled workers, one
   /// leased workspace per worker. Results and error behaviour match the
   /// serial form: results are ordered by spec index, and a failure
@@ -223,6 +366,10 @@ class RknnEngine {
   void ReleaseWorkspace(std::unique_ptr<SearchWorkspace> ws);
 
   Result<RknnResult> Dispatch(const QuerySpec& spec, SearchWorkspace& ws);
+  Result<UpdateResult> DispatchUpdate(const UpdateSpec& spec);
+  Result<UpdateResult> ApplyNodeUpdate(const UpdateSpec& spec,
+                                       NodePointSet& set, KnnStore* store);
+  Result<UpdateResult> ApplyEdgeUpdate(const UpdateSpec& spec);
   Result<RknnResult> RunMonochromatic(const QuerySpec& spec,
                                       SearchWorkspace& ws);
   Result<RknnResult> RunBichromatic(const QuerySpec& spec,

@@ -89,11 +89,29 @@ class FileKnnStore final : public KnnStore {
 };
 
 /// Counters for all-NN construction and incremental maintenance.
+/// Aggregated per operation and — through RknnEngine::ApplyUpdate — as
+/// lifetime totals in EngineStats, so benches (Fig 22, mixed R/W) read
+/// maintenance cost off the engine instead of keeping side tallies.
 struct UpdateStats {
   uint64_t nodes_touched = 0;   // list reads during the operation
   uint64_t lists_written = 0;   // list writes (changed lists)
   uint64_t heap_pushes = 0;
   uint64_t border_nodes = 0;    // deletion only (Fig 11)
+
+  UpdateStats& operator+=(const UpdateStats& o) {
+    nodes_touched += o.nodes_touched;
+    lists_written += o.lists_written;
+    heap_pushes += o.heap_pushes;
+    border_nodes += o.border_nodes;
+    return *this;
+  }
+  /// Delta between two lifetime snapshots (rhs taken earlier).
+  UpdateStats operator-(const UpdateStats& o) const {
+    return UpdateStats{nodes_touched - o.nodes_touched,
+                       lists_written - o.lists_written,
+                       heap_pushes - o.heap_pushes,
+                       border_nodes - o.border_nodes};
+  }
 };
 
 /// A data point's entry into the node network: for points on nodes the

@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
 #include <cstring>
+#include <thread>
 
 #include "common/string_util.h"
 
@@ -8,6 +9,7 @@ namespace grnn::storage {
 
 PageGuard::PageGuard(PageGuard&& other) noexcept
     : pool_(other.pool_),
+      shard_(other.shard_),
       frame_(other.frame_),
       page_id_(other.page_id_),
       data_(other.data_),
@@ -22,6 +24,7 @@ PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
   if (this != &other) {
     Release();
     pool_ = other.pool_;
+    shard_ = other.shard_;
     frame_ = other.frame_;
     page_id_ = other.page_id_;
     data_ = other.data_;
@@ -39,7 +42,7 @@ PageGuard::~PageGuard() { Release(); }
 uint8_t* PageGuard::mutable_data() {
   GRNN_CHECK(valid());
   if (frame_ != SIZE_MAX) {
-    pool_->MarkDirty(frame_);
+    pool_->MarkDirty(shard_, frame_);
   } else {
     dirty_passthrough_ = true;
   }
@@ -49,7 +52,7 @@ uint8_t* PageGuard::mutable_data() {
 void PageGuard::Release() {
   if (pool_ != nullptr && data_ != nullptr) {
     if (frame_ != SIZE_MAX) {
-      pool_->Unpin(frame_, /*dirty=*/false);
+      pool_->Unpin(shard_, frame_, /*dirty=*/false);
     } else if (dirty_passthrough_) {
       // Unbuffered write-through.
       pool_->CountPassthroughWrite(page_id_, data_);
@@ -62,67 +65,106 @@ void PageGuard::Release() {
 }
 
 BufferPool::BufferPool(DiskManager* disk, size_t capacity_pages,
-                       ReplacementPolicy policy)
+                       ReplacementPolicy policy, size_t num_shards)
     : disk_(disk), capacity_(capacity_pages), policy_(policy) {
   GRNN_CHECK(disk != nullptr);
-  frames_.resize(capacity_);
+  // An unbuffered pool only needs one shard (stat counting); a buffered
+  // pool never carries more shards than frames so every shard can cache.
+  size_t shards = num_shards < 1 ? 1 : num_shards;
+  if (capacity_ == 0) {
+    shards = 1;
+  } else if (shards > capacity_) {
+    shards = capacity_;
+  }
+  shards_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    // Split the frame budget evenly; the first (capacity % shards) shards
+    // absorb the remainder.
+    shard->frames.resize(capacity_ / shards +
+                         (s < capacity_ % shards ? 1 : 0));
+    shards_.push_back(std::move(shard));
+  }
 }
 
 BufferPool::~BufferPool() { (void)FlushAll(); }
 
 Result<PageGuard> BufferPool::Acquire(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.logical_reads++;
+  Shard& shard = *shards_[ShardOf(id)];
+  // Sharding makes all-frames-pinned a TRANSIENT per-shard condition:
+  // concurrent callers briefly pinning distinct pages of one small
+  // shard must not surface as errors the way genuine pool exhaustion
+  // (long-held pins over every frame) does. Bounded retry absorbs the
+  // transient case; the error survives for the genuine one.
+  constexpr int kPinRetries = 256;
+  for (int attempt = 0;; ++attempt) {
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (attempt == 0) {
+        shard.stats.logical_reads++;
+      }
 
-  if (capacity_ == 0) {
-    // Unbuffered mode: every access faults into a private buffer.
-    stats_.physical_reads++;
-    auto buf = std::make_unique<uint8_t[]>(disk_->page_size());
-    GRNN_RETURN_NOT_OK(disk_->ReadPage(id, buf.get()));
-    uint8_t* raw = buf.get();
-    return PageGuard(this, SIZE_MAX, id, raw, std::move(buf));
-  }
+      if (capacity_ == 0) {
+        // Unbuffered mode: every access faults into a private buffer.
+        shard.stats.physical_reads++;
+        auto buf = std::make_unique<uint8_t[]>(disk_->page_size());
+        GRNN_RETURN_NOT_OK(disk_->ReadPage(id, buf.get()));
+        uint8_t* raw = buf.get();
+        return PageGuard(this, 0, SIZE_MAX, id, raw, std::move(buf));
+      }
 
-  auto it = page_table_.find(id);
-  if (it != page_table_.end()) {
-    Frame& f = frames_[it->second];
-    f.pins++;
-    if (policy_ == ReplacementPolicy::kLru) {
-      f.tick = ++tick_;
+      auto it = shard.page_table.find(id);
+      if (it != shard.page_table.end()) {
+        Frame& f = shard.frames[it->second];
+        f.pins++;
+        if (policy_ == ReplacementPolicy::kLru) {
+          f.tick = ++shard.tick;
+        }
+        return PageGuard(this, ShardOf(id), it->second, id, f.data.get(),
+                         nullptr);
+      }
+
+      Result<size_t> victim_or = FindVictim(shard);
+      if (victim_or.ok()) {
+        Frame& f = shard.frames[*victim_or];
+        if (f.page != kInvalidPage) {
+          if (f.dirty) {
+            shard.stats.physical_writes++;
+            GRNN_RETURN_NOT_OK(disk_->WritePage(f.page, f.data.get()));
+          }
+          shard.stats.evictions++;
+          shard.page_table.erase(f.page);
+        }
+        if (f.data == nullptr) {
+          f.data = std::make_unique<uint8_t[]>(disk_->page_size());
+        }
+        shard.stats.physical_reads++;
+        GRNN_RETURN_NOT_OK(disk_->ReadPage(id, f.data.get()));
+        f.page = id;
+        f.pins = 1;
+        f.dirty = false;
+        f.tick = ++shard.tick;
+        shard.page_table[id] = *victim_or;
+        return PageGuard(this, ShardOf(id), *victim_or, id, f.data.get(),
+                         nullptr);
+      }
+      if (attempt >= kPinRetries) {
+        return victim_or.status();
+      }
     }
-    return PageGuard(this, it->second, id, f.data.get(), nullptr);
+    std::this_thread::yield();
   }
-
-  GRNN_ASSIGN_OR_RETURN(size_t victim, FindVictim());
-  Frame& f = frames_[victim];
-  if (f.page != kInvalidPage) {
-    if (f.dirty) {
-      stats_.physical_writes++;
-      GRNN_RETURN_NOT_OK(disk_->WritePage(f.page, f.data.get()));
-    }
-    stats_.evictions++;
-    page_table_.erase(f.page);
-  }
-  if (f.data == nullptr) {
-    f.data = std::make_unique<uint8_t[]>(disk_->page_size());
-  }
-  stats_.physical_reads++;
-  GRNN_RETURN_NOT_OK(disk_->ReadPage(id, f.data.get()));
-  f.page = id;
-  f.pins = 1;
-  f.dirty = false;
-  f.tick = ++tick_;
-  page_table_[id] = victim;
-  return PageGuard(this, victim, id, f.data.get(), nullptr);
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (Frame& f : frames_) {
-    if (f.page != kInvalidPage && f.dirty) {
-      stats_.physical_writes++;
-      GRNN_RETURN_NOT_OK(disk_->WritePage(f.page, f.data.get()));
-      f.dirty = false;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (Frame& f : shard->frames) {
+      if (f.page != kInvalidPage && f.dirty) {
+        shard->stats.physical_writes++;
+        GRNN_RETURN_NOT_OK(disk_->WritePage(f.page, f.data.get()));
+        f.dirty = false;
+      }
     }
   }
   return Status::OK();
@@ -130,65 +172,82 @@ Status BufferPool::FlushAll() {
 
 Status BufferPool::Invalidate() {
   GRNN_RETURN_NOT_OK(FlushAll());
-  std::lock_guard<std::mutex> lock(mu_);
-  for (Frame& f : frames_) {
-    if (f.page != kInvalidPage && f.pins == 0) {
-      page_table_.erase(f.page);
-      f.page = kInvalidPage;
-      f.dirty = false;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (Frame& f : shard->frames) {
+      if (f.page != kInvalidPage && f.pins == 0) {
+        shard->page_table.erase(f.page);
+        f.page = kInvalidPage;
+        f.dirty = false;
+      }
     }
   }
   return Status::OK();
 }
 
 size_t BufferPool::num_resident() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return page_table_.size();
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->page_table.size();
+  }
+  return n;
 }
 
 size_t BufferPool::num_pinned() const {
-  std::lock_guard<std::mutex> lock(mu_);
   size_t n = 0;
-  for (const Frame& f : frames_) {
-    n += (f.page != kInvalidPage && f.pins > 0);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const Frame& f : shard->frames) {
+      n += (f.page != kInvalidPage && f.pins > 0);
+    }
   }
   return n;
 }
 
 IoStats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  IoStats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out += shard->stats;
+  }
+  return out;
 }
 
 void BufferPool::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_ = IoStats{};
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->stats = IoStats{};
+  }
 }
 
-void BufferPool::Unpin(size_t frame, bool dirty) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Frame& f = frames_[frame];
+void BufferPool::Unpin(size_t shard_idx, size_t frame, bool dirty) {
+  Shard& shard = *shards_[shard_idx];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Frame& f = shard.frames[frame];
   GRNN_DCHECK(f.pins > 0);
   f.pins--;
   f.dirty = f.dirty || dirty;
 }
 
-void BufferPool::MarkDirty(size_t frame) {
-  std::lock_guard<std::mutex> lock(mu_);
-  frames_[frame].dirty = true;
+void BufferPool::MarkDirty(size_t shard_idx, size_t frame) {
+  Shard& shard = *shards_[shard_idx];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.frames[frame].dirty = true;
 }
 
 void BufferPool::CountPassthroughWrite(PageId page, const uint8_t* data) {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.physical_writes++;
+  Shard& shard = *shards_[ShardOf(page)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.stats.physical_writes++;
   (void)disk_->WritePage(page, data);
 }
 
-Result<size_t> BufferPool::FindVictim() {
+Result<size_t> BufferPool::FindVictim(Shard& shard) {
   size_t best = SIZE_MAX;
   uint64_t best_tick = ~0ULL;
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    const Frame& f = frames_[i];
+  for (size_t i = 0; i < shard.frames.size(); ++i) {
+    const Frame& f = shard.frames[i];
     if (f.page == kInvalidPage) {
       return i;  // free frame
     }
@@ -199,7 +258,9 @@ Result<size_t> BufferPool::FindVictim() {
   }
   if (best == SIZE_MAX) {
     return Status::ResourceExhausted(
-        StrPrintf("all %zu buffer frames are pinned", capacity_));
+        StrPrintf("all %zu frames of the page's shard are pinned "
+                  "(%zu shards over %zu frames)",
+                  shard.frames.size(), shards_.size(), capacity_));
   }
   return best;
 }

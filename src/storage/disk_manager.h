@@ -27,8 +27,15 @@ inline constexpr size_t kDefaultPageSize = 4096;
 /// \brief Abstract page-granular storage device.
 ///
 /// Pages are fixed-size and identified by dense PageIds starting at 0.
-/// Implementations are not thread-safe; GRNN queries are single-threaded,
-/// mirroring the paper's setting.
+///
+/// Concurrency contract (required by the sharded BufferPool): ReadPage
+/// and WritePage calls on *distinct* pages must be safe to run
+/// concurrently — MemoryDiskManager touches only the page's own buffer,
+/// FileDiskManager uses positional pread/pwrite. Same-page calls are
+/// serialized by the caller (the buffer pool maps a page to exactly one
+/// shard and holds that shard's mutex across the disk call). AllocatePage
+/// is NOT safe concurrent with any other call; files are fully allocated
+/// during construction, before serving starts.
 class DiskManager {
  public:
   virtual ~DiskManager() = default;

@@ -88,6 +88,11 @@ uint64_t KnnFile::ByteOffsetOf(NodeId n) const {
   return static_cast<uint64_t>(n) * stride_pages_ * page_size_;
 }
 
+PageId KnnFile::FirstPageOf(NodeId n) const {
+  GRNN_CHECK(n < num_nodes_);
+  return first_page_ + static_cast<PageId>(ByteOffsetOf(n) / page_size_);
+}
+
 Status KnnFile::Read(BufferPool* pool, NodeId n,
                      std::vector<NnEntry>* out) const {
   if (n >= num_nodes_) {

@@ -8,6 +8,18 @@
 // when K entries fit in one page; unused entries hold kInvalidPoint.
 // Reads and writes go through the buffer pool so that eager-M's
 // materialization I/O and the Fig 22 update costs are measured.
+//
+// Concurrency (requires a BUFFERED pool, capacity > 0): slots are
+// byte-disjoint, so concurrent Read/Write calls for *different* nodes
+// are safe even when the slots share a page (each call pins the shared
+// frame and touches only its own byte range; the buffer pool serializes
+// the pin bookkeeping). Read and Write of the *same* node race and need
+// external synchronization — the engine's per-domain reader-writer
+// locks (queries shared, updates exclusive) provide it. A zero-capacity
+// pool hands every Acquire a private page copy and writes the WHOLE
+// page back on release, so concurrent same-page writers would clobber
+// each other's slots there: serialize all access to an unbuffered pool
+// externally.
 
 #ifndef GRNN_STORAGE_KNN_FILE_H_
 #define GRNN_STORAGE_KNN_FILE_H_
@@ -47,6 +59,11 @@ class KnnFile {
   NodeId num_nodes() const { return num_nodes_; }
   size_t num_pages() const { return num_pages_; }
   PageId first_page() const { return first_page_; }
+
+  /// First page of node `n`'s slot (the only page unless a list is larger
+  /// than a page). Exposed so concurrency tests and benches can reason
+  /// about which buffer-pool shard a node's list lands on.
+  PageId FirstPageOf(NodeId n) const;
 
   /// Reads the (up to k) stored NNs of `n`, nearest first.
   Status Read(BufferPool* pool, NodeId n, std::vector<NnEntry>* out) const;

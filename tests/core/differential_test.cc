@@ -133,6 +133,33 @@ RknnEngine EdgeEngine(World& w) {
   return RknnEngine::Create(sources).ValueOrDie();
 }
 
+// Same engines with the live-update path unlocked: point-set mutation
+// and incremental KNN maintenance flow through ApplyUpdate.
+RknnEngine UpdatableNodeEngine(World& w) {
+  EngineSources sources;
+  sources.graph = &*w.view;
+  sources.points = &w.points;
+  sources.sites = &w.sites;
+  sources.knn = &w.knn;
+  sources.site_knn = &w.site_knn;
+  sources.updates.points = &w.points;
+  sources.updates.sites = &w.sites;
+  sources.updates.knn = &w.knn;
+  sources.updates.site_knn = &w.site_knn;
+  return RknnEngine::Create(sources).ValueOrDie();
+}
+
+RknnEngine UpdatableEdgeEngine(World& w) {
+  EngineSources sources;
+  sources.graph = &*w.view;
+  sources.edge_points = &w.edge_points;
+  sources.knn = &w.edge_knn;
+  sources.updates.edge_points = &w.edge_points;
+  sources.updates.knn = &w.edge_knn;
+  sources.updates.base_graph = &w.g;
+  return RknnEngine::Create(sources).ValueOrDie();
+}
+
 // One spec of the given kind. `exclude_self` queries from a live data
 // point / site and excludes it (the paper's workload); otherwise the
 // target is an arbitrary location.
@@ -258,6 +285,106 @@ void CheckParallelMatchesSerial(RknnEngine& engine,
   }
 }
 
+// A node free in BOTH node populations (engine updates keep the
+// points/sites placements disjoint, like the seeded worlds).
+NodeId FreeNode(World& w, Rng& rng) {
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    NodeId n = static_cast<NodeId>(rng.UniformInt(w.g.num_nodes()));
+    if (!w.points.Contains(n) && !w.sites.Contains(n)) {
+      return n;
+    }
+  }
+  return kInvalidNode;
+}
+
+// Applies one random engine update per iteration: inserts/deletes over
+// points, sites and edge points, guarded so every population keeps at
+// least three live members (the spec generator samples from them).
+void ApplyRandomBurst(World& w, RknnEngine& node_engine,
+                      RknnEngine& edge_engine, size_t ops, Rng& rng) {
+  auto edges = w.g.CollectEdges();
+  for (size_t i = 0; i < ops; ++i) {
+    switch (rng.UniformInt(6)) {
+      case 0: {  // insert data point
+        NodeId n = FreeNode(w, rng);
+        if (n != kInvalidNode) {
+          ASSERT_TRUE(
+              node_engine.ApplyUpdate(UpdateSpec::InsertPoint(n)).ok());
+        }
+        break;
+      }
+      case 1: {  // delete data point
+        auto live = w.points.LivePoints();
+        if (live.size() > 3) {
+          PointId victim = live[rng.UniformInt(live.size())];
+          ASSERT_TRUE(
+              node_engine.ApplyUpdate(UpdateSpec::DeletePoint(victim))
+                  .ok());
+        }
+        break;
+      }
+      case 2: {  // insert site
+        NodeId n = FreeNode(w, rng);
+        if (n != kInvalidNode) {
+          ASSERT_TRUE(
+              node_engine.ApplyUpdate(UpdateSpec::InsertSite(n)).ok());
+        }
+        break;
+      }
+      case 3: {  // delete site
+        auto live = w.sites.LivePoints();
+        if (live.size() > 3) {
+          PointId victim = live[rng.UniformInt(live.size())];
+          ASSERT_TRUE(
+              node_engine.ApplyUpdate(UpdateSpec::DeleteSite(victim))
+                  .ok());
+        }
+        break;
+      }
+      case 4: {  // insert edge point
+        const Edge& e = edges[rng.UniformInt(edges.size())];
+        ASSERT_TRUE(edge_engine
+                        .ApplyUpdate(UpdateSpec::InsertEdgePoint(
+                            {e.u, e.v, rng.Uniform(0.0, e.w)}))
+                        .ok());
+        break;
+      }
+      default: {  // delete edge point
+        auto live = w.edge_points.LivePoints();
+        if (live.size() > 3) {
+          PointId victim = live[rng.UniformInt(live.size())];
+          ASSERT_TRUE(
+              edge_engine.ApplyUpdate(UpdateSpec::DeleteEdgePoint(victim))
+                  .ok());
+        }
+        break;
+      }
+    }
+  }
+}
+
+// The maintenance oracle: the incrementally maintained store must hold,
+// for every node, the same nearest-neighbor DISTANCE multiset as a
+// from-scratch rebuild over the mutated world. (Point ids can
+// legitimately differ at tied boundary distances — unit-weight worlds
+// tie constantly — but the k nearest distances are unique.)
+void CheckStoreMatchesRebuild(const KnnStore& maintained,
+                              const KnnStore& rebuilt, NodeId num_nodes,
+                              uint64_t seed, const char* label) {
+  std::vector<NnEntry> have, want;
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    ASSERT_TRUE(maintained.Read(n, &have).ok());
+    ASSERT_TRUE(rebuilt.Read(n, &want).ok());
+    ASSERT_EQ(have.size(), want.size())
+        << "replay: seed=" << seed << " store=" << label << " node=" << n;
+    for (size_t i = 0; i < have.size(); ++i) {
+      EXPECT_NEAR(have[i].dist, want[i].dist, 1e-9)
+          << "replay: seed=" << seed << " store=" << label << " node="
+          << n << " slot=" << i;
+    }
+  }
+}
+
 class DifferentialHarness : public ::testing::TestWithParam<int> {};
 
 TEST_P(DifferentialHarness, EveryCombinationMatchesOracleAndParallel) {
@@ -283,9 +410,76 @@ TEST_P(DifferentialHarness, EveryCombinationMatchesOracleAndParallel) {
   CheckParallelMatchesSerial(edge_engine, edge_specs, seed);
 }
 
+// The update-aware oracle: seeded bursts of engine inserts/deletes
+// mutate every population through ApplyUpdate (which incrementally
+// maintains the KNN stores, Figs 9-11), and after each burst
+//   (a) every maintained store must match a from-scratch BuildAllNn
+//       rebuild of the mutated world (distance multisets per node), and
+//   (b) the full kind x algorithm x k matrix must still match the
+//       brute-force oracle, serially and through the parallel batch
+//       path.
+TEST_P(DifferentialHarness, UpdateBurstsKeepStoresAndMatrixExact) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  SCOPED_TRACE("replay: differential_test seed=" + std::to_string(seed) +
+               " (update phase)");
+  auto w = MakeWorld(seed);
+  Rng rng(seed * 131 + 29);
+
+  RknnEngine node_engine = UpdatableNodeEngine(*w);
+  RknnEngine edge_engine = UpdatableEdgeEngine(*w);
+
+  constexpr int kBursts = 3;
+  constexpr size_t kOpsPerBurst = 10;
+  for (int burst = 0; burst < kBursts; ++burst) {
+    SCOPED_TRACE("burst=" + std::to_string(burst));
+    ApplyRandomBurst(*w, node_engine, edge_engine, kOpsPerBurst, rng);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+
+    // (a) maintained stores vs from-scratch rebuilds of the mutated
+    // world.
+    const NodeId n = w->g.num_nodes();
+    MemoryKnnStore fresh_knn(n, kMaxK + 1);
+    ASSERT_TRUE(BuildAllNn(*w->view, w->points, &fresh_knn).ok());
+    CheckStoreMatchesRebuild(w->knn, fresh_knn, n, seed, "points");
+    MemoryKnnStore fresh_site_knn(n, kMaxK + 1);
+    ASSERT_TRUE(BuildAllNn(*w->view, w->sites, &fresh_site_knn).ok());
+    CheckStoreMatchesRebuild(w->site_knn, fresh_site_knn, n, seed,
+                             "sites");
+    MemoryKnnStore fresh_edge_knn(n, kMaxK + 1);
+    ASSERT_TRUE(
+        UnrestrictedBuildAllNn(*w->view, w->edge_points, &fresh_edge_knn)
+            .ok());
+    CheckStoreMatchesRebuild(w->edge_knn, fresh_edge_knn, n, seed,
+                             "edge_points");
+
+    // (b) the full query matrix over the mutated world.
+    auto node_specs = MakeSpecs(
+        *w,
+        {QueryKind::kMonochromatic, QueryKind::kBichromatic,
+         QueryKind::kContinuous},
+        /*reps=*/1, rng);
+    CheckAgainstOracle(node_engine, node_specs, seed);
+    CheckParallelMatchesSerial(node_engine, node_specs, seed);
+    auto edge_specs = MakeSpecs(
+        *w, {QueryKind::kUnrestricted, QueryKind::kContinuous},
+        /*reps=*/1, rng);
+    CheckAgainstOracle(edge_engine, edge_specs, seed);
+    CheckParallelMatchesSerial(edge_engine, edge_specs, seed);
+  }
+
+  // Update accounting survived the bursts: every applied op was counted.
+  EXPECT_GT(node_engine.lifetime_stats().updates +
+                edge_engine.lifetime_stats().updates,
+            0u);
+}
+
 // 6 seeds x (3 + 2) kinds x 4 algorithms x 3 k x 2 exclusion modes x
 // 2 reps = 2880 oracle-checked queries, each additionally replayed
-// through 3 parallel configurations.
+// through 3 parallel configurations — plus, per seed, 3 update bursts
+// each re-verified against rebuilt stores and the reduced (reps=1)
+// matrix.
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialHarness,
                          ::testing::Range(1, 7),
                          ::testing::PrintToStringParamName());
