@@ -1,7 +1,15 @@
 // Micro-benchmarks (google-benchmark) for the hot substrate pieces:
-// IndexedHeap arity, Dijkstra expansion, range-NN, and all-NN build.
+// neighbor-scan (expansion) throughput, IndexedHeap arity, Dijkstra
+// expansion, range-NN, and all-NN build.
+//
+// Accepts the harness-wide --json=PATH flag (translated to google
+// benchmark's own JSON reporter) so CI archives the numbers.
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "common/indexed_heap.h"
 #include "common/rng.h"
@@ -12,6 +20,10 @@
 #include "gen/road_network.h"
 #include "graph/dijkstra.h"
 #include "graph/network_view.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/graph_file.h"
+#include "storage/stored_graph.h"
 
 namespace grnn {
 namespace {
@@ -58,6 +70,64 @@ void BM_HeapErase(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HeapErase)->Arg(1 << 14);
+
+// Raw expansion throughput: full adjacency sweeps in BFS-neighborhood
+// order, the innermost loop of every RkNN algorithm. Items/sec counts
+// directed edges scanned. The GraphView case measures the pure
+// zero-copy CSR path; the StoredGraph cases measure the buffer-pool
+// path under the v1 (decode) and v2 (zero-copy lease) page layouts with
+// the paper's 256-page pool, fully warm.
+void ScanSweep(benchmark::State& state, const graph::Graph& g,
+               const graph::NetworkView& view) {
+  graph::NeighborCursor cursor;
+  for (auto _ : state) {
+    double acc = 0;
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      // Copy the span out before the temporary Result dies.
+      const std::span<const AdjEntry> nbrs =
+          view.Scan(n, cursor).ValueOrDie();
+      for (const AdjEntry& a : nbrs) {
+        acc += a.weight;
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(2 * g.num_edges()));
+}
+
+void BM_NeighborScanGraphView(benchmark::State& state) {
+  gen::RoadConfig cfg;
+  cfg.num_nodes = 20000;
+  auto net = gen::GenerateRoadNetwork(cfg).ValueOrDie();
+  graph::GraphView view(&net.g);
+  ScanSweep(state, net.g, view);
+}
+BENCHMARK(BM_NeighborScanGraphView)->Unit(benchmark::kMillisecond);
+
+void NeighborScanStored(benchmark::State& state,
+                        storage::PageLayout layout) {
+  gen::RoadConfig cfg;
+  cfg.num_nodes = 20000;
+  auto net = gen::GenerateRoadNetwork(cfg).ValueOrDie();
+  storage::MemoryDiskManager disk;
+  storage::GraphFileOptions opts;
+  opts.layout = layout;
+  auto file = storage::GraphFile::Build(net.g, &disk, opts).ValueOrDie();
+  storage::BufferPool pool(&disk, /*capacity_pages=*/256);
+  storage::StoredGraph view(&file, &pool);
+  ScanSweep(state, net.g, view);
+}
+
+void BM_NeighborScanStoredV1(benchmark::State& state) {
+  NeighborScanStored(state, storage::PageLayout::kV1Packed);
+}
+BENCHMARK(BM_NeighborScanStoredV1)->Unit(benchmark::kMillisecond);
+
+void BM_NeighborScanStoredV2(benchmark::State& state) {
+  NeighborScanStored(state, storage::PageLayout::kV2Aligned);
+}
+BENCHMARK(BM_NeighborScanStoredV2)->Unit(benchmark::kMillisecond);
 
 void BM_DijkstraRoad(benchmark::State& state) {
   gen::RoadConfig cfg;
@@ -181,4 +251,29 @@ BENCHMARK(BM_AllNnBuild)->Arg(10000)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace grnn
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN with one addition: the harness-wide --json=PATH flag is
+// translated into google benchmark's JSON output flags.
+int main(int argc, char** argv) {
+  std::vector<std::string> storage;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      storage.push_back(std::string("--benchmark_out=") + (argv[i] + 7));
+      storage.push_back("--benchmark_out_format=json");
+    } else {
+      storage.push_back(argv[i]);
+    }
+  }
+  args.reserve(storage.size());
+  for (std::string& s : storage) {
+    args.push_back(s.data());
+  }
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -138,8 +138,12 @@ int main(int argc, char** argv) {
       gen::PlaceNodePoints(g.num_nodes(), 0.1, rng).ValueOrDie();
   constexpr uint32_t kK = 4;
 
+  // Serving configuration: sharded pin table + the v2 aligned layout
+  // (zero-copy scans), unlike the paper-exact defaults of the figure
+  // benches.
   auto env = BuildStoredRestricted(g, points, kK, kDefaultPoolPages,
-                                   storage::kDefaultConcurrentShards)
+                                   storage::kDefaultConcurrentShards,
+                                   storage::PageLayout::kV2Aligned)
                  .ValueOrDie();
   auto engine = MakeRestrictedUpdatableEngine(env, points).ValueOrDie();
   const size_t ops_per_thread = args.queries * 4;

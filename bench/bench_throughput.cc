@@ -91,6 +91,7 @@ int main(int argc, char** argv) {
 
   Table table({"threads", "batch wall(s)", "queries/sec", "speedup",
                "grows"});
+  JsonReport report("throughput", args);
   double serial_qps = 0;
   for (int threads : sweep) {
     core::ParallelOptions par;
@@ -113,8 +114,21 @@ int main(int argc, char** argv) {
                   Table::Num(qps, 0),
                   StrPrintf("%.2fx", qps / serial_qps),
                   std::to_string(grows)});
+    report.AddConfig(
+        StrPrintf("threads=%d", threads),
+        {{"threads", static_cast<double>(threads)},
+         {"wall_s", best_s},
+         {"qps", qps},
+         {"speedup", qps / serial_qps},
+         {"queries", static_cast<double>(specs.size())},
+         {"page_accesses", 0.0},  // in-memory grid workload
+         {"workspace_grows", static_cast<double>(grows)}});
   }
   table.Print();
+  if (auto st = report.WriteIfRequested(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
 
   std::printf(
       "\nexpected shape: queries/sec scales near-linearly with threads up\n"

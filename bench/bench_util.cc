@@ -67,12 +67,14 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
         std::fprintf(stderr, "--threads= must be >= 1\n");
         std::exit(2);
       }
+    } else if (std::strncmp(a, "--json=", 7) == 0) {
+      args.json_path = a + 7;
     } else if (std::strncmp(a, "--algos=", 8) == 0) {
       args.algos = ParseAlgos(a + 8);
     } else if (std::strcmp(a, "--help") == 0) {
       std::printf(
           "options: --scale=small|medium|full --queries=N --seed=S "
-          "--threads=N --algos=E,EM,L,LP\n");
+          "--threads=N --json=PATH --algos=E,EM,L,LP\n");
     }
   }
   return args;
@@ -104,11 +106,13 @@ void StoredRestricted::ResetPool(size_t pages,
 
 Result<StoredRestricted> BuildStoredRestricted(
     const graph::Graph& g, const core::NodePointSet& points, uint32_t K,
-    size_t pool_pages, size_t pool_shards) {
+    size_t pool_pages, size_t pool_shards, storage::PageLayout layout) {
   StoredRestricted env;
   env.disk = std::make_unique<storage::MemoryDiskManager>();
-  GRNN_ASSIGN_OR_RETURN(auto file,
-                        storage::GraphFile::Build(g, env.disk.get(), {}));
+  storage::GraphFileOptions gf_opts;
+  gf_opts.layout = layout;
+  GRNN_ASSIGN_OR_RETURN(
+      auto file, storage::GraphFile::Build(g, env.disk.get(), gf_opts));
   env.file = std::make_unique<storage::GraphFile>(std::move(file));
   if (K > 0) {
     // Cluster KNN lists like the adjacency pages (BFS order), so local
@@ -152,11 +156,13 @@ void StoredUnrestricted::ResetPool(size_t pages,
 
 Result<StoredUnrestricted> BuildStoredUnrestricted(
     const graph::Graph& g, const core::EdgePointSet& points, uint32_t K,
-    size_t pool_pages, size_t pool_shards) {
+    size_t pool_pages, size_t pool_shards, storage::PageLayout layout) {
   StoredUnrestricted env;
   env.disk = std::make_unique<storage::MemoryDiskManager>();
-  GRNN_ASSIGN_OR_RETURN(auto file,
-                        storage::GraphFile::Build(g, env.disk.get(), {}));
+  storage::GraphFileOptions gf_opts;
+  gf_opts.layout = layout;
+  GRNN_ASSIGN_OR_RETURN(
+      auto file, storage::GraphFile::Build(g, env.disk.get(), gf_opts));
   env.file = std::make_unique<storage::GraphFile>(std::move(file));
   GRNN_ASSIGN_OR_RETURN(
       auto pf,
@@ -365,6 +371,87 @@ void Table::Print() const {
   for (const auto& row : rows_) {
     print_row(row);
   }
+}
+
+JsonReport::JsonReport(std::string bench, const BenchArgs& args)
+    : bench_(std::move(bench)),
+      path_(args.json_path),
+      scale_(args.scale_name()),
+      seed_(args.seed),
+      queries_(args.queries),
+      threads_(args.threads) {}
+
+void JsonReport::AddConfig(std::string name, Metrics metrics) {
+  configs_.emplace_back(std::move(name), std::move(metrics));
+}
+
+JsonReport::Metrics JsonReport::MeasurementMetrics(const Measurement& m) {
+  return {
+      {"queries", static_cast<double>(m.queries)},
+      {"results", static_cast<double>(m.results)},
+      {"cpu_s", m.cpu_s},
+      {"qps_cpu", m.cpu_s > 0
+                      ? static_cast<double>(m.queries) / m.cpu_s
+                      : 0.0},
+      {"page_accesses", static_cast<double>(m.faults)},
+      {"logical_reads", static_cast<double>(m.logical)},
+      {"avg_faults_per_query", m.AvgFaults()},
+      {"avg_total_s_per_query", m.AvgTotalS()},
+  };
+}
+
+namespace {
+
+// Minimal JSON string escaping for config/metric names (the harness only
+// emits names it built itself, but keep the writer safe).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += StrPrintf("\\u%04x", c);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Status JsonReport::WriteIfRequested() const {
+  if (path_.empty()) {
+    return Status::OK();
+  }
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError(
+        StrPrintf("cannot open %s for writing", path_.c_str()));
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"%s\",\n  \"scale\": \"%s\",\n"
+               "  \"seed\": %llu,\n  \"queries\": %zu,\n"
+               "  \"threads\": %d,\n  \"configs\": [",
+               JsonEscape(bench_).c_str(), JsonEscape(scale_).c_str(),
+               static_cast<unsigned long long>(seed_), queries_,
+               threads_);
+  for (size_t i = 0; i < configs_.size(); ++i) {
+    std::fprintf(f, "%s\n    {\"name\": \"%s\"", i == 0 ? "" : ",",
+                 JsonEscape(configs_[i].first).c_str());
+    for (const auto& [key, value] : configs_[i].second) {
+      std::fprintf(f, ", \"%s\": %.17g", JsonEscape(key).c_str(), value);
+    }
+    std::fprintf(f, "}");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  if (std::fclose(f) != 0) {
+    return Status::IOError(StrPrintf("write to %s failed", path_.c_str()));
+  }
+  std::printf("json report written to %s\n", path_.c_str());
+  return Status::OK();
 }
 
 void PrintBanner(const std::string& title, const BenchArgs& args,

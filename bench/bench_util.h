@@ -9,6 +9,12 @@
 //                               (default 1 = serial; used by benches that
 //                               serve through RunBatch, e.g.
 //                               bench_throughput)
+//   --json=PATH                 machine-readable output: per-config
+//                               metrics (qps, page accesses, wall time)
+//                               written as JSON next to the tables, so
+//                               CI can archive a perf trajectory
+//                               (bench_micro forwards the flag to google
+//                               benchmark's own JSON reporter)
 
 #ifndef GRNN_BENCH_BENCH_UTIL_H_
 #define GRNN_BENCH_BENCH_UTIL_H_
@@ -51,6 +57,9 @@ struct BenchArgs {
   /// Worker threads for parallel RunBatch serving (core::ParallelOptions);
   /// 1 keeps the paper's serial execution model.
   int threads = 1;
+  /// When non-empty, benches write their per-config metrics here as JSON
+  /// (see JsonReport).
+  std::string json_path;
   /// Paper algorithms to run, figure order. `--algos=E,LP` (any form
   /// ParseAlgorithm accepts) narrows the sweep.
   std::vector<core::Algorithm> algos{std::begin(core::kAllAlgorithms),
@@ -97,9 +106,15 @@ struct StoredRestricted {
 
 /// Builds the paged environment; if K > 0, also materializes per-node
 /// K-NN lists (construction through a separate uncounted pool).
+/// The layout default here is the PAPER-EXACT v1 packed records (unlike
+/// GraphFileOptions, which defaults to the serving-optimized v2): the
+/// figure benches reproduce the paper's page-access counts through these
+/// builders, exactly as they pin 1 pool shard for the global LRU order.
+/// Serving-oriented benches opt into v2 explicitly.
 Result<StoredRestricted> BuildStoredRestricted(
     const graph::Graph& g, const core::NodePointSet& points, uint32_t K,
-    size_t pool_pages = kDefaultPoolPages, size_t pool_shards = 1);
+    size_t pool_pages = kDefaultPoolPages, size_t pool_shards = 1,
+    storage::PageLayout layout = storage::PageLayout::kV1Packed);
 
 /// \brief Disk-resident unrestricted network: paged graph + edge-point
 /// file + optional KNN file behind one pool.
@@ -121,7 +136,8 @@ struct StoredUnrestricted {
 
 Result<StoredUnrestricted> BuildStoredUnrestricted(
     const graph::Graph& g, const core::EdgePointSet& points, uint32_t K,
-    size_t pool_pages = kDefaultPoolPages, size_t pool_shards = 1);
+    size_t pool_pages = kDefaultPoolPages, size_t pool_shards = 1,
+    storage::PageLayout layout = storage::PageLayout::kV1Packed);
 
 /// \brief One measured workload: CPU time + buffer-pool fault delta.
 struct Measurement {
@@ -250,6 +266,38 @@ class Table {
 /// Prints the standard bench banner.
 void PrintBanner(const std::string& title, const BenchArgs& args,
                  const std::string& setup);
+
+/// \brief Machine-readable bench report (--json=PATH): one JSON object
+/// per bench run carrying the run parameters and a row of numeric
+/// metrics per measured configuration, e.g.
+///   {"bench": "throughput", "scale": "small", ..., "configs": [
+///     {"name": "threads=1", "qps": 304.1, "wall_s": 6.57, ...}, ...]}
+/// Collect rows unconditionally (the cost is trivial) and call
+/// WriteIfRequested at the end; without --json= it does nothing.
+class JsonReport {
+ public:
+  using Metrics = std::vector<std::pair<std::string, double>>;
+
+  JsonReport(std::string bench, const BenchArgs& args);
+
+  void AddConfig(std::string name, Metrics metrics);
+
+  /// Standard metric row for a Measurement: qps (pure CPU), wall time,
+  /// page accesses and the paper's total cost.
+  static Metrics MeasurementMetrics(const Measurement& m);
+
+  /// Writes the report to args.json_path; no-op when the flag is unset.
+  Status WriteIfRequested() const;
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::string scale_;
+  uint64_t seed_;
+  size_t queries_;
+  int threads_;
+  std::vector<std::pair<std::string, Metrics>> configs_;
+};
 
 }  // namespace grnn::bench
 

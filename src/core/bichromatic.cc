@@ -84,8 +84,9 @@ Result<RknnResult> QualifyNodes(const graph::NetworkView& g,
       out.results.push_back(PointMatch{p, node, dist});
     }
 
-    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &ws.nbrs));
-    for (const AdjEntry& a : ws.nbrs) {
+    GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> nbrs,
+                          g.Scan(node, ws.nbr_cursor));
+    for (const AdjEntry& a : nbrs) {
       const Weight nd = dist + a.weight;
       if (!ws.visited.Contains(a.node) && nd < ws.best.Get(a.node)) {
         ws.best.Set(a.node, nd);
@@ -173,8 +174,9 @@ Result<RknnResult> BichromaticLazyRknn(const graph::NetworkView& g,
       }
       list.Insert(d, site, k);
       out.stats.nodes_scanned++;
-      GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &ws.aux_nbrs));
-      for (const AdjEntry& a : ws.aux_nbrs) {
+      GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> drain_nbrs,
+                            g.Scan(node, ws.aux_nbr_cursor));
+      for (const AdjEntry& a : drain_nbrs) {
         ep_heap.Push(d + a.weight, {a.node, site});
         out.stats.heap_pushes++;
       }
@@ -233,8 +235,9 @@ Result<RknnResult> BichromaticLazyRknn(const graph::NetworkView& g,
       }
     }
 
-    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &ws.nbrs));
-    for (const AdjEntry& a : ws.nbrs) {
+    GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> nbrs,
+                          g.Scan(node, ws.nbr_cursor));
+    for (const AdjEntry& a : nbrs) {
       const Weight nd = dist + a.weight;
       if (!ws.visited.Contains(a.node) && nd < ws.best.Get(a.node)) {
         ws.best.Set(a.node, nd);
@@ -284,10 +287,14 @@ Result<RknnResult> BruteForceBichromaticRknn(
     const RknnOptions& options) {
   GRNN_RETURN_NOT_OK(Validate(g, query_nodes, options));
   RknnResult out;
+  // One scratch + distance buffer reused across the per-point
+  // expansions: the oracle's cost is the expansions, not allocation.
+  graph::DijkstraWorkspace dws;
+  std::vector<Weight> dist;
   for (PointId p : data_points.LivePoints()) {
     const NodeId home = data_points.NodeOf(p);
-    GRNN_ASSIGN_OR_RETURN(std::vector<Weight> dist,
-                          graph::SingleSourceDistances(g, home));
+    GRNN_RETURN_NOT_OK(
+        graph::SingleSourceDistancesInto(g, home, dws, &dist));
     Weight d_query = kInfinity;
     for (NodeId q : query_nodes) {
       d_query = std::min(d_query, dist[q]);

@@ -24,13 +24,17 @@ Result<RknnResult> BruteForceRknn(const graph::NetworkView& g,
   }
 
   RknnResult out;
+  // One scratch + distance buffer reused across the per-point
+  // expansions: the oracle's cost is the expansions, not allocation.
+  graph::DijkstraWorkspace dws;
+  std::vector<Weight> dist;
   for (PointId p : points.LivePoints()) {
     if (p == options.exclude_point) {
       continue;
     }
     const NodeId home = points.NodeOf(p);
-    GRNN_ASSIGN_OR_RETURN(std::vector<Weight> dist,
-                          graph::SingleSourceDistances(g, home));
+    GRNN_RETURN_NOT_OK(
+        graph::SingleSourceDistancesInto(g, home, dws, &dist));
     Weight d_query = kInfinity;
     for (NodeId q : query_nodes) {
       d_query = std::min(d_query, dist[q]);

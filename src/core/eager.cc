@@ -108,8 +108,9 @@ Result<RknnResult> EagerRknn(const graph::NetworkView& g,
       continue;
     }
 
-    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &ws.nbrs));
-    for (const AdjEntry& a : ws.nbrs) {
+    GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> nbrs,
+                          g.Scan(node, ws.nbr_cursor));
+    for (const AdjEntry& a : nbrs) {
       const Weight nd = dist + a.weight;
       if (!ws.visited.Contains(a.node) && nd < ws.best.Get(a.node)) {
         ws.best.Set(a.node, nd);

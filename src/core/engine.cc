@@ -463,21 +463,31 @@ Result<RknnResult> RknnEngine::Dispatch(const QuerySpec& spec,
       edge_lock = std::shared_lock(state_->domain_mu[kDomainEdge]);
       break;
   }
-  switch (spec.kind) {
-    case QueryKind::kMonochromatic:
-      return RunMonochromatic(spec, ws);
-    case QueryKind::kBichromatic:
-      return RunBichromatic(spec, ws);
-    case QueryKind::kContinuous:
-      return RunContinuous(spec, ws);
-    case QueryKind::kUnrestricted: {
-      UnrestrictedQuery query;
-      query.is_position = true;
-      query.position = spec.position;
-      return RunUnrestricted(spec, query, ws);
+  // Pin discipline (DESIGN.md, "Neighbor access path"): no cursor lease
+  // survives a dispatch, so workspaces return to the pool pin-free —
+  // the next query (possibly on another thread) and any pool
+  // Invalidate/ApplyUpdate in between see num_pinned() back at zero.
+  // Released before the domain locks go out of scope below.
+  auto run = [&]() -> Result<RknnResult> {
+    switch (spec.kind) {
+      case QueryKind::kMonochromatic:
+        return RunMonochromatic(spec, ws);
+      case QueryKind::kBichromatic:
+        return RunBichromatic(spec, ws);
+      case QueryKind::kContinuous:
+        return RunContinuous(spec, ws);
+      case QueryKind::kUnrestricted: {
+        UnrestrictedQuery query;
+        query.is_position = true;
+        query.position = spec.position;
+        return RunUnrestricted(spec, query, ws);
+      }
     }
-  }
-  return Status::InvalidArgument("unknown query kind");
+    return Status::InvalidArgument("unknown query kind");
+  };
+  Result<RknnResult> result = run();
+  ws.ReleaseLeases();
+  return result;
 }
 
 Result<RknnResult> RknnEngine::Run(const QuerySpec& spec) {

@@ -28,10 +28,13 @@
 //     update does not touch, and every query observes either the
 //     pre-update or the post-update world — never a torn one.
 //   * Everything else in EngineSources is shared read-only:
-//     NetworkView::GetNeighbors and EdgePointReader::Read must be safe
-//     for concurrent callers. The in-memory implementations are pure
-//     reads; the disk-backed ones (StoredGraph, FileKnnStore,
-//     StoredEdgePointReader) serialize on their BufferPool shard.
+//     NetworkView::Scan and EdgePointReader::Read must be safe for
+//     concurrent callers (each caller brings its own NeighborCursor —
+//     workspaces are single-owner). The in-memory implementations are
+//     pure reads; the disk-backed ones (StoredGraph, FileKnnStore,
+//     StoredEdgePointReader) serialize on their BufferPool shard, and
+//     Dispatch drops every cursor lease before a workspace returns to
+//     the pool.
 //   * Updating a point set or KNN store BEHIND the engine's back (not
 //     through ApplyUpdate / RunMixedBatch) while queries run remains
 //     unsupported — quiesce first.

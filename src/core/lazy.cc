@@ -171,8 +171,9 @@ Result<bool> LazyState::VerifyWithBookkeeping(PointId candidate,
       return false;
     }
 
-    GRNN_RETURN_NOT_OK(g_.GetNeighbors(node, &ws_.aux_nbrs));
-    for (const AdjEntry& a : ws_.aux_nbrs) {
+    GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> nbrs,
+                          g_.Scan(node, ws_.aux_nbr_cursor));
+    for (const AdjEntry& a : nbrs) {
       const Weight nd = dist + a.weight;
       // The expansion cannot affect anything past the query distance: the
       // query settles at (floating-point-)exactly d_query.
@@ -241,8 +242,9 @@ Result<RknnResult> LazyState::Run(std::span<const NodeId> query_nodes) {
       continue;
     }
 
-    GRNN_RETURN_NOT_OK(g_.GetNeighbors(node, &ws_.nbrs));
-    for (const AdjEntry& a : ws_.nbrs) {
+    GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> nbrs,
+                          g_.Scan(node, ws_.nbr_cursor));
+    for (const AdjEntry& a : nbrs) {
       if (!BookOf(a.node).visited) {
         Heap::Handle h = heap.Push(dist + a.weight, a.node);
         out_.stats.heap_pushes++;

@@ -65,10 +65,11 @@ Result<RknnResult> LazyEpRknn(const graph::NetworkView& g,
       }
       list.Insert(dist, point, k);
       out.stats.nodes_scanned++;
-      // Own scratch: the main loop's `ws.nbrs` must survive a
-      // mid-iteration drain.
-      GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &ws.aux_nbrs));
-      for (const AdjEntry& a : ws.aux_nbrs) {
+      // Own cursor: the main loop's span must survive a mid-iteration
+      // drain.
+      GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> drain_nbrs,
+                            g.Scan(node, ws.aux_nbr_cursor));
+      for (const AdjEntry& a : drain_nbrs) {
         ep_heap.Push(dist + a.weight, {a.node, point});
         out.stats.heap_pushes++;
       }
@@ -121,8 +122,9 @@ Result<RknnResult> LazyEpRknn(const graph::NetworkView& g,
       continue;
     }
 
-    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &ws.nbrs));
-    for (const AdjEntry& a : ws.nbrs) {
+    GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> nbrs,
+                          g.Scan(node, ws.nbr_cursor));
+    for (const AdjEntry& a : nbrs) {
       const Weight nd = dist + a.weight;
       if (!ws.visited.Contains(a.node) && nd < ws.best.Get(a.node)) {
         ws.best.Set(a.node, nd);

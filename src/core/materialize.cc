@@ -92,7 +92,7 @@ Status BuildAllNnFromSeeds(
     }
   }
 
-  std::vector<AdjEntry> nbrs;
+  graph::NeighborCursor cursor;
   while (!heap.empty()) {
     auto [dist, entry] = heap.Pop();
     auto [node, point] = entry;
@@ -106,7 +106,8 @@ Status BuildAllNnFromSeeds(
     if (stats != nullptr) {
       stats->nodes_touched++;
     }
-    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &nbrs));
+    GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> nbrs,
+                          g.Scan(node, cursor));
     for (const AdjEntry& a : nbrs) {
       if (lists[a.node].size() < k &&
           seen.count(PairKey(a.node, point)) == 0) {
@@ -157,7 +158,7 @@ Status MaterializedInsertSeeded(const graph::NetworkView& g, PointId p,
   }
 
   std::vector<NnEntry> list;
-  std::vector<AdjEntry> nbrs;
+  graph::NeighborCursor cursor;
   while (!heap.empty()) {
     auto [dist, n] = heap.Pop();
     if (!processed.insert(n).second) {
@@ -176,7 +177,8 @@ Status MaterializedInsertSeeded(const graph::NetworkView& g, PointId p,
     if (stats != nullptr) {
       stats->lists_written++;
     }
-    GRNN_RETURN_NOT_OK(g.GetNeighbors(n, &nbrs));
+    GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> nbrs,
+                          g.Scan(n, cursor));
     for (const AdjEntry& a : nbrs) {
       if (processed.count(a.node) == 0) {
         heap.Push(dist + a.weight, a.node);
@@ -232,7 +234,7 @@ Status MaterializedDeleteSeeded(const graph::NetworkView& g, PointId p,
   }
 
   std::vector<NnEntry> list;
-  std::vector<AdjEntry> nbrs;
+  graph::NeighborCursor cursor;
   while (!heap.empty()) {
     auto [dist, n] = heap.Pop();
     if (!processed.insert(n).second) {
@@ -259,7 +261,8 @@ Status MaterializedDeleteSeeded(const graph::NetworkView& g, PointId p,
     if (stats != nullptr) {
       stats->lists_written++;
     }
-    GRNN_RETURN_NOT_OK(g.GetNeighbors(n, &nbrs));
+    GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> nbrs,
+                          g.Scan(n, cursor));
     for (const AdjEntry& a : nbrs) {
       if (processed.count(a.node) == 0) {
         heap.Push(dist + a.weight, a.node);
@@ -276,7 +279,8 @@ Status MaterializedDeleteSeeded(const graph::NetworkView& g, PointId p,
   // (the paper's Fig 10 description covers the K = 1 case, where affected
   // lists lose their only entry and border lists are the sole source).
   for (NodeId n : affected) {
-    GRNN_RETURN_NOT_OK(g.GetNeighbors(n, &nbrs));
+    GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> nbrs,
+                          g.Scan(n, cursor));
     GRNN_RETURN_NOT_OK(store->Read(n, &list));
     if (stats != nullptr) {
       stats->nodes_touched++;
@@ -350,7 +354,8 @@ Status MaterializedDeleteSeeded(const graph::NetworkView& g, PointId p,
         stats->lists_written++;
       }
     }
-    GRNN_RETURN_NOT_OK(g.GetNeighbors(n, &nbrs));
+    GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> nbrs,
+                          g.Scan(n, cursor));
     for (const AdjEntry& a : nbrs) {
       if (affected.count(a.node) != 0 &&
           seen.count(PairKey(a.node, pi)) == 0) {
@@ -426,7 +431,6 @@ Result<RknnResult> EagerMRknn(const graph::NetworkView& g,
   verified.clear();
   auto& list = ws.knn_list;
   auto& cand_list = ws.aux_knn_list;
-  auto& nbrs = ws.nbrs;
   auto& best = ws.best;
   auto& visited = ws.visited;
 
@@ -518,7 +522,8 @@ Result<RknnResult> EagerMRknn(const graph::NetworkView& g,
       continue;  // Lemma 1 with materialized distances
     }
 
-    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &nbrs));
+    GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> nbrs,
+                          g.Scan(node, ws.nbr_cursor));
     for (const AdjEntry& a : nbrs) {
       const Weight nd = dist + a.weight;
       if (!visited.Contains(a.node) && nd < best.Get(a.node)) {

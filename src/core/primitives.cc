@@ -66,8 +66,9 @@ Status NnSearcher::RangeNnInto(NodeId source, int k, Weight e,
         return Status::OK();
       }
     }
-    GRNN_RETURN_NOT_OK(g_->GetNeighbors(node, &nbrs_));
-    for (const AdjEntry& a : nbrs_) {
+    GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> nbrs,
+                          g_->Scan(node, cursor_));
+    for (const AdjEntry& a : nbrs) {
       const Weight nd = dist + a.weight;
       if (DistLess(nd, e) && !settled_.Contains(a.node) &&
           nd < best_.Get(a.node)) {
@@ -152,8 +153,9 @@ Result<NnSearcher::VerifyOutcome> NnSearcher::Verify(
       }
     }
 
-    GRNN_RETURN_NOT_OK(g_->GetNeighbors(node, &nbrs_));
-    for (const AdjEntry& a : nbrs_) {
+    GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> nbrs,
+                          g_->Scan(node, cursor_));
+    for (const AdjEntry& a : nbrs) {
       const Weight nd = dist + a.weight;
       if (!settled_.Contains(a.node) && nd < best_.Get(a.node)) {
         best_.Set(a.node, nd);

@@ -140,8 +140,12 @@ class NnSearcher {
   /// accounting).
   size_t CapacityFootprint() const {
     return heap_.slot_capacity() + best_.capacity() + settled_.capacity() +
-           query_mark_.capacity() + nbrs_.capacity();
+           query_mark_.capacity() + cursor_.scratch_capacity();
   }
+
+  /// Drops the pin the searcher's cursor may hold for its last span.
+  void ReleaseLease() { cursor_.Reset(); }
+  size_t held_pins() const { return cursor_.held_pins(); }
 
   /// range-NN(n, k, e): up to k nearest points with network distance
   /// STRICTLY smaller than `e`, ascending by distance. `exclude` (and any
@@ -190,7 +194,7 @@ class NnSearcher {
   StampedDistances best_;
   StampedSet settled_;
   StampedSet query_mark_;
-  std::vector<AdjEntry> nbrs_;
+  graph::NeighborCursor cursor_;
 };
 
 }  // namespace grnn::core

@@ -9,6 +9,7 @@
 #include "common/string_util.h"
 #include "core/primitives.h"
 #include "core/workspace.h"
+#include "graph/dijkstra.h"
 
 namespace grnn::core {
 
@@ -44,12 +45,11 @@ Status ValidatePosition(const graph::Graph& g, const EdgePosition& pos,
 // only adjacency access is available). Charges one adjacency read, as the
 // paper's storage scheme would.
 Result<Weight> ViewEdgeWeight(const graph::NetworkView& g, NodeId u,
-                              NodeId v) {
+                              NodeId v, graph::NeighborCursor& cursor) {
   if (u >= g.num_nodes() || v >= g.num_nodes()) {
     return Status::OutOfRange("edge endpoint out of range");
   }
-  std::vector<AdjEntry> nbrs;
-  GRNN_RETURN_NOT_OK(g.GetNeighbors(u, &nbrs));
+  GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> nbrs, g.Scan(u, cursor));
   for (const AdjEntry& a : nbrs) {
     if (a.node == v) {
       return a.weight;
@@ -128,7 +128,7 @@ class UnrestrictedSearcher {
         node_settled_(ws->aux_visited),
         node_best_(ws->aux_best),
         point_seen_(ws->aux_seen_points),
-        nbrs_(ws->aux_nbrs),
+        cursor_(ws->aux_nbr_cursor),
         records_(ws->aux_records),
         route_mark_(ws->mark) {
     if (!query->is_position) {
@@ -222,8 +222,9 @@ class UnrestrictedSearcher {
         }
       }
 
-      GRNN_RETURN_NOT_OK(g_->GetNeighbors(m, &nbrs_));
-      for (const AdjEntry& a : nbrs_) {
+      GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> nbrs,
+                            g_->Scan(m, cursor_));
+      for (const AdjEntry& a : nbrs) {
         // Point discovery on the incident edge.
         if (reader_->Has(m, a.node)) {
           GRNN_RETURN_NOT_OK(reader_->Read(m, a.node, &records_));
@@ -323,8 +324,9 @@ class UnrestrictedSearcher {
       if (stats != nullptr) {
         stats->nodes_scanned++;
       }
-      GRNN_RETURN_NOT_OK(g_->GetNeighbors(m, &nbrs_));
-      for (const AdjEntry& a : nbrs_) {
+      GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> nbrs,
+                            g_->Scan(m, cursor_));
+      for (const AdjEntry& a : nbrs) {
         if (reader_->Has(m, a.node)) {
           GRNN_RETURN_NOT_OK(reader_->Read(m, a.node, &records_));
           for (const EdgePointRecord& r : records_) {
@@ -372,7 +374,7 @@ class UnrestrictedSearcher {
   StampedSet& node_settled_;
   StampedDistances& node_best_;
   std::unordered_set<PointId>& point_seen_;
-  std::vector<AdjEntry>& nbrs_;
+  graph::NeighborCursor& cursor_;
   std::vector<EdgePointRecord>& records_;
   StampedSet& route_mark_;
 };
@@ -401,16 +403,18 @@ Status ValidateQuery(const graph::NetworkView& g,
   return Status::OK();
 }
 
-// Canonicalizes the query position and resolves its edge weight.
+// Canonicalizes the query position and resolves its edge weight. The
+// cursor is only used transiently (callers lend an idle workspace
+// cursor before the expansions start).
 Result<std::pair<UnrestrictedQuery, Weight>> PrepareQuery(
     const graph::NetworkView& g, const UnrestrictedQuery& q,
-    const RknnOptions& options) {
+    const RknnOptions& options, graph::NeighborCursor& cursor) {
   GRNN_RETURN_NOT_OK(ValidateQuery(g, q, options));
   UnrestrictedQuery prepared = q;
   Weight qw = 0;
   if (q.is_position) {
-    GRNN_ASSIGN_OR_RETURN(qw,
-                          ViewEdgeWeight(g, q.position.u, q.position.v));
+    GRNN_ASSIGN_OR_RETURN(
+        qw, ViewEdgeWeight(g, q.position.u, q.position.v, cursor));
     prepared.position = Canonical(q.position, qw);
     if (prepared.position.pos < 0 || prepared.position.pos > qw) {
       return Status::InvalidArgument("query position outside edge");
@@ -569,7 +573,8 @@ Result<RknnResult> UnrestrictedEagerRknn(const graph::NetworkView& g,
                                          const UnrestrictedQuery& query,
                                          const RknnOptions& options,
                                          SearchWorkspace& ws) {
-  GRNN_ASSIGN_OR_RETURN(auto prep, PrepareQuery(g, query, options));
+  GRNN_ASSIGN_OR_RETURN(
+      auto prep, PrepareQuery(g, query, options, ws.aux_nbr_cursor));
   const auto& [q, qw] = prep;
   const size_t k = static_cast<size_t>(options.k);
 
@@ -610,10 +615,13 @@ Result<RknnResult> UnrestrictedEagerRknn(const graph::NetworkView& g,
     out.stats.nodes_expanded++;
     out.stats.nodes_scanned++;
 
-    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &ws.nbrs));
+    // The span survives the nested verifications below: they expand
+    // through the aux cursor, never through nbr_cursor.
+    GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> nbrs,
+                          g.Scan(node, ws.nbr_cursor));
 
     // Candidate discovery on incident edges (completeness; see header).
-    for (const AdjEntry& a : ws.nbrs) {
+    for (const AdjEntry& a : nbrs) {
       if (reader.Has(node, a.node)) {
         GRNN_RETURN_NOT_OK(reader.Read(node, a.node, &ws.records));
         for (const EdgePointRecord& r : ws.records) {
@@ -638,7 +646,7 @@ Result<RknnResult> UnrestrictedEagerRknn(const graph::NetworkView& g,
       continue;
     }
 
-    for (const AdjEntry& a : ws.nbrs) {
+    for (const AdjEntry& a : nbrs) {
       const Weight nd = dist + a.weight;
       if (!ws.visited.Contains(a.node) && nd < ws.best.Get(a.node)) {
         ws.best.Set(a.node, nd);
@@ -657,7 +665,8 @@ Result<RknnResult> UnrestrictedLazyRknn(const graph::NetworkView& g,
                                         const UnrestrictedQuery& query,
                                         const RknnOptions& options,
                                         SearchWorkspace& ws) {
-  GRNN_ASSIGN_OR_RETURN(auto prep, PrepareQuery(g, query, options));
+  GRNN_ASSIGN_OR_RETURN(
+      auto prep, PrepareQuery(g, query, options, ws.aux_nbr_cursor));
   const auto& [q, qw] = prep;
   const size_t k = static_cast<size_t>(options.k);
 
@@ -741,10 +750,12 @@ Result<RknnResult> UnrestrictedLazyRknn(const graph::NetworkView& g,
     out.stats.nodes_expanded++;
     out.stats.nodes_scanned++;
 
-    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &ws.nbrs));
+    // The span survives the per-edge verifications below (aux cursor).
+    GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> nbrs,
+                          g.Scan(node, ws.nbr_cursor));
 
     // Edge-triggered point discovery + verification-with-bookkeeping.
-    for (const AdjEntry& a : ws.nbrs) {
+    for (const AdjEntry& a : nbrs) {
       if (!reader.Has(node, a.node)) {
         continue;
       }
@@ -771,7 +782,7 @@ Result<RknnResult> UnrestrictedLazyRknn(const graph::NetworkView& g,
     if (b.competitors.CountBelow(dist) >= k) {
       continue;
     }
-    for (const AdjEntry& a : ws.nbrs) {
+    for (const AdjEntry& a : nbrs) {
       if (!book_of(a.node).visited) {
         Heap::Handle h = heap.Push(dist + a.weight, a.node);
         out.stats.heap_pushes++;
@@ -789,7 +800,8 @@ Result<RknnResult> UnrestrictedLazyEpRknn(const graph::NetworkView& g,
                                           const UnrestrictedQuery& query,
                                           const RknnOptions& options,
                                           SearchWorkspace& ws) {
-  GRNN_ASSIGN_OR_RETURN(auto prep, PrepareQuery(g, query, options));
+  GRNN_ASSIGN_OR_RETURN(
+      auto prep, PrepareQuery(g, query, options, ws.aux_nbr_cursor));
   const auto& [q, qw] = prep;
   const size_t k = static_cast<size_t>(options.k);
 
@@ -821,10 +833,11 @@ Result<RknnResult> UnrestrictedLazyEpRknn(const graph::NetworkView& g,
       }
       list.Insert(d, point, k);
       out.stats.nodes_scanned++;
-      // Own scratch: the main loop's `ws.nbrs` must survive a
-      // mid-iteration drain.
-      GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &ws.aux_nbrs));
-      for (const AdjEntry& a : ws.aux_nbrs) {
+      // Own cursor: the main loop's span must survive a mid-iteration
+      // drain.
+      GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> drain_nbrs,
+                            g.Scan(node, ws.aux_nbr_cursor));
+      for (const AdjEntry& a : drain_nbrs) {
         ep_heap.Push(d + a.weight, {a.node, point});
         out.stats.heap_pushes++;
       }
@@ -848,8 +861,11 @@ Result<RknnResult> UnrestrictedLazyEpRknn(const graph::NetworkView& g,
     out.stats.nodes_expanded++;
     out.stats.nodes_scanned++;
 
-    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &ws.nbrs));
-    for (const AdjEntry& a : ws.nbrs) {
+    // The span survives the nested verifications AND the mid-iteration
+    // H' drain below (both expand through the aux cursor).
+    GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> nbrs,
+                          g.Scan(node, ws.nbr_cursor));
+    for (const AdjEntry& a : nbrs) {
       if (!reader.Has(node, a.node)) {
         continue;
       }
@@ -881,7 +897,7 @@ Result<RknnResult> UnrestrictedLazyEpRknn(const graph::NetworkView& g,
       continue;
     }
 
-    for (const AdjEntry& a : ws.nbrs) {
+    for (const AdjEntry& a : nbrs) {
       const Weight nd = dist + a.weight;
       if (!ws.visited.Contains(a.node) && nd < ws.best.Get(a.node)) {
         ws.best.Set(a.node, nd);
@@ -907,7 +923,8 @@ Result<RknnResult> UnrestrictedEagerMRknn(const graph::NetworkView& g,
   if (static_cast<uint32_t>(options.k) > store->k()) {
     return Status::InvalidArgument("query k exceeds materialized K");
   }
-  GRNN_ASSIGN_OR_RETURN(auto prep, PrepareQuery(g, query, options));
+  GRNN_ASSIGN_OR_RETURN(
+      auto prep, PrepareQuery(g, query, options, ws.aux_nbr_cursor));
   const auto& [q, qw] = prep;
   const size_t k = static_cast<size_t>(options.k);
 
@@ -949,8 +966,10 @@ Result<RknnResult> UnrestrictedEagerMRknn(const graph::NetworkView& g,
     out.stats.nodes_expanded++;
     out.stats.nodes_scanned++;
 
-    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &ws.nbrs));
-    for (const AdjEntry& a : ws.nbrs) {
+    // The span survives the nested verifications below (aux cursor).
+    GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> nbrs,
+                          g.Scan(node, ws.nbr_cursor));
+    for (const AdjEntry& a : nbrs) {
       if (reader.Has(node, a.node)) {
         GRNN_RETURN_NOT_OK(reader.Read(node, a.node, &ws.records));
         for (const EdgePointRecord& r : ws.records) {
@@ -976,7 +995,7 @@ Result<RknnResult> UnrestrictedEagerMRknn(const graph::NetworkView& g,
       continue;
     }
 
-    for (const AdjEntry& a : ws.nbrs) {
+    for (const AdjEntry& a : nbrs) {
       const Weight nd = dist + a.weight;
       if (!ws.visited.Contains(a.node) && nd < ws.best.Get(a.node)) {
         ws.best.Set(a.node, nd);
@@ -992,38 +1011,24 @@ Result<RknnResult> UnrestrictedEagerMRknn(const graph::NetworkView& g,
 Result<RknnResult> UnrestrictedBruteForceRknn(
     const graph::NetworkView& g, const EdgePointSet& points,
     const UnrestrictedQuery& query, const RknnOptions& options) {
-  GRNN_ASSIGN_OR_RETURN(auto prep, PrepareQuery(g, query, options));
+  graph::NeighborCursor cursor;
+  GRNN_ASSIGN_OR_RETURN(auto prep,
+                        PrepareQuery(g, query, options, cursor));
   const auto& [q, qw] = prep;
 
-  // Multi-seed Dijkstra over nodes (local, test-oriented implementation).
-  auto node_distances =
-      [&](const std::vector<PointSeed>& seeds) -> Result<std::vector<Weight>> {
-    std::vector<Weight> dist(g.num_nodes(), kInfinity);
-    IndexedHeap<Weight, NodeId> heap;
+  // Multi-seed Dijkstra over nodes: the edge-resident point seeds both
+  // endpoints with their offsets. Workspace and seed buffer hoisted out
+  // of the lambda — the oracle fires one expansion per live point, and
+  // reuse keeps each start allocation-free.
+  graph::DijkstraWorkspace dws;
+  std::vector<std::pair<NodeId, Weight>> seed_pairs;
+  auto node_distances = [&](const std::vector<PointSeed>& seeds,
+                            std::vector<Weight>* dist) -> Status {
+    seed_pairs.clear();
     for (const PointSeed& s : seeds) {
-      if (s.dist < dist[s.node]) {
-        dist[s.node] = s.dist;
-        heap.Push(s.dist, s.node);
-      }
+      seed_pairs.emplace_back(s.node, s.dist);
     }
-    std::vector<bool> settled(g.num_nodes(), false);
-    std::vector<AdjEntry> nbrs;
-    while (!heap.empty()) {
-      auto [d, n] = heap.Pop();
-      if (settled[n]) {
-        continue;
-      }
-      settled[n] = true;
-      GRNN_RETURN_NOT_OK(g.GetNeighbors(n, &nbrs));
-      for (const AdjEntry& a : nbrs) {
-        Weight nd = d + a.weight;
-        if (!settled[a.node] && nd < dist[a.node]) {
-          dist[a.node] = nd;
-          heap.Push(nd, a.node);
-        }
-      }
-    }
-    return dist;
+    return graph::MultiSourceDistancesInto(g, seed_pairs, dws, dist);
   };
 
   // Distance from a node-distance field to a position.
@@ -1038,14 +1043,15 @@ Result<RknnResult> UnrestrictedBruteForceRknn(
   };
 
   RknnResult out;
+  std::vector<Weight> dist;  // reused across the per-point expansions
   for (PointId p : points.LivePoints()) {
     if (p == options.exclude_point) {
       continue;
     }
     const EdgePosition& ppos = points.PositionOf(p);
     const Weight pw = points.EdgeWeightOfPoint(p);
-    GRNN_ASSIGN_OR_RETURN(std::vector<Weight> dist,
-                          node_distances(EdgePointSet::SeedsOf(ppos, pw)));
+    GRNN_RETURN_NOT_OK(
+        node_distances(EdgePointSet::SeedsOf(ppos, pw), &dist));
     Weight d_query;
     if (q.is_position) {
       d_query = to_position(dist, q.position, qw, &ppos);
@@ -1108,11 +1114,14 @@ Status UnrestrictedMaterializedDelete(const graph::NetworkView& g,
                                       const EdgePosition& old_pos,
                                       Weight old_weight, KnnStore* store,
                                       UpdateStats* stats) {
-  auto local_points = [&g, &points](NodeId n,
-                                    std::vector<NnEntry>* out) -> Status {
+  // The cursor outlives the std::function wrapper (LocalPointsFn needs a
+  // copyable callable, so the lambda borrows it by reference).
+  graph::NeighborCursor cursor;
+  auto local_points = [&g, &points, &cursor](
+                          NodeId n, std::vector<NnEntry>* out) -> Status {
     out->clear();
-    std::vector<AdjEntry> nbrs;
-    GRNN_RETURN_NOT_OK(g.GetNeighbors(n, &nbrs));
+    GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> nbrs,
+                          g.Scan(n, cursor));
     for (const AdjEntry& a : nbrs) {
       for (const EdgePointRecord& r : points.PointsOnEdge(n, a.node)) {
         const Weight offset = n < a.node ? r.pos : a.weight - r.pos;

@@ -8,16 +8,25 @@
 // All algorithms draw their expansion state from one workspace. The
 // buffers fall into two groups that may be live at the same time:
 //
-//   * main buffers (node_heap, best, visited, nbrs, records, seen_points)
-//     hold the primary expansion around the query;
+//   * main buffers (node_heap, best, visited, nbr_cursor, records,
+//     seen_points) hold the primary expansion around the query;
 //   * aux buffers (aux_node_heap, mixed_heap, aux_best, aux_visited,
-//     aux_nbrs, aux_records, aux_seen_points) hold the sub-expansions
-//     (verification / range-NN) that run while the main expansion is
-//     suspended.
+//     aux_nbr_cursor, aux_records, aux_seen_points) hold the
+//     sub-expansions (verification / range-NN) that run while the main
+//     expansion is suspended.
 //
 // The lazy-EP H' expansion gets its own heap (ep_heap) because it stays
 // live across verification calls. An algorithm must never hand the same
-// buffer to two concurrently live expansions.
+// buffer to two concurrently live expansions. In particular the neighbor
+// cursors: a span scanned through nbr_cursor stays valid across aux
+// scans (each cursor invalidates only its own span), which is exactly
+// why main and aux expansions must not share one cursor. The searcher
+// carries a third cursor for the restricted NN primitives.
+//
+// Cursors may hold buffer-pool pins for their last span (the zero-copy
+// StoredGraph lease path). The engine calls ReleaseLeases() at the end
+// of every query so no pin survives a dispatch; standalone callers that
+// invalidate pools between queries should do the same.
 //
 // Small per-query transients (the lazy algorithms' per-node bookkeeping
 // maps, result vectors) are intentionally not pooled here; the counters
@@ -43,7 +52,7 @@ class SearchWorkspace {
   IndexedHeap<Weight, NodeId> node_heap;
   StampedDistances best;
   StampedSet visited;
-  std::vector<AdjEntry> nbrs;
+  graph::NeighborCursor nbr_cursor;
   std::vector<storage::EdgePointRecord> records;
   std::unordered_set<PointId> seen_points;  // candidate/verified memo
 
@@ -53,7 +62,7 @@ class SearchWorkspace {
       mixed_heap;                                    // unrestricted verify/NN
   StampedDistances aux_best;
   StampedSet aux_visited;
-  std::vector<AdjEntry> aux_nbrs;
+  graph::NeighborCursor aux_nbr_cursor;
   std::vector<storage::EdgePointRecord> aux_records;
   std::unordered_set<PointId> aux_seen_points;
 
@@ -76,13 +85,30 @@ class SearchWorkspace {
     return node_heap.slot_capacity() + aux_node_heap.slot_capacity() +
            mixed_heap.slot_capacity() + ep_heap.slot_capacity() +
            best.capacity() + aux_best.capacity() + visited.capacity() +
-           aux_visited.capacity() + mark.capacity() + nbrs.capacity() +
-           aux_nbrs.capacity() + records.capacity() +
+           aux_visited.capacity() + mark.capacity() +
+           nbr_cursor.scratch_capacity() +
+           aux_nbr_cursor.scratch_capacity() + records.capacity() +
            aux_records.capacity() + knn_list.capacity() +
            aux_knn_list.capacity() + nn_results.capacity() +
            query_nodes.capacity() +
            seen_points.bucket_count() + aux_seen_points.bucket_count() +
            searcher.CapacityFootprint();
+  }
+
+  /// Drops every buffer-pool pin the workspace's cursors may hold on
+  /// behalf of their last span (scratch capacity is kept). The engine
+  /// calls this at the end of every dispatch — the pin discipline of
+  /// DESIGN.md, "Neighbor access path".
+  void ReleaseLeases() {
+    nbr_cursor.Reset();
+    aux_nbr_cursor.Reset();
+    searcher.ReleaseLease();
+  }
+
+  /// Buffer-pool pins currently held by the workspace's cursors.
+  size_t held_pins() const {
+    return nbr_cursor.held_pins() + aux_nbr_cursor.held_pins() +
+           searcher.held_pins();
   }
 };
 

@@ -5,10 +5,18 @@
 namespace grnn::graph {
 
 std::vector<uint32_t> ConnectedComponents(const Graph& g) {
+  // One traversal implementation: the in-memory form delegates through
+  // GraphView, whose scans are infallible spans into the CSR.
+  GraphView view(&g);
+  return ConnectedComponents(view).ValueOrDie();
+}
+
+Result<std::vector<uint32_t>> ConnectedComponents(const NetworkView& g) {
   const NodeId n = g.num_nodes();
   std::vector<uint32_t> comp(n, UINT32_MAX);
   uint32_t next = 0;
   std::vector<NodeId> stack;
+  NeighborCursor cursor;
   for (NodeId start = 0; start < n; ++start) {
     if (comp[start] != UINT32_MAX) {
       continue;
@@ -18,7 +26,9 @@ std::vector<uint32_t> ConnectedComponents(const Graph& g) {
     while (!stack.empty()) {
       NodeId u = stack.back();
       stack.pop_back();
-      for (const AdjEntry& a : g.Neighbors(u)) {
+      GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> nbrs,
+                            g.Scan(u, cursor));
+      for (const AdjEntry& a : nbrs) {
         if (comp[a.node] == UINT32_MAX) {
           comp[a.node] = next;
           stack.push_back(a.node);

@@ -11,11 +11,17 @@
 #include "common/result.h"
 #include "common/types.h"
 #include "graph/graph.h"
+#include "graph/network_view.h"
 
 namespace grnn::graph {
 
 /// \brief Component label per node (labels are dense, starting at 0).
 std::vector<uint32_t> ConnectedComponents(const Graph& g);
+
+/// \brief Component labels through the NetworkView scan path, so
+/// reachability can run over stored (paged) graphs too. Adjacency reads
+/// go through a cursor (disk-backed views charge buffer-pool I/O).
+Result<std::vector<uint32_t>> ConnectedComponents(const NetworkView& g);
 
 /// \brief Number of connected components.
 size_t CountComponents(const Graph& g);

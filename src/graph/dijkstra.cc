@@ -1,40 +1,38 @@
 #include "graph/dijkstra.h"
 
-#include "common/indexed_heap.h"
-
 namespace grnn::graph {
 
 namespace {
 
 // Shared expansion core: settles nodes in distance order, invoking
-// `on_settle(node, dist)`; stops when it returns false.
+// `on_settle(node, dist)`; stops when it returns false. All mutable
+// state comes from `ws`, so back-to-back expansions allocate nothing.
 template <typename OnSettle>
-Status Expand(const NetworkView& g, NodeId source, OnSettle on_settle) {
+Status Expand(const NetworkView& g, NodeId source, DijkstraWorkspace& ws,
+              OnSettle on_settle) {
   if (source >= g.num_nodes()) {
     return Status::OutOfRange("source node out of range");
   }
-  IndexedHeap<Weight, NodeId> heap;
-  std::vector<bool> settled(g.num_nodes(), false);
-  // best-known tentative distance, to skip superseded heap entries
-  std::vector<Weight> best(g.num_nodes(), kInfinity);
-
+  ws.Reset(g.num_nodes());
+  auto& heap = ws.heap();
   heap.Push(0.0, source);
-  best[source] = 0.0;
-  std::vector<AdjEntry> nbrs;
+  ws.SetBest(source, 0.0);
   while (!heap.empty()) {
     auto [dist, node] = heap.Pop();
-    if (settled[node]) {
-      continue;
+    if (dist > ws.Best(node)) {
+      continue;  // stale entry; the node settled at a smaller key
     }
-    settled[node] = true;
     if (!on_settle(node, dist)) {
       return Status::OK();
     }
-    GRNN_RETURN_NOT_OK(g.GetNeighbors(node, &nbrs));
+    GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> nbrs,
+                          g.Scan(node, ws.cursor()));
     for (const AdjEntry& a : nbrs) {
       Weight nd = dist + a.weight;
-      if (!settled[a.node] && nd < best[a.node]) {
-        best[a.node] = nd;
+      // Strictly positive weights: nd < Best can never hold for an
+      // already-settled neighbor, so this doubles as the settled check.
+      if (nd < ws.Best(a.node)) {
+        ws.SetBest(a.node, nd);
         heap.Push(nd, a.node);
       }
     }
@@ -44,13 +42,57 @@ Status Expand(const NetworkView& g, NodeId source, OnSettle on_settle) {
 
 }  // namespace
 
+Status MultiSourceDistancesInto(
+    const NetworkView& g,
+    std::span<const std::pair<NodeId, Weight>> seeds,
+    DijkstraWorkspace& ws, std::vector<Weight>* out) {
+  // Full sweeps must initialize `out` to infinity anyway, so it doubles
+  // as the tentative-distance map; the packed settled bitset filters
+  // relaxations toward finished nodes without touching it.
+  out->assign(g.num_nodes(), kInfinity);
+  ws.Reset(0);  // clears the heap; the stamped map stays unused
+  auto& heap = ws.heap();
+  auto& settled = ws.settled_scratch(g.num_nodes());
+  for (const auto& [node, dist] : seeds) {
+    if (node >= g.num_nodes()) {
+      return Status::OutOfRange("seed node out of range");
+    }
+    if (dist < (*out)[node]) {
+      (*out)[node] = dist;
+      heap.Push(dist, node);
+    }
+  }
+  while (!heap.empty()) {
+    auto [dist, node] = heap.Pop();
+    if (settled[node]) {
+      continue;
+    }
+    settled[node] = true;
+    GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> nbrs,
+                          g.Scan(node, ws.cursor()));
+    for (const AdjEntry& a : nbrs) {
+      Weight nd = dist + a.weight;
+      if (!settled[a.node] && nd < (*out)[a.node]) {
+        (*out)[a.node] = nd;
+        heap.Push(nd, a.node);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status SingleSourceDistancesInto(const NetworkView& g, NodeId source,
+                                 DijkstraWorkspace& ws,
+                                 std::vector<Weight>* out) {
+  const std::pair<NodeId, Weight> seed{source, 0.0};
+  return MultiSourceDistancesInto(g, {&seed, 1}, ws, out);
+}
+
 Result<std::vector<Weight>> SingleSourceDistances(const NetworkView& g,
                                                   NodeId source) {
-  std::vector<Weight> dist(g.num_nodes(), kInfinity);
-  GRNN_RETURN_NOT_OK(Expand(g, source, [&](NodeId n, Weight d) {
-    dist[n] = d;
-    return true;
-  }));
+  DijkstraWorkspace ws;
+  std::vector<Weight> dist;
+  GRNN_RETURN_NOT_OK(SingleSourceDistancesInto(g, source, ws, &dist));
   return dist;
 }
 
@@ -59,8 +101,9 @@ Result<Weight> ShortestPathDistance(const NetworkView& g, NodeId source,
   if (target >= g.num_nodes()) {
     return Status::OutOfRange("target node out of range");
   }
+  DijkstraWorkspace ws;
   Weight result = kInfinity;
-  GRNN_RETURN_NOT_OK(Expand(g, source, [&](NodeId n, Weight d) {
+  GRNN_RETURN_NOT_OK(Expand(g, source, ws, [&](NodeId n, Weight d) {
     if (n == target) {
       result = d;
       return false;
@@ -70,13 +113,21 @@ Result<Weight> ShortestPathDistance(const NetworkView& g, NodeId source,
   return result;
 }
 
+Status ExpandByDistanceInto(const NetworkView& g, NodeId source,
+                            size_t max_nodes, DijkstraWorkspace& ws,
+                            std::vector<std::pair<NodeId, Weight>>* out) {
+  out->clear();
+  return Expand(g, source, ws, [&](NodeId n, Weight d) {
+    out->emplace_back(n, d);
+    return max_nodes == 0 || out->size() < max_nodes;
+  });
+}
+
 Result<std::vector<std::pair<NodeId, Weight>>> ExpandByDistance(
     const NetworkView& g, NodeId source, size_t max_nodes) {
+  DijkstraWorkspace ws;
   std::vector<std::pair<NodeId, Weight>> out;
-  GRNN_RETURN_NOT_OK(Expand(g, source, [&](NodeId n, Weight d) {
-    out.emplace_back(n, d);
-    return max_nodes == 0 || out.size() < max_nodes;
-  }));
+  GRNN_RETURN_NOT_OK(ExpandByDistanceInto(g, source, max_nodes, ws, &out));
   return out;
 }
 

@@ -5,19 +5,94 @@
 // for the brute-force oracle, and early-terminating point-to-point
 // distance. The RNN algorithms in src/core implement their own expansions
 // because they interleave pruning with the traversal.
+//
+// The oracle and the differential harness call these in tight loops (one
+// expansion per data point), so every helper has an `...Into` form that
+// reuses a caller-provided DijkstraWorkspace and output buffer — the
+// convenience forms below simply wrap them with fresh state.
 
 #ifndef GRNN_GRAPH_DIJKSTRA_H_
 #define GRNN_GRAPH_DIJKSTRA_H_
 
+#include <utility>
 #include <vector>
 
+#include "common/indexed_heap.h"
 #include "common/result.h"
 #include "common/types.h"
 #include "graph/network_view.h"
 
 namespace grnn::graph {
 
-/// \brief Distances from `source` to every node (kInfinity if unreachable).
+/// \brief Reusable expansion scratch: heap, an epoch-stamped
+/// best-distance map (O(1) reset, no O(|V|) clearing per call) and a
+/// neighbor cursor. Settledness is implicit — strictly positive edge
+/// weights mean an entry popped at key > Best(node) is stale and a node
+/// can never improve after its first (smallest-key) pop — so the
+/// expansion core needs no separate settled array, keeping the
+/// per-relaxation footprint at one stamp + one value read.
+/// Single-owner mutable state — one live expansion at a time.
+class DijkstraWorkspace {
+ public:
+  /// Prepares for an expansion over `num_nodes` nodes. O(1) unless the
+  /// graph is larger than ever seen.
+  void Reset(size_t num_nodes) {
+    if (stamp_.size() < num_nodes) {
+      stamp_.resize(num_nodes, 0);
+      best_.resize(num_nodes, 0);
+    }
+    ++epoch_;
+    heap_.clear();
+  }
+
+  Weight Best(NodeId n) const {
+    return stamp_[n] == epoch_ ? best_[n] : kInfinity;
+  }
+  void SetBest(NodeId n, Weight w) {
+    stamp_[n] = epoch_;
+    best_[n] = w;
+  }
+
+  IndexedHeap<Weight, NodeId>& heap() { return heap_; }
+  NeighborCursor& cursor() { return cursor_; }
+
+  /// Zeroed settled bitset for full sweeps (the packed bits keep the
+  /// settled filter L1-resident on large graphs, where a stamp lookup
+  /// per relaxation would thrash). Clearing costs O(n/8) bytes — noise
+  /// next to the sweep itself.
+  std::vector<bool>& settled_scratch(size_t num_nodes) {
+    settled_.assign(num_nodes, false);
+    return settled_;
+  }
+
+ private:
+  IndexedHeap<Weight, NodeId> heap_;
+  std::vector<uint64_t> stamp_;
+  std::vector<Weight> best_;
+  std::vector<bool> settled_;
+  uint64_t epoch_ = 0;
+  NeighborCursor cursor_;
+};
+
+/// \brief Distances from the nearest seed to every node (kInfinity if
+/// unreachable), into a caller-reused buffer (`out` is overwritten and
+/// resized to num_nodes). Seeds are (node, initial distance) pairs —
+/// the multi-seed form models a point sitting mid-edge (both endpoints
+/// seeded with their offsets). Duplicate seeds keep the smallest
+/// distance.
+Status MultiSourceDistancesInto(
+    const NetworkView& g,
+    std::span<const std::pair<NodeId, Weight>> seeds,
+    DijkstraWorkspace& ws, std::vector<Weight>* out);
+
+/// \brief Distances from `source` to every node (kInfinity if
+/// unreachable), into a caller-reused buffer (`out` is overwritten and
+/// resized to num_nodes).
+Status SingleSourceDistancesInto(const NetworkView& g, NodeId source,
+                                 DijkstraWorkspace& ws,
+                                 std::vector<Weight>* out);
+
+/// Allocating convenience form.
 Result<std::vector<Weight>> SingleSourceDistances(const NetworkView& g,
                                                   NodeId source);
 
@@ -27,8 +102,14 @@ Result<Weight> ShortestPathDistance(const NetworkView& g, NodeId source,
                                     NodeId target);
 
 /// \brief Nodes in non-decreasing distance order from `source`, up to
-/// `max_nodes` settled nodes (0 = unlimited). Returns (node, distance)
-/// pairs. Useful for building routes and locality-aware orderings.
+/// `max_nodes` settled nodes (0 = unlimited), into a caller-reused
+/// buffer of (node, distance) pairs.
+Status ExpandByDistanceInto(const NetworkView& g, NodeId source,
+                            size_t max_nodes, DijkstraWorkspace& ws,
+                            std::vector<std::pair<NodeId, Weight>>* out);
+
+/// Allocating convenience form. Useful for building routes and
+/// locality-aware orderings.
 Result<std::vector<std::pair<NodeId, Weight>>> ExpandByDistance(
     const NetworkView& g, NodeId source, size_t max_nodes);
 

@@ -5,18 +5,94 @@
 // and small examples) and storage::StoredGraph (paged adjacency file behind
 // a buffer pool, used by the benchmarks so that page accesses are counted
 // exactly as in the paper). Algorithms never know which one they are given;
-// an integration test asserts both produce identical query results.
+// a conformance test asserts all implementations produce identical scans.
+//
+// Neighbor access is a cursor/lease model (PR 4): Scan(n, cursor) yields a
+// std::span<const AdjEntry> instead of copying into a caller vector.
+//   * GraphView returns a span straight into the CSR arrays — zero copy,
+//     zero allocation per scan.
+//   * StoredGraph either leases the pinned frame (v2 page layout, list
+//     resident on one page: the cursor holds an RAII PageGuard pin and the
+//     span points into the buffer pool frame) or decodes into the cursor's
+//     scratch buffer (v1 layout / page-straddling lists / tiny pools).
+// Either way a warm cursor performs no allocation per scan.
+//
+// Cursor lifetime rules (full discussion in DESIGN.md, "Neighbor access
+// path"):
+//   * The span returned by Scan stays valid until the NEXT Scan through
+//     the same cursor, cursor Reset(), or cursor destruction — whichever
+//     comes first. Nested expansions must therefore use their own cursor
+//     (SearchWorkspace carries one per concurrently-live expansion).
+//   * A live span may imply a held buffer-pool pin; drop cursors (Reset)
+//     before invalidating pools and never carry a cursor across an
+//     engine ApplyUpdate domain boundary.
+//   * A cursor is single-owner mutable state: one thread at a time.
 
 #ifndef GRNN_GRAPH_NETWORK_VIEW_H_
 #define GRNN_GRAPH_NETWORK_VIEW_H_
 
+#include <memory>
+#include <span>
 #include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "graph/graph.h"
 
+namespace grnn::storage {
+class GraphFile;  // may install a page lease into a NeighborCursor
+}  // namespace grnn::storage
+
 namespace grnn::graph {
+
+/// \brief Resource held on behalf of a live neighbor span (e.g. a pinned
+/// buffer-pool frame). Implementations live next to the view that issues
+/// them; the cursor only needs to drop and count them.
+class NeighborLease {
+ public:
+  virtual ~NeighborLease() = default;
+  /// Releases the held resources; the object itself stays allocated so
+  /// the cursor can reuse it for the next scan.
+  virtual void Drop() = 0;
+  /// Number of buffer-pool pins currently held (0 after Drop).
+  virtual size_t num_pins() const = 0;
+};
+
+/// \brief Per-expansion neighbor scan state: a reusable decode buffer and
+/// the lease backing the most recent span. Create once (it lives in
+/// SearchWorkspace or on the stack of a maintenance routine) and pass to
+/// every Scan of one expansion; warm cursors allocate nothing.
+class NeighborCursor {
+ public:
+  NeighborCursor() = default;
+  NeighborCursor(NeighborCursor&&) noexcept = default;
+  NeighborCursor& operator=(NeighborCursor&&) noexcept = default;
+  NeighborCursor(const NeighborCursor&) = delete;
+  NeighborCursor& operator=(const NeighborCursor&) = delete;
+  ~NeighborCursor() = default;  // lease destructor releases any pins
+
+  /// Invalidates the last span: drops held pins, keeps scratch capacity.
+  void Reset() {
+    if (lease_ != nullptr) {
+      lease_->Drop();
+    }
+  }
+
+  /// Buffer-pool pins currently held on behalf of the last span.
+  size_t held_pins() const {
+    return lease_ == nullptr ? 0 : lease_->num_pins();
+  }
+
+  /// Element capacity of the decode buffer (workspace-growth accounting).
+  size_t scratch_capacity() const { return scratch_.capacity(); }
+
+ private:
+  friend class storage::GraphFile;
+
+  std::vector<AdjEntry> scratch_;
+  std::unique_ptr<NeighborLease> lease_;
+};
 
 /// \brief Abstract adjacency access for query processing.
 class NetworkView {
@@ -26,10 +102,11 @@ class NetworkView {
   virtual NodeId num_nodes() const = 0;
   virtual size_t num_edges() const = 0;
 
-  /// Replaces `*out` with the adjacency list of `n`.
-  /// Disk-backed implementations charge buffer-pool I/O here.
-  virtual Status GetNeighbors(NodeId n,
-                              std::vector<AdjEntry>* out) const = 0;
+  /// Scans the adjacency list of `n`, sorted by neighbor id. The span is
+  /// valid until the next Scan through `cursor`, cursor Reset, or cursor
+  /// destruction. Disk-backed implementations charge buffer-pool I/O here.
+  virtual Result<std::span<const AdjEntry>> Scan(
+      NodeId n, NeighborCursor& cursor) const = 0;
 };
 
 /// \brief Zero-cost NetworkView over an in-memory Graph.
@@ -41,13 +118,15 @@ class GraphView final : public NetworkView {
   NodeId num_nodes() const override { return g_->num_nodes(); }
   size_t num_edges() const override { return g_->num_edges(); }
 
-  Status GetNeighbors(NodeId n, std::vector<AdjEntry>* out) const override {
+  Result<std::span<const AdjEntry>> Scan(
+      NodeId n, NeighborCursor& cursor) const override {
     if (n >= g_->num_nodes()) {
       return Status::OutOfRange("node id out of range");
     }
-    auto nbrs = g_->Neighbors(n);
-    out->assign(nbrs.begin(), nbrs.end());
-    return Status::OK();
+    // Invalidate the cursor's previous span (it may pin another view's
+    // pages); the CSR itself needs no lease.
+    cursor.Reset();
+    return g_->Neighbors(n);
   }
 
   const Graph& graph() const { return *g_; }

@@ -44,6 +44,27 @@ enum class ReplacementPolicy {
 /// pin-table contention by an order of magnitude.
 inline constexpr size_t kDefaultConcurrentShards = 8;
 
+/// Minimum per-shard frame budget before scans may HOLD pins across
+/// calls (the zero-copy lease path of GraphFile::ScanNeighbors). Below
+/// this, a handful of concurrently-held cursor leases could pin down a
+/// whole shard and starve nested scans into ResourceExhausted, so small
+/// pools serve scans by copy-and-unpin instead.
+///
+/// Operating envelope, not a hard guarantee: each serving thread holds
+/// <= 4 cursor pins (three workspace cursors + one transient), so 32
+/// frames/shard absorbs up to 8 concurrent workers even if page-id
+/// residue skew lands EVERY held pin in one shard (the bound
+/// deliberately does not assume an even spread), while keeping the
+/// paper-scale pools (256 pages at 1 or 8 shards) on the zero-copy
+/// path. Nothing enforces the worker count: deployments running W > 8
+/// threads against one pool must size it so frames/shard >= 4*W (or
+/// accept that Acquire's bounded retry, which normally absorbs the
+/// transient overshoot as threads advance and drop leases, can expire
+/// into ResourceExhausted under sustained skew). A pin-reservation
+/// scheme that degrades to copy mode under pressure is the known
+/// next step if serving fleets outgrow this envelope.
+inline constexpr size_t kMinFramesPerShardForLease = 32;
+
 class BufferPool;
 
 /// \brief RAII pin on a page resident in the buffer pool.
@@ -63,6 +84,12 @@ class PageGuard {
 
   bool valid() const { return data_ != nullptr; }
   PageId page_id() const { return page_id_; }
+
+  /// True when this guard pins a pool frame. Guards from zero-capacity
+  /// pools own a private copy instead — valid() but pinning nothing —
+  /// so pin accounting (cursor leases, num_pinned probes) must use
+  /// this, not valid().
+  bool pins_frame() const { return data_ != nullptr && frame_ != SIZE_MAX; }
 
   /// Read-only view of the page bytes.
   const uint8_t* data() const { return data_; }
@@ -144,6 +171,15 @@ class BufferPool {
 
   size_t capacity() const { return capacity_; }
   size_t num_shards() const { return shards_.size(); }
+  /// True when callers may hold page pins across calls (cursor leases):
+  /// unbuffered pools hand out private copies (nothing is pinned), and
+  /// buffered pools need kMinFramesPerShardForLease frames per shard so
+  /// held leases cannot exhaust a shard — see graph_file.h and DESIGN.md,
+  /// "Neighbor access path".
+  bool lease_friendly() const {
+    return capacity_ == 0 ||
+           capacity_ / shards_.size() >= kMinFramesPerShardForLease;
+  }
   size_t num_resident() const;
   size_t num_pinned() const;
   /// Snapshot of the I/O counters, summed over every shard (by value: the

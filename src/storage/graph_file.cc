@@ -8,7 +8,23 @@ namespace grnn::storage {
 
 namespace {
 
-// Appends raw bytes to a page-building stream, allocating pages on demand.
+// Cursor lease over one pinned frame: backs the zero-copy v2 spans. The
+// only NeighborLease implementation in the tree (GraphFile is the sole
+// installer), so ScanNeighbors may static_cast a cursor's lease back.
+class PageLease final : public graph::NeighborLease {
+ public:
+  void Drop() override { guard_.Release(); }
+  // Guards from unbuffered pools own a private copy and pin nothing;
+  // only report real frame pins.
+  size_t num_pins() const override {
+    return guard_.pins_frame() ? 1 : 0;
+  }
+
+  PageGuard guard_;
+};
+
+// Appends raw bytes to a page-building stream, allocating pages on demand
+// (the v1 packed layout: no page header, 12-byte records).
 class PageWriter {
  public:
   PageWriter(DiskManager* disk, size_t page_size)
@@ -78,9 +94,100 @@ class PageWriter {
   PageId first_page_ = kInvalidPage;
 };
 
+// Slot-granular writer for the v2 aligned layout: every page carries a
+// V2PageHeader followed by 16-byte AdjEntry-identical records. The page
+// buffer stays zeroed between records, so record padding bytes and page
+// tails are deterministic on disk.
+class V2PageWriter {
+ public:
+  V2PageWriter(DiskManager* disk, size_t page_size)
+      : disk_(disk),
+        page_size_(page_size),
+        slots_per_page_((page_size - kV2HeaderBytes) / kV2RecordBytes),
+        buffer_(page_size, 0) {}
+
+  uint64_t position() const {
+    return static_cast<uint64_t>(pages_written_) * page_size_ +
+           kV2HeaderBytes + slot_fill_ * kV2RecordBytes;
+  }
+
+  size_t remaining_slots() const { return slots_per_page_ - slot_fill_; }
+  size_t slots_per_page() const { return slots_per_page_; }
+
+  Result<PageId> first_page() const {
+    if (first_page_ == kInvalidPage) {
+      return Status::FailedPrecondition("no pages written yet");
+    }
+    return first_page_;
+  }
+
+  size_t pages_flushed_or_open() const {
+    return pages_written_ + (slot_fill_ > 0 ? 1 : 0);
+  }
+
+  Status AppendEntry(const AdjEntry& a) {
+    uint8_t* rec = buffer_.data() + kV2HeaderBytes +
+                   slot_fill_ * kV2RecordBytes;
+    std::memcpy(rec + offsetof(AdjEntry, node), &a.node, sizeof(a.node));
+    std::memcpy(rec + offsetof(AdjEntry, weight), &a.weight,
+                sizeof(a.weight));
+    if (++slot_fill_ == slots_per_page_) {
+      GRNN_RETURN_NOT_OK(FlushPage());
+    }
+    return Status::OK();
+  }
+
+  Status PadToPageBoundary() {
+    if (slot_fill_ > 0) {
+      GRNN_RETURN_NOT_OK(FlushPage());
+    }
+    return Status::OK();
+  }
+
+  Status Finish() { return PadToPageBoundary(); }
+
+ private:
+  Status FlushPage() {
+    V2PageHeader header;
+    header.magic = kV2Magic;
+    header.entry_count = static_cast<uint32_t>(slot_fill_);
+    std::memcpy(buffer_.data(), &header, sizeof(header));
+    GRNN_ASSIGN_OR_RETURN(PageId id, disk_->AllocatePage());
+    if (first_page_ == kInvalidPage) {
+      first_page_ = id;
+    } else if (id != first_page_ + pages_written_) {
+      return Status::Internal("graph file pages are not contiguous");
+    }
+    GRNN_RETURN_NOT_OK(disk_->WritePage(id, buffer_.data()));
+    std::memset(buffer_.data(), 0, buffer_.size());
+    pages_written_++;
+    slot_fill_ = 0;
+    return Status::OK();
+  }
+
+  DiskManager* disk_;
+  size_t page_size_;
+  size_t slots_per_page_;
+  std::vector<uint8_t> buffer_;
+  size_t slot_fill_ = 0;
+  size_t pages_written_ = 0;
+  PageId first_page_ = kInvalidPage;
+};
+
 }  // namespace
 
-Result<GraphFile> GraphFile::Build(const graph::Graph& g, DiskManager* disk,
+const char* PageLayoutName(PageLayout layout) {
+  switch (layout) {
+    case PageLayout::kV1Packed:
+      return "v1-packed";
+    case PageLayout::kV2Aligned:
+      return "v2-aligned";
+  }
+  return "unknown";
+}
+
+Result<GraphFile> GraphFile::Build(const graph::Graph& g,
+                                   DiskManager* disk,
                                    const GraphFileOptions& options) {
   if (disk == nullptr) {
     return Status::InvalidArgument("disk manager is null");
@@ -90,6 +197,7 @@ Result<GraphFile> GraphFile::Build(const graph::Graph& g, DiskManager* disk,
   }
 
   GraphFile file;
+  file.layout_ = options.layout;
   file.page_size_ = disk->page_size();
   file.num_edges_ = g.num_edges();
   file.offsets_.assign(g.num_nodes(), 0);
@@ -97,6 +205,32 @@ Result<GraphFile> GraphFile::Build(const graph::Graph& g, DiskManager* disk,
 
   std::vector<NodeId> order =
       ComputeNodeOrder(g, options.order, options.seed);
+
+  if (options.layout == PageLayout::kV2Aligned) {
+    if (file.page_size_ < kV2HeaderBytes + kV2RecordBytes) {
+      return Status::InvalidArgument(StrPrintf(
+          "page size %zu cannot hold a v2 header plus one record",
+          file.page_size_));
+    }
+    V2PageWriter writer(disk, file.page_size_);
+    for (NodeId n : order) {
+      auto nbrs = g.Neighbors(n);
+      if (options.pad_to_page_boundaries && !nbrs.empty() &&
+          nbrs.size() <= writer.slots_per_page() &&
+          nbrs.size() > writer.remaining_slots()) {
+        GRNN_RETURN_NOT_OK(writer.PadToPageBoundary());
+      }
+      file.offsets_[n] = writer.position();
+      file.degrees_[n] = static_cast<uint32_t>(nbrs.size());
+      for (const AdjEntry& a : nbrs) {
+        GRNN_RETURN_NOT_OK(writer.AppendEntry(a));
+      }
+    }
+    GRNN_RETURN_NOT_OK(writer.Finish());
+    GRNN_ASSIGN_OR_RETURN(file.first_page_, writer.first_page());
+    file.num_pages_ = writer.pages_flushed_or_open();
+    return file;
+  }
 
   PageWriter writer(disk, file.page_size_);
   std::vector<uint8_t> scratch;
@@ -126,17 +260,92 @@ Result<GraphFile> GraphFile::Build(const graph::Graph& g, DiskManager* disk,
   return file;
 }
 
-Status GraphFile::ReadNeighbors(BufferPool* pool, NodeId n,
-                                std::vector<AdjEntry>* out) const {
+Result<std::span<const AdjEntry>> GraphFile::ScanNeighbors(
+    BufferPool* pool, NodeId n, graph::NeighborCursor& cursor) const {
   if (n >= degrees_.size()) {
     return Status::OutOfRange(StrPrintf("node %u out of range", n));
   }
   if (pool == nullptr) {
     return Status::InvalidArgument("buffer pool is null");
   }
-  out->clear();
+  // Invalidate the cursor's previous span first: its pin (possibly the
+  // last frame of a small shard) must not block this scan's Acquire.
+  cursor.Reset();
   const uint32_t degree = degrees_[n];
-  out->reserve(degree);
+  if (degree == 0) {
+    return std::span<const AdjEntry>();
+  }
+
+  if (layout_ == PageLayout::kV2Aligned) {
+    const uint64_t off = offsets_[n];
+    const size_t in_page = static_cast<size_t>(off % page_size_);
+    const size_t slots_here = (page_size_ - in_page) / kV2RecordBytes;
+    if (degree <= slots_here) {
+      // Whole list on one page: serve it straight from the frame.
+      const PageId page =
+          first_page_ + static_cast<PageId>(off / page_size_);
+      GRNN_ASSIGN_OR_RETURN(PageGuard guard, pool->Acquire(page));
+      const uint8_t* base = guard.data() + in_page;
+      GRNN_DCHECK(reinterpret_cast<uintptr_t>(base) % alignof(AdjEntry) ==
+                  0);
+      const auto* records = reinterpret_cast<const AdjEntry*>(base);
+      if (pool->lease_friendly()) {
+        // Zero-copy: the cursor leases the pin for the span's lifetime.
+        if (cursor.lease_ == nullptr) {
+          cursor.lease_ = std::make_unique<PageLease>();
+        }
+        static_cast<PageLease*>(cursor.lease_.get())->guard_ =
+            std::move(guard);
+        return std::span<const AdjEntry>(records, degree);
+      }
+      // Tiny pool: copy and unpin so held cursors cannot exhaust a shard.
+      cursor.scratch_.resize(degree);
+      std::memcpy(cursor.scratch_.data(), base,
+                  degree * sizeof(AdjEntry));
+      return std::span<const AdjEntry>(cursor.scratch_.data(), degree);
+    }
+    GRNN_RETURN_NOT_OK(AssembleV2(pool, n, cursor.scratch_));
+    return std::span<const AdjEntry>(cursor.scratch_.data(), degree);
+  }
+
+  GRNN_RETURN_NOT_OK(ScanV1(pool, n, cursor.scratch_));
+  return std::span<const AdjEntry>(cursor.scratch_.data(), degree);
+}
+
+Status GraphFile::AssembleV2(BufferPool* pool, NodeId n,
+                             std::vector<AdjEntry>& scratch) const {
+  const uint32_t degree = degrees_[n];
+  scratch.resize(degree);
+  uint64_t off = offsets_[n];
+  size_t filled = 0;
+  while (filled < degree) {
+    const PageId page =
+        first_page_ + static_cast<PageId>(off / page_size_);
+    const size_t in_page = static_cast<size_t>(off % page_size_);
+    const size_t take = std::min<size_t>(
+        degree - filled, (page_size_ - in_page) / kV2RecordBytes);
+    GRNN_ASSIGN_OR_RETURN(PageGuard guard, pool->Acquire(page));
+#ifndef NDEBUG
+    V2PageHeader header;
+    std::memcpy(&header, guard.data(), sizeof(header));
+    GRNN_DCHECK(header.magic == kV2Magic);
+    GRNN_DCHECK((in_page - kV2HeaderBytes) / kV2RecordBytes + take <=
+                header.entry_count);
+#endif
+    std::memcpy(scratch.data() + filled, guard.data() + in_page,
+                take * kV2RecordBytes);
+    filled += take;
+    // Continuation records start behind the next page's header.
+    off = (off / page_size_ + 1) * page_size_ + kV2HeaderBytes;
+  }
+  return Status::OK();
+}
+
+Status GraphFile::ScanV1(BufferPool* pool, NodeId n,
+                         std::vector<AdjEntry>& scratch) const {
+  const uint32_t degree = degrees_[n];
+  scratch.clear();
+  scratch.reserve(degree);
 
   uint64_t pos = offsets_[n];
   size_t bytes_left = degree * kAdjEntryBytes;
@@ -164,7 +373,7 @@ Status GraphFile::ReadNeighbors(BufferPool* pool, NodeId n,
         AdjEntry a;
         std::memcpy(&a.node, entry, sizeof(uint32_t));
         std::memcpy(&a.weight, entry + sizeof(uint32_t), sizeof(double));
-        out->push_back(a);
+        scratch.push_back(a);
         entry_fill = 0;
       }
     }
@@ -176,6 +385,16 @@ size_t GraphFile::PagesSpanned(NodeId n) const {
   GRNN_CHECK(n < degrees_.size());
   if (degrees_[n] == 0) {
     return 1;
+  }
+  if (layout_ == PageLayout::kV2Aligned) {
+    const uint64_t off = offsets_[n];
+    const size_t in_page = static_cast<size_t>(off % page_size_);
+    const size_t slots_first = (page_size_ - in_page) / kV2RecordBytes;
+    if (degrees_[n] <= slots_first) {
+      return 1;
+    }
+    const size_t rest = degrees_[n] - slots_first;
+    return 2 + (rest - 1) / V2SlotsPerPage();
   }
   const uint64_t begin = offsets_[n];
   const uint64_t end = begin + degrees_[n] * kAdjEntryBytes;

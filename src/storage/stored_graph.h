@@ -5,7 +5,7 @@
 #ifndef GRNN_STORAGE_STORED_GRAPH_H_
 #define GRNN_STORAGE_STORED_GRAPH_H_
 
-#include <vector>
+#include <span>
 
 #include "graph/network_view.h"
 #include "storage/buffer_pool.h"
@@ -13,8 +13,11 @@
 
 namespace grnn::storage {
 
-/// \brief Disk-backed NetworkView. Every GetNeighbors call goes through
-/// the buffer pool; misses count as the paper's page accesses.
+/// \brief Disk-backed NetworkView. Every Scan goes through the buffer
+/// pool; misses count as the paper's page accesses. With the v2 page
+/// layout and a lease-friendly pool, a scan returns a span straight into
+/// the pinned frame — the cursor holds the pin until its next scan (see
+/// network_view.h for the lifetime rules).
 class StoredGraph final : public graph::NetworkView {
  public:
   /// \param file, pool must outlive the view.
@@ -27,8 +30,9 @@ class StoredGraph final : public graph::NetworkView {
   NodeId num_nodes() const override { return file_->num_nodes(); }
   size_t num_edges() const override { return file_->num_edges(); }
 
-  Status GetNeighbors(NodeId n, std::vector<AdjEntry>* out) const override {
-    return file_->ReadNeighbors(pool_, n, out);
+  Result<std::span<const AdjEntry>> Scan(
+      NodeId n, graph::NeighborCursor& cursor) const override {
+    return file_->ScanNeighbors(pool_, n, cursor);
   }
 
   BufferPool* pool() const { return pool_; }

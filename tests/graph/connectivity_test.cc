@@ -60,5 +60,15 @@ TEST(ConnectivityTest, AllIsolatedNodes) {
   EXPECT_EQ(big.num_nodes(), 1u);
 }
 
+TEST(ConnectivityTest, NetworkViewOverloadMatchesGraphLabels) {
+  auto g = Graph::FromEdges(6, {{0, 1, 1.0},
+                                {1, 2, 2.0},
+                                {3, 4, 1.0}})
+               .ValueOrDie();
+  GraphView view(&g);
+  auto via_view = ConnectedComponents(view).ValueOrDie();
+  EXPECT_EQ(via_view, ConnectedComponents(g));
+}
+
 }  // namespace
 }  // namespace grnn::graph

@@ -10,6 +10,7 @@
 #include "gen/brite.h"
 #include "gen/points.h"
 #include "gen/road_network.h"
+#include "graph/connectivity.h"
 #include "graph/network_view.h"
 
 namespace grnn {
@@ -64,6 +65,13 @@ TEST(EndToEndTest, StoredAndInMemoryAgreeOnRoadNetwork) {
   // Disk-backed runs must have charged I/O.
   EXPECT_GT(env.pool->stats().logical_reads, 0u);
   EXPECT_GT(env.pool->stats().physical_reads, 0u);
+
+  // Reachability through the stored view (the NetworkView overload of
+  // ConnectedComponents) agrees with the in-memory labels and leaves no
+  // pins behind.
+  auto stored_comp = graph::ConnectedComponents(*env.view).ValueOrDie();
+  EXPECT_EQ(stored_comp, graph::ConnectedComponents(net.g));
+  EXPECT_EQ(env.pool->num_pinned(), 0u);
 }
 
 TEST(EndToEndTest, StoredUnrestrictedAgreesWithMemory) {
