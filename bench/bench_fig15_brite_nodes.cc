@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
               "total = CPU + 10ms/fault; breakdown column = faults/CPUms");
 
   Table table(FourWayHeaders({"|V|"}));
+  JsonReport report("fig15_brite_nodes", args);
 
   for (NodeId n : sizes) {
     gen::BriteConfig cfg;
@@ -51,8 +52,13 @@ int main(int argc, char** argv) {
     std::vector<std::string> cells{std::to_string(n)};
     AppendFourWayCells(fw, &cells);
     table.AddRow(std::move(cells));
+    report.AddFourWayConfigs(StrPrintf("V=%u", n), fw, args.algos);
   }
   table.Print();
+  if (auto st = report.WriteIfRequested(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
   std::printf(
       "\nexpected shape (paper Fig 15): lazy (L) and lazy-EP (LP) blow up\n"
       "-- exponential expansion makes them touch most of the network --\n"

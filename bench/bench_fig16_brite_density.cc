@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
       args, "total = CPU + 10ms/fault; breakdown column = faults/CPUms");
 
   Table table(FourWayHeaders({"D"}));
+  JsonReport report("fig16_brite_density", args);
 
   for (double density : {0.0025, 0.005, 0.01, 0.02, 0.04}) {
     Rng rng(args.seed * 17 + static_cast<uint64_t>(density * 1e5));
@@ -47,8 +48,13 @@ int main(int argc, char** argv) {
     std::vector<std::string> cells{Table::Num(density, 4)};
     AppendFourWayCells(fw, &cells);
     table.AddRow(std::move(cells));
+    report.AddFourWayConfigs(StrPrintf("D=%g", density), fw, args.algos);
   }
   table.Print();
+  if (auto st = report.WriteIfRequested(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
   std::printf(
       "\nexpected shape (paper Fig 16): lazy variants visit most of the\n"
       "network at every density; eager and eager-M improve significantly\n"

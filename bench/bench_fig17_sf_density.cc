@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
                 net.g.AverageDegree()));
 
   Table table(FourWayHeaders({"D"}));
+  JsonReport report("fig17_sf_density", args);
 
   for (double density : {0.0025, 0.005, 0.01, 0.02, 0.04}) {
     Rng rng(args.seed * 19 + static_cast<uint64_t>(density * 1e5));
@@ -45,8 +46,13 @@ int main(int argc, char** argv) {
     std::vector<std::string> cells{Table::Num(density, 4)};
     AppendFourWayCells(fw, &cells);
     table.AddRow(std::move(cells));
+    report.AddFourWayConfigs(StrPrintf("D=%g", density), fw, args.algos);
   }
   table.Print();
+  if (auto st = report.WriteIfRequested(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
   std::printf(
       "\nexpected shape (paper Fig 17): every method improves with D;\n"
       "eager beats lazy on I/O but pays more CPU; lazy-EP helps lazy at\n"

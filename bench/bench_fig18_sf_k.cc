@@ -41,14 +41,20 @@ int main(int argc, char** argv) {
       BuildStoredUnrestricted(net.g, points, max_k + 1).ValueOrDie();
 
   Table table(FourWayHeaders({"k"}));
+  JsonReport report("fig18_sf_k", args);
   for (int k : ks) {
     auto fw =
         RunFourWayUnrestricted(env, points, queries, k, args.algos).ValueOrDie();
     std::vector<std::string> cells{std::to_string(k)};
     AppendFourWayCells(fw, &cells);
     table.AddRow(std::move(cells));
+    report.AddFourWayConfigs(StrPrintf("k=%d", k), fw, args.algos);
   }
   table.Print();
+  if (auto st = report.WriteIfRequested(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
   std::printf(
       "\nexpected shape (paper Fig 18): all methods degrade with k; lazy\n"
       "fastest (diminishing verification pruning); lazy-EP scales better\n"

@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
                  .ValueOrDie();
 
   Table table(FourWayHeaders({"route"}));
+  JsonReport report("fig19_continuous", args);
 
   for (size_t route_len : {1u, 5u, 10u, 20u, 30u, 40u}) {
     // Pre-build the workload's routes (retrying stuck walks).
@@ -73,8 +74,14 @@ int main(int argc, char** argv) {
     std::vector<std::string> cells{std::to_string(route_len)};
     AppendFourWayCells(fw, &cells);
     table.AddRow(std::move(cells));
+    report.AddFourWayConfigs(StrPrintf("route=%zu", route_len), fw,
+                             args.algos);
   }
   table.Print();
+  if (auto st = report.WriteIfRequested(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
   std::printf(
       "\nexpected shape (paper Fig 19): eager and eager-M grow roughly\n"
       "linearly with the route; the lazy variants dip first (early point\n"

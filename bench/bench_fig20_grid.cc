@@ -17,7 +17,8 @@ namespace {
 
 void RunRow(const graph::Graph& g, double density, int k,
             const BenchArgs& args, uint64_t seed, const std::string& label,
-            Table* table) {
+            const std::string& json_prefix, Table* table,
+            JsonReport* report) {
   Rng rng(seed);
   auto points = gen::PlaceEdgePoints(g, density, rng).ValueOrDie();
   auto qs = gen::SampleEdgeQueryPoints(points, args.queries, rng);
@@ -29,6 +30,7 @@ void RunRow(const graph::Graph& g, double density, int k,
   std::vector<std::string> cells{label};
   AppendFourWayCells(fw, &cells);
   table->AddRow(std::move(cells));
+  report->AddFourWayConfigs(json_prefix, fw, args.algos);
 }
 
 }  // namespace
@@ -40,6 +42,8 @@ int main(int argc, char** argv) {
 
   PrintBanner("Fig 20 -- grid maps (D=0.01, k=1, unrestricted)", args,
               "20a: cost vs |V| at degree 4; 20b: cost vs degree");
+
+  JsonReport report("fig20_grid", args);
 
   // ---- Fig 20a: node cardinality sweep at degree 4.
   std::printf("\n(a) cost vs |V| (degree = 4)\n");
@@ -53,7 +57,8 @@ int main(int argc, char** argv) {
     cfg.seed = args.seed;
     auto g = gen::GenerateGrid(cfg).ValueOrDie();
     RunRow(g, density, k, args, args.seed * 41 + side,
-           std::to_string(g.num_nodes()), &ta);
+           std::to_string(g.num_nodes()),
+           StrPrintf("V=%u", g.num_nodes()), &ta, &report);
   }
   ta.Print();
 
@@ -71,9 +76,14 @@ int main(int argc, char** argv) {
     auto g = gen::GenerateGrid(cfg).ValueOrDie();
     RunRow(g, density, k, args,
            args.seed * 43 + static_cast<uint64_t>(degree),
-           Table::Num(degree, 0), &tb);
+           Table::Num(degree, 0), StrPrintf("degree=%g", degree), &tb,
+           &report);
   }
   tb.Print();
+  if (auto st = report.WriteIfRequested(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
 
   std::printf(
       "\nexpected shape (paper Fig 20): (a) flat in |V| -- expansion\n"

@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
 
   Table table({"buffer(pages)", "eager IO/q", "eager tot(s)", "lazy IO/q",
                "lazy tot(s)"});
+  JsonReport report("fig21_buffer", args);
 
   for (size_t pages : {size_t{0}, size_t{16}, size_t{64}, size_t{256},
                        size_t{1024}}) {
@@ -65,8 +66,18 @@ int main(int argc, char** argv) {
                   Table::Num(per_algo[0].AvgTotalS(), 3),
                   Table::Num(per_algo[1].AvgFaults(), 1),
                   Table::Num(per_algo[1].AvgTotalS(), 3)});
+    for (int a = 0; a < 2; ++a) {
+      report.AddConfig(
+          StrPrintf("buffer=%zu,algo=%s", pages,
+                    core::AlgorithmShortName(algos[a])),
+          JsonReport::MeasurementMetrics(per_algo[a]));
+    }
   }
   table.Print();
+  if (auto st = report.WriteIfRequested(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
   std::printf(
       "\nexpected shape (paper Fig 21): at buffer=0 eager >> lazy (every\n"
       "range-NN node access faults); eager drops sharply with a small\n"

@@ -80,6 +80,25 @@ std::string MaintCell(const core::UpdateStats& m, size_t ops) {
                        static_cast<double>(ops));
 }
 
+// JSON rows for one sweep point: the measurement metrics plus the
+// engine-reported maintenance totals, one config per op direction.
+void AddUpdateConfigs(JsonReport* report, const std::string& prefix,
+                      const UpdateCost& cost, size_t ops) {
+  auto add = [&](const char* op, const Measurement& m,
+                 const core::UpdateStats& maint) {
+    auto metrics = JsonReport::MeasurementMetrics(m);
+    metrics.push_back({"lists_written_per_op",
+                       static_cast<double>(maint.lists_written) /
+                           static_cast<double>(ops)});
+    metrics.push_back({"nodes_touched_per_op",
+                       static_cast<double>(maint.nodes_touched) /
+                           static_cast<double>(ops)});
+    report->AddConfig(prefix + ",op=" + op, std::move(metrics));
+  };
+  add("insert", cost.insert, cost.insert_maint);
+  add("delete", cost.remove, cost.remove_maint);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -97,6 +116,8 @@ int main(int argc, char** argv) {
       StrPrintf("%zu insertions + %zu deletions per row, engine update "
                 "path (wr/rd = lists written / lists read per op)",
                 ops, ops));
+
+  JsonReport report("fig22_updates", args);
 
   std::printf("\n(a) cost vs density D (K = 1)\n");
   Table ta({"D", "insert tot(s)", "insert io/cpu", "insert wr/rd",
@@ -117,6 +138,7 @@ int main(int argc, char** argv) {
                StrPrintf("%.0f/%.1f", cost.remove.AvgFaults(),
                          cost.remove.AvgCpuMs()),
                MaintCell(cost.remove_maint, ops)});
+    AddUpdateConfigs(&report, StrPrintf("D=%g,K=1", density), cost, ops);
   }
   ta.Print();
 
@@ -138,8 +160,13 @@ int main(int argc, char** argv) {
                StrPrintf("%.0f/%.1f", cost.remove.AvgFaults(),
                          cost.remove.AvgCpuMs()),
                MaintCell(cost.remove_maint, ops)});
+    AddUpdateConfigs(&report, StrPrintf("D=0.01,K=%u", K), cost, ops);
   }
   tb.Print();
+  if (auto st = report.WriteIfRequested(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
 
   std::printf(
       "\nexpected shape (paper Fig 22): deletion > insertion (two-step\n"

@@ -1,0 +1,190 @@
+// Hub-label index vs the expansion algorithms (PR 5): single-query
+// latency and batch throughput on the paper's three graph families,
+// plus the build-time/space cost of the index itself — the trade-off
+// axis the index subsystem introduces. All engines serve the same
+// in-memory view, so the comparison isolates algorithmic work
+// (label-intersection vs Dijkstra expansion); the LabelFile serving
+// path is covered by bench_ablation-style page counting elsewhere.
+//
+// CI's perf-smoke job records this bench's --json output as
+// BENCH_PR5.json; the acceptance bar is a >= 2x single-query speedup of
+// hub over eager on at least one world.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "gen/brite.h"
+#include "gen/grid.h"
+#include "gen/points.h"
+#include "gen/road_network.h"
+#include "index/hub_label.h"
+
+using namespace grnn;
+using namespace grnn::bench;
+
+namespace {
+
+struct WorldCase {
+  std::string name;
+  graph::Graph g;
+};
+
+std::vector<WorldCase> MakeWorlds(const BenchArgs& args) {
+  std::vector<WorldCase> worlds;
+  {
+    gen::GridConfig cfg;
+    cfg.rows = args.pick<uint32_t>(40u, 80u, 160u);
+    cfg.cols = cfg.rows;
+    cfg.seed = args.seed;
+    worlds.push_back({"grid", gen::GenerateGrid(cfg).ValueOrDie()});
+  }
+  {
+    gen::BriteConfig cfg;
+    cfg.num_nodes = args.pick<NodeId>(2000, 8000, 30000);
+    cfg.seed = args.seed;
+    cfg.unit_weights = false;
+    worlds.push_back({"brite", gen::GenerateBrite(cfg).ValueOrDie()});
+  }
+  {
+    gen::RoadConfig cfg;
+    cfg.num_nodes = args.pick<NodeId>(2000, 8000, 30000);
+    cfg.seed = args.seed;
+    worlds.push_back(
+        {"road", gen::GenerateRoadNetwork(cfg).ValueOrDie().g});
+  }
+  return worlds;
+}
+
+// Wall-clock qps over `specs` through engine.Run, one at a time (the
+// serving shape single-query latency cares about).
+double SingleQueryQps(core::RknnEngine& engine,
+                      const std::vector<core::QuerySpec>& specs) {
+  WallTimer timer;
+  for (const core::QuerySpec& spec : specs) {
+    auto r = engine.Run(spec);
+    if (!r.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  const double s = timer.ElapsedSeconds();
+  return s > 0 ? static_cast<double>(specs.size()) / s : 0;
+}
+
+double BatchQps(core::RknnEngine& engine,
+                const std::vector<core::QuerySpec>& specs, int threads) {
+  WallTimer timer;
+  auto r = engine.RunBatch(specs, core::ParallelOptions{threads, 16});
+  if (!r.ok()) {
+    std::fprintf(stderr, "batch failed: %s\n",
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  const double s = timer.ElapsedSeconds();
+  return s > 0 ? static_cast<double>(specs.size()) / s : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  const double density = 0.01;
+  const int k = 1;
+
+  PrintBanner("Hub-label index vs expansion (monochromatic, D=0.01, k=1)",
+              args,
+              "in-memory serving; single-query wall qps + batch qps; "
+              "index build cost per world");
+
+  Table table({"world", "|V|", "build(s)", "avg|L|", "E qps", "L qps",
+               "H qps", "H/E", "batch E", "batch H"});
+  JsonReport report("hub_label", args);
+
+  for (WorldCase& world : MakeWorlds(args)) {
+    Rng rng(args.seed * 211 + world.g.num_nodes());
+    auto points =
+        gen::PlaceNodePoints(world.g.num_nodes(), density, rng)
+            .ValueOrDie();
+    auto queries = gen::SampleQueryPoints(points, args.queries, rng);
+    graph::GraphView view(&world.g);
+
+    WallTimer build_timer;
+    auto labels = index::HubLabelBuilder::Build(view).ValueOrDie();
+    const double build_s = build_timer.ElapsedSeconds();
+
+    core::EngineSources sources;
+    sources.graph = &view;
+    sources.points = &points;
+    sources.hub_labels = &labels;
+    auto engine = core::RknnEngine::Create(sources).ValueOrDie();
+
+    auto specs_for = [&](core::Algorithm a) {
+      std::vector<core::QuerySpec> specs;
+      specs.reserve(queries.size());
+      for (PointId q : queries) {
+        specs.push_back(core::QuerySpec::Monochromatic(
+            a, points.NodeOf(q), k, q));
+      }
+      return specs;
+    };
+    const auto eager_specs = specs_for(core::Algorithm::kEager);
+    const auto lazy_specs = specs_for(core::Algorithm::kLazy);
+    const auto hub_specs = specs_for(core::Algorithm::kHubLabel);
+
+    // Warm the workspace pool once per algorithm family, then measure.
+    (void)SingleQueryQps(engine, {eager_specs.front()});
+    (void)SingleQueryQps(engine, {hub_specs.front()});
+    const double eager_qps = SingleQueryQps(engine, eager_specs);
+    const double lazy_qps = SingleQueryQps(engine, lazy_specs);
+    const double hub_qps = SingleQueryQps(engine, hub_specs);
+    const double batch_eager = BatchQps(engine, eager_specs, args.threads);
+    const double batch_hub = BatchQps(engine, hub_specs, args.threads);
+
+    table.AddRow({world.name, std::to_string(world.g.num_nodes()),
+                  Table::Num(build_s, 3),
+                  Table::Num(labels.AverageLabelSize(), 1),
+                  Table::Num(eager_qps, 0), Table::Num(lazy_qps, 0),
+                  Table::Num(hub_qps, 0),
+                  Table::Num(eager_qps > 0 ? hub_qps / eager_qps : 0, 1),
+                  Table::Num(batch_eager, 0), Table::Num(batch_hub, 0)});
+
+    report.AddConfig(
+        "world=" + world.name + ",index",
+        {{"num_nodes", static_cast<double>(world.g.num_nodes())},
+         {"num_points", static_cast<double>(points.num_points())},
+         {"build_s", build_s},
+         {"label_entries", static_cast<double>(labels.num_entries())},
+         {"avg_label_size", labels.AverageLabelSize()}});
+    auto add = [&](const char* algo, const char* mode, double qps) {
+      report.AddConfig("world=" + world.name + ",mode=" + mode +
+                           ",algo=" + algo,
+                       {{"qps", qps}});
+    };
+    add("E", "single", eager_qps);
+    add("L", "single", lazy_qps);
+    add("H", "single", hub_qps);
+    add("E", "batch", batch_eager);
+    add("H", "batch", batch_hub);
+    report.AddConfig("world=" + world.name + ",speedup",
+                     {{"hub_over_eager_single",
+                       eager_qps > 0 ? hub_qps / eager_qps : 0},
+                      {"hub_over_eager_batch",
+                       batch_eager > 0 ? batch_hub / batch_eager : 0}});
+  }
+  table.Print();
+  if (auto st = report.WriteIfRequested(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf(
+      "\nexpected shape: hub-label answers every query by label\n"
+      "intersection (no network expansion), so H qps >> E qps on every\n"
+      "world once the one-off build cost is paid; the build/query\n"
+      "trade-off is the index subsystem's new axis (DESIGN.md, \"Index\n"
+      "subsystem\").\n");
+  return 0;
+}

@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
 
   Table table({"condition", "|P|", "eager IO/q", "eager CPUms/q",
                "lazy IO/q", "lazy CPUms/q"});
+  JsonReport report("table1_adhoc", args);
 
   for (uint32_t c = 0; c <= 2; ++c) {
     auto subset = core::NodePointSet::FromPredicate(
@@ -67,8 +68,20 @@ int main(int argc, char** argv) {
                   Table::Num(per_algo[0].AvgCpuMs(), 2),
                   Table::Num(per_algo[1].AvgFaults(), 1),
                   Table::Num(per_algo[1].AvgCpuMs(), 2)});
+    for (int algo = 0; algo < 2; ++algo) {
+      auto metrics = JsonReport::MeasurementMetrics(per_algo[algo]);
+      metrics.push_back(
+          {"num_points", static_cast<double>(subset.num_points())});
+      report.AddConfig(StrPrintf("papers=%u,algo=%s", c,
+                                 core::AlgorithmShortName(algos[algo])),
+                       std::move(metrics));
+    }
   }
   table.Print();
+  if (auto st = report.WriteIfRequested(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
   std::printf(
       "\nexpected shape (paper Table 1): cost rises with the paper-count\n"
       "condition (higher selectivity); eager <= lazy on I/O but pays more\n"

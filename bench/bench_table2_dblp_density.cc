@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
 
   Table table({"D", "|P|", "eager IO/q", "eager CPUms/q", "lazy IO/q",
                "lazy CPUms/q"});
+  JsonReport report("table2_dblp_density", args);
 
   for (double density : {0.0125, 0.025, 0.05, 0.1}) {
     Rng rng(args.seed * 31 + static_cast<uint64_t>(density * 1e4));
@@ -58,8 +59,20 @@ int main(int argc, char** argv) {
                   Table::Num(per_algo[0].AvgCpuMs(), 2),
                   Table::Num(per_algo[1].AvgFaults(), 1),
                   Table::Num(per_algo[1].AvgCpuMs(), 2)});
+    for (int algo = 0; algo < 2; ++algo) {
+      auto metrics = JsonReport::MeasurementMetrics(per_algo[algo]);
+      metrics.push_back(
+          {"num_points", static_cast<double>(points.num_points())});
+      report.AddConfig(StrPrintf("D=%g,algo=%s", density,
+                                 core::AlgorithmShortName(algos[algo])),
+                       std::move(metrics));
+    }
   }
   table.Print();
+  if (auto st = report.WriteIfRequested(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
   std::printf(
       "\nexpected shape (paper Table 2): cost decreases as D increases;\n"
       "I/O comparable between the algorithms, but eager is much more\n"

@@ -74,7 +74,8 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
     } else if (std::strcmp(a, "--help") == 0) {
       std::printf(
           "options: --scale=small|medium|full --queries=N --seed=S "
-          "--threads=N --json=PATH --algos=E,EM,L,LP\n");
+          "--threads=N --json=PATH --algos=E,EM,L,LP (also BF, and hub "
+          "(H) on benches serving the hub-label index)\n");
     }
   }
   return args;
@@ -398,6 +399,19 @@ JsonReport::Metrics JsonReport::MeasurementMetrics(const Measurement& m) {
       {"avg_faults_per_query", m.AvgFaults()},
       {"avg_total_s_per_query", m.AvgTotalS()},
   };
+}
+
+void JsonReport::AddFourWayConfigs(
+    const std::string& prefix, const FourWay& fw,
+    std::span<const core::Algorithm> algos) {
+  for (core::Algorithm a : algos) {
+    const int slot = FourWayIndex(a);
+    if (slot < 0) {
+      continue;  // brute force / hub have no four-way column
+    }
+    AddConfig(prefix + ",algo=" + core::AlgorithmShortName(a),
+              MeasurementMetrics(fw.m[slot]));
+  }
 }
 
 namespace {

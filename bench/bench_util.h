@@ -61,7 +61,8 @@ struct BenchArgs {
   /// (see JsonReport).
   std::string json_path;
   /// Paper algorithms to run, figure order. `--algos=E,LP` (any form
-  /// ParseAlgorithm accepts) narrows the sweep.
+  /// ParseAlgorithm accepts, including `hub`/`H` for the label-backed
+  /// path on benches that serve a hub-label index) narrows the sweep.
   std::vector<core::Algorithm> algos{std::begin(core::kAllAlgorithms),
                                      std::end(core::kAllAlgorithms)};
 
@@ -285,6 +286,12 @@ class JsonReport {
   /// Standard metric row for a Measurement: qps (pure CPU), wall time,
   /// page accesses and the paper's total cost.
   static Metrics MeasurementMetrics(const Measurement& m);
+
+  /// One config row per selected paper algorithm of a FourWay sweep,
+  /// named "<prefix>,algo=<short name>" — the shared shape of every
+  /// figure bench's JSON output.
+  void AddFourWayConfigs(const std::string& prefix, const FourWay& fw,
+                         std::span<const core::Algorithm> algos);
 
   /// Writes the report to args.json_path; no-op when the flag is unset.
   Status WriteIfRequested() const;

@@ -13,6 +13,7 @@
 #include "core/eager.h"
 #include "core/lazy.h"
 #include "core/lazy_ep.h"
+#include "index/hub_rknn.h"
 
 namespace grnn::core {
 
@@ -38,6 +39,16 @@ struct RknnEngine::State {
   /// first: conceptually they guard the *sources*, everything below
   /// guards engine-internal bookkeeping.
   std::shared_mutex domain_mu[kNumDomains];
+  /// Derived hub-label point indices (Algorithm::kHubLabel). Rebuilt
+  /// only under exclusive locks of BOTH node domains (RebuildIndex),
+  /// read under the query's shared domain locks: monochromatic readers
+  /// hold points, bichromatic readers hold points + sites, so a rebuild
+  /// never races a reader of either index.
+  std::unique_ptr<index::HubPointIndex> hub_points;
+  std::unique_ptr<index::HubPointIndex> hub_sites;
+  /// Set by node-domain updates (under their exclusive lock); while
+  /// true, hub-label queries fall back to the eager expansion.
+  std::atomic<bool> hub_stale{false};
   /// Guards the idle-workspace pool. The pool is FIFO: successive
   /// acquisitions rotate through every pooled workspace, so repeated
   /// batches warm all of them toward the workload's high-water mark
@@ -305,7 +316,57 @@ Result<RknnEngine> RknnEngine::Create(const EngineSources& sources) {
         "edge-point updates require the engine's in-memory edge reader; "
         "a stored PointFile reader would not see inserted points");
   }
-  return RknnEngine(sources);
+  if (sources.hub_labels != nullptr &&
+      sources.hub_labels->num_nodes() != sources.graph->num_nodes()) {
+    return Status::InvalidArgument(
+        "hub-label index and graph cover different node counts");
+  }
+  RknnEngine engine(sources);
+  if (sources.hub_labels != nullptr) {
+    // Initial derivation of the inverted point indices; the engine is
+    // still single-owner here, so no domain locks are needed.
+    GRNN_RETURN_NOT_OK(engine.RebuildHubIndexesLocked());
+  }
+  return engine;
+}
+
+Status RknnEngine::RebuildHubIndexesLocked() {
+  if (src_.points != nullptr) {
+    GRNN_ASSIGN_OR_RETURN(
+        index::HubPointIndex idx,
+        index::HubPointIndex::Build(*src_.hub_labels, *src_.points));
+    state_->hub_points =
+        std::make_unique<index::HubPointIndex>(std::move(idx));
+  }
+  if (src_.sites != nullptr) {
+    GRNN_ASSIGN_OR_RETURN(
+        index::HubPointIndex idx,
+        index::HubPointIndex::Build(*src_.hub_labels, *src_.sites));
+    state_->hub_sites =
+        std::make_unique<index::HubPointIndex>(std::move(idx));
+  }
+  state_->hub_stale.store(false, std::memory_order_release);
+  return Status::OK();
+}
+
+Status RknnEngine::RebuildIndex() {
+  if (src_.hub_labels == nullptr) {
+    return Status::FailedPrecondition(
+        "engine has no hub-label index (EngineSources::hub_labels)");
+  }
+  // Exclusive on both node domains, in domain index order (same order
+  // multi-domain readers use, so no deadlock cycle): queries of either
+  // kind drain before the indices move.
+  std::unique_lock<std::shared_mutex> points_lock(
+      state_->domain_mu[kDomainPoints]);
+  std::unique_lock<std::shared_mutex> sites_lock(
+      state_->domain_mu[kDomainSites]);
+  return RebuildHubIndexesLocked();
+}
+
+bool RknnEngine::hub_index_stale() const {
+  return src_.hub_labels != nullptr &&
+         state_->hub_stale.load(std::memory_order_acquire);
 }
 
 Result<RknnResult> RknnEngine::RunMonochromatic(const QuerySpec& spec,
@@ -339,6 +400,32 @@ Result<RknnResult> RknnEngine::RunMonochromatic(const QuerySpec& spec,
                         options, ws);
     case Algorithm::kBruteForce:
       return BruteForceRknn(*src_.graph, *src_.points, nodes, options);
+    case Algorithm::kHubLabel: {
+      if (spec.kind != QueryKind::kMonochromatic) {
+        return Status::Unimplemented(
+            "the hub-label algorithm serves monochromatic and "
+            "bichromatic queries only; continuous routes need an "
+            "expansion algorithm");
+      }
+      if (src_.hub_labels == nullptr) {
+        return Status::FailedPrecondition(
+            "hub-label queries need EngineSources::hub_labels");
+      }
+      if (state_->hub_stale.load(std::memory_order_acquire)) {
+        // Staleness fallback: a points/sites update invalidated the
+        // derived point indices; answer exactly via eager expansion
+        // until RebuildIndex() runs (see the contract in engine.h).
+        Result<RknnResult> fallback =
+            EagerRknn(*src_.graph, *src_.points, nodes, options, ws);
+        if (fallback.ok()) {
+          fallback->stats.hub_fallbacks = 1;
+        }
+        return fallback;
+      }
+      return index::RknnViaLabels(*src_.hub_labels, *state_->hub_points,
+                                  *state_->hub_points, nodes, options,
+                                  ws.labels);
+    }
   }
   return Status::InvalidArgument("unknown algorithm");
 }
@@ -374,6 +461,23 @@ Result<RknnResult> RknnEngine::RunBichromatic(const QuerySpec& spec,
     case Algorithm::kBruteForce:
       return BruteForceBichromaticRknn(*src_.graph, *src_.points,
                                        *src_.sites, nodes, options);
+    case Algorithm::kHubLabel: {
+      if (src_.hub_labels == nullptr) {
+        return Status::FailedPrecondition(
+            "hub-label queries need EngineSources::hub_labels");
+      }
+      if (state_->hub_stale.load(std::memory_order_acquire)) {
+        Result<RknnResult> fallback = BichromaticRknn(
+            *src_.graph, *src_.points, *src_.sites, nodes, options, ws);
+        if (fallback.ok()) {
+          fallback->stats.hub_fallbacks = 1;
+        }
+        return fallback;
+      }
+      return index::RknnViaLabels(*src_.hub_labels, *state_->hub_points,
+                                  *state_->hub_sites, nodes, options,
+                                  ws.labels);
+    }
   }
   return Status::InvalidArgument("unknown algorithm");
 }
@@ -424,6 +528,11 @@ Result<RknnResult> RknnEngine::RunUnrestricted(
     case Algorithm::kBruteForce:
       return UnrestrictedBruteForceRknn(*src_.graph, *src_.edge_points,
                                         query, options);
+    case Algorithm::kHubLabel:
+      return Status::Unimplemented(
+          "the hub-label algorithm serves monochromatic and bichromatic "
+          "queries only; unrestricted (edge-position) queries need an "
+          "expansion algorithm");
   }
   return Status::InvalidArgument("unknown algorithm");
 }
@@ -593,8 +702,14 @@ Result<RknnEngine::UpdateResult> RknnEngine::DispatchUpdate(
       }
       std::unique_lock<std::shared_mutex> lock(
           state_->domain_mu[kDomainPoints]);
-      return ApplyNodeUpdate(spec, *src_.updates.points,
-                             src_.updates.knn);
+      Result<UpdateResult> result =
+          ApplyNodeUpdate(spec, *src_.updates.points, src_.updates.knn);
+      if (result.ok() && src_.hub_labels != nullptr) {
+        // The derived hub point index no longer mirrors the set; hub
+        // queries fall back to eager until RebuildIndex().
+        state_->hub_stale.store(true, std::memory_order_release);
+      }
+      return result;
     }
     case UpdateSet::kSites: {
       if (src_.updates.sites == nullptr) {
@@ -604,8 +719,12 @@ Result<RknnEngine::UpdateResult> RknnEngine::DispatchUpdate(
       }
       std::unique_lock<std::shared_mutex> lock(
           state_->domain_mu[kDomainSites]);
-      return ApplyNodeUpdate(spec, *src_.updates.sites,
-                             src_.updates.site_knn);
+      Result<UpdateResult> result = ApplyNodeUpdate(
+          spec, *src_.updates.sites, src_.updates.site_knn);
+      if (result.ok() && src_.hub_labels != nullptr) {
+        state_->hub_stale.store(true, std::memory_order_release);
+      }
+      return result;
     }
     case UpdateSet::kEdgePoints: {
       if (src_.updates.edge_points == nullptr) {

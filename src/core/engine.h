@@ -38,6 +38,12 @@
 //   * Updating a point set or KNN store BEHIND the engine's back (not
 //     through ApplyUpdate / RunMixedBatch) while queries run remains
 //     unsupported — quiesce first.
+//   * The hub-label point indices (EngineSources::hub_labels, PR 5) are
+//     engine-owned DERIVED state: they are only rebuilt under exclusive
+//     locks of both node domains (RebuildIndex) and only read under the
+//     matching shared locks; node-domain updates flip the staleness
+//     flag, and stale hub queries fall back to eager — see the
+//     staleness contract at RebuildIndex().
 //   * Moving an engine while calls are in flight is undefined.
 
 #ifndef GRNN_CORE_ENGINE_H_
@@ -57,6 +63,8 @@
 #include "core/unrestricted.h"
 #include "core/workspace.h"
 #include "graph/network_view.h"
+#include "index/hub_label.h"
+#include "index/hub_point_index.h"
 #include "storage/buffer_pool.h"
 #include "storage/io_stats.h"
 
@@ -181,6 +189,13 @@ struct EngineSources {
   const EdgePointReader* edge_reader = nullptr;
   const KnnStore* knn = nullptr;       // eager-M over points / edge_points
   const KnnStore* site_knn = nullptr;  // eager-M over sites (bichromatic)
+  /// Hub-label distance index over the SAME graph (in-memory
+  /// HubLabelIndex or stored index::StoredLabelIndex); unlocks
+  /// Algorithm::kHubLabel for monochromatic and bichromatic queries.
+  /// The engine derives inverted point indices from it at Create and on
+  /// RebuildIndex; live updates of points/sites mark those stale (see
+  /// the staleness contract at RebuildIndex below).
+  const index::LabelStore* hub_labels = nullptr;
   /// When set, RunBatch reports the I/O charged to this pool per batch.
   storage::BufferPool* pool = nullptr;
   /// Mutable aliases of the sources above; unlocks ApplyUpdate /
@@ -345,6 +360,24 @@ class RknnEngine {
   Result<BatchResult> RunBatch(std::span<const QuerySpec> specs,
                                const ParallelOptions& parallel);
 
+  /// \brief Rebuilds the hub-label point indices from the CURRENT point
+  /// and site sets and clears the staleness flag, under exclusive locks
+  /// on both node domains (safe concurrent with queries and updates).
+  ///
+  /// Staleness contract (Algorithm::kHubLabel): the labels themselves
+  /// depend only on the immutable graph, but the derived inverted
+  /// point indices mirror the point/site sets. Every ApplyUpdate /
+  /// RunMixedBatch update of those sets marks the indices stale;
+  /// while stale, hub-label queries transparently fall back to the
+  /// eager expansion algorithm (results stay exact; the fallback is
+  /// counted in SearchStats::hub_fallbacks) until this is called.
+  /// Requires EngineSources::hub_labels.
+  Status RebuildIndex();
+
+  /// True when a points/sites update invalidated the hub point indices
+  /// and RebuildIndex has not run yet (always false without hub_labels).
+  bool hub_index_stale() const;
+
   /// Snapshot of the cumulative counters across every completed
   /// Run/RunBatch on this engine.
   EngineStats lifetime_stats() const;
@@ -359,6 +392,10 @@ class RknnEngine {
   struct State;
 
   explicit RknnEngine(const EngineSources& sources);
+
+  /// Rebuild body shared by Create and RebuildIndex; caller holds the
+  /// exclusive locks of both node domains (or is still single-owner).
+  Status RebuildHubIndexesLocked();
 
   const EdgePointReader* edge_reader() const {
     return src_.edge_reader != nullptr ? src_.edge_reader

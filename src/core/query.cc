@@ -18,6 +18,8 @@ const char* AlgorithmShortName(Algorithm a) {
       return "EM";
     case Algorithm::kBruteForce:
       return "BF";
+    case Algorithm::kHubLabel:
+      return "H";
   }
   return "?";
 }
@@ -34,6 +36,8 @@ const char* AlgorithmName(Algorithm a) {
       return "eager-M";
     case Algorithm::kBruteForce:
       return "brute-force";
+    case Algorithm::kHubLabel:
+      return "hub";
   }
   return "unknown";
 }
@@ -52,17 +56,21 @@ Result<Algorithm> ParseAlgorithm(std::string_view name) {
     return true;
   };
   constexpr Algorithm kParseable[] = {
-      Algorithm::kEager, Algorithm::kEagerM, Algorithm::kLazy,
-      Algorithm::kLazyEp, Algorithm::kBruteForce};
+      Algorithm::kEager,      Algorithm::kEagerM,  Algorithm::kLazy,
+      Algorithm::kLazyEp,     Algorithm::kBruteForce,
+      Algorithm::kHubLabel};
   for (Algorithm a : kParseable) {
     if (iequals(name, AlgorithmName(a)) ||
         iequals(name, AlgorithmShortName(a))) {
       return a;
     }
   }
+  if (iequals(name, "hub-label") || iequals(name, "hub_label")) {
+    return Algorithm::kHubLabel;
+  }
   return Status::InvalidArgument(
       StrPrintf("unknown algorithm '%.*s' (expected one of E, EM, L, LP, "
-                "BF or their full names)",
+                "BF, hub (H) or their full names)",
                 static_cast<int>(name.size()), name.data()));
 }
 

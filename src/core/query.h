@@ -17,18 +17,25 @@ enum class Algorithm {
   kLazyEp,      // Section 4.2
   kEagerM,      // Section 4.1 (needs a KnnStore)
   kBruteForce,  // naive baseline / oracle
+  kHubLabel,    // label intersection (ReHub; needs a hub-label index)
 };
 
 /// Short display name used in benchmark tables ("E", "L", "LP", "EM", as
-/// in the paper's figures).
+/// in the paper's figures; "H" for the hub-label index path).
 const char* AlgorithmShortName(Algorithm a);
-/// Full name ("eager", "lazy", "lazy-EP", "eager-M", "brute-force").
+/// Full name ("eager", "lazy", "lazy-EP", "eager-M", "brute-force",
+/// "hub").
 const char* AlgorithmName(Algorithm a);
 /// Inverse of both name forms, case-insensitive ("E", "eager", "LP",
-/// "lazy-ep", ...). The single parser every CLI flag goes through.
+/// "lazy-ep", "hub", ...). The single parser every CLI flag (--algos=)
+/// goes through.
 Result<Algorithm> ParseAlgorithm(std::string_view name);
 
-/// All algorithms in the order the paper's figures list them.
+/// The paper's four algorithms in the order its figures list them.
+/// kHubLabel is deliberately NOT here: the figure benches and the
+/// four-way harness sweep exactly the paper's algorithms; the hub-label
+/// path is opt-in (--algos=hub, bench_hub_label, the differential
+/// harness's hub phase).
 inline constexpr Algorithm kAllAlgorithms[] = {
     Algorithm::kEager, Algorithm::kEagerM, Algorithm::kLazy,
     Algorithm::kLazyEp};

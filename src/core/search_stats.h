@@ -29,6 +29,14 @@ struct SearchStats {
   /// Candidates accepted without a verification expansion (eager-M
   /// materialization shortcut).
   uint64_t shortcut_accepts = 0;
+  /// Inverted-index entries walked by the hub-label primitives
+  /// (index/hub_rknn.h) — the label-intersection analogue of
+  /// nodes_scanned.
+  uint64_t label_entries = 0;
+  /// Hub-label queries answered by the expansion fallback because the
+  /// engine's derived point index was stale (see RknnEngine::
+  /// RebuildIndex); 0 or 1 per query.
+  uint64_t hub_fallbacks = 0;
 
   SearchStats& operator+=(const SearchStats& o) {
     nodes_expanded += o.nodes_expanded;
@@ -39,6 +47,8 @@ struct SearchStats {
     knn_list_reads += o.knn_list_reads;
     heap_pushes += o.heap_pushes;
     shortcut_accepts += o.shortcut_accepts;
+    label_entries += o.label_entries;
+    hub_fallbacks += o.hub_fallbacks;
     return *this;
   }
 };

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "core/primitives.h"
+#include "index/hub_rknn.h"
 #include "storage/knn_file.h"
 #include "storage/point_file.h"
 
@@ -69,6 +70,12 @@ class SearchWorkspace {
   // --- Long-lived secondary expansions ---
   IndexedHeap<Weight, std::pair<NodeId, PointId>> ep_heap;  // lazy-EP H'
 
+  // --- Label-scan scratch (Algorithm::kHubLabel) ---
+  // Cursors and per-point accumulation state of the hub-label
+  // primitives; their leases over stored label pages follow the same
+  // pin discipline as the neighbor cursors.
+  index::LabelWorkspace labels;
+
   // --- Shared scratch ---
   StampedSet mark;                       // query / route membership
   std::vector<NodeId> query_nodes;       // owned copy of query targets
@@ -92,7 +99,7 @@ class SearchWorkspace {
            aux_knn_list.capacity() + nn_results.capacity() +
            query_nodes.capacity() +
            seen_points.bucket_count() + aux_seen_points.bucket_count() +
-           searcher.CapacityFootprint();
+           searcher.CapacityFootprint() + labels.CapacityFootprint();
   }
 
   /// Drops every buffer-pool pin the workspace's cursors may hold on
@@ -103,12 +110,13 @@ class SearchWorkspace {
     nbr_cursor.Reset();
     aux_nbr_cursor.Reset();
     searcher.ReleaseLease();
+    labels.ReleaseLeases();
   }
 
   /// Buffer-pool pins currently held by the workspace's cursors.
   size_t held_pins() const {
     return nbr_cursor.held_pins() + aux_nbr_cursor.held_pins() +
-           searcher.held_pins();
+           searcher.held_pins() + labels.held_pins();
   }
 };
 

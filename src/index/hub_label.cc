@@ -1,0 +1,180 @@
+#include "index/hub_label.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "graph/dijkstra.h"
+
+namespace grnn::index {
+
+namespace {
+
+// Merge-intersection of two hub-sorted labels; kInfinity when disjoint.
+Weight MergeQuery(std::span<const HubEntry> a, std::span<const HubEntry> b) {
+  Weight best = kInfinity;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].hub == b[j].hub) {
+      const Weight d = a[i].dist + b[j].dist;
+      if (d < best) {
+        best = d;
+      }
+      ++i;
+      ++j;
+    } else if (a[i].hub < b[j].hub) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return best;
+}
+
+Result<std::vector<NodeId>> HubProcessingOrder(
+    const graph::NetworkView& g, const HubLabelBuildOptions& options,
+    graph::DijkstraWorkspace& ws) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  if (options.order == HubOrder::kRandom) {
+    Rng rng(options.seed);
+    rng.Shuffle(order);
+    return order;
+  }
+  // Degree descending, node id ascending: well-connected nodes label
+  // (and prune) the most pairs, ids keep ties deterministic. A failed
+  // degree probe must abort the build — demoting the node instead
+  // would silently perturb the order and break the bit-identical-
+  // rebuild guarantee.
+  std::vector<uint32_t> degree(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> nbrs,
+                          g.Scan(v, ws.cursor()));
+    degree[v] = static_cast<uint32_t>(nbrs.size());
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](NodeId a, NodeId b) {
+                     return degree[a] != degree[b] ? degree[a] > degree[b]
+                                                   : a < b;
+                   });
+  return order;
+}
+
+}  // namespace
+
+Result<Weight> QueryViaStore(const LabelStore& labels, NodeId u, NodeId v,
+                             LabelCursor& cu, LabelCursor& cv) {
+  GRNN_ASSIGN_OR_RETURN(std::span<const HubEntry> lu, labels.Scan(u, cu));
+  GRNN_ASSIGN_OR_RETURN(std::span<const HubEntry> lv, labels.Scan(v, cv));
+  return MergeQuery(lu, lv);
+}
+
+Weight HubLabelIndex::Query(NodeId u, NodeId v) const {
+  GRNN_DCHECK(u < num_nodes());
+  GRNN_DCHECK(v < num_nodes());
+  return MergeQuery(Label(u), Label(v));
+}
+
+Result<std::span<const HubEntry>> HubLabelIndex::Scan(
+    NodeId n, LabelCursor& cursor) const {
+  if (n >= num_nodes()) {
+    return Status::OutOfRange("node id out of range");
+  }
+  // Invalidate the cursor's previous span (it may pin another store's
+  // pages); the CSR itself needs no lease.
+  cursor.Reset();
+  return Label(n);
+}
+
+Result<HubLabelIndex> HubLabelBuilder::Build(
+    const graph::NetworkView& g, const HubLabelBuildOptions& options) {
+  const NodeId n = g.num_nodes();
+  if (n == 0) {
+    return Status::InvalidArgument("cannot label an empty graph");
+  }
+
+  graph::DijkstraWorkspace ws;
+  GRNN_ASSIGN_OR_RETURN(const std::vector<NodeId> order,
+                        HubProcessingOrder(g, options, ws));
+
+  // Labels under construction: entries are appended in hub processing
+  // order, re-sorted by hub id at finalize.
+  std::vector<std::vector<HubEntry>> labels(n);
+
+  // d(hub, h) for every h in the current hub's own label, indexed by
+  // node id; `touched` undoes the writes after each hub so the reset
+  // stays O(|L(hub)|) instead of O(n).
+  std::vector<Weight> hub_dist(n, kInfinity);
+  std::vector<NodeId> touched;
+
+  for (NodeId hub : order) {
+    touched.clear();
+    for (const HubEntry& e : labels[hub]) {
+      hub_dist[e.hub] = e.dist;
+      touched.push_back(e.hub);
+    }
+
+    // Pruned Dijkstra from `hub`: a node u popped at distance d whose
+    // existing labels already witness d(hub, u) <= d is covered by an
+    // earlier (higher-ranked) hub on some shortest path — neither u nor
+    // anything beyond it (through u) needs this hub. The plain <= keeps
+    // the cover canonical: equal-distance witnesses always defer to the
+    // earlier hub.
+    ws.Reset(n);
+    auto& heap = ws.heap();
+    heap.Push(0.0, hub);
+    ws.SetBest(hub, 0.0);
+    while (!heap.empty()) {
+      const auto [dist, node] = heap.Pop();
+      if (dist > ws.Best(node)) {
+        continue;  // stale entry; the node settled at a smaller key
+      }
+      Weight covered = kInfinity;
+      for (const HubEntry& e : labels[node]) {
+        const Weight via = hub_dist[e.hub];
+        if (via != kInfinity && via + e.dist < covered) {
+          covered = via + e.dist;
+        }
+      }
+      if (covered <= dist) {
+        continue;  // pruned: an earlier hub already covers this pair
+      }
+      labels[node].push_back(HubEntry{hub, dist});
+      GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> nbrs,
+                            g.Scan(node, ws.cursor()));
+      for (const AdjEntry& a : nbrs) {
+        const Weight nd = dist + a.weight;
+        if (nd < ws.Best(a.node)) {
+          ws.SetBest(a.node, nd);
+          heap.Push(nd, a.node);
+        }
+      }
+    }
+
+    for (NodeId t : touched) {
+      hub_dist[t] = kInfinity;
+    }
+  }
+
+  HubLabelIndex idx;
+  idx.offsets_.assign(n + 1, 0);
+  size_t total = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    idx.offsets_[v] = total;
+    total += labels[v].size();
+  }
+  idx.offsets_[n] = total;
+  idx.entries_.reserve(total);
+  for (NodeId v = 0; v < n; ++v) {
+    std::sort(labels[v].begin(), labels[v].end(),
+              [](const HubEntry& a, const HubEntry& b) {
+                return a.hub < b.hub;
+              });
+    idx.entries_.insert(idx.entries_.end(), labels[v].begin(),
+                        labels[v].end());
+  }
+  return idx;
+}
+
+}  // namespace grnn::index

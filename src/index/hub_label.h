@@ -1,0 +1,195 @@
+// Copyright (c) GRNN authors.
+// Hub-label distance index (pruned landmark labeling) over a NetworkView.
+//
+// Every algorithm the engine inherited from the paper pays a network
+// expansion per query. Hub labels (2-hop cover) trade a precomputation
+// pass for O(|L(u)| + |L(v)|) exact distance queries: each node n keeps a
+// label L(n) = {(h, d(n, h))} such that every connected pair (u, v) shares
+// at least one hub on a shortest u-v path. ReHub (Efentakis & Pfoser,
+// PAPERS.md) shows how the same labels answer kNN and RkNN over a point
+// set through an inverted hub->points index — the engine's
+// Algorithm::kHubLabel path (see index/hub_rknn.h) is built on the
+// primitives here.
+//
+// The subsystem mirrors the repo's neighbor-access architecture
+// (graph/network_view.h): labels are scanned through an abstract
+// LabelStore with a cursor/lease model, so the RkNN primitives run
+// unchanged against the in-memory HubLabelIndex and the paged on-disk
+// LabelFile (index/label_file.h, zero-copy spans out of pinned buffer
+// pool frames).
+//
+// Staleness contract: labels depend only on the GRAPH, which is immutable
+// for the lifetime of an engine; they never go stale. The derived
+// inverted point index (index/hub_point_index.h) depends on the point
+// sets and is invalidated by live updates — see core/engine.h,
+// RebuildIndex().
+
+#ifndef GRNN_INDEX_HUB_LABEL_H_
+#define GRNN_INDEX_HUB_LABEL_H_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "graph/network_view.h"
+
+namespace grnn::index {
+
+class LabelFile;  // may install a page lease into a LabelCursor
+
+/// One label entry: a hub node and the exact network distance to it.
+/// Deliberately layout-identical to AdjEntry (16 bytes, distance at
+/// offset 8) so the on-disk LabelFile can serve records zero-copy with
+/// the same v2 page discipline as storage::GraphFile.
+struct HubEntry {
+  NodeId hub = kInvalidNode;
+  Weight dist = 0;
+
+  friend bool operator==(const HubEntry&, const HubEntry&) = default;
+};
+
+static_assert(std::is_trivially_copyable_v<HubEntry>);
+static_assert(sizeof(HubEntry) == 16, "label records are 16 bytes");
+static_assert(offsetof(HubEntry, hub) == 0);
+static_assert(offsetof(HubEntry, dist) == 8);
+static_assert(alignof(HubEntry) == 8);
+
+/// \brief Per-scan label read state: a reusable decode buffer and the
+/// lease backing the most recent span — the LabelStore counterpart of
+/// graph::NeighborCursor, with the same lifetime rules: the span
+/// returned by Scan stays valid until the next Scan through the same
+/// cursor, Reset(), or destruction. Single-owner mutable state.
+class LabelCursor {
+ public:
+  LabelCursor() = default;
+  LabelCursor(LabelCursor&&) noexcept = default;
+  LabelCursor& operator=(LabelCursor&&) noexcept = default;
+  LabelCursor(const LabelCursor&) = delete;
+  LabelCursor& operator=(const LabelCursor&) = delete;
+  ~LabelCursor() = default;  // lease destructor releases any pins
+
+  /// Invalidates the last span: drops held pins, keeps scratch capacity.
+  void Reset() {
+    if (lease_ != nullptr) {
+      lease_->Drop();
+    }
+  }
+
+  /// Buffer-pool pins currently held on behalf of the last span.
+  size_t held_pins() const {
+    return lease_ == nullptr ? 0 : lease_->num_pins();
+  }
+
+  /// Element capacity of the decode buffer (workspace-growth accounting).
+  size_t scratch_capacity() const { return scratch_.capacity(); }
+
+ private:
+  friend class LabelFile;
+
+  std::vector<HubEntry> scratch_;
+  std::unique_ptr<graph::NeighborLease> lease_;
+};
+
+/// \brief Abstract label access for the RkNN-via-labels primitives.
+///
+/// Two implementations: HubLabelIndex (in-memory CSR; Scan returns a
+/// span straight into the arrays) and StoredLabelIndex
+/// (index/label_file.h; Scan may lease a pinned buffer-pool frame).
+class LabelStore {
+ public:
+  virtual ~LabelStore() = default;
+
+  virtual NodeId num_nodes() const = 0;
+  /// Total label entries across all nodes.
+  virtual size_t num_entries() const = 0;
+
+  /// Scans the label of `n`, sorted by hub id. The span is valid until
+  /// the next Scan through `cursor`, cursor Reset, or cursor
+  /// destruction. Disk-backed implementations charge buffer-pool I/O.
+  virtual Result<std::span<const HubEntry>> Scan(
+      NodeId n, LabelCursor& cursor) const = 0;
+};
+
+/// Exact distance between `u` and `v` through any LabelStore: the
+/// minimum of d(u,h) + d(h,v) over common hubs of the two (sorted)
+/// labels; kInfinity when the labels share no hub (disconnected pair).
+/// Needs two cursors because both spans are live during the merge.
+Result<Weight> QueryViaStore(const LabelStore& labels, NodeId u, NodeId v,
+                             LabelCursor& cu, LabelCursor& cv);
+
+/// \brief In-memory hub-label index: CSR label arrays, each node's
+/// entries sorted by hub id.
+class HubLabelIndex final : public LabelStore {
+ public:
+  HubLabelIndex() = default;
+
+  NodeId num_nodes() const override {
+    return offsets_.empty() ? 0
+                            : static_cast<NodeId>(offsets_.size() - 1);
+  }
+  size_t num_entries() const override { return entries_.size(); }
+
+  /// Label of `n`, sorted by hub id (direct view, no cursor needed).
+  std::span<const HubEntry> Label(NodeId n) const {
+    return {entries_.data() + offsets_[n], offsets_[n + 1] - offsets_[n]};
+  }
+
+  size_t LabelSize(NodeId n) const {
+    return offsets_[n + 1] - offsets_[n];
+  }
+
+  double AverageLabelSize() const {
+    return num_nodes() == 0 ? 0.0
+                            : static_cast<double>(entries_.size()) /
+                                  static_cast<double>(num_nodes());
+  }
+
+  /// Exact network distance d(u, v); kInfinity for disconnected pairs.
+  Weight Query(NodeId u, NodeId v) const;
+
+  Result<std::span<const HubEntry>> Scan(
+      NodeId n, LabelCursor& cursor) const override;
+
+ private:
+  friend class HubLabelBuilder;
+
+  std::vector<size_t> offsets_;   // num_nodes + 1 entries
+  std::vector<HubEntry> entries_;  // per-node runs, sorted by hub id
+};
+
+/// Hub processing order. The order determines label size, not
+/// correctness: processing well-connected nodes first lets them cover
+/// (and prune) most pairs.
+enum class HubOrder : uint8_t {
+  kDegreeDesc,  // degree descending, node id ascending (default)
+  kRandom,      // seeded shuffle (ablation / adversarial testing)
+};
+
+struct HubLabelBuildOptions {
+  HubOrder order = HubOrder::kDegreeDesc;
+  /// Seed for HubOrder::kRandom.
+  uint64_t seed = 42;
+};
+
+/// \brief Pruned landmark labeling over any NetworkView.
+///
+/// Processes nodes in the deterministic configured order; for each hub
+/// it runs a Dijkstra expansion pruned wherever the labels built so far
+/// already cover the pair at no greater distance. The result is a
+/// canonical 2-hop cover: identical inputs and options yield
+/// bit-identical labels.
+class HubLabelBuilder {
+ public:
+  static Result<HubLabelIndex> Build(
+      const graph::NetworkView& g,
+      const HubLabelBuildOptions& options = {});
+};
+
+}  // namespace grnn::index
+
+#endif  // GRNN_INDEX_HUB_LABEL_H_

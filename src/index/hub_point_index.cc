@@ -1,0 +1,60 @@
+#include "index/hub_point_index.h"
+
+#include <algorithm>
+
+namespace grnn::index {
+
+Result<HubPointIndex> HubPointIndex::Build(
+    const LabelStore& labels, const core::NodePointSet& points) {
+  if (labels.num_nodes() != points.num_nodes()) {
+    return Status::InvalidArgument(
+        "label store and point set cover different node counts");
+  }
+  const NodeId n = labels.num_nodes();
+
+  HubPointIndex idx;
+  idx.num_points_ = points.num_points();
+  idx.point_id_bound_ = points.point_id_bound();
+
+  // Two passes over the labels of the hosting nodes: counting sizes
+  // first keeps the fill allocation-exact even for dense populations.
+  std::vector<size_t> counts(n, 0);
+  LabelCursor cursor;
+  for (PointId p : points.LivePoints()) {
+    GRNN_ASSIGN_OR_RETURN(std::span<const HubEntry> label,
+                          labels.Scan(points.NodeOf(p), cursor));
+    for (const HubEntry& e : label) {
+      counts[e.hub]++;
+    }
+  }
+  idx.offsets_.assign(n + 1, 0);
+  size_t total = 0;
+  for (NodeId h = 0; h < n; ++h) {
+    idx.offsets_[h] = total;
+    total += counts[h];
+  }
+  idx.offsets_[n] = total;
+  idx.entries_.resize(total);
+
+  std::vector<size_t> fill(idx.offsets_.begin(), idx.offsets_.end() - 1);
+  for (PointId p : points.LivePoints()) {
+    const NodeId home = points.NodeOf(p);
+    GRNN_ASSIGN_OR_RETURN(std::span<const HubEntry> label,
+                          labels.Scan(home, cursor));
+    for (const HubEntry& e : label) {
+      idx.entries_[fill[e.hub]++] = Entry{e.dist, p, home};
+    }
+  }
+  for (NodeId h = 0; h < n; ++h) {
+    std::sort(idx.entries_.begin() + static_cast<ptrdiff_t>(idx.offsets_[h]),
+              idx.entries_.begin() +
+                  static_cast<ptrdiff_t>(idx.offsets_[h + 1]),
+              [](const Entry& a, const Entry& b) {
+                return a.dist != b.dist ? a.dist < b.dist
+                                        : a.point < b.point;
+              });
+  }
+  return idx;
+}
+
+}  // namespace grnn::index

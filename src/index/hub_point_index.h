@@ -1,0 +1,72 @@
+// Copyright (c) GRNN authors.
+// HubPointIndex: the inverted occurrence index of a point population over
+// a hub labeling — ReHub's "hub -> objects" structure. For every hub h it
+// keeps the points p whose hosting node's label contains h, sorted by
+// d(h, p): the kNN/RkNN primitives (index/hub_rknn.h) answer queries by
+// walking these sorted runs for the hubs of one label, stopping as soon
+// as the accumulated bound exceeds the query's threshold.
+//
+// The index is DERIVED state: it depends on the labels (immutable per
+// graph) and on the point set (mutated by the engine's live-update
+// path). The engine owns the instances, marks them stale on every
+// points/sites update and rebuilds them in RebuildIndex() — see the
+// staleness contract in core/engine.h.
+
+#ifndef GRNN_INDEX_HUB_POINT_INDEX_H_
+#define GRNN_INDEX_HUB_POINT_INDEX_H_
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "core/point_set.h"
+#include "index/hub_label.h"
+
+namespace grnn::index {
+
+/// \brief Per-hub sorted point occurrence lists, CSR layout.
+class HubPointIndex {
+ public:
+  /// One occurrence: point `point` hosted on `node`, at exact network
+  /// distance `dist` from the owning hub. Runs are sorted by
+  /// (dist, point) so walks terminate at the first entry past a bound
+  /// and tie runs stay deterministic.
+  struct Entry {
+    Weight dist = 0;
+    PointId point = kInvalidPoint;
+    NodeId node = kInvalidNode;
+  };
+
+  HubPointIndex() = default;
+
+  /// Builds the inverted lists by scanning the label of every live
+  /// point's hosting node (disk-backed stores charge their pool here).
+  static Result<HubPointIndex> Build(const LabelStore& labels,
+                                     const core::NodePointSet& points);
+
+  /// Occurrence run of `hub`, sorted by (dist, point).
+  std::span<const Entry> ListOf(NodeId hub) const {
+    return {entries_.data() + offsets_[hub],
+            offsets_[hub + 1] - offsets_[hub]};
+  }
+
+  NodeId num_hubs() const {
+    return offsets_.empty() ? 0
+                            : static_cast<NodeId>(offsets_.size() - 1);
+  }
+  size_t num_entries() const { return entries_.size(); }
+  size_t num_points() const { return num_points_; }
+  /// Upper bound over the indexed point ids (sizes the primitives' O(1)
+  /// per-point scratch; tombstoned ids of the source set count).
+  PointId point_id_bound() const { return point_id_bound_; }
+
+ private:
+  std::vector<size_t> offsets_;  // num_nodes + 1 entries
+  std::vector<Entry> entries_;   // per-hub runs, sorted by (dist, point)
+  size_t num_points_ = 0;
+  PointId point_id_bound_ = 0;
+};
+
+}  // namespace grnn::index
+
+#endif  // GRNN_INDEX_HUB_POINT_INDEX_H_

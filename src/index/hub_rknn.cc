@@ -1,0 +1,179 @@
+#include "index/hub_rknn.h"
+
+#include <algorithm>
+
+#include "common/numeric.h"
+
+namespace grnn::index {
+
+namespace {
+
+Status ValidateQuery(const LabelStore& labels,
+                     const HubPointIndex& candidates,
+                     const HubPointIndex& competitors,
+                     std::span<const NodeId> query_nodes, int k) {
+  if (k <= 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  if (query_nodes.empty()) {
+    return Status::InvalidArgument("query node set is empty");
+  }
+  for (NodeId q : query_nodes) {
+    if (q >= labels.num_nodes()) {
+      return Status::OutOfRange("query node out of range");
+    }
+  }
+  if (candidates.num_hubs() != labels.num_nodes() ||
+      competitors.num_hubs() != labels.num_nodes()) {
+    return Status::InvalidArgument(
+        "point index does not cover the label store's node universe");
+  }
+  return Status::OK();
+}
+
+/// The sweep shared by both primitives: accumulates the minimum
+/// d(q,h) + d(h,p) per point over every hub of every query node's
+/// label. The 2-hop cover makes the minimum exact, so after the sweep
+/// ws.point_dist.Get(p) == d(query, p) for every reachable point p (the
+/// distance to the NEAREST query node), and unreachable points were
+/// never touched.
+Status SweepPointDistances(const LabelStore& labels,
+                           const HubPointIndex& points,
+                           std::span<const NodeId> query_nodes,
+                           LabelWorkspace& ws,
+                           core::SearchStats* stats) {
+  ws.point_dist.Reset(points.point_id_bound());
+  if (ws.point_node.size() < points.point_id_bound()) {
+    ws.point_node.resize(points.point_id_bound(), kInvalidNode);
+  }
+  ws.touched.clear();
+  for (NodeId q : query_nodes) {
+    GRNN_ASSIGN_OR_RETURN(std::span<const HubEntry> label,
+                          labels.Scan(q, ws.cursor));
+    for (const HubEntry& e : label) {
+      for (const HubPointIndex::Entry& occ : points.ListOf(e.hub)) {
+        const Weight ub = e.dist + occ.dist;
+        stats->label_entries++;
+        if (!ws.point_dist.Has(occ.point)) {
+          ws.point_dist.Set(occ.point, ub);
+          ws.point_node[occ.point] = occ.node;
+          ws.touched.push_back(occ.point);
+        } else if (ub < ws.point_dist.Get(occ.point)) {
+          ws.point_dist.Set(occ.point, ub);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status KnnViaLabelsInto(const LabelStore& labels,
+                        const HubPointIndex& points, NodeId source, int k,
+                        PointId exclude, LabelWorkspace& ws,
+                        std::vector<core::NnResult>* out,
+                        core::SearchStats* stats) {
+  core::SearchStats local;
+  GRNN_RETURN_NOT_OK(
+      ValidateQuery(labels, points, points, {&source, 1}, k));
+  GRNN_RETURN_NOT_OK(
+      SweepPointDistances(labels, points, {&source, 1}, ws, &local));
+  if (stats != nullptr) {
+    *stats += local;
+  }
+  ws.ReleaseLeases();
+
+  std::sort(ws.touched.begin(), ws.touched.end(),
+            [&](PointId a, PointId b) {
+              const Weight da = ws.point_dist.Get(a);
+              const Weight db = ws.point_dist.Get(b);
+              return da != db ? da < db : a < b;
+            });
+  out->clear();
+  for (PointId p : ws.touched) {
+    if (p == exclude) {
+      continue;
+    }
+    out->push_back(core::NnResult{p, ws.point_node[p],
+                                  ws.point_dist.Get(p)});
+    if (out->size() == static_cast<size_t>(k)) {
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<core::RknnResult> RknnViaLabels(const LabelStore& labels,
+                                       const HubPointIndex& candidates,
+                                       const HubPointIndex& competitors,
+                                       std::span<const NodeId> query_nodes,
+                                       const core::RknnOptions& options,
+                                       LabelWorkspace& ws) {
+  GRNN_RETURN_NOT_OK(ValidateQuery(labels, candidates, competitors,
+                                   query_nodes, options.k));
+  // Monochromatic queries pass one index for both roles: candidates
+  // then skip the excluded point and never compete against themselves.
+  // Bichromatic queries pass distinct indices whose id spaces are
+  // unrelated, so only the competitor side honours the exclusion —
+  // object identity is the discriminator, exactly mirroring the
+  // brute-force oracle's two loops.
+  const bool same_population = &candidates == &competitors;
+
+  core::RknnResult out;
+  GRNN_RETURN_NOT_OK(SweepPointDistances(labels, candidates, query_nodes,
+                                         ws, &out.stats));
+
+  const size_t k = static_cast<size_t>(options.k);
+  for (const PointId p : ws.touched) {
+    if (same_population && p == options.exclude_point) {
+      continue;
+    }
+    const Weight d_query = ws.point_dist.Get(p);
+    // Count competitors strictly closer to p than the query, walking
+    // the competitor runs of p's own hubs. Each run is sorted by
+    // d(h, c), so the first entry whose bound d(p,h) + d(h,c) is no
+    // longer DistLess(d_query) ends the run: bounds only grow, and a
+    // competitor whose EXACT distance qualifies is counted through the
+    // hub witnessing that distance.
+    out.stats.verify_calls++;
+    ws.counted.Reset(competitors.point_id_bound());
+    size_t closer = 0;
+    GRNN_ASSIGN_OR_RETURN(std::span<const HubEntry> label,
+                          labels.Scan(ws.point_node[p], ws.cursor));
+    for (const HubEntry& e : label) {
+      if (closer >= k) {
+        break;
+      }
+      for (const HubPointIndex::Entry& occ :
+           competitors.ListOf(e.hub)) {
+        out.stats.label_entries++;
+        if (!DistLess(e.dist + occ.dist, d_query)) {
+          break;
+        }
+        const PointId c = occ.point;
+        if ((same_population && c == p) || c == options.exclude_point ||
+            ws.counted.Contains(c)) {
+          continue;
+        }
+        ws.counted.Insert(c);
+        if (++closer >= k) {
+          break;
+        }
+      }
+    }
+    if (closer < k) {
+      out.results.push_back(
+          core::PointMatch{p, ws.point_node[p], d_query});
+    }
+  }
+  ws.ReleaseLeases();
+
+  std::sort(out.results.begin(), out.results.end(),
+            [](const core::PointMatch& a, const core::PointMatch& b) {
+              return a.point < b.point;
+            });
+  return out;
+}
+
+}  // namespace grnn::index

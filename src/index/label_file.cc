@@ -1,0 +1,315 @@
+#include "index/label_file.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace grnn::index {
+
+namespace {
+
+// Cursor lease over one pinned frame: backs the zero-copy label spans,
+// the LabelFile counterpart of GraphFile's page lease.
+class LabelPageLease final : public graph::NeighborLease {
+ public:
+  void Drop() override { guard_.Release(); }
+  // Guards from unbuffered pools own a private copy and pin nothing;
+  // only report real frame pins.
+  size_t num_pins() const override { return guard_.pins_frame() ? 1 : 0; }
+
+  storage::PageGuard guard_;
+};
+
+}  // namespace
+
+Result<LabelFile> LabelFile::Build(const HubLabelIndex& index,
+                                   storage::DiskManager* disk) {
+  if (disk == nullptr) {
+    return Status::InvalidArgument("disk manager is null");
+  }
+  const NodeId n = index.num_nodes();
+  if (n == 0) {
+    return Status::InvalidArgument("cannot store an empty label index");
+  }
+  const size_t page_size = disk->page_size();
+  if (page_size < sizeof(LabelFileHeader) ||
+      page_size < kLabelPageHeaderBytes + kLabelRecordBytes) {
+    return Status::InvalidArgument(StrPrintf(
+        "page size %zu cannot hold the label file headers plus one "
+        "record",
+        page_size));
+  }
+
+  LabelFile file;
+  file.page_size_ = page_size;
+  file.num_entries_ = index.num_entries();
+  file.first_page_ = kInvalidPage;
+  file.offsets_.assign(n, 0);
+  file.counts_.assign(n, 0);
+
+  const size_t dir_pages =
+      (static_cast<size_t>(n) * sizeof(LabelDirectoryEntry) + page_size -
+       1) /
+      page_size;
+  const size_t slots_per_page =
+      (page_size - kLabelPageHeaderBytes) / kLabelRecordBytes;
+
+  // Lay the data region out first (same pad rule as the v2 GraphFile:
+  // a label that fits on one page never straddles a boundary), so the
+  // directory can be written in one forward pass.
+  const uint64_t data_start =
+      static_cast<uint64_t>(1 + dir_pages) * page_size;
+  uint64_t data_pages = 0;
+  size_t slot_fill = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const size_t count = index.LabelSize(v);
+    if (count > 0 && count <= slots_per_page &&
+        count > slots_per_page - slot_fill) {
+      data_pages++;  // pad: the label starts on a fresh page
+      slot_fill = 0;
+    }
+    file.offsets_[v] = data_start + data_pages * page_size +
+                       kLabelPageHeaderBytes +
+                       slot_fill * kLabelRecordBytes;
+    file.counts_[v] = static_cast<uint32_t>(count);
+    size_t remaining = count;
+    while (remaining > 0) {
+      const size_t take = std::min(remaining, slots_per_page - slot_fill);
+      slot_fill += take;
+      remaining -= take;
+      if (slot_fill == slots_per_page) {
+        data_pages++;
+        slot_fill = 0;
+      }
+    }
+  }
+  if (slot_fill > 0) {
+    data_pages++;
+  }
+  file.num_pages_ = 1 + dir_pages + data_pages;
+
+  // Allocate the whole range up front; the writes below go straight to
+  // the disk manager (construction is offline, like GraphFile::Build).
+  for (size_t i = 0; i < file.num_pages_; ++i) {
+    GRNN_ASSIGN_OR_RETURN(PageId id, disk->AllocatePage());
+    if (file.first_page_ == kInvalidPage) {
+      file.first_page_ = id;
+    } else if (id != file.first_page_ + i) {
+      return Status::Internal("label file pages are not contiguous");
+    }
+  }
+
+  std::vector<uint8_t> buffer(page_size, 0);
+
+  // Header page.
+  LabelFileHeader header;
+  header.magic = kLabelFileMagic;
+  header.version = kLabelFileVersion;
+  header.num_nodes = n;
+  header.directory_pages = static_cast<uint32_t>(dir_pages);
+  header.num_entries = file.num_entries_;
+  header.data_pages = data_pages;
+  std::memcpy(buffer.data(), &header, sizeof(header));
+  GRNN_RETURN_NOT_OK(disk->WritePage(file.first_page_, buffer.data()));
+
+  // Directory pages.
+  const size_t dir_per_page = page_size / sizeof(LabelDirectoryEntry);
+  for (size_t dp = 0; dp < dir_pages; ++dp) {
+    std::memset(buffer.data(), 0, page_size);
+    const size_t begin = dp * dir_per_page;
+    const size_t end = std::min<size_t>(n, begin + dir_per_page);
+    for (size_t v = begin; v < end; ++v) {
+      LabelDirectoryEntry entry;
+      entry.offset = file.offsets_[v];
+      entry.count = file.counts_[v];
+      std::memcpy(buffer.data() + (v - begin) * sizeof(entry), &entry,
+                  sizeof(entry));
+    }
+    GRNN_RETURN_NOT_OK(disk->WritePage(
+        file.first_page_ + static_cast<PageId>(1 + dp), buffer.data()));
+  }
+
+  // Data pages: replay the layout pass, now copying records.
+  std::memset(buffer.data(), 0, page_size);
+  uint64_t page_index = 0;
+  slot_fill = 0;
+  auto flush_page = [&]() -> Status {
+    LabelPageHeader ph;
+    ph.magic = kLabelPageMagic;
+    ph.entry_count = static_cast<uint32_t>(slot_fill);
+    std::memcpy(buffer.data(), &ph, sizeof(ph));
+    GRNN_RETURN_NOT_OK(disk->WritePage(
+        file.first_page_ + static_cast<PageId>(1 + dir_pages + page_index),
+        buffer.data()));
+    std::memset(buffer.data(), 0, page_size);
+    page_index++;
+    slot_fill = 0;
+    return Status::OK();
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    const std::span<const HubEntry> label = index.Label(v);
+    if (!label.empty() && label.size() <= slots_per_page &&
+        label.size() > slots_per_page - slot_fill) {
+      GRNN_RETURN_NOT_OK(flush_page());
+    }
+    for (const HubEntry& e : label) {
+      std::memcpy(buffer.data() + kLabelPageHeaderBytes +
+                      slot_fill * kLabelRecordBytes,
+                  &e, sizeof(e));
+      if (++slot_fill == slots_per_page) {
+        GRNN_RETURN_NOT_OK(flush_page());
+      }
+    }
+  }
+  if (slot_fill > 0) {
+    GRNN_RETURN_NOT_OK(flush_page());
+  }
+  if (page_index != data_pages) {
+    return Status::Internal(
+        "label file layout and write passes disagree");
+  }
+  return file;
+}
+
+Result<LabelFile> LabelFile::Open(storage::DiskManager* disk,
+                                  PageId first_page) {
+  if (disk == nullptr) {
+    return Status::InvalidArgument("disk manager is null");
+  }
+  if (first_page >= disk->num_pages()) {
+    return Status::OutOfRange("label file header page out of range");
+  }
+  const size_t page_size = disk->page_size();
+  std::vector<uint8_t> buffer(page_size, 0);
+  GRNN_RETURN_NOT_OK(disk->ReadPage(first_page, buffer.data()));
+  if (page_size < sizeof(LabelFileHeader)) {
+    return Status::Corruption("page size cannot hold a label header");
+  }
+  LabelFileHeader header;
+  std::memcpy(&header, buffer.data(), sizeof(header));
+  if (header.magic != kLabelFileMagic) {
+    return Status::Corruption(
+        StrPrintf("bad label file magic 0x%08x", header.magic));
+  }
+  if (header.version != kLabelFileVersion) {
+    return Status::Corruption(
+        StrPrintf("unsupported label file version %u", header.version));
+  }
+
+  LabelFile file;
+  file.page_size_ = page_size;
+  file.num_entries_ = header.num_entries;
+  file.num_pages_ = 1 + header.directory_pages + header.data_pages;
+  file.first_page_ = first_page;
+  if (static_cast<size_t>(first_page) + file.num_pages_ >
+      disk->num_pages()) {
+    return Status::Corruption(
+        "label file extends past the end of the disk");
+  }
+  file.offsets_.assign(header.num_nodes, 0);
+  file.counts_.assign(header.num_nodes, 0);
+
+  const size_t dir_per_page = page_size / sizeof(LabelDirectoryEntry);
+  size_t entries_seen = 0;
+  for (uint32_t dp = 0; dp < header.directory_pages; ++dp) {
+    GRNN_RETURN_NOT_OK(
+        disk->ReadPage(first_page + 1 + dp, buffer.data()));
+    const size_t begin = static_cast<size_t>(dp) * dir_per_page;
+    const size_t end =
+        std::min<size_t>(header.num_nodes, begin + dir_per_page);
+    for (size_t v = begin; v < end; ++v) {
+      LabelDirectoryEntry entry;
+      std::memcpy(&entry, buffer.data() + (v - begin) * sizeof(entry),
+                  sizeof(entry));
+      file.offsets_[v] = entry.offset;
+      file.counts_[v] = entry.count;
+      entries_seen += entry.count;
+    }
+  }
+  if (entries_seen != header.num_entries) {
+    return Status::Corruption(
+        StrPrintf("label directory sums to %zu entries, header says %llu",
+                  entries_seen,
+                  static_cast<unsigned long long>(header.num_entries)));
+  }
+  return file;
+}
+
+Result<std::span<const HubEntry>> LabelFile::ScanLabel(
+    storage::BufferPool* pool, NodeId n, LabelCursor& cursor) const {
+  if (n >= counts_.size()) {
+    return Status::OutOfRange(StrPrintf("node %u out of range", n));
+  }
+  if (pool == nullptr) {
+    return Status::InvalidArgument("buffer pool is null");
+  }
+  // Invalidate the cursor's previous span first: its pin (possibly the
+  // last frame of a small shard) must not block this scan's Acquire.
+  cursor.Reset();
+  const uint32_t count = counts_[n];
+  if (count == 0) {
+    return std::span<const HubEntry>();
+  }
+
+  const uint64_t off = offsets_[n];
+  const size_t in_page = static_cast<size_t>(off % page_size_);
+  const size_t slots_here = (page_size_ - in_page) / kLabelRecordBytes;
+  if (count <= slots_here) {
+    // Whole label on one page: serve it straight from the frame.
+    const PageId page =
+        first_page_ + static_cast<PageId>(off / page_size_);
+    GRNN_ASSIGN_OR_RETURN(storage::PageGuard guard, pool->Acquire(page));
+    const uint8_t* base = guard.data() + in_page;
+    GRNN_DCHECK(reinterpret_cast<uintptr_t>(base) % alignof(HubEntry) ==
+                0);
+    const auto* records = reinterpret_cast<const HubEntry*>(base);
+    if (pool->lease_friendly(page)) {
+      // Zero-copy: the cursor leases the pin for the span's lifetime.
+      if (cursor.lease_ == nullptr) {
+        cursor.lease_ = std::make_unique<LabelPageLease>();
+      }
+      static_cast<LabelPageLease*>(cursor.lease_.get())->guard_ =
+          std::move(guard);
+      return std::span<const HubEntry>(records, count);
+    }
+    // Pool too small or under lease pressure: copy and unpin so held
+    // cursors cannot exhaust a shard.
+    cursor.scratch_.resize(count);
+    std::memcpy(cursor.scratch_.data(), base, count * sizeof(HubEntry));
+    return std::span<const HubEntry>(cursor.scratch_.data(), count);
+  }
+  GRNN_RETURN_NOT_OK(AssembleStraddling(pool, n, cursor.scratch_));
+  return std::span<const HubEntry>(cursor.scratch_.data(), count);
+}
+
+Status LabelFile::AssembleStraddling(storage::BufferPool* pool, NodeId n,
+                                     std::vector<HubEntry>& scratch) const {
+  const uint32_t count = counts_[n];
+  scratch.resize(count);
+  uint64_t off = offsets_[n];
+  size_t filled = 0;
+  while (filled < count) {
+    const PageId page =
+        first_page_ + static_cast<PageId>(off / page_size_);
+    const size_t in_page = static_cast<size_t>(off % page_size_);
+    const size_t take = std::min<size_t>(
+        count - filled, (page_size_ - in_page) / kLabelRecordBytes);
+    GRNN_ASSIGN_OR_RETURN(storage::PageGuard guard, pool->Acquire(page));
+#ifndef NDEBUG
+    LabelPageHeader header;
+    std::memcpy(&header, guard.data(), sizeof(header));
+    GRNN_DCHECK(header.magic == kLabelPageMagic);
+    GRNN_DCHECK((in_page - kLabelPageHeaderBytes) / kLabelRecordBytes +
+                    take <=
+                header.entry_count);
+#endif
+    std::memcpy(scratch.data() + filled, guard.data() + in_page,
+                take * kLabelRecordBytes);
+    filled += take;
+    // Continuation records start behind the next page's header.
+    off = (off / page_size_ + 1) * page_size_ + kLabelPageHeaderBytes;
+  }
+  return Status::OK();
+}
+
+}  // namespace grnn::index

@@ -116,7 +116,9 @@ Result<PageGuard> BufferPool::Acquire(PageId id) {
       auto it = shard.page_table.find(id);
       if (it != shard.page_table.end()) {
         Frame& f = shard.frames[it->second];
-        f.pins++;
+        if (f.pins++ == 0) {
+          shard.pinned_frames.fetch_add(1, std::memory_order_relaxed);
+        }
         if (policy_ == ReplacementPolicy::kLru) {
           f.tick = ++shard.tick;
         }
@@ -142,6 +144,7 @@ Result<PageGuard> BufferPool::Acquire(PageId id) {
         GRNN_RETURN_NOT_OK(disk_->ReadPage(id, f.data.get()));
         f.page = id;
         f.pins = 1;
+        shard.pinned_frames.fetch_add(1, std::memory_order_relaxed);
         f.dirty = false;
         f.tick = ++shard.tick;
         shard.page_table[id] = *victim_or;
@@ -226,7 +229,9 @@ void BufferPool::Unpin(size_t shard_idx, size_t frame, bool dirty) {
   std::lock_guard<std::mutex> lock(shard.mu);
   Frame& f = shard.frames[frame];
   GRNN_DCHECK(f.pins > 0);
-  f.pins--;
+  if (--f.pins == 0) {
+    shard.pinned_frames.fetch_sub(1, std::memory_order_relaxed);
+  }
   f.dirty = f.dirty || dirty;
 }
 

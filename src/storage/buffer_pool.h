@@ -19,6 +19,7 @@
 #ifndef GRNN_STORAGE_BUFFER_POOL_H_
 #define GRNN_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -50,20 +51,26 @@ inline constexpr size_t kDefaultConcurrentShards = 8;
 /// whole shard and starve nested scans into ResourceExhausted, so small
 /// pools serve scans by copy-and-unpin instead.
 ///
-/// Operating envelope, not a hard guarantee: each serving thread holds
-/// <= 4 cursor pins (three workspace cursors + one transient), so 32
-/// frames/shard absorbs up to 8 concurrent workers even if page-id
-/// residue skew lands EVERY held pin in one shard (the bound
-/// deliberately does not assume an even spread), while keeping the
-/// paper-scale pools (256 pages at 1 or 8 shards) on the zero-copy
-/// path. Nothing enforces the worker count: deployments running W > 8
-/// threads against one pool must size it so frames/shard >= 4*W (or
-/// accept that Acquire's bounded retry, which normally absorbs the
-/// transient overshoot as threads advance and drop leases, can expire
-/// into ResourceExhausted under sustained skew). A pin-reservation
-/// scheme that degrades to copy mode under pressure is the known
-/// next step if serving fleets outgrow this envelope.
+/// Operating envelope: each serving thread holds <= 4 cursor pins
+/// (three workspace cursors + one transient), so 32 frames/shard
+/// absorbs up to 8 concurrent workers even if page-id residue skew
+/// lands EVERY held pin in one shard (the bound deliberately does not
+/// assume an even spread), while keeping the paper-scale pools (256
+/// pages at 1 or 8 shards) on the zero-copy path. Fleets larger than
+/// that no longer risk pin exhaustion either: the per-page
+/// lease_friendly(id) probe additionally watches the page's shard and
+/// degrades NEW scans to copy-and-unpin once its free-frame count
+/// drops below kLeaseShardFreeFrameFloor (the pin-reservation guard),
+/// so held leases can never pin a shard down completely.
 inline constexpr size_t kMinFramesPerShardForLease = 32;
+
+/// Free frames a shard must retain before scans may take a NEW lease
+/// (pin held across calls) on one of its pages. The floor reserves
+/// room for the nested, short-lived pins of in-flight expansions
+/// (<= 4 per thread): when held leases squeeze a shard to fewer free
+/// frames than this, lease_friendly(id) reports false and scans fall
+/// back to copy-and-unpin until pressure drains.
+inline constexpr size_t kLeaseShardFreeFrameFloor = 8;
 
 class BufferPool;
 
@@ -180,6 +187,26 @@ class BufferPool {
     return capacity_ == 0 ||
            capacity_ / shards_.size() >= kMinFramesPerShardForLease;
   }
+  /// Per-page form: the static capacity check above AND the
+  /// pin-reservation guard for the page's shard — false while the
+  /// shard's free-frame count sits below kLeaseShardFreeFrameFloor, so
+  /// callers degrade new scans to copy-and-unpin instead of stacking
+  /// more held pins onto a shard under lease pressure. (Unbuffered
+  /// pools stay lease-friendly: their guards hand out private copies
+  /// and pin nothing.) The probe is advisory — it reads the shard's
+  /// pinned-frame gauge without taking its mutex.
+  bool lease_friendly(PageId id) const {
+    if (capacity_ == 0) {
+      return true;
+    }
+    if (!lease_friendly()) {
+      return false;
+    }
+    const Shard& shard = *shards_[ShardOf(id)];
+    const size_t pinned =
+        shard.pinned_frames.load(std::memory_order_relaxed);
+    return shard.frames.size() - pinned >= kLeaseShardFreeFrameFloor;
+  }
   size_t num_resident() const;
   size_t num_pinned() const;
   /// Snapshot of the I/O counters, summed over every shard (by value: the
@@ -209,6 +236,9 @@ class BufferPool {
     std::unordered_map<PageId, size_t> page_table;
     uint64_t tick = 0;
     IoStats stats;
+    /// Frames with pins > 0. Written under `mu` (pin transitions in
+    /// Acquire/Unpin), read lock-free by lease_friendly(id).
+    std::atomic<size_t> pinned_frames{0};
   };
 
   size_t ShardOf(PageId id) const { return id % shards_.size(); }

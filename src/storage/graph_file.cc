@@ -289,7 +289,7 @@ Result<std::span<const AdjEntry>> GraphFile::ScanNeighbors(
       GRNN_DCHECK(reinterpret_cast<uintptr_t>(base) % alignof(AdjEntry) ==
                   0);
       const auto* records = reinterpret_cast<const AdjEntry*>(base);
-      if (pool->lease_friendly()) {
+      if (pool->lease_friendly(page)) {
         // Zero-copy: the cursor leases the pin for the span's lifetime.
         if (cursor.lease_ == nullptr) {
           cursor.lease_ = std::make_unique<PageLease>();
@@ -298,7 +298,8 @@ Result<std::span<const AdjEntry>> GraphFile::ScanNeighbors(
             std::move(guard);
         return std::span<const AdjEntry>(records, degree);
       }
-      // Tiny pool: copy and unpin so held cursors cannot exhaust a shard.
+      // Tiny pool or shard under lease pressure: copy and unpin so held
+      // cursors cannot exhaust the shard.
       cursor.scratch_.resize(degree);
       std::memcpy(cursor.scratch_.data(), base,
                   degree * sizeof(AdjEntry));

@@ -93,9 +93,11 @@ class GraphFile {
   /// Returns a span valid until the next scan through `cursor`, cursor
   /// Reset, or cursor destruction (see network_view.h for the full
   /// lifetime rules). Zero-copy when the layout is v2, the list sits on
-  /// one page and the pool is lease_friendly(); otherwise the entries
-  /// are decoded into the cursor's scratch buffer and the page pins are
-  /// dropped before returning.
+  /// one page and the pool is lease_friendly(page) — which also degrades
+  /// scans to copy mode while the page's shard is under lease pressure
+  /// (pin-reservation guard); otherwise the entries are decoded into the
+  /// cursor's scratch buffer and the page pins are dropped before
+  /// returning.
   Result<std::span<const AdjEntry>> ScanNeighbors(
       BufferPool* pool, NodeId n, graph::NeighborCursor& cursor) const;
 

@@ -29,6 +29,8 @@
 #include "gen/points.h"
 #include "gen/road_network.h"
 #include "graph/network_view.h"
+#include "index/hub_label.h"
+#include "index/label_file.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 #include "storage/graph_file.h"
@@ -224,12 +226,13 @@ QuerySpec MakeSpec(World& w, QueryKind kind, Algorithm algo, int k,
 // The full combination sweep for the kinds an engine serves:
 // every algorithm x k in [1, kMaxK] x {exclude-self, arbitrary target},
 // `reps` random targets each.
-std::vector<QuerySpec> MakeSpecs(World& w,
-                                 std::vector<QueryKind> kinds,
-                                 int reps, Rng& rng) {
+std::vector<QuerySpec> MakeSpecsForAlgos(World& w,
+                                         std::vector<QueryKind> kinds,
+                                         std::span<const Algorithm> algos,
+                                         int reps, Rng& rng) {
   std::vector<QuerySpec> specs;
   for (QueryKind kind : kinds) {
-    for (Algorithm algo : kAllAlgorithms) {
+    for (Algorithm algo : algos) {
       for (int k = 1; k <= static_cast<int>(kMaxK); ++k) {
         for (bool exclude_self : {true, false}) {
           for (int rep = 0; rep < reps; ++rep) {
@@ -241,6 +244,13 @@ std::vector<QuerySpec> MakeSpecs(World& w,
     }
   }
   return specs;
+}
+
+std::vector<QuerySpec> MakeSpecs(World& w,
+                                 std::vector<QueryKind> kinds,
+                                 int reps, Rng& rng) {
+  return MakeSpecsForAlgos(w, std::move(kinds), kAllAlgorithms, reps,
+                           rng);
 }
 
 void CheckAgainstOracle(RknnEngine& engine,
@@ -589,12 +599,123 @@ TEST_P(DifferentialHarness, StoredLayoutsMatchMemoryEngineBitForBit) {
   }
 }
 
+// The hub-label phase: the full monochromatic + bichromatic
+// k x exclusion matrix through Algorithm::kHubLabel must match the
+// brute-force oracle — from the in-memory HubLabelIndex AND from a
+// LabelFile reopened off disk (the stored-label engine), serially and
+// through the parallel batch path, with the two label backends
+// bit-for-bit identical to each other. A staleness probe then mutates
+// the populations through the engine: hub queries must transparently
+// fall back to eager (counted, still oracle-exact over the mutated
+// world) until RebuildIndex() restores the label path.
+TEST_P(DifferentialHarness, HubLabelMatchesOracleFromBothLabelBackends) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  SCOPED_TRACE("replay: differential_test seed=" + std::to_string(seed) +
+               " (hub-label phase)");
+  auto w = MakeWorld(seed);
+  Rng rng(seed * 523 + 3);
+
+  auto labels = index::HubLabelBuilder::Build(*w->view).ValueOrDie();
+
+  EngineSources sources;
+  sources.graph = &*w->view;
+  sources.points = &w->points;
+  sources.sites = &w->sites;
+  sources.knn = &w->knn;
+  sources.site_knn = &w->site_knn;
+  sources.hub_labels = &labels;
+  RknnEngine mem_engine = RknnEngine::Create(sources).ValueOrDie();
+
+  constexpr Algorithm kHubOnly[] = {Algorithm::kHubLabel};
+  auto specs = MakeSpecsForAlgos(
+      *w, {QueryKind::kMonochromatic, QueryKind::kBichromatic}, kHubOnly,
+      /*reps=*/2, rng);
+  CheckAgainstOracle(mem_engine, specs, seed);
+  CheckParallelMatchesSerial(mem_engine, specs, seed);
+  auto mem_batch = mem_engine.RunBatch(specs);
+  ASSERT_TRUE(mem_batch.ok());
+  // The label path actually served these (no silent fallback).
+  EXPECT_EQ(mem_batch->stats.search.hub_fallbacks, 0u);
+  EXPECT_GT(mem_batch->stats.search.label_entries, 0u);
+
+  // Stored-label engine: persist, reopen, serve through the pool.
+  auto disk = std::make_unique<storage::MemoryDiskManager>(512);
+  auto built = index::LabelFile::Build(labels, disk.get()).ValueOrDie();
+  auto file = std::make_unique<index::LabelFile>(
+      index::LabelFile::Open(disk.get(), built.first_page())
+          .ValueOrDie());
+  auto pool = std::make_unique<storage::BufferPool>(disk.get(), 64);
+  index::StoredLabelIndex stored(file.get(), pool.get());
+  sources.hub_labels = &stored;
+  sources.pool = pool.get();
+  RknnEngine stored_engine = RknnEngine::Create(sources).ValueOrDie();
+
+  auto stored_serial = stored_engine.RunBatch(specs);
+  ASSERT_TRUE(stored_serial.ok()) << stored_serial.status().ToString();
+  for (size_t i = 0; i < specs.size(); ++i) {
+    // Bit-for-bit across label backends: same bytes, same arithmetic.
+    EXPECT_EQ(stored_serial->results[i].results,
+              mem_batch->results[i].results)
+        << "spec=" << i;
+  }
+  EXPECT_EQ(pool->num_pinned(), 0u);
+  auto stored_parallel =
+      stored_engine.RunBatch(specs, ParallelOptions{4, 5});
+  ASSERT_TRUE(stored_parallel.ok());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(stored_parallel->results[i].results,
+              mem_batch->results[i].results)
+        << "spec=" << i << " (parallel)";
+  }
+  EXPECT_EQ(pool->num_pinned(), 0u);
+
+  // Staleness probe over the memory backend: update -> fallback ->
+  // rebuild -> label path again, oracle-exact at every step.
+  EngineSources up_sources;
+  up_sources.graph = &*w->view;
+  up_sources.points = &w->points;
+  up_sources.sites = &w->sites;
+  up_sources.knn = &w->knn;
+  up_sources.site_knn = &w->site_knn;
+  up_sources.hub_labels = &labels;
+  up_sources.updates.points = &w->points;
+  up_sources.updates.sites = &w->sites;
+  up_sources.updates.knn = &w->knn;
+  up_sources.updates.site_knn = &w->site_knn;
+  RknnEngine up_engine = RknnEngine::Create(up_sources).ValueOrDie();
+  ASSERT_FALSE(up_engine.hub_index_stale());
+
+  NodeId free = FreeNode(*w, rng);
+  ASSERT_NE(free, kInvalidNode);
+  ASSERT_TRUE(up_engine.ApplyUpdate(UpdateSpec::InsertPoint(free)).ok());
+  ASSERT_TRUE(up_engine.hub_index_stale());
+
+  auto stale_specs = MakeSpecsForAlgos(
+      *w, {QueryKind::kMonochromatic, QueryKind::kBichromatic}, kHubOnly,
+      /*reps=*/1, rng);
+  CheckAgainstOracle(up_engine, stale_specs, seed);
+  auto stale_batch = up_engine.RunBatch(stale_specs);
+  ASSERT_TRUE(stale_batch.ok());
+  EXPECT_EQ(stale_batch->stats.search.hub_fallbacks,
+            stale_specs.size());
+
+  ASSERT_TRUE(up_engine.RebuildIndex().ok());
+  ASSERT_FALSE(up_engine.hub_index_stale());
+  CheckAgainstOracle(up_engine, stale_specs, seed);
+  auto fresh_batch = up_engine.RunBatch(stale_specs);
+  ASSERT_TRUE(fresh_batch.ok());
+  EXPECT_EQ(fresh_batch->stats.search.hub_fallbacks, 0u);
+  CheckParallelMatchesSerial(up_engine, stale_specs, seed);
+}
+
 // 6 seeds x (3 + 2) kinds x 4 algorithms x 3 k x 2 exclusion modes x
 // 2 reps = 2880 oracle-checked queries, each additionally replayed
 // through 3 parallel configurations — plus, per seed, 3 update bursts
 // each re-verified against rebuilt stores and the reduced (reps=1)
-// matrix, and a storage-equivalence phase replaying the matrix through
-// StoredGraph v1/v2 engines.
+// matrix, a storage-equivalence phase replaying the matrix through
+// StoredGraph v1/v2 engines, and a hub-label phase holding
+// Algorithm::kHubLabel (memory + reopened stored labels, serial +
+// parallel, staleness probe included) to the same oracle.
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialHarness,
                          ::testing::Range(1, 7),
                          ::testing::PrintToStringParamName());

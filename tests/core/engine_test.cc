@@ -548,5 +548,172 @@ TEST(EngineTest, QueryKindNames) {
   EXPECT_STREQ(QueryKindName(QueryKind::kUnrestricted), "unrestricted");
 }
 
+// ---------------------------------------------------------------------
+// Algorithm::kHubLabel: the label-backed index path (PR 5).
+
+// Node engine with a hub-label index attached (and optionally the
+// update sinks, for the staleness tests).
+RknnEngine HubNodeEngine(EngineWorld& w,
+                         const index::HubLabelIndex& labels,
+                         bool updatable = false) {
+  EngineSources sources;
+  sources.graph = &*w.view;
+  sources.points = &w.points;
+  sources.sites = &w.sites;
+  sources.knn = &w.knn;
+  sources.site_knn = &w.site_knn;
+  sources.hub_labels = &labels;
+  if (updatable) {
+    sources.updates.points = &w.points;
+    sources.updates.sites = &w.sites;
+    sources.updates.knn = &w.knn;
+    sources.updates.site_knn = &w.site_knn;
+  }
+  return RknnEngine::Create(sources).ValueOrDie();
+}
+
+TEST(EngineHubTest, HubMatchesOracleOnServedKinds) {
+  auto w = MakeWorld(21, 3);
+  auto labels = index::HubLabelBuilder::Build(*w->view).ValueOrDie();
+  RknnEngine engine = HubNodeEngine(*w, labels);
+  Rng rng(99);
+  for (QueryKind kind :
+       {QueryKind::kMonochromatic, QueryKind::kBichromatic}) {
+    for (int k = 1; k <= 3; ++k) {
+      auto specs =
+          MakeSpecs(*w, kind, Algorithm::kHubLabel, k, 8, rng);
+      for (QuerySpec spec : specs) {
+        auto hub = engine.Run(spec);
+        ASSERT_TRUE(hub.ok()) << hub.status().ToString();
+        EXPECT_EQ(hub->stats.hub_fallbacks, 0u);
+        EXPECT_GT(hub->stats.label_entries, 0u);
+        spec.algorithm = Algorithm::kBruteForce;
+        auto oracle = engine.Run(spec);
+        ASSERT_TRUE(oracle.ok());
+        EXPECT_EQ(Ids(*hub), Ids(*oracle))
+            << QueryKindName(kind) << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(EngineHubTest, UnsupportedKindsReportUnimplemented) {
+  auto w = MakeWorld(22, 3);
+  auto labels = index::HubLabelBuilder::Build(*w->view).ValueOrDie();
+  RknnEngine node_engine = HubNodeEngine(*w, labels);
+  std::vector<NodeId> route{0, w->g.Neighbors(0)[0].node};
+  auto r = node_engine.Run(
+      QuerySpec::Continuous(Algorithm::kHubLabel, std::move(route)));
+  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+
+  EngineSources edge_sources;
+  edge_sources.graph = &*w->view;
+  edge_sources.edge_points = &w->edge_points;
+  edge_sources.hub_labels = &labels;
+  RknnEngine edge_engine =
+      RknnEngine::Create(edge_sources).ValueOrDie();
+  auto live = w->edge_points.LivePoints();
+  auto pos = edge_engine.Run(QuerySpec::Unrestricted(
+      Algorithm::kHubLabel, w->edge_points.PositionOf(live[0])));
+  EXPECT_EQ(pos.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(EngineHubTest, HubWithoutIndexIsRejected) {
+  auto w = MakeWorld(23, 3);
+  RknnEngine engine = NodeEngine(*w);
+  auto r = engine.Run(
+      QuerySpec::Monochromatic(Algorithm::kHubLabel, 0));
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(engine.hub_index_stale());
+  EXPECT_EQ(engine.RebuildIndex().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineHubTest, CreateRejectsMismatchedLabelUniverse) {
+  auto w = MakeWorld(24, 3);
+  Rng rng(5);
+  auto small = RandomConnectedGraph(5, 0.5, rng);
+  graph::GraphView small_view(&small);
+  auto labels = index::HubLabelBuilder::Build(small_view).ValueOrDie();
+  EngineSources sources;
+  sources.graph = &*w->view;
+  sources.points = &w->points;
+  sources.hub_labels = &labels;
+  EXPECT_FALSE(RknnEngine::Create(sources).ok());
+}
+
+TEST(EngineHubTest, UpdatesMarkStaleFallBackThenRebuildRestores) {
+  auto w = MakeWorld(25, 3);
+  auto labels = index::HubLabelBuilder::Build(*w->view).ValueOrDie();
+  RknnEngine engine = HubNodeEngine(*w, labels, /*updatable=*/true);
+  ASSERT_FALSE(engine.hub_index_stale());
+
+  auto live = w->points.LivePoints();
+  const PointId qp = live[0];
+  const QuerySpec hub_spec = QuerySpec::Monochromatic(
+      Algorithm::kHubLabel, w->points.NodeOf(qp), 2, qp);
+  QuerySpec oracle_spec = hub_spec;
+  oracle_spec.algorithm = Algorithm::kBruteForce;
+
+  auto before = engine.Run(hub_spec);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->stats.hub_fallbacks, 0u);
+
+  // A points update invalidates the derived index...
+  NodeId free = kInvalidNode;
+  for (NodeId n = 0; n < w->g.num_nodes(); ++n) {
+    if (!w->points.Contains(n) && !w->sites.Contains(n)) {
+      free = n;
+      break;
+    }
+  }
+  ASSERT_NE(free, kInvalidNode);
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateSpec::InsertPoint(free)).ok());
+  EXPECT_TRUE(engine.hub_index_stale());
+
+  // ...so hub queries transparently fall back to eager, still exact
+  // over the MUTATED world, and say so in the stats.
+  auto during = engine.Run(hub_spec);
+  ASSERT_TRUE(during.ok());
+  EXPECT_EQ(during->stats.hub_fallbacks, 1u);
+  EXPECT_EQ(during->stats.label_entries, 0u);
+  auto oracle = engine.Run(oracle_spec);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(Ids(*during), Ids(*oracle));
+
+  // Rebuild restores the label path; answers stay oracle-exact.
+  ASSERT_TRUE(engine.RebuildIndex().ok());
+  EXPECT_FALSE(engine.hub_index_stale());
+  auto after = engine.Run(hub_spec);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->stats.hub_fallbacks, 0u);
+  EXPECT_GT(after->stats.label_entries, 0u);
+  EXPECT_EQ(Ids(*after), Ids(*oracle));
+
+  // Site updates invalidate too (bichromatic shares the indices).
+  NodeId free_site = kInvalidNode;
+  for (NodeId n = 0; n < w->g.num_nodes(); ++n) {
+    if (!w->points.Contains(n) && !w->sites.Contains(n)) {
+      free_site = n;
+      break;
+    }
+  }
+  ASSERT_NE(free_site, kInvalidNode);
+  ASSERT_TRUE(
+      engine.ApplyUpdate(UpdateSpec::InsertSite(free_site)).ok());
+  EXPECT_TRUE(engine.hub_index_stale());
+  ASSERT_TRUE(engine.RebuildIndex().ok());
+  EXPECT_FALSE(engine.hub_index_stale());
+}
+
+TEST(EngineHubTest, ParseAndNamesIncludeHub) {
+  EXPECT_EQ(ParseAlgorithm("hub").ValueOrDie(), Algorithm::kHubLabel);
+  EXPECT_EQ(ParseAlgorithm("H").ValueOrDie(), Algorithm::kHubLabel);
+  EXPECT_EQ(ParseAlgorithm("hub-label").ValueOrDie(),
+            Algorithm::kHubLabel);
+  EXPECT_STREQ(AlgorithmName(Algorithm::kHubLabel), "hub");
+  EXPECT_STREQ(AlgorithmShortName(Algorithm::kHubLabel), "H");
+}
+
 }  // namespace
 }  // namespace grnn::core

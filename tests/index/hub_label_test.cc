@@ -1,0 +1,308 @@
+// Hub-label subsystem: builder exactness and determinism, Query(u,v)
+// against the Dijkstra oracle, and the kNN / RkNN label primitives
+// against the brute-force semantics of core/types.h.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/brute_force.h"
+#include "core/bichromatic.h"
+#include "graph/dijkstra.h"
+#include "graph/network_view.h"
+#include "index/hub_label.h"
+#include "index/hub_point_index.h"
+#include "index/hub_rknn.h"
+#include "test_fixtures.h"
+
+namespace grnn::index {
+namespace {
+
+using core::testfix::Ids;
+using core::testfix::PaperExample;
+using core::testfix::RandomConnectedGraph;
+using core::testfix::RandomPoints;
+
+void ExpectAllPairsExact(const graph::Graph& g,
+                         const HubLabelIndex& index) {
+  graph::GraphView view(&g);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto dist = graph::SingleSourceDistances(view, u).ValueOrDie();
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const Weight got = index.Query(u, v);
+      if (dist[v] == kInfinity) {
+        EXPECT_EQ(got, kInfinity) << "u=" << u << " v=" << v;
+      } else {
+        EXPECT_NEAR(got, dist[v], 1e-9) << "u=" << u << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(HubLabelBuilder, PaperExampleAllPairsExact) {
+  auto f = PaperExample();
+  graph::GraphView view(&f.g);
+  auto index = HubLabelBuilder::Build(view).ValueOrDie();
+  EXPECT_EQ(index.num_nodes(), f.g.num_nodes());
+  ExpectAllPairsExact(f.g, index);
+}
+
+TEST(HubLabelBuilder, SelfDistanceIsZero) {
+  auto f = PaperExample();
+  graph::GraphView view(&f.g);
+  auto index = HubLabelBuilder::Build(view).ValueOrDie();
+  for (NodeId u = 0; u < f.g.num_nodes(); ++u) {
+    EXPECT_EQ(index.Query(u, u), 0.0);
+  }
+}
+
+TEST(HubLabelBuilder, RandomWorldsAllPairsExact) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(seed);
+    const bool unit = seed % 2 == 0;
+    auto g = RandomConnectedGraph(60, 0.5, rng, unit);
+    graph::GraphView view(&g);
+    auto index = HubLabelBuilder::Build(view).ValueOrDie();
+    ExpectAllPairsExact(g, index);
+  }
+}
+
+TEST(HubLabelBuilder, RandomHubOrderStaysExact) {
+  Rng rng(7);
+  auto g = RandomConnectedGraph(40, 0.8, rng);
+  graph::GraphView view(&g);
+  HubLabelBuildOptions options;
+  options.order = HubOrder::kRandom;
+  options.seed = 99;
+  auto index = HubLabelBuilder::Build(view, options).ValueOrDie();
+  ExpectAllPairsExact(g, index);
+}
+
+TEST(HubLabelBuilder, DisconnectedPairsReportInfinity) {
+  // Two 3-node components.
+  auto g = graph::Graph::FromEdges(
+               6, {{0, 1, 1.0}, {1, 2, 2.0}, {3, 4, 1.0}, {4, 5, 2.0}})
+               .ValueOrDie();
+  graph::GraphView view(&g);
+  auto index = HubLabelBuilder::Build(view).ValueOrDie();
+  ExpectAllPairsExact(g, index);
+  EXPECT_EQ(index.Query(0, 5), kInfinity);
+}
+
+TEST(HubLabelBuilder, DeterministicAcrossBuilds) {
+  Rng rng(11);
+  auto g = RandomConnectedGraph(50, 0.7, rng);
+  graph::GraphView view(&g);
+  auto a = HubLabelBuilder::Build(view).ValueOrDie();
+  auto b = HubLabelBuilder::Build(view).ValueOrDie();
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_entries(), b.num_entries());
+  for (NodeId n = 0; n < a.num_nodes(); ++n) {
+    auto la = a.Label(n);
+    auto lb = b.Label(n);
+    ASSERT_EQ(la.size(), lb.size()) << "node " << n;
+    for (size_t i = 0; i < la.size(); ++i) {
+      EXPECT_EQ(la[i], lb[i]) << "node " << n << " slot " << i;
+    }
+  }
+}
+
+TEST(HubLabelBuilder, LabelsSortedByHubAndCoverSelf) {
+  Rng rng(13);
+  auto g = RandomConnectedGraph(45, 0.6, rng);
+  graph::GraphView view(&g);
+  auto index = HubLabelBuilder::Build(view).ValueOrDie();
+  for (NodeId n = 0; n < index.num_nodes(); ++n) {
+    auto label = index.Label(n);
+    bool has_self = false;
+    for (size_t i = 0; i < label.size(); ++i) {
+      if (i > 0) {
+        EXPECT_LT(label[i - 1].hub, label[i].hub);
+      }
+      has_self = has_self || (label[i].hub == n && label[i].dist == 0.0);
+    }
+    EXPECT_TRUE(has_self) << "node " << n;
+  }
+}
+
+TEST(HubLabelBuilder, EmptyGraphRejected) {
+  graph::Graph g;
+  graph::GraphView view(&g);
+  EXPECT_FALSE(HubLabelBuilder::Build(view).ok());
+}
+
+TEST(HubLabelIndex, ScanMatchesLabelAndRangeChecks) {
+  auto f = PaperExample();
+  graph::GraphView view(&f.g);
+  auto index = HubLabelBuilder::Build(view).ValueOrDie();
+  LabelCursor cursor;
+  for (NodeId n = 0; n < index.num_nodes(); ++n) {
+    auto span = index.Scan(n, cursor).ValueOrDie();
+    auto want = index.Label(n);
+    ASSERT_EQ(span.size(), want.size());
+    EXPECT_TRUE(std::equal(span.begin(), span.end(), want.begin()));
+  }
+  EXPECT_TRUE(index.Scan(index.num_nodes(), cursor)
+                  .status()
+                  .IsOutOfRange());
+  EXPECT_EQ(cursor.held_pins(), 0u);
+}
+
+TEST(QueryViaStore, MatchesDirectQuery) {
+  Rng rng(17);
+  auto g = RandomConnectedGraph(30, 0.5, rng);
+  graph::GraphView view(&g);
+  auto index = HubLabelBuilder::Build(view).ValueOrDie();
+  LabelCursor cu, cv;
+  for (int i = 0; i < 50; ++i) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    NodeId v = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    EXPECT_EQ(QueryViaStore(index, u, v, cu, cv).ValueOrDie(),
+              index.Query(u, v));
+  }
+}
+
+TEST(KnnViaLabels, MatchesDijkstraOrderedDistances) {
+  for (uint64_t seed : {3u, 4u}) {
+    Rng rng(seed);
+    auto g = RandomConnectedGraph(50, 0.6, rng, seed % 2 == 0);
+    graph::GraphView view(&g);
+    auto points = RandomPoints(g.num_nodes(), 12, rng);
+    auto index = HubLabelBuilder::Build(view).ValueOrDie();
+    auto occ = HubPointIndex::Build(index, points).ValueOrDie();
+    LabelWorkspace ws;
+    std::vector<core::NnResult> got;
+    for (NodeId q = 0; q < g.num_nodes(); q += 7) {
+      auto dist = graph::SingleSourceDistances(view, q).ValueOrDie();
+      for (int k : {1, 3, 5}) {
+        for (PointId exclude :
+             {kInvalidPoint, static_cast<PointId>(0)}) {
+          ASSERT_TRUE(
+              KnnViaLabelsInto(index, occ, q, k, exclude, ws, &got).ok());
+          // Oracle: all live points by (dist, id), exclude removed.
+          std::vector<std::pair<Weight, PointId>> want;
+          for (PointId p : points.LivePoints()) {
+            if (p == exclude || dist[points.NodeOf(p)] == kInfinity) {
+              continue;
+            }
+            want.push_back({dist[points.NodeOf(p)], p});
+          }
+          std::sort(want.begin(), want.end());
+          const size_t expect_n =
+              std::min<size_t>(want.size(), static_cast<size_t>(k));
+          ASSERT_EQ(got.size(), expect_n) << "q=" << q << " k=" << k;
+          for (size_t i = 0; i < expect_n; ++i) {
+            EXPECT_NEAR(got[i].dist, want[i].first, 1e-9)
+                << "q=" << q << " k=" << k << " slot=" << i;
+          }
+        }
+      }
+    }
+    EXPECT_EQ(ws.held_pins(), 0u);
+  }
+}
+
+TEST(RknnViaLabels, MonochromaticMatchesBruteForce) {
+  for (uint64_t seed : {5u, 6u, 7u}) {
+    Rng rng(seed);
+    auto g = RandomConnectedGraph(60, 0.5, rng, seed % 2 == 1);
+    graph::GraphView view(&g);
+    auto points = RandomPoints(g.num_nodes(), 14, rng);
+    auto index = HubLabelBuilder::Build(view).ValueOrDie();
+    auto occ = HubPointIndex::Build(index, points).ValueOrDie();
+    LabelWorkspace ws;
+    auto live = points.LivePoints();
+    for (int rep = 0; rep < 20; ++rep) {
+      const bool self = rep % 2 == 0;
+      core::RknnOptions options;
+      options.k = 1 + rep % 3;
+      NodeId q;
+      if (self) {
+        PointId qp = live[rng.UniformInt(live.size())];
+        options.exclude_point = qp;
+        q = points.NodeOf(qp);
+      } else {
+        q = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+      }
+      auto got =
+          RknnViaLabels(index, occ, occ, {&q, 1}, options, ws)
+              .ValueOrDie();
+      auto want =
+          core::BruteForceRknn(view, points, {&q, 1}, options)
+              .ValueOrDie();
+      EXPECT_EQ(Ids(got), Ids(want))
+          << "seed=" << seed << " rep=" << rep << " k=" << options.k;
+      EXPECT_EQ(ws.held_pins(), 0u);
+    }
+  }
+}
+
+TEST(RknnViaLabels, BichromaticMatchesBruteForce) {
+  for (uint64_t seed : {8u, 9u}) {
+    Rng rng(seed);
+    auto g = RandomConnectedGraph(60, 0.5, rng, seed % 2 == 0);
+    graph::GraphView view(&g);
+    // Disjoint placements, as the differential worlds do.
+    auto nodes = rng.SampleWithoutReplacement(g.num_nodes(), 20);
+    std::vector<NodeId> p_locs(nodes.begin(), nodes.begin() + 13);
+    std::vector<NodeId> q_locs(nodes.begin() + 13, nodes.end());
+    auto points =
+        core::NodePointSet::FromLocations(g.num_nodes(), p_locs)
+            .ValueOrDie();
+    auto sites =
+        core::NodePointSet::FromLocations(g.num_nodes(), q_locs)
+            .ValueOrDie();
+    auto index = HubLabelBuilder::Build(view).ValueOrDie();
+    auto occ_p = HubPointIndex::Build(index, points).ValueOrDie();
+    auto occ_q = HubPointIndex::Build(index, sites).ValueOrDie();
+    LabelWorkspace ws;
+    auto live_sites = sites.LivePoints();
+    for (int rep = 0; rep < 20; ++rep) {
+      core::RknnOptions options;
+      options.k = 1 + rep % 3;
+      NodeId q;
+      if (rep % 2 == 0) {
+        PointId qs = live_sites[rng.UniformInt(live_sites.size())];
+        options.exclude_point = qs;
+        q = sites.NodeOf(qs);
+      } else {
+        q = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+      }
+      auto got =
+          RknnViaLabels(index, occ_p, occ_q, {&q, 1}, options, ws)
+              .ValueOrDie();
+      auto want = core::BruteForceBichromaticRknn(view, points, sites,
+                                                  {&q, 1}, options)
+                      .ValueOrDie();
+      EXPECT_EQ(Ids(got), Ids(want))
+          << "seed=" << seed << " rep=" << rep << " k=" << options.k;
+    }
+  }
+}
+
+TEST(RknnViaLabels, ValidatesInput) {
+  auto f = PaperExample();
+  graph::GraphView view(&f.g);
+  auto index = HubLabelBuilder::Build(view).ValueOrDie();
+  auto occ = HubPointIndex::Build(index, f.points).ValueOrDie();
+  LabelWorkspace ws;
+  core::RknnOptions options;
+  options.k = 0;
+  NodeId q = 0;
+  EXPECT_TRUE(RknnViaLabels(index, occ, occ, {&q, 1}, options, ws)
+                  .status()
+                  .IsInvalidArgument());
+  options.k = 1;
+  NodeId bad = f.g.num_nodes();
+  EXPECT_TRUE(RknnViaLabels(index, occ, occ, {&bad, 1}, options, ws)
+                  .status()
+                  .IsOutOfRange());
+  EXPECT_TRUE(
+      RknnViaLabels(index, occ, occ, {}, options, ws)
+          .status()
+          .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace grnn::index

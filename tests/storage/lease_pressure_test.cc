@@ -1,0 +1,147 @@
+// Pin-reservation guard (PR 5, the ROADMAP open item from PR 4): when
+// held cursor leases squeeze a buffer-pool shard's free-frame count
+// below kLeaseShardFreeFrameFloor, lease_friendly(page) flips to false
+// and NEW scans degrade to copy-and-unpin — so a fleet of held cursors
+// can never pin a shard down into ResourceExhausted. Without the guard,
+// the scenario below (more single-page adjacency lists than frames, one
+// shard, every scan's cursor kept alive) exhausts the pool on the 33rd
+// scan; with it, every scan succeeds and the shard always keeps frames
+// free for nested expansion pins.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/network_view.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/graph_file.h"
+#include "storage/stored_graph.h"
+
+namespace grnn::storage {
+namespace {
+
+// 40-node circulant graph, degree 24: each adjacency list fills 384 of
+// a 512-byte page's 496 record bytes, so (with boundary padding) every
+// node owns exactly one page — 40 single-page lists.
+graph::Graph CirculantGraph() {
+  std::vector<Edge> edges;
+  const NodeId n = 40;
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId d = 1; d <= 12; ++d) {
+      edges.push_back({i, (i + d) % n, 1.0 + d});
+    }
+  }
+  for (Edge& e : edges) {
+    if (e.u > e.v) {
+      std::swap(e.u, e.v);
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return graph::Graph::FromEdges(n, edges).ValueOrDie();
+}
+
+TEST(LeasePressure, HeldCursorsCannotExhaustAOneShardPool) {
+  auto g = CirculantGraph();
+  MemoryDiskManager disk(512);
+  auto file =
+      GraphFile::Build(g, &disk, GraphFileOptions{}).ValueOrDie();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(file.PagesSpanned(v), 1u) << "node " << v;
+  }
+
+  // One shard, 32 frames: statically lease-friendly (>=
+  // kMinFramesPerShardForLease), but fewer frames than lists — held
+  // leases alone could pin down every frame without the guard.
+  BufferPool pool(&disk, 32, ReplacementPolicy::kLru, 1);
+  ASSERT_TRUE(pool.lease_friendly());
+  StoredGraph view(&file, &pool);
+
+  // Scan every node through its own long-lived cursor, keeping all
+  // spans alive. Every scan must succeed; the guard caps how many can
+  // actually lease.
+  std::vector<std::unique_ptr<graph::NeighborCursor>> cursors;
+  size_t leased = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    cursors.push_back(std::make_unique<graph::NeighborCursor>());
+    auto span = view.Scan(v, *cursors.back());
+    ASSERT_TRUE(span.ok()) << "node " << v << ": "
+                           << span.status().ToString();
+    ASSERT_EQ(span->size(), g.Neighbors(v).size());
+    EXPECT_TRUE(std::equal(span->begin(), span->end(),
+                           g.Neighbors(v).begin()))
+        << "node " << v;
+    leased += cursors.back()->held_pins();
+  }
+  // The floor held: leases stopped before the shard ran dry.
+  EXPECT_LE(leased, pool.capacity() - kLeaseShardFreeFrameFloor);
+  EXPECT_GT(leased, 0u);
+  EXPECT_LT(leased, static_cast<size_t>(g.num_nodes()))
+      << "some scans should have degraded to copy mode";
+  EXPECT_EQ(pool.num_pinned(), leased);
+
+  // Under pressure a new scan of an unleased page degrades to copy
+  // mode: its own pin would push the shard below the floor.
+  {
+    graph::NeighborCursor probe;
+    const NodeId degraded = static_cast<NodeId>(g.num_nodes() - 1);
+    auto span = view.Scan(degraded, probe);
+    ASSERT_TRUE(span.ok());
+    EXPECT_EQ(probe.held_pins(), 0u);
+  }
+
+  // A whole extra pass over the graph still succeeds without a single
+  // ResourceExhausted, spans correct.
+  graph::NeighborCursor extra;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto span = view.Scan(v, extra);
+    ASSERT_TRUE(span.ok()) << "node " << v << ": "
+                           << span.status().ToString();
+    EXPECT_TRUE(std::equal(span->begin(), span->end(),
+                           g.Neighbors(v).begin()));
+  }
+  extra.Reset();
+  EXPECT_EQ(pool.num_pinned(), leased);
+  EXPECT_LE(pool.num_pinned(),
+            pool.capacity() - kLeaseShardFreeFrameFloor);
+
+  // Dropping the held cursors drains the pressure: leases come back.
+  cursors.clear();
+  EXPECT_EQ(pool.num_pinned(), 0u);
+  EXPECT_TRUE(pool.lease_friendly(file.first_page()));
+  auto span = view.Scan(0, extra);
+  ASSERT_TRUE(span.ok());
+  EXPECT_EQ(extra.held_pins(), 1u);
+  extra.Reset();
+  EXPECT_EQ(pool.num_pinned(), 0u);
+}
+
+TEST(LeasePressure, ProbeHonoursStaticFloorAndUnbufferedPools) {
+  auto g = CirculantGraph();
+  MemoryDiskManager disk(512);
+  auto file =
+      GraphFile::Build(g, &disk, GraphFileOptions{}).ValueOrDie();
+  {
+    // Below the static per-shard budget: never lease-friendly,
+    // regardless of pressure.
+    BufferPool pool(&disk, 8, ReplacementPolicy::kLru, 1);
+    EXPECT_FALSE(pool.lease_friendly());
+    EXPECT_FALSE(pool.lease_friendly(file.first_page()));
+  }
+  {
+    // Unbuffered: guards hand out private copies and pin nothing, so
+    // the probe stays true.
+    BufferPool pool(&disk, 0);
+    EXPECT_TRUE(pool.lease_friendly());
+    EXPECT_TRUE(pool.lease_friendly(file.first_page()));
+  }
+}
+
+}  // namespace
+}  // namespace grnn::storage
