@@ -29,6 +29,7 @@
 #include "common/timer.h"
 #include "gen/grid.h"
 #include "gen/points.h"
+#include "index/hub_label.h"
 
 using namespace grnn;
 using namespace grnn::bench;
@@ -41,15 +42,28 @@ struct MixResult {
   size_t occupied = 0;  // inserts rejected: node already hosts a point
   double wall_s = 0;
   core::UpdateStats maint;
+  /// Hub-label queries answered through the eager fallback because the
+  /// point indices were stale (zero when the engine has no hub labels).
+  uint64_t hub_fallbacks = 0;
+  /// Epoch-reclamation deltas over the mix (zero in lock mode):
+  /// versions retired by updates, versions actually freed, and the
+  /// limbo depth left when the mix ended.
+  uint64_t epoch_retired = 0;
+  uint64_t epoch_reclaimed = 0;
+  uint64_t epoch_limbo = 0;
 };
 
 // One measured mix: `threads` OS threads, each issuing `ops_per_thread`
 // operations, update with probability 1/ratio (ratio = queries per
-// update + 1 denominator form below).
+// update + 1 denominator form below). With `use_hub` set, half the
+// queries go through Algorithm::kHubLabel, exercising the staleness
+// fallback under live updates.
 Result<MixResult> RunMix(core::RknnEngine& engine, NodeId num_nodes,
                          int threads, size_t ops_per_thread,
-                         int update_percent, uint64_t seed) {
+                         int update_percent, uint64_t seed,
+                         bool use_hub = false) {
   const core::EngineStats before = engine.lifetime_stats();
+  const serve::EpochStats epochs_before = engine.epoch_stats();
   std::atomic<size_t> occupied{0};
   std::atomic<bool> failed{false};
   std::mutex err_mu;
@@ -96,8 +110,10 @@ Result<MixResult> RunMix(core::RknnEngine& engine, NodeId num_nodes,
           }
         } else {
           const core::Algorithm algo =
-              rng.UniformInt(2) == 0 ? core::Algorithm::kEagerM
-                                     : core::Algorithm::kEager;
+              rng.UniformInt(2) == 0
+                  ? (use_hub ? core::Algorithm::kHubLabel
+                             : core::Algorithm::kEagerM)
+                  : core::Algorithm::kEager;
           const int k = 1 + static_cast<int>(rng.UniformInt(3));
           auto r = engine.Run(core::QuerySpec::Monochromatic(
               algo, static_cast<NodeId>(rng.UniformInt(num_nodes)), k));
@@ -121,6 +137,16 @@ Result<MixResult> RunMix(core::RknnEngine& engine, NodeId num_nodes,
   out.updates = after.updates - before.updates;
   out.occupied = occupied.load();
   out.maint = after.update - before.update;
+  out.hub_fallbacks =
+      after.search.hub_fallbacks - before.search.hub_fallbacks;
+  // Drain whatever this mix left in limbo before reading the counters:
+  // the delta then reports this mix's reclamation, not the next one's.
+  engine.ReclaimVersions();
+  const serve::EpochStats epochs_after = engine.epoch_stats();
+  out.epoch_retired = epochs_after.retired - epochs_before.retired;
+  out.epoch_reclaimed =
+      epochs_after.reclaimed - epochs_before.reclaimed;
+  out.epoch_limbo = epochs_after.limbo;
   return out;
 }
 
@@ -157,6 +183,24 @@ int main(int argc, char** argv) {
                 "inserts rejected on occupied nodes (benign)",
                 ops_per_thread));
 
+  JsonReport json("mixed_rw", args);
+  auto add_json = [&json](const char* mode, int update_percent,
+                          int threads, const MixResult& mix) {
+    const double total_ops =
+        static_cast<double>(mix.queries + mix.updates);
+    json.AddConfig(
+        StrPrintf("mode=%s,upd=%d,threads=%d", mode, update_percent,
+                  threads),
+        {{"queries", static_cast<double>(mix.queries)},
+         {"updates", static_cast<double>(mix.updates)},
+         {"wall_s", mix.wall_s},
+         {"ops_per_s", mix.wall_s == 0 ? 0 : total_ops / mix.wall_s},
+         {"hub_fallbacks", static_cast<double>(mix.hub_fallbacks)},
+         {"epoch_retired", static_cast<double>(mix.epoch_retired)},
+         {"epoch_reclaimed", static_cast<double>(mix.epoch_reclaimed)},
+         {"epoch_limbo", static_cast<double>(mix.epoch_limbo)}});
+  };
+
   Table table({"upd%", "thr", "queries", "updates", "occ", "wall(s)",
                "ops/s", "maint wr/op"});
   for (int update_percent : {1, 10, 50}) {
@@ -179,15 +223,85 @@ int main(int argc, char** argv) {
                           : static_cast<double>(mix.maint.lists_written) /
                                 static_cast<double>(mix.updates),
                       1)});
+      add_json("lock", update_percent, threads, mix);
     }
   }
   table.Print();
+
+  // Epoch-snapshot + hub-label sweep: an in-memory engine serving
+  // through published versions, half the queries on the hub-label path
+  // so live updates surface as staleness fallbacks. A modest grid keeps
+  // the one-off hub-label build cheap; the interesting numbers are the
+  // fallback share and the retire/reclaim balance in the JSON report.
+  {
+    gen::GridConfig mcfg;
+    mcfg.rows = args.pick<NodeId>(16, 24, 48);
+    mcfg.cols = mcfg.rows;
+    mcfg.seed = args.seed + 1;
+    auto mg = gen::GenerateGrid(mcfg).ValueOrDie();
+    graph::GraphView mview(&mg);
+    Rng mrng(args.seed * 37 + 11);
+    auto mpoints =
+        gen::PlaceNodePoints(mg.num_nodes(), 0.1, mrng).ValueOrDie();
+    core::MemoryKnnStore mknn(mg.num_nodes(), kK);
+    if (!core::BuildAllNn(mview, mpoints, &mknn).ok()) {
+      std::fprintf(stderr, "KNN materialization failed\n");
+      return 1;
+    }
+    auto labels = index::HubLabelBuilder::Build(mview).ValueOrDie();
+
+    core::EngineSources msources;
+    msources.graph = &mview;
+    msources.points = &mpoints;
+    msources.knn = &mknn;
+    msources.hub_labels = &labels;
+    msources.updates.points = &mpoints;
+    msources.updates.knn = &mknn;
+    msources.snapshot_reads = true;
+    auto mengine = core::RknnEngine::Create(msources).ValueOrDie();
+
+    std::printf("\nepoch-snapshot + hub-label mixed serving (memory "
+                "engine, grid |V|=%u):\n",
+                mg.num_nodes());
+    Table etable({"upd%", "thr", "queries", "updates", "wall(s)",
+                  "ops/s", "hub_fb", "retired", "reclaimed", "limbo"});
+    for (int update_percent : {1, 10, 50}) {
+      for (int threads : {1, 2, 4}) {
+        auto mix =
+            RunMix(mengine, mg.num_nodes(), threads, ops_per_thread,
+                   update_percent,
+                   args.seed * 211 +
+                       static_cast<uint64_t>(update_percent * 17 +
+                                             threads),
+                   /*use_hub=*/true)
+                .ValueOrDie();
+        const double total_ops =
+            static_cast<double>(mix.queries + mix.updates);
+        etable.AddRow(
+            {std::to_string(update_percent), std::to_string(threads),
+             std::to_string(mix.queries), std::to_string(mix.updates),
+             Table::Num(mix.wall_s, 3),
+             Table::Num(mix.wall_s == 0 ? 0 : total_ops / mix.wall_s,
+                        0),
+             std::to_string(mix.hub_fallbacks),
+             std::to_string(mix.epoch_retired),
+             std::to_string(mix.epoch_reclaimed),
+             std::to_string(mix.epoch_limbo)});
+        add_json("epoch_hub", update_percent, threads, mix);
+      }
+    }
+    etable.Print();
+  }
 
   std::printf(
       "\nexpected shape: read-heavy mixes scale with threads (shared\n"
       "domain locks + sharded pin table); write-heavy mixes flatten as\n"
       "updates serialize on the exclusive domain lock. The density\n"
       "drifts with the insert/delete balance; occupied-node rejections\n"
-      "track the density, not the thread count.\n");
-  return 0;
+      "track the density, not the thread count. In the epoch sweep,\n"
+      "retired == updates (every update publishes a version) and\n"
+      "reclaimed converges on retired once readers drain; hub_fb\n"
+      "counts hub-label queries answered through the eager fallback\n"
+      "while the point indices were stale.\n");
+  return json.WriteIfRequested().ok() ? 0 : 1;
 }

@@ -1,0 +1,465 @@
+// Serving-layer benchmark: latency distributions (p50/p95/p99) of the
+// two read paths and of the scheduler front end.
+//
+// Phase A — probe reads under a live update stream, lock path vs epoch
+// path. The same in-memory world serves through two engines: one with
+// PR 3 domain reader-writer locks (readers take the shared lock per
+// query) and one with epoch snapshots (readers pin an epoch and run
+// against an immutable published version). A writer thread applies
+// updates continuously at a duty cycle set by the mix (5/50/90% of
+// wall time inside the update path); a probe reader issues queries
+// with Poisson arrivals and records each read's latency. A waking
+// probe preempts the CPU-bound writer immediately, so what separates
+// the modes is precisely the serving-layer property: a lock-path read
+// arriving mid-update waits out the writer's exclusive section (and
+// any queued writers), while an epoch-path read pins the last
+// published version and never waits. Read p95/p99 on the lock path
+// therefore inflates with the write share; the epoch path stays at
+// service time. (A saturated all-threads-busy closed loop cannot show
+// this on a small host: with every thread runnable, the tail measures
+// the OS scheduler's slicing, not the engine's synchronization.)
+//
+// Phase B — open loop through serve::Scheduler. Clients submit queries
+// with Poisson arrivals (exponential inter-arrival times) against a
+// bounded admission queue while a writer applies live updates; offered
+// load is swept from comfortable to past saturation. Reported latency
+// is the scheduler's own submit-to-completion histogram; under
+// overload the shed count rises while the latency of ADMITTED requests
+// stays bounded — the scheduler's whole point.
+//
+// --json=PATH writes every configuration's percentiles (CI archives
+// BENCH_PR6.json from this).
+
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "gen/grid.h"
+#include "gen/points.h"
+#include "serve/scheduler.h"
+
+using namespace grnn;
+using namespace grnn::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t MicrosSince(Clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          Clock::now() - start)
+          .count());
+}
+
+/// In-memory serving world shared by both phases.
+struct World {
+  graph::Graph g;
+  core::NodePointSet points{0};
+  core::MemoryKnnStore knn{0, 0};
+
+  static World Make(const BenchArgs& args) {
+    World w;
+    gen::GridConfig cfg;
+    cfg.rows = args.pick<NodeId>(24, 48, 96);
+    cfg.cols = cfg.rows;
+    cfg.seed = args.seed;
+    w.g = gen::GenerateGrid(cfg).ValueOrDie();
+    Rng rng(args.seed * 31 + 5);
+    w.points =
+        gen::PlaceNodePoints(w.g.num_nodes(), 0.1, rng).ValueOrDie();
+    w.knn = core::MemoryKnnStore(w.g.num_nodes(), 4);
+    graph::GraphView view(&w.g);
+    if (!core::BuildAllNn(view, w.points, &w.knn).ok()) {
+      std::fprintf(stderr, "KNN materialization failed\n");
+      std::exit(1);
+    }
+    return w;
+  }
+};
+
+core::QuerySpec RandomQuery(Rng& rng, NodeId num_nodes) {
+  const core::Algorithm algo = rng.UniformInt(2) == 0
+                                   ? core::Algorithm::kEagerM
+                                   : core::Algorithm::kEager;
+  return core::QuerySpec::Monochromatic(
+      algo, static_cast<NodeId>(rng.UniformInt(num_nodes)),
+      1 + static_cast<int>(rng.UniformInt(3)));
+}
+
+// ---------------------------------------------------------------------
+// Phase A: probe reads under an update stream, lock vs epoch
+
+struct ProbeResult {
+  serve::LatencyHistogram reads;
+  size_t updates = 0;
+  double wall_s = 0;
+};
+
+ProbeResult RunProbe(core::RknnEngine& engine, NodeId num_nodes,
+                     int update_duty_percent, size_t probes,
+                     double probe_rate_per_s, uint64_t seed) {
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> updates_done{0};
+  // Update stream: back-to-back updates for `duty`% of wall time. The
+  // duty pacing measures each update and sleeps proportionally, so the
+  // write share is controlled even though update cost differs between
+  // the two modes (epoch updates pay the domain copy).
+  std::thread writer([&] {
+    Rng rng(seed * 7919 + 13);
+    std::vector<PointId> mine;
+    const double duty =
+        static_cast<double>(update_duty_percent) / 100.0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto start = Clock::now();
+      if (mine.empty() || rng.UniformInt(2) == 0) {
+        auto r = engine.ApplyUpdate(core::UpdateSpec::InsertPoint(
+            static_cast<NodeId>(rng.UniformInt(num_nodes))));
+        if (r.ok()) {
+          mine.push_back(r->point);
+        }
+        // AlreadyExists (occupied node) is benign.
+      } else {
+        PointId victim = mine.back();
+        mine.pop_back();
+        engine.ApplyUpdate(core::UpdateSpec::DeletePoint(victim))
+            .ValueOrDie();
+      }
+      updates_done.fetch_add(1, std::memory_order_relaxed);
+      if (duty < 1.0) {
+        const uint64_t busy_us = MicrosSince(start);
+        const double idle_us =
+            static_cast<double>(busy_us) * (1.0 - duty) / duty;
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            static_cast<int64_t>(idle_us)));
+      }
+    }
+  });
+
+  // Probe reader: Poisson arrivals; each probe sleeps to its arrival
+  // time, wakes (preempting the writer), runs one query and records
+  // submit-to-done latency.
+  ProbeResult out;
+  Rng rng(seed);
+  WallTimer wall;
+  auto next_arrival = Clock::now();
+  for (size_t i = 0; i < probes; ++i) {
+    const double gap_s =
+        -std::log(1.0 - rng.Uniform01()) / probe_rate_per_s;
+    next_arrival +=
+        std::chrono::microseconds(static_cast<int64_t>(gap_s * 1e6));
+    std::this_thread::sleep_until(next_arrival);
+    // Fixed-shape canary query (cheap, near-constant service time):
+    // with the probe's own cost variance out of the way, the recorded
+    // tail is interference — for the lock path, the wait behind an
+    // in-flight exclusive update section.
+    const core::QuerySpec spec = core::QuerySpec::Monochromatic(
+        core::Algorithm::kEagerM,
+        static_cast<NodeId>(rng.UniformInt(num_nodes)), 1);
+    const auto start = Clock::now();
+    engine.Run(spec).ValueOrDie();
+    out.reads.Record(MicrosSince(start));
+  }
+  out.wall_s = wall.ElapsedSeconds();
+  stop.store(true);
+  writer.join();
+  out.updates = updates_done.load();
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Capacity calibration for phase B (single-threaded closed loop)
+
+struct ClosedLoopResult {
+  serve::LatencyHistogram reads;
+  serve::LatencyHistogram writes;
+  double wall_s = 0;
+  size_t ops = 0;
+};
+
+ClosedLoopResult RunClosedLoop(core::RknnEngine& engine,
+                               NodeId num_nodes, int threads,
+                               size_t ops_per_thread, int update_percent,
+                               uint64_t seed) {
+  std::vector<serve::LatencyHistogram> reads(threads);
+  std::vector<serve::LatencyHistogram> writes(threads);
+  std::vector<std::thread> team;
+  team.reserve(static_cast<size_t>(threads));
+  WallTimer wall;
+  for (int t = 0; t < threads; ++t) {
+    team.emplace_back([&, t] {
+      Rng rng(seed * 48271 + static_cast<uint64_t>(t) * 2654435761u);
+      std::vector<PointId> mine;
+      for (size_t i = 0; i < ops_per_thread; ++i) {
+        if (static_cast<int>(rng.UniformInt(100)) < update_percent) {
+          const auto start = Clock::now();
+          if (mine.empty() || rng.UniformInt(2) == 0) {
+            auto r = engine.ApplyUpdate(core::UpdateSpec::InsertPoint(
+                static_cast<NodeId>(rng.UniformInt(num_nodes))));
+            if (r.ok()) {
+              mine.push_back(r->point);
+            }
+            // AlreadyExists (occupied node) is benign; still a write op.
+          } else {
+            PointId victim = mine.back();
+            mine.pop_back();
+            engine.ApplyUpdate(core::UpdateSpec::DeletePoint(victim))
+                .ValueOrDie();
+          }
+          writes[t].Record(MicrosSince(start));
+        } else {
+          const core::QuerySpec spec = RandomQuery(rng, num_nodes);
+          const auto start = Clock::now();
+          engine.Run(spec).ValueOrDie();
+          reads[t].Record(MicrosSince(start));
+        }
+      }
+    });
+  }
+  for (auto& th : team) {
+    th.join();
+  }
+  ClosedLoopResult out;
+  out.wall_s = wall.ElapsedSeconds();
+  for (int t = 0; t < threads; ++t) {
+    out.reads.Merge(reads[t]);
+    out.writes.Merge(writes[t]);
+  }
+  out.ops = static_cast<size_t>(threads) * ops_per_thread;
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Phase B: open-loop Poisson arrivals through the scheduler
+
+struct OpenLoopResult {
+  serve::Scheduler::Stats stats;
+  double wall_s = 0;
+};
+
+OpenLoopResult RunOpenLoop(core::RknnEngine& engine, NodeId num_nodes,
+                           double arrivals_per_s, size_t num_requests,
+                           int update_percent,
+                           const serve::SchedulerOptions& opts,
+                           uint64_t seed) {
+  serve::Scheduler sched(&engine, opts);
+
+  // Writer side-channel: live updates at ~10% of the query arrival
+  // rate, scaled by the mix (updates bypass the scheduler — it fronts
+  // the read path; writes serialize on the engine's update path).
+  std::atomic<bool> stop_writer{false};
+  std::thread writer([&] {
+    Rng rng(seed * 7 + 3);
+    std::vector<PointId> mine;
+    const double rate =
+        arrivals_per_s * static_cast<double>(update_percent) / 100.0;
+    if (rate <= 0) {
+      return;
+    }
+    while (!stop_writer.load()) {
+      const double gap_s =
+          -std::log(1.0 - rng.Uniform01()) / rate;  // exponential
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          std::min(gap_s, 0.05)));
+      if (stop_writer.load()) {
+        break;
+      }
+      if (mine.empty() || rng.UniformInt(2) == 0) {
+        auto r = engine.ApplyUpdate(core::UpdateSpec::InsertPoint(
+            static_cast<NodeId>(rng.UniformInt(num_nodes))));
+        if (r.ok()) {
+          mine.push_back(r->point);
+        }
+      } else {
+        PointId victim = mine.back();
+        mine.pop_back();
+        engine.ApplyUpdate(core::UpdateSpec::DeletePoint(victim))
+            .ValueOrDie();
+      }
+    }
+  });
+
+  // Open loop: the client never waits on a ticket before the next
+  // arrival — the arrival process, not the server, paces submission.
+  Rng rng(seed);
+  std::vector<serve::Scheduler::Ticket> tickets;
+  tickets.reserve(num_requests);
+  WallTimer wall;
+  auto next_arrival = Clock::now();
+  for (size_t i = 0; i < num_requests; ++i) {
+    const double gap_s =
+        -std::log(1.0 - rng.Uniform01()) / arrivals_per_s;
+    next_arrival += std::chrono::microseconds(
+        static_cast<int64_t>(gap_s * 1e6));
+    std::this_thread::sleep_until(next_arrival);
+    tickets.push_back(sched.Submit(RandomQuery(rng, num_nodes)));
+  }
+  for (const auto& t : tickets) {
+    t.Wait();
+  }
+  OpenLoopResult out;
+  out.wall_s = wall.ElapsedSeconds();
+  stop_writer.store(true);
+  writer.join();
+  sched.Shutdown();
+  out.stats = sched.stats();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::Parse(argc, argv);
+  World lock_world = World::Make(args);
+  World epoch_world = World::Make(args);  // same seed: identical worlds
+  graph::GraphView lock_view(&lock_world.g);
+  graph::GraphView epoch_view(&epoch_world.g);
+
+  auto make_engine = [](World& w, graph::GraphView* view,
+                        bool snapshot) {
+    core::EngineSources sources;
+    sources.graph = view;
+    sources.points = &w.points;
+    sources.knn = &w.knn;
+    sources.updates.points = &w.points;
+    sources.updates.knn = &w.knn;
+    sources.snapshot_reads = snapshot;
+    return core::RknnEngine::Create(sources).ValueOrDie();
+  };
+  auto lock_engine = make_engine(lock_world, &lock_view, false);
+  auto epoch_engine = make_engine(epoch_world, &epoch_view, true);
+
+  const NodeId num_nodes = lock_world.g.num_nodes();
+  const size_t probes = args.queries * 16;
+  const double probe_rate = 1000.0;  // probes/s: light, latency-focused
+
+  PrintBanner(
+      StrPrintf("serving-layer latency (grid |V|=%u)", num_nodes),
+      args,
+      StrPrintf("phase A: %zu Poisson probe reads at %.0f/s under an "
+                "update stream, lock vs epoch read path; phase B: open "
+                "loop through the scheduler",
+                probes, probe_rate));
+
+  JsonReport json("serve", args);
+
+  // --- Phase A ---
+  std::printf(
+      "probe read latency (us) under a duty-cycled update stream:\n");
+  Table table({"upd%", "mode", "reads", "updates", "read p50",
+               "read p95", "read p99"});
+  for (int update_percent : {5, 50, 90}) {
+    serve::LatencyHistogram lock_reads;
+    for (int mode = 0; mode < 2; ++mode) {
+      core::RknnEngine& engine = mode == 0 ? lock_engine : epoch_engine;
+      const char* mode_name = mode == 0 ? "lock" : "epoch";
+      ProbeResult r = RunProbe(
+          engine, num_nodes, update_percent, probes, probe_rate,
+          args.seed * 131 + static_cast<uint64_t>(update_percent));
+      engine.ReclaimVersions();
+      table.AddRow({std::to_string(update_percent), mode_name,
+                    std::to_string(r.reads.count()),
+                    std::to_string(r.updates),
+                    std::to_string(r.reads.Percentile(50)),
+                    std::to_string(r.reads.Percentile(95)),
+                    std::to_string(r.reads.Percentile(99))});
+      json.AddConfig(
+          StrPrintf("probe,upd=%d,mode=%s", update_percent, mode_name),
+          {{"reads", static_cast<double>(r.reads.count())},
+           {"updates", static_cast<double>(r.updates)},
+           {"read_p50_us",
+            static_cast<double>(r.reads.Percentile(50))},
+           {"read_p95_us",
+            static_cast<double>(r.reads.Percentile(95))},
+           {"read_p99_us",
+            static_cast<double>(r.reads.Percentile(99))}});
+      if (mode == 0) {
+        lock_reads = r.reads;
+      } else {
+        std::printf("  upd=%d%%: read p99 lock=%llu us, epoch=%llu us\n",
+                    update_percent,
+                    static_cast<unsigned long long>(
+                        lock_reads.Percentile(99)),
+                    static_cast<unsigned long long>(
+                        r.reads.Percentile(99)));
+      }
+    }
+  }
+  table.Print();
+
+  // --- Phase B ---
+  // Offered load is calibrated off the epoch engine's closed-loop
+  // throughput: 0.5x is comfortable, 1.5x is past what the server can
+  // absorb, so admission control has to shed.
+  ClosedLoopResult cal =
+      RunClosedLoop(epoch_engine, num_nodes, 1, args.queries * 4, 0,
+                    args.seed * 977);
+  const double capacity_qps =
+      cal.wall_s == 0 ? 1000
+                      : static_cast<double>(cal.ops) / cal.wall_s;
+  epoch_engine.ReclaimVersions();
+
+  std::printf("\nopen loop through the scheduler (capacity ~%.0f q/s):\n",
+              capacity_qps);
+  Table btable({"upd%", "load", "offered q/s", "completed", "shed",
+                "expired", "batches", "p50", "p95", "p99"});
+  for (int update_percent : {5, 50, 90}) {
+    for (double load : {0.5, 1.5}) {
+      const double offered = capacity_qps * load;
+      serve::SchedulerOptions opts;
+      opts.num_workers = 2;
+      opts.max_batch = 16;
+      // A shallow queue keeps admitted latency bounded at overload:
+      // ~5 ms of work may wait; everything beyond is shed.
+      opts.queue_capacity = static_cast<size_t>(
+          std::max(4.0, capacity_qps * 0.005));
+      OpenLoopResult r = RunOpenLoop(
+          epoch_engine, num_nodes, offered, args.queries * 8,
+          update_percent, opts,
+          args.seed * 313 + static_cast<uint64_t>(update_percent) +
+              static_cast<uint64_t>(load * 10));
+      epoch_engine.ReclaimVersions();
+      btable.AddRow(
+          {std::to_string(update_percent), Table::Num(load, 1),
+           Table::Num(offered, 0), std::to_string(r.stats.completed),
+           std::to_string(r.stats.shed),
+           std::to_string(r.stats.expired),
+           std::to_string(r.stats.batches),
+           std::to_string(r.stats.latency.Percentile(50)),
+           std::to_string(r.stats.latency.Percentile(95)),
+           std::to_string(r.stats.latency.Percentile(99))});
+      json.AddConfig(
+          StrPrintf("open,upd=%d,load=%.1f", update_percent, load),
+          {{"offered_qps", offered},
+           {"completed", static_cast<double>(r.stats.completed)},
+           {"shed", static_cast<double>(r.stats.shed)},
+           {"expired", static_cast<double>(r.stats.expired)},
+           {"batches", static_cast<double>(r.stats.batches)},
+           {"p50_us",
+            static_cast<double>(r.stats.latency.Percentile(50))},
+           {"p95_us",
+            static_cast<double>(r.stats.latency.Percentile(95))},
+           {"p99_us",
+            static_cast<double>(r.stats.latency.Percentile(99))}});
+    }
+  }
+  btable.Print();
+
+  std::printf(
+      "\nexpected shape: phase A probe p50 is close between modes at\n"
+      "low update duty; as the duty grows, a lock-path probe that\n"
+      "lands during a write waits out the exclusive section, so its\n"
+      "tail (p95/p99) inflates, while an epoch-path probe pins a\n"
+      "snapshot and proceeds. Phase B at 0.5x load sheds\n"
+      "nothing and p99 tracks service time; at 1.5x the shed count\n"
+      "absorbs the excess and the latency of admitted requests stays\n"
+      "bounded by the queue depth instead of growing without limit.\n");
+
+  if (!json.WriteIfRequested().ok()) {
+    return 1;
+  }
+  return 0;
+}

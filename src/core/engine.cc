@@ -4,6 +4,7 @@
 #include <atomic>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <utility>
 
@@ -14,6 +15,7 @@
 #include "core/lazy.h"
 #include "core/lazy_ep.h"
 #include "index/hub_rknn.h"
+#include "serve/world_version.h"
 
 namespace grnn::core {
 
@@ -62,6 +64,34 @@ struct RknnEngine::State {
   /// so concurrent parallel batches serialize here.
   std::mutex workers_mu;
   std::unique_ptr<common::ThreadPool> workers;
+
+  // --- Serving layer (EngineSources::snapshot_reads only) ---
+  /// Reclaims retired world versions once their epoch drains.
+  serve::EpochManager epochs;
+  /// Guards publication: `current_holder` and the `current` swap. Brief
+  /// and writer-side only — the read path never touches it.
+  mutable std::mutex publish_mu;
+  /// Owning reference to the published version (retired predecessors
+  /// live in the epoch manager's limbo until their readers drain).
+  std::shared_ptr<const serve::WorldVersion> current_holder;
+  /// The published pointer the read path loads after pinning an epoch.
+  std::atomic<const serve::WorldVersion*> current{nullptr};
+  /// Node-domain update generation. Lock-mode RebuildIndex uses it to
+  /// detect updates racing its off-to-the-side index derivation.
+  std::atomic<uint64_t> node_gen{0};
+};
+
+/// See engine.h: the per-query view both read paths compile down to.
+struct RknnEngine::QueryWorld {
+  const NodePointSet* points = nullptr;
+  const KnnStore* knn = nullptr;
+  const NodePointSet* sites = nullptr;
+  const KnnStore* site_knn = nullptr;
+  const EdgePointSet* edge_points = nullptr;
+  const EdgePointReader* edge_reader = nullptr;
+  const index::HubPointIndex* hub_points = nullptr;
+  const index::HubPointIndex* hub_sites = nullptr;
+  bool hub_stale = false;
 };
 
 const char* QueryKindName(QueryKind kind) {
@@ -321,13 +351,147 @@ Result<RknnEngine> RknnEngine::Create(const EngineSources& sources) {
     return Status::InvalidArgument(
         "hub-label index and graph cover different node counts");
   }
+  if (sources.snapshot_reads) {
+    // Snapshot serving copies the maintained store into every new
+    // version; a stored KnnFile mutates shared pages in place and
+    // cannot be captured that way (see EngineSources::snapshot_reads).
+    if (up.knn != nullptr &&
+        dynamic_cast<const MemoryKnnStore*>(sources.knn) == nullptr) {
+      return Status::InvalidArgument(
+          "snapshot reads require the maintained KNN store to be a "
+          "MemoryKnnStore; stored KnnFiles cannot be versioned");
+    }
+    if (up.site_knn != nullptr &&
+        dynamic_cast<const MemoryKnnStore*>(sources.site_knn) ==
+            nullptr) {
+      return Status::InvalidArgument(
+          "snapshot reads require the maintained site KNN store to be "
+          "a MemoryKnnStore; stored KnnFiles cannot be versioned");
+    }
+  }
   RknnEngine engine(sources);
-  if (sources.hub_labels != nullptr) {
+  if (sources.snapshot_reads) {
+    // Version 0 (including the hub point indices) is built while the
+    // engine is still single-owner.
+    GRNN_RETURN_NOT_OK(engine.InitSnapshotWorld());
+  } else if (sources.hub_labels != nullptr) {
     // Initial derivation of the inverted point indices; the engine is
     // still single-owner here, so no domain locks are needed.
     GRNN_RETURN_NOT_OK(engine.RebuildHubIndexesLocked());
   }
   return engine;
+}
+
+Status RknnEngine::InitSnapshotWorld() {
+  auto v = std::make_shared<serve::WorldVersion>();
+  v->seq = 0;
+  const UpdateSinks& up = src_.updates;
+  // Updatable domains get private copies (successor versions chain off
+  // them); everything read-only aliases the caller's objects unowned.
+  if (src_.points != nullptr) {
+    v->points = up.points != nullptr
+                    ? std::shared_ptr<const NodePointSet>(
+                          std::make_shared<NodePointSet>(*src_.points))
+                    : serve::UnownedShared(src_.points);
+  }
+  if (src_.knn != nullptr) {
+    v->knn = up.knn != nullptr
+                 ? std::shared_ptr<const KnnStore>(
+                       std::make_shared<MemoryKnnStore>(
+                           *static_cast<const MemoryKnnStore*>(src_.knn)))
+                 : serve::UnownedShared(src_.knn);
+  }
+  if (src_.sites != nullptr) {
+    v->sites = up.sites != nullptr
+                   ? std::shared_ptr<const NodePointSet>(
+                         std::make_shared<NodePointSet>(*src_.sites))
+                   : serve::UnownedShared(src_.sites);
+  }
+  if (src_.site_knn != nullptr) {
+    v->site_knn =
+        up.site_knn != nullptr
+            ? std::shared_ptr<const KnnStore>(
+                  std::make_shared<MemoryKnnStore>(
+                      *static_cast<const MemoryKnnStore*>(src_.site_knn)))
+            : serve::UnownedShared(src_.site_knn);
+  }
+  if (src_.edge_points != nullptr) {
+    if (up.edge_points != nullptr) {
+      auto set_copy = std::make_shared<EdgePointSet>(*src_.edge_points);
+      v->edge_reader =
+          std::make_shared<MemoryEdgePointReader>(set_copy.get());
+      v->edge_points = std::move(set_copy);
+    } else {
+      v->edge_points = serve::UnownedShared(src_.edge_points);
+      v->edge_reader = serve::UnownedShared(edge_reader());
+    }
+  }
+  if (src_.hub_labels != nullptr) {
+    if (v->points != nullptr) {
+      GRNN_ASSIGN_OR_RETURN(
+          index::HubPointIndex idx,
+          index::HubPointIndex::Build(*src_.hub_labels, *v->points));
+      v->hub_points =
+          std::make_shared<index::HubPointIndex>(std::move(idx));
+    }
+    if (v->sites != nullptr) {
+      GRNN_ASSIGN_OR_RETURN(
+          index::HubPointIndex idx,
+          index::HubPointIndex::Build(*src_.hub_labels, *v->sites));
+      v->hub_sites =
+          std::make_shared<index::HubPointIndex>(std::move(idx));
+    }
+  }
+  std::lock_guard<std::mutex> lock(state_->publish_mu);
+  state_->current_holder = v;
+  state_->current.store(v.get(), std::memory_order_seq_cst);
+  return Status::OK();
+}
+
+std::shared_ptr<const serve::WorldVersion> RknnEngine::CurrentVersion()
+    const {
+  std::lock_guard<std::mutex> lock(state_->publish_mu);
+  return state_->current_holder;
+}
+
+void RknnEngine::PublishVersion(
+    const std::function<void(serve::WorldVersion&)>& mutate) {
+  std::shared_ptr<const serve::WorldVersion> old;
+  {
+    std::lock_guard<std::mutex> lock(state_->publish_mu);
+    // Chain off the LATEST version: the caller's domain cannot have
+    // moved (it holds that domain's exclusive lock), and this picks up
+    // whatever other-domain publications happened since it sampled.
+    auto next =
+        std::make_shared<serve::WorldVersion>(*state_->current_holder);
+    next->seq++;
+    mutate(*next);
+    old = std::move(state_->current_holder);
+    state_->current_holder = next;
+    state_->current.store(next.get(), std::memory_order_seq_cst);
+  }
+  // Unpublished first, retired second: no new reader can acquire `old`,
+  // so its epoch tag bounds every reader still using it.
+  state_->epochs.Retire(std::move(old));
+}
+
+serve::EpochStats RknnEngine::epoch_stats() const {
+  return state_->epochs.stats();
+}
+
+size_t RknnEngine::ReclaimVersions() {
+  if (!src_.snapshot_reads) {
+    return 0;
+  }
+  return state_->epochs.Reclaim();
+}
+
+uint64_t RknnEngine::world_seq() const {
+  if (!src_.snapshot_reads) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> lock(state_->publish_mu);
+  return state_->current_holder->seq;
 }
 
 Status RknnEngine::RebuildHubIndexesLocked() {
@@ -354,9 +518,87 @@ Status RknnEngine::RebuildIndex() {
     return Status::FailedPrecondition(
         "engine has no hub-label index (EngineSources::hub_labels)");
   }
-  // Exclusive on both node domains, in domain index order (same order
-  // multi-domain readers use, so no deadlock cycle): queries of either
-  // kind drain before the indices move.
+  if (src_.snapshot_reads) {
+    // Exclusive on both node domains (domain index order) blocks only
+    // WRITERS of those domains while the indices derive; readers keep
+    // serving the current version lock-free and flip to the fresh
+    // indices at the publish instant.
+    std::unique_lock<std::shared_mutex> points_lock(
+        state_->domain_mu[kDomainPoints]);
+    std::unique_lock<std::shared_mutex> sites_lock(
+        state_->domain_mu[kDomainSites]);
+    std::shared_ptr<const serve::WorldVersion> base = CurrentVersion();
+    std::shared_ptr<const index::HubPointIndex> hub_points;
+    std::shared_ptr<const index::HubPointIndex> hub_sites;
+    if (base->points != nullptr) {
+      GRNN_ASSIGN_OR_RETURN(
+          index::HubPointIndex idx,
+          index::HubPointIndex::Build(*src_.hub_labels, *base->points));
+      hub_points = std::make_shared<index::HubPointIndex>(std::move(idx));
+    }
+    if (base->sites != nullptr) {
+      GRNN_ASSIGN_OR_RETURN(
+          index::HubPointIndex idx,
+          index::HubPointIndex::Build(*src_.hub_labels, *base->sites));
+      hub_sites = std::make_shared<index::HubPointIndex>(std::move(idx));
+    }
+    PublishVersion([&](serve::WorldVersion& v) {
+      v.hub_points = std::move(hub_points);
+      v.hub_sites = std::move(hub_sites);
+      v.hub_stale = false;
+    });
+    return Status::OK();
+  }
+  // Lock mode: derive the new indices OFF TO THE SIDE from set copies
+  // taken under shared locks, then install under brief exclusive locks
+  // — queries keep serving for the whole derivation. A node-domain
+  // update racing the build invalidates the attempt (detected via the
+  // node generation counter); after a few optimistic rounds fall back
+  // to building under the exclusive locks so the call always finishes.
+  constexpr int kOptimisticAttempts = 3;
+  for (int attempt = 0; attempt < kOptimisticAttempts; ++attempt) {
+    uint64_t gen = 0;
+    std::optional<NodePointSet> points_copy;
+    std::optional<NodePointSet> sites_copy;
+    {
+      std::shared_lock<std::shared_mutex> points_lock(
+          state_->domain_mu[kDomainPoints]);
+      std::shared_lock<std::shared_mutex> sites_lock(
+          state_->domain_mu[kDomainSites]);
+      gen = state_->node_gen.load(std::memory_order_seq_cst);
+      if (src_.points != nullptr) {
+        points_copy = *src_.points;
+      }
+      if (src_.sites != nullptr) {
+        sites_copy = *src_.sites;
+      }
+    }
+    std::unique_ptr<index::HubPointIndex> new_points;
+    std::unique_ptr<index::HubPointIndex> new_sites;
+    if (points_copy.has_value()) {
+      GRNN_ASSIGN_OR_RETURN(
+          index::HubPointIndex idx,
+          index::HubPointIndex::Build(*src_.hub_labels, *points_copy));
+      new_points = std::make_unique<index::HubPointIndex>(std::move(idx));
+    }
+    if (sites_copy.has_value()) {
+      GRNN_ASSIGN_OR_RETURN(
+          index::HubPointIndex idx,
+          index::HubPointIndex::Build(*src_.hub_labels, *sites_copy));
+      new_sites = std::make_unique<index::HubPointIndex>(std::move(idx));
+    }
+    std::unique_lock<std::shared_mutex> points_lock(
+        state_->domain_mu[kDomainPoints]);
+    std::unique_lock<std::shared_mutex> sites_lock(
+        state_->domain_mu[kDomainSites]);
+    if (state_->node_gen.load(std::memory_order_seq_cst) != gen) {
+      continue;  // an update landed mid-derivation; copies are stale
+    }
+    state_->hub_points = std::move(new_points);
+    state_->hub_sites = std::move(new_sites);
+    state_->hub_stale.store(false, std::memory_order_release);
+    return Status::OK();
+  }
   std::unique_lock<std::shared_mutex> points_lock(
       state_->domain_mu[kDomainPoints]);
   std::unique_lock<std::shared_mutex> sites_lock(
@@ -365,13 +607,20 @@ Status RknnEngine::RebuildIndex() {
 }
 
 bool RknnEngine::hub_index_stale() const {
-  return src_.hub_labels != nullptr &&
-         state_->hub_stale.load(std::memory_order_acquire);
+  if (src_.hub_labels == nullptr) {
+    return false;
+  }
+  if (src_.snapshot_reads) {
+    serve::EpochManager::Guard guard = state_->epochs.Pin();
+    return state_->current.load(std::memory_order_seq_cst)->hub_stale;
+  }
+  return state_->hub_stale.load(std::memory_order_acquire);
 }
 
 Result<RknnResult> RknnEngine::RunMonochromatic(const QuerySpec& spec,
+                                                const QueryWorld& world,
                                                 SearchWorkspace& ws) {
-  if (src_.points == nullptr) {
+  if (world.points == nullptr) {
     return Status::FailedPrecondition(
         "engine has no node point set; monochromatic/continuous queries "
         "are unavailable");
@@ -386,20 +635,20 @@ Result<RknnResult> RknnEngine::RunMonochromatic(const QuerySpec& spec,
   const std::span<const NodeId> nodes(spec.query_nodes);
   switch (spec.algorithm) {
     case Algorithm::kEager:
-      return EagerRknn(*src_.graph, *src_.points, nodes, options, ws);
+      return EagerRknn(*src_.graph, *world.points, nodes, options, ws);
     case Algorithm::kLazy:
-      return LazyRknn(*src_.graph, *src_.points, nodes, options, ws);
+      return LazyRknn(*src_.graph, *world.points, nodes, options, ws);
     case Algorithm::kLazyEp:
-      return LazyEpRknn(*src_.graph, *src_.points, nodes, options, ws);
+      return LazyEpRknn(*src_.graph, *world.points, nodes, options, ws);
     case Algorithm::kEagerM:
-      if (src_.knn == nullptr) {
+      if (world.knn == nullptr) {
         return Status::FailedPrecondition(
             "eager-M requires the engine to own a materialized KNN store");
       }
-      return EagerMRknn(*src_.graph, *src_.points, src_.knn, nodes,
+      return EagerMRknn(*src_.graph, *world.points, world.knn, nodes,
                         options, ws);
     case Algorithm::kBruteForce:
-      return BruteForceRknn(*src_.graph, *src_.points, nodes, options);
+      return BruteForceRknn(*src_.graph, *world.points, nodes, options);
     case Algorithm::kHubLabel: {
       if (spec.kind != QueryKind::kMonochromatic) {
         return Status::Unimplemented(
@@ -411,19 +660,19 @@ Result<RknnResult> RknnEngine::RunMonochromatic(const QuerySpec& spec,
         return Status::FailedPrecondition(
             "hub-label queries need EngineSources::hub_labels");
       }
-      if (state_->hub_stale.load(std::memory_order_acquire)) {
+      if (world.hub_stale) {
         // Staleness fallback: a points/sites update invalidated the
         // derived point indices; answer exactly via eager expansion
         // until RebuildIndex() runs (see the contract in engine.h).
         Result<RknnResult> fallback =
-            EagerRknn(*src_.graph, *src_.points, nodes, options, ws);
+            EagerRknn(*src_.graph, *world.points, nodes, options, ws);
         if (fallback.ok()) {
           fallback->stats.hub_fallbacks = 1;
         }
         return fallback;
       }
-      return index::RknnViaLabels(*src_.hub_labels, *state_->hub_points,
-                                  *state_->hub_points, nodes, options,
+      return index::RknnViaLabels(*src_.hub_labels, *world.hub_points,
+                                  *world.hub_points, nodes, options,
                                   ws.labels);
     }
   }
@@ -431,8 +680,9 @@ Result<RknnResult> RknnEngine::RunMonochromatic(const QuerySpec& spec,
 }
 
 Result<RknnResult> RknnEngine::RunBichromatic(const QuerySpec& spec,
+                                              const QueryWorld& world,
                                               SearchWorkspace& ws) {
-  if (src_.points == nullptr || src_.sites == nullptr) {
+  if (world.points == nullptr || world.sites == nullptr) {
     return Status::FailedPrecondition(
         "bichromatic queries need both a data point set (P) and a site "
         "set (Q)");
@@ -441,41 +691,42 @@ Result<RknnResult> RknnEngine::RunBichromatic(const QuerySpec& spec,
   const std::span<const NodeId> nodes(spec.query_nodes);
   switch (spec.algorithm) {
     case Algorithm::kEager:
-      return BichromaticRknn(*src_.graph, *src_.points, *src_.sites,
+      return BichromaticRknn(*src_.graph, *world.points, *world.sites,
                              nodes, options, ws);
     case Algorithm::kLazy:
     case Algorithm::kLazyEp:
       // Lazy and lazy-EP coincide in the bichromatic reduction (see
       // bichromatic.h).
-      return BichromaticLazyRknn(*src_.graph, *src_.points, *src_.sites,
-                                 nodes, options, ws);
+      return BichromaticLazyRknn(*src_.graph, *world.points,
+                                 *world.sites, nodes, options, ws);
     case Algorithm::kEagerM:
-      if (src_.site_knn == nullptr) {
+      if (world.site_knn == nullptr) {
         return Status::FailedPrecondition(
             "bichromatic eager-M requires a KNN store materialized over "
             "the sites");
       }
-      return BichromaticRknnMaterialized(*src_.graph, *src_.points,
-                                         *src_.sites, src_.site_knn,
+      return BichromaticRknnMaterialized(*src_.graph, *world.points,
+                                         *world.sites, world.site_knn,
                                          nodes, options, ws);
     case Algorithm::kBruteForce:
-      return BruteForceBichromaticRknn(*src_.graph, *src_.points,
-                                       *src_.sites, nodes, options);
+      return BruteForceBichromaticRknn(*src_.graph, *world.points,
+                                       *world.sites, nodes, options);
     case Algorithm::kHubLabel: {
       if (src_.hub_labels == nullptr) {
         return Status::FailedPrecondition(
             "hub-label queries need EngineSources::hub_labels");
       }
-      if (state_->hub_stale.load(std::memory_order_acquire)) {
-        Result<RknnResult> fallback = BichromaticRknn(
-            *src_.graph, *src_.points, *src_.sites, nodes, options, ws);
+      if (world.hub_stale) {
+        Result<RknnResult> fallback =
+            BichromaticRknn(*src_.graph, *world.points, *world.sites,
+                            nodes, options, ws);
         if (fallback.ok()) {
           fallback->stats.hub_fallbacks = 1;
         }
         return fallback;
       }
-      return index::RknnViaLabels(*src_.hub_labels, *state_->hub_points,
-                                  *state_->hub_sites, nodes, options,
+      return index::RknnViaLabels(*src_.hub_labels, *world.hub_points,
+                                  *world.hub_sites, nodes, options,
                                   ws.labels);
     }
   }
@@ -483,50 +734,51 @@ Result<RknnResult> RknnEngine::RunBichromatic(const QuerySpec& spec,
 }
 
 Result<RknnResult> RknnEngine::RunContinuous(const QuerySpec& spec,
+                                             const QueryWorld& world,
                                              SearchWorkspace& ws) {
   // Engines over node points answer routes with the restricted
   // machinery; engines over edge points answer them as unrestricted
   // route queries (both are Section 5.1 + 5.2 semantics).
-  if (src_.points != nullptr) {
-    return RunMonochromatic(spec, ws);
+  if (world.points != nullptr) {
+    return RunMonochromatic(spec, world, ws);
   }
   UnrestrictedQuery query;
   query.is_position = false;
   query.route = spec.query_nodes;
-  return RunUnrestricted(spec, query, ws);
+  return RunUnrestricted(spec, query, world, ws);
 }
 
 Result<RknnResult> RknnEngine::RunUnrestricted(
     const QuerySpec& spec, const UnrestrictedQuery& query,
-    SearchWorkspace& ws) {
-  if (src_.edge_points == nullptr) {
+    const QueryWorld& world, SearchWorkspace& ws) {
+  if (world.edge_points == nullptr) {
     return Status::FailedPrecondition(
         "engine has no edge point set; unrestricted queries are "
         "unavailable");
   }
   const RknnOptions options = spec.options();
-  const EdgePointReader& reader = *edge_reader();
+  const EdgePointReader& reader = *world.edge_reader;
   switch (spec.algorithm) {
     case Algorithm::kEager:
-      return UnrestrictedEagerRknn(*src_.graph, *src_.edge_points, reader,
-                                   query, options, ws);
+      return UnrestrictedEagerRknn(*src_.graph, *world.edge_points,
+                                   reader, query, options, ws);
     case Algorithm::kLazy:
-      return UnrestrictedLazyRknn(*src_.graph, *src_.edge_points, reader,
-                                  query, options, ws);
+      return UnrestrictedLazyRknn(*src_.graph, *world.edge_points,
+                                  reader, query, options, ws);
     case Algorithm::kLazyEp:
-      return UnrestrictedLazyEpRknn(*src_.graph, *src_.edge_points,
+      return UnrestrictedLazyEpRknn(*src_.graph, *world.edge_points,
                                     reader, query, options, ws);
     case Algorithm::kEagerM:
-      if (src_.knn == nullptr) {
+      if (world.knn == nullptr) {
         return Status::FailedPrecondition(
             "unrestricted eager-M requires a KNN store materialized over "
             "the edge points");
       }
-      return UnrestrictedEagerMRknn(*src_.graph, *src_.edge_points,
-                                    reader, src_.knn, query, options,
+      return UnrestrictedEagerMRknn(*src_.graph, *world.edge_points,
+                                    reader, world.knn, query, options,
                                     ws);
     case Algorithm::kBruteForce:
-      return UnrestrictedBruteForceRknn(*src_.graph, *src_.edge_points,
+      return UnrestrictedBruteForceRknn(*src_.graph, *world.edge_points,
                                         query, options);
     case Algorithm::kHubLabel:
       return Status::Unimplemented(
@@ -537,15 +789,60 @@ Result<RknnResult> RknnEngine::RunUnrestricted(
   return Status::InvalidArgument("unknown algorithm");
 }
 
+Result<RknnResult> RknnEngine::RunSpec(const QuerySpec& spec,
+                                       const QueryWorld& world,
+                                       SearchWorkspace& ws) {
+  switch (spec.kind) {
+    case QueryKind::kMonochromatic:
+      return RunMonochromatic(spec, world, ws);
+    case QueryKind::kBichromatic:
+      return RunBichromatic(spec, world, ws);
+    case QueryKind::kContinuous:
+      return RunContinuous(spec, world, ws);
+    case QueryKind::kUnrestricted: {
+      UnrestrictedQuery query;
+      query.is_position = true;
+      query.position = spec.position;
+      return RunUnrestricted(spec, query, world, ws);
+    }
+  }
+  return Status::InvalidArgument("unknown query kind");
+}
+
 Result<RknnResult> RknnEngine::Dispatch(const QuerySpec& spec,
                                         SearchWorkspace& ws) {
   if (spec.k <= 0) {
     return Status::InvalidArgument("k must be positive");
   }
-  // Shared access on every domain this kind reads, acquired in domain
-  // index order (multi-domain readers use the same order, updates take a
-  // single lock: no deadlock cycle is possible). Readers of one domain
-  // proceed concurrently with each other and with updates of the others.
+  if (src_.snapshot_reads) {
+    // Serving-layer read path: pin an epoch, load the published
+    // version, run lock-free against it. The pin keeps the version
+    // alive (its retire epoch cannot drain) until the query returns;
+    // no domain lock is taken, so this never blocks on a writer.
+    serve::EpochManager::Guard guard = state_->epochs.Pin();
+    const serve::WorldVersion* v =
+        state_->current.load(std::memory_order_seq_cst);
+    QueryWorld world;
+    world.points = v->points.get();
+    world.knn = v->knn.get();
+    world.sites = v->sites.get();
+    world.site_knn = v->site_knn.get();
+    world.edge_points = v->edge_points.get();
+    world.edge_reader = v->edge_reader.get();
+    world.hub_points = v->hub_points.get();
+    world.hub_sites = v->hub_sites.get();
+    world.hub_stale = v->hub_stale;
+    Result<RknnResult> result = RunSpec(spec, world, ws);
+    // Pin discipline (DESIGN.md, "Neighbor access path"): no cursor
+    // lease survives a dispatch; released before the epoch unpins.
+    ws.ReleaseLeases();
+    return result;
+  }
+  // Lock-mode read path: shared access on every domain this kind reads,
+  // acquired in domain index order (multi-domain readers use the same
+  // order, updates take a single lock: no deadlock cycle is possible).
+  // Readers of one domain proceed concurrently with each other and with
+  // updates of the others.
   std::shared_lock<std::shared_mutex> points_lock;
   std::shared_lock<std::shared_mutex> sites_lock;
   std::shared_lock<std::shared_mutex> edge_lock;
@@ -572,29 +869,22 @@ Result<RknnResult> RknnEngine::Dispatch(const QuerySpec& spec,
       edge_lock = std::shared_lock(state_->domain_mu[kDomainEdge]);
       break;
   }
+  QueryWorld world;
+  world.points = src_.points;
+  world.knn = src_.knn;
+  world.sites = src_.sites;
+  world.site_knn = src_.site_knn;
+  world.edge_points = src_.edge_points;
+  world.edge_reader = edge_reader();
+  world.hub_points = state_->hub_points.get();
+  world.hub_sites = state_->hub_sites.get();
+  world.hub_stale = state_->hub_stale.load(std::memory_order_acquire);
+  Result<RknnResult> result = RunSpec(spec, world, ws);
   // Pin discipline (DESIGN.md, "Neighbor access path"): no cursor lease
   // survives a dispatch, so workspaces return to the pool pin-free —
   // the next query (possibly on another thread) and any pool
   // Invalidate/ApplyUpdate in between see num_pinned() back at zero.
-  // Released before the domain locks go out of scope below.
-  auto run = [&]() -> Result<RknnResult> {
-    switch (spec.kind) {
-      case QueryKind::kMonochromatic:
-        return RunMonochromatic(spec, ws);
-      case QueryKind::kBichromatic:
-        return RunBichromatic(spec, ws);
-      case QueryKind::kContinuous:
-        return RunContinuous(spec, ws);
-      case QueryKind::kUnrestricted: {
-        UnrestrictedQuery query;
-        query.is_position = true;
-        query.position = spec.position;
-        return RunUnrestricted(spec, query, ws);
-      }
-    }
-    return Status::InvalidArgument("unknown query kind");
-  };
-  Result<RknnResult> result = run();
+  // Released before the domain locks go out of scope.
   ws.ReleaseLeases();
   return result;
 }
@@ -656,11 +946,7 @@ Result<RknnEngine::UpdateResult> RknnEngine::ApplyNodeUpdate(
 }
 
 Result<RknnEngine::UpdateResult> RknnEngine::ApplyEdgeUpdate(
-    const UpdateSpec& spec) {
-  EdgePointSet& set = *src_.updates.edge_points;
-  // knn (when present) is the edge-point store: Create rejects an
-  // updatable knn on an engine that also serves node points.
-  KnnStore* store = src_.updates.knn;
+    const UpdateSpec& spec, EdgePointSet& set, KnnStore* store) {
   UpdateResult out;
   if (spec.op == UpdateSpec::Op::kInsert) {
     GRNN_ASSIGN_OR_RETURN(
@@ -691,6 +977,90 @@ Result<RknnEngine::UpdateResult> RknnEngine::ApplyEdgeUpdate(
   return out;
 }
 
+Result<RknnEngine::UpdateResult> RknnEngine::SnapshotNodeUpdate(
+    const UpdateSpec& spec) {
+  const bool is_points = spec.set == UpdateSet::kPoints;
+  // Exclusive writer lock of the domain: same-domain updates serialize
+  // here, so the copy below always derives from the latest state of
+  // this domain. Readers never take this lock in snapshot mode.
+  std::unique_lock<std::shared_mutex> lock(
+      state_->domain_mu[is_points ? kDomainPoints : kDomainSites]);
+  std::shared_ptr<const serve::WorldVersion> base = CurrentVersion();
+  auto set_copy = std::make_shared<NodePointSet>(
+      is_points ? *base->points : *base->sites);
+  // A present store in this domain is always a maintained MemoryKnnStore
+  // here: Create rejects snapshot engines whose updatable store is
+  // anything else, and an updatable set with an unmaintained store.
+  std::shared_ptr<MemoryKnnStore> store_copy;
+  const KnnStore* base_store =
+      is_points ? base->knn.get() : base->site_knn.get();
+  if (base_store != nullptr) {
+    store_copy = std::make_shared<MemoryKnnStore>(
+        *static_cast<const MemoryKnnStore*>(base_store));
+  }
+  Result<UpdateResult> result =
+      ApplyNodeUpdate(spec, *set_copy, store_copy.get());
+  if (!result.ok()) {
+    // Nothing published: the served world is untouched even by the
+    // mid-maintenance failure cases of the lock-mode contract.
+    return result;
+  }
+  PublishVersion([&](serve::WorldVersion& v) {
+    if (is_points) {
+      v.points = std::move(set_copy);
+      if (store_copy != nullptr) {
+        v.knn = std::move(store_copy);
+      }
+    } else {
+      v.sites = std::move(set_copy);
+      if (store_copy != nullptr) {
+        v.site_knn = std::move(store_copy);
+      }
+    }
+    if (src_.hub_labels != nullptr) {
+      // The derived hub point indices no longer mirror the sets; hub
+      // queries against this version fall back to eager until a
+      // RebuildIndex publication supersedes it.
+      v.hub_points.reset();
+      v.hub_sites.reset();
+      v.hub_stale = true;
+    }
+  });
+  return result;
+}
+
+Result<RknnEngine::UpdateResult> RknnEngine::SnapshotEdgeUpdate(
+    const UpdateSpec& spec) {
+  std::unique_lock<std::shared_mutex> lock(
+      state_->domain_mu[kDomainEdge]);
+  std::shared_ptr<const serve::WorldVersion> base = CurrentVersion();
+  auto set_copy = std::make_shared<EdgePointSet>(*base->edge_points);
+  std::shared_ptr<MemoryKnnStore> store_copy;
+  if (base->knn != nullptr) {
+    // On an edge engine with a store, updates maintain it (Create
+    // enforces the coupling), so in snapshot mode it is memory-resident.
+    store_copy = std::make_shared<MemoryKnnStore>(
+        *static_cast<const MemoryKnnStore*>(base->knn.get()));
+  }
+  Result<UpdateResult> result =
+      ApplyEdgeUpdate(spec, *set_copy, store_copy.get());
+  if (!result.ok()) {
+    return result;
+  }
+  auto reader_copy =
+      std::make_shared<MemoryEdgePointReader>(set_copy.get());
+  PublishVersion([&](serve::WorldVersion& v) {
+    // Reader and set travel together: the reader aliases the set it was
+    // built over, and WorldVersion destroys the reader first.
+    v.edge_points = std::move(set_copy);
+    v.edge_reader = std::move(reader_copy);
+    if (store_copy != nullptr) {
+      v.knn = std::move(store_copy);
+    }
+  });
+  return result;
+}
+
 Result<RknnEngine::UpdateResult> RknnEngine::DispatchUpdate(
     const UpdateSpec& spec) {
   switch (spec.set) {
@@ -700,14 +1070,20 @@ Result<RknnEngine::UpdateResult> RknnEngine::DispatchUpdate(
             "engine has no mutable node point set "
             "(EngineSources::updates.points)");
       }
+      if (src_.snapshot_reads) {
+        return SnapshotNodeUpdate(spec);
+      }
       std::unique_lock<std::shared_mutex> lock(
           state_->domain_mu[kDomainPoints]);
       Result<UpdateResult> result =
           ApplyNodeUpdate(spec, *src_.updates.points, src_.updates.knn);
-      if (result.ok() && src_.hub_labels != nullptr) {
-        // The derived hub point index no longer mirrors the set; hub
-        // queries fall back to eager until RebuildIndex().
-        state_->hub_stale.store(true, std::memory_order_release);
+      if (result.ok()) {
+        state_->node_gen.fetch_add(1, std::memory_order_seq_cst);
+        if (src_.hub_labels != nullptr) {
+          // The derived hub point index no longer mirrors the set; hub
+          // queries fall back to eager until RebuildIndex().
+          state_->hub_stale.store(true, std::memory_order_release);
+        }
       }
       return result;
     }
@@ -717,12 +1093,18 @@ Result<RknnEngine::UpdateResult> RknnEngine::DispatchUpdate(
             "engine has no mutable site set "
             "(EngineSources::updates.sites)");
       }
+      if (src_.snapshot_reads) {
+        return SnapshotNodeUpdate(spec);
+      }
       std::unique_lock<std::shared_mutex> lock(
           state_->domain_mu[kDomainSites]);
       Result<UpdateResult> result = ApplyNodeUpdate(
           spec, *src_.updates.sites, src_.updates.site_knn);
-      if (result.ok() && src_.hub_labels != nullptr) {
-        state_->hub_stale.store(true, std::memory_order_release);
+      if (result.ok()) {
+        state_->node_gen.fetch_add(1, std::memory_order_seq_cst);
+        if (src_.hub_labels != nullptr) {
+          state_->hub_stale.store(true, std::memory_order_release);
+        }
       }
       return result;
     }
@@ -732,9 +1114,15 @@ Result<RknnEngine::UpdateResult> RknnEngine::DispatchUpdate(
             "engine has no mutable edge point set "
             "(EngineSources::updates.edge_points)");
       }
+      if (src_.snapshot_reads) {
+        return SnapshotEdgeUpdate(spec);
+      }
       std::unique_lock<std::shared_mutex> lock(
           state_->domain_mu[kDomainEdge]);
-      return ApplyEdgeUpdate(spec);
+      // knn (when present) is the edge-point store: Create rejects an
+      // updatable knn on an engine that also serves node points.
+      return ApplyEdgeUpdate(spec, *src_.updates.edge_points,
+                             src_.updates.knn);
     }
   }
   return Status::InvalidArgument("unknown update set");

@@ -39,16 +39,28 @@
 //     through ApplyUpdate / RunMixedBatch) while queries run remains
 //     unsupported — quiesce first.
 //   * The hub-label point indices (EngineSources::hub_labels, PR 5) are
-//     engine-owned DERIVED state: they are only rebuilt under exclusive
-//     locks of both node domains (RebuildIndex) and only read under the
-//     matching shared locks; node-domain updates flip the staleness
-//     flag, and stale hub queries fall back to eager — see the
-//     staleness contract at RebuildIndex().
+//     engine-owned DERIVED state: they are rebuilt off to the side from
+//     set copies and published under brief exclusive locks of both node
+//     domains (RebuildIndex), and only read under the matching shared
+//     locks; node-domain updates flip the staleness flag, and stale hub
+//     queries fall back to eager — see the staleness contract at
+//     RebuildIndex().
+//   * EPOCH-SNAPSHOT SERVING (EngineSources::snapshot_reads, PR 6):
+//     when enabled, queries stop taking domain locks entirely. Dispatch
+//     pins an epoch (serve/epoch.h) and runs against the currently
+//     published immutable serve::WorldVersion; every update copies the
+//     single domain it rewrites, maintains the copy, and publishes a
+//     successor version under the SAME per-domain exclusive locks —
+//     the lock protocol becomes a writer-side-only mechanism, readers
+//     never block on writers, and every query observes exactly one
+//     published version. Displaced versions are reclaimed when their
+//     epoch drains. See DESIGN.md, "Serving layer".
 //   * Moving an engine while calls are in flight is undefined.
 
 #ifndef GRNN_CORE_ENGINE_H_
 #define GRNN_CORE_ENGINE_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -65,8 +77,13 @@
 #include "graph/network_view.h"
 #include "index/hub_label.h"
 #include "index/hub_point_index.h"
+#include "serve/epoch.h"
 #include "storage/buffer_pool.h"
 #include "storage/io_stats.h"
+
+namespace grnn::serve {
+struct WorldVersion;
+}  // namespace grnn::serve
 
 namespace grnn::core {
 
@@ -201,6 +218,26 @@ struct EngineSources {
   /// Mutable aliases of the sources above; unlocks ApplyUpdate /
   /// RunMixedBatch for the populations that are set.
   UpdateSinks updates;
+  /// \brief Opt into the epoch-snapshot read path (the serving layer,
+  /// src/serve/): queries pin an epoch and run against immutable
+  /// published world versions instead of taking domain shared locks,
+  /// so reads never block on writers.
+  ///
+  /// Contract changes relative to lock mode:
+  ///   * Updatable point sets / stores are snapshotted at Create and
+  ///     each update derives a new copy from the latest version — the
+  ///     CALLER'S objects become initialization-time input and are NOT
+  ///     mutated by ApplyUpdate afterwards (read results and ids off
+  ///     the engine, not the sinks).
+  ///   * A maintained KNN store must be memory-resident
+  ///     (MemoryKnnStore): stored KnnFiles mutate shared pages in
+  ///     place and cannot be captured by an immutable version.
+  ///     Read-only stored sources (graph, labels, KNN files without
+  ///     update sinks) are shared across versions unchanged.
+  ///   * Update failures are fully atomic: a failed update publishes
+  ///     nothing, so even the mid-maintenance error cases of
+  ///     ApplyUpdate leave the served world untouched.
+  bool snapshot_reads = false;
 };
 
 /// \brief Execution knobs for RunBatch.
@@ -388,8 +425,25 @@ class RknnEngine {
   /// batch with N workers this is at least N).
   size_t num_pooled_workspaces() const;
 
+  /// Epoch-reclamation counters of the serving layer (all zero when
+  /// snapshot_reads is off).
+  serve::EpochStats epoch_stats() const;
+
+  /// Forces a reclamation pass over retired world versions and returns
+  /// how many drained (no-op in lock mode). Updates already reclaim
+  /// opportunistically; benches call this to flush the tail.
+  size_t ReclaimVersions();
+
+  /// Publication sequence of the currently served world version; 0 in
+  /// lock mode. Increments on every published update and RebuildIndex.
+  uint64_t world_seq() const;
+
  private:
   struct State;
+  /// Immutable per-query view of everything a Run* body reads: either
+  /// the engine sources under the domain shared locks (lock mode) or
+  /// one pinned serve::WorldVersion (snapshot mode).
+  struct QueryWorld;
 
   explicit RknnEngine(const EngineSources& sources);
 
@@ -405,19 +459,40 @@ class RknnEngine {
   std::unique_ptr<SearchWorkspace> AcquireWorkspace();
   void ReleaseWorkspace(std::unique_ptr<SearchWorkspace> ws);
 
+  // --- Serving-layer internals (snapshot mode only) ---
+  /// Builds and publishes world version 0 from the sources (copying the
+  /// updatable domains) at Create.
+  Status InitSnapshotWorld();
+  /// Shared_ptr to the currently published version (briefly takes the
+  /// publish mutex; writer-side only — queries use the epoch pin).
+  std::shared_ptr<const serve::WorldVersion> CurrentVersion() const;
+  /// Derives a successor from the LATEST published version, applies
+  /// `mutate` to it, publishes it and retires the predecessor.
+  void PublishVersion(
+      const std::function<void(serve::WorldVersion&)>& mutate);
+  Result<UpdateResult> SnapshotNodeUpdate(const UpdateSpec& spec);
+  Result<UpdateResult> SnapshotEdgeUpdate(const UpdateSpec& spec);
+
   Result<RknnResult> Dispatch(const QuerySpec& spec, SearchWorkspace& ws);
+  Result<RknnResult> RunSpec(const QuerySpec& spec, const QueryWorld& world,
+                             SearchWorkspace& ws);
   Result<UpdateResult> DispatchUpdate(const UpdateSpec& spec);
   Result<UpdateResult> ApplyNodeUpdate(const UpdateSpec& spec,
                                        NodePointSet& set, KnnStore* store);
-  Result<UpdateResult> ApplyEdgeUpdate(const UpdateSpec& spec);
+  Result<UpdateResult> ApplyEdgeUpdate(const UpdateSpec& spec,
+                                       EdgePointSet& set, KnnStore* store);
   Result<RknnResult> RunMonochromatic(const QuerySpec& spec,
+                                      const QueryWorld& world,
                                       SearchWorkspace& ws);
   Result<RknnResult> RunBichromatic(const QuerySpec& spec,
+                                    const QueryWorld& world,
                                     SearchWorkspace& ws);
   Result<RknnResult> RunContinuous(const QuerySpec& spec,
+                                   const QueryWorld& world,
                                    SearchWorkspace& ws);
   Result<RknnResult> RunUnrestricted(const QuerySpec& spec,
                                      const UnrestrictedQuery& query,
+                                     const QueryWorld& world,
                                      SearchWorkspace& ws);
   Result<BatchResult> RunBatchSerial(std::span<const QuerySpec> specs);
   Result<BatchResult> RunBatchParallel(std::span<const QuerySpec> specs,

@@ -1,0 +1,101 @@
+#include "serve/epoch.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace grnn::serve {
+
+EpochManager::Guard EpochManager::Pin() {
+  // Start the slot scan at a per-thread offset so concurrent readers
+  // spread over the array instead of fighting for slot 0.
+  const size_t start =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kNumSlots;
+  for (uint64_t attempt = 0;; ++attempt) {
+    for (size_t i = 0; i < kNumSlots; ++i) {
+      const size_t s = (start + i) % kNumSlots;
+      uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+      uint64_t expected = kSlotFree;
+      if (!slots_[s].state.compare_exchange_strong(
+              expected, e + 1, std::memory_order_seq_cst)) {
+        continue;  // slot busy, try the next one
+      }
+      // Revalidate until the slot value matches the global epoch: only
+      // then is the slot a correct lower bound for every retire that
+      // happens after this point (see the safety argument in epoch.h).
+      for (;;) {
+        const uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
+        if (now == e) {
+          break;
+        }
+        pin_retries_.fetch_add(1, std::memory_order_relaxed);
+        e = now;
+        slots_[s].state.store(e + 1, std::memory_order_seq_cst);
+      }
+      pins_.fetch_add(1, std::memory_order_relaxed);
+      return Guard(this, s, e);
+    }
+    // All slots hold live pins; yield and rescan.
+    pin_retries_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::yield();
+  }
+}
+
+uint64_t EpochManager::MinPinnedEpoch() const {
+  uint64_t min_epoch = UINT64_MAX;
+  for (size_t s = 0; s < kNumSlots; ++s) {
+    const uint64_t state = slots_[s].state.load(std::memory_order_seq_cst);
+    if (state != kSlotFree) {
+      min_epoch = std::min(min_epoch, state - 1);
+    }
+  }
+  return min_epoch;
+}
+
+void EpochManager::Retire(std::shared_ptr<const void> object) {
+  {
+    std::lock_guard<std::mutex> lock(limbo_mu_);
+    Retired r;
+    r.epoch = global_epoch_.load(std::memory_order_seq_cst);
+    r.object = std::move(object);
+    limbo_.push_back(std::move(r));
+    retired_total_++;
+  }
+  // Advance so future pins land past the retire epoch: limbo drains
+  // under a steady pin stream without waiting for a quiescent instant.
+  global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  Reclaim();
+}
+
+size_t EpochManager::Reclaim() {
+  // The min-pin scan runs before taking the limbo mutex: a pin that
+  // starts after the scan only sees the CURRENT global epoch, which is
+  // strictly greater than every epoch this call may free.
+  const uint64_t min_pinned = MinPinnedEpoch();
+  std::lock_guard<std::mutex> lock(limbo_mu_);
+  size_t dropped = 0;
+  auto keep = limbo_.begin();
+  for (auto it = limbo_.begin(); it != limbo_.end(); ++it) {
+    if (it->epoch < min_pinned) {
+      dropped++;  // last reference (usually) drops here
+    } else {
+      *keep++ = std::move(*it);
+    }
+  }
+  limbo_.erase(keep, limbo_.end());
+  reclaimed_total_ += dropped;
+  return dropped;
+}
+
+EpochStats EpochManager::stats() const {
+  EpochStats s;
+  s.epoch = global_epoch_.load(std::memory_order_seq_cst);
+  s.pins = pins_.load(std::memory_order_relaxed);
+  s.pin_retries = pin_retries_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(limbo_mu_);
+  s.retired = retired_total_;
+  s.reclaimed = reclaimed_total_;
+  s.limbo = limbo_.size();
+  return s;
+}
+
+}  // namespace grnn::serve

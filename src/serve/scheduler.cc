@@ -1,0 +1,298 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <utility>
+
+namespace grnn::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t MicrosBetween(Clock::time_point from, Clock::time_point to) {
+  const auto d =
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from);
+  return d.count() < 0 ? 0 : static_cast<uint64_t>(d.count());
+}
+
+}  // namespace
+
+// --- LatencyHistogram ---
+
+size_t LatencyHistogram::BucketIndex(uint64_t micros) {
+  if (micros < kSubBuckets) {
+    return static_cast<size_t>(micros);
+  }
+  const int msb = 63 - std::countl_zero(micros);
+  const int shift = msb - kSubBits;
+  // The octave [2^msb, 2^(msb+1)) maps onto kSubBuckets equal cells.
+  const size_t sub =
+      static_cast<size_t>((micros >> shift) - kSubBuckets);
+  return kSubBuckets + static_cast<size_t>(shift) * kSubBuckets + sub;
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(size_t index) {
+  if (index < kSubBuckets) {
+    return static_cast<uint64_t>(index);
+  }
+  const size_t shift = (index - kSubBuckets) / kSubBuckets;
+  const size_t sub = (index - kSubBuckets) % kSubBuckets;
+  const uint64_t lower = (sub + kSubBuckets) << shift;
+  return lower + ((uint64_t{1} << shift) - 1);
+}
+
+void LatencyHistogram::Record(uint64_t micros) {
+  if (buckets_.empty()) {
+    buckets_.assign(kNumBuckets, 0);
+  }
+  buckets_[BucketIndex(micros)]++;
+  count_++;
+  max_ = std::max(max_, micros);
+}
+
+uint64_t LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  uint64_t target =
+      static_cast<uint64_t>(std::ceil(p / 100.0 * count_));
+  target = std::max<uint64_t>(target, 1);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      // The true max is a tighter bound than the top bucket's edge.
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (buckets_.empty()) {
+    buckets_.assign(kNumBuckets, 0);
+  }
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  max_ = std::max(max_, other.max_);
+}
+
+// --- Scheduler ---
+
+struct Scheduler::Ticket::Request {
+  core::QuerySpec spec;
+  Clock::time_point submit;
+  /// time_point::max() when the request carries no deadline.
+  Clock::time_point deadline;
+
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  bool done = false;
+  Response response;
+};
+
+const Scheduler::Response& Scheduler::Ticket::Wait() const {
+  static const Response kInvalid;
+  if (req_ == nullptr) {
+    return kInvalid;
+  }
+  std::unique_lock<std::mutex> lock(req_->mu);
+  req_->cv.wait(lock, [&] { return req_->done; });
+  return req_->response;
+}
+
+Scheduler::Scheduler(core::RknnEngine* engine, SchedulerOptions options)
+    : engine_(engine), opts_(std::move(options)) {
+  opts_.num_workers = std::max(opts_.num_workers, 1);
+  opts_.queue_capacity = std::max<size_t>(opts_.queue_capacity, 1);
+  opts_.max_batch = std::max<size_t>(opts_.max_batch, 1);
+  pool_ = std::make_unique<common::ThreadPool>(opts_.num_workers);
+  // One ParallelFor job hosts every worker for the scheduler's
+  // lifetime: drain loops exit only at Shutdown, so batches never pay
+  // per-batch job setup and workers never serialize behind each other
+  // at the pool (it runs one job at a time).
+  driver_ = std::thread([this] {
+    pool_->ParallelFor(static_cast<size_t>(opts_.num_workers),
+                       [this](int, size_t) { WorkerLoop(); });
+  });
+}
+
+Scheduler::~Scheduler() { Shutdown(); }
+
+void Scheduler::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (driver_.joinable()) {
+    driver_.join();
+  }
+}
+
+Scheduler::Ticket Scheduler::Submit(core::QuerySpec spec) {
+  return Submit(std::move(spec), opts_.default_deadline_micros);
+}
+
+Scheduler::Ticket Scheduler::Submit(core::QuerySpec spec,
+                                    uint64_t deadline_micros) {
+  auto req = std::make_shared<Ticket::Request>();
+  req->spec = std::move(spec);
+  req->submit = Clock::now();
+  req->deadline = deadline_micros == 0
+                      ? Clock::time_point::max()
+                      : req->submit +
+                            std::chrono::microseconds(deadline_micros);
+  bool shed = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.submitted++;
+    if (stopping_ || queue_.size() >= opts_.queue_capacity) {
+      stats_.shed++;
+      shed = true;
+    } else {
+      stats_.admitted++;
+      queue_.push_back(req);
+    }
+  }
+  if (shed) {
+    // Completed inline: overload answers immediately with backpressure
+    // instead of queuing work the server cannot absorb.
+    std::lock_guard<std::mutex> lock(req->mu);
+    req->response.result = Status::ResourceExhausted(
+        "scheduler queue full: request shed");
+    req->response.disposition = Disposition::kShed;
+    req->done = true;
+    req->cv.notify_all();
+  } else {
+    queue_cv_.notify_one();
+  }
+  return Ticket(std::move(req));
+}
+
+void Scheduler::Complete(const std::shared_ptr<Ticket::Request>& req,
+                         Result<core::RknnResult> result,
+                         Disposition disposition) {
+  const uint64_t latency = MicrosBetween(req->submit, Clock::now());
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (disposition == Disposition::kExpired) {
+      stats_.expired++;
+    } else {
+      stats_.completed++;
+    }
+    stats_.latency.Record(latency);
+  }
+  std::lock_guard<std::mutex> lock(req->mu);
+  req->response.result = std::move(result);
+  req->response.disposition = disposition;
+  req->response.latency_micros = latency;
+  req->done = true;
+  req->cv.notify_all();
+}
+
+void Scheduler::WorkerLoop() {
+  std::vector<std::shared_ptr<Ticket::Request>> batch;
+  std::vector<core::QuerySpec> specs;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping, and the queue is drained
+      }
+      while (!queue_.empty() && batch.size() < opts_.max_batch) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      if (batch.size() < opts_.max_batch &&
+          opts_.batch_window_micros > 0 && !stopping_) {
+        // Hold the batch open briefly: near-simultaneous arrivals ride
+        // in this RunBatch instead of paying their own dispatch.
+        const auto close_at =
+            Clock::now() +
+            std::chrono::microseconds(opts_.batch_window_micros);
+        while (batch.size() < opts_.max_batch) {
+          if (!queue_cv_.wait_until(lock, close_at, [&] {
+                return stopping_ || !queue_.empty();
+              })) {
+            break;  // window closed
+          }
+          if (stopping_ && queue_.empty()) {
+            break;
+          }
+          while (!queue_.empty() && batch.size() < opts_.max_batch) {
+            batch.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+          }
+        }
+      }
+    }
+    if (opts_.batch_hook) {
+      opts_.batch_hook(batch.size());
+    }
+    // Expire what the client already gave up on rather than burn
+    // engine time: admission keeps the queue bounded, expiry keeps the
+    // backlog honest.
+    const auto now = Clock::now();
+    size_t live = 0;
+    for (auto& req : batch) {
+      if (now > req->deadline) {
+        Complete(req,
+                 Status::ResourceExhausted(
+                     "deadline expired before execution"),
+                 Disposition::kExpired);
+      } else {
+        batch[live++] = std::move(req);
+      }
+    }
+    batch.resize(live);
+    if (batch.empty()) {
+      continue;
+    }
+    specs.clear();
+    specs.reserve(batch.size());
+    for (const auto& req : batch) {
+      specs.push_back(req->spec);
+    }
+    Result<core::RknnEngine::BatchResult> run = engine_->RunBatch(specs);
+    if (run.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.batches++;
+      }
+      for (size_t i = 0; i < batch.size(); ++i) {
+        Complete(batch[i], std::move(run->results[i]),
+                 Disposition::kRun);
+      }
+    } else {
+      // RunBatch aborts at the first failing spec; replay the batch
+      // per-request so the error attributes to the request that caused
+      // it and the innocent ones still get answers.
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.batch_fallbacks++;
+      }
+      for (const auto& req : batch) {
+        Complete(req, engine_->Run(req->spec), Disposition::kRun);
+      }
+    }
+  }
+}
+
+Scheduler::Stats Scheduler::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace grnn::serve

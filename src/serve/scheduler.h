@@ -1,0 +1,203 @@
+// Copyright (c) GRNN authors.
+// Scheduler: the serving layer's admission + batching front end
+// (DESIGN.md, "Serving layer").
+//
+// Requests arrive one QuerySpec at a time (Submit) and complete
+// asynchronously; the scheduler coalesces admitted requests into
+// RunBatch chunks so the engine amortizes workspace reuse and dispatch
+// overhead across a batch, exactly as offline batching does. Three
+// policies shape the pipeline:
+//
+//   * ADMISSION — the queue is bounded (SchedulerOptions::
+//     queue_capacity). A request arriving at a full queue is SHED
+//     immediately with kResourceExhausted instead of queuing behind
+//     work the server cannot keep up with: under overload the latency
+//     of admitted requests stays bounded and the failure mode is an
+//     explicit signal the client can back off on, not collapse.
+//   * BATCHING — a worker drains whatever is queued (up to max_batch)
+//     and may hold the batch open for batch_window_micros to coalesce
+//     near-simultaneous arrivals. Window 0 never waits: batches form
+//     opportunistically from what the queue holds, so an idle server
+//     runs singletons at minimum latency and a busy one runs full
+//     batches at maximum throughput.
+//   * DEADLINES — a request carrying a deadline that expires before
+//     execution starts completes with kResourceExhausted instead of
+//     burning engine time on an answer the client stopped waiting for.
+//
+// Workers are long-running drain loops laid out over the PR 2 thread
+// pool (one ParallelFor job for the scheduler's lifetime), so batch
+// execution never re-pays thread-pool job setup per batch. Per-request
+// latency (submit to completion) is recorded in a log-linear histogram
+// exposed through stats(); bench_serve reads p50/p95/p99 off it.
+//
+// Thread-safety: Submit may be called from any number of threads
+// concurrently with the workers; Ticket::Wait from any thread.
+// Shutdown (or destruction) stops admission, drains the queue and
+// joins the workers.
+
+#ifndef GRNN_SERVE_SCHEDULER_H_
+#define GRNN_SERVE_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "core/types.h"
+
+namespace grnn::serve {
+
+/// Log-linear latency histogram (microsecond samples): exact buckets
+/// below 2^kSubBits, then kSubBuckets per power-of-two octave, so the
+/// quantile error is bounded by ~1/kSubBuckets of the value at every
+/// magnitude. Record is O(1); Percentile walks the (fixed, small)
+/// bucket array. Not internally synchronized.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 5;
+  static constexpr uint64_t kSubBuckets = uint64_t{1} << kSubBits;
+
+  void Record(uint64_t micros);
+  /// Upper bound of the bucket holding the p-th percentile sample
+  /// (p in [0, 100]); 0 when empty.
+  uint64_t Percentile(double p) const;
+  void Merge(const LatencyHistogram& other);
+
+  uint64_t count() const { return count_; }
+  uint64_t max() const { return max_; }
+
+ private:
+  static size_t BucketIndex(uint64_t micros);
+  static uint64_t BucketUpperBound(size_t index);
+  // 64 - kSubBits octaves of kSubBuckets plus the exact range.
+  static constexpr size_t kNumBuckets =
+      (64 - kSubBits) * kSubBuckets + kSubBuckets;
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t max_ = 0;
+};
+
+struct SchedulerOptions {
+  /// Worker drain loops executing batches (laid out over one PR 2
+  /// thread pool for the scheduler's lifetime).
+  int num_workers = 1;
+  /// Admission bound: requests beyond this many waiting are shed.
+  size_t queue_capacity = 1024;
+  /// Most specs coalesced into one engine RunBatch call.
+  size_t max_batch = 32;
+  /// How long a worker holds a non-full batch open for more arrivals.
+  /// 0 = never wait (lowest latency when idle).
+  uint64_t batch_window_micros = 0;
+  /// Deadline applied to every request without its own; 0 = none.
+  /// Requests whose deadline passes before execution are completed
+  /// with kResourceExhausted, unrun.
+  uint64_t default_deadline_micros = 0;
+  /// TEST SEAM: called by the draining worker after batch formation,
+  /// before execution (argument: batch size). Lets tests hold workers
+  /// mid-pipeline to fill the queue deterministically. Leave unset.
+  std::function<void(size_t)> batch_hook;
+};
+
+/// How a request left the scheduler.
+enum class Disposition {
+  kRun,      // executed by the engine (result may still be an error)
+  kShed,     // refused at admission: queue full or scheduler stopped
+  kExpired,  // deadline passed before execution started
+};
+
+class Scheduler {
+ public:
+  /// One completed request: the engine's answer (or the shed/expired
+  /// status) plus where it ended and what it cost end to end.
+  struct Response {
+    Result<core::RknnResult> result =
+        Status::Internal("request not completed");
+    Disposition disposition = Disposition::kRun;
+    /// Submit-to-completion wall time (0 for shed requests).
+    uint64_t latency_micros = 0;
+  };
+
+  /// Handle to one submitted request. Wait() blocks until completion
+  /// and may be called from any thread (repeat calls return the same
+  /// response).
+  class Ticket {
+   public:
+    Ticket() = default;
+    const Response& Wait() const;
+    bool valid() const { return req_ != nullptr; }
+
+   private:
+    friend class Scheduler;
+    struct Request;
+    explicit Ticket(std::shared_ptr<Request> req) : req_(std::move(req)) {}
+    std::shared_ptr<Request> req_;
+  };
+
+  /// Cumulative counters; latency covers every request a worker
+  /// completed (run or expired), not shed ones.
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+    uint64_t expired = 0;
+    uint64_t completed = 0;
+    uint64_t batches = 0;
+    /// Batches whose RunBatch failed and were replayed per-spec so the
+    /// error lands on the request that caused it.
+    uint64_t batch_fallbacks = 0;
+    LatencyHistogram latency;
+  };
+
+  /// Starts the worker loops immediately. The engine must outlive the
+  /// scheduler.
+  Scheduler(core::RknnEngine* engine, SchedulerOptions options);
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Submits one request; never blocks. At a full queue (or after
+  /// Shutdown) the ticket completes immediately as kShed with
+  /// kResourceExhausted.
+  Ticket Submit(core::QuerySpec spec);
+  /// As above with a per-request deadline overriding the default.
+  Ticket Submit(core::QuerySpec spec, uint64_t deadline_micros);
+
+  /// Stops admission, drains everything already queued and joins the
+  /// workers. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  Stats stats() const;
+
+ private:
+  void WorkerLoop();
+  void Complete(const std::shared_ptr<Ticket::Request>& req,
+                Result<core::RknnResult> result, Disposition disposition);
+
+  core::RknnEngine* engine_;
+  SchedulerOptions opts_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Ticket::Request>> queue_;
+  bool stopping_ = false;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+
+  std::unique_ptr<common::ThreadPool> pool_;
+  std::thread driver_;
+};
+
+}  // namespace grnn::serve
+
+#endif  // GRNN_SERVE_SCHEDULER_H_

@@ -2,15 +2,23 @@
 // update threads hammer ONE engine over ONE shared sharded BufferPool.
 // The updaters toggle two dedicated points (insert then delete, many
 // rounds) through the engine's update path, so at any instant the world
-// is one of four states: base, base+t0, base+t1, base+t0+t1. The
-// reader-writer domain protocol must make every query result equal the
-// brute-force answer of ONE of those four worlds (the linearizability
-// window: a query sees either the pre- or the post-update world, never
-// a torn one), and no query/update counter may be lost.
+// is one of four states: base, base+t0, base+t1, base+t0+t1. Every
+// query result must equal the brute-force answer of ONE of those four
+// worlds (the linearizability window: a query sees either the pre- or
+// the post-update world, never a torn one), and no query/update counter
+// may be lost.
 //
-// Registered under the `stress` and `update` ctest labels; the
+// The same oracle harness runs against BOTH serving modes: the PR 3
+// lock path (stored engine, per-domain shared_mutex) and the PR 6
+// epoch-snapshot path (memory engine, snapshot_reads) — on the epoch
+// path "one of the four worlds" literally means "one published
+// WorldVersion", and the suite additionally checks the version/retire
+// accounting and that limbo drains once the readers are gone.
+//
+// Registered under the `stress`, `update` and `serve` ctest labels; the
 // ThreadSanitizer CI job is what actually proves the domain
-// shared_mutexes, the sharded pin table and the stat accounting correct.
+// shared_mutexes, the epoch pin/retire protocol, the sharded pin table
+// and the stat accounting correct.
 
 #include <gtest/gtest.h>
 
@@ -112,11 +120,9 @@ UpdateStressWorld MakeUpdateStressWorld(uint64_t seed) {
   return w;
 }
 
-TEST(EngineUpdateConcurrencyTest, QueriesSeePreOrPostUpdateWorlds) {
-  UpdateStressWorld w = MakeUpdateStressWorld(/*seed=*/11);
-  auto engine =
-      bench::MakeRestrictedUpdatableEngine(w.env, w.points).ValueOrDie();
-
+// The 6-reader/2-writer linearizability harness, shared by the lock-mode
+// and epoch-snapshot suites below.
+void RunUpdateStress(RknnEngine& engine, const UpdateStressWorld& w) {
   constexpr int kQueryThreads = 6;
   constexpr int kQueryPasses = 6;
   // Writer-starvation guard: readers run a FIXED number of passes and
@@ -248,13 +254,60 @@ TEST(EngineUpdateConcurrencyTest, QueriesSeePreOrPostUpdateWorlds) {
   EXPECT_GE(engine.num_pooled_workspaces(), 1u);
 }
 
+TEST(EngineUpdateConcurrencyTest, QueriesSeePreOrPostUpdateWorlds) {
+  UpdateStressWorld w = MakeUpdateStressWorld(/*seed=*/11);
+  NodePointSet points = w.points;
+  auto engine =
+      bench::MakeRestrictedUpdatableEngine(w.env, points).ValueOrDie();
+  RunUpdateStress(engine, w);
+  // Lock mode has no serving layer: epoch counters stay at zero.
+  EXPECT_EQ(engine.epoch_stats().pins, 0u);
+  EXPECT_EQ(engine.world_seq(), 0u);
+}
+
+// Satellite of the serving-layer PR: the SAME oracle harness over the
+// epoch-snapshot path. Every result must match one published version,
+// every update publishes exactly one version, and the retired-version
+// limbo drains to zero once the readers are gone.
+TEST(EngineUpdateConcurrencyTest, EpochSnapshotQueriesSeePublishedWorlds) {
+  UpdateStressWorld w = MakeUpdateStressWorld(/*seed=*/11);
+  graph::GraphView view(&w.g);
+  NodePointSet points = w.points;
+  MemoryKnnStore store(w.g.num_nodes(), /*k=*/4);
+  ASSERT_TRUE(BuildAllNn(view, points, &store).ok());
+  EngineSources sources;
+  sources.graph = &view;
+  sources.points = &points;
+  sources.knn = &store;
+  sources.updates.points = &points;
+  sources.updates.knn = &store;
+  sources.snapshot_reads = true;
+  auto engine = RknnEngine::Create(sources).ValueOrDie();
+
+  RunUpdateStress(engine, w);
+
+  // Version accounting: every committed update published exactly one
+  // version (and retired its predecessor); every dispatch pinned an
+  // epoch; with no reader left, one reclaim pass empties limbo.
+  const EngineStats stats = engine.lifetime_stats();
+  EXPECT_EQ(engine.world_seq(), stats.updates);
+  serve::EpochStats es = engine.epoch_stats();
+  EXPECT_EQ(es.retired, stats.updates);
+  EXPECT_GE(es.pins, stats.queries);
+  engine.ReclaimVersions();
+  es = engine.epoch_stats();
+  EXPECT_EQ(es.limbo, 0u);
+  EXPECT_EQ(es.reclaimed, es.retired);
+}
+
 // A mixed batch aborted by a failing op must still count the ops that
 // committed before it — they mutated the world, so dropping their
 // counters would be stat loss.
 TEST(EngineUpdateConcurrencyTest, AbortedMixedBatchCountsCommittedOps) {
   UpdateStressWorld w = MakeUpdateStressWorld(/*seed=*/13);
+  NodePointSet points = w.points;
   auto engine =
-      bench::MakeRestrictedUpdatableEngine(w.env, w.points).ValueOrDie();
+      bench::MakeRestrictedUpdatableEngine(w.env, points).ValueOrDie();
 
   std::vector<RknnEngine::MixedOp> ops;
   ops.push_back(

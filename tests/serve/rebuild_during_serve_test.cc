@@ -1,0 +1,211 @@
+// Regression suite for RknnEngine::RebuildIndex vs concurrent queries.
+// The original implementation rebuilt the hub point indices while
+// HOLDING exclusive locks on both node domains, so every query stalled
+// for the full label-scan build. The rebuild now happens off to the
+// side — optimistic copy/build/install in lock mode, plain
+// build-and-publish in snapshot mode — and queries must keep completing
+// while a rebuild is in flight.
+//
+// The probe: a LabelStore wrapper that blocks inside Scan() once armed.
+// HubPointIndex::Build scans the label of every live point's node, so
+// an armed wrapper parks the rebuilding thread mid-build; the test then
+// demands that a query on another thread still finishes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "core/engine.h"
+#include "gen/grid.h"
+#include "gen/points.h"
+#include "index/hub_label.h"
+
+namespace grnn::core {
+namespace {
+
+using std::chrono::milliseconds;
+
+/// Delegates to an inner LabelStore; once armed, every Scan signals
+/// entry and spins until released. Scan is const, so the control state
+/// is atomic.
+class BlockingLabelStore final : public index::LabelStore {
+ public:
+  explicit BlockingLabelStore(const index::LabelStore* inner)
+      : inner_(inner) {}
+
+  NodeId num_nodes() const override { return inner_->num_nodes(); }
+  size_t num_entries() const override { return inner_->num_entries(); }
+
+  Result<std::span<const index::HubEntry>> Scan(
+      NodeId n, index::LabelCursor& cursor) const override {
+    if (armed_.load()) {
+      entered_.store(true);
+      while (!released_.load()) {
+        std::this_thread::sleep_for(milliseconds(1));
+      }
+    }
+    return inner_->Scan(n, cursor);
+  }
+
+  void Arm() { armed_.store(true); }
+  bool entered() const { return entered_.load(); }
+  void Release() { released_.store(true); }
+
+ private:
+  const index::LabelStore* inner_;
+  mutable std::atomic<bool> armed_{false};
+  mutable std::atomic<bool> entered_{false};
+  std::atomic<bool> released_{false};
+};
+
+// Address-stable world data; tests build a graph::GraphView over `g`
+// locally (the view holds a raw Graph pointer).
+struct RebuildWorld {
+  graph::Graph g;
+  NodePointSet points{0};
+  index::HubLabelIndex labels;
+
+  static RebuildWorld Make() {
+    RebuildWorld w;
+    gen::GridConfig cfg;
+    cfg.rows = 12;
+    cfg.cols = 12;
+    cfg.seed = 7;
+    w.g = gen::GenerateGrid(cfg).ValueOrDie();
+    graph::GraphView view(&w.g);
+    Rng rng(11);
+    w.points =
+        gen::PlaceNodePoints(w.g.num_nodes(), 0.3, rng).ValueOrDie();
+    w.labels = index::HubLabelBuilder::Build(view).ValueOrDie();
+    return w;
+  }
+};
+
+void QueriesCompleteDuringRebuild(bool snapshot_reads) {
+  RebuildWorld w = RebuildWorld::Make();
+  graph::GraphView view(&w.g);
+  BlockingLabelStore blocking(&w.labels);
+
+  EngineSources sources;
+  sources.graph = &view;
+  sources.points = &w.points;
+  sources.hub_labels = &blocking;
+  sources.snapshot_reads = snapshot_reads;
+  auto engine = RknnEngine::Create(sources).ValueOrDie();
+
+  // Baseline: hub index built at Create (blocker disarmed), fresh.
+  ASSERT_FALSE(engine.hub_index_stale());
+  const QuerySpec eager_spec =
+      QuerySpec::Monochromatic(Algorithm::kEager, 17, 2);
+  const QuerySpec hub_spec =
+      QuerySpec::Monochromatic(Algorithm::kHubLabel, 17, 2);
+  auto baseline = engine.Run(eager_spec);
+  ASSERT_TRUE(baseline.ok());
+
+  blocking.Arm();
+  std::thread rebuilder([&] {
+    const Status s = engine.RebuildIndex();
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  });
+  // Wait until the rebuild thread is provably parked inside the label
+  // scan of the index build.
+  while (!blocking.entered()) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+
+  // THE regression check: with the rebuild mid-build, queries still
+  // complete. A lock-holding rebuild would deadlock this future until
+  // Release, and the wait below would time out.
+  auto query = std::async(std::launch::async, [&] {
+    return engine.Run(eager_spec);
+  });
+  ASSERT_EQ(query.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready)
+      << "query blocked behind an in-flight RebuildIndex";
+  auto during = query.get();
+  ASSERT_TRUE(during.ok()) << during.status().ToString();
+  EXPECT_EQ(during->results.size(), baseline->results.size());
+
+  blocking.Release();
+  rebuilder.join();
+
+  // The rebuilt index serves hub queries, agreeing with eager.
+  EXPECT_FALSE(engine.hub_index_stale());
+  auto hub = engine.Run(hub_spec);
+  ASSERT_TRUE(hub.ok()) << hub.status().ToString();
+  EXPECT_EQ(hub->stats.hub_fallbacks, 0u);
+  EXPECT_EQ(hub->results.size(), baseline->results.size());
+}
+
+TEST(RebuildDuringServeTest, LockModeQueriesCompleteDuringRebuild) {
+  QueriesCompleteDuringRebuild(/*snapshot_reads=*/false);
+}
+
+TEST(RebuildDuringServeTest, SnapshotModeQueriesCompleteDuringRebuild) {
+  QueriesCompleteDuringRebuild(/*snapshot_reads=*/true);
+}
+
+// Lock mode only: updates racing a rebuild force the optimistic path to
+// detect churn (node_gen moved) and either retry or fall back to the
+// locked rebuild — the installed index must reflect the final sets.
+TEST(RebuildDuringServeTest, LockModeRebuildSurvivesConcurrentUpdates) {
+  RebuildWorld w = RebuildWorld::Make();
+  graph::GraphView view(&w.g);
+
+  EngineSources sources;
+  sources.graph = &view;
+  sources.points = &w.points;
+  sources.hub_labels = &w.labels;
+  sources.updates.points = &w.points;
+  auto engine = RknnEngine::Create(sources).ValueOrDie();
+
+  NodeId free_node = kInvalidNode;
+  for (NodeId n = 0; n < w.g.num_nodes(); ++n) {
+    if (!w.points.Contains(n)) {
+      free_node = n;
+      break;
+    }
+  }
+  ASSERT_NE(free_node, kInvalidNode);
+
+  std::atomic<bool> stop{false};
+  std::thread updater([&] {
+    // Toggle one node's point for the whole rebuild window: every
+    // toggle bumps the generation counter the optimistic path checks.
+    while (!stop.load()) {
+      auto ins = engine.ApplyUpdate(UpdateSpec::InsertPoint(free_node));
+      if (!ins.ok()) {
+        continue;
+      }
+      ASSERT_TRUE(
+          engine.ApplyUpdate(UpdateSpec::DeletePoint(ins->point)).ok());
+    }
+  });
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(engine.RebuildIndex().ok());
+  }
+  stop.store(true);
+  updater.join();
+
+  // Settle: one final rebuild over the quiesced sets, then hub == eager.
+  ASSERT_TRUE(engine.RebuildIndex().ok());
+  EXPECT_FALSE(engine.hub_index_stale());
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const NodeId q =
+        static_cast<NodeId>(rng.UniformInt(w.g.num_nodes()));
+    auto hub = engine.Run(
+        QuerySpec::Monochromatic(Algorithm::kHubLabel, q, 2));
+    auto eager = engine.Run(
+        QuerySpec::Monochromatic(Algorithm::kEager, q, 2));
+    ASSERT_TRUE(hub.ok());
+    ASSERT_TRUE(eager.ok());
+    EXPECT_EQ(hub->results, eager->results);
+  }
+}
+
+}  // namespace
+}  // namespace grnn::core
