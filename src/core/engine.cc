@@ -918,12 +918,29 @@ Result<RknnEngine::UpdateResult> RknnEngine::ApplyNodeUpdate(
   if (spec.op == UpdateSpec::Op::kInsert) {
     GRNN_ASSIGN_OR_RETURN(out.point, set.AddPoint(spec.node));
     if (store != nullptr) {
-      Status maintained = MaterializedInsert(*src_.graph, set, spec.node,
-                                             store, &out.stats);
+      // Journal bracket (PR 7): a durable store buffers the list writes
+      // below, makes record + images durable in CommitUpdate (the
+      // acknowledgement gate), and only then touches the file. Plain
+      // stores treat the bracket as no-ops.
+      UpdateDescriptor desc;
+      desc.op = UpdateDescriptor::Op::kInsertPoint;
+      desc.domain = static_cast<uint32_t>(spec.set);
+      desc.node = spec.node;
+      desc.point = out.point;
+      Status maintained = store->BeginUpdate(desc);
+      if (maintained.ok()) {
+        maintained = MaterializedInsert(*src_.graph, set, spec.node,
+                                        store, &out.stats);
+      }
+      if (maintained.ok()) {
+        maintained = store->CommitUpdate(&out.stats);
+      }
       if (!maintained.ok()) {
         // Pre-write failures (validation) are fully undone here; a
-        // mid-maintenance I/O failure leaves the store partially
-        // written — see the ApplyUpdate failure-atomicity contract.
+        // mid-maintenance I/O failure leaves a plain store partially
+        // written (see the ApplyUpdate failure-atomicity contract),
+        // while a journaled store drops its buffered writes whole.
+        store->AbortUpdate();
         (void)set.RemovePoint(out.point);
         return maintained;
       }
@@ -936,10 +953,31 @@ Result<RknnEngine::UpdateResult> RknnEngine::ApplyNodeUpdate(
         "point %u is not live in the %s set", spec.point,
         UpdateSetName(spec.set)));
   }
-  GRNN_RETURN_NOT_OK(set.RemovePoint(spec.point));
   if (store != nullptr) {
-    GRNN_RETURN_NOT_OK(MaterializedDelete(*src_.graph, set, spec.point,
-                                          host, store, &out.stats));
+    UpdateDescriptor desc;
+    desc.op = UpdateDescriptor::Op::kDeletePoint;
+    desc.domain = static_cast<uint32_t>(spec.set);
+    desc.node = host;
+    desc.point = spec.point;
+    GRNN_RETURN_NOT_OK(store->BeginUpdate(desc));
+  }
+  Status removed = set.RemovePoint(spec.point);
+  if (!removed.ok()) {
+    if (store != nullptr) {
+      store->AbortUpdate();
+    }
+    return removed;
+  }
+  if (store != nullptr) {
+    Status maintained = MaterializedDelete(*src_.graph, set, spec.point,
+                                           host, store, &out.stats);
+    if (maintained.ok()) {
+      maintained = store->CommitUpdate(&out.stats);
+    }
+    if (!maintained.ok()) {
+      store->AbortUpdate();
+      return maintained;
+    }
   }
   out.point = spec.point;
   return out;
@@ -952,9 +990,23 @@ Result<RknnEngine::UpdateResult> RknnEngine::ApplyEdgeUpdate(
     GRNN_ASSIGN_OR_RETURN(
         out.point, set.AddPoint(*src_.updates.base_graph, spec.position));
     if (store != nullptr) {
-      Status maintained = UnrestrictedMaterializedInsert(
-          *src_.graph, set, out.point, store, &out.stats);
+      UpdateDescriptor desc;
+      desc.op = UpdateDescriptor::Op::kInsertEdgePoint;
+      desc.domain = static_cast<uint32_t>(spec.set);
+      desc.point = out.point;
+      desc.edge_u = spec.position.u;
+      desc.edge_v = spec.position.v;
+      desc.edge_offset = spec.position.pos;
+      Status maintained = store->BeginUpdate(desc);
+      if (maintained.ok()) {
+        maintained = UnrestrictedMaterializedInsert(
+            *src_.graph, set, out.point, store, &out.stats);
+      }
+      if (maintained.ok()) {
+        maintained = store->CommitUpdate(&out.stats);
+      }
       if (!maintained.ok()) {
+        store->AbortUpdate();
         (void)set.RemovePoint(out.point);
         return maintained;
       }
@@ -967,11 +1019,34 @@ Result<RknnEngine::UpdateResult> RknnEngine::ApplyEdgeUpdate(
   }
   const EdgePosition old_pos = set.PositionOf(spec.point);
   const Weight old_weight = set.EdgeWeightOfPoint(spec.point);
-  GRNN_RETURN_NOT_OK(set.RemovePoint(spec.point));
   if (store != nullptr) {
-    GRNN_RETURN_NOT_OK(UnrestrictedMaterializedDelete(
+    UpdateDescriptor desc;
+    desc.op = UpdateDescriptor::Op::kDeleteEdgePoint;
+    desc.domain = static_cast<uint32_t>(spec.set);
+    desc.point = spec.point;
+    desc.edge_u = old_pos.u;
+    desc.edge_v = old_pos.v;
+    desc.edge_offset = old_pos.pos;
+    GRNN_RETURN_NOT_OK(store->BeginUpdate(desc));
+  }
+  Status removed = set.RemovePoint(spec.point);
+  if (!removed.ok()) {
+    if (store != nullptr) {
+      store->AbortUpdate();
+    }
+    return removed;
+  }
+  if (store != nullptr) {
+    Status maintained = UnrestrictedMaterializedDelete(
         *src_.graph, set, spec.point, old_pos, old_weight, store,
-        &out.stats));
+        &out.stats);
+    if (maintained.ok()) {
+      maintained = store->CommitUpdate(&out.stats);
+    }
+    if (!maintained.ok()) {
+      store->AbortUpdate();
+      return maintained;
+    }
   }
   out.point = spec.point;
   return out;

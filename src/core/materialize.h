@@ -29,6 +29,36 @@ namespace grnn::core {
 
 using storage::NnEntry;
 
+struct UpdateStats;
+
+/// What a journaled update is about to do — the logical half of a WAL
+/// record (PR 7). The engine fills one in before running maintenance so
+/// a durable store can log the operation alongside the list images it
+/// produces; recovery hands the decoded descriptors back to the caller,
+/// which replays them onto its point metadata to reconstruct exactly
+/// the acknowledged-prefix state.
+struct UpdateDescriptor {
+  enum class Op : uint8_t {
+    kNone = 0,
+    kInsertPoint = 1,      // point placed on a node
+    kDeletePoint = 2,      // point removed from a node
+    kInsertEdgePoint = 3,  // unrestricted: point placed on an edge
+    kDeleteEdgePoint = 4,  // unrestricted: point removed from an edge
+  };
+  Op op = Op::kNone;
+  /// Which point domain the update targets (UpdateKind ordinal: the
+  /// engine's data/site set).
+  uint32_t domain = 0;
+  NodeId node = kInvalidNode;
+  PointId point = kInvalidPoint;
+  /// Edge placements only — raw position fields (the EdgePosition
+  /// struct lives in core/unrestricted.h; raw fields here keep the
+  /// storage-facing layer free of that dependency).
+  NodeId edge_u = kInvalidNode;
+  NodeId edge_v = kInvalidNode;
+  Weight edge_offset = 0;
+};
+
 /// \brief Abstract per-node KNN-list storage with fixed capacity K.
 class KnnStore {
  public:
@@ -45,6 +75,25 @@ class KnnStore {
 
   /// Replaces the list of `n` (size <= K, ascending by distance).
   virtual Status Write(NodeId n, const std::vector<NnEntry>& entries) = 0;
+
+  /// Durability hooks (PR 7). The engine brackets every maintenance
+  /// operation: BeginUpdate before the first list access, then either
+  /// CommitUpdate (maintenance succeeded — the update may be
+  /// acknowledged once this returns OK) or AbortUpdate (maintenance
+  /// failed and its logical effects are being rolled back). Plain
+  /// stores ignore all three; DurableKnnStore journals the operation
+  /// and its list writes into a WAL and makes CommitUpdate the
+  /// durability point. `stats` (nullable) receives the log counters of
+  /// this commit.
+  virtual Status BeginUpdate(const UpdateDescriptor& desc) {
+    (void)desc;
+    return Status::OK();
+  }
+  virtual Status CommitUpdate(UpdateStats* stats) {
+    (void)stats;
+    return Status::OK();
+  }
+  virtual void AbortUpdate() {}
 };
 
 /// \brief RAM-backed store (unit tests, small graphs).
@@ -97,12 +146,19 @@ struct UpdateStats {
   uint64_t lists_written = 0;   // list writes (changed lists)
   uint64_t heap_pushes = 0;
   uint64_t border_nodes = 0;    // deletion only (Fig 11)
+  // Durability counters (PR 7; zero for non-journaled stores).
+  uint64_t log_records = 0;  // WAL records appended
+  uint64_t log_flushes = 0;  // WAL flushes that performed I/O
+  uint64_t log_bytes = 0;    // payload bytes journaled
 
   UpdateStats& operator+=(const UpdateStats& o) {
     nodes_touched += o.nodes_touched;
     lists_written += o.lists_written;
     heap_pushes += o.heap_pushes;
     border_nodes += o.border_nodes;
+    log_records += o.log_records;
+    log_flushes += o.log_flushes;
+    log_bytes += o.log_bytes;
     return *this;
   }
   /// Delta between two lifetime snapshots (rhs taken earlier).
@@ -110,7 +166,10 @@ struct UpdateStats {
     return UpdateStats{nodes_touched - o.nodes_touched,
                        lists_written - o.lists_written,
                        heap_pushes - o.heap_pushes,
-                       border_nodes - o.border_nodes};
+                       border_nodes - o.border_nodes,
+                       log_records - o.log_records,
+                       log_flushes - o.log_flushes,
+                       log_bytes - o.log_bytes};
   }
 };
 

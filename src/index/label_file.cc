@@ -282,6 +282,114 @@ Result<std::span<const HubEntry>> LabelFile::ScanLabel(
   return std::span<const HubEntry>(cursor.scratch_.data(), count);
 }
 
+Status LabelFile::RewriteLabel(storage::BufferPool* pool, NodeId n,
+                               std::span<const HubEntry> entries,
+                               uint64_t lsn) {
+  if (n >= counts_.size()) {
+    return Status::OutOfRange(StrPrintf("node %u out of range", n));
+  }
+  if (pool == nullptr) {
+    return Status::InvalidArgument("buffer pool is null");
+  }
+  if (entries.size() != counts_[n]) {
+    return Status::InvalidArgument(
+        StrPrintf("label of node %u holds %u records, rewrite has %zu "
+                  "(the stored layout is fixed at build time)",
+                  n, counts_[n], entries.size()));
+  }
+  uint64_t off = offsets_[n];
+  size_t written = 0;
+  while (written < entries.size()) {
+    const PageId page =
+        first_page_ + static_cast<PageId>(off / page_size_);
+    const size_t in_page = static_cast<size_t>(off % page_size_);
+    const size_t take = std::min<size_t>(
+        entries.size() - written,
+        (page_size_ - in_page) / kLabelRecordBytes);
+    GRNN_ASSIGN_OR_RETURN(storage::PageGuard guard, pool->Acquire(page));
+    uint8_t* dst = guard.mutable_data();
+    std::memcpy(dst + in_page, entries.data() + written,
+                take * kLabelRecordBytes);
+    if (lsn != 0) {
+      // Monotone stamp: the header records the NEWEST applied update.
+      uint64_t page_lsn = 0;
+      std::memcpy(&page_lsn, dst + offsetof(LabelPageHeader, lsn),
+                  sizeof(page_lsn));
+      if (lsn > page_lsn) {
+        std::memcpy(dst + offsetof(LabelPageHeader, lsn), &lsn,
+                    sizeof(lsn));
+      }
+    }
+    written += take;
+    off = (off / page_size_ + 1) * page_size_ + kLabelPageHeaderBytes;
+  }
+  return Status::OK();
+}
+
+Result<size_t> LabelFile::ReplayLabel(storage::DiskManager* disk, NodeId n,
+                                      std::span<const HubEntry> entries,
+                                      uint64_t lsn) const {
+  if (n >= counts_.size()) {
+    return Status::OutOfRange(StrPrintf("node %u out of range", n));
+  }
+  if (entries.size() != counts_[n]) {
+    return Status::InvalidArgument(
+        StrPrintf("label of node %u holds %u records, replay has %zu",
+                  n, counts_[n], entries.size()));
+  }
+  if (lsn == 0) {
+    return Status::InvalidArgument("replay needs the record's lsn");
+  }
+  std::vector<uint8_t> buffer(page_size_, 0);
+  uint64_t off = offsets_[n];
+  size_t written = 0;
+  size_t pages_applied = 0;
+  while (written < entries.size()) {
+    const PageId page =
+        first_page_ + static_cast<PageId>(off / page_size_);
+    const size_t in_page = static_cast<size_t>(off % page_size_);
+    const size_t take = std::min<size_t>(
+        entries.size() - written,
+        (page_size_ - in_page) / kLabelRecordBytes);
+    GRNN_RETURN_NOT_OK(disk->ReadPage(page, buffer.data()));
+    LabelPageHeader header;
+    std::memcpy(&header, buffer.data(), sizeof(header));
+    if (header.magic != kLabelPageMagic) {
+      return Status::Corruption(StrPrintf(
+          "bad label page magic 0x%08x on page %u", header.magic, page));
+    }
+    // Page-LSN redo filter (idempotent replay).
+    if (header.lsn < lsn) {
+      std::memcpy(buffer.data() + in_page, entries.data() + written,
+                  take * kLabelRecordBytes);
+      header.lsn = lsn;
+      std::memcpy(buffer.data(), &header, sizeof(header));
+      GRNN_RETURN_NOT_OK(disk->WritePage(page, buffer.data()));
+      pages_applied++;
+    }
+    written += take;
+    off = (off / page_size_ + 1) * page_size_ + kLabelPageHeaderBytes;
+  }
+  return pages_applied;
+}
+
+Result<uint64_t> LabelFile::PageLsnOf(storage::DiskManager* disk,
+                                      NodeId n) const {
+  if (n >= counts_.size()) {
+    return Status::OutOfRange(StrPrintf("node %u out of range", n));
+  }
+  if (counts_[n] == 0) {
+    return uint64_t{0};  // empty labels own no page
+  }
+  std::vector<uint8_t> buffer(page_size_, 0);
+  GRNN_RETURN_NOT_OK(disk->ReadPage(
+      first_page_ + static_cast<PageId>(offsets_[n] / page_size_),
+      buffer.data()));
+  LabelPageHeader header;
+  std::memcpy(&header, buffer.data(), sizeof(header));
+  return header.lsn;
+}
+
 Status LabelFile::AssembleStraddling(storage::BufferPool* pool, NodeId n,
                                      std::vector<HubEntry>& scratch) const {
   const uint32_t count = counts_[n];

@@ -65,13 +65,18 @@ struct LabelDirectoryEntry {
 static_assert(sizeof(LabelDirectoryEntry) == 16);
 
 /// Per-data-page header; sized to one record slot so the records behind
-/// it stay 16-byte aligned relative to the page base.
+/// it stay 16-byte aligned relative to the page base. The spare 8 bytes
+/// carry the page LSN (PR 7): RewriteLabel stamps the WAL lsn of the
+/// newest update applied to the page, and redo-on-open (ReplayLabel)
+/// skips pages already at or past the record's lsn.
 struct LabelPageHeader {
   uint32_t magic = 0;        // kLabelPageMagic
   uint32_t entry_count = 0;  // records stored on this page
-  uint64_t reserved = 0;
+  uint64_t lsn = 0;          // WAL lsn of the newest applied update
 };
 static_assert(sizeof(LabelPageHeader) == 16);
+static_assert(offsetof(LabelPageHeader, lsn) == 8,
+              "the page LSN lives in the header's spare bytes [8, 16)");
 inline constexpr size_t kLabelPageHeaderBytes = sizeof(LabelPageHeader);
 
 /// \brief Paged hub-label file with a memory-resident node index.
@@ -95,6 +100,27 @@ class LabelFile {
   Result<std::span<const HubEntry>> ScanLabel(storage::BufferPool* pool,
                                               NodeId n,
                                               LabelCursor& cursor) const;
+
+  /// Replaces the stored label of `n` in place. The layout is fixed at
+  /// Build time, so the new label must have EXACTLY the node's directory
+  /// count (label maintenance rewrites entries, never grows them). A
+  /// non-zero `lsn` stamps the touched pages' headers (monotonically) —
+  /// the journaled update path passes its WAL record's lsn. Needs
+  /// external write synchronization against readers of the same label.
+  Status RewriteLabel(storage::BufferPool* pool, NodeId n,
+                      std::span<const HubEntry> entries, uint64_t lsn = 0);
+
+  /// Redo arm of recovery: re-applies a logged label rewrite directly
+  /// via `disk`, but only to pages whose header LSN is older than `lsn`
+  /// (idempotent — see KnnFile::ReplayBatch). Returns the number of
+  /// pages it wrote. Offline only.
+  Result<size_t> ReplayLabel(storage::DiskManager* disk, NodeId n,
+                             std::span<const HubEntry> entries,
+                             uint64_t lsn) const;
+
+  /// Page LSN of the data page holding (the start of) node `n`'s label,
+  /// read through `disk`. Exposed for recovery tests.
+  Result<uint64_t> PageLsnOf(storage::DiskManager* disk, NodeId n) const;
 
   NodeId num_nodes() const { return static_cast<NodeId>(counts_.size()); }
   size_t num_entries() const { return num_entries_; }

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/string_util.h"
+#include "storage/wal.h"
 
 namespace grnn::storage {
 
@@ -131,6 +132,7 @@ Result<PageGuard> BufferPool::Acquire(PageId id) {
         Frame& f = shard.frames[*victim_or];
         if (f.page != kInvalidPage) {
           if (f.dirty) {
+            GRNN_RETURN_NOT_OK(FlushWalBeforePageWrite());
             shard.stats.physical_writes++;
             GRNN_RETURN_NOT_OK(disk_->WritePage(f.page, f.data.get()));
           }
@@ -160,6 +162,7 @@ Result<PageGuard> BufferPool::Acquire(PageId id) {
 }
 
 Status BufferPool::FlushAll() {
+  GRNN_RETURN_NOT_OK(FlushWalBeforePageWrite());
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     for (Frame& f : shard->frames) {
@@ -239,6 +242,26 @@ void BufferPool::MarkDirty(size_t shard_idx, size_t frame) {
   Shard& shard = *shards_[shard_idx];
   std::lock_guard<std::mutex> lock(shard.mu);
   shard.frames[frame].dirty = true;
+}
+
+void BufferPool::AttachWal(Wal* wal) {
+  GRNN_CHECK(wal != nullptr);
+  // Unbuffered pools write through on guard release with no way to
+  // surface a WAL flush failure; durable stores need a buffered pool.
+  GRNN_CHECK(capacity_ > 0);
+  GRNN_CHECK(wal->disk() != disk_);
+  wal_ = wal;
+}
+
+Status BufferPool::FlushWalBeforePageWrite() {
+  if (wal_ == nullptr) {
+    return Status::OK();
+  }
+  // The WAL serializes internally and lives on its own device, so this
+  // is safe under a shard mutex (no lock cycle, no same-device
+  // reentrancy). Usually a no-op: commits flush before acknowledging.
+  Result<bool> flushed = wal_->Flush();
+  return flushed.ok() ? Status::OK() : flushed.status();
 }
 
 void BufferPool::CountPassthroughWrite(PageId page, const uint8_t* data) {

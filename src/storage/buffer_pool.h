@@ -73,6 +73,7 @@ inline constexpr size_t kMinFramesPerShardForLease = 32;
 inline constexpr size_t kLeaseShardFreeFrameFloor = 8;
 
 class BufferPool;
+class Wal;
 
 /// \brief RAII pin on a page resident in the buffer pool.
 ///
@@ -217,6 +218,24 @@ class BufferPool {
   void ResetStats();
   DiskManager* disk() const { return disk_; }
 
+  /// \brief Enforces the log-before-page-write discipline (PR 7): once
+  /// a WAL is attached, every physical write of a dirty page — evicting
+  /// in Acquire, FlushAll, Invalidate — first flushes the WAL, so a
+  /// data page on disk can never be ahead of the durable log. The
+  /// journaled stores only dirty pages AFTER appending the covering
+  /// record (core::DurableKnnStore buffers its writes until commit), so
+  /// flush-everything is exactly the needed barrier; by commit time the
+  /// record is usually already durable and the flush is a no-op.
+  ///
+  /// Call before serving starts (not concurrency-safe against inflight
+  /// Acquires); the WAL must live on a DIFFERENT DiskManager and must
+  /// outlive the pool. Unsupported on unbuffered (capacity 0) pools:
+  /// they write through on guard release, which would need the page's
+  /// covering record flushed mid-update — serve durable stores from a
+  /// buffered pool.
+  void AttachWal(Wal* wal);
+  Wal* wal() const { return wal_; }
+
  private:
   friend class PageGuard;
 
@@ -249,9 +268,13 @@ class BufferPool {
   /// Victim frame within `shard` (caller holds the shard mutex).
   Result<size_t> FindVictim(Shard& shard);
 
+  /// Flushes the attached WAL (if any) ahead of a dirty page write.
+  Status FlushWalBeforePageWrite();
+
   DiskManager* disk_;
   size_t capacity_;
   ReplacementPolicy policy_;
+  Wal* wal_ = nullptr;
   /// Stable addresses: shards never move after construction.
   std::vector<std::unique_ptr<Shard>> shards_;
 };

@@ -134,4 +134,11 @@ Status FileDiskManager::WritePage(PageId id, const uint8_t* data) {
   return Status::OK();
 }
 
+Status FileDiskManager::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::IOError(StrPrintf("fsync: %s", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
 }  // namespace grnn::storage

@@ -54,6 +54,12 @@ class DiskManager {
 
   /// Writes page_size() bytes from `data` to page `id`.
   virtual Status WritePage(PageId id, const uint8_t* data) = 0;
+
+  /// Makes every completed WritePage durable (fsync for file-backed
+  /// stores). Until Sync returns, a crash may lose or tear any write
+  /// issued since the previous Sync — the contract the WAL's group
+  /// flush and the crash-recovery harness are built on.
+  virtual Status Sync() = 0;
 };
 
 /// \brief RAM-backed DiskManager used to simulate a disk-resident graph.
@@ -66,6 +72,7 @@ class MemoryDiskManager final : public DiskManager {
   Result<PageId> AllocatePage() override;
   Status ReadPage(PageId id, uint8_t* out) override;
   Status WritePage(PageId id, const uint8_t* data) override;
+  Status Sync() override { return Status::OK(); }
 
  private:
   size_t page_size_;
@@ -90,6 +97,7 @@ class FileDiskManager final : public DiskManager {
   Result<PageId> AllocatePage() override;
   Status ReadPage(PageId id, uint8_t* out) override;
   Status WritePage(PageId id, const uint8_t* data) override;
+  Status Sync() override;
 
  private:
   FileDiskManager(int fd, size_t page_size, size_t num_pages)

@@ -1,0 +1,299 @@
+#include "storage/wal.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+#include "storage/buffer_pool.h"
+
+namespace grnn::storage {
+
+namespace {
+
+/// CRC-32C lookup table, built once (Castagnoli polynomial 0x1EDC6F41,
+/// reflected 0x82F63B78).
+const uint32_t* Crc32cTable() {
+  static const auto* table = [] {
+    auto* t = new uint32_t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? 0x82f63b78u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+uint32_t RecordCrc(const WalRecordHeader& header,
+                   std::span<const uint8_t> payload) {
+  const auto* bytes = reinterpret_cast<const uint8_t*>(&header);
+  uint32_t crc = WalCrc32(bytes + sizeof(uint32_t),
+                          kWalRecordHeaderBytes - sizeof(uint32_t));
+  return WalCrc32(payload.data(), payload.size(), crc);
+}
+
+}  // namespace
+
+uint32_t WalCrc32(const uint8_t* data, size_t len, uint32_t seed) {
+  const uint32_t* table = Crc32cTable();
+  uint32_t crc = seed ^ 0xffffffffu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+Result<Wal> Wal::Create(DiskManager* disk) {
+  if (disk == nullptr) {
+    return Status::InvalidArgument("disk manager is null");
+  }
+  if (disk->num_pages() != 0) {
+    return Status::InvalidArgument(
+        "the WAL must own its device: Create requires an empty disk");
+  }
+  if (disk->page_size() < kWalRecordHeaderBytes) {
+    return Status::InvalidArgument("page size cannot hold a WAL record");
+  }
+  Wal wal(disk);
+  GRNN_ASSIGN_OR_RETURN(PageId header_page, disk->AllocatePage());
+  if (header_page != 0) {
+    return Status::Internal("WAL header page is not page 0");
+  }
+  std::vector<uint8_t> page(disk->page_size(), 0);
+  WalHeader header;
+  header.magic = kWalFileMagic;
+  header.version = kWalFileVersion;
+  header.start_lsn = 1;
+  std::memcpy(page.data(), &header, sizeof(header));
+  GRNN_RETURN_NOT_OK(disk->WritePage(0, page.data()));
+  GRNN_RETURN_NOT_OK(disk->Sync());
+  wal.tail_page_.assign(disk->page_size(), 0);
+  return wal;
+}
+
+Result<Wal> Wal::Open(DiskManager* disk) {
+  if (disk == nullptr) {
+    return Status::InvalidArgument("disk manager is null");
+  }
+  if (disk->num_pages() == 0) {
+    return Status::Corruption("WAL device holds no header page");
+  }
+  const size_t page_size = disk->page_size();
+  std::vector<uint8_t> page(page_size, 0);
+  GRNN_RETURN_NOT_OK(disk->ReadPage(0, page.data()));
+  WalHeader header;
+  std::memcpy(&header, page.data(), sizeof(header));
+  if (header.magic != kWalFileMagic) {
+    return Status::Corruption(
+        StrPrintf("bad WAL magic 0x%08x", header.magic));
+  }
+  if (header.version != kWalFileVersion) {
+    return Status::Corruption(
+        StrPrintf("unsupported WAL version %u", header.version));
+  }
+
+  Wal wal(disk);
+  wal.start_lsn_ = header.start_lsn;
+  wal.next_lsn_ = header.start_lsn;
+
+  // Scan the record region: read the raw byte stream page by page and
+  // decode records until anything looks wrong. Every stop condition is
+  // a legitimate end of log (zeroed tail, torn write, pre-checkpoint
+  // leftovers), not an error; `truncated` distinguishes a corrupt tail
+  // from a clean end for the caller.
+  const size_t log_pages = disk->num_pages() - 1;
+  std::vector<uint8_t> stream;
+  stream.reserve(log_pages * page_size);
+  for (size_t p = 0; p < log_pages; ++p) {
+    GRNN_RETURN_NOT_OK(
+        disk->ReadPage(static_cast<PageId>(1 + p), page.data()));
+    stream.insert(stream.end(), page.begin(), page.end());
+  }
+
+  uint64_t off = 0;
+  uint64_t expected_lsn = header.start_lsn;
+  bool truncated = false;
+  while (off + kWalRecordHeaderBytes <= stream.size()) {
+    WalRecordHeader rec;
+    std::memcpy(&rec, stream.data() + off, sizeof(rec));
+    if (rec.crc == 0 && rec.payload_len == 0 && rec.lsn == 0) {
+      break;  // zeroed tail: clean end of log
+    }
+    if (rec.lsn != expected_lsn) {
+      // Pre-checkpoint leftover (lsn < start_lsn) or garbage: the
+      // record stream is strictly consecutive, so this is the end.
+      truncated = rec.lsn >= expected_lsn;
+      break;
+    }
+    if (off + kWalRecordHeaderBytes + rec.payload_len > stream.size()) {
+      truncated = true;  // payload runs past the device: torn tail
+      break;
+    }
+    std::span<const uint8_t> payload(
+        stream.data() + off + kWalRecordHeaderBytes, rec.payload_len);
+    if (RecordCrc(rec, payload) != rec.crc) {
+      truncated = true;  // torn or corrupt: truncate and continue
+      break;
+    }
+    WalRecord out;
+    out.lsn = rec.lsn;
+    out.type = rec.type;
+    out.store_id = rec.store_id;
+    out.payload.assign(payload.begin(), payload.end());
+    wal.recovered_.push_back(std::move(out));
+    off += kWalRecordHeaderBytes + rec.payload_len;
+    expected_lsn++;
+  }
+
+  wal.tail_off_ = off;
+  wal.next_lsn_ = expected_lsn;
+  wal.durable_lsn_ = expected_lsn - 1 >= header.start_lsn
+                         ? expected_lsn - 1
+                         : 0;
+  wal.tail_truncated_ = truncated;
+  // Rebuild the image of the tail page so the next flush preserves the
+  // durable bytes in front of the append position.
+  wal.tail_page_.assign(page_size, 0);
+  const size_t tail_page_start =
+      static_cast<size_t>(off / page_size) * page_size;
+  const size_t tail_bytes = static_cast<size_t>(off - tail_page_start);
+  if (tail_page_start < stream.size() && tail_bytes > 0) {
+    std::memcpy(wal.tail_page_.data(), stream.data() + tail_page_start,
+                tail_bytes);
+  }
+  return wal;
+}
+
+Result<uint64_t> Wal::Append(WalRecordType type, uint32_t store_id,
+                             std::span<const uint8_t> payload) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  WalRecordHeader header;
+  header.payload_len = static_cast<uint32_t>(payload.size());
+  header.lsn = next_lsn_;
+  header.type = static_cast<uint16_t>(type);
+  header.store_id = store_id;
+  header.crc = RecordCrc(header, payload);
+  const auto* bytes = reinterpret_cast<const uint8_t*>(&header);
+  pending_.insert(pending_.end(), bytes, bytes + kWalRecordHeaderBytes);
+  pending_.insert(pending_.end(), payload.begin(), payload.end());
+  stats_.records_appended++;
+  stats_.bytes_appended += kWalRecordHeaderBytes + payload.size();
+  return next_lsn_++;
+}
+
+Status Wal::EnsureLogPages(size_t pages) {
+  while (disk_->num_pages() < 1 + pages) {
+    GRNN_ASSIGN_OR_RETURN(PageId id, disk_->AllocatePage());
+    (void)id;
+  }
+  return Status::OK();
+}
+
+Result<bool> Wal::Flush() {
+  std::lock_guard<std::mutex> lock(*mu_);
+  if (pending_.empty()) {
+    return false;
+  }
+  const size_t page_size = disk_->page_size();
+  const uint64_t end_off = tail_off_ + pending_.size();
+  GRNN_RETURN_NOT_OK(
+      EnsureLogPages(static_cast<size_t>((end_off + page_size - 1) /
+                                         page_size)));
+
+  // Lay the pending bytes into page images starting at tail_off_. The
+  // first page keeps its durable prefix (tail_page_); later pages are
+  // fresh. Each touched page is written exactly once per flush — the
+  // group-flush amortization. Staged in a scratch image so a failed
+  // flush leaves tail_page_ (the durable prefix) intact for a retry.
+  std::vector<uint8_t> scratch = tail_page_;
+  size_t consumed = 0;
+  uint64_t off = tail_off_;
+  while (consumed < pending_.size()) {
+    const size_t in_page = static_cast<size_t>(off % page_size);
+    if (in_page == 0) {
+      std::fill(scratch.begin(), scratch.end(), uint8_t{0});
+    }
+    const size_t take =
+        std::min(pending_.size() - consumed, page_size - in_page);
+    std::memcpy(scratch.data() + in_page, pending_.data() + consumed,
+                take);
+    const PageId page =
+        static_cast<PageId>(1 + off / page_size);
+    GRNN_RETURN_NOT_OK(disk_->WritePage(page, scratch.data()));
+    stats_.pages_written++;
+    consumed += take;
+    off += take;
+  }
+  GRNN_RETURN_NOT_OK(disk_->Sync());
+  stats_.syncs++;
+  stats_.flushes++;
+  tail_off_ = end_off;
+  durable_lsn_ = next_lsn_ - 1;
+  pending_.clear();
+  // Keep tail_page_ as the image of the page now holding the tail, so
+  // the next flush preserves its durable prefix.
+  if (tail_off_ % page_size == 0) {
+    std::fill(tail_page_.begin(), tail_page_.end(), uint8_t{0});
+  } else {
+    tail_page_ = std::move(scratch);
+  }
+  return true;
+}
+
+Status Wal::Checkpoint() {
+  std::lock_guard<std::mutex> lock(*mu_);
+  if (!pending_.empty()) {
+    return Status::FailedPrecondition(
+        "checkpoint with unflushed WAL records: flush (and make the "
+        "data pages durable) first");
+  }
+  const size_t page_size = disk_->page_size();
+  std::vector<uint8_t> page(page_size, 0);
+  WalHeader header;
+  header.magic = kWalFileMagic;
+  header.version = kWalFileVersion;
+  header.start_lsn = next_lsn_;
+  std::memcpy(page.data(), &header, sizeof(header));
+  GRNN_RETURN_NOT_OK(disk_->WritePage(0, page.data()));
+  GRNN_RETURN_NOT_OK(disk_->Sync());
+  stats_.syncs++;
+  stats_.checkpoints++;
+  start_lsn_ = next_lsn_;
+  durable_lsn_ = 0;
+  tail_off_ = 0;
+  std::fill(tail_page_.begin(), tail_page_.end(), uint8_t{0});
+  recovered_.clear();
+  return Status::OK();
+}
+
+uint64_t Wal::next_lsn() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return next_lsn_;
+}
+
+uint64_t Wal::durable_lsn() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return durable_lsn_;
+}
+
+WalStats Wal::stats() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return stats_;
+}
+
+Status CheckpointThrough(BufferPool& pool, Wal& wal) {
+  // Order matters: log flush first (log-before-page even here), then
+  // the data pages, then their fsync, and only then the header rewrite
+  // that declares the records dead.
+  Result<bool> flushed = wal.Flush();
+  if (!flushed.ok()) {
+    return flushed.status();
+  }
+  GRNN_RETURN_NOT_OK(pool.FlushAll());
+  GRNN_RETURN_NOT_OK(pool.disk()->Sync());
+  return wal.Checkpoint();
+}
+
+}  // namespace grnn::storage

@@ -24,6 +24,7 @@
 
 #include "core/brute_force.h"
 #include "core/engine.h"
+#include "crash_harness.h"
 #include "gen/brite.h"
 #include "gen/grid.h"
 #include "gen/points.h"
@@ -706,6 +707,40 @@ TEST_P(DifferentialHarness, HubLabelMatchesOracleFromBothLabelBackends) {
   ASSERT_TRUE(fresh_batch.ok());
   EXPECT_EQ(fresh_batch->stats.search.hub_fallbacks, 0u);
   CheckParallelMatchesSerial(up_engine, stale_specs, seed);
+}
+
+// The crash/recover phase: a seeded update burst over journaled stores
+// is killed at an injected write point (a quartile of the world's
+// enumerated WritePage/Sync sequence — the dedicated crash_recovery_test
+// sweeps every point; here each differential seed samples three), the
+// surviving devices are reopened, redo recovery replays the log, and
+// the recovered world must (a) contain every acknowledged update,
+// (b) match a from-scratch store rebuild, (c) recover idempotently,
+// and (d) answer the full kind x algorithm matrix oracle-exactly.
+TEST_P(DifferentialHarness, CrashRecoveryRestoresAckedStateExactly) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  SCOPED_TRACE("replay: differential_test seed=" + std::to_string(seed) +
+               " (crash phase)");
+  using core::testing::CrashWorldOptions;
+  using core::testing::RunCrashCycle;
+  using storage::testing::CrashSurvival;
+  using storage::testing::FaultAction;
+
+  CrashWorldOptions opts;
+  opts.seed = seed;
+  opts.ops = 30;
+  const uint64_t n = core::testing::CountWritePoints(opts);
+  ASSERT_GT(n, 0u);
+  for (uint64_t quartile = 1; quartile <= 3; ++quartile) {
+    const uint64_t point = quartile * n / 4;
+    const CrashSurvival survival = quartile % 2 == 0
+                                       ? CrashSurvival::kKeepUnsynced
+                                       : CrashSurvival::kLoseUnsynced;
+    const Status s = RunCrashCycle(opts, point, FaultAction::kFailStop,
+                                   survival, /*check_queries=*/true);
+    ASSERT_TRUE(s.ok()) << "seed " << seed << " crash point " << point
+                        << "/" << n << ": " << s.ToString();
+  }
 }
 
 // 6 seeds x (3 + 2) kinds x 4 algorithms x 3 k x 2 exclusion modes x

@@ -1,0 +1,714 @@
+#include "crash_harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "gen/grid.h"
+
+namespace grnn::core::testing {
+
+namespace {
+
+using storage::testing::CrashController;
+using storage::testing::CrashSurvival;
+using storage::testing::FaultAction;
+using storage::testing::FaultInjectingDiskManager;
+
+// The seeded logical world, reproducible independently of any device
+// state: the same options always yield the same graph and placements.
+// Recovery rebuilds its point sets from here and replays the log's
+// descriptors on top.
+void BuildLogicalWorld(const CrashWorldOptions& opts, graph::Graph* g,
+                       NodePointSet* points, NodePointSet* sites,
+                       EdgePointSet* edge_points,
+                       std::vector<Edge>* edges) {
+  gen::GridConfig cfg;
+  cfg.rows = opts.grid_rows;
+  cfg.cols = opts.grid_cols;
+  cfg.avg_degree = 4.5;
+  cfg.unit_weights = (opts.seed % 2 == 0);  // exercise distance ties
+  cfg.seed = opts.seed;
+  *g = gen::GenerateGrid(cfg).ValueOrDie();
+  const NodeId n = g->num_nodes();
+  GRNN_CHECK(opts.num_points + opts.num_sites <= n);
+
+  Rng rng(opts.seed * 0x9e3779b97f4a7c15ULL + 11);
+  auto nodes =
+      rng.SampleWithoutReplacement(n, opts.num_points + opts.num_sites);
+  std::vector<NodeId> p_locs(
+      nodes.begin(), nodes.begin() + static_cast<long>(opts.num_points));
+  std::vector<NodeId> q_locs(
+      nodes.begin() + static_cast<long>(opts.num_points), nodes.end());
+  *points = NodePointSet::FromLocations(n, p_locs).ValueOrDie();
+  *sites = NodePointSet::FromLocations(n, q_locs).ValueOrDie();
+
+  *edges = g->CollectEdges();
+  std::vector<EdgePosition> positions;
+  for (uint64_t ei : rng.SampleWithoutReplacement(
+           edges->size(),
+           std::min<size_t>(opts.num_edge_points, edges->size()))) {
+    const Edge& e = (*edges)[ei];
+    positions.push_back({e.u, e.v, rng.Uniform(0.0, e.w)});
+  }
+  *edge_points = EdgePointSet::Create(*g, positions).ValueOrDie();
+}
+
+std::vector<PointId> Ids(const RknnResult& r) {
+  std::vector<PointId> ids;
+  ids.reserve(r.results.size());
+  for (const PointMatch& m : r.results) {
+    ids.push_back(m.point);
+  }
+  return ids;
+}
+
+const char* OpName(UpdateDescriptor::Op op) {
+  switch (op) {
+    case UpdateDescriptor::Op::kNone:
+      return "none";
+    case UpdateDescriptor::Op::kInsertPoint:
+      return "insert-point";
+    case UpdateDescriptor::Op::kDeletePoint:
+      return "delete-point";
+    case UpdateDescriptor::Op::kInsertEdgePoint:
+      return "insert-edge-point";
+    case UpdateDescriptor::Op::kDeleteEdgePoint:
+      return "delete-edge-point";
+  }
+  return "?";
+}
+
+// The descriptor an acknowledged spec must have journaled.
+UpdateDescriptor ExpectedDescriptor(const AckedUpdate& a) {
+  UpdateDescriptor d;
+  d.domain = static_cast<uint32_t>(a.spec.set);
+  d.point = a.point;
+  if (a.spec.set == UpdateSet::kEdgePoints) {
+    d.op = a.spec.op == UpdateSpec::Op::kInsert
+               ? UpdateDescriptor::Op::kInsertEdgePoint
+               : UpdateDescriptor::Op::kDeleteEdgePoint;
+    if (a.spec.op == UpdateSpec::Op::kInsert) {
+      d.edge_u = a.spec.position.u;
+      d.edge_v = a.spec.position.v;
+      d.edge_offset = a.spec.position.pos;
+    }
+  } else {
+    d.op = a.spec.op == UpdateSpec::Op::kInsert
+               ? UpdateDescriptor::Op::kInsertPoint
+               : UpdateDescriptor::Op::kDeletePoint;
+    if (a.spec.op == UpdateSpec::Op::kInsert) {
+      d.node = a.spec.node;
+    }
+  }
+  return d;
+}
+
+// Field-by-field match of an acknowledged update against a recovered
+// record. Deletes carry no node/edge fields in the spec, so only the
+// op/domain/point triple binds them.
+Status MatchRecord(const AckedUpdate& a, const JournaledUpdate& u) {
+  const UpdateDescriptor want = ExpectedDescriptor(a);
+  if (u.store_id != a.store_id) {
+    return Status::Corruption(StrPrintf(
+        "acked lsn=%llu journaled under store %u, want %u",
+        static_cast<unsigned long long>(a.lsn), u.store_id, a.store_id));
+  }
+  if (u.desc.op != want.op ||
+      u.desc.domain != want.domain || u.desc.point != want.point) {
+    return Status::Corruption(StrPrintf(
+        "acked lsn=%llu recovered as %s domain=%u point=%u, want %s "
+        "domain=%u point=%u",
+        static_cast<unsigned long long>(a.lsn), OpName(u.desc.op),
+        u.desc.domain, u.desc.point, OpName(want.op), want.domain,
+        want.point));
+  }
+  const bool is_insert = a.spec.op == UpdateSpec::Op::kInsert;
+  if (is_insert && a.spec.set != UpdateSet::kEdgePoints &&
+      u.desc.node != want.node) {
+    return Status::Corruption(StrPrintf(
+        "acked insert lsn=%llu recovered at node %u, want %u",
+        static_cast<unsigned long long>(a.lsn), u.desc.node, want.node));
+  }
+  if (is_insert && a.spec.set == UpdateSet::kEdgePoints &&
+      (u.desc.edge_u != want.edge_u || u.desc.edge_v != want.edge_v ||
+       u.desc.edge_offset != want.edge_offset)) {
+    return Status::Corruption(StrPrintf(
+        "acked edge insert lsn=%llu recovered at (%u,%u,%f), want "
+        "(%u,%u,%f)",
+        static_cast<unsigned long long>(a.lsn), u.desc.edge_u,
+        u.desc.edge_v, u.desc.edge_offset, want.edge_u, want.edge_v,
+        want.edge_offset));
+  }
+  return Status::OK();
+}
+
+// One recovered store against a from-scratch oracle store. Point ids
+// can legitimately differ at tied boundary distances, so the check is
+// the per-node distance sequence (the differential harness's update
+// oracle uses the same criterion).
+Status CompareStore(const KnnStore& have, const KnnStore& want,
+                    NodeId num_nodes, const char* label) {
+  std::vector<NnEntry> h, w;
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    GRNN_RETURN_NOT_OK(have.Read(n, &h));
+    GRNN_RETURN_NOT_OK(want.Read(n, &w));
+    if (h.size() != w.size()) {
+      return Status::Corruption(StrPrintf(
+          "store %s node %u: recovered %zu entries, oracle %zu", label,
+          n, h.size(), w.size()));
+    }
+    for (size_t i = 0; i < h.size(); ++i) {
+      if (std::abs(h[i].dist - w[i].dist) > 1e-9) {
+        return Status::Corruption(StrPrintf(
+            "store %s node %u slot %zu: recovered dist %.12f, oracle "
+            "%.12f",
+            label, n, i, h[i].dist, w[i].dist));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+CrashWorld::CrashWorld(const CrashWorldOptions& opts,
+                       CrashController* ctl)
+    : opts_(opts), rng_(opts.seed * 131 + 29) {
+  BuildLogicalWorld(opts_, &g_, &points_, &sites_, &edge_points_,
+                    &edges_);
+  view_.emplace(&g_);
+  const NodeId n = g_.num_nodes();
+
+  data_base_ =
+      std::make_unique<storage::MemoryDiskManager>(opts_.page_size);
+  wal_base_ =
+      std::make_unique<storage::MemoryDiskManager>(opts_.page_size);
+  data_disk_ = std::make_unique<FaultInjectingDiskManager>(
+      data_base_.get(), ctl);
+  wal_disk_ =
+      std::make_unique<FaultInjectingDiskManager>(wal_base_.get(), ctl);
+  // Torn writes model the append-only log tail (CRC truncates them);
+  // a torn DATA page is unrepairable under redo-only logging, so data
+  // writes degrade a torn trip to fail-stop.
+  data_disk_->set_tear_eligible(false);
+
+  points_file_ = std::make_unique<storage::KnnFile>(
+      storage::KnnFile::Create(data_disk_.get(), n, opts_.capacity)
+          .ValueOrDie());
+  sites_file_ = std::make_unique<storage::KnnFile>(
+      storage::KnnFile::Create(data_disk_.get(), n, opts_.capacity)
+          .ValueOrDie());
+  edge_file_ = std::make_unique<storage::KnnFile>(
+      storage::KnnFile::Create(data_disk_.get(), n, opts_.capacity)
+          .ValueOrDie());
+  wal_ = std::make_unique<storage::Wal>(
+      storage::Wal::Create(wal_disk_.get()).ValueOrDie());
+  pool_ = std::make_unique<storage::BufferPool>(data_disk_.get(),
+                                                opts_.pool_frames);
+  pool_->AttachWal(wal_.get());
+
+  points_store_ = std::make_unique<DurableKnnStore>(
+      points_file_.get(), pool_.get(), wal_.get(), kPointsStoreId);
+  sites_store_ = std::make_unique<DurableKnnStore>(
+      sites_file_.get(), pool_.get(), wal_.get(), kSitesStoreId);
+  edge_store_ = std::make_unique<DurableKnnStore>(
+      edge_file_.get(), pool_.get(), wal_.get(), kEdgeStoreId);
+
+  // Offline construction (unjournaled), then a clean checkpoint: the
+  // base devices hold the full durable state before the burst begins.
+  GRNN_CHECK(BuildAllNn(*view_, points_, points_store_.get()).ok());
+  GRNN_CHECK(BuildAllNn(*view_, sites_, sites_store_.get()).ok());
+  GRNN_CHECK(
+      UnrestrictedBuildAllNn(*view_, edge_points_, edge_store_.get())
+          .ok());
+  GRNN_CHECK(storage::CheckpointThrough(*pool_, *wal_).ok());
+
+  EngineSources ns;
+  ns.graph = &*view_;
+  ns.points = &points_;
+  ns.sites = &sites_;
+  ns.knn = points_store_.get();
+  ns.site_knn = sites_store_.get();
+  ns.pool = pool_.get();
+  ns.updates.points = &points_;
+  ns.updates.sites = &sites_;
+  ns.updates.knn = points_store_.get();
+  ns.updates.site_knn = sites_store_.get();
+  node_engine_.emplace(RknnEngine::Create(ns).ValueOrDie());
+
+  EngineSources es;
+  es.graph = &*view_;
+  es.edge_points = &edge_points_;
+  es.knn = edge_store_.get();
+  es.pool = pool_.get();
+  es.updates.edge_points = &edge_points_;
+  es.updates.knn = edge_store_.get();
+  es.updates.base_graph = &g_;
+  edge_engine_.emplace(RknnEngine::Create(es).ValueOrDie());
+}
+
+Status CrashWorld::RunBurst(std::vector<AckedUpdate>* acked) {
+  auto free_node = [&]() -> NodeId {
+    for (int attempt = 0; attempt < 256; ++attempt) {
+      NodeId n = static_cast<NodeId>(rng_.UniformInt(g_.num_nodes()));
+      if (!points_.Contains(n) && !sites_.Contains(n)) {
+        return n;
+      }
+    }
+    return kInvalidNode;
+  };
+  for (size_t i = 0; i < opts_.ops; ++i) {
+    UpdateSpec spec;
+    RknnEngine* engine = nullptr;
+    DurableKnnStore* store = nullptr;
+    switch (rng_.UniformInt(6)) {
+      case 0: {  // insert data point
+        NodeId n = free_node();
+        if (n == kInvalidNode) {
+          continue;
+        }
+        spec = UpdateSpec::InsertPoint(n);
+        engine = &*node_engine_;
+        store = points_store_.get();
+        break;
+      }
+      case 1: {  // delete data point (keep >= 3 live)
+        auto live = points_.LivePoints();
+        if (live.size() <= 3) {
+          continue;
+        }
+        spec = UpdateSpec::DeletePoint(
+            live[rng_.UniformInt(live.size())]);
+        engine = &*node_engine_;
+        store = points_store_.get();
+        break;
+      }
+      case 2: {  // insert site
+        NodeId n = free_node();
+        if (n == kInvalidNode) {
+          continue;
+        }
+        spec = UpdateSpec::InsertSite(n);
+        engine = &*node_engine_;
+        store = sites_store_.get();
+        break;
+      }
+      case 3: {  // delete site
+        auto live = sites_.LivePoints();
+        if (live.size() <= 3) {
+          continue;
+        }
+        spec =
+            UpdateSpec::DeleteSite(live[rng_.UniformInt(live.size())]);
+        engine = &*node_engine_;
+        store = sites_store_.get();
+        break;
+      }
+      case 4: {  // insert edge point
+        const Edge& e = edges_[rng_.UniformInt(edges_.size())];
+        spec = UpdateSpec::InsertEdgePoint(
+            {e.u, e.v, rng_.Uniform(0.0, e.w)});
+        engine = &*edge_engine_;
+        store = edge_store_.get();
+        break;
+      }
+      default: {  // delete edge point
+        auto live = edge_points_.LivePoints();
+        if (live.size() <= 3) {
+          continue;
+        }
+        spec = UpdateSpec::DeleteEdgePoint(
+            live[rng_.UniformInt(live.size())]);
+        engine = &*edge_engine_;
+        store = edge_store_.get();
+        break;
+      }
+    }
+    auto r = engine->ApplyUpdate(spec);
+    if (!r.ok()) {
+      return r.status();
+    }
+    if (r->stats.log_records != 1) {
+      return Status::Internal(StrPrintf(
+          "acked update journaled %llu records, want exactly 1",
+          static_cast<unsigned long long>(r->stats.log_records)));
+    }
+    acked->push_back(
+        {spec, r->point, store->last_commit_lsn(), store->store_id()});
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<RecoveredWorld>> CrashWorld::Recover() const {
+  auto rw = std::make_unique<RecoveredWorld>();
+  rw->opts = opts_;
+  std::vector<Edge> edges;
+  BuildLogicalWorld(opts_, &rw->g, &rw->points, &rw->sites,
+                    &rw->edge_points, &edges);
+  rw->view.emplace(&rw->g);
+
+  GRNN_ASSIGN_OR_RETURN(storage::Wal wal,
+                        storage::Wal::Open(wal_base_.get()));
+  rw->wal = std::make_unique<storage::Wal>(std::move(wal));
+  GRNN_ASSIGN_OR_RETURN(
+      storage::KnnFile pf,
+      storage::KnnFile::Open(data_base_.get(),
+                             points_file_->first_page()));
+  rw->points_file = std::make_unique<storage::KnnFile>(std::move(pf));
+  GRNN_ASSIGN_OR_RETURN(
+      storage::KnnFile sf,
+      storage::KnnFile::Open(data_base_.get(),
+                             sites_file_->first_page()));
+  rw->sites_file = std::make_unique<storage::KnnFile>(std::move(sf));
+  GRNN_ASSIGN_OR_RETURN(
+      storage::KnnFile ef,
+      storage::KnnFile::Open(data_base_.get(), edge_file_->first_page()));
+  rw->edge_file = std::make_unique<storage::KnnFile>(std::move(ef));
+
+  const std::unordered_map<uint32_t, KnnRecoveryTarget> targets = {
+      {kPointsStoreId, {rw->points_file.get(), data_base_.get()}},
+      {kSitesStoreId, {rw->sites_file.get(), data_base_.get()}},
+      {kEdgeStoreId, {rw->edge_file.get(), data_base_.get()}},
+  };
+  GRNN_ASSIGN_OR_RETURN(rw->recovery, RecoverStores(*rw->wal, targets));
+
+  // Replay the logical history: the recovered descriptors, applied in
+  // lsn order to the seeded initial placements, must reassign exactly
+  // the point ids they journaled — that is what makes the recovered
+  // stores and the replayed sets one consistent world.
+  for (const JournaledUpdate& u : rw->recovery.updates) {
+    switch (u.desc.op) {
+      case UpdateDescriptor::Op::kInsertPoint: {
+        NodePointSet* set =
+            u.desc.domain == static_cast<uint32_t>(UpdateSet::kSites)
+                ? &rw->sites
+                : &rw->points;
+        GRNN_ASSIGN_OR_RETURN(PointId id, set->AddPoint(u.desc.node));
+        if (id != u.desc.point) {
+          return Status::Corruption(StrPrintf(
+              "replaying lsn=%llu reassigned point %u, journal says %u",
+              static_cast<unsigned long long>(u.lsn), id, u.desc.point));
+        }
+        break;
+      }
+      case UpdateDescriptor::Op::kDeletePoint: {
+        NodePointSet* set =
+            u.desc.domain == static_cast<uint32_t>(UpdateSet::kSites)
+                ? &rw->sites
+                : &rw->points;
+        GRNN_RETURN_NOT_OK(set->RemovePoint(u.desc.point));
+        break;
+      }
+      case UpdateDescriptor::Op::kInsertEdgePoint: {
+        GRNN_ASSIGN_OR_RETURN(
+            PointId id,
+            rw->edge_points.AddPoint(
+                rw->g, {u.desc.edge_u, u.desc.edge_v,
+                        u.desc.edge_offset}));
+        if (id != u.desc.point) {
+          return Status::Corruption(StrPrintf(
+              "replaying lsn=%llu reassigned edge point %u, journal "
+              "says %u",
+              static_cast<unsigned long long>(u.lsn), id, u.desc.point));
+        }
+        break;
+      }
+      case UpdateDescriptor::Op::kDeleteEdgePoint: {
+        GRNN_RETURN_NOT_OK(rw->edge_points.RemovePoint(u.desc.point));
+        break;
+      }
+      case UpdateDescriptor::Op::kNone:
+        return Status::Corruption(StrPrintf(
+            "recovered descriptor lsn=%llu has op none",
+            static_cast<unsigned long long>(u.lsn)));
+    }
+  }
+
+  // Live serving state over the recovered devices: updates through
+  // these engines keep journaling into the reopened log.
+  rw->pool = std::make_unique<storage::BufferPool>(data_base_.get(),
+                                                   opts_.pool_frames);
+  rw->pool->AttachWal(rw->wal.get());
+  rw->points_store = std::make_unique<DurableKnnStore>(
+      rw->points_file.get(), rw->pool.get(), rw->wal.get(),
+      kPointsStoreId);
+  rw->sites_store = std::make_unique<DurableKnnStore>(
+      rw->sites_file.get(), rw->pool.get(), rw->wal.get(),
+      kSitesStoreId);
+  rw->edge_store = std::make_unique<DurableKnnStore>(
+      rw->edge_file.get(), rw->pool.get(), rw->wal.get(), kEdgeStoreId);
+
+  EngineSources ns;
+  ns.graph = &*rw->view;
+  ns.points = &rw->points;
+  ns.sites = &rw->sites;
+  ns.knn = rw->points_store.get();
+  ns.site_knn = rw->sites_store.get();
+  ns.pool = rw->pool.get();
+  ns.updates.points = &rw->points;
+  ns.updates.sites = &rw->sites;
+  ns.updates.knn = rw->points_store.get();
+  ns.updates.site_knn = rw->sites_store.get();
+  GRNN_ASSIGN_OR_RETURN(RknnEngine ne, RknnEngine::Create(ns));
+  rw->node_engine.emplace(std::move(ne));
+
+  EngineSources es;
+  es.graph = &*rw->view;
+  es.edge_points = &rw->edge_points;
+  es.knn = rw->edge_store.get();
+  es.pool = rw->pool.get();
+  es.updates.edge_points = &rw->edge_points;
+  es.updates.knn = rw->edge_store.get();
+  es.updates.base_graph = &rw->g;
+  GRNN_ASSIGN_OR_RETURN(RknnEngine ee, RknnEngine::Create(es));
+  rw->edge_engine.emplace(std::move(ee));
+  return rw;
+}
+
+Status CheckAckedPrefix(const RecoveredWorld& rw,
+                        const std::vector<AckedUpdate>& acked) {
+  if (rw.recovery.updates.size() < acked.size()) {
+    return Status::Corruption(StrPrintf(
+        "%zu updates acknowledged but only %zu recovered — durable "
+        "updates were lost",
+        acked.size(), rw.recovery.updates.size()));
+  }
+  for (size_t i = 0; i < acked.size(); ++i) {
+    const JournaledUpdate& u = rw.recovery.updates[i];
+    if (u.lsn != acked[i].lsn) {
+      return Status::Corruption(StrPrintf(
+          "acked update %zu has lsn %llu, recovered record %zu has "
+          "lsn %llu",
+          i, static_cast<unsigned long long>(acked[i].lsn), i,
+          static_cast<unsigned long long>(u.lsn)));
+    }
+    GRNN_RETURN_NOT_OK(MatchRecord(acked[i], u));
+  }
+  return Status::OK();
+}
+
+Status CheckAckedDurable(const RecoveredWorld& rw,
+                         const std::vector<AckedUpdate>& acked) {
+  std::unordered_map<uint64_t, const JournaledUpdate*> by_lsn;
+  for (const JournaledUpdate& u : rw.recovery.updates) {
+    by_lsn.emplace(u.lsn, &u);
+  }
+  for (const AckedUpdate& a : acked) {
+    auto it = by_lsn.find(a.lsn);
+    if (it == by_lsn.end()) {
+      return Status::Corruption(StrPrintf(
+          "acknowledged update lsn=%llu missing from the recovered log",
+          static_cast<unsigned long long>(a.lsn)));
+    }
+    GRNN_RETURN_NOT_OK(MatchRecord(a, *it->second));
+  }
+  return Status::OK();
+}
+
+Status CheckStoresMatchRebuild(RecoveredWorld& rw) {
+  const NodeId n = rw.g.num_nodes();
+  MemoryKnnStore fresh_points(n, rw.opts.capacity);
+  GRNN_RETURN_NOT_OK(BuildAllNn(*rw.view, rw.points, &fresh_points));
+  GRNN_RETURN_NOT_OK(
+      CompareStore(*rw.points_store, fresh_points, n, "points"));
+  MemoryKnnStore fresh_sites(n, rw.opts.capacity);
+  GRNN_RETURN_NOT_OK(BuildAllNn(*rw.view, rw.sites, &fresh_sites));
+  GRNN_RETURN_NOT_OK(
+      CompareStore(*rw.sites_store, fresh_sites, n, "sites"));
+  MemoryKnnStore fresh_edge(n, rw.opts.capacity);
+  GRNN_RETURN_NOT_OK(
+      UnrestrictedBuildAllNn(*rw.view, rw.edge_points, &fresh_edge));
+  GRNN_RETURN_NOT_OK(
+      CompareStore(*rw.edge_store, fresh_edge, n, "edge_points"));
+  return Status::OK();
+}
+
+Status CheckRecoveryIdempotent(const CrashWorld& world) {
+  // Second recovery from the same surviving devices: the page-LSN
+  // filter must reject every replayed list (recover-twice ==
+  // recover-once).
+  GRNN_ASSIGN_OR_RETURN(std::unique_ptr<RecoveredWorld> again,
+                        world.Recover());
+  if (again->recovery.pages_written != 0) {
+    return Status::Corruption(StrPrintf(
+        "second recovery rewrote %zu pages; redo is not idempotent",
+        again->recovery.pages_written));
+  }
+  return Status::OK();
+}
+
+Status CheckQueryMatrix(RecoveredWorld& rw, uint64_t seed) {
+  Rng rng(seed * 977 + 13);
+  const NodeId num_nodes = rw.g.num_nodes();
+  const auto edges = rw.g.CollectEdges();
+  const int max_k = static_cast<int>(rw.opts.capacity) - 1;
+
+  auto run = [&](RknnEngine& engine,
+                 const QuerySpec& spec) -> Status {
+    auto result = engine.Run(spec);
+    if (!result.ok()) {
+      return result.status();
+    }
+    QuerySpec oracle_spec = spec;
+    oracle_spec.algorithm = Algorithm::kBruteForce;
+    auto oracle = engine.Run(oracle_spec);
+    if (!oracle.ok()) {
+      return oracle.status();
+    }
+    if (Ids(*result) != Ids(*oracle)) {
+      return Status::Corruption(StrPrintf(
+          "recovered world: kind=%s algo=%s k=%d exclude=%u diverges "
+          "from brute force",
+          QueryKindName(spec.kind), AlgorithmName(spec.algorithm),
+          spec.k, spec.exclude_point));
+    }
+    return Status::OK();
+  };
+
+  auto make_route = [&]() {
+    std::vector<NodeId> route;
+    NodeId cur = static_cast<NodeId>(rng.UniformInt(num_nodes));
+    route.push_back(cur);
+    for (int hop = 0; hop < 4; ++hop) {
+      auto nbrs = rw.g.Neighbors(cur);
+      cur = nbrs[rng.UniformInt(nbrs.size())].node;
+      route.push_back(cur);
+    }
+    return route;
+  };
+
+  const auto live_points = rw.points.LivePoints();
+  const auto live_sites = rw.sites.LivePoints();
+  const auto live_edge = rw.edge_points.LivePoints();
+  for (Algorithm algo : kAllAlgorithms) {
+    for (int k = 1; k <= max_k; ++k) {
+      for (bool exclude : {true, false}) {
+        // Monochromatic + bichromatic + continuous via the node engine.
+        if (exclude && !live_points.empty()) {
+          PointId qp = live_points[rng.UniformInt(live_points.size())];
+          GRNN_RETURN_NOT_OK(
+              run(*rw.node_engine,
+                  QuerySpec::Monochromatic(algo, rw.points.NodeOf(qp),
+                                           k, qp)));
+        } else if (!exclude) {
+          GRNN_RETURN_NOT_OK(run(
+              *rw.node_engine,
+              QuerySpec::Monochromatic(
+                  algo, static_cast<NodeId>(rng.UniformInt(num_nodes)),
+                  k)));
+        }
+        if (exclude && !live_sites.empty()) {
+          PointId qs = live_sites[rng.UniformInt(live_sites.size())];
+          GRNN_RETURN_NOT_OK(
+              run(*rw.node_engine,
+                  QuerySpec::Bichromatic(algo, rw.sites.NodeOf(qs), k,
+                                         qs)));
+        } else if (!exclude) {
+          GRNN_RETURN_NOT_OK(run(
+              *rw.node_engine,
+              QuerySpec::Bichromatic(
+                  algo, static_cast<NodeId>(rng.UniformInt(num_nodes)),
+                  k)));
+        }
+        {
+          PointId excl = kInvalidPoint;
+          if (exclude && !live_points.empty()) {
+            excl = live_points[rng.UniformInt(live_points.size())];
+          }
+          GRNN_RETURN_NOT_OK(
+              run(*rw.node_engine,
+                  QuerySpec::Continuous(algo, make_route(), k, excl)));
+        }
+        // Unrestricted + continuous via the edge engine.
+        if (exclude && !live_edge.empty()) {
+          PointId qe = live_edge[rng.UniformInt(live_edge.size())];
+          GRNN_RETURN_NOT_OK(
+              run(*rw.edge_engine,
+                  QuerySpec::Unrestricted(
+                      algo, rw.edge_points.PositionOf(qe), k, qe)));
+        } else if (!exclude) {
+          const Edge& e = edges[rng.UniformInt(edges.size())];
+          GRNN_RETURN_NOT_OK(run(
+              *rw.edge_engine,
+              QuerySpec::Unrestricted(
+                  algo, EdgePosition{e.u, e.v, rng.Uniform(0.0, e.w)},
+                  k)));
+        }
+        {
+          PointId excl = kInvalidPoint;
+          if (exclude && !live_edge.empty()) {
+            excl = live_edge[rng.UniformInt(live_edge.size())];
+          }
+          GRNN_RETURN_NOT_OK(
+              run(*rw.edge_engine,
+                  QuerySpec::Continuous(algo, make_route(), k, excl)));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckRecovered(const CrashWorld& world, RecoveredWorld& rw,
+                      const std::vector<AckedUpdate>& acked) {
+  GRNN_RETURN_NOT_OK(CheckAckedPrefix(rw, acked));
+  GRNN_RETURN_NOT_OK(CheckStoresMatchRebuild(rw));
+  GRNN_RETURN_NOT_OK(CheckRecoveryIdempotent(world));
+  return Status::OK();
+}
+
+uint64_t CountWritePoints(const CrashWorldOptions& opts) {
+  CrashController ctl;
+  CrashWorld world(opts, &ctl);
+  ctl.StartCounting();
+  std::vector<AckedUpdate> acked;
+  const Status burst = world.RunBurst(&acked);
+  GRNN_CHECK(burst.ok());
+  ctl.Disarm();
+  return ctl.points_seen();
+}
+
+Status RunCrashCycle(const CrashWorldOptions& opts, uint64_t point,
+                     FaultAction action, CrashSurvival survival,
+                     bool check_queries, CrashCycleReport* report) {
+  if (action == FaultAction::kTransient) {
+    return Status::InvalidArgument(
+        "crash cycles need a crashing action (kFailStop/kTornWrite)");
+  }
+  CrashController ctl;
+  CrashWorld world(opts, &ctl);
+  ctl.ArmAt(point, action, survival);
+  std::vector<AckedUpdate> acked;
+  const Status burst = world.RunBurst(&acked);
+  if (!burst.ok() && !ctl.crashed()) {
+    return Status::Internal(
+        "burst failed without an injected crash: " + burst.ToString());
+  }
+  ctl.Disarm();
+  const bool tripped = ctl.crashed();
+  if (!tripped) {
+    // The burst outran the armed point; crash at the end so recovery
+    // still runs against this world.
+    ctl.CrashNow(survival);
+  }
+  GRNN_ASSIGN_OR_RETURN(std::unique_ptr<RecoveredWorld> rw,
+                        world.Recover());
+  GRNN_RETURN_NOT_OK(CheckRecovered(world, *rw, acked));
+  if (check_queries) {
+    GRNN_RETURN_NOT_OK(CheckQueryMatrix(*rw, opts.seed));
+  }
+  if (report != nullptr) {
+    report->acked = acked.size();
+    report->tripped = tripped;
+    report->records_replayed = rw->recovery.records_replayed;
+    report->pages_written = rw->recovery.pages_written;
+    report->tail_truncated = rw->recovery.tail_truncated;
+  }
+  return Status::OK();
+}
+
+}  // namespace grnn::core::testing

@@ -1,0 +1,241 @@
+// Copyright (c) GRNN authors.
+// Crash-point-enumerating recovery harness (PR 7).
+//
+// A CrashWorld is one deterministic durable deployment: a seeded grid
+// graph with node points, sites and edge points, three journaled KNN
+// stores (DurableKnnStore over KnnFiles sharing one data device and one
+// WAL device), and updatable engines over them. Both devices are
+// wrapped in FaultInjectingDiskManager decorators sharing one
+// CrashController, so every write point of a seeded update burst —
+// every page write and every fsync, on data AND log — can be counted
+// and then crashed at.
+//
+// The enumeration protocol:
+//
+//   CrashWorldOptions opts{...};
+//   uint64_t n = CountWritePoints(opts);        // counting run
+//   for (uint64_t p = 0; p < n; ++p) {
+//     Status s = RunCrashCycle(opts, p, FaultAction::kFailStop,
+//                              CrashSurvival::kLoseUnsynced, ...);
+//   }
+//
+// Each cycle rebuilds the identical world, arms the controller at
+// point p, runs the burst until the injected crash, then recovers from
+// the BASE devices (exactly what survived) and checks every durability
+// invariant:
+//
+//   * every acknowledged update is in the recovered log, in order;
+//   * the logical point state replayed from the recovered descriptors
+//     is internally consistent (replay reassigns the logged point ids);
+//   * every recovered store equals a from-scratch BuildAllNn oracle
+//     over the replayed point sets;
+//   * recovering a second time replays zero pages (idempotence);
+//   * optionally, the full kind x algorithm x k query matrix over the
+//     recovered world matches the brute-force oracle.
+//
+// The harness reports violations as Status (no gtest dependency), so
+// the same machinery drives the unit suites, the differential
+// harness's crash phase and the recovery-time bench.
+
+#ifndef GRNN_TESTS_STORAGE_CRASH_HARNESS_H_
+#define GRNN_TESTS_STORAGE_CRASH_HARNESS_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/durability.h"
+#include "core/engine.h"
+#include "fault_injection.h"
+#include "graph/graph.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/knn_file.h"
+#include "storage/wal.h"
+
+namespace grnn::core::testing {
+
+/// Store ids the harness journals under (recovery routes by these).
+inline constexpr uint32_t kPointsStoreId = 1;
+inline constexpr uint32_t kSitesStoreId = 2;
+inline constexpr uint32_t kEdgeStoreId = 3;
+
+struct CrashWorldOptions {
+  uint64_t seed = 1;
+  /// Grid world dimensions (num_nodes = rows * cols).
+  uint32_t grid_rows = 7;
+  uint32_t grid_cols = 7;
+  size_t num_points = 10;
+  size_t num_sites = 6;
+  size_t num_edge_points = 8;
+  /// Store capacity; the query matrix sweeps k in [1, capacity - 1].
+  uint32_t capacity = 4;
+  /// Small pages + a small pool force evictions mid-burst, so the
+  /// log-before-page discipline is on the enumerated fault path.
+  size_t page_size = 256;
+  size_t pool_frames = 8;
+  /// Update-burst length (ops attempted through the engines).
+  size_t ops = 40;
+};
+
+/// One update the engine acknowledged (ApplyUpdate returned OK).
+struct AckedUpdate {
+  UpdateSpec spec;
+  /// Id the engine assigned (insert) or removed (delete).
+  PointId point = kInvalidPoint;
+  /// WAL lsn of the update's record (the store's last_commit_lsn at
+  /// the acknowledgement).
+  uint64_t lsn = 0;
+  uint32_t store_id = 0;
+};
+
+/// Everything recovery produced: the reopened files and log, the
+/// logical point state replayed from the recovered descriptors, and
+/// live engines over the recovered world (updates keep journaling
+/// through the reopened WAL).
+struct RecoveredWorld {
+  CrashWorldOptions opts;
+  graph::Graph g;
+  std::optional<graph::GraphView> view;
+  NodePointSet points{0};
+  NodePointSet sites{0};
+  EdgePointSet edge_points;
+  std::unique_ptr<storage::Wal> wal;
+  std::unique_ptr<storage::KnnFile> points_file;
+  std::unique_ptr<storage::KnnFile> sites_file;
+  std::unique_ptr<storage::KnnFile> edge_file;
+  std::unique_ptr<storage::BufferPool> pool;
+  std::unique_ptr<DurableKnnStore> points_store;
+  std::unique_ptr<DurableKnnStore> sites_store;
+  std::unique_ptr<DurableKnnStore> edge_store;
+  std::optional<RknnEngine> node_engine;
+  std::optional<RknnEngine> edge_engine;
+  RecoveryResult recovery;
+};
+
+/// \brief One deterministic durable deployment under fault injection.
+///
+/// Construction is off the fault path (the controller counts nothing
+/// until StartCounting/ArmAt): it formats the files, builds the stores
+/// offline and checkpoints, so the base devices hold a clean durable
+/// state when the burst starts. Setup failures abort (GRNN_CHECK) —
+/// only the burst and recovery run on the injected path.
+class CrashWorld {
+ public:
+  CrashWorld(const CrashWorldOptions& opts,
+             storage::testing::CrashController* ctl);
+
+  /// Applies up to opts.ops seeded random updates (insert/delete over
+  /// points, sites and edge points) through the engines, recording
+  /// every acknowledged one. Stops at the first failed op — under an
+  /// armed controller that is the injected crash, and the failed op is
+  /// NOT recorded. Callable again after a transient fault to continue
+  /// the burst (the op mix is drawn from a member rng).
+  Status RunBurst(std::vector<AckedUpdate>* acked);
+
+  /// Reopens the BASE devices (what survived the crash), replays the
+  /// log into the files, and rebuilds the logical world by replaying
+  /// the recovered descriptors. Fails if a replayed insert does not
+  /// reassign the logged point id.
+  Result<std::unique_ptr<RecoveredWorld>> Recover() const;
+
+  RknnEngine& node_engine() { return *node_engine_; }
+  RknnEngine& edge_engine() { return *edge_engine_; }
+  DurableKnnStore& points_store() { return *points_store_; }
+  DurableKnnStore& sites_store() { return *sites_store_; }
+  DurableKnnStore& edge_store() { return *edge_store_; }
+  storage::Wal& wal() { return *wal_; }
+  storage::BufferPool& pool() { return *pool_; }
+  storage::MemoryDiskManager& data_base() { return *data_base_; }
+  storage::MemoryDiskManager& wal_base() { return *wal_base_; }
+  const graph::Graph& graph() const { return g_; }
+  const NodePointSet& points() const { return points_; }
+  const NodePointSet& sites() const { return sites_; }
+  const EdgePointSet& edge_points() const { return edge_points_; }
+  const CrashWorldOptions& opts() const { return opts_; }
+
+ private:
+  CrashWorldOptions opts_;
+  graph::Graph g_;
+  std::optional<graph::GraphView> view_;
+  std::vector<Edge> edges_;
+  NodePointSet points_{0};
+  NodePointSet sites_{0};
+  EdgePointSet edge_points_;
+  std::unique_ptr<storage::MemoryDiskManager> data_base_;
+  std::unique_ptr<storage::MemoryDiskManager> wal_base_;
+  std::unique_ptr<storage::testing::FaultInjectingDiskManager> data_disk_;
+  std::unique_ptr<storage::testing::FaultInjectingDiskManager> wal_disk_;
+  std::unique_ptr<storage::KnnFile> points_file_;
+  std::unique_ptr<storage::KnnFile> sites_file_;
+  std::unique_ptr<storage::KnnFile> edge_file_;
+  std::unique_ptr<storage::Wal> wal_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<DurableKnnStore> points_store_;
+  std::unique_ptr<DurableKnnStore> sites_store_;
+  std::unique_ptr<DurableKnnStore> edge_store_;
+  std::optional<RknnEngine> node_engine_;
+  std::optional<RknnEngine> edge_engine_;
+  Rng rng_;
+};
+
+/// Invariant checks, granular so the serial enumeration and the
+/// multithreaded kill test can each assert what their model supports.
+
+/// Serial bursts: the acknowledged updates are exactly a prefix of the
+/// recovered log (same lsns, same descriptors, same assigned ids).
+Status CheckAckedPrefix(const RecoveredWorld& rw,
+                        const std::vector<AckedUpdate>& acked);
+
+/// Concurrent bursts: every acknowledged update appears in the
+/// recovered log (matched by lsn, descriptor verified); order across
+/// domains is whatever the log says.
+Status CheckAckedDurable(const RecoveredWorld& rw,
+                         const std::vector<AckedUpdate>& acked);
+
+/// Every recovered store equals a from-scratch BuildAllNn /
+/// UnrestrictedBuildAllNn oracle over the replayed point sets.
+Status CheckStoresMatchRebuild(RecoveredWorld& rw);
+
+/// Recovering again from the same devices replays zero pages.
+Status CheckRecoveryIdempotent(const CrashWorld& world);
+
+/// The full kind x algorithm x k x exclusion query matrix over the
+/// recovered engines, every result compared against brute force.
+Status CheckQueryMatrix(RecoveredWorld& rw, uint64_t seed);
+
+/// CheckAckedPrefix + CheckStoresMatchRebuild + CheckRecoveryIdempotent.
+Status CheckRecovered(const CrashWorld& world, RecoveredWorld& rw,
+                      const std::vector<AckedUpdate>& acked);
+
+/// Counting run: builds the world, runs the full burst with the
+/// controller counting, and returns the number of write points the
+/// burst generates. Deterministic: armed runs over the same options
+/// see the identical sequence.
+uint64_t CountWritePoints(const CrashWorldOptions& opts);
+
+struct CrashCycleReport {
+  size_t acked = 0;
+  bool tripped = false;  // false: the burst outran the armed point
+  size_t records_replayed = 0;
+  size_t pages_written = 0;
+  bool tail_truncated = false;
+};
+
+/// One full build -> arm -> burst -> crash -> recover -> verify cycle.
+/// `action` must be a crashing one (kFailStop or kTornWrite). If the
+/// burst completes without tripping (point beyond the run), the
+/// controller crashes at the end so recovery is still exercised.
+/// `check_queries` additionally runs the query matrix (slow; sample
+/// it across the enumeration).
+Status RunCrashCycle(const CrashWorldOptions& opts, uint64_t point,
+                     storage::testing::FaultAction action,
+                     storage::testing::CrashSurvival survival,
+                     bool check_queries = false,
+                     CrashCycleReport* report = nullptr);
+
+}  // namespace grnn::core::testing
+
+#endif  // GRNN_TESTS_STORAGE_CRASH_HARNESS_H_

@@ -1,0 +1,254 @@
+#include "fault_injection.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace grnn::storage::testing {
+
+void CrashController::StartCounting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counting_ = true;
+  armed_ = false;
+  counter_ = 0;
+}
+
+void CrashController::ArmAt(uint64_t point, FaultAction action,
+                            CrashSurvival survival) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counting_ = true;
+  armed_ = true;
+  counter_ = 0;
+  trip_point_ = point;
+  action_ = action;
+  survival_ = survival;
+}
+
+void CrashController::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counting_ = false;
+  armed_ = false;
+}
+
+uint64_t CrashController::points_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counter_;
+}
+
+bool CrashController::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+void CrashController::set_tear_bytes(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tear_bytes_ = bytes;
+}
+
+void CrashController::CrashNow(CrashSurvival survival) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!crashed_) {
+    crashed_ = true;
+    SettleLocked(survival);
+  }
+}
+
+void CrashController::Register(FaultInjectingDiskManager* device) {
+  std::lock_guard<std::mutex> lock(mu_);
+  devices_.push_back(device);
+}
+
+void CrashController::Unregister(FaultInjectingDiskManager* device) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase(devices_, device);
+}
+
+CrashController::PointDecision CrashController::Observe() {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointDecision out;
+  if (crashed_) {
+    out.crashed = true;
+    return out;
+  }
+  if (!counting_) {
+    return out;
+  }
+  const uint64_t idx = counter_++;
+  if (!armed_ || idx != trip_point_) {
+    return out;
+  }
+  out.trip = true;
+  out.action = action_;
+  out.survival = survival_;
+  out.tear_bytes = tear_bytes_;
+  if (action_ == FaultAction::kTransient) {
+    armed_ = false;  // fires once, the device stays alive
+    return out;
+  }
+  crashed_ = true;
+  SettleLocked(survival_);
+  return out;
+}
+
+void CrashController::SettleLocked(CrashSurvival survival) {
+  for (FaultInjectingDiskManager* device : devices_) {
+    device->Settle(survival);
+  }
+}
+
+FaultInjectingDiskManager::FaultInjectingDiskManager(
+    DiskManager* base, CrashController* controller)
+    : base_(base), controller_(controller) {
+  GRNN_CHECK(base != nullptr);
+  GRNN_CHECK(controller != nullptr);
+  synced_pages_ = base_->num_pages();
+  controller_->Register(this);
+}
+
+FaultInjectingDiskManager::~FaultInjectingDiskManager() {
+  controller_->Unregister(this);
+}
+
+size_t FaultInjectingDiskManager::num_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_->num_pages() + unsynced_allocs_;
+}
+
+size_t FaultInjectingDiskManager::unsynced_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overlay_.size();
+}
+
+Result<PageId> FaultInjectingDiskManager::AllocatePage() {
+  if (controller_->crashed()) {
+    return Status::IOError("crashed device");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const PageId id =
+      static_cast<PageId>(base_->num_pages() + unsynced_allocs_);
+  unsynced_allocs_++;
+  // The page exists only in the overlay until the next Sync — exactly
+  // the file-extended-but-not-fsynced state.
+  overlay_.try_emplace(id, base_->page_size(), 0);
+  return id;
+}
+
+Status FaultInjectingDiskManager::ReadPage(PageId id, uint8_t* out) {
+  if (controller_->crashed()) {
+    return Status::IOError("crashed device");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = overlay_.find(id);
+  if (it != overlay_.end()) {
+    std::memcpy(out, it->second.data(), base_->page_size());
+    return Status::OK();
+  }
+  return base_->ReadPage(id, out);
+}
+
+Status FaultInjectingDiskManager::WritePage(PageId id,
+                                            const uint8_t* data) {
+  // Observe BEFORE taking mu_ (trip settling locks controller → device).
+  // A concurrent trip between the observation and the overlay insert
+  // can let one write slip into a dead overlay; it is never applied,
+  // and no update can be acknowledged on top of it (every ack path
+  // needs a later Sync, which fails on a crashed group) — so the slip
+  // is indistinguishable from the write being lost in the crash.
+  const CrashController::PointDecision d = controller_->Observe();
+  if (d.crashed) {
+    return Status::IOError("crashed device");
+  }
+  if (d.trip) {
+    switch (d.action) {
+      case FaultAction::kTransient:
+        return Status::IOError("injected transient write failure");
+      case FaultAction::kTornWrite: {
+        if (!tear_eligible_) {
+          // Degrade to fail-stop: this device's recovery cannot repair
+          // a prefix-torn page (see set_tear_eligible).
+          return Status::IOError("injected crash at write");
+        }
+        size_t tear = d.tear_bytes == SIZE_MAX ? base_->page_size() / 2
+                                               : d.tear_bytes;
+        tear = std::min(tear, base_->page_size());
+        PersistTorn(id, data, tear);
+        return Status::IOError("injected crash: torn write");
+      }
+      case FaultAction::kFailStop:
+        return Status::IOError("injected crash at write");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] =
+      overlay_.try_emplace(id, base_->page_size(), 0);
+  std::memcpy(it->second.data(), data, base_->page_size());
+  return Status::OK();
+}
+
+Status FaultInjectingDiskManager::Sync() {
+  const CrashController::PointDecision d = controller_->Observe();
+  if (d.crashed) {
+    return Status::IOError("crashed device");
+  }
+  if (d.trip) {
+    // kTornWrite on a sync point degrades to fail-stop; kTransient
+    // keeps the overlay (the sync did not happen) and stays alive.
+    if (d.action == FaultAction::kTransient) {
+      return Status::IOError("injected transient fsync failure");
+    }
+    return Status::IOError("injected crash at fsync");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return ApplyOverlayLocked();
+}
+
+Status FaultInjectingDiskManager::ApplyOverlayLocked() {
+  while (unsynced_allocs_ > 0) {
+    GRNN_ASSIGN_OR_RETURN(PageId id, base_->AllocatePage());
+    (void)id;
+    unsynced_allocs_--;
+  }
+  for (const auto& [id, image] : overlay_) {
+    GRNN_RETURN_NOT_OK(base_->WritePage(id, image.data()));
+  }
+  overlay_.clear();
+  GRNN_RETURN_NOT_OK(base_->Sync());
+  synced_pages_ = base_->num_pages();
+  return Status::OK();
+}
+
+void FaultInjectingDiskManager::Settle(CrashSurvival survival) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (survival == CrashSurvival::kKeepUnsynced) {
+    // The drive cache happened to reach the platter: apply everything.
+    const Status applied = ApplyOverlayLocked();
+    GRNN_CHECK(applied.ok());
+  } else {
+    // Power failure: everything since the last Sync vanishes.
+    overlay_.clear();
+    unsynced_allocs_ = 0;
+  }
+}
+
+void FaultInjectingDiskManager::PersistTorn(PageId id, const uint8_t* data,
+                                            size_t tear_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The controller settled every device before this runs, so the base
+  // holds the surviving pre-crash state; the torn sector goes on top.
+  // If the write extended the device (beyond the surviving allocation),
+  // the file grows zero pages up to it — a torn append.
+  while (static_cast<size_t>(id) >= base_->num_pages()) {
+    auto alloc = base_->AllocatePage();
+    GRNN_CHECK(alloc.ok());
+  }
+  std::vector<uint8_t> image(base_->page_size(), 0);
+  const Status read = base_->ReadPage(id, image.data());
+  GRNN_CHECK(read.ok());
+  std::memcpy(image.data(), data, tear_bytes);
+  const Status written = base_->WritePage(id, image.data());
+  GRNN_CHECK(written.ok());
+  const Status synced = base_->Sync();
+  GRNN_CHECK(synced.ok());
+}
+
+}  // namespace grnn::storage::testing

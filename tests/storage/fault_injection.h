@@ -1,0 +1,194 @@
+// Copyright (c) GRNN authors.
+// Fault-injection decorators for crash-recovery testing (PR 7).
+//
+// FaultInjectingDiskManager wraps any DiskManager and models the two
+// things a real device does that MemoryDiskManager cannot: it LOSES
+// unsynced writes on power failure, and it can TEAR the write in
+// flight. Writes land in an unsynced overlay; Sync applies the overlay
+// to the base device. A shared CrashController counts every write
+// point (each WritePage and each Sync call, across all devices sharing
+// the controller, in one global order) and can be armed to fail at the
+// Nth point:
+//
+//   kFailStop   the call reports IOError and the whole controller
+//               group goes dead (the process crashed mid-call);
+//   kTornWrite  a prefix of the page image reaches the platter before
+//               the crash (WritePage points only; on a Sync point it
+//               degrades to kFailStop);
+//   kTransient  the call reports IOError once, the device stays alive
+//               (an EIO the caller is expected to surface or retry).
+//
+// When the controller trips, every registered device settles its
+// overlay per the armed CrashSurvival mode: kLoseUnsynced drops
+// everything since the last Sync (the harsh, deterministic bound —
+// this is the mode that catches missing-fsync bugs over a
+// MemoryDiskManager base), kKeepUnsynced applies it (the writes
+// happened to be on the platter already). After the trip, every call
+// on every grouped device fails; the BASE devices then hold exactly
+// the surviving state, and recovery reopens them directly.
+//
+// Usage: the crash harness enumerates points by running the workload
+// once with counting enabled to learn the total N, then re-runs a
+// fresh world for each point i in [0, N), armed, and recovers.
+
+#ifndef GRNN_TESTS_STORAGE_FAULT_INJECTION_H_
+#define GRNN_TESTS_STORAGE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/disk_manager.h"
+
+namespace grnn::storage::testing {
+
+enum class FaultAction {
+  kFailStop,
+  kTornWrite,
+  kTransient,
+};
+
+enum class CrashSurvival {
+  kLoseUnsynced,
+  kKeepUnsynced,
+};
+
+class FaultInjectingDiskManager;
+
+/// \brief Shared trip wire for a group of fault-injecting devices.
+///
+/// Thread-safe: the counter and the trip decision sit under one mutex,
+/// so concurrent writers (the multithreaded kill test) observe exactly
+/// one trip. Devices register themselves on construction and must
+/// outlive the controller's last trip.
+class CrashController {
+ public:
+  /// Starts counting write points (they are NOT counted while
+  /// disabled, so world construction stays out of the enumeration).
+  /// Resets the counter.
+  void StartCounting();
+
+  /// Arms the controller: the `point`-th counted write point (0-based
+  /// from this call; the counter resets) performs `action`. Counting
+  /// is implied.
+  void ArmAt(uint64_t point, FaultAction action,
+             CrashSurvival survival = CrashSurvival::kLoseUnsynced);
+
+  /// Stops counting/injection (does not clear a crash).
+  void Disarm();
+
+  /// Write points counted since StartCounting/ArmAt.
+  uint64_t points_seen() const;
+  /// True once an armed point tripped with kFailStop/kTornWrite.
+  bool crashed() const;
+
+  /// Bytes of the new image a torn write persists (default: half a
+  /// page; clamped to the page size at trip time). The remainder keeps
+  /// the old content — the prefix-tear model matches an append-only
+  /// tail rewrite, where new and old images agree on the durable
+  /// prefix.
+  void set_tear_bytes(size_t bytes);
+
+  /// Forces a crash NOW (as if an armed kFailStop point tripped), with
+  /// the given survival mode. Used by the kill-mid-burst test to crash
+  /// from a watcher thread at an arbitrary moment.
+  void CrashNow(CrashSurvival survival);
+
+ private:
+  friend class FaultInjectingDiskManager;
+
+  void Register(FaultInjectingDiskManager* device);
+  void Unregister(FaultInjectingDiskManager* device);
+
+  /// Called by a device at each write point, under mu_ via Observe().
+  /// Returns the action to perform at this point (kFailStop/kTornWrite
+  /// mean: settle every device and go dead).
+  struct PointDecision {
+    bool crashed = false;  // group already dead: fail the call
+    bool trip = false;     // this call is the armed point
+    FaultAction action = FaultAction::kFailStop;
+    CrashSurvival survival = CrashSurvival::kLoseUnsynced;
+    size_t tear_bytes = SIZE_MAX;
+  };
+  PointDecision Observe();
+  /// Settles every registered device. Caller holds mu_.
+  void SettleLocked(CrashSurvival survival);
+
+  mutable std::mutex mu_;
+  std::vector<FaultInjectingDiskManager*> devices_;
+  bool counting_ = false;
+  bool armed_ = false;
+  bool crashed_ = false;
+  uint64_t counter_ = 0;
+  uint64_t trip_point_ = 0;
+  FaultAction action_ = FaultAction::kFailStop;
+  CrashSurvival survival_ = CrashSurvival::kLoseUnsynced;
+  size_t tear_bytes_ = SIZE_MAX;  // SIZE_MAX = half the page
+};
+
+/// \brief Decorator that buffers writes until Sync and crashes on
+/// command. Satisfies the DiskManager concurrency contract (same-page
+/// calls serialized by the caller; distinct-page calls concurrent) by
+/// serializing on one internal mutex.
+class FaultInjectingDiskManager final : public DiskManager {
+ public:
+  /// \param base the real device; must outlive this. \param controller
+  /// shared trip wire; must outlive this.
+  FaultInjectingDiskManager(DiskManager* base, CrashController* controller);
+  ~FaultInjectingDiskManager() override;
+
+  FaultInjectingDiskManager(const FaultInjectingDiskManager&) = delete;
+  FaultInjectingDiskManager& operator=(const FaultInjectingDiskManager&) =
+      delete;
+
+  size_t page_size() const override { return base_->page_size(); }
+  /// Includes unsynced allocations (the caller sees its own writes).
+  size_t num_pages() const override;
+  Result<PageId> AllocatePage() override;
+  Status ReadPage(PageId id, uint8_t* out) override;
+  Status WritePage(PageId id, const uint8_t* data) override;
+  Status Sync() override;
+
+  /// When false, an armed kTornWrite that lands on THIS device degrades
+  /// to fail-stop (nothing torn reaches the base). The prefix-tear
+  /// model is only sound for devices whose recovery tolerates it — the
+  /// append-only WAL tail truncates a torn record by CRC, but a torn
+  /// DATA page carries the new header (and page LSN) over stale list
+  /// bytes, which redo-only logging without full-page images cannot
+  /// repair; the crash harness therefore marks the data device
+  /// ineligible. Set before the run (not thread-safe against trips).
+  void set_tear_eligible(bool eligible) { tear_eligible_ = eligible; }
+
+  /// Unsynced page images currently buffered (tests assert on it).
+  size_t unsynced_pages() const;
+
+ private:
+  friend class CrashController;
+
+  /// Applies or drops the overlay; called by the controller at trip
+  /// time (controller mutex held; mu_ taken here — lock order is
+  /// always controller → device).
+  void Settle(CrashSurvival survival);
+  /// Persists a torn image of (id, data): new-image prefix over the
+  /// old content, straight into the base device (a torn sector is on
+  /// the platter regardless of what the drive cache lost).
+  void PersistTorn(PageId id, const uint8_t* data, size_t tear_bytes);
+  Status ApplyOverlayLocked();
+
+  DiskManager* base_;
+  CrashController* controller_;
+  mutable std::mutex mu_;
+  /// Pages written since the last Sync (id -> full image).
+  std::unordered_map<PageId, std::vector<uint8_t>> overlay_;
+  /// Pages allocated since the last Sync (ids from base_size_ up).
+  size_t unsynced_allocs_ = 0;
+  /// base_->num_pages() at the last settle point.
+  size_t synced_pages_ = 0;
+  bool tear_eligible_ = true;
+};
+
+}  // namespace grnn::storage::testing
+
+#endif  // GRNN_TESTS_STORAGE_FAULT_INJECTION_H_
