@@ -75,7 +75,8 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
       std::printf(
           "options: --scale=small|medium|full --queries=N --seed=S "
           "--threads=N --json=PATH --algos=E,EM,L,LP (also BF, and hub "
-          "(H) on benches serving the hub-label index)\n");
+          "(H) on benches serving the hub-label index — all four query "
+          "kinds, incl. continuous and unrestricted)\n");
     }
   }
   return args;

@@ -252,6 +252,17 @@ Status DurableKnnStore::CommitUpdate(UpdateStats* stats) {
   pending_.clear();
   pending_index_.clear();
   in_txn_ = false;
+  // Log-size-threshold checkpoint policy: once the record region has
+  // grown past the configured bound, fold the log into the data file
+  // right here on the commit path (flush pool, sync data device, reset
+  // the log — CheckpointThrough's clean sequence). The update is
+  // already durable and applied, so a checkpoint failure propagates to
+  // the caller WITHOUT poisoning the store: nothing diverged, the log
+  // simply stayed long, and a later commit retries the fold.
+  if (checkpoint_threshold_bytes_ > 0 &&
+      wal_->log_bytes() >= checkpoint_threshold_bytes_) {
+    GRNN_RETURN_NOT_OK(storage::CheckpointThrough(*pool_, *wal_));
+  }
   return Status::OK();
 }
 

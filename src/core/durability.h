@@ -94,9 +94,21 @@ class DurableKnnStore final : public KnnStore {
   /// \param file, pool, wal must outlive the store. The pool should
   /// have the wal attached (BufferPool::AttachWal) so evictions keep
   /// the log-before-page discipline.
+  ///
+  /// \param checkpoint_threshold_bytes when non-zero, a committed
+  /// update whose log has grown past this many bytes triggers
+  /// CheckpointThrough(pool, wal) on the commit path — the log is
+  /// logically emptied and recovery restarts from the freshly synced
+  /// data pages, bounding both log size and redo time. 0 (default)
+  /// keeps the log growing until the caller checkpoints explicitly.
   DurableKnnStore(storage::KnnFile* file, storage::BufferPool* pool,
-                  storage::Wal* wal, uint32_t store_id)
-      : file_(file), pool_(pool), wal_(wal), store_id_(store_id) {
+                  storage::Wal* wal, uint32_t store_id,
+                  uint64_t checkpoint_threshold_bytes = 0)
+      : file_(file),
+        pool_(pool),
+        wal_(wal),
+        store_id_(store_id),
+        checkpoint_threshold_bytes_(checkpoint_threshold_bytes) {
     GRNN_CHECK(file != nullptr);
     GRNN_CHECK(pool != nullptr);
     GRNN_CHECK(wal != nullptr);
@@ -130,6 +142,7 @@ class DurableKnnStore final : public KnnStore {
   storage::BufferPool* pool_;
   storage::Wal* wal_;
   uint32_t store_id_;
+  uint64_t checkpoint_threshold_bytes_ = 0;
   bool in_txn_ = false;
   UpdateDescriptor desc_;
   /// Buffered writes of the open transaction, in first-write order;

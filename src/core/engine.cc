@@ -41,15 +41,19 @@ struct RknnEngine::State {
   /// first: conceptually they guard the *sources*, everything below
   /// guards engine-internal bookkeeping.
   std::shared_mutex domain_mu[kNumDomains];
-  /// Derived hub-label point indices (Algorithm::kHubLabel). Rebuilt
-  /// only under exclusive locks of BOTH node domains (RebuildIndex),
-  /// read under the query's shared domain locks: monochromatic readers
-  /// hold points, bichromatic readers hold points + sites, so a rebuild
-  /// never races a reader of either index.
+  /// Derived hub-label point indices (Algorithm::kHubLabel), one per
+  /// point population. Patched INCREMENTALLY by every update inside its
+  /// exclusive domain section, rebuilt wholesale only by RebuildIndex
+  /// (under exclusive locks of every indexed domain); read under the
+  /// query's shared domain locks, so a patch or rebuild never races a
+  /// reader of its index.
   std::unique_ptr<index::HubPointIndex> hub_points;
   std::unique_ptr<index::HubPointIndex> hub_sites;
-  /// Set by node-domain updates (under their exclusive lock); while
-  /// true, hub-label queries fall back to the eager expansion.
+  std::unique_ptr<index::HubPointIndex> hub_edge;
+  /// Set only when an update could not patch its domain's index
+  /// incrementally (structural failure, e.g. label-universe mismatch);
+  /// while true, hub-label queries fall back to the eager expansion
+  /// until RebuildIndex() re-derives the indices.
   std::atomic<bool> hub_stale{false};
   /// Guards the idle-workspace pool. The pool is FIFO: successive
   /// acquisitions rotate through every pooled workspace, so repeated
@@ -91,6 +95,7 @@ struct RknnEngine::QueryWorld {
   const EdgePointReader* edge_reader = nullptr;
   const index::HubPointIndex* hub_points = nullptr;
   const index::HubPointIndex* hub_sites = nullptr;
+  const index::HubPointIndex* hub_edge = nullptr;
   bool hub_stale = false;
 };
 
@@ -441,6 +446,13 @@ Status RknnEngine::InitSnapshotWorld() {
       v->hub_sites =
           std::make_shared<index::HubPointIndex>(std::move(idx));
     }
+    if (v->edge_points != nullptr) {
+      GRNN_ASSIGN_OR_RETURN(
+          index::HubPointIndex idx,
+          index::HubPointIndex::Build(*src_.hub_labels, *v->edge_points));
+      v->hub_edge_points =
+          std::make_shared<index::HubPointIndex>(std::move(idx));
+    }
   }
   std::lock_guard<std::mutex> lock(state_->publish_mu);
   state_->current_holder = v;
@@ -509,6 +521,13 @@ Status RknnEngine::RebuildHubIndexesLocked() {
     state_->hub_sites =
         std::make_unique<index::HubPointIndex>(std::move(idx));
   }
+  if (src_.edge_points != nullptr) {
+    GRNN_ASSIGN_OR_RETURN(
+        index::HubPointIndex idx,
+        index::HubPointIndex::Build(*src_.hub_labels, *src_.edge_points));
+    state_->hub_edge =
+        std::make_unique<index::HubPointIndex>(std::move(idx));
+  }
   state_->hub_stale.store(false, std::memory_order_release);
   return Status::OK();
 }
@@ -519,17 +538,20 @@ Status RknnEngine::RebuildIndex() {
         "engine has no hub-label index (EngineSources::hub_labels)");
   }
   if (src_.snapshot_reads) {
-    // Exclusive on both node domains (domain index order) blocks only
-    // WRITERS of those domains while the indices derive; readers keep
-    // serving the current version lock-free and flip to the fresh
+    // Exclusive on every indexed domain (domain index order) blocks
+    // only WRITERS of those domains while the indices derive; readers
+    // keep serving the current version lock-free and flip to the fresh
     // indices at the publish instant.
     std::unique_lock<std::shared_mutex> points_lock(
         state_->domain_mu[kDomainPoints]);
     std::unique_lock<std::shared_mutex> sites_lock(
         state_->domain_mu[kDomainSites]);
+    std::unique_lock<std::shared_mutex> edge_lock(
+        state_->domain_mu[kDomainEdge]);
     std::shared_ptr<const serve::WorldVersion> base = CurrentVersion();
     std::shared_ptr<const index::HubPointIndex> hub_points;
     std::shared_ptr<const index::HubPointIndex> hub_sites;
+    std::shared_ptr<const index::HubPointIndex> hub_edge;
     if (base->points != nullptr) {
       GRNN_ASSIGN_OR_RETURN(
           index::HubPointIndex idx,
@@ -542,29 +564,40 @@ Status RknnEngine::RebuildIndex() {
           index::HubPointIndex::Build(*src_.hub_labels, *base->sites));
       hub_sites = std::make_shared<index::HubPointIndex>(std::move(idx));
     }
+    if (base->edge_points != nullptr) {
+      GRNN_ASSIGN_OR_RETURN(
+          index::HubPointIndex idx,
+          index::HubPointIndex::Build(*src_.hub_labels,
+                                      *base->edge_points));
+      hub_edge = std::make_shared<index::HubPointIndex>(std::move(idx));
+    }
     PublishVersion([&](serve::WorldVersion& v) {
       v.hub_points = std::move(hub_points);
       v.hub_sites = std::move(hub_sites);
+      v.hub_edge_points = std::move(hub_edge);
       v.hub_stale = false;
     });
     return Status::OK();
   }
   // Lock mode: derive the new indices OFF TO THE SIDE from set copies
   // taken under shared locks, then install under brief exclusive locks
-  // — queries keep serving for the whole derivation. A node-domain
-  // update racing the build invalidates the attempt (detected via the
-  // node generation counter); after a few optimistic rounds fall back
-  // to building under the exclusive locks so the call always finishes.
+  // — queries keep serving for the whole derivation. An update racing
+  // the build invalidates the attempt (detected via the update
+  // generation counter); after a few optimistic rounds fall back to
+  // building under the exclusive locks so the call always finishes.
   constexpr int kOptimisticAttempts = 3;
   for (int attempt = 0; attempt < kOptimisticAttempts; ++attempt) {
     uint64_t gen = 0;
     std::optional<NodePointSet> points_copy;
     std::optional<NodePointSet> sites_copy;
+    std::optional<EdgePointSet> edge_copy;
     {
       std::shared_lock<std::shared_mutex> points_lock(
           state_->domain_mu[kDomainPoints]);
       std::shared_lock<std::shared_mutex> sites_lock(
           state_->domain_mu[kDomainSites]);
+      std::shared_lock<std::shared_mutex> edge_lock(
+          state_->domain_mu[kDomainEdge]);
       gen = state_->node_gen.load(std::memory_order_seq_cst);
       if (src_.points != nullptr) {
         points_copy = *src_.points;
@@ -572,9 +605,13 @@ Status RknnEngine::RebuildIndex() {
       if (src_.sites != nullptr) {
         sites_copy = *src_.sites;
       }
+      if (src_.edge_points != nullptr) {
+        edge_copy = *src_.edge_points;
+      }
     }
     std::unique_ptr<index::HubPointIndex> new_points;
     std::unique_ptr<index::HubPointIndex> new_sites;
+    std::unique_ptr<index::HubPointIndex> new_edge;
     if (points_copy.has_value()) {
       GRNN_ASSIGN_OR_RETURN(
           index::HubPointIndex idx,
@@ -587,15 +624,24 @@ Status RknnEngine::RebuildIndex() {
           index::HubPointIndex::Build(*src_.hub_labels, *sites_copy));
       new_sites = std::make_unique<index::HubPointIndex>(std::move(idx));
     }
+    if (edge_copy.has_value()) {
+      GRNN_ASSIGN_OR_RETURN(
+          index::HubPointIndex idx,
+          index::HubPointIndex::Build(*src_.hub_labels, *edge_copy));
+      new_edge = std::make_unique<index::HubPointIndex>(std::move(idx));
+    }
     std::unique_lock<std::shared_mutex> points_lock(
         state_->domain_mu[kDomainPoints]);
     std::unique_lock<std::shared_mutex> sites_lock(
         state_->domain_mu[kDomainSites]);
+    std::unique_lock<std::shared_mutex> edge_lock(
+        state_->domain_mu[kDomainEdge]);
     if (state_->node_gen.load(std::memory_order_seq_cst) != gen) {
       continue;  // an update landed mid-derivation; copies are stale
     }
     state_->hub_points = std::move(new_points);
     state_->hub_sites = std::move(new_sites);
+    state_->hub_edge = std::move(new_edge);
     state_->hub_stale.store(false, std::memory_order_release);
     return Status::OK();
   }
@@ -603,6 +649,8 @@ Status RknnEngine::RebuildIndex() {
       state_->domain_mu[kDomainPoints]);
   std::unique_lock<std::shared_mutex> sites_lock(
       state_->domain_mu[kDomainSites]);
+  std::unique_lock<std::shared_mutex> edge_lock(
+      state_->domain_mu[kDomainEdge]);
   return RebuildHubIndexesLocked();
 }
 
@@ -650,24 +698,21 @@ Result<RknnResult> RknnEngine::RunMonochromatic(const QuerySpec& spec,
     case Algorithm::kBruteForce:
       return BruteForceRknn(*src_.graph, *world.points, nodes, options);
     case Algorithm::kHubLabel: {
-      if (spec.kind != QueryKind::kMonochromatic) {
-        return Status::Unimplemented(
-            "the hub-label algorithm serves monochromatic and "
-            "bichromatic queries only; continuous routes need an "
-            "expansion algorithm");
-      }
+      // Continuous routes ride the same primitive: RknnViaLabels takes
+      // the query distance as the min over `nodes`, which for a route
+      // IS the Section 5.1 continuous semantics.
       if (src_.hub_labels == nullptr) {
         return Status::FailedPrecondition(
             "hub-label queries need EngineSources::hub_labels");
       }
-      if (world.hub_stale) {
-        // Staleness fallback: a points/sites update invalidated the
-        // derived point indices; answer exactly via eager expansion
-        // until RebuildIndex() runs (see the contract in engine.h).
+      if (world.hub_stale || world.hub_points == nullptr) {
+        // Staleness fallback (rare): an update could not patch the
+        // derived point index incrementally; answer exactly via eager
+        // expansion until RebuildIndex() runs (contract in engine.h).
         Result<RknnResult> fallback =
             EagerRknn(*src_.graph, *world.points, nodes, options, ws);
         if (fallback.ok()) {
-          fallback->stats.hub_fallbacks = 1;
+          fallback->stats.hub_fallbacks += 1;
         }
         return fallback;
       }
@@ -716,12 +761,13 @@ Result<RknnResult> RknnEngine::RunBichromatic(const QuerySpec& spec,
         return Status::FailedPrecondition(
             "hub-label queries need EngineSources::hub_labels");
       }
-      if (world.hub_stale) {
+      if (world.hub_stale || world.hub_points == nullptr ||
+          world.hub_sites == nullptr) {
         Result<RknnResult> fallback =
             BichromaticRknn(*src_.graph, *world.points, *world.sites,
                             nodes, options, ws);
         if (fallback.ok()) {
-          fallback->stats.hub_fallbacks = 1;
+          fallback->stats.hub_fallbacks += 1;
         }
         return fallback;
       }
@@ -780,11 +826,23 @@ Result<RknnResult> RknnEngine::RunUnrestricted(
     case Algorithm::kBruteForce:
       return UnrestrictedBruteForceRknn(*src_.graph, *world.edge_points,
                                         query, options);
-    case Algorithm::kHubLabel:
-      return Status::Unimplemented(
-          "the hub-label algorithm serves monochromatic and bichromatic "
-          "queries only; unrestricted (edge-position) queries need an "
-          "expansion algorithm");
+    case Algorithm::kHubLabel: {
+      if (src_.hub_labels == nullptr) {
+        return Status::FailedPrecondition(
+            "hub-label queries need EngineSources::hub_labels");
+      }
+      if (world.hub_stale || world.hub_edge == nullptr) {
+        Result<RknnResult> fallback = UnrestrictedEagerRknn(
+            *src_.graph, *world.edge_points, reader, query, options, ws);
+        if (fallback.ok()) {
+          fallback->stats.hub_fallbacks += 1;
+        }
+        return fallback;
+      }
+      return index::UnrestrictedRknnViaLabels(
+          *src_.hub_labels, *src_.graph, *world.edge_points,
+          *world.hub_edge, query, options, ws.labels, ws.nbr_cursor);
+    }
   }
   return Status::InvalidArgument("unknown algorithm");
 }
@@ -831,6 +889,7 @@ Result<RknnResult> RknnEngine::Dispatch(const QuerySpec& spec,
     world.edge_reader = v->edge_reader.get();
     world.hub_points = v->hub_points.get();
     world.hub_sites = v->hub_sites.get();
+    world.hub_edge = v->hub_edge_points.get();
     world.hub_stale = v->hub_stale;
     Result<RknnResult> result = RunSpec(spec, world, ws);
     // Pin discipline (DESIGN.md, "Neighbor access path"): no cursor
@@ -876,8 +935,19 @@ Result<RknnResult> RknnEngine::Dispatch(const QuerySpec& spec,
   world.site_knn = src_.site_knn;
   world.edge_points = src_.edge_points;
   world.edge_reader = edge_reader();
-  world.hub_points = state_->hub_points.get();
-  world.hub_sites = state_->hub_sites.get();
+  // The hub indexes are patched IN PLACE by updates under their
+  // domain's exclusive lock, so a query may only read the index of a
+  // domain whose shared lock it holds (the unheld ones stay null —
+  // no Run* body reads an index outside its kind's domains anyway).
+  if (points_lock.owns_lock()) {
+    world.hub_points = state_->hub_points.get();
+  }
+  if (sites_lock.owns_lock()) {
+    world.hub_sites = state_->hub_sites.get();
+  }
+  if (edge_lock.owns_lock()) {
+    world.hub_edge = state_->hub_edge.get();
+  }
   world.hub_stale = state_->hub_stale.load(std::memory_order_acquire);
   Result<RknnResult> result = RunSpec(spec, world, ws);
   // Pin discipline (DESIGN.md, "Neighbor access path"): no cursor lease
@@ -1052,6 +1122,56 @@ Result<RknnEngine::UpdateResult> RknnEngine::ApplyEdgeUpdate(
   return out;
 }
 
+namespace {
+
+/// Lock mode: splice one point's occurrences into the live hub index
+/// slot. Caller holds the domain's exclusive lock. Failure (or an
+/// already-stale or absent index) trips `stale`, routing hub queries
+/// to the exact eager fallback until RebuildIndex().
+template <typename PatchFn>
+void PatchHubIndexLocked(std::atomic<bool>& stale,
+                         std::unique_ptr<index::HubPointIndex>& slot,
+                         PatchFn&& patch) {
+  if (stale.load(std::memory_order_acquire) || slot == nullptr) {
+    stale.store(true, std::memory_order_release);
+    return;
+  }
+  if (!patch(*slot).ok()) {
+    // A failed erase can leave a partial patch behind; staleness makes
+    // that harmless (the index is bypassed until rebuilt).
+    stale.store(true, std::memory_order_release);
+  }
+}
+
+/// Snapshot mode: clone-and-splice into the version being published.
+/// The clone is cheap — per-hub runs are shared copy-on-write and the
+/// patch copies only the runs it touches. On any structural failure
+/// every hub index of the version drops and hub_stale is set, so hub
+/// queries against it fall back to exact eager expansion.
+template <typename PatchFn>
+void PatchVersionHubIndex(serve::WorldVersion& v,
+                          std::shared_ptr<const index::HubPointIndex>* slot,
+                          PatchFn&& patch) {
+  if (v.hub_stale || *slot == nullptr) {
+    v.hub_points.reset();
+    v.hub_sites.reset();
+    v.hub_edge_points.reset();
+    v.hub_stale = true;
+    return;
+  }
+  auto next = std::make_shared<index::HubPointIndex>(**slot);
+  if (!patch(*next).ok()) {
+    v.hub_points.reset();
+    v.hub_sites.reset();
+    v.hub_edge_points.reset();
+    v.hub_stale = true;
+    return;
+  }
+  *slot = std::move(next);
+}
+
+}  // namespace
+
 Result<RknnEngine::UpdateResult> RknnEngine::SnapshotNodeUpdate(
     const UpdateSpec& spec) {
   const bool is_points = spec.set == UpdateSet::kPoints;
@@ -1073,6 +1193,11 @@ Result<RknnEngine::UpdateResult> RknnEngine::SnapshotNodeUpdate(
     store_copy = std::make_shared<MemoryKnnStore>(
         *static_cast<const MemoryKnnStore*>(base_store));
   }
+  // A delete tombstones the point, which forgets its host node — the
+  // hub-index patch below needs it, so capture it first.
+  const NodeId host = spec.op == UpdateSpec::Op::kDelete
+                          ? set_copy->NodeOf(spec.point)
+                          : spec.node;
   Result<UpdateResult> result =
       ApplyNodeUpdate(spec, *set_copy, store_copy.get());
   if (!result.ok()) {
@@ -1093,12 +1218,16 @@ Result<RknnEngine::UpdateResult> RknnEngine::SnapshotNodeUpdate(
       }
     }
     if (src_.hub_labels != nullptr) {
-      // The derived hub point indices no longer mirror the sets; hub
-      // queries against this version fall back to eager until a
-      // RebuildIndex publication supersedes it.
-      v.hub_points.reset();
-      v.hub_sites.reset();
-      v.hub_stale = true;
+      // Keep the derived hub index exact: clone-and-splice the one
+      // changed point (COW — untouched per-hub runs are shared with
+      // the predecessor version).
+      auto* slot = is_points ? &v.hub_points : &v.hub_sites;
+      PatchVersionHubIndex(v, slot, [&](index::HubPointIndex& idx) {
+        return spec.op == UpdateSpec::Op::kInsert
+                   ? idx.InsertPoint(*src_.hub_labels, result->point,
+                                     host)
+                   : idx.ErasePoint(*src_.hub_labels, spec.point, host);
+      });
     }
   });
   return result;
@@ -1117,10 +1246,27 @@ Result<RknnEngine::UpdateResult> RknnEngine::SnapshotEdgeUpdate(
     store_copy = std::make_shared<MemoryKnnStore>(
         *static_cast<const MemoryKnnStore*>(base->knn.get()));
   }
+  // A delete tombstones the point, which forgets its position — the
+  // hub-index patch below needs it, so capture it first.
+  const bool is_delete = spec.op == UpdateSpec::Op::kDelete;
+  EdgePosition old_pos{};
+  Weight old_weight = 0;
+  if (is_delete && set_copy->IsLive(spec.point)) {
+    old_pos = set_copy->PositionOf(spec.point);
+    old_weight = set_copy->EdgeWeightOfPoint(spec.point);
+  }
   Result<UpdateResult> result =
       ApplyEdgeUpdate(spec, *set_copy, store_copy.get());
   if (!result.ok()) {
     return result;
+  }
+  // Inserts read the canonicalized position back from the set so the
+  // spliced occurrences match a from-scratch Build bit for bit.
+  EdgePosition new_pos{};
+  Weight new_weight = 0;
+  if (!is_delete) {
+    new_pos = set_copy->PositionOf(result->point);
+    new_weight = set_copy->EdgeWeightOfPoint(result->point);
   }
   auto reader_copy =
       std::make_shared<MemoryEdgePointReader>(set_copy.get());
@@ -1131,6 +1277,17 @@ Result<RknnEngine::UpdateResult> RknnEngine::SnapshotEdgeUpdate(
     v.edge_reader = std::move(reader_copy);
     if (store_copy != nullptr) {
       v.knn = std::move(store_copy);
+    }
+    if (src_.hub_labels != nullptr) {
+      PatchVersionHubIndex(
+          v, &v.hub_edge_points, [&](index::HubPointIndex& idx) {
+            return is_delete
+                       ? idx.EraseEdgePoint(*src_.hub_labels, spec.point,
+                                            old_pos, old_weight)
+                       : idx.InsertEdgePoint(*src_.hub_labels,
+                                             result->point, new_pos,
+                                             new_weight);
+          });
     }
   });
   return result;
@@ -1150,14 +1307,27 @@ Result<RknnEngine::UpdateResult> RknnEngine::DispatchUpdate(
       }
       std::unique_lock<std::shared_mutex> lock(
           state_->domain_mu[kDomainPoints]);
+      // Deletes tombstone the point before the patch runs, so capture
+      // the host node while the set still remembers it.
+      const NodeId host = spec.op == UpdateSpec::Op::kDelete
+                              ? src_.updates.points->NodeOf(spec.point)
+                              : spec.node;
       Result<UpdateResult> result =
           ApplyNodeUpdate(spec, *src_.updates.points, src_.updates.knn);
       if (result.ok()) {
         state_->node_gen.fetch_add(1, std::memory_order_seq_cst);
         if (src_.hub_labels != nullptr) {
-          // The derived hub point index no longer mirrors the set; hub
-          // queries fall back to eager until RebuildIndex().
-          state_->hub_stale.store(true, std::memory_order_release);
+          // Keep the derived hub index exact: splice the one changed
+          // point under the exclusive lock already held.
+          PatchHubIndexLocked(
+              state_->hub_stale, state_->hub_points,
+              [&](index::HubPointIndex& idx) {
+                return spec.op == UpdateSpec::Op::kInsert
+                           ? idx.InsertPoint(*src_.hub_labels,
+                                             result->point, host)
+                           : idx.ErasePoint(*src_.hub_labels, spec.point,
+                                            host);
+              });
         }
       }
       return result;
@@ -1173,12 +1343,23 @@ Result<RknnEngine::UpdateResult> RknnEngine::DispatchUpdate(
       }
       std::unique_lock<std::shared_mutex> lock(
           state_->domain_mu[kDomainSites]);
+      const NodeId host = spec.op == UpdateSpec::Op::kDelete
+                              ? src_.updates.sites->NodeOf(spec.point)
+                              : spec.node;
       Result<UpdateResult> result = ApplyNodeUpdate(
           spec, *src_.updates.sites, src_.updates.site_knn);
       if (result.ok()) {
         state_->node_gen.fetch_add(1, std::memory_order_seq_cst);
         if (src_.hub_labels != nullptr) {
-          state_->hub_stale.store(true, std::memory_order_release);
+          PatchHubIndexLocked(
+              state_->hub_stale, state_->hub_sites,
+              [&](index::HubPointIndex& idx) {
+                return spec.op == UpdateSpec::Op::kInsert
+                           ? idx.InsertPoint(*src_.hub_labels,
+                                             result->point, host)
+                           : idx.ErasePoint(*src_.hub_labels, spec.point,
+                                            host);
+              });
         }
       }
       return result;
@@ -1194,10 +1375,41 @@ Result<RknnEngine::UpdateResult> RknnEngine::DispatchUpdate(
       }
       std::unique_lock<std::shared_mutex> lock(
           state_->domain_mu[kDomainEdge]);
+      EdgePointSet& set = *src_.updates.edge_points;
+      // Deletes tombstone the point before the patch runs, so capture
+      // its position while the set still remembers it.
+      const bool is_delete = spec.op == UpdateSpec::Op::kDelete;
+      EdgePosition old_pos{};
+      Weight old_weight = 0;
+      if (is_delete && set.IsLive(spec.point)) {
+        old_pos = set.PositionOf(spec.point);
+        old_weight = set.EdgeWeightOfPoint(spec.point);
+      }
       // knn (when present) is the edge-point store: Create rejects an
       // updatable knn on an engine that also serves node points.
-      return ApplyEdgeUpdate(spec, *src_.updates.edge_points,
-                             src_.updates.knn);
+      Result<UpdateResult> result =
+          ApplyEdgeUpdate(spec, set, src_.updates.knn);
+      if (result.ok()) {
+        state_->node_gen.fetch_add(1, std::memory_order_seq_cst);
+        if (src_.hub_labels != nullptr) {
+          PatchHubIndexLocked(
+              state_->hub_stale, state_->hub_edge,
+              [&](index::HubPointIndex& idx) {
+                // Inserts read the canonicalized position back from
+                // the set so the spliced occurrences match a
+                // from-scratch Build bit for bit.
+                return is_delete
+                           ? idx.EraseEdgePoint(*src_.hub_labels,
+                                                spec.point, old_pos,
+                                                old_weight)
+                           : idx.InsertEdgePoint(
+                                 *src_.hub_labels, result->point,
+                                 set.PositionOf(result->point),
+                                 set.EdgeWeightOfPoint(result->point));
+              });
+        }
+      }
+      return result;
     }
   }
   return Status::InvalidArgument("unknown update set");

@@ -39,12 +39,15 @@
 //     through ApplyUpdate / RunMixedBatch) while queries run remains
 //     unsupported — quiesce first.
 //   * The hub-label point indices (EngineSources::hub_labels, PR 5) are
-//     engine-owned DERIVED state: they are rebuilt off to the side from
-//     set copies and published under brief exclusive locks of both node
-//     domains (RebuildIndex), and only read under the matching shared
-//     locks; node-domain updates flip the staleness flag, and stale hub
-//     queries fall back to eager — see the staleness contract at
-//     RebuildIndex().
+//     engine-owned DERIVED state covering all three point domains
+//     (points, sites, edge points). Every update patches its domain's
+//     index INCREMENTALLY inside the exclusive section it already
+//     holds (lock mode: splice in place; snapshot mode: clone-and-
+//     splice with copy-on-write per-hub runs), so the indices stay
+//     exact across updates and every query kind keeps its label path.
+//     A query only reads the index of a domain whose shared lock (or
+//     pinned version) it holds. The staleness flag now trips only on
+//     structural patch failures — see the contract at RebuildIndex().
 //   * EPOCH-SNAPSHOT SERVING (EngineSources::snapshot_reads, PR 6):
 //     when enabled, queries stop taking domain locks entirely. Dispatch
 //     pins an epoch (serve/epoch.h) and runs against the currently
@@ -208,10 +211,12 @@ struct EngineSources {
   const KnnStore* site_knn = nullptr;  // eager-M over sites (bichromatic)
   /// Hub-label distance index over the SAME graph (in-memory
   /// HubLabelIndex or stored index::StoredLabelIndex); unlocks
-  /// Algorithm::kHubLabel for monochromatic and bichromatic queries.
-  /// The engine derives inverted point indices from it at Create and on
-  /// RebuildIndex; live updates of points/sites mark those stale (see
-  /// the staleness contract at RebuildIndex below).
+  /// Algorithm::kHubLabel for ALL four query kinds — monochromatic,
+  /// bichromatic, continuous (min-over-route sweep) and unrestricted
+  /// (edge-resident points via offset endpoint labels). The engine
+  /// derives inverted point indices from it at Create and maintains
+  /// them incrementally across live updates (see the staleness
+  /// contract at RebuildIndex below).
   const index::LabelStore* hub_labels = nullptr;
   /// When set, RunBatch reports the I/O charged to this pool per batch.
   storage::BufferPool* pool = nullptr;
@@ -402,17 +407,25 @@ class RknnEngine {
   /// on both node domains (safe concurrent with queries and updates).
   ///
   /// Staleness contract (Algorithm::kHubLabel): the labels themselves
-  /// depend only on the immutable graph, but the derived inverted
-  /// point indices mirror the point/site sets. Every ApplyUpdate /
-  /// RunMixedBatch update of those sets marks the indices stale;
+  /// depend only on the immutable graph, and the derived inverted
+  /// point indices are maintained INCREMENTALLY — every ApplyUpdate /
+  /// RunMixedBatch update splices the one changed point into its
+  /// domain's index (in place under the held exclusive lock in lock
+  /// mode; clone-and-splice onto the published version in snapshot
+  /// mode), so updates do NOT take the label path away. The stale
+  /// flag trips only when a patch fails structurally (e.g. a
+  /// label-universe mismatch, or an occurrence missing mid-erase);
   /// while stale, hub-label queries transparently fall back to the
-  /// eager expansion algorithm (results stay exact; the fallback is
-  /// counted in SearchStats::hub_fallbacks) until this is called.
+  /// exact eager expansion (each fallback increments
+  /// SearchStats::hub_fallbacks) until this is called. On a healthy
+  /// engine this is a consistency check, not a requirement: it
+  /// rebuilds every domain's index from scratch and clears the flag.
   /// Requires EngineSources::hub_labels.
   Status RebuildIndex();
 
-  /// True when a points/sites update invalidated the hub point indices
-  /// and RebuildIndex has not run yet (always false without hub_labels).
+  /// True when an update could not patch the hub point indices
+  /// incrementally and RebuildIndex has not run yet (always false
+  /// without hub_labels; expected false under normal update traffic).
   bool hub_index_stale() const;
 
   /// Snapshot of the cumulative counters across every completed
@@ -448,7 +461,8 @@ class RknnEngine {
   explicit RknnEngine(const EngineSources& sources);
 
   /// Rebuild body shared by Create and RebuildIndex; caller holds the
-  /// exclusive locks of both node domains (or is still single-owner).
+  /// exclusive locks of every indexed domain (or is still
+  /// single-owner).
   Status RebuildHubIndexesLocked();
 
   const EdgePointReader* edge_reader() const {

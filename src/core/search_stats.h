@@ -34,8 +34,10 @@ struct SearchStats {
   /// nodes_scanned.
   uint64_t label_entries = 0;
   /// Hub-label queries answered by the expansion fallback because the
-  /// engine's derived point index was stale (see RknnEngine::
-  /// RebuildIndex); 0 or 1 per query.
+  /// engine's derived point index was stale or absent (see RknnEngine::
+  /// RebuildIndex). Incremented once per falling-back query, so the
+  /// counter ACCUMULATES across a batch or an engine lifetime; with
+  /// incremental index maintenance it stays 0 at steady state.
   uint64_t hub_fallbacks = 0;
 
   SearchStats& operator+=(const SearchStats& o) {

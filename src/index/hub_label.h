@@ -21,8 +21,9 @@
 // Staleness contract: labels depend only on the GRAPH, which is immutable
 // for the lifetime of an engine; they never go stale. The derived
 // inverted point index (index/hub_point_index.h) depends on the point
-// sets and is invalidated by live updates — see core/engine.h,
-// RebuildIndex().
+// sets and is maintained INCREMENTALLY across live updates (splice one
+// point's occurrences per update); it goes stale only when a patch
+// fails structurally — see core/engine.h, RebuildIndex().
 
 #ifndef GRNN_INDEX_HUB_LABEL_H_
 #define GRNN_INDEX_HUB_LABEL_H_

@@ -1,8 +1,21 @@
 #include "index/hub_point_index.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace grnn::index {
+
+namespace {
+
+/// The canonical run order: (dist, point). Keys are unique within a run
+/// (one occurrence per point per hub), so sorted builds and incremental
+/// splices produce bit-identical runs.
+bool EntryLess(const HubPointIndex::Entry& a,
+               const HubPointIndex::Entry& b) {
+  return a.dist != b.dist ? a.dist < b.dist : a.point < b.point;
+}
+
+}  // namespace
 
 Result<HubPointIndex> HubPointIndex::Build(
     const LabelStore& labels, const core::NodePointSet& points) {
@@ -13,48 +26,221 @@ Result<HubPointIndex> HubPointIndex::Build(
   const NodeId n = labels.num_nodes();
 
   HubPointIndex idx;
+  idx.lists_.resize(n);
   idx.num_points_ = points.num_points();
   idx.point_id_bound_ = points.point_id_bound();
 
-  // Two passes over the labels of the hosting nodes: counting sizes
-  // first keeps the fill allocation-exact even for dense populations.
-  std::vector<size_t> counts(n, 0);
+  std::vector<Run> runs(n);
   LabelCursor cursor;
-  for (PointId p : points.LivePoints()) {
-    GRNN_ASSIGN_OR_RETURN(std::span<const HubEntry> label,
-                          labels.Scan(points.NodeOf(p), cursor));
-    for (const HubEntry& e : label) {
-      counts[e.hub]++;
-    }
-  }
-  idx.offsets_.assign(n + 1, 0);
-  size_t total = 0;
-  for (NodeId h = 0; h < n; ++h) {
-    idx.offsets_[h] = total;
-    total += counts[h];
-  }
-  idx.offsets_[n] = total;
-  idx.entries_.resize(total);
-
-  std::vector<size_t> fill(idx.offsets_.begin(), idx.offsets_.end() - 1);
   for (PointId p : points.LivePoints()) {
     const NodeId home = points.NodeOf(p);
     GRNN_ASSIGN_OR_RETURN(std::span<const HubEntry> label,
                           labels.Scan(home, cursor));
     for (const HubEntry& e : label) {
-      idx.entries_[fill[e.hub]++] = Entry{e.dist, p, home};
+      runs[e.hub].push_back(Entry{e.dist, p, home});
+      idx.num_entries_++;
     }
   }
   for (NodeId h = 0; h < n; ++h) {
-    std::sort(idx.entries_.begin() + static_cast<ptrdiff_t>(idx.offsets_[h]),
-              idx.entries_.begin() +
-                  static_cast<ptrdiff_t>(idx.offsets_[h + 1]),
-              [](const Entry& a, const Entry& b) {
-                return a.dist != b.dist ? a.dist < b.dist
-                                        : a.point < b.point;
-              });
+    if (runs[h].empty()) {
+      continue;
+    }
+    std::sort(runs[h].begin(), runs[h].end(), EntryLess);
+    idx.lists_[h] = std::make_shared<const Run>(std::move(runs[h]));
   }
   return idx;
+}
+
+Result<HubPointIndex> HubPointIndex::Build(
+    const LabelStore& labels, const core::EdgePointSet& points) {
+  const NodeId n = labels.num_nodes();
+
+  HubPointIndex idx;
+  idx.lists_.resize(n);
+  idx.num_points_ = points.num_points();
+  idx.point_id_bound_ = points.point_id_bound();
+
+  std::vector<Run> runs(n);
+  LabelCursor cursor;
+  std::vector<std::pair<NodeId, Entry>> occurrences;
+  for (PointId p : points.LivePoints()) {
+    GRNN_RETURN_NOT_OK(EdgeOccurrences(labels, p, points.PositionOf(p),
+                                       points.EdgeWeightOfPoint(p), cursor,
+                                       &occurrences));
+    for (const auto& [hub, entry] : occurrences) {
+      runs[hub].push_back(entry);
+      idx.num_entries_++;
+    }
+  }
+  for (NodeId h = 0; h < n; ++h) {
+    if (runs[h].empty()) {
+      continue;
+    }
+    std::sort(runs[h].begin(), runs[h].end(), EntryLess);
+    idx.lists_[h] = std::make_shared<const Run>(std::move(runs[h]));
+  }
+  return idx;
+}
+
+Status HubPointIndex::EdgeOccurrences(
+    const LabelStore& labels, PointId p, const core::EdgePosition& pos,
+    Weight edge_weight, LabelCursor& cursor,
+    std::vector<std::pair<NodeId, Entry>>* out) {
+  out->clear();
+  if (pos.u >= labels.num_nodes() || pos.v >= labels.num_nodes()) {
+    return Status::InvalidArgument(
+        "edge position endpoints outside the label universe");
+  }
+  // A path from a hub to the interior position must enter through an
+  // endpoint, so d(h, p) = min over the two offset endpoint labels. The
+  // two scans stay sequential (one cursor-backed span live at a time);
+  // the sort-then-dedupe below takes the per-hub minimum.
+  const Weight off_u = pos.pos;
+  const Weight off_v = edge_weight - pos.pos;
+  {
+    GRNN_ASSIGN_OR_RETURN(std::span<const HubEntry> label,
+                          labels.Scan(pos.u, cursor));
+    for (const HubEntry& e : label) {
+      out->emplace_back(e.hub, Entry{e.dist + off_u, p, pos.u});
+    }
+  }
+  {
+    GRNN_ASSIGN_OR_RETURN(std::span<const HubEntry> label,
+                          labels.Scan(pos.v, cursor));
+    for (const HubEntry& e : label) {
+      out->emplace_back(e.hub, Entry{e.dist + off_v, p, pos.u});
+    }
+  }
+  std::sort(out->begin(), out->end(),
+            [](const std::pair<NodeId, Entry>& a,
+               const std::pair<NodeId, Entry>& b) {
+              return a.first != b.first ? a.first < b.first
+                                        : a.second.dist < b.second.dist;
+            });
+  // Keep the first (minimum-distance) occurrence per hub.
+  out->erase(std::unique(out->begin(), out->end(),
+                         [](const std::pair<NodeId, Entry>& a,
+                            const std::pair<NodeId, Entry>& b) {
+                           return a.first == b.first;
+                         }),
+             out->end());
+  return Status::OK();
+}
+
+void HubPointIndex::SpliceInto(NodeId hub, const Entry& entry) {
+  const Run* old = lists_[hub].get();
+  std::shared_ptr<Run> next =
+      old != nullptr ? std::make_shared<Run>(*old) : std::make_shared<Run>();
+  next->insert(std::lower_bound(next->begin(), next->end(), entry,
+                                EntryLess),
+               entry);
+  lists_[hub] = std::move(next);
+  num_entries_++;
+}
+
+Status HubPointIndex::RemoveFrom(NodeId hub, const Entry& entry) {
+  const Run* old = lists_[hub].get();
+  if (old == nullptr) {
+    return Status::Internal(
+        "hub occurrence run missing during incremental erase");
+  }
+  const auto it =
+      std::lower_bound(old->begin(), old->end(), entry, EntryLess);
+  if (it == old->end() || !(*it == entry)) {
+    return Status::Internal(
+        "hub occurrence entry missing during incremental erase");
+  }
+  if (old->size() == 1) {
+    lists_[hub].reset();
+  } else {
+    auto next = std::make_shared<Run>();
+    next->reserve(old->size() - 1);
+    next->insert(next->end(), old->begin(), it);
+    next->insert(next->end(), it + 1, old->end());
+    lists_[hub] = std::move(next);
+  }
+  num_entries_--;
+  return Status::OK();
+}
+
+Status HubPointIndex::InsertPoint(const LabelStore& labels, PointId p,
+                                  NodeId node) {
+  if (num_hubs() != labels.num_nodes()) {
+    return Status::InvalidArgument(
+        "point index does not cover the label store's node universe");
+  }
+  if (node >= labels.num_nodes()) {
+    return Status::OutOfRange("host node outside the label universe");
+  }
+  LabelCursor cursor;
+  GRNN_ASSIGN_OR_RETURN(std::span<const HubEntry> label,
+                        labels.Scan(node, cursor));
+  for (const HubEntry& e : label) {
+    SpliceInto(e.hub, Entry{e.dist, p, node});
+  }
+  num_points_++;
+  if (p + 1 > point_id_bound_) {
+    point_id_bound_ = p + 1;
+  }
+  return Status::OK();
+}
+
+Status HubPointIndex::ErasePoint(const LabelStore& labels, PointId p,
+                                 NodeId node) {
+  if (num_hubs() != labels.num_nodes()) {
+    return Status::InvalidArgument(
+        "point index does not cover the label store's node universe");
+  }
+  if (node >= labels.num_nodes()) {
+    return Status::OutOfRange("host node outside the label universe");
+  }
+  LabelCursor cursor;
+  GRNN_ASSIGN_OR_RETURN(std::span<const HubEntry> label,
+                        labels.Scan(node, cursor));
+  for (const HubEntry& e : label) {
+    GRNN_RETURN_NOT_OK(RemoveFrom(e.hub, Entry{e.dist, p, node}));
+  }
+  num_points_--;
+  return Status::OK();
+}
+
+Status HubPointIndex::InsertEdgePoint(const LabelStore& labels, PointId p,
+                                      const core::EdgePosition& pos,
+                                      Weight edge_weight) {
+  if (num_hubs() != labels.num_nodes()) {
+    return Status::InvalidArgument(
+        "point index does not cover the label store's node universe");
+  }
+  LabelCursor cursor;
+  std::vector<std::pair<NodeId, Entry>> occurrences;
+  GRNN_RETURN_NOT_OK(
+      EdgeOccurrences(labels, p, pos, edge_weight, cursor, &occurrences));
+  for (const auto& [hub, entry] : occurrences) {
+    SpliceInto(hub, entry);
+  }
+  num_points_++;
+  if (p + 1 > point_id_bound_) {
+    point_id_bound_ = p + 1;
+  }
+  return Status::OK();
+}
+
+Status HubPointIndex::EraseEdgePoint(const LabelStore& labels, PointId p,
+                                     const core::EdgePosition& pos,
+                                     Weight edge_weight) {
+  if (num_hubs() != labels.num_nodes()) {
+    return Status::InvalidArgument(
+        "point index does not cover the label store's node universe");
+  }
+  LabelCursor cursor;
+  std::vector<std::pair<NodeId, Entry>> occurrences;
+  GRNN_RETURN_NOT_OK(
+      EdgeOccurrences(labels, p, pos, edge_weight, cursor, &occurrences));
+  for (const auto& [hub, entry] : occurrences) {
+    GRNN_RETURN_NOT_OK(RemoveFrom(hub, entry));
+  }
+  num_points_--;
+  return Status::OK();
 }
 
 }  // namespace grnn::index

@@ -1,6 +1,7 @@
 #include "index/hub_rknn.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/numeric.h"
 
@@ -165,6 +166,191 @@ Result<core::RknnResult> RknnViaLabels(const LabelStore& labels,
     if (closer < k) {
       out.results.push_back(
           core::PointMatch{p, ws.point_node[p], d_query});
+    }
+  }
+  ws.ReleaseLeases();
+
+  std::sort(out.results.begin(), out.results.end(),
+            [](const core::PointMatch& a, const core::PointMatch& b) {
+              return a.point < b.point;
+            });
+  return out;
+}
+
+namespace {
+
+/// Weight of edge (u, v) through the view; NotFound when absent.
+Result<Weight> ViewEdgeWeightFor(const graph::NetworkView& g, NodeId u,
+                                 NodeId v,
+                                 graph::NeighborCursor& cursor) {
+  GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> nbrs, g.Scan(u, cursor));
+  for (const AdjEntry& e : nbrs) {
+    if (e.node == v) {
+      return e.weight;
+    }
+  }
+  return Status::NotFound("query position names a nonexistent edge");
+}
+
+}  // namespace
+
+Result<core::RknnResult> UnrestrictedRknnViaLabels(
+    const LabelStore& labels, const graph::NetworkView& g,
+    const core::EdgePointSet& points, const HubPointIndex& index,
+    const core::UnrestrictedQuery& query, const core::RknnOptions& options,
+    LabelWorkspace& ws, graph::NeighborCursor& nbr_cursor) {
+  if (options.k <= 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  if (index.num_hubs() != labels.num_nodes()) {
+    return Status::InvalidArgument(
+        "point index does not cover the label store's node universe");
+  }
+  core::UnrestrictedQuery q = query;
+  Weight qw = 0;
+  if (q.is_position) {
+    if (q.position.u >= labels.num_nodes() ||
+        q.position.v >= labels.num_nodes() ||
+        q.position.u == q.position.v) {
+      return Status::InvalidArgument("invalid query position");
+    }
+    GRNN_ASSIGN_OR_RETURN(qw, ViewEdgeWeightFor(g, q.position.u,
+                                                q.position.v, nbr_cursor));
+    nbr_cursor.Reset();
+    if (q.position.u > q.position.v) {
+      q.position = core::EdgePosition{q.position.v, q.position.u,
+                                      qw - q.position.pos};
+    }
+    if (q.position.pos < 0 || q.position.pos > qw) {
+      return Status::InvalidArgument("query position outside edge");
+    }
+  } else {
+    if (q.route.empty()) {
+      return Status::InvalidArgument("route is empty");
+    }
+    for (NodeId n : q.route) {
+      if (n >= labels.num_nodes()) {
+        return Status::OutOfRange("route node out of range");
+      }
+    }
+  }
+
+  core::RknnResult out;
+  const PointId bound =
+      std::max(index.point_id_bound(), points.point_id_bound());
+  if (q.is_position) {
+    // Sweep over the query's VIRTUAL label: both endpoint labels, each
+    // offset by the query's distance to that endpoint. Exact for every
+    // point not sharing the query's edge (any path to an interior
+    // position enters through an endpoint).
+    ws.point_dist.Reset(bound);
+    if (ws.point_node.size() < bound) {
+      ws.point_node.resize(bound, kInvalidNode);
+    }
+    ws.touched.clear();
+    const NodeId endpoints[2] = {q.position.u, q.position.v};
+    const Weight offsets[2] = {q.position.pos, qw - q.position.pos};
+    for (int side = 0; side < 2; ++side) {
+      GRNN_ASSIGN_OR_RETURN(std::span<const HubEntry> label,
+                            labels.Scan(endpoints[side], ws.cursor));
+      for (const HubEntry& e : label) {
+        const Weight base = offsets[side] + e.dist;
+        for (const HubPointIndex::Entry& occ : index.ListOf(e.hub)) {
+          out.stats.label_entries++;
+          const Weight ub = base + occ.dist;
+          if (!ws.point_dist.Has(occ.point)) {
+            ws.point_dist.Set(occ.point, ub);
+            ws.point_node[occ.point] = occ.node;
+            ws.touched.push_back(occ.point);
+          } else if (ub < ws.point_dist.Get(occ.point)) {
+            ws.point_dist.Set(occ.point, ub);
+          }
+        }
+      }
+    }
+    // Same-edge correction: the direct segment between two positions on
+    // one edge is the only path the endpoint-route cover cannot see.
+    for (const storage::EdgePointRecord& r :
+         points.PointsOnEdge(q.position.u, q.position.v)) {
+      const Weight direct = std::abs(r.pos - q.position.pos);
+      if (!ws.point_dist.Has(r.point)) {
+        ws.point_dist.Set(r.point, direct);
+        ws.point_node[r.point] = q.position.u;
+        ws.touched.push_back(r.point);
+      } else if (direct < ws.point_dist.Get(r.point)) {
+        ws.point_dist.Set(r.point, direct);
+      }
+    }
+  } else {
+    // Route queries sweep per route NODE; node-to-interior-position
+    // distances carry no same-edge case (the query sits on nodes), so
+    // the restricted sweep over the edge-point occurrence index is
+    // already exact.
+    GRNN_RETURN_NOT_OK(
+        SweepPointDistances(labels, index, q.route, ws, &out.stats));
+  }
+
+  const size_t k = static_cast<size_t>(options.k);
+  for (const PointId p : ws.touched) {
+    if (p == options.exclude_point || !points.IsLive(p)) {
+      continue;
+    }
+    const Weight d_query = ws.point_dist.Get(p);
+    out.stats.verify_calls++;
+    ws.counted.Reset(bound);
+    size_t closer = 0;
+    const core::EdgePosition& ppos = points.PositionOf(p);
+    const Weight pw = points.EdgeWeightOfPoint(p);
+    // Same-edge competitors first: their direct-segment distance is
+    // invisible to the hub walk below.
+    for (const storage::EdgePointRecord& r :
+         points.PointsOnEdge(ppos.u, ppos.v)) {
+      if (closer >= k) {
+        break;
+      }
+      const PointId c = r.point;
+      if (c == p || c == options.exclude_point || ws.counted.Contains(c)) {
+        continue;
+      }
+      if (DistLess(std::abs(r.pos - ppos.pos), d_query)) {
+        ws.counted.Insert(c);
+        ++closer;
+      }
+    }
+    // Hub walk over the candidate's virtual label: L(u) offset by the
+    // candidate's split of its edge, then L(v) by the remainder. Runs
+    // are (dist, point)-sorted, so each ends at the first bound past
+    // d_query; a competitor whose exact distance qualifies is counted
+    // through the hub witnessing it (or the direct pass above).
+    const NodeId endpoints[2] = {ppos.u, ppos.v};
+    const Weight offsets[2] = {ppos.pos, pw - ppos.pos};
+    for (int side = 0; side < 2 && closer < k; ++side) {
+      GRNN_ASSIGN_OR_RETURN(std::span<const HubEntry> label,
+                            labels.Scan(endpoints[side], ws.cursor));
+      for (const HubEntry& e : label) {
+        if (closer >= k) {
+          break;
+        }
+        const Weight base = offsets[side] + e.dist;
+        for (const HubPointIndex::Entry& occ : index.ListOf(e.hub)) {
+          out.stats.label_entries++;
+          if (!DistLess(base + occ.dist, d_query)) {
+            break;
+          }
+          const PointId c = occ.point;
+          if (c == p || c == options.exclude_point ||
+              ws.counted.Contains(c)) {
+            continue;
+          }
+          ws.counted.Insert(c);
+          if (++closer >= k) {
+            break;
+          }
+        }
+      }
+    }
+    if (closer < k) {
+      out.results.push_back(core::PointMatch{p, ppos.u, d_query});
     }
   }
   ws.ReleaseLeases();

@@ -103,6 +103,27 @@ Result<core::RknnResult> RknnViaLabels(const LabelStore& labels,
                                        const core::RknnOptions& options,
                                        LabelWorkspace& ws);
 
+/// \brief RkNN over hub labels in UNRESTRICTED networks (paper
+/// Section 5.2): candidates and competitors are the edge-resident points
+/// of `points`, indexed by `index` (HubPointIndex::Build over the
+/// EdgePointSet — occurrences at min distance through both endpoints).
+/// Exact under the RknnOptions contract and interchangeable with
+/// UnrestrictedEagerRknn: distances to an interior position combine the
+/// sweep over the two OFFSET endpoint labels of the query position (or
+/// the plain per-node sweep for route queries) with a same-edge
+/// correction pass — the direct segment between positions sharing one
+/// edge is the only path the 2-hop cover cannot see. Verification walks
+/// each candidate's virtual label (both endpoint labels, offset by the
+/// candidate's split of its edge) plus its same-edge neighbors.
+///
+/// `g` resolves the query edge's weight and canonical orientation for
+/// position queries; `nbr_cursor` backs that one transient scan.
+Result<core::RknnResult> UnrestrictedRknnViaLabels(
+    const LabelStore& labels, const graph::NetworkView& g,
+    const core::EdgePointSet& points, const HubPointIndex& index,
+    const core::UnrestrictedQuery& query, const core::RknnOptions& options,
+    LabelWorkspace& ws, graph::NeighborCursor& nbr_cursor);
+
 }  // namespace grnn::index
 
 #endif  // GRNN_INDEX_HUB_RKNN_H_

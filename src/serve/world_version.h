@@ -68,12 +68,19 @@ struct WorldVersion {
   std::shared_ptr<const core::EdgePointReader> edge_reader;
 
   // --- Derived hub point indexes (Algorithm::kHubLabel) ---
-  /// Null while absent or stale; hub queries against a stale version
-  /// fall back to the eager expansion exactly as in lock mode.
+  /// Maintained INCREMENTALLY: an update clones its domain's index and
+  /// splices the one changed point (the per-hub runs are shared
+  /// copy-on-write, so the clone is cheap), keeping the published index
+  /// exact. Null only while absent or after a structural patch failure;
+  /// hub queries against such a version fall back to the eager
+  /// expansion exactly as in lock mode.
   std::shared_ptr<const index::HubPointIndex> hub_points;
   std::shared_ptr<const index::HubPointIndex> hub_sites;
-  /// True when a node-domain update has invalidated the hub indexes
-  /// and no RebuildIndex publication has superseded it yet.
+  /// Edge-resident point occurrences (unrestricted hub queries).
+  std::shared_ptr<const index::HubPointIndex> hub_edge_points;
+  /// True when an update could not patch the hub indexes incrementally
+  /// (structural failure, e.g. label-universe mismatch) and no
+  /// RebuildIndex publication has superseded it yet.
   bool hub_stale = false;
 };
 

@@ -278,6 +278,11 @@ uint64_t Wal::durable_lsn() const {
   return durable_lsn_;
 }
 
+uint64_t Wal::log_bytes() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return tail_off_ + pending_.size();
+}
+
 WalStats Wal::stats() const {
   std::lock_guard<std::mutex> lock(*mu_);
   return stats_;

@@ -157,6 +157,10 @@ class Wal {
   uint64_t next_lsn() const;
   /// Highest lsn made durable by Flush (0 = none).
   uint64_t durable_lsn() const;
+  /// Live bytes in the record region (durable tail + buffered appends).
+  /// Checkpoint resets it to zero; checkpoint policies (see
+  /// core::DurableKnnStore) compare it against their threshold.
+  uint64_t log_bytes() const;
   /// Records recovered by Open, in lsn order (empty after Create).
   const std::vector<WalRecord>& recovered() const { return recovered_; }
   /// True when Open found (and truncated) a corrupt tail.

@@ -31,6 +31,7 @@
 #include "gen/road_network.h"
 #include "graph/network_view.h"
 #include "index/hub_label.h"
+#include "index/hub_point_index.h"
 #include "index/label_file.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
@@ -600,15 +601,39 @@ TEST_P(DifferentialHarness, StoredLayoutsMatchMemoryEngineBitForBit) {
   }
 }
 
-// The hub-label phase: the full monochromatic + bichromatic
-// k x exclusion matrix through Algorithm::kHubLabel must match the
-// brute-force oracle — from the in-memory HubLabelIndex AND from a
-// LabelFile reopened off disk (the stored-label engine), serially and
-// through the parallel batch path, with the two label backends
-// bit-for-bit identical to each other. A staleness probe then mutates
-// the populations through the engine: hub queries must transparently
-// fall back to eager (counted, still oracle-exact over the mutated
-// world) until RebuildIndex() restores the label path.
+// Bit-for-bit comparison of two hub point indexes: every counter and
+// every per-hub (dist, point)-sorted run identical.
+void ExpectHubIndexesIdentical(const index::HubPointIndex& got,
+                               const index::HubPointIndex& want,
+                               const char* what) {
+  SCOPED_TRACE(what);
+  ASSERT_EQ(got.num_hubs(), want.num_hubs());
+  EXPECT_EQ(got.num_entries(), want.num_entries());
+  EXPECT_EQ(got.num_points(), want.num_points());
+  EXPECT_EQ(got.point_id_bound(), want.point_id_bound());
+  for (NodeId h = 0; h < want.num_hubs(); ++h) {
+    auto a = got.ListOf(h);
+    auto b = want.ListOf(h);
+    ASSERT_EQ(a.size(), b.size()) << "hub=" << h;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]) << "hub=" << h << " entry=" << i;
+    }
+  }
+}
+
+// The hub-label phase: the full kind matrix — monochromatic,
+// bichromatic, and continuous through the node engine; unrestricted
+// and continuous through the edge engine — x k x exclusion through
+// Algorithm::kHubLabel must match the brute-force oracle, from the
+// in-memory HubLabelIndex AND from a LabelFile reopened off disk,
+// serially and through the parallel batch path, with the two label
+// backends bit-for-bit identical to each other. Then seeded update
+// bursts flow through updatable engines: the incrementally maintained
+// indexes must never go stale (hub_fallbacks stays 0), a test-side
+// mirror patched with the same splices must equal a from-scratch
+// HubPointIndex::Build over the mutated sets bit for bit, and
+// RebuildIndex() acts as a consistency check that leaves answers
+// unchanged.
 TEST_P(DifferentialHarness, HubLabelMatchesOracleFromBothLabelBackends) {
   const uint64_t seed = static_cast<uint64_t>(GetParam());
   SCOPED_TRACE("replay: differential_test seed=" + std::to_string(seed) +
@@ -628,9 +653,13 @@ TEST_P(DifferentialHarness, HubLabelMatchesOracleFromBothLabelBackends) {
   RknnEngine mem_engine = RknnEngine::Create(sources).ValueOrDie();
 
   constexpr Algorithm kHubOnly[] = {Algorithm::kHubLabel};
-  auto specs = MakeSpecsForAlgos(
-      *w, {QueryKind::kMonochromatic, QueryKind::kBichromatic}, kHubOnly,
-      /*reps=*/2, rng);
+  const std::vector<QueryKind> kNodeKinds{QueryKind::kMonochromatic,
+                                          QueryKind::kBichromatic,
+                                          QueryKind::kContinuous};
+  const std::vector<QueryKind> kEdgeKinds{QueryKind::kUnrestricted,
+                                          QueryKind::kContinuous};
+  auto specs =
+      MakeSpecsForAlgos(*w, kNodeKinds, kHubOnly, /*reps=*/2, rng);
   CheckAgainstOracle(mem_engine, specs, seed);
   CheckParallelMatchesSerial(mem_engine, specs, seed);
   auto mem_batch = mem_engine.RunBatch(specs);
@@ -639,7 +668,24 @@ TEST_P(DifferentialHarness, HubLabelMatchesOracleFromBothLabelBackends) {
   EXPECT_EQ(mem_batch->stats.search.hub_fallbacks, 0u);
   EXPECT_GT(mem_batch->stats.search.label_entries, 0u);
 
-  // Stored-label engine: persist, reopen, serve through the pool.
+  // Edge engine over the same labels: unrestricted queries walk the
+  // edge-resident occurrence index; continuous routes sweep it per node.
+  EngineSources edge_sources;
+  edge_sources.graph = &*w->view;
+  edge_sources.edge_points = &w->edge_points;
+  edge_sources.knn = &w->edge_knn;
+  edge_sources.hub_labels = &labels;
+  RknnEngine mem_edge = RknnEngine::Create(edge_sources).ValueOrDie();
+  auto edge_specs =
+      MakeSpecsForAlgos(*w, kEdgeKinds, kHubOnly, /*reps=*/2, rng);
+  CheckAgainstOracle(mem_edge, edge_specs, seed);
+  CheckParallelMatchesSerial(mem_edge, edge_specs, seed);
+  auto mem_edge_batch = mem_edge.RunBatch(edge_specs);
+  ASSERT_TRUE(mem_edge_batch.ok());
+  EXPECT_EQ(mem_edge_batch->stats.search.hub_fallbacks, 0u);
+  EXPECT_GT(mem_edge_batch->stats.search.label_entries, 0u);
+
+  // Stored-label engines: persist, reopen, serve through the pool.
   auto disk = std::make_unique<storage::MemoryDiskManager>(512);
   auto built = index::LabelFile::Build(labels, disk.get()).ValueOrDie();
   auto file = std::make_unique<index::LabelFile>(
@@ -650,6 +696,9 @@ TEST_P(DifferentialHarness, HubLabelMatchesOracleFromBothLabelBackends) {
   sources.hub_labels = &stored;
   sources.pool = pool.get();
   RknnEngine stored_engine = RknnEngine::Create(sources).ValueOrDie();
+  edge_sources.hub_labels = &stored;
+  edge_sources.pool = pool.get();
+  RknnEngine stored_edge = RknnEngine::Create(edge_sources).ValueOrDie();
 
   auto stored_serial = stored_engine.RunBatch(specs);
   ASSERT_TRUE(stored_serial.ok()) << stored_serial.status().ToString();
@@ -670,8 +719,28 @@ TEST_P(DifferentialHarness, HubLabelMatchesOracleFromBothLabelBackends) {
   }
   EXPECT_EQ(pool->num_pinned(), 0u);
 
-  // Staleness probe over the memory backend: update -> fallback ->
-  // rebuild -> label path again, oracle-exact at every step.
+  auto stored_edge_serial = stored_edge.RunBatch(edge_specs);
+  ASSERT_TRUE(stored_edge_serial.ok())
+      << stored_edge_serial.status().ToString();
+  for (size_t i = 0; i < edge_specs.size(); ++i) {
+    EXPECT_EQ(stored_edge_serial->results[i].results,
+              mem_edge_batch->results[i].results)
+        << "edge spec=" << i;
+  }
+  auto stored_edge_parallel =
+      stored_edge.RunBatch(edge_specs, ParallelOptions{4, 3});
+  ASSERT_TRUE(stored_edge_parallel.ok());
+  for (size_t i = 0; i < edge_specs.size(); ++i) {
+    EXPECT_EQ(stored_edge_parallel->results[i].results,
+              mem_edge_batch->results[i].results)
+        << "edge spec=" << i << " (parallel)";
+  }
+  EXPECT_EQ(pool->num_pinned(), 0u);
+
+  // Incremental-maintenance bursts: every update splices the hub
+  // indexes in place, so the label path never goes dark. A test-side
+  // mirror receives the same splices and must stay bit-for-bit equal
+  // to a from-scratch Build over the mutated sets.
   EngineSources up_sources;
   up_sources.graph = &*w->view;
   up_sources.points = &w->points;
@@ -683,30 +752,147 @@ TEST_P(DifferentialHarness, HubLabelMatchesOracleFromBothLabelBackends) {
   up_sources.updates.sites = &w->sites;
   up_sources.updates.knn = &w->knn;
   up_sources.updates.site_knn = &w->site_knn;
-  RknnEngine up_engine = RknnEngine::Create(up_sources).ValueOrDie();
-  ASSERT_FALSE(up_engine.hub_index_stale());
+  RknnEngine up_node = RknnEngine::Create(up_sources).ValueOrDie();
+  EngineSources up_edge_sources;
+  up_edge_sources.graph = &*w->view;
+  up_edge_sources.edge_points = &w->edge_points;
+  up_edge_sources.knn = &w->edge_knn;
+  up_edge_sources.hub_labels = &labels;
+  up_edge_sources.updates.edge_points = &w->edge_points;
+  up_edge_sources.updates.knn = &w->edge_knn;
+  up_edge_sources.updates.base_graph = &w->g;
+  RknnEngine up_edge = RknnEngine::Create(up_edge_sources).ValueOrDie();
+  ASSERT_FALSE(up_node.hub_index_stale());
+  ASSERT_FALSE(up_edge.hub_index_stale());
 
-  NodeId free = FreeNode(*w, rng);
-  ASSERT_NE(free, kInvalidNode);
-  ASSERT_TRUE(up_engine.ApplyUpdate(UpdateSpec::InsertPoint(free)).ok());
-  ASSERT_TRUE(up_engine.hub_index_stale());
+  auto mirror_points =
+      index::HubPointIndex::Build(labels, w->points).ValueOrDie();
+  auto mirror_sites =
+      index::HubPointIndex::Build(labels, w->sites).ValueOrDie();
+  auto mirror_edge =
+      index::HubPointIndex::Build(labels, w->edge_points).ValueOrDie();
+  auto edges = w->g.CollectEdges();
 
-  auto stale_specs = MakeSpecsForAlgos(
-      *w, {QueryKind::kMonochromatic, QueryKind::kBichromatic}, kHubOnly,
-      /*reps=*/1, rng);
-  CheckAgainstOracle(up_engine, stale_specs, seed);
-  auto stale_batch = up_engine.RunBatch(stale_specs);
-  ASSERT_TRUE(stale_batch.ok());
-  EXPECT_EQ(stale_batch->stats.search.hub_fallbacks,
-            stale_specs.size());
+  for (int round = 0; round < 3; ++round) {
+    SCOPED_TRACE("burst round " + std::to_string(round));
+    // Points: one insert at a free node, one delete of a live point
+    // (its host captured BEFORE the tombstone forgets it).
+    NodeId free = FreeNode(*w, rng);
+    ASSERT_NE(free, kInvalidNode);
+    auto pin = up_node.ApplyUpdate(UpdateSpec::InsertPoint(free));
+    ASSERT_TRUE(pin.ok());
+    ASSERT_TRUE(mirror_points.InsertPoint(labels, pin->point, free).ok());
+    auto live = w->points.LivePoints();
+    PointId victim = live[rng.UniformInt(live.size())];
+    NodeId victim_host = w->points.NodeOf(victim);
+    ASSERT_TRUE(
+        up_node.ApplyUpdate(UpdateSpec::DeletePoint(victim)).ok());
+    ASSERT_TRUE(
+        mirror_points.ErasePoint(labels, victim, victim_host).ok());
 
-  ASSERT_TRUE(up_engine.RebuildIndex().ok());
-  ASSERT_FALSE(up_engine.hub_index_stale());
-  CheckAgainstOracle(up_engine, stale_specs, seed);
-  auto fresh_batch = up_engine.RunBatch(stale_specs);
-  ASSERT_TRUE(fresh_batch.ok());
-  EXPECT_EQ(fresh_batch->stats.search.hub_fallbacks, 0u);
-  CheckParallelMatchesSerial(up_engine, stale_specs, seed);
+    // Sites: same dance through the bichromatic population.
+    NodeId sfree = FreeNode(*w, rng);
+    ASSERT_NE(sfree, kInvalidNode);
+    auto sin = up_node.ApplyUpdate(UpdateSpec::InsertSite(sfree));
+    ASSERT_TRUE(sin.ok());
+    ASSERT_TRUE(mirror_sites.InsertPoint(labels, sin->point, sfree).ok());
+    auto slive = w->sites.LivePoints();
+    PointId svictim = slive[rng.UniformInt(slive.size())];
+    NodeId svictim_host = w->sites.NodeOf(svictim);
+    ASSERT_TRUE(
+        up_node.ApplyUpdate(UpdateSpec::DeleteSite(svictim)).ok());
+    ASSERT_TRUE(
+        mirror_sites.ErasePoint(labels, svictim, svictim_host).ok());
+
+    // Edge points: insert reads the canonicalized position back from
+    // the set; delete captures position + weight pre-tombstone.
+    const Edge& e = edges[rng.UniformInt(edges.size())];
+    auto ein = up_edge.ApplyUpdate(UpdateSpec::InsertEdgePoint(
+        EdgePosition{e.u, e.v, rng.Uniform(0.0, e.w)}));
+    ASSERT_TRUE(ein.ok());
+    ASSERT_TRUE(mirror_edge
+                    .InsertEdgePoint(
+                        labels, ein->point,
+                        w->edge_points.PositionOf(ein->point),
+                        w->edge_points.EdgeWeightOfPoint(ein->point))
+                    .ok());
+    auto elive = w->edge_points.LivePoints();
+    PointId evictim = elive[rng.UniformInt(elive.size())];
+    EdgePosition evictim_pos = w->edge_points.PositionOf(evictim);
+    Weight evictim_w = w->edge_points.EdgeWeightOfPoint(evictim);
+    ASSERT_TRUE(
+        up_edge.ApplyUpdate(UpdateSpec::DeleteEdgePoint(evictim)).ok());
+    ASSERT_TRUE(mirror_edge
+                    .EraseEdgePoint(labels, evictim, evictim_pos,
+                                    evictim_w)
+                    .ok());
+
+    // Nothing went dark.
+    ASSERT_FALSE(up_node.hub_index_stale());
+    ASSERT_FALSE(up_edge.hub_index_stale());
+
+    // The spliced mirrors equal a from-scratch Build, bit for bit.
+    ExpectHubIndexesIdentical(
+        mirror_points,
+        index::HubPointIndex::Build(labels, w->points).ValueOrDie(),
+        "points");
+    ExpectHubIndexesIdentical(
+        mirror_sites,
+        index::HubPointIndex::Build(labels, w->sites).ValueOrDie(),
+        "sites");
+    ExpectHubIndexesIdentical(
+        mirror_edge,
+        index::HubPointIndex::Build(labels, w->edge_points).ValueOrDie(),
+        "edge_points");
+
+    // Label-served, oracle-exact over the mutated world.
+    auto node_specs =
+        MakeSpecsForAlgos(*w, kNodeKinds, kHubOnly, /*reps=*/1, rng);
+    CheckAgainstOracle(up_node, node_specs, seed);
+    auto node_batch = up_node.RunBatch(node_specs);
+    ASSERT_TRUE(node_batch.ok());
+    EXPECT_EQ(node_batch->stats.search.hub_fallbacks, 0u);
+    EXPECT_GT(node_batch->stats.search.label_entries, 0u);
+    auto burst_edge_specs =
+        MakeSpecsForAlgos(*w, kEdgeKinds, kHubOnly, /*reps=*/1, rng);
+    CheckAgainstOracle(up_edge, burst_edge_specs, seed);
+    auto edge_batch = up_edge.RunBatch(burst_edge_specs);
+    ASSERT_TRUE(edge_batch.ok());
+    EXPECT_EQ(edge_batch->stats.search.hub_fallbacks, 0u);
+    EXPECT_GT(edge_batch->stats.search.label_entries, 0u);
+  }
+
+  // RebuildIndex is a consistency check now: answers are unchanged.
+  auto final_node_specs =
+      MakeSpecsForAlgos(*w, kNodeKinds, kHubOnly, /*reps=*/1, rng);
+  auto final_edge_specs =
+      MakeSpecsForAlgos(*w, kEdgeKinds, kHubOnly, /*reps=*/1, rng);
+  auto before_node = up_node.RunBatch(final_node_specs);
+  ASSERT_TRUE(before_node.ok());
+  auto before_edge = up_edge.RunBatch(final_edge_specs);
+  ASSERT_TRUE(before_edge.ok());
+  ASSERT_TRUE(up_node.RebuildIndex().ok());
+  ASSERT_TRUE(up_edge.RebuildIndex().ok());
+  ASSERT_FALSE(up_node.hub_index_stale());
+  ASSERT_FALSE(up_edge.hub_index_stale());
+  auto after_node = up_node.RunBatch(final_node_specs);
+  ASSERT_TRUE(after_node.ok());
+  for (size_t i = 0; i < final_node_specs.size(); ++i) {
+    EXPECT_EQ(after_node->results[i].results,
+              before_node->results[i].results)
+        << "node spec=" << i << " (post-rebuild)";
+  }
+  EXPECT_EQ(after_node->stats.search.hub_fallbacks, 0u);
+  auto after_edge = up_edge.RunBatch(final_edge_specs);
+  ASSERT_TRUE(after_edge.ok());
+  for (size_t i = 0; i < final_edge_specs.size(); ++i) {
+    EXPECT_EQ(after_edge->results[i].results,
+              before_edge->results[i].results)
+        << "edge spec=" << i << " (post-rebuild)";
+  }
+  EXPECT_EQ(after_edge->stats.search.hub_fallbacks, 0u);
+  CheckParallelMatchesSerial(up_node, final_node_specs, seed);
+  CheckParallelMatchesSerial(up_edge, final_edge_specs, seed);
 }
 
 // The crash/recover phase: a seeded update burst over journaled stores

@@ -554,7 +554,7 @@ TEST(EngineTest, QueryKindNames) {
 // Node engine with a hub-label index attached (and optionally the
 // update sinks, for the staleness tests).
 RknnEngine HubNodeEngine(EngineWorld& w,
-                         const index::HubLabelIndex& labels,
+                         const index::LabelStore& labels,
                          bool updatable = false) {
   EngineSources sources;
   sources.graph = &*w.view;
@@ -572,13 +572,37 @@ RknnEngine HubNodeEngine(EngineWorld& w,
   return RknnEngine::Create(sources).ValueOrDie();
 }
 
-TEST(EngineHubTest, HubMatchesOracleOnServedKinds) {
+// Edge engine with the hub-label index attached (and optionally the
+// update sinks).
+RknnEngine HubEdgeEngine(EngineWorld& w,
+                         const index::LabelStore& labels,
+                         bool updatable = false) {
+  EngineSources sources;
+  sources.graph = &*w.view;
+  sources.edge_points = &w.edge_points;
+  sources.knn = &w.edge_knn;
+  sources.hub_labels = &labels;
+  if (updatable) {
+    sources.updates.edge_points = &w.edge_points;
+    sources.updates.knn = &w.edge_knn;
+    sources.updates.base_graph = &w.g;
+  }
+  return RknnEngine::Create(sources).ValueOrDie();
+}
+
+TEST(EngineHubTest, HubMatchesOracleOnAllFourKinds) {
   auto w = MakeWorld(21, 3);
   auto labels = index::HubLabelBuilder::Build(*w->view).ValueOrDie();
-  RknnEngine engine = HubNodeEngine(*w, labels);
+  RknnEngine node_engine = HubNodeEngine(*w, labels);
+  RknnEngine edge_engine = HubEdgeEngine(*w, labels);
   Rng rng(99);
   for (QueryKind kind :
-       {QueryKind::kMonochromatic, QueryKind::kBichromatic}) {
+       {QueryKind::kMonochromatic, QueryKind::kBichromatic,
+        QueryKind::kContinuous, QueryKind::kUnrestricted}) {
+    // Routes over node points go to the node engine; positions (and
+    // routes over edge points) to the edge engine.
+    RknnEngine& engine =
+        kind == QueryKind::kUnrestricted ? edge_engine : node_engine;
     for (int k = 1; k <= 3; ++k) {
       auto specs =
           MakeSpecs(*w, kind, Algorithm::kHubLabel, k, 8, rng);
@@ -586,7 +610,6 @@ TEST(EngineHubTest, HubMatchesOracleOnServedKinds) {
         auto hub = engine.Run(spec);
         ASSERT_TRUE(hub.ok()) << hub.status().ToString();
         EXPECT_EQ(hub->stats.hub_fallbacks, 0u);
-        EXPECT_GT(hub->stats.label_entries, 0u);
         spec.algorithm = Algorithm::kBruteForce;
         auto oracle = engine.Run(spec);
         ASSERT_TRUE(oracle.ok());
@@ -595,27 +618,22 @@ TEST(EngineHubTest, HubMatchesOracleOnServedKinds) {
       }
     }
   }
-}
-
-TEST(EngineHubTest, UnsupportedKindsReportUnimplemented) {
-  auto w = MakeWorld(22, 3);
-  auto labels = index::HubLabelBuilder::Build(*w->view).ValueOrDie();
-  RknnEngine node_engine = HubNodeEngine(*w, labels);
-  std::vector<NodeId> route{0, w->g.Neighbors(0)[0].node};
-  auto r = node_engine.Run(
-      QuerySpec::Continuous(Algorithm::kHubLabel, std::move(route)));
-  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
-
-  EngineSources edge_sources;
-  edge_sources.graph = &*w->view;
-  edge_sources.edge_points = &w->edge_points;
-  edge_sources.hub_labels = &labels;
-  RknnEngine edge_engine =
-      RknnEngine::Create(edge_sources).ValueOrDie();
-  auto live = w->edge_points.LivePoints();
-  auto pos = edge_engine.Run(QuerySpec::Unrestricted(
-      Algorithm::kHubLabel, w->edge_points.PositionOf(live[0])));
-  EXPECT_EQ(pos.status().code(), StatusCode::kUnimplemented);
+  // Routes over EDGE points take the label path too (continuous on an
+  // edge engine dispatches as an unrestricted route query).
+  for (int k = 1; k <= 3; ++k) {
+    auto specs = MakeSpecs(*w, QueryKind::kContinuous,
+                           Algorithm::kHubLabel, k, 6, rng);
+    for (QuerySpec spec : specs) {
+      auto hub = edge_engine.Run(spec);
+      ASSERT_TRUE(hub.ok()) << hub.status().ToString();
+      EXPECT_EQ(hub->stats.hub_fallbacks, 0u);
+      EXPECT_GT(hub->stats.label_entries, 0u);
+      spec.algorithm = Algorithm::kBruteForce;
+      auto oracle = edge_engine.Run(spec);
+      ASSERT_TRUE(oracle.ok());
+      EXPECT_EQ(Ids(*hub), Ids(*oracle)) << "edge route k=" << k;
+    }
+  }
 }
 
 TEST(EngineHubTest, HubWithoutIndexIsRejected) {
@@ -642,7 +660,7 @@ TEST(EngineHubTest, CreateRejectsMismatchedLabelUniverse) {
   EXPECT_FALSE(RknnEngine::Create(sources).ok());
 }
 
-TEST(EngineHubTest, UpdatesMarkStaleFallBackThenRebuildRestores) {
+TEST(EngineHubTest, UpdatesMaintainIndexIncrementally) {
   auto w = MakeWorld(25, 3);
   auto labels = index::HubLabelBuilder::Build(*w->view).ValueOrDie();
   RknnEngine engine = HubNodeEngine(*w, labels, /*updatable=*/true);
@@ -659,7 +677,8 @@ TEST(EngineHubTest, UpdatesMarkStaleFallBackThenRebuildRestores) {
   ASSERT_TRUE(before.ok());
   EXPECT_EQ(before->stats.hub_fallbacks, 0u);
 
-  // A points update invalidates the derived index...
+  // A points update splices the new point into the derived index under
+  // the update's own exclusive section: the label path never goes dark.
   NodeId free = kInvalidNode;
   for (NodeId n = 0; n < w->g.num_nodes(); ++n) {
     if (!w->points.Contains(n) && !w->sites.Contains(n)) {
@@ -668,42 +687,164 @@ TEST(EngineHubTest, UpdatesMarkStaleFallBackThenRebuildRestores) {
     }
   }
   ASSERT_NE(free, kInvalidNode);
-  ASSERT_TRUE(engine.ApplyUpdate(UpdateSpec::InsertPoint(free)).ok());
-  EXPECT_TRUE(engine.hub_index_stale());
+  auto ins = engine.ApplyUpdate(UpdateSpec::InsertPoint(free));
+  ASSERT_TRUE(ins.ok());
+  EXPECT_FALSE(engine.hub_index_stale());
 
-  // ...so hub queries transparently fall back to eager, still exact
-  // over the MUTATED world, and say so in the stats.
   auto during = engine.Run(hub_spec);
   ASSERT_TRUE(during.ok());
-  EXPECT_EQ(during->stats.hub_fallbacks, 1u);
-  EXPECT_EQ(during->stats.label_entries, 0u);
+  EXPECT_EQ(during->stats.hub_fallbacks, 0u);
+  EXPECT_GT(during->stats.label_entries, 0u);
   auto oracle = engine.Run(oracle_spec);
   ASSERT_TRUE(oracle.ok());
   EXPECT_EQ(Ids(*during), Ids(*oracle));
 
-  // Rebuild restores the label path; answers stay oracle-exact.
+  // Deletes splice back out; still exact, still no fallback.
+  ASSERT_TRUE(
+      engine.ApplyUpdate(UpdateSpec::DeletePoint(ins->point)).ok());
+  EXPECT_FALSE(engine.hub_index_stale());
+  auto deleted = engine.Run(hub_spec);
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(deleted->stats.hub_fallbacks, 0u);
+  auto deleted_oracle = engine.Run(oracle_spec);
+  ASSERT_TRUE(deleted_oracle.ok());
+  EXPECT_EQ(Ids(*deleted), Ids(*deleted_oracle));
+
+  // Site updates are maintained too (bichromatic shares the machinery).
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateSpec::InsertSite(free)).ok());
+  EXPECT_FALSE(engine.hub_index_stale());
+  auto bi = engine.Run(
+      QuerySpec::Bichromatic(Algorithm::kHubLabel, free, 2));
+  ASSERT_TRUE(bi.ok());
+  EXPECT_EQ(bi->stats.hub_fallbacks, 0u);
+  auto bi_oracle = engine.Run(
+      QuerySpec::Bichromatic(Algorithm::kBruteForce, free, 2));
+  ASSERT_TRUE(bi_oracle.ok());
+  EXPECT_EQ(Ids(*bi), Ids(*bi_oracle));
+
+  // RebuildIndex is now a consistency check, not a requirement: it
+  // must keep answers identical to the incrementally patched index.
   ASSERT_TRUE(engine.RebuildIndex().ok());
   EXPECT_FALSE(engine.hub_index_stale());
   auto after = engine.Run(hub_spec);
   ASSERT_TRUE(after.ok());
   EXPECT_EQ(after->stats.hub_fallbacks, 0u);
-  EXPECT_GT(after->stats.label_entries, 0u);
-  EXPECT_EQ(Ids(*after), Ids(*oracle));
+  EXPECT_EQ(after->results, deleted->results);
+}
 
-  // Site updates invalidate too (bichromatic shares the indices).
-  NodeId free_site = kInvalidNode;
+TEST(EngineHubTest, EdgeUpdatesMaintainIndexIncrementally) {
+  auto w = MakeWorld(27, 3);
+  auto labels = index::HubLabelBuilder::Build(*w->view).ValueOrDie();
+  RknnEngine engine = HubEdgeEngine(*w, labels, /*updatable=*/true);
+  ASSERT_FALSE(engine.hub_index_stale());
+
+  auto live = w->edge_points.LivePoints();
+  const QuerySpec hub_spec = QuerySpec::Unrestricted(
+      Algorithm::kHubLabel, w->edge_points.PositionOf(live[0]), 2,
+      live[0]);
+  QuerySpec oracle_spec = hub_spec;
+  oracle_spec.algorithm = Algorithm::kBruteForce;
+
+  // Insert an edge point, query through labels, delete it again — the
+  // edge-resident index must track every step without fallback.
+  auto edges = w->g.CollectEdges();
+  const Edge& e = edges[edges.size() / 2];
+  auto ins = engine.ApplyUpdate(
+      UpdateSpec::InsertEdgePoint(EdgePosition{e.u, e.v, e.w / 3}));
+  ASSERT_TRUE(ins.ok());
+  EXPECT_FALSE(engine.hub_index_stale());
+  auto during = engine.Run(hub_spec);
+  ASSERT_TRUE(during.ok());
+  EXPECT_EQ(during->stats.hub_fallbacks, 0u);
+  EXPECT_GT(during->stats.label_entries, 0u);
+  auto oracle = engine.Run(oracle_spec);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(Ids(*during), Ids(*oracle));
+
+  ASSERT_TRUE(
+      engine.ApplyUpdate(UpdateSpec::DeleteEdgePoint(ins->point)).ok());
+  EXPECT_FALSE(engine.hub_index_stale());
+  auto deleted = engine.Run(hub_spec);
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(deleted->stats.hub_fallbacks, 0u);
+  auto deleted_oracle = engine.Run(oracle_spec);
+  ASSERT_TRUE(deleted_oracle.ok());
+  EXPECT_EQ(Ids(*deleted), Ids(*deleted_oracle));
+
+  ASSERT_TRUE(engine.RebuildIndex().ok());
+  auto after = engine.Run(hub_spec);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->results, deleted->results);
+}
+
+// LabelStore wrapper that fails Scans of one chosen node — the only
+// handle an external test has on the structural-failure staleness path
+// (a healthy engine never trips it).
+class FailingLabelStore final : public index::LabelStore {
+ public:
+  explicit FailingLabelStore(const index::LabelStore* base)
+      : base_(base) {}
+  NodeId num_nodes() const override { return base_->num_nodes(); }
+  size_t num_entries() const override { return base_->num_entries(); }
+  Result<std::span<const index::HubEntry>> Scan(
+      NodeId n, index::LabelCursor& cursor) const override {
+    if (n == fail_node_) {
+      return Status::Internal("injected label scan failure");
+    }
+    return base_->Scan(n, cursor);
+  }
+  void set_fail_node(NodeId n) { fail_node_ = n; }
+
+ private:
+  const index::LabelStore* base_;
+  NodeId fail_node_ = kInvalidNode;
+};
+
+TEST(EngineHubTest, StructuralPatchFailureFallsBackAndAccumulates) {
+  auto w = MakeWorld(25, 3);
+  auto labels = index::HubLabelBuilder::Build(*w->view).ValueOrDie();
+  FailingLabelStore flaky(&labels);
+  RknnEngine engine = HubNodeEngine(*w, flaky, /*updatable=*/true);
+  ASSERT_FALSE(engine.hub_index_stale());
+
+  NodeId free = kInvalidNode;
   for (NodeId n = 0; n < w->g.num_nodes(); ++n) {
     if (!w->points.Contains(n) && !w->sites.Contains(n)) {
-      free_site = n;
+      free = n;
       break;
     }
   }
-  ASSERT_NE(free_site, kInvalidNode);
-  ASSERT_TRUE(
-      engine.ApplyUpdate(UpdateSpec::InsertSite(free_site)).ok());
+  ASSERT_NE(free, kInvalidNode);
+  // The update itself succeeds; the incremental patch cannot scan the
+  // new point's label, so the index goes (rarely, structurally) stale.
+  flaky.set_fail_node(free);
+  ASSERT_TRUE(engine.ApplyUpdate(UpdateSpec::InsertPoint(free)).ok());
   EXPECT_TRUE(engine.hub_index_stale());
+
+  // While stale, every hub query falls back — and the counter
+  // ACCUMULATES across a batch (one increment per falling-back query).
+  std::vector<QuerySpec> specs{
+      QuerySpec::Monochromatic(Algorithm::kHubLabel, 0, 2),
+      QuerySpec::Monochromatic(Algorithm::kHubLabel, 1, 2),
+      QuerySpec::Bichromatic(Algorithm::kHubLabel, 2, 2)};
+  auto batch = engine.RunBatch(specs);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->stats.search.hub_fallbacks, specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    QuerySpec oracle_spec = specs[i];
+    oracle_spec.algorithm = Algorithm::kBruteForce;
+    auto oracle = engine.Run(oracle_spec);
+    ASSERT_TRUE(oracle.ok());
+    EXPECT_EQ(Ids(batch->results[i]), Ids(*oracle)) << "spec=" << i;
+  }
+
+  // Heal the store; RebuildIndex restores the label path.
+  flaky.set_fail_node(kInvalidNode);
   ASSERT_TRUE(engine.RebuildIndex().ok());
   EXPECT_FALSE(engine.hub_index_stale());
+  auto after = engine.RunBatch(specs);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->stats.search.hub_fallbacks, 0u);
 }
 
 TEST(EngineHubTest, ParseAndNamesIncludeHub) {

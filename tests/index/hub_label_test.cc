@@ -304,5 +304,154 @@ TEST(RknnViaLabels, ValidatesInput) {
           .IsInvalidArgument());
 }
 
+// Bit-for-bit equality of two occurrence indexes: counters and every
+// per-hub (dist, point)-sorted run.
+void ExpectIdentical(const HubPointIndex& got, const HubPointIndex& want) {
+  ASSERT_EQ(got.num_hubs(), want.num_hubs());
+  EXPECT_EQ(got.num_entries(), want.num_entries());
+  EXPECT_EQ(got.num_points(), want.num_points());
+  EXPECT_EQ(got.point_id_bound(), want.point_id_bound());
+  for (NodeId h = 0; h < want.num_hubs(); ++h) {
+    auto a = got.ListOf(h);
+    auto b = want.ListOf(h);
+    ASSERT_EQ(a.size(), b.size()) << "hub=" << h;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]) << "hub=" << h << " entry=" << i;
+    }
+  }
+}
+
+TEST(HubPointIndex, IncrementalNodeOpsMatchFromScratchBuild) {
+  for (uint64_t seed : {11u, 12u}) {
+    Rng rng(seed);
+    auto g = RandomConnectedGraph(40, 0.5, rng, seed % 2 == 0);
+    graph::GraphView view(&g);
+    auto labels = HubLabelBuilder::Build(view).ValueOrDie();
+    auto points = RandomPoints(g.num_nodes(), 8, rng);
+    auto occ = HubPointIndex::Build(labels, points).ValueOrDie();
+
+    // Interleave inserts and deletes; after every op the spliced index
+    // must equal a from-scratch Build over the mutated set, bit for bit.
+    for (int op = 0; op < 12; ++op) {
+      if (op % 3 == 2) {
+        auto live = points.LivePoints();
+        PointId victim = live[rng.UniformInt(live.size())];
+        const NodeId host = points.NodeOf(victim);
+        ASSERT_TRUE(points.RemovePoint(victim).ok());
+        ASSERT_TRUE(occ.ErasePoint(labels, victim, host).ok());
+      } else {
+        NodeId n = kInvalidNode;
+        do {
+          n = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+        } while (points.Contains(n));
+        PointId p = points.AddPoint(n).ValueOrDie();
+        ASSERT_TRUE(occ.InsertPoint(labels, p, n).ok());
+      }
+      auto want = HubPointIndex::Build(labels, points).ValueOrDie();
+      ExpectIdentical(occ, want);
+    }
+  }
+}
+
+TEST(HubPointIndex, IncrementalEdgeOpsMatchFromScratchBuild) {
+  for (uint64_t seed : {13u, 14u}) {
+    Rng rng(seed);
+    auto g = RandomConnectedGraph(40, 0.5, rng, seed % 2 == 1);
+    graph::GraphView view(&g);
+    auto labels = HubLabelBuilder::Build(view).ValueOrDie();
+    auto edges = g.CollectEdges();
+    std::vector<core::EdgePosition> positions;
+    for (size_t i = 0; i < 8; ++i) {
+      const Edge& e = edges[rng.UniformInt(edges.size())];
+      positions.push_back({e.u, e.v, rng.Uniform(0.0, e.w)});
+    }
+    auto points = core::EdgePointSet::Create(g, positions).ValueOrDie();
+    auto occ = HubPointIndex::Build(labels, points).ValueOrDie();
+
+    for (int op = 0; op < 12; ++op) {
+      if (op % 3 == 2) {
+        auto live = points.LivePoints();
+        PointId victim = live[rng.UniformInt(live.size())];
+        // Capture BEFORE the removal tombstones the position away.
+        const core::EdgePosition pos = points.PositionOf(victim);
+        const Weight ew = points.EdgeWeightOfPoint(victim);
+        ASSERT_TRUE(points.RemovePoint(victim).ok());
+        ASSERT_TRUE(occ.EraseEdgePoint(labels, victim, pos, ew).ok());
+      } else {
+        const Edge& e = edges[rng.UniformInt(edges.size())];
+        PointId p =
+            points.AddPoint(g, {e.u, e.v, rng.Uniform(0.0, e.w)})
+                .ValueOrDie();
+        ASSERT_TRUE(occ.InsertEdgePoint(labels, p,
+                                        points.PositionOf(p),
+                                        points.EdgeWeightOfPoint(p))
+                        .ok());
+      }
+      auto want = HubPointIndex::Build(labels, points).ValueOrDie();
+      ExpectIdentical(occ, want);
+    }
+  }
+}
+
+TEST(HubPointIndex, EraseOfUnknownOccurrenceReportsInternal) {
+  Rng rng(15);
+  auto g = RandomConnectedGraph(20, 0.5, rng, false);
+  graph::GraphView view(&g);
+  auto labels = HubLabelBuilder::Build(view).ValueOrDie();
+  auto points = RandomPoints(g.num_nodes(), 4, rng);
+  auto occ = HubPointIndex::Build(labels, points).ValueOrDie();
+  // A point that was never indexed has no occurrence entries — the
+  // erase must fail structurally (the engine's hub_stale signal), not
+  // silently corrupt the runs.
+  EXPECT_EQ(occ.ErasePoint(labels, 1000, 0).code(),
+            StatusCode::kInternal);
+  const Edge e = g.CollectEdges().front();
+  EXPECT_EQ(
+      occ.EraseEdgePoint(labels, 1000, {e.u, e.v, e.w / 2}, e.w).code(),
+      StatusCode::kInternal);
+}
+
+TEST(HubPointIndex, CopySharesRunsAndPatchClonesOnlyTouchedHubs) {
+  Rng rng(16);
+  auto g = RandomConnectedGraph(40, 0.5, rng, true);
+  graph::GraphView view(&g);
+  auto labels = HubLabelBuilder::Build(view).ValueOrDie();
+  auto points = RandomPoints(g.num_nodes(), 10, rng);
+  const auto orig = HubPointIndex::Build(labels, points).ValueOrDie();
+
+  HubPointIndex copy = orig;
+  NodeId host = kInvalidNode;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    if (!points.Contains(n)) {
+      host = n;
+      break;
+    }
+  }
+  ASSERT_NE(host, kInvalidNode);
+  PointId p = points.AddPoint(host).ValueOrDie();
+  ASSERT_TRUE(copy.InsertPoint(labels, p, host).ok());
+
+  // The original is untouched — still the pre-insert index.
+  EXPECT_EQ(orig.num_points(), copy.num_points() - 1);
+  size_t shared = 0, cloned = 0;
+  for (NodeId h = 0; h < orig.num_hubs(); ++h) {
+    auto a = orig.ListOf(h);
+    auto b = copy.ListOf(h);
+    if (a.size() == b.size()) {
+      // Untouched run: the copy must SHARE the original's storage
+      // (copy-on-write at hub granularity), not own a clone.
+      EXPECT_EQ(a.data(), b.data()) << "hub=" << h;
+      shared += a.empty() ? 0 : 1;
+    } else {
+      ASSERT_EQ(b.size(), a.size() + 1) << "hub=" << h;
+      ++cloned;
+    }
+  }
+  // The label of `host` covers itself, so at least one run was patched;
+  // a 10-point build leaves plenty untouched.
+  EXPECT_GE(cloned, 1u);
+  EXPECT_GE(shared, 1u);
+}
+
 }  // namespace
 }  // namespace grnn::index

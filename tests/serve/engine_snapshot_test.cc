@@ -203,7 +203,7 @@ TEST(EngineSnapshotTest, InsertIsVisibleToQueriesAgainstTheNewVersion) {
   }
 }
 
-TEST(EngineSnapshotTest, HubStalenessIsPerVersion) {
+TEST(EngineSnapshotTest, HubIndexStaysFreshAcrossPublishedVersions) {
   SnapshotWorld w = SnapshotWorld::Make(/*seed=*/29);
   graph::GraphView view(&w.g);
   auto labels = index::HubLabelBuilder::Build(view).ValueOrDie();
@@ -224,8 +224,9 @@ TEST(EngineSnapshotTest, HubStalenessIsPerVersion) {
   ASSERT_TRUE(fresh.ok());
   EXPECT_EQ(fresh->stats.hub_fallbacks, 0u);
 
-  // A node-domain update publishes a stale version; hub queries fall
-  // back to eager (exactly), counted in hub_fallbacks.
+  // A node-domain update clones-and-splices the hub index onto the
+  // published successor version (PR 8): the label path keeps serving,
+  // exactly, with no fallback and no staleness.
   NodeId free_node = kInvalidNode;
   for (NodeId n = 0; n < w.g.num_nodes(); ++n) {
     if (!w.points.Contains(n)) {
@@ -235,16 +236,26 @@ TEST(EngineSnapshotTest, HubStalenessIsPerVersion) {
   }
   auto ins = engine.ApplyUpdate(UpdateSpec::InsertPoint(free_node));
   ASSERT_TRUE(ins.ok());
-  EXPECT_TRUE(engine.hub_index_stale());
-  auto stale = engine.Run(hub_spec);
-  ASSERT_TRUE(stale.ok());
-  EXPECT_EQ(stale->stats.hub_fallbacks, 1u);
+  EXPECT_FALSE(engine.hub_index_stale());
+  auto patched = engine.Run(hub_spec);
+  ASSERT_TRUE(patched.ok());
+  EXPECT_EQ(patched->stats.hub_fallbacks, 0u);
+  EXPECT_GT(patched->stats.label_entries, 0u);
   auto eager = engine.Run(eager_spec);
   ASSERT_TRUE(eager.ok());
-  EXPECT_EQ(Nodes(*stale), Nodes(*eager));
+  EXPECT_EQ(Nodes(*patched), Nodes(*eager));
 
-  // RebuildIndex publishes a fresh-index version (one more seq) and the
-  // hub path resumes, agreeing with eager on the updated world.
+  // A delete splices back out, still without going dark.
+  ASSERT_TRUE(
+      engine.ApplyUpdate(UpdateSpec::DeletePoint(ins->point)).ok());
+  EXPECT_FALSE(engine.hub_index_stale());
+  auto deleted = engine.Run(hub_spec);
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(deleted->stats.hub_fallbacks, 0u);
+
+  // RebuildIndex is now a consistency publication, not a requirement:
+  // it publishes a from-scratch version (one more seq) whose answers
+  // match the incrementally patched ones bit-for-bit.
   const uint64_t seq_before = engine.world_seq();
   ASSERT_TRUE(engine.RebuildIndex().ok());
   EXPECT_EQ(engine.world_seq(), seq_before + 1);
@@ -252,7 +263,7 @@ TEST(EngineSnapshotTest, HubStalenessIsPerVersion) {
   auto rebuilt = engine.Run(hub_spec);
   ASSERT_TRUE(rebuilt.ok());
   EXPECT_EQ(rebuilt->stats.hub_fallbacks, 0u);
-  EXPECT_EQ(Nodes(*rebuilt), Nodes(*eager));
+  EXPECT_EQ(rebuilt->results, deleted->results);
 }
 
 TEST(EngineSnapshotTest, RejectsStoredMaintainedStores) {

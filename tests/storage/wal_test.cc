@@ -366,6 +366,71 @@ TEST(WalTest, KnnReplayIsIdempotentAcrossDoubleRecovery) {
   EXPECT_EQ(pages_second, 0u);
 }
 
+// The commit-path checkpoint policy: a DurableKnnStore constructed
+// with a log-size threshold invokes CheckpointThrough when a commit
+// leaves the log at or past it — the log shrinks back to empty, the
+// data pages are already durable, and a reopened world needs no replay.
+TEST(WalTest, CommitCheckpointsWhenLogCrossesThreshold) {
+  MemoryDiskManager data_disk(kPageSize);
+  MemoryDiskManager wal_disk(kPageSize);
+  auto file = KnnFile::Create(&data_disk, /*num_nodes=*/20, /*k=*/3);
+  ASSERT_TRUE(file.ok());
+  auto wal = Wal::Create(&wal_disk);
+  ASSERT_TRUE(wal.ok());
+  BufferPool pool(&data_disk, 4);
+  pool.AttachWal(&*wal);
+
+  const std::vector<NnEntry> first = {{0, 1.5}, {2, 2.5}};
+  const std::vector<NnEntry> second = {{4, 0.5}, {0, 1.5}};
+  {
+    // Threshold of one byte: every committed record crosses it, so
+    // every commit ends with a freshly rotated (empty) log.
+    core::DurableKnnStore store(&*file, &pool, &*wal, /*store_id=*/7,
+                                /*checkpoint_threshold_bytes=*/1);
+    core::UpdateStats stats;
+    ASSERT_TRUE(store.BeginUpdate(InsertDesc(5, 0)).ok());
+    ASSERT_TRUE(store.Write(5, first).ok());
+    ASSERT_TRUE(store.CommitUpdate(&stats).ok());
+    EXPECT_EQ(wal->log_bytes(), 0u);
+    EXPECT_EQ(wal->stats().checkpoints, 1u);
+
+    ASSERT_TRUE(store.BeginUpdate(InsertDesc(6, 1)).ok());
+    ASSERT_TRUE(store.Write(6, second).ok());
+    ASSERT_TRUE(store.CommitUpdate(&stats).ok());
+    EXPECT_EQ(wal->log_bytes(), 0u);
+    EXPECT_EQ(wal->stats().checkpoints, 2u);
+  }
+  {
+    // Zero threshold disables the policy: the log grows across commits
+    // until somebody checkpoints explicitly.
+    core::DurableKnnStore store(&*file, &pool, &*wal, /*store_id=*/7);
+    core::UpdateStats stats;
+    ASSERT_TRUE(store.BeginUpdate(InsertDesc(7, 2)).ok());
+    ASSERT_TRUE(store.Write(7, first).ok());
+    ASSERT_TRUE(store.CommitUpdate(&stats).ok());
+    EXPECT_GT(wal->log_bytes(), 0u);
+    EXPECT_EQ(wal->stats().checkpoints, 2u);
+    ASSERT_TRUE(CheckpointThrough(pool, *wal).ok());
+    EXPECT_EQ(wal->log_bytes(), 0u);
+  }
+
+  // Recovery round-trips: the checkpoints made the data durable, so a
+  // reopened log has nothing to replay and the lists read back intact.
+  auto reopened_wal = Wal::Open(&wal_disk);
+  ASSERT_TRUE(reopened_wal.ok());
+  EXPECT_TRUE(reopened_wal->recovered().empty());
+  auto reopened_file = KnnFile::Open(&data_disk, file->first_page());
+  ASSERT_TRUE(reopened_file.ok());
+  BufferPool check_pool(&data_disk, 4);
+  std::vector<NnEntry> got;
+  ASSERT_TRUE(reopened_file->Read(&check_pool, 5, &got).ok());
+  EXPECT_EQ(got, first);
+  ASSERT_TRUE(reopened_file->Read(&check_pool, 6, &got).ok());
+  EXPECT_EQ(got, second);
+  ASSERT_TRUE(reopened_file->Read(&check_pool, 7, &got).ok());
+  EXPECT_EQ(got, first);
+}
+
 TEST(WalTest, LabelRewriteJournalsAndReplays) {
   auto g = graph::Graph::FromEdges(5, {{0, 1, 1.0},
                                        {1, 2, 2.0},
