@@ -54,6 +54,8 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
         args.scale = ScaleLevel::kMedium;
       } else if (std::strcmp(v, "full") == 0) {
         args.scale = ScaleLevel::kFull;
+      } else if (std::strcmp(v, "large") == 0) {
+        args.scale = ScaleLevel::kLarge;
       } else {
         std::fprintf(stderr, "unknown scale '%s'\n", v);
       }
@@ -73,7 +75,7 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
       args.algos = ParseAlgos(a + 8);
     } else if (std::strcmp(a, "--help") == 0) {
       std::printf(
-          "options: --scale=small|medium|full --queries=N --seed=S "
+          "options: --scale=small|medium|full|large --queries=N --seed=S "
           "--threads=N --json=PATH --algos=E,EM,L,LP (also BF, and hub "
           "(H) on benches serving the hub-label index — all four query "
           "kinds, incl. continuous and unrestricted)\n");
@@ -90,6 +92,8 @@ const char* BenchArgs::scale_name() const {
       return "medium";
     case ScaleLevel::kFull:
       return "full";
+    case ScaleLevel::kLarge:
+      return "large";
   }
   return "?";
 }

@@ -2,7 +2,10 @@
 // Shared benchmark harness: storage environments, the paper's cost model
 // (CPU seconds + 10 ms per page fault, Section 6), workload running and
 // table printing. Every bench binary accepts:
-//   --scale=small|medium|full   experiment sizes (default medium)
+//   --scale=small|medium|full|large   experiment sizes (default medium;
+//                               large = production-scale generators on
+//                               benches with a dedicated preset,
+//                               otherwise an alias for full)
 //   --queries=N                 workload size (default 50, as the paper)
 //   --seed=S                    RNG seed (default 1)
 //   --threads=N                 worker threads for engine batches
@@ -48,7 +51,7 @@ namespace grnn::bench {
 inline constexpr size_t kDefaultPoolPages = 256;  // 1 MB of 4 KB pages
 inline constexpr double kIoCostSeconds = 0.010;   // 10 ms per page fault
 
-enum class ScaleLevel { kSmall, kMedium, kFull };
+enum class ScaleLevel { kSmall, kMedium, kFull, kLarge };
 
 struct BenchArgs {
   ScaleLevel scale = ScaleLevel::kMedium;
@@ -68,9 +71,16 @@ struct BenchArgs {
 
   static BenchArgs Parse(int argc, char** argv);
   const char* scale_name() const;
-  /// Picks the per-scale value.
+  /// Picks the per-scale value. Benches without a dedicated large
+  /// preset treat --scale=large as full.
   template <typename T>
   T pick(T small, T medium, T full) const {
+    return pick(small, medium, full, full);
+  }
+  /// Four-level variant for benches with a production-scale preset
+  /// (--scale=large; >= 100k-node generator configs).
+  template <typename T>
+  T pick(T small, T medium, T full, T large) const {
     switch (scale) {
       case ScaleLevel::kSmall:
         return small;
@@ -78,6 +88,8 @@ struct BenchArgs {
         return medium;
       case ScaleLevel::kFull:
         return full;
+      case ScaleLevel::kLarge:
+        return large;
     }
     return medium;
   }

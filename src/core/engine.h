@@ -65,6 +65,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -243,6 +244,12 @@ struct EngineSources {
   ///     nothing, so even the mid-maintenance error cases of
   ///     ApplyUpdate leave the served world untouched.
   bool snapshot_reads = false;
+  /// Worker threads for building the derived hub point indices (Create
+  /// and RebuildIndex — recovery rebuilds included). <= 1 builds
+  /// serially; more threads borrow the engine's worker pool (growing it
+  /// if needed). Parallel builds are bit-identical to serial ones, so
+  /// this is purely a latency knob.
+  int index_build_threads = 1;
 };
 
 /// \brief Execution knobs for RunBatch.
@@ -462,8 +469,19 @@ class RknnEngine {
 
   /// Rebuild body shared by Create and RebuildIndex; caller holds the
   /// exclusive locks of every indexed domain (or is still
-  /// single-owner).
-  Status RebuildHubIndexesLocked();
+  /// single-owner). A non-null `pool` parallelizes the builds
+  /// (bit-identical results).
+  Status RebuildHubIndexesLocked(common::ThreadPool* pool);
+
+  /// Worker pool for parallel index (re)builds: null when
+  /// index_build_threads <= 1; otherwise locks `lock` onto the engine's
+  /// worker-team mutex and returns the (created or grown) shared pool.
+  /// The lock must stay held for the whole build — RunBatchParallel
+  /// REPLACES an undersized pool, which would tear down workers
+  /// mid-build otherwise. Lock order: workers_mu is acquired BEFORE any
+  /// domain lock (same order as RunBatchParallel, which holds it across
+  /// query dispatch), so call this before taking domain locks.
+  common::ThreadPool* IndexBuildPool(std::unique_lock<std::mutex>& lock);
 
   const EdgePointReader* edge_reader() const {
     return src_.edge_reader != nullptr ? src_.edge_reader

@@ -39,9 +39,14 @@
 #include "common/types.h"
 #include "graph/network_view.h"
 
+namespace grnn::common {
+class ThreadPool;
+}
+
 namespace grnn::index {
 
-class LabelFile;  // may install a page lease into a LabelCursor
+class LabelFile;            // may install a page lease into a LabelCursor
+class PackedHubLabelIndex;  // decodes SoA labels into a LabelCursor
 
 /// One label entry: a hub node and the exact network distance to it.
 /// Deliberately layout-identical to AdjEntry (16 bytes, distance at
@@ -91,6 +96,7 @@ class LabelCursor {
 
  private:
   friend class LabelFile;
+  friend class PackedHubLabelIndex;
 
   std::vector<HubEntry> scratch_;
   std::unique_ptr<graph::NeighborLease> lease_;
@@ -164,17 +170,67 @@ class HubLabelIndex final : public LabelStore {
 };
 
 /// Hub processing order. The order determines label size, not
-/// correctness: processing well-connected nodes first lets them cover
-/// (and prune) most pairs.
+/// correctness: processing well-connected (or well-separating) nodes
+/// first lets them cover — and prune — most pairs. Degree order works on
+/// scale-free worlds (BRITE) but collapses on grids and road networks;
+/// the separator and centrality orders exist for exactly those.
 enum class HubOrder : uint8_t {
   kDegreeDesc,  // degree descending, node id ascending (default)
   kRandom,      // seeded shuffle (ablation / adversarial testing)
+  kPartition,   // recursive-separator order (storage/partitioner.h):
+                // top-level separators first; the order of choice for
+                // grid/road worlds (labels ~ sum of separator widths)
+  kBetweennessApprox,  // sampled shortest-path centrality (Brandes over
+                       // `betweenness_samples` sources), descending
+};
+
+/// \brief Build observability: label-size shape, prune effectiveness and
+/// per-phase wall time, filled by HubLabelBuilder::Build on request.
+struct HubLabelBuildStats {
+  size_t num_entries = 0;
+  double avg_label_size = 0.0;
+  size_t max_label_size = 0;
+  /// Dijkstra pops discarded by the cover test. The parallel build
+  /// counts its (more optimistic) discovery-phase pops, so absolute
+  /// values differ from a serial build of the same world; the labels do
+  /// not.
+  uint64_t pruned_pops = 0;
+  /// Pops the parallel build's rank-order replay pruned — the serial
+  /// prune decisions re-applied against the live labels (always 0 for
+  /// serial builds).
+  uint64_t merge_rejected = 0;
+  double order_s = 0.0;     // CSR materialization + hub-order computation
+  double traverse_s = 0.0;  // pruned Dijkstra traversals
+  double merge_s = 0.0;     // rank-windowed candidate merge (parallel)
+  double finalize_s = 0.0;  // per-node hub-id sort + CSR packing
+  int threads = 1;          // workers the traversal phase actually used
+  size_t windows = 0;       // rank windows processed (0 when serial)
 };
 
 struct HubLabelBuildOptions {
   HubOrder order = HubOrder::kDegreeDesc;
-  /// Seed for HubOrder::kRandom.
+  /// Seed for HubOrder::kRandom and the kBetweennessApprox sampler.
   uint64_t seed = 42;
+  /// Dijkstra roots fanned out concurrently; <= 1 selects the canonical
+  /// serial build on the calling thread. Any value yields bit-identical
+  /// labels (see the class comment for the protocol).
+  int num_threads = 1;
+  /// Hubs per rank window of the parallel build; 0 picks a default
+  /// proportional to num_threads. Tuning knob only — every window size
+  /// produces the same labels.
+  uint32_t window = 0;
+  /// Shortest-path source samples for HubOrder::kBetweennessApprox.
+  uint32_t betweenness_samples = 64;
+  /// Opt-in cross-check: after a parallel build, rebuild serially and
+  /// require bit-identical labels (Status::Internal on divergence).
+  /// Expensive — meant for tests and bench ablations.
+  bool verify_canonical = false;
+  /// Worker pool to borrow for parallel phases; nullptr makes the
+  /// builder spin up a temporary pool of num_threads workers. The
+  /// builder never calls ParallelFor from inside a task, so an engine
+  /// pool can be lent safely (core/engine.cc holds workers_mu while a
+  /// build borrows it).
+  common::ThreadPool* pool = nullptr;
 };
 
 /// \brief Pruned landmark labeling over any NetworkView.
@@ -182,13 +238,33 @@ struct HubLabelBuildOptions {
 /// Processes nodes in the deterministic configured order; for each hub
 /// it runs a Dijkstra expansion pruned wherever the labels built so far
 /// already cover the pair at no greater distance. The result is a
-/// canonical 2-hop cover: identical inputs and options yield
+/// canonical 2-hop cover: with `<=` pruning the label set is a pure
+/// function of (graph, hub order), so identical inputs and options yield
 /// bit-identical labels.
+///
+/// The parallel build exploits exactly that canonicity with a
+/// rank-windowed two-phase protocol. Hubs are processed in rank windows;
+/// within a window, per-root pruned Dijkstras run concurrently against
+/// the FROZEN labels committed by earlier windows (pruning weaker than
+/// serial, never stronger), recording every settled pop's frozen cover
+/// value. A serial pass then REPLAYS each hub's pruned traversal in
+/// rank order against the live labels — the traversal must be re-run
+/// because pruning gates reachability, not just insertion — but its
+/// cover test reduces to the recorded frozen value corrected by the
+/// handful of same-window label entries, so the expensive O(|L|) scans
+/// stay parallel. The result is bit-identical to the serial build for
+/// any thread count and window size (enforceable via
+/// HubLabelBuildOptions::verify_canonical).
 class HubLabelBuilder {
  public:
   static Result<HubLabelIndex> Build(
       const graph::NetworkView& g,
       const HubLabelBuildOptions& options = {});
+
+  /// As above, additionally filling `*stats` (ignored when null).
+  static Result<HubLabelIndex> Build(const graph::NetworkView& g,
+                                     const HubLabelBuildOptions& options,
+                                     HubLabelBuildStats* stats);
 };
 
 }  // namespace grnn::index

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/thread_pool.h"
+
 namespace grnn::index {
 
 namespace {
@@ -15,10 +17,45 @@ bool EntryLess(const HubPointIndex::Entry& a,
   return a.dist != b.dist ? a.dist < b.dist : a.point < b.point;
 }
 
+/// Sorts the non-empty runs and publishes them as shared immutable
+/// lists, fanning the per-hub sorts out when a pool is available (each
+/// task owns its run; the publish stays on the calling thread).
+void PublishRuns(std::vector<HubPointIndex::Run>& runs,
+                 std::vector<std::shared_ptr<const HubPointIndex::Run>>& lists,
+                 common::ThreadPool* pool) {
+  const NodeId n = static_cast<NodeId>(runs.size());
+  if (pool != nullptr && pool->num_threads() > 1) {
+    std::vector<NodeId> busy;
+    for (NodeId h = 0; h < n; ++h) {
+      if (!runs[h].empty()) {
+        busy.push_back(h);
+      }
+    }
+    pool->ParallelFor(busy.size(), [&](int, size_t i) {
+      auto& run = runs[busy[i]];
+      std::sort(run.begin(), run.end(), EntryLess);
+    });
+    for (NodeId h : busy) {
+      lists[h] = std::make_shared<const HubPointIndex::Run>(
+          std::move(runs[h]));
+    }
+    return;
+  }
+  for (NodeId h = 0; h < n; ++h) {
+    if (runs[h].empty()) {
+      continue;
+    }
+    std::sort(runs[h].begin(), runs[h].end(), EntryLess);
+    lists[h] =
+        std::make_shared<const HubPointIndex::Run>(std::move(runs[h]));
+  }
+}
+
 }  // namespace
 
-Result<HubPointIndex> HubPointIndex::Build(
-    const LabelStore& labels, const core::NodePointSet& points) {
+Result<HubPointIndex> HubPointIndex::Build(const LabelStore& labels,
+                                           const core::NodePointSet& points,
+                                           common::ThreadPool* pool) {
   if (labels.num_nodes() != points.num_nodes()) {
     return Status::InvalidArgument(
         "label store and point set cover different node counts");
@@ -31,28 +68,55 @@ Result<HubPointIndex> HubPointIndex::Build(
   idx.point_id_bound_ = points.point_id_bound();
 
   std::vector<Run> runs(n);
-  LabelCursor cursor;
-  for (PointId p : points.LivePoints()) {
-    const NodeId home = points.NodeOf(p);
-    GRNN_ASSIGN_OR_RETURN(std::span<const HubEntry> label,
-                          labels.Scan(home, cursor));
-    for (const HubEntry& e : label) {
-      runs[e.hub].push_back(Entry{e.dist, p, home});
-      idx.num_entries_++;
+  if (pool != nullptr && pool->num_threads() > 1 &&
+      points.num_points() > 1) {
+    // Parallel label scans (per-worker cursors; stores are safe for
+    // concurrent reads), then a serial scatter in live-point order so
+    // the runs fill exactly as a serial build would.
+    const auto live_view = points.LivePoints();
+    const std::vector<PointId> live(live_view.begin(), live_view.end());
+    const int workers = pool->num_threads();
+    std::vector<LabelCursor> cursors(static_cast<size_t>(workers));
+    std::vector<std::vector<HubEntry>> occurrences(live.size());
+    std::vector<Status> errors(live.size(), Status::OK());
+    pool->ParallelFor(live.size(), [&](int worker, size_t i) {
+      auto scan = labels.Scan(points.NodeOf(live[i]),
+                              cursors[static_cast<size_t>(worker)]);
+      if (!scan.ok()) {
+        errors[i] = std::move(scan).status();
+        return;
+      }
+      occurrences[i].assign(scan->begin(), scan->end());
+    });
+    for (size_t i = 0; i < live.size(); ++i) {
+      GRNN_RETURN_NOT_OK(errors[i]);
+    }
+    for (size_t i = 0; i < live.size(); ++i) {
+      const NodeId home = points.NodeOf(live[i]);
+      for (const HubEntry& e : occurrences[i]) {
+        runs[e.hub].push_back(Entry{e.dist, live[i], home});
+        idx.num_entries_++;
+      }
+    }
+  } else {
+    LabelCursor cursor;
+    for (PointId p : points.LivePoints()) {
+      const NodeId home = points.NodeOf(p);
+      GRNN_ASSIGN_OR_RETURN(std::span<const HubEntry> label,
+                            labels.Scan(home, cursor));
+      for (const HubEntry& e : label) {
+        runs[e.hub].push_back(Entry{e.dist, p, home});
+        idx.num_entries_++;
+      }
     }
   }
-  for (NodeId h = 0; h < n; ++h) {
-    if (runs[h].empty()) {
-      continue;
-    }
-    std::sort(runs[h].begin(), runs[h].end(), EntryLess);
-    idx.lists_[h] = std::make_shared<const Run>(std::move(runs[h]));
-  }
+  PublishRuns(runs, idx.lists_, pool);
   return idx;
 }
 
-Result<HubPointIndex> HubPointIndex::Build(
-    const LabelStore& labels, const core::EdgePointSet& points) {
+Result<HubPointIndex> HubPointIndex::Build(const LabelStore& labels,
+                                           const core::EdgePointSet& points,
+                                           common::ThreadPool* pool) {
   const NodeId n = labels.num_nodes();
 
   HubPointIndex idx;
@@ -61,24 +125,44 @@ Result<HubPointIndex> HubPointIndex::Build(
   idx.point_id_bound_ = points.point_id_bound();
 
   std::vector<Run> runs(n);
-  LabelCursor cursor;
-  std::vector<std::pair<NodeId, Entry>> occurrences;
-  for (PointId p : points.LivePoints()) {
-    GRNN_RETURN_NOT_OK(EdgeOccurrences(labels, p, points.PositionOf(p),
-                                       points.EdgeWeightOfPoint(p), cursor,
-                                       &occurrences));
-    for (const auto& [hub, entry] : occurrences) {
-      runs[hub].push_back(entry);
-      idx.num_entries_++;
+  if (pool != nullptr && pool->num_threads() > 1 &&
+      points.num_points() > 1) {
+    const auto live_view = points.LivePoints();
+    const std::vector<PointId> live(live_view.begin(), live_view.end());
+    const int workers = pool->num_threads();
+    std::vector<LabelCursor> cursors(static_cast<size_t>(workers));
+    std::vector<std::vector<std::pair<NodeId, Entry>>> occurrences(
+        live.size());
+    std::vector<Status> errors(live.size(), Status::OK());
+    pool->ParallelFor(live.size(), [&](int worker, size_t i) {
+      errors[i] = EdgeOccurrences(
+          labels, live[i], points.PositionOf(live[i]),
+          points.EdgeWeightOfPoint(live[i]),
+          cursors[static_cast<size_t>(worker)], &occurrences[i]);
+    });
+    for (size_t i = 0; i < live.size(); ++i) {
+      GRNN_RETURN_NOT_OK(errors[i]);
+    }
+    for (size_t i = 0; i < live.size(); ++i) {
+      for (const auto& [hub, entry] : occurrences[i]) {
+        runs[hub].push_back(entry);
+        idx.num_entries_++;
+      }
+    }
+  } else {
+    LabelCursor cursor;
+    std::vector<std::pair<NodeId, Entry>> occurrences;
+    for (PointId p : points.LivePoints()) {
+      GRNN_RETURN_NOT_OK(EdgeOccurrences(labels, p, points.PositionOf(p),
+                                         points.EdgeWeightOfPoint(p), cursor,
+                                         &occurrences));
+      for (const auto& [hub, entry] : occurrences) {
+        runs[hub].push_back(entry);
+        idx.num_entries_++;
+      }
     }
   }
-  for (NodeId h = 0; h < n; ++h) {
-    if (runs[h].empty()) {
-      continue;
-    }
-    std::sort(runs[h].begin(), runs[h].end(), EntryLess);
-    idx.lists_[h] = std::make_shared<const Run>(std::move(runs[h]));
-  }
+  PublishRuns(runs, idx.lists_, pool);
   return idx;
 }
 

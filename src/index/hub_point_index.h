@@ -58,18 +58,27 @@ class HubPointIndex {
     friend bool operator==(const Entry&, const Entry&) = default;
   };
 
+  /// Run list type: immutable once published, shared across copies.
+  using Run = std::vector<Entry>;
+
   HubPointIndex() = default;
 
   /// Builds the inverted lists by scanning the label of every live
   /// point's hosting node (disk-backed stores charge their pool here).
+  /// A non-null `pool` parallelizes the label scans (per-worker
+  /// cursors; buffer pools are thread-safe) and the per-hub run sorts;
+  /// the scatter into runs stays serial in live-point order, so the
+  /// result is bit-identical to a serial build.
   static Result<HubPointIndex> Build(const LabelStore& labels,
-                                     const core::NodePointSet& points);
+                                     const core::NodePointSet& points,
+                                     common::ThreadPool* pool = nullptr);
 
   /// Edge-resident population: one occurrence per hub of either
   /// endpoint label of each live point, at
-  /// min(d(u,h) + pos, d(v,h) + w - pos).
+  /// min(d(u,h) + pos, d(v,h) + w - pos). Same parallel contract.
   static Result<HubPointIndex> Build(const LabelStore& labels,
-                                     const core::EdgePointSet& points);
+                                     const core::EdgePointSet& points,
+                                     common::ThreadPool* pool = nullptr);
 
   /// Occurrence run of `hub`, sorted by (dist, point).
   std::span<const Entry> ListOf(NodeId hub) const {
@@ -108,9 +117,6 @@ class HubPointIndex {
   PointId point_id_bound() const { return point_id_bound_; }
 
  private:
-  /// Run list type: immutable once published, shared across copies.
-  using Run = std::vector<Entry>;
-
   /// Splices `entry` into its hub's run at the (dist, point) position.
   void SpliceInto(NodeId hub, const Entry& entry);
   /// Removes `entry` from its hub's run; Internal if absent.

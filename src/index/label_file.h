@@ -22,6 +22,19 @@
 // RAII PageGuard pin until its next scan); page-straddling labels and
 // pools under lease pressure decode into the cursor's scratch buffer and
 // drop their pins before returning.
+//
+// v3 (LabelLayout::kDelta, opt-in at Build) replaces the record stream
+// with one variable-length blob per label: the sorted hub ids as LEB128
+// varint DELTAS followed by the distances as raw 8-byte doubles, grouped
+// — the on-disk twin of index/packed_labels.h's SoA split. Grid/road
+// labels whose hub ids cluster by separator shrink to ~9-10 bytes/entry
+// from 16. The cost is immutability: delta blobs cannot be patched in
+// place, so RewriteLabel/ReplayLabel fail with FailedPrecondition and
+// the journaled maintenance path (core/durability.cc) requires kRecords
+// — which is why kRecords stays the default. Labels depend only on the
+// immutable graph, so a serving-only deployment loses nothing. v3 scans
+// always decode into the cursor scratch (never zero-copy, never a
+// lease); the same no-straddle pad rule applies byte-wise.
 
 #ifndef GRNN_INDEX_LABEL_FILE_H_
 #define GRNN_INDEX_LABEL_FILE_H_
@@ -41,7 +54,18 @@ namespace grnn::index {
 inline constexpr uint32_t kLabelFileMagic = 0x47524c31u;   // "GRL1"
 inline constexpr uint32_t kLabelPageMagic = 0x47524c32u;   // "GRL2"
 inline constexpr uint32_t kLabelFileVersion = 1;
+inline constexpr uint32_t kLabelFileVersionDelta = 3;
 inline constexpr size_t kLabelRecordBytes = sizeof(HubEntry);
+
+/// On-disk data-page layout, chosen at Build time and recorded in the
+/// header version (kLabelFileVersion <-> kRecords,
+/// kLabelFileVersionDelta <-> kDelta).
+enum class LabelLayout : uint8_t {
+  kRecords,  // 16-byte HubEntry records; zero-copy scans, in-place
+             // rewrites (the journaled maintenance path needs this)
+  kDelta,    // varint hub-id deltas + grouped raw distances; ~40%
+             // smaller, decode-only, immutable
+};
 
 /// First bytes of the header page.
 struct LabelFileHeader {
@@ -60,6 +84,8 @@ struct LabelDirectoryEntry {
   /// page (page headers included in the count, as in GraphFile).
   uint64_t offset = 0;
   uint32_t count = 0;
+  /// v3 (delta) files store the label blob's byte length here; v1 files
+  /// write 0.
   uint32_t reserved = 0;
 };
 static_assert(sizeof(LabelDirectoryEntry) == 16);
@@ -71,7 +97,8 @@ static_assert(sizeof(LabelDirectoryEntry) == 16);
 /// skips pages already at or past the record's lsn.
 struct LabelPageHeader {
   uint32_t magic = 0;        // kLabelPageMagic
-  uint32_t entry_count = 0;  // records stored on this page
+  uint32_t entry_count = 0;  // records on this page (v1); payload bytes
+                             // used on this page (v3)
   uint64_t lsn = 0;          // WAL lsn of the newest applied update
 };
 static_assert(sizeof(LabelPageHeader) == 16);
@@ -85,9 +112,12 @@ class LabelFile {
   /// Serializes `index` into fresh pages of `disk` (header, directory,
   /// data — written directly, not through a pool: construction is an
   /// offline step, like GraphFile::Build). The page size must hold the
-  /// header structs plus at least one record.
+  /// header structs plus at least one record. `layout` picks the data-
+  /// page format; kRecords (the default) is the only layout the
+  /// journaled rewrite path can maintain.
   static Result<LabelFile> Build(const HubLabelIndex& index,
-                                 storage::DiskManager* disk);
+                                 storage::DiskManager* disk,
+                                 LabelLayout layout = LabelLayout::kRecords);
 
   /// Reopens a file previously written by Build: reads the header and
   /// directory pages back into the memory-resident index. `first_page`
@@ -107,6 +137,8 @@ class LabelFile {
   /// non-zero `lsn` stamps the touched pages' headers (monotonically) —
   /// the journaled update path passes its WAL record's lsn. Needs
   /// external write synchronization against readers of the same label.
+  /// FailedPrecondition on delta-layout files (variable-length blobs
+  /// cannot be patched in place).
   Status RewriteLabel(storage::BufferPool* pool, NodeId n,
                       std::span<const HubEntry> entries, uint64_t lsn = 0);
 
@@ -125,6 +157,7 @@ class LabelFile {
   NodeId num_nodes() const { return static_cast<NodeId>(counts_.size()); }
   size_t num_entries() const { return num_entries_; }
   uint32_t LabelSize(NodeId n) const { return counts_[n]; }
+  LabelLayout layout() const { return layout_; }
 
   /// Pages occupied by the whole file (header + directory + data).
   size_t num_pages() const { return num_pages_; }
@@ -134,8 +167,18 @@ class LabelFile {
  private:
   LabelFile() = default;
 
+  static Result<LabelFile> BuildRecords(const HubLabelIndex& index,
+                                        storage::DiskManager* disk);
+  static Result<LabelFile> BuildDelta(const HubLabelIndex& index,
+                                      storage::DiskManager* disk);
+
   Status AssembleStraddling(storage::BufferPool* pool, NodeId n,
                             std::vector<HubEntry>& scratch) const;
+  Status AssembleStraddlingBytes(storage::BufferPool* pool, NodeId n,
+                                 std::vector<uint8_t>& out) const;
+  Result<std::span<const HubEntry>> ScanLabelDelta(storage::BufferPool* pool,
+                                                   NodeId n,
+                                                   LabelCursor& cursor) const;
 
   size_t SlotsPerPage() const {
     return (page_size_ - kLabelPageHeaderBytes) / kLabelRecordBytes;
@@ -145,10 +188,13 @@ class LabelFile {
   size_t num_entries_ = 0;
   size_t num_pages_ = 0;
   PageId first_page_ = kInvalidPage;
+  LabelLayout layout_ = LabelLayout::kRecords;
   // Node index (memory-resident): byte offset of each label within this
-  // file's page range plus its length in records.
+  // file's page range plus its length in records (and, for delta files,
+  // in bytes).
   std::vector<uint64_t> offsets_;
   std::vector<uint32_t> counts_;
+  std::vector<uint32_t> bytes_;  // delta layout only
 };
 
 /// \brief Disk-backed LabelStore over a LabelFile + BufferPool, the

@@ -1,0 +1,149 @@
+#include "index/packed_labels.h"
+
+#include <algorithm>
+
+#if defined(__SSE2__) || defined(_M_X64)
+#include <emmintrin.h>
+#define GRNN_PACKED_SSE2 1
+#else
+#define GRNN_PACKED_SSE2 0
+#endif
+
+namespace grnn::index {
+
+namespace {
+
+// Scalar merge-intersection over the split arrays; also the tail loop
+// of the SIMD path.
+Weight ScalarMerge(const uint32_t* ah, const Weight* ad, size_t ai,
+                   size_t an, const uint32_t* bh, const Weight* bd,
+                   size_t bj, size_t bn, Weight best) {
+  while (ai < an && bj < bn) {
+    if (ah[ai] == bh[bj]) {
+      const Weight d = ad[ai] + bd[bj];
+      if (d < best) {
+        best = d;
+      }
+      ++ai;
+      ++bj;
+    } else if (ah[ai] < bh[bj]) {
+      ++ai;
+    } else {
+      ++bj;
+    }
+  }
+  return best;
+}
+
+#if GRNN_PACKED_SSE2
+
+// Block merge: compare 4 hub ids of `a` against all 4 of `b` with four
+// cmpeq passes over rotations of the b block, then advance whichever
+// block has the smaller maximum (both on a tie). Hub ids within a label
+// are strictly increasing, so blocks can never produce more than 4
+// matches and every common hub is found exactly once. Distances are
+// only loaded on a match (movemask is almost always zero).
+Weight SimdMerge(const uint32_t* ah, const Weight* ad, size_t an,
+                 const uint32_t* bh, const Weight* bd, size_t bn) {
+  Weight best = kInfinity;
+  size_t i = 0, j = 0;
+  while (i + 4 <= an && j + 4 <= bn) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ah + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(bh + j));
+    int masks[4];
+    masks[0] = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(va, vb)));
+    masks[1] = _mm_movemask_ps(_mm_castsi128_ps(
+        _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1)))));
+    masks[2] = _mm_movemask_ps(_mm_castsi128_ps(
+        _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2)))));
+    masks[3] = _mm_movemask_ps(_mm_castsi128_ps(
+        _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3)))));
+    for (int rot = 0; rot < 4; ++rot) {
+      int m = masks[rot];
+      while (m != 0) {
+        const int lane = __builtin_ctz(static_cast<unsigned>(m));
+        m &= m - 1;
+        // Rotation `rot` aligned a-lane k with b-lane (k + rot) mod 4.
+        const size_t bj = j + static_cast<size_t>((lane + rot) & 3);
+        const Weight d = ad[i + static_cast<size_t>(lane)] + bd[bj];
+        if (d < best) {
+          best = d;
+        }
+      }
+    }
+    const uint32_t amax = ah[i + 3];
+    const uint32_t bmax = bh[j + 3];
+    if (amax <= bmax) {
+      i += 4;
+    }
+    if (bmax <= amax) {
+      j += 4;
+    }
+  }
+  return ScalarMerge(ah, ad, i, an, bh, bd, j, bn, best);
+}
+
+#endif  // GRNN_PACKED_SSE2
+
+Weight MergeIntersect(const uint32_t* ah, const Weight* ad, size_t an,
+                      const uint32_t* bh, const Weight* bd, size_t bn) {
+#if GRNN_PACKED_SSE2
+  return SimdMerge(ah, ad, an, bh, bd, bn);
+#else
+  return ScalarMerge(ah, ad, 0, an, bh, bd, 0, bn, kInfinity);
+#endif
+}
+
+}  // namespace
+
+const char* PackedMergeBackend() {
+#if GRNN_PACKED_SSE2
+  return "sse2";
+#else
+  return "scalar";
+#endif
+}
+
+PackedHubLabelIndex PackedHubLabelIndex::From(const HubLabelIndex& index) {
+  PackedHubLabelIndex packed;
+  const NodeId n = index.num_nodes();
+  packed.offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  packed.hubs_.reserve(index.num_entries());
+  packed.dists_.reserve(index.num_entries());
+  for (NodeId v = 0; v < n; ++v) {
+    for (const HubEntry& e : index.Label(v)) {
+      packed.hubs_.push_back(e.hub);
+      packed.dists_.push_back(e.dist);
+    }
+    packed.offsets_[v + 1] = packed.hubs_.size();
+  }
+  return packed;
+}
+
+Weight PackedHubLabelIndex::Query(NodeId u, NodeId v) const {
+  GRNN_DCHECK(u < num_nodes());
+  GRNN_DCHECK(v < num_nodes());
+  const size_t au = offsets_[u], av = offsets_[v];
+  return MergeIntersect(hubs_.data() + au, dists_.data() + au,
+                        offsets_[u + 1] - au, hubs_.data() + av,
+                        dists_.data() + av, offsets_[v + 1] - av);
+}
+
+Result<std::span<const HubEntry>> PackedHubLabelIndex::Scan(
+    NodeId n, LabelCursor& cursor) const {
+  if (n >= num_nodes()) {
+    return Status::OutOfRange("node id out of range");
+  }
+  cursor.Reset();
+  const std::span<const uint32_t> hubs = Hubs(n);
+  const std::span<const Weight> dists = Dists(n);
+  cursor.scratch_.resize(hubs.size());
+  for (size_t i = 0; i < hubs.size(); ++i) {
+    cursor.scratch_[i] = HubEntry{hubs[i], dists[i]};
+  }
+  return std::span<const HubEntry>(cursor.scratch_.data(), hubs.size());
+}
+
+}  // namespace grnn::index

@@ -1,0 +1,71 @@
+// Copyright (c) GRNN authors.
+// PackedHubLabelIndex: structure-of-arrays hub labels for SIMD queries.
+//
+// HubLabelIndex stores 16-byte (hub, dist) records; its merge-
+// intersection therefore strides 16 bytes per comparison and wastes half
+// of every cache line on distances it rarely needs. This mirror keeps
+// the hub-id stream as a dense sorted u32 array with the distances
+// grouped separately — the same split the LabelFile v3 delta pages use
+// on disk — so Query(u, v) can compare hub-id blocks 4 at a time (SSE2)
+// and touch distances only on the rare matches. It is a read-only
+// projection built From() a finished HubLabelIndex; it also implements
+// LabelStore (Scan decodes into the cursor's scratch buffer) so every
+// RkNN-via-labels primitive runs against it unchanged.
+
+#ifndef GRNN_INDEX_PACKED_LABELS_H_
+#define GRNN_INDEX_PACKED_LABELS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "index/hub_label.h"
+
+namespace grnn::index {
+
+/// Name of the merge-intersection kernel compiled in ("sse2" or
+/// "scalar") — surfaced by the benches so ablation rows are labelled.
+const char* PackedMergeBackend();
+
+class PackedHubLabelIndex final : public LabelStore {
+ public:
+  PackedHubLabelIndex() = default;
+
+  /// Splits `index` into the SoA layout. O(num_entries).
+  static PackedHubLabelIndex From(const HubLabelIndex& index);
+
+  NodeId num_nodes() const override {
+    return offsets_.empty() ? 0
+                            : static_cast<NodeId>(offsets_.size() - 1);
+  }
+  size_t num_entries() const override { return hubs_.size(); }
+
+  /// Sorted hub ids of `n`'s label.
+  std::span<const uint32_t> Hubs(NodeId n) const {
+    return {hubs_.data() + offsets_[n], offsets_[n + 1] - offsets_[n]};
+  }
+  /// Distances parallel to Hubs(n).
+  std::span<const Weight> Dists(NodeId n) const {
+    return {dists_.data() + offsets_[n], offsets_[n + 1] - offsets_[n]};
+  }
+
+  /// Exact network distance d(u, v) via the SIMD merge-intersection;
+  /// kInfinity for disconnected pairs. Bit-identical to
+  /// HubLabelIndex::Query on the source index (same sums, min over the
+  /// same match set).
+  Weight Query(NodeId u, NodeId v) const;
+
+  /// LabelStore conformance: re-interleaves the label into the cursor's
+  /// scratch buffer (always a copy, never a lease).
+  Result<std::span<const HubEntry>> Scan(NodeId n,
+                                         LabelCursor& cursor) const override;
+
+ private:
+  std::vector<size_t> offsets_;   // num_nodes + 1
+  std::vector<uint32_t> hubs_;    // per-node runs, sorted ascending
+  std::vector<Weight> dists_;     // parallel to hubs_
+};
+
+}  // namespace grnn::index
+
+#endif  // GRNN_INDEX_PACKED_LABELS_H_

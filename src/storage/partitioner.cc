@@ -1,5 +1,6 @@
 #include "storage/partitioner.h"
 
+#include <algorithm>
 #include <deque>
 #include <numeric>
 
@@ -47,6 +48,145 @@ std::vector<NodeId> ComputeNodeOrder(const graph::Graph& g, NodeOrder order,
       return out;
     }
   }
+  return out;
+}
+
+std::vector<NodeId> ComputeSeparatorOrder(std::span<const size_t> offsets,
+                                          std::span<const AdjEntry> adj,
+                                          std::span<const uint32_t> degree) {
+  const size_t n = offsets.empty() ? 0 : offsets.size() - 1;
+  std::vector<NodeId> out;
+  if (n == 0) {
+    return out;
+  }
+  GRNN_CHECK(degree.size() == n);
+  out.reserve(n);
+
+  // Regions at most this large are emitted whole; recursing further
+  // buys nothing once a region fits a handful of cache lines.
+  constexpr size_t kLeafSize = 32;
+
+  const auto central_first = [&degree](NodeId a, NodeId b) {
+    return degree[a] != degree[b] ? degree[a] > degree[b] : a < b;
+  };
+
+  // `token[v]` stamps v's current region membership; `hops[v]` holds its
+  // BFS level within that region. Each BFS consumes stamp s (visited
+  // nodes move to s + 1), so a region is re-sweepable without an O(n)
+  // clear between passes.
+  std::vector<uint32_t> token(n, 0);
+  std::vector<uint32_t> hops(n, 0);
+  uint32_t stamp = 0;
+
+  // BFS over the region stamped `member`, from `start`; fills `order`
+  // with the visited nodes (pop order) and `hops` with their levels.
+  // Visited nodes end up stamped `member + 1`.
+  const auto bfs = [&](NodeId start, uint32_t member,
+                       std::vector<NodeId>* order) {
+    order->clear();
+    hops[start] = 0;
+    token[start] = member + 1;
+    order->push_back(start);
+    for (size_t head = 0; head < order->size(); ++head) {
+      const NodeId u = (*order)[head];
+      for (size_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+        const NodeId v = adj[i].node;
+        if (token[v] == member) {
+          token[v] = member + 1;
+          hops[v] = hops[u] + 1;
+          order->push_back(v);
+        }
+      }
+    }
+  };
+
+  std::deque<std::vector<NodeId>> regions;
+  {
+    std::vector<NodeId> all(n);
+    std::iota(all.begin(), all.end(), NodeId{0});
+    regions.push_back(std::move(all));
+  }
+  std::vector<NodeId> sweep;
+  while (!regions.empty()) {
+    std::vector<NodeId> region = std::move(regions.front());
+    regions.pop_front();
+    if (region.size() <= kLeafSize) {
+      std::sort(region.begin(), region.end(), central_first);
+      out.insert(out.end(), region.begin(), region.end());
+      continue;
+    }
+    // Peel off connected components smallest-seed-id first; the
+    // splitting below assumes a connected region.
+    std::sort(region.begin(), region.end());
+    const uint32_t member = ++stamp;
+    for (NodeId v : region) {
+      token[v] = member;
+    }
+    bool split_components = false;
+    for (NodeId v : region) {
+      if (token[v] != member) {
+        continue;  // already swept into an earlier component
+      }
+      bfs(v, member, &sweep);
+      if (sweep.size() == region.size()) {
+        break;  // connected: fall through to the separator split
+      }
+      split_components = true;
+      regions.emplace_back(sweep);
+    }
+    ++stamp;  // account for the `member + 1` stamps the sweeps left
+    if (split_components) {
+      continue;
+    }
+
+    // Double sweep: the farthest node from the smallest-id seed is a
+    // pseudo-peripheral root, so its BFS levels slice the region across
+    // its long axis and the middle level is a decent separator.
+    NodeId root = sweep[0];
+    for (NodeId v : sweep) {
+      if (hops[v] > hops[root] || (hops[v] == hops[root] && v < root)) {
+        root = v;
+      }
+    }
+    bfs(root, stamp, &sweep);
+    ++stamp;
+    uint32_t radius = 0;
+    for (NodeId v : sweep) {
+      radius = std::max(radius, hops[v]);
+    }
+    if (radius == 0) {
+      // Single BFS level (complete-graph-like): nothing to dissect.
+      std::sort(sweep.begin(), sweep.end(), central_first);
+      out.insert(out.end(), sweep.begin(), sweep.end());
+      continue;
+    }
+    // Middle level by node mass: smallest level with half the region at
+    // or below it. Level `cut` is the separator; the sides recurse.
+    std::vector<size_t> level_count(radius + 1, 0);
+    for (NodeId v : sweep) {
+      ++level_count[hops[v]];
+    }
+    uint32_t cut = 0;
+    for (size_t seen = 0; cut < radius; ++cut) {
+      seen += level_count[cut];
+      if (2 * seen >= sweep.size()) {
+        break;
+      }
+    }
+    std::vector<NodeId> separator, low, high;
+    for (NodeId v : sweep) {
+      (hops[v] == cut ? separator : hops[v] < cut ? low : high).push_back(v);
+    }
+    std::sort(separator.begin(), separator.end(), central_first);
+    out.insert(out.end(), separator.begin(), separator.end());
+    if (!low.empty()) {
+      regions.push_back(std::move(low));
+    }
+    if (!high.empty()) {
+      regions.push_back(std::move(high));
+    }
+  }
+  GRNN_CHECK(out.size() == n);
   return out;
 }
 

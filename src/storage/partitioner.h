@@ -9,6 +9,8 @@
 #ifndef GRNN_STORAGE_PARTITIONER_H_
 #define GRNN_STORAGE_PARTITIONER_H_
 
+#include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/types.h"
@@ -28,6 +30,28 @@ enum class NodeOrder {
 /// node per component, so every node appears exactly once.
 std::vector<NodeId> ComputeNodeOrder(const graph::Graph& g, NodeOrder order,
                                      uint64_t seed = 42);
+
+/// \brief Recursive-separator ("nested dissection" style) node order over
+/// a CSR adjacency: `offsets` has n+1 entries into `adj`, `degree[v]` is
+/// the neighbor count of v.
+///
+/// Each connected region is split at a middle BFS level (rooted at a
+/// pseudo-peripheral node found by a double sweep); the separator level
+/// is emitted first and the two sides recurse, breadth-first over the
+/// dissection tree. Top-level separators therefore come first — exactly
+/// the "most central nodes first" shape pruned landmark labeling wants
+/// on grid/road worlds, where it shrinks labels to roughly the sum of
+/// separator widths along a node's dissection path (~O(sqrt(n))) instead
+/// of degree order's near-linear blowup. Fully deterministic: all ties
+/// break on (degree descending, node id ascending) and components are
+/// visited smallest-id first.
+///
+/// Takes raw CSR spans rather than a graph::Graph so callers holding
+/// only a NetworkView (index/hub_label.cc materializes its own CSR) can
+/// reuse the machinery.
+std::vector<NodeId> ComputeSeparatorOrder(std::span<const size_t> offsets,
+                                          std::span<const AdjEntry> adj,
+                                          std::span<const uint32_t> degree);
 
 }  // namespace grnn::storage
 

@@ -895,6 +895,116 @@ TEST_P(DifferentialHarness, HubLabelMatchesOracleFromBothLabelBackends) {
   CheckParallelMatchesSerial(up_edge, final_edge_specs, seed);
 }
 
+// The order/parallel phase: labels built with the PARTITION hub order by
+// the PARALLEL rank-windowed builder (cross-checked bit-for-bit against
+// the canonical serial build via verify_canonical) must serve the full
+// kind matrix oracle-exactly through node and edge engines — and a v3
+// delta-layout LabelFile reopened off disk must answer bit-for-bit the
+// same as the in-memory index. The hub order changes label CONTENT, so
+// this phase proves engine correctness is order- and builder-invariant,
+// not an artifact of the default degree order.
+TEST_P(DifferentialHarness, PartitionOrderedParallelLabelsMatchOracle) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  SCOPED_TRACE("replay: differential_test seed=" + std::to_string(seed) +
+               " (partition-order phase)");
+  auto w = MakeWorld(seed);
+  Rng rng(seed * 769 + 11);
+
+  index::HubLabelBuildOptions build_opts;
+  build_opts.order = index::HubOrder::kPartition;
+  build_opts.num_threads = 3;
+  build_opts.window = 5;
+  build_opts.verify_canonical = true;  // parallel == serial, bit for bit
+  index::HubLabelBuildStats build_stats;
+  auto labels =
+      index::HubLabelBuilder::Build(*w->view, build_opts, &build_stats)
+          .ValueOrDie();
+  EXPECT_GT(build_stats.windows, 0u);
+  EXPECT_EQ(build_stats.threads, 3);
+
+  EngineSources sources;
+  sources.graph = &*w->view;
+  sources.points = &w->points;
+  sources.sites = &w->sites;
+  sources.knn = &w->knn;
+  sources.site_knn = &w->site_knn;
+  sources.hub_labels = &labels;
+  RknnEngine mem_engine = RknnEngine::Create(sources).ValueOrDie();
+
+  constexpr Algorithm kHubOnly[] = {Algorithm::kHubLabel};
+  const std::vector<QueryKind> kNodeKinds{QueryKind::kMonochromatic,
+                                          QueryKind::kBichromatic,
+                                          QueryKind::kContinuous};
+  const std::vector<QueryKind> kEdgeKinds{QueryKind::kUnrestricted,
+                                          QueryKind::kContinuous};
+  auto specs =
+      MakeSpecsForAlgos(*w, kNodeKinds, kHubOnly, /*reps=*/2, rng);
+  CheckAgainstOracle(mem_engine, specs, seed);
+  CheckParallelMatchesSerial(mem_engine, specs, seed);
+  auto mem_batch = mem_engine.RunBatch(specs);
+  ASSERT_TRUE(mem_batch.ok());
+  EXPECT_EQ(mem_batch->stats.search.hub_fallbacks, 0u);
+  EXPECT_GT(mem_batch->stats.search.label_entries, 0u);
+
+  EngineSources edge_sources;
+  edge_sources.graph = &*w->view;
+  edge_sources.edge_points = &w->edge_points;
+  edge_sources.knn = &w->edge_knn;
+  edge_sources.hub_labels = &labels;
+  RknnEngine mem_edge = RknnEngine::Create(edge_sources).ValueOrDie();
+  auto edge_specs =
+      MakeSpecsForAlgos(*w, kEdgeKinds, kHubOnly, /*reps=*/2, rng);
+  CheckAgainstOracle(mem_edge, edge_specs, seed);
+  CheckParallelMatchesSerial(mem_edge, edge_specs, seed);
+  auto mem_edge_batch = mem_edge.RunBatch(edge_specs);
+  ASSERT_TRUE(mem_edge_batch.ok());
+  EXPECT_EQ(mem_edge_batch->stats.search.hub_fallbacks, 0u);
+
+  // Stored labels in the v3 delta layout, reopened off disk: the
+  // decode-only blob path must reproduce the memory answers exactly.
+  auto disk = std::make_unique<storage::MemoryDiskManager>(512);
+  auto built =
+      index::LabelFile::Build(labels, disk.get(),
+                              index::LabelLayout::kDelta)
+          .ValueOrDie();
+  auto file = std::make_unique<index::LabelFile>(
+      index::LabelFile::Open(disk.get(), built.first_page())
+          .ValueOrDie());
+  ASSERT_EQ(file->layout(), index::LabelLayout::kDelta);
+  auto pool = std::make_unique<storage::BufferPool>(disk.get(), 64);
+  index::StoredLabelIndex stored(file.get(), pool.get());
+  sources.hub_labels = &stored;
+  sources.pool = pool.get();
+  RknnEngine stored_engine = RknnEngine::Create(sources).ValueOrDie();
+  edge_sources.hub_labels = &stored;
+  edge_sources.pool = pool.get();
+  RknnEngine stored_edge = RknnEngine::Create(edge_sources).ValueOrDie();
+
+  auto stored_serial = stored_engine.RunBatch(specs);
+  ASSERT_TRUE(stored_serial.ok()) << stored_serial.status().ToString();
+  for (size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(stored_serial->results[i].results,
+              mem_batch->results[i].results)
+        << "spec=" << i;
+  }
+  auto stored_parallel =
+      stored_engine.RunBatch(specs, ParallelOptions{4, 5});
+  ASSERT_TRUE(stored_parallel.ok());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(stored_parallel->results[i].results,
+              mem_batch->results[i].results)
+        << "spec=" << i << " (parallel)";
+  }
+  auto stored_edge_serial = stored_edge.RunBatch(edge_specs);
+  ASSERT_TRUE(stored_edge_serial.ok());
+  for (size_t i = 0; i < edge_specs.size(); ++i) {
+    EXPECT_EQ(stored_edge_serial->results[i].results,
+              mem_edge_batch->results[i].results)
+        << "edge spec=" << i;
+  }
+  EXPECT_EQ(pool->num_pinned(), 0u);
+}
+
 // The crash/recover phase: a seeded update burst over journaled stores
 // is killed at an injected write point (a quartile of the world's
 // enumerated WritePage/Sync sequence — the dedicated crash_recovery_test
@@ -934,9 +1044,11 @@ TEST_P(DifferentialHarness, CrashRecoveryRestoresAckedStateExactly) {
 // through 3 parallel configurations — plus, per seed, 3 update bursts
 // each re-verified against rebuilt stores and the reduced (reps=1)
 // matrix, a storage-equivalence phase replaying the matrix through
-// StoredGraph v1/v2 engines, and a hub-label phase holding
+// StoredGraph v1/v2 engines, a hub-label phase holding
 // Algorithm::kHubLabel (memory + reopened stored labels, serial +
-// parallel, staleness probe included) to the same oracle.
+// parallel, staleness probe included) to the same oracle, and a
+// partition-order phase re-running that matrix over parallel-built
+// separator-ordered labels served from a v3 delta LabelFile.
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialHarness,
                          ::testing::Range(1, 7),
                          ::testing::PrintToStringParamName());

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/brute_force.h"
 #include "core/bichromatic.h"
 #include "graph/dijkstra.h"
@@ -14,6 +15,7 @@
 #include "index/hub_label.h"
 #include "index/hub_point_index.h"
 #include "index/hub_rknn.h"
+#include "index/packed_labels.h"
 #include "test_fixtures.h"
 
 namespace grnn::index {
@@ -409,6 +411,216 @@ TEST(HubPointIndex, EraseOfUnknownOccurrenceReportsInternal) {
   EXPECT_EQ(
       occ.EraseEdgePoint(labels, 1000, {e.u, e.v, e.w / 2}, e.w).code(),
       StatusCode::kInternal);
+}
+
+// --- PR 9: order matrix, parallel bit-identity, packed labels ----------
+
+constexpr HubOrder kAllOrders[] = {
+    HubOrder::kDegreeDesc, HubOrder::kRandom, HubOrder::kPartition,
+    HubOrder::kBetweennessApprox};
+
+void ExpectIdenticalLabels(const HubLabelIndex& a, const HubLabelIndex& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_entries(), b.num_entries());
+  for (NodeId n = 0; n < a.num_nodes(); ++n) {
+    auto la = a.Label(n);
+    auto lb = b.Label(n);
+    ASSERT_EQ(la.size(), lb.size()) << "node " << n;
+    for (size_t i = 0; i < la.size(); ++i) {
+      ASSERT_EQ(la[i], lb[i]) << "node " << n << " slot " << i;
+    }
+  }
+}
+
+TEST(HubOrderMatrix, EveryOrderStaysExactAndDeterministic) {
+  for (uint64_t seed : {21u, 22u}) {
+    Rng rng(seed);
+    auto g = RandomConnectedGraph(50, 0.5, rng, seed % 2 == 0);
+    graph::GraphView view(&g);
+    for (HubOrder order : kAllOrders) {
+      HubLabelBuildOptions options;
+      options.order = order;
+      options.seed = 31;
+      auto index = HubLabelBuilder::Build(view, options).ValueOrDie();
+      ExpectAllPairsExact(g, index);
+      auto again = HubLabelBuilder::Build(view, options).ValueOrDie();
+      ExpectIdenticalLabels(index, again);
+    }
+  }
+}
+
+TEST(HubOrderMatrix, PartitionOrderHandlesDisconnectedGraphs) {
+  // Two components of different shapes: the separator recursion must
+  // emit every node exactly once and the labels must stay exact.
+  auto g = graph::Graph::FromEdges(9, {{0, 1, 1.0},
+                                       {1, 2, 2.0},
+                                       {2, 3, 1.5},
+                                       {3, 0, 1.0},
+                                       {4, 5, 1.0},
+                                       {5, 6, 2.0},
+                                       {6, 7, 0.5}})
+               .ValueOrDie();  // node 8 is isolated
+  graph::GraphView view(&g);
+  HubLabelBuildOptions options;
+  options.order = HubOrder::kPartition;
+  auto index = HubLabelBuilder::Build(view, options).ValueOrDie();
+  ExpectAllPairsExact(g, index);
+  EXPECT_EQ(index.Query(0, 4), kInfinity);
+}
+
+TEST(HubOrderMatrix, BuildStatsReportLabelShapeAndPhases) {
+  Rng rng(23);
+  auto g = RandomConnectedGraph(40, 0.6, rng);
+  graph::GraphView view(&g);
+  HubLabelBuildOptions options;
+  options.order = HubOrder::kPartition;
+  HubLabelBuildStats stats;
+  auto index = HubLabelBuilder::Build(view, options, &stats).ValueOrDie();
+  EXPECT_EQ(stats.num_entries, index.num_entries());
+  EXPECT_DOUBLE_EQ(stats.avg_label_size, index.AverageLabelSize());
+  size_t max_label = 0;
+  for (NodeId n = 0; n < index.num_nodes(); ++n) {
+    max_label = std::max(max_label, index.LabelSize(n));
+  }
+  EXPECT_EQ(stats.max_label_size, max_label);
+  EXPECT_EQ(stats.threads, 1);
+  EXPECT_EQ(stats.windows, 0u);
+  EXPECT_EQ(stats.merge_rejected, 0u);
+  EXPECT_GE(stats.order_s, 0.0);
+  EXPECT_GE(stats.traverse_s, 0.0);
+}
+
+TEST(ParallelBuild, BitIdenticalToSerialAcrossThreadsAndWindows) {
+  for (uint64_t seed : {24u, 25u}) {
+    Rng rng(seed);
+    auto g = RandomConnectedGraph(60, 0.5, rng, seed % 2 == 1);
+    graph::GraphView view(&g);
+    for (HubOrder order :
+         {HubOrder::kDegreeDesc, HubOrder::kPartition}) {
+      HubLabelBuildOptions serial_opts;
+      serial_opts.order = order;
+      auto serial =
+          HubLabelBuilder::Build(view, serial_opts).ValueOrDie();
+      for (int threads : {2, 4}) {
+        for (uint32_t window : {0u, 1u, 3u, 64u}) {
+          HubLabelBuildOptions options = serial_opts;
+          options.num_threads = threads;
+          options.window = window;
+          HubLabelBuildStats stats;
+          auto parallel =
+              HubLabelBuilder::Build(view, options, &stats).ValueOrDie();
+          ExpectIdenticalLabels(parallel, serial);
+          EXPECT_GT(stats.windows, 0u)
+              << "threads=" << threads << " window=" << window;
+          EXPECT_GT(stats.threads, 1);
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelBuild, VerifyCanonicalPasses) {
+  Rng rng(26);
+  auto g = RandomConnectedGraph(50, 0.6, rng);
+  graph::GraphView view(&g);
+  HubLabelBuildOptions options;
+  options.order = HubOrder::kPartition;
+  options.num_threads = 4;
+  options.verify_canonical = true;
+  auto index = HubLabelBuilder::Build(view, options).ValueOrDie();
+  ExpectAllPairsExact(g, index);
+}
+
+TEST(ParallelBuild, HubPointIndexParallelBuildIsBitIdentical) {
+  common::ThreadPool pool(3);
+  for (uint64_t seed : {27u, 28u}) {
+    Rng rng(seed);
+    auto g = RandomConnectedGraph(50, 0.5, rng, seed % 2 == 0);
+    graph::GraphView view(&g);
+    auto labels = HubLabelBuilder::Build(view).ValueOrDie();
+    auto points = RandomPoints(g.num_nodes(), 12, rng);
+    auto serial = HubPointIndex::Build(labels, points).ValueOrDie();
+    auto parallel =
+        HubPointIndex::Build(labels, points, &pool).ValueOrDie();
+    ExpectIdentical(parallel, serial);
+
+    auto edges = g.CollectEdges();
+    std::vector<core::EdgePosition> positions;
+    for (size_t i = 0; i < 10; ++i) {
+      const Edge& e = edges[rng.UniformInt(edges.size())];
+      positions.push_back({e.u, e.v, rng.Uniform(0.0, e.w)});
+    }
+    auto epoints = core::EdgePointSet::Create(g, positions).ValueOrDie();
+    auto eserial = HubPointIndex::Build(labels, epoints).ValueOrDie();
+    auto eparallel =
+        HubPointIndex::Build(labels, epoints, &pool).ValueOrDie();
+    ExpectIdentical(eparallel, eserial);
+  }
+}
+
+TEST(PackedLabels, QueryMatchesAosIndexOnAllPairs) {
+  for (uint64_t seed : {29u, 30u}) {
+    Rng rng(seed);
+    auto g = RandomConnectedGraph(55, 0.5, rng, seed % 2 == 1);
+    graph::GraphView view(&g);
+    auto labels = HubLabelBuilder::Build(view).ValueOrDie();
+    auto packed = PackedHubLabelIndex::From(labels);
+    ASSERT_EQ(packed.num_nodes(), labels.num_nodes());
+    ASSERT_EQ(packed.num_entries(), labels.num_entries());
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        // Bit-equal, not approximately equal: the SIMD merge must form
+        // the same sums over the same match set.
+        EXPECT_EQ(packed.Query(u, v), labels.Query(u, v))
+            << "u=" << u << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(PackedLabels, ScanAndQueryViaStoreConform) {
+  Rng rng(31);
+  auto g = RandomConnectedGraph(40, 0.6, rng);
+  graph::GraphView view(&g);
+  auto labels = HubLabelBuilder::Build(view).ValueOrDie();
+  auto packed = PackedHubLabelIndex::From(labels);
+  LabelCursor cursor;
+  for (NodeId n = 0; n < labels.num_nodes(); ++n) {
+    auto span = packed.Scan(n, cursor).ValueOrDie();
+    auto want = labels.Label(n);
+    ASSERT_EQ(span.size(), want.size()) << "node " << n;
+    EXPECT_TRUE(std::equal(span.begin(), span.end(), want.begin()));
+  }
+  EXPECT_EQ(cursor.held_pins(), 0u);
+  LabelCursor cu, cv;
+  for (int i = 0; i < 50; ++i) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    NodeId v = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    EXPECT_EQ(QueryViaStore(packed, u, v, cu, cv).ValueOrDie(),
+              labels.Query(u, v));
+  }
+}
+
+TEST(PackedLabels, ServesRknnPrimitives) {
+  // The packed store must be a drop-in LabelStore for the RkNN path.
+  Rng rng(32);
+  auto g = RandomConnectedGraph(50, 0.5, rng);
+  graph::GraphView view(&g);
+  auto points = RandomPoints(g.num_nodes(), 12, rng);
+  auto labels = HubLabelBuilder::Build(view).ValueOrDie();
+  auto packed = PackedHubLabelIndex::From(labels);
+  auto occ = HubPointIndex::Build(packed, points).ValueOrDie();
+  LabelWorkspace ws;
+  for (int rep = 0; rep < 10; ++rep) {
+    core::RknnOptions options;
+    options.k = 1 + rep % 3;
+    NodeId q = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+    auto got =
+        RknnViaLabels(packed, occ, occ, {&q, 1}, options, ws).ValueOrDie();
+    auto want =
+        core::BruteForceRknn(view, points, {&q, 1}, options).ValueOrDie();
+    EXPECT_EQ(Ids(got), Ids(want)) << "rep=" << rep;
+  }
 }
 
 TEST(HubPointIndex, CopySharesRunsAndPatchClonesOnlyTouchedHubs) {

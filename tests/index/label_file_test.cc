@@ -236,6 +236,138 @@ TEST(LabelFile, OpenRejectsCorruptHeaders) {
           .IsOutOfRange());
 }
 
+// ---------------------------------------------------------------------
+// v3 delta layout (LabelLayout::kDelta): varint hub-id deltas + grouped
+// raw distances. Decode-only — scans must still match the memory index
+// entry-for-entry, but never hold a lease, and in-place maintenance is
+// rejected outright.
+
+TEST(LabelFileDelta, StoredScansMatchMemoryOnAllWorlds) {
+  for (int family = 0; family < 3; ++family) {
+    auto g = WorldGraph(family, 31 + static_cast<uint64_t>(family));
+    auto index = BuildIndex(g);
+    storage::MemoryDiskManager disk(512);
+    auto file =
+        LabelFile::Build(index, &disk, LabelLayout::kDelta).ValueOrDie();
+    ASSERT_EQ(file.layout(), LabelLayout::kDelta);
+    storage::BufferPool pool(&disk, 64);
+    ExpectStoredScansMatch(index, file, &pool);
+  }
+}
+
+TEST(LabelFileDelta, ScansNeverLeaseAndTinyPagesStraddle) {
+  auto g = WorldGraph(1, 35);
+  auto index = BuildIndex(g);
+  // 64-byte pages leave 48 payload bytes; any label beyond a handful of
+  // entries spills onto follow-up pages and takes the byte-assembly path.
+  storage::MemoryDiskManager disk(64);
+  auto file =
+      LabelFile::Build(index, &disk, LabelLayout::kDelta).ValueOrDie();
+  storage::BufferPool pool(&disk, 64);
+  ASSERT_TRUE(pool.lease_friendly());
+  StoredLabelIndex stored(&file, &pool);
+  LabelCursor cursor;
+  for (NodeId n = 0; n < stored.num_nodes(); ++n) {
+    auto span = stored.Scan(n, cursor).ValueOrDie();
+    auto want = index.Label(n);
+    ASSERT_EQ(span.size(), want.size()) << "node " << n;
+    EXPECT_TRUE(std::equal(span.begin(), span.end(), want.begin()))
+        << "node " << n;
+    // Delta scans decode into scratch even on lease-friendly pools.
+    EXPECT_EQ(cursor.held_pins(), 0u) << "node " << n;
+  }
+  EXPECT_EQ(pool.num_pinned(), 0u);
+}
+
+TEST(LabelFileDelta, QueriesBitEqualToRecordsLayout) {
+  for (int family = 0; family < 3; ++family) {
+    const uint64_t seed = 41 + static_cast<uint64_t>(family);
+    auto g = WorldGraph(family, seed);
+    auto index = BuildIndex(g);
+    storage::MemoryDiskManager disk(512);
+    auto records = LabelFile::Build(index, &disk).ValueOrDie();
+    auto delta =
+        LabelFile::Build(index, &disk, LabelLayout::kDelta).ValueOrDie();
+    // Same entries, same pages discipline — the delta file must be
+    // strictly smaller (that is its whole reason to exist)...
+    EXPECT_LT(delta.num_pages(), records.num_pages());
+    storage::BufferPool pool(&disk, 64);
+    StoredLabelIndex sr(&records, &pool);
+    StoredLabelIndex sd(&delta, &pool);
+    LabelCursor au, av, bu, bv;
+    Rng rng(seed * 13 + 5);
+    for (int i = 0; i < 200; ++i) {
+      NodeId u = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+      NodeId v = static_cast<NodeId>(rng.UniformInt(g.num_nodes()));
+      // ...while serving bit-identical merged distances: raw 8-byte
+      // doubles round-trip exactly through the blob.
+      EXPECT_EQ(QueryViaStore(sr, u, v, au, av).ValueOrDie(),
+                QueryViaStore(sd, u, v, bu, bv).ValueOrDie())
+          << "family=" << family << " u=" << u << " v=" << v;
+    }
+    au.Reset();
+    av.Reset();
+    bu.Reset();
+    bv.Reset();
+    EXPECT_EQ(pool.num_pinned(), 0u);
+  }
+}
+
+TEST(LabelFileDelta, FileDiskReopenPreservesLayoutAndBytes) {
+  auto g = WorldGraph(2, 51);
+  auto index = BuildIndex(g);
+  const std::string path = testing::TempDir() + "/grnn_labels_v3.pages";
+  std::remove(path.c_str());
+  PageId first_page = kInvalidPage;
+  size_t built_pages = 0;
+  {
+    auto disk = storage::FileDiskManager::Open(path).ValueOrDie();
+    auto file =
+        LabelFile::Build(index, &disk, LabelLayout::kDelta).ValueOrDie();
+    first_page = file.first_page();
+    built_pages = file.num_pages();
+  }
+  auto disk = storage::FileDiskManager::Open(path).ValueOrDie();
+  auto file = LabelFile::Open(&disk, first_page).ValueOrDie();
+  // The header alone reconstructs the layout and the byte-granular node
+  // index; every label must come back entry-for-entry.
+  EXPECT_EQ(file.layout(), LabelLayout::kDelta);
+  EXPECT_EQ(file.num_pages(), built_pages);
+  ASSERT_EQ(file.num_nodes(), index.num_nodes());
+  ASSERT_EQ(file.num_entries(), index.num_entries());
+  storage::BufferPool pool(&disk, 64);
+  ExpectStoredScansMatch(index, file, &pool);
+  std::remove(path.c_str());
+}
+
+TEST(LabelFileDelta, RewriteAndReplayAreRejected) {
+  auto g = WorldGraph(0, 61);
+  auto index = BuildIndex(g);
+  storage::MemoryDiskManager disk(512);
+  auto file =
+      LabelFile::Build(index, &disk, LabelLayout::kDelta).ValueOrDie();
+  storage::BufferPool pool(&disk, 64);
+  // Pick a node with a non-empty label and try to rewrite it in place
+  // with its own (count-preserving) entries: still rejected, because
+  // variable-length blobs cannot be patched.
+  NodeId victim = kInvalidNode;
+  for (NodeId n = 0; n < index.num_nodes(); ++n) {
+    if (index.LabelSize(n) > 0) {
+      victim = n;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kInvalidNode);
+  std::vector<HubEntry> same(index.Label(victim).begin(),
+                             index.Label(victim).end());
+  EXPECT_EQ(file.RewriteLabel(&pool, victim, same, /*lsn=*/7).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(file.ReplayLabel(&disk, victim, same, /*lsn=*/7).status().code(),
+            StatusCode::kFailedPrecondition);
+  // The file is untouched: scans still match the memory index.
+  ExpectStoredScansMatch(index, file, &pool);
+}
+
 TEST(LabelFile, BuildValidatesInput) {
   auto g = WorldGraph(0, 2);
   auto index = BuildIndex(g);
