@@ -40,6 +40,7 @@
 #include "gen/grid.h"
 #include "gen/points.h"
 #include "index/hub_label.h"
+#include "obs/metrics.h"
 #include "storage/wal.h"
 
 using namespace grnn;
@@ -250,6 +251,10 @@ int RunWalBench(const graph::Graph& g, const core::NodePointSet& points,
     core::DurableKnnStore store(env.knn_file.get(), env.pool.get(),
                                 &*wal, kStoreId);
 
+    // The wal_on engine carries the registry: its snapshot is the
+    // report's "metrics" object, including the wal.* counters the A/B
+    // exists to measure.
+    obs::MetricsRegistry registry;
     core::EngineSources sources;
     sources.graph = env.view.get();
     sources.points = &pts;
@@ -257,12 +262,14 @@ int RunWalBench(const graph::Graph& g, const core::NodePointSet& points,
     sources.pool = env.pool.get();
     sources.updates.points = &pts;
     sources.updates.knn = &store;
+    sources.metrics = &registry;
     auto engine = core::RknnEngine::Create(sources).ValueOrDie();
     if (Status s = run_mixes("wal_on", engine); !s.ok()) {
       std::fprintf(stderr, "wal_on mix failed: %s\n",
                    s.ToString().c_str());
       return 1;
     }
+    json.SetMetrics(registry.Snapshot());
 
     // Redo recovery from the surviving devices: reopen the log and the
     // file, replay every record the mixes journaled. The pool is NOT
@@ -336,7 +343,12 @@ int main(int argc, char** argv) {
                                    storage::kDefaultConcurrentShards,
                                    storage::PageLayout::kV2Aligned)
                  .ValueOrDie();
-  auto engine = MakeRestrictedUpdatableEngine(env, points).ValueOrDie();
+  // The stored engine carries the registry (engine.* + per-shard
+  // pool.*); the epoch_hub memory engine below stays unregistered —
+  // two live engines would collide on the "engine.*" names.
+  obs::MetricsRegistry registry;
+  auto engine =
+      MakeRestrictedUpdatableEngine(env, points, &registry).ValueOrDie();
   const size_t ops_per_thread = args.queries * 4;
 
   PrintBanner(
@@ -468,5 +480,6 @@ int main(int argc, char** argv) {
       "reclaimed converges on retired once readers drain; hub_fb\n"
       "counts hub-label queries answered through the eager fallback\n"
       "while the point indices were stale.\n");
+  json.SetMetrics(registry.Snapshot());
   return json.WriteIfRequested().ok() ? 0 : 1;
 }

@@ -39,6 +39,7 @@
 #include "common/timer.h"
 #include "gen/grid.h"
 #include "gen/points.h"
+#include "obs/metrics.h"
 #include "serve/scheduler.h"
 
 using namespace grnn;
@@ -238,6 +239,10 @@ ClosedLoopResult RunClosedLoop(core::RknnEngine& engine,
 struct OpenLoopResult {
   serve::Scheduler::Stats stats;
   double wall_s = 0;
+  /// Registry state captured while the scheduler's collector is still
+  /// registered (it unregisters at Shutdown), so the JSON report's
+  /// metrics object includes "scheduler.*".
+  obs::MetricsSnapshot snapshot;
 };
 
 OpenLoopResult RunOpenLoop(core::RknnEngine& engine, NodeId num_nodes,
@@ -304,6 +309,9 @@ OpenLoopResult RunOpenLoop(core::RknnEngine& engine, NodeId num_nodes,
   out.wall_s = wall.ElapsedSeconds();
   stop_writer.store(true);
   writer.join();
+  if (opts.metrics != nullptr) {
+    out.snapshot = opts.metrics->Snapshot();
+  }
   sched.Shutdown();
   out.stats = sched.stats();
   return out;
@@ -318,8 +326,13 @@ int main(int argc, char** argv) {
   graph::GraphView lock_view(&lock_world.g);
   graph::GraphView epoch_view(&epoch_world.g);
 
-  auto make_engine = [](World& w, graph::GraphView* view,
-                        bool snapshot) {
+  // One registry spans the epoch engine and every scheduler run, so the
+  // report's "metrics" object is the whole serving stack's counter state
+  // (the lock engine stays unregistered: two engines would collide on
+  // the "engine.*" names).
+  obs::MetricsRegistry registry;
+  auto make_engine = [&registry](World& w, graph::GraphView* view,
+                                 bool snapshot) {
     core::EngineSources sources;
     sources.graph = view;
     sources.points = &w.points;
@@ -327,6 +340,9 @@ int main(int argc, char** argv) {
     sources.updates.points = &w.points;
     sources.updates.knn = &w.knn;
     sources.snapshot_reads = snapshot;
+    if (snapshot) {
+      sources.metrics = &registry;
+    }
     return core::RknnEngine::Create(sources).ValueOrDie();
   };
   auto lock_engine = make_engine(lock_world, &lock_view, false);
@@ -406,6 +422,7 @@ int main(int argc, char** argv) {
               capacity_qps);
   Table btable({"upd%", "load", "offered q/s", "completed", "shed",
                 "expired", "batches", "p50", "p95", "p99"});
+  obs::MetricsSnapshot last_snapshot;
   for (int update_percent : {5, 50, 90}) {
     for (double load : {0.5, 1.5}) {
       const double offered = capacity_qps * load;
@@ -416,11 +433,13 @@ int main(int argc, char** argv) {
       // ~5 ms of work may wait; everything beyond is shed.
       opts.queue_capacity = static_cast<size_t>(
           std::max(4.0, capacity_qps * 0.005));
+      opts.metrics = &registry;
       OpenLoopResult r = RunOpenLoop(
           epoch_engine, num_nodes, offered, args.queries * 8,
           update_percent, opts,
           args.seed * 313 + static_cast<uint64_t>(update_percent) +
               static_cast<uint64_t>(load * 10));
+      last_snapshot = std::move(r.snapshot);
       epoch_engine.ReclaimVersions();
       btable.AddRow(
           {std::to_string(update_percent), Table::Num(load, 1),
@@ -458,6 +477,7 @@ int main(int argc, char** argv) {
       "absorbs the excess and the latency of admitted requests stays\n"
       "bounded by the queue depth instead of growing without limit.\n");
 
+  json.SetMetrics(last_snapshot);
   if (!json.WriteIfRequested().ok()) {
     return 1;
   }

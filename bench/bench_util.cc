@@ -1,11 +1,21 @@
 #include "bench_util.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string_view>
+#include <thread>
 
 #include "common/string_util.h"
+
+#ifndef GRNN_GIT_SHA
+#define GRNN_GIT_SHA "unknown"
+#endif
+#ifndef GRNN_BUILD_TYPE
+#define GRNN_BUILD_TYPE "unknown"
+#endif
 
 namespace grnn::bench {
 
@@ -240,7 +250,8 @@ Result<core::RknnEngine> MakeUnrestrictedEngine(
 }
 
 Result<core::RknnEngine> MakeRestrictedUpdatableEngine(
-    const StoredRestricted& env, core::NodePointSet& points) {
+    const StoredRestricted& env, core::NodePointSet& points,
+    obs::MetricsRegistry* metrics) {
   core::EngineSources sources;
   sources.graph = env.view.get();
   sources.points = &points;
@@ -248,6 +259,7 @@ Result<core::RknnEngine> MakeRestrictedUpdatableEngine(
   sources.pool = env.pool.get();
   sources.updates.points = &points;
   sources.updates.knn = env.knn_store.get();
+  sources.metrics = metrics;
   return core::RknnEngine::Create(sources);
 }
 
@@ -439,7 +451,22 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+// Compiler identification for the meta block.
+const char* CompilerString() {
+#if defined(__clang__)
+  return "clang " __VERSION__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
 }  // namespace
+
+void JsonReport::SetMetrics(const obs::MetricsSnapshot& snapshot) {
+  metrics_json_ = snapshot.ExportJson();
+}
 
 Status JsonReport::WriteIfRequested() const {
   if (path_.empty()) {
@@ -453,10 +480,18 @@ Status JsonReport::WriteIfRequested() const {
   std::fprintf(f,
                "{\n  \"bench\": \"%s\",\n  \"scale\": \"%s\",\n"
                "  \"seed\": %llu,\n  \"queries\": %zu,\n"
-               "  \"threads\": %d,\n  \"configs\": [",
+               "  \"threads\": %d,\n"
+               "  \"meta\": {\"git_sha\": \"%s\", \"compiler\": \"%s\", "
+               "\"build_type\": \"%s\", \"hardware_concurrency\": %u, "
+               "\"page_size\": %ld},\n"
+               "  \"configs\": [",
                JsonEscape(bench_).c_str(), JsonEscape(scale_).c_str(),
                static_cast<unsigned long long>(seed_), queries_,
-               threads_);
+               threads_, JsonEscape(GRNN_GIT_SHA).c_str(),
+               JsonEscape(CompilerString()).c_str(),
+               JsonEscape(GRNN_BUILD_TYPE).c_str(),
+               std::thread::hardware_concurrency(),
+               sysconf(_SC_PAGESIZE));
   for (size_t i = 0; i < configs_.size(); ++i) {
     std::fprintf(f, "%s\n    {\"name\": \"%s\"", i == 0 ? "" : ",",
                  JsonEscape(configs_[i].first).c_str());
@@ -465,7 +500,12 @@ Status JsonReport::WriteIfRequested() const {
     }
     std::fprintf(f, "}");
   }
-  std::fprintf(f, "\n  ]\n}\n");
+  std::fprintf(f, "\n  ]");
+  if (!metrics_json_.empty()) {
+    // ExportJson emits a complete JSON object; embed verbatim.
+    std::fprintf(f, ",\n  \"metrics\": %s", metrics_json_.c_str());
+  }
+  std::fprintf(f, "\n}\n");
   if (std::fclose(f) != 0) {
     return Status::IOError(StrPrintf("write to %s failed", path_.c_str()));
   }

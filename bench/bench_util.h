@@ -39,6 +39,7 @@
 #include "core/query.h"
 #include "core/unrestricted.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 #include "storage/buffer_pool.h"
 #include "storage/graph_file.h"
 #include "storage/knn_file.h"
@@ -226,9 +227,12 @@ Result<core::RknnEngine> MakeUnrestrictedEngine(
 /// Engine with live-update sinks over a stored restricted environment:
 /// queries and core::UpdateSpec inserts/deletes (maintaining
 /// env.knn_store incrementally) may run concurrently. `points` must be
-/// the set the environment's KNN file was materialized from.
+/// the set the environment's KNN file was materialized from. A non-null
+/// `metrics` registers the engine's collector (engine.* / pool.* /
+/// wal.*) on that registry; it must outlive the engine.
 Result<core::RknnEngine> MakeRestrictedUpdatableEngine(
-    const StoredRestricted& env, core::NodePointSet& points);
+    const StoredRestricted& env, core::NodePointSet& points,
+    obs::MetricsRegistry* metrics = nullptr);
 
 /// Updatable unrestricted engine (the Fig 22 maintenance workload). The
 /// engine reads edge points through its in-memory reader — a stored
@@ -305,7 +309,15 @@ class JsonReport {
   void AddFourWayConfigs(const std::string& prefix, const FourWay& fw,
                          std::span<const core::Algorithm> algos);
 
+  /// Embeds a metrics snapshot (src/obs/) as the report's "metrics"
+  /// object, so one CI artifact carries bench rows and the full system
+  /// counter state they were measured under. Last call wins.
+  void SetMetrics(const obs::MetricsSnapshot& snapshot);
+
   /// Writes the report to args.json_path; no-op when the flag is unset.
+  /// Every report carries a "meta" object (git sha, compiler, build
+  /// type, hardware concurrency, page size) so archived JSON is
+  /// attributable to the build that produced it.
   Status WriteIfRequested() const;
 
  private:
@@ -316,6 +328,7 @@ class JsonReport {
   size_t queries_;
   int threads_;
   std::vector<std::pair<std::string, Metrics>> configs_;
+  std::string metrics_json_;
 };
 
 }  // namespace grnn::bench

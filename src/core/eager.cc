@@ -5,6 +5,7 @@
 #include "common/indexed_heap.h"
 #include "core/primitives.h"
 #include "core/workspace.h"
+#include "obs/trace.h"
 
 namespace grnn::core {
 
@@ -35,6 +36,10 @@ Result<RknnResult> EagerRknn(const graph::NetworkView& g,
                              const RknnOptions& options,
                              SearchWorkspace& ws) {
   GRNN_RETURN_NOT_OK(ValidateQuery(g, query_nodes, options));
+  // Armed-trace child span (obs/trace.h): the whole eager expansion;
+  // one nullptr branch when the query is not sampled — the hot path
+  // the <2% disarmed-overhead guard measures.
+  obs::ScopedSpan span(obs::CurrentTrace(), "eager.expand");
   const int k = options.k;
   ws.query_nodes.assign(query_nodes.begin(), query_nodes.end());
   ws.searcher.Bind(&g, &points);

@@ -10,6 +10,7 @@
 
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "storage/wal.h"
 #include "core/brute_force.h"
 #include "core/eager.h"
 #include "core/lazy.h"
@@ -83,6 +84,29 @@ struct RknnEngine::State {
   /// Node-domain update generation. Lock-mode RebuildIndex uses it to
   /// detect updates racing its off-to-the-side index derivation.
   std::atomic<uint64_t> node_gen{0};
+
+  // --- Telemetry (src/obs/, EngineSources::metrics / ::trace) ---
+  /// Dispatch sequence for the 1-in-N trace sampling policy.
+  std::atomic<uint64_t> dispatch_seq{0};
+  /// Queries that ran with tracing armed (sampled or caller-provided).
+  std::atomic<uint64_t> traces_sampled{0};
+  /// Traced queries that crossed the slow-query threshold.
+  std::atomic<uint64_t> slow_queries{0};
+  /// Completed RebuildIndex() calls.
+  std::atomic<uint64_t> hub_rebuilds{0};
+  /// Bounded ring behind RknnEngine::DrainSlowQueries.
+  obs::SlowQueryLog slow_log;
+  /// Unowned registry + the collector registered on it at Create; the
+  /// State destructor unregisters, so the collector (which captures
+  /// this State) can never outlive it.
+  obs::MetricsRegistry* metrics = nullptr;
+  uint64_t collector_token = 0;
+
+  ~State() {
+    if (metrics != nullptr && collector_token != 0) {
+      metrics->UnregisterCollector(collector_token);
+    }
+  }
 };
 
 /// See engine.h: the per-query view both read paths compile down to.
@@ -386,6 +410,108 @@ Result<RknnEngine> RknnEngine::Create(const EngineSources& sources) {
     common::ThreadPool* build_pool = engine.IndexBuildPool(pool_lock);
     GRNN_RETURN_NOT_OK(engine.RebuildHubIndexesLocked(build_pool));
   }
+  if (sources.metrics != nullptr) {
+    // Bridge every engine-side stat struct into the registry via one
+    // poll-at-snapshot collector (obs/metrics.h). The collector
+    // captures State — which outlives it: ~State unregisters — plus a
+    // copy of the sources (stable pointers by the EngineSources
+    // lifetime contract), so it stays valid across engine moves.
+    State* st = engine.state_.get();
+    st->metrics = sources.metrics;
+    const EngineSources src = sources;
+    st->collector_token = sources.metrics->RegisterCollector(
+        [st, src](obs::MetricsSnapshot& snap) {
+          EngineStats life;
+          {
+            std::lock_guard<std::mutex> lock(st->stats_mu);
+            life = st->lifetime;
+          }
+          snap.SetCounter("engine.queries", life.queries);
+          snap.SetCounter("engine.updates", life.updates);
+          snap.SetCounter("engine.workspace_grows", life.workspace_grows);
+          const SearchStats& s = life.search;
+          snap.SetCounter("engine.search.nodes_expanded", s.nodes_expanded);
+          snap.SetCounter("engine.search.nodes_scanned", s.nodes_scanned);
+          snap.SetCounter("engine.search.nodes_pruned", s.nodes_pruned);
+          snap.SetCounter("engine.search.range_nn_calls", s.range_nn_calls);
+          snap.SetCounter("engine.search.verify_calls", s.verify_calls);
+          snap.SetCounter("engine.search.knn_list_reads", s.knn_list_reads);
+          snap.SetCounter("engine.search.heap_pushes", s.heap_pushes);
+          snap.SetCounter("engine.search.shortcut_accepts",
+                          s.shortcut_accepts);
+          snap.SetCounter("engine.search.label_entries", s.label_entries);
+          snap.SetCounter("engine.search.hub_fallbacks", s.hub_fallbacks);
+          snap.SetCounter("engine.io.logical_reads", life.io.logical_reads);
+          snap.SetCounter("engine.io.physical_reads",
+                          life.io.physical_reads);
+          snap.SetCounter("engine.io.physical_writes",
+                          life.io.physical_writes);
+          snap.SetCounter("engine.io.evictions", life.io.evictions);
+          const UpdateStats& u = life.update;
+          snap.SetCounter("engine.update.nodes_touched", u.nodes_touched);
+          snap.SetCounter("engine.update.lists_written", u.lists_written);
+          snap.SetCounter("engine.update.heap_pushes", u.heap_pushes);
+          snap.SetCounter("engine.update.border_nodes", u.border_nodes);
+          snap.SetCounter("engine.update.log_records", u.log_records);
+          snap.SetCounter("engine.update.log_flushes", u.log_flushes);
+          snap.SetCounter("engine.update.log_bytes", u.log_bytes);
+          snap.SetCounter("engine.hub.rebuilds",
+                          st->hub_rebuilds.load(std::memory_order_relaxed));
+          bool stale = st->hub_stale.load(std::memory_order_acquire);
+          if (src.snapshot_reads) {
+            std::lock_guard<std::mutex> lock(st->publish_mu);
+            stale = st->current_holder->hub_stale;
+          }
+          snap.SetGauge("engine.hub.stale", stale ? 1 : 0);
+          const serve::EpochStats es = st->epochs.stats();
+          snap.SetCounter("engine.epoch.pins", es.pins);
+          snap.SetCounter("engine.epoch.pin_retries", es.pin_retries);
+          snap.SetCounter("engine.epoch.retired", es.retired);
+          snap.SetCounter("engine.epoch.reclaimed", es.reclaimed);
+          snap.SetGauge("engine.epoch.limbo",
+                        static_cast<int64_t>(es.limbo));
+          snap.SetGauge("engine.epoch.epoch",
+                        static_cast<int64_t>(es.epoch));
+          snap.SetCounter(
+              "engine.trace.sampled",
+              st->traces_sampled.load(std::memory_order_relaxed));
+          snap.SetCounter(
+              "engine.trace.slow_queries",
+              st->slow_queries.load(std::memory_order_relaxed));
+          snap.SetCounter("engine.trace.slow_dropped",
+                          st->slow_log.dropped());
+          if (src.pool != nullptr) {
+            const storage::IoStats total = src.pool->stats();
+            snap.SetCounter("pool.logical_reads", total.logical_reads);
+            snap.SetCounter("pool.physical_reads", total.physical_reads);
+            snap.SetCounter("pool.physical_writes", total.physical_writes);
+            snap.SetCounter("pool.evictions", total.evictions);
+            snap.SetGauge("pool.pinned_frames",
+                          static_cast<int64_t>(src.pool->num_pinned()));
+            for (size_t i = 0; i < src.pool->num_shards(); ++i) {
+              const storage::IoStats sh = src.pool->shard_stats(i);
+              snap.SetCounter(StrPrintf("pool.shard%zu.logical_reads", i),
+                              sh.logical_reads);
+              snap.SetCounter(StrPrintf("pool.shard%zu.physical_reads", i),
+                              sh.physical_reads);
+              snap.SetCounter(
+                  StrPrintf("pool.shard%zu.physical_writes", i),
+                  sh.physical_writes);
+              snap.SetCounter(StrPrintf("pool.shard%zu.evictions", i),
+                              sh.evictions);
+            }
+            if (src.pool->wal() != nullptr) {
+              const storage::WalStats w = src.pool->wal()->stats();
+              snap.SetCounter("wal.records_appended", w.records_appended);
+              snap.SetCounter("wal.bytes_appended", w.bytes_appended);
+              snap.SetCounter("wal.flushes", w.flushes);
+              snap.SetCounter("wal.pages_written", w.pages_written);
+              snap.SetCounter("wal.syncs", w.syncs);
+              snap.SetCounter("wal.checkpoints", w.checkpoints);
+            }
+          }
+        });
+  }
   return engine;
 }
 
@@ -491,6 +617,9 @@ void RknnEngine::PublishVersion(
   }
   // Unpublished first, retired second: no new reader can acquire `old`,
   // so its epoch tag bounds every reader still using it.
+  // (Traced only when an armed trace is live on this thread — e.g. an
+  // update inside a traced mixed stream; null otherwise.)
+  obs::ScopedSpan span(obs::CurrentTrace(), "epoch.retire");
   state_->epochs.Retire(std::move(old));
 }
 
@@ -511,6 +640,10 @@ uint64_t RknnEngine::world_seq() const {
   }
   std::lock_guard<std::mutex> lock(state_->publish_mu);
   return state_->current_holder->seq;
+}
+
+std::vector<obs::SlowQuery> RknnEngine::DrainSlowQueries() {
+  return state_->slow_log.Drain();
 }
 
 common::ThreadPool* RknnEngine::IndexBuildPool(
@@ -606,6 +739,7 @@ Status RknnEngine::RebuildIndex() {
       v.hub_edge_points = std::move(hub_edge);
       v.hub_stale = false;
     });
+    state_->hub_rebuilds.fetch_add(1, std::memory_order_relaxed);
     return Status::OK();
   }
   // Lock mode: derive the new indices OFF TO THE SIDE from set copies
@@ -675,6 +809,7 @@ Status RknnEngine::RebuildIndex() {
     state_->hub_sites = std::move(new_sites);
     state_->hub_edge = std::move(new_edge);
     state_->hub_stale.store(false, std::memory_order_release);
+    state_->hub_rebuilds.fetch_add(1, std::memory_order_relaxed);
     return Status::OK();
   }
   std::unique_lock<std::shared_mutex> points_lock(
@@ -683,7 +818,11 @@ Status RknnEngine::RebuildIndex() {
       state_->domain_mu[kDomainSites]);
   std::unique_lock<std::shared_mutex> edge_lock(
       state_->domain_mu[kDomainEdge]);
-  return RebuildHubIndexesLocked(build_pool);
+  Status rebuilt = RebuildHubIndexesLocked(build_pool);
+  if (rebuilt.ok()) {
+    state_->hub_rebuilds.fetch_add(1, std::memory_order_relaxed);
+  }
+  return rebuilt;
 }
 
 bool RknnEngine::hub_index_stale() const {
@@ -904,12 +1043,74 @@ Result<RknnResult> RknnEngine::Dispatch(const QuerySpec& spec,
   if (spec.k <= 0) {
     return Status::InvalidArgument("k must be positive");
   }
+  // Arm tracing: an explicit caller context always traces; otherwise
+  // the 1-in-N sampling policy may pick the pooled workspace arena.
+  // The disarmed path adds exactly this null check + (with sampling
+  // configured) one relaxed fetch_add — the <2% overhead contract of
+  // telemetry_engine_test.
+  obs::TraceContext* trace = spec.trace;
+  if (trace == nullptr && src_.trace.sample_every > 0 &&
+      state_->dispatch_seq.fetch_add(1, std::memory_order_relaxed) %
+              src_.trace.sample_every ==
+          0) {
+    trace = &ws.trace;
+  }
+  if (trace == nullptr) {
+    return DispatchBody(spec, ws, nullptr);
+  }
+  trace->Begin();
+  state_->traces_sampled.fetch_add(1, std::memory_order_relaxed);
+  Result<RknnResult> result = Status::Internal("query did not run");
+  {
+    // Publish the context thread-locally so deep subsystems (hub-label
+    // sweep/verify, label scans, buffer-pool pins, Dijkstra) attach
+    // child spans without signature changes; the root span closes on
+    // every exit path of this block, error returns included.
+    obs::TraceArm arm(trace);
+    obs::ScopedSpan root(trace, "query");
+    root.Note("k", static_cast<uint64_t>(spec.k));
+    result = DispatchBody(spec, ws, trace);
+    if (result.ok()) {
+      root.Note("results", result->results.size());
+      root.Note("nodes_expanded", result->stats.nodes_expanded);
+      root.Note("label_entries", result->stats.label_entries);
+      root.Note("verify_calls", result->stats.verify_calls);
+      root.Note("hub_fallbacks", result->stats.hub_fallbacks);
+    }
+  }
+  const uint64_t total_micros = trace->ElapsedNanos() / 1000;
+  if (src_.trace.slow_query_micros > 0 &&
+      total_micros >= src_.trace.slow_query_micros) {
+    state_->slow_queries.fetch_add(1, std::memory_order_relaxed);
+    obs::SlowQuery slow;
+    slow.label = StrPrintf("%s/%s k=%d", QueryKindName(spec.kind),
+                           AlgorithmName(spec.algorithm), spec.k);
+    slow.total_micros = total_micros;
+    slow.ok = result.ok();
+    if (!result.ok()) {
+      slow.error = result.status().ToString();
+    }
+    slow.spans = trace->spans();
+    slow.dropped_spans = trace->dropped_spans();
+    state_->slow_log.Push(std::move(slow), src_.trace.slow_ring_capacity);
+  }
+  return result;
+}
+
+Result<RknnResult> RknnEngine::DispatchBody(const QuerySpec& spec,
+                                            SearchWorkspace& ws,
+                                            obs::TraceContext* trace) {
   if (src_.snapshot_reads) {
     // Serving-layer read path: pin an epoch, load the published
     // version, run lock-free against it. The pin keeps the version
     // alive (its retire epoch cannot drain) until the query returns;
     // no domain lock is taken, so this never blocks on a writer.
+    const int32_t pin_span =
+        trace != nullptr ? trace->Open("epoch.pin") : -1;
     serve::EpochManager::Guard guard = state_->epochs.Pin();
+    if (trace != nullptr) {
+      trace->Close(pin_span);
+    }
     const serve::WorldVersion* v =
         state_->current.load(std::memory_order_seq_cst);
     QueryWorld world;

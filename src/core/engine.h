@@ -81,6 +81,8 @@
 #include "graph/network_view.h"
 #include "index/hub_label.h"
 #include "index/hub_point_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/epoch.h"
 #include "storage/buffer_pool.h"
 #include "storage/io_stats.h"
@@ -126,6 +128,11 @@ struct QuerySpec {
   PointId exclude_point = kInvalidPoint;
   std::vector<NodeId> query_nodes;
   EdgePosition position;
+  /// When set, Dispatch traces this query into the caller's context
+  /// regardless of the engine's sampling policy (the caller owns the
+  /// context and reads the span tree after Run returns). Null = let
+  /// EngineSources::trace sampling decide.
+  obs::TraceContext* trace = nullptr;
 
   RknnOptions options() const { return RknnOptions{k, exclude_point}; }
 
@@ -250,6 +257,17 @@ struct EngineSources {
   /// if needed). Parallel builds are bit-identical to serial ones, so
   /// this is purely a latency knob.
   int index_build_threads = 1;
+  /// \brief Optional process-wide metrics registry (src/obs/). When
+  /// set, Create registers a collector that bridges every engine-side
+  /// counter — lifetime EngineStats, buffer-pool per-shard IoStats,
+  /// WAL stats, epoch stats, hub staleness/rebuilds, trace sampling —
+  /// into registry.Snapshot() under the "engine."/"pool."/"wal."
+  /// namespaces. Must outlive the engine.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Trace sampling + slow-query policy (zero-initialized = tracing
+  /// armed only for queries carrying QuerySpec::trace, no slow-query
+  /// ring).
+  obs::TraceOptions trace;
 };
 
 /// \brief Execution knobs for RunBatch.
@@ -458,6 +476,12 @@ class RknnEngine {
   /// lock mode. Increments on every published update and RebuildIndex.
   uint64_t world_seq() const;
 
+  /// Removes and returns every retained slow query (oldest first).
+  /// Queries land here when tracing was armed for them AND their total
+  /// latency exceeded EngineSources::trace.slow_query_micros (see
+  /// obs/trace.h for the ring-bound contract).
+  std::vector<obs::SlowQuery> DrainSlowQueries();
+
  private:
   struct State;
   /// Immutable per-query view of everything a Run* body reads: either
@@ -506,6 +530,10 @@ class RknnEngine {
   Result<UpdateResult> SnapshotEdgeUpdate(const UpdateSpec& spec);
 
   Result<RknnResult> Dispatch(const QuerySpec& spec, SearchWorkspace& ws);
+  /// Dispatch's locking + execution body; `trace` is the armed trace
+  /// context (null = disarmed, the fast path).
+  Result<RknnResult> DispatchBody(const QuerySpec& spec, SearchWorkspace& ws,
+                                  obs::TraceContext* trace);
   Result<RknnResult> RunSpec(const QuerySpec& spec, const QueryWorld& world,
                              SearchWorkspace& ws);
   Result<UpdateResult> DispatchUpdate(const UpdateSpec& spec);

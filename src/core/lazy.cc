@@ -281,6 +281,8 @@ Result<RknnResult> LazyRknn(const graph::NetworkView& g,
       return Status::OutOfRange("query node out of range");
     }
   }
+  // Armed-trace child span (obs/trace.h): the whole lazy expansion.
+  obs::ScopedSpan span(obs::CurrentTrace(), "lazy.expand");
   LazyState state(g, points, query_nodes, options, ws);
   return state.Run(query_nodes);
 }

@@ -26,6 +26,8 @@ Result<RknnResult> LazyEpRknn(const graph::NetworkView& g,
       return Status::OutOfRange("query node out of range");
     }
   }
+  // Armed-trace child span (obs/trace.h): the whole lazy-EP expansion.
+  obs::ScopedSpan span(obs::CurrentTrace(), "lazyep.expand");
   const size_t k = static_cast<size_t>(options.k);
   ws.query_nodes.assign(query_nodes.begin(), query_nodes.end());
   ws.searcher.Bind(&g, &points);

@@ -396,6 +396,9 @@ Result<RknnResult> EagerMRknn(const graph::NetworkView& g,
   if (options.k <= 0) {
     return Status::InvalidArgument("k must be positive");
   }
+  // Armed-trace child span (obs/trace.h): the whole eager-M expansion;
+  // one nullptr branch when the query is not sampled.
+  obs::ScopedSpan span(obs::CurrentTrace(), "eagerm.expand");
   if (static_cast<uint32_t>(options.k) > store->k()) {
     return Status::InvalidArgument(
         StrPrintf("query k=%d exceeds materialized K=%u", options.k,

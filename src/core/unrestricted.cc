@@ -573,6 +573,8 @@ Result<RknnResult> UnrestrictedEagerRknn(const graph::NetworkView& g,
                                          const UnrestrictedQuery& query,
                                          const RknnOptions& options,
                                          SearchWorkspace& ws) {
+  // Armed-trace child span (obs/trace.h): the whole eager expansion.
+  obs::ScopedSpan span(obs::CurrentTrace(), "eager.expand");
   GRNN_ASSIGN_OR_RETURN(
       auto prep, PrepareQuery(g, query, options, ws.aux_nbr_cursor));
   const auto& [q, qw] = prep;
@@ -665,6 +667,8 @@ Result<RknnResult> UnrestrictedLazyRknn(const graph::NetworkView& g,
                                         const UnrestrictedQuery& query,
                                         const RknnOptions& options,
                                         SearchWorkspace& ws) {
+  // Armed-trace child span (obs/trace.h): the whole lazy expansion.
+  obs::ScopedSpan span(obs::CurrentTrace(), "lazy.expand");
   GRNN_ASSIGN_OR_RETURN(
       auto prep, PrepareQuery(g, query, options, ws.aux_nbr_cursor));
   const auto& [q, qw] = prep;
@@ -800,6 +804,8 @@ Result<RknnResult> UnrestrictedLazyEpRknn(const graph::NetworkView& g,
                                           const UnrestrictedQuery& query,
                                           const RknnOptions& options,
                                           SearchWorkspace& ws) {
+  // Armed-trace child span (obs/trace.h): the whole lazy-EP expansion.
+  obs::ScopedSpan span(obs::CurrentTrace(), "lazyep.expand");
   GRNN_ASSIGN_OR_RETURN(
       auto prep, PrepareQuery(g, query, options, ws.aux_nbr_cursor));
   const auto& [q, qw] = prep;
@@ -923,6 +929,8 @@ Result<RknnResult> UnrestrictedEagerMRknn(const graph::NetworkView& g,
   if (static_cast<uint32_t>(options.k) > store->k()) {
     return Status::InvalidArgument("query k exceeds materialized K");
   }
+  // Armed-trace child span (obs/trace.h): the whole eager-M expansion.
+  obs::ScopedSpan span(obs::CurrentTrace(), "eagerm.expand");
   GRNN_ASSIGN_OR_RETURN(
       auto prep, PrepareQuery(g, query, options, ws.aux_nbr_cursor));
   const auto& [q, qw] = prep;

@@ -42,6 +42,7 @@
 
 #include "core/primitives.h"
 #include "index/hub_rknn.h"
+#include "obs/trace.h"
 #include "storage/knn_file.h"
 #include "storage/point_file.h"
 
@@ -83,6 +84,13 @@ class SearchWorkspace {
   std::vector<storage::NnEntry> aux_knn_list;    // candidate-list reads
   std::vector<NnResult> nn_results;      // range-NN output buffer
   NnSearcher searcher;                   // restricted NN primitives
+
+  // --- Telemetry (src/obs/) ---
+  // Pooled span arena for sampled queries: Dispatch Begin()s it when it
+  // arms tracing for a query without a caller-provided context, so
+  // sampling allocates nothing after warm-up (the arena reuses its
+  // spans vector like every other pooled buffer).
+  obs::TraceContext trace;
 
   /// Total element capacity of every pooled buffer. RknnEngine snapshots
   /// this around each query: once a workspace has warmed up on a given

@@ -1,5 +1,7 @@
 #include "graph/dijkstra.h"
 
+#include "obs/trace.h"
+
 namespace grnn::graph {
 
 namespace {
@@ -13,6 +15,10 @@ Status Expand(const NetworkView& g, NodeId source, DijkstraWorkspace& ws,
   if (source >= g.num_nodes()) {
     return Status::OutOfRange("source node out of range");
   }
+  // Armed-trace child span (obs/trace.h): one nullptr branch when the
+  // enclosing query is not sampled.
+  obs::ScopedSpan span(obs::CurrentTrace(), "dijkstra.expand");
+  uint64_t settled = 0;
   ws.Reset(g.num_nodes());
   auto& heap = ws.heap();
   heap.Push(0.0, source);
@@ -22,7 +28,9 @@ Status Expand(const NetworkView& g, NodeId source, DijkstraWorkspace& ws,
     if (dist > ws.Best(node)) {
       continue;  // stale entry; the node settled at a smaller key
     }
+    settled++;
     if (!on_settle(node, dist)) {
+      span.Note("settled", settled);
       return Status::OK();
     }
     GRNN_ASSIGN_OR_RETURN(std::span<const AdjEntry> nbrs,
@@ -37,6 +45,7 @@ Status Expand(const NetworkView& g, NodeId source, DijkstraWorkspace& ws,
       }
     }
   }
+  span.Note("settled", settled);
   return Status::OK();
 }
 
@@ -46,6 +55,7 @@ Status MultiSourceDistancesInto(
     const NetworkView& g,
     std::span<const std::pair<NodeId, Weight>> seeds,
     DijkstraWorkspace& ws, std::vector<Weight>* out) {
+  obs::ScopedSpan span(obs::CurrentTrace(), "dijkstra.expand");
   // Full sweeps must initialize `out` to infinity anyway, so it doubles
   // as the tentative-distance map; the packed settled bitset filters
   // relaxations toward finished nodes without touching it.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/numeric.h"
+#include "obs/trace.h"
 
 namespace grnn::index {
 
@@ -43,6 +44,10 @@ Status SweepPointDistances(const LabelStore& labels,
                            std::span<const NodeId> query_nodes,
                            LabelWorkspace& ws,
                            core::SearchStats* stats) {
+  // Armed-trace child span (obs/trace.h): one nullptr branch when the
+  // query is not sampled.
+  obs::ScopedSpan span(obs::CurrentTrace(), "hub.sweep");
+  const uint64_t entries_before = stats->label_entries;
   ws.point_dist.Reset(points.point_id_bound());
   if (ws.point_node.size() < points.point_id_bound()) {
     ws.point_node.resize(points.point_id_bound(), kInvalidNode);
@@ -64,6 +69,10 @@ Status SweepPointDistances(const LabelStore& labels,
         }
       }
     }
+  }
+  if (span.armed()) {
+    span.Note("label_entries", stats->label_entries - entries_before);
+    span.Note("points_touched", ws.touched.size());
   }
   return Status::OK();
 }
@@ -126,6 +135,8 @@ Result<core::RknnResult> RknnViaLabels(const LabelStore& labels,
                                          ws, &out.stats));
 
   const size_t k = static_cast<size_t>(options.k);
+  obs::ScopedSpan verify(obs::CurrentTrace(), "hub.verify");
+  const uint64_t verify_entries_before = out.stats.label_entries;
   for (const PointId p : ws.touched) {
     if (same_population && p == options.exclude_point) {
       continue;
@@ -167,6 +178,12 @@ Result<core::RknnResult> RknnViaLabels(const LabelStore& labels,
       out.results.push_back(
           core::PointMatch{p, ws.point_node[p], d_query});
     }
+  }
+  if (verify.armed()) {
+    verify.Note("verify_calls", out.stats.verify_calls);
+    verify.Note("label_entries",
+                out.stats.label_entries - verify_entries_before);
+    verify.Note("results", out.results.size());
   }
   ws.ReleaseLeases();
 
@@ -243,6 +260,7 @@ Result<core::RknnResult> UnrestrictedRknnViaLabels(
     // offset by the query's distance to that endpoint. Exact for every
     // point not sharing the query's edge (any path to an interior
     // position enters through an endpoint).
+    obs::ScopedSpan sweep(obs::CurrentTrace(), "hub.sweep");
     ws.point_dist.Reset(bound);
     if (ws.point_node.size() < bound) {
       ws.point_node.resize(bound, kInvalidNode);
@@ -281,6 +299,10 @@ Result<core::RknnResult> UnrestrictedRknnViaLabels(
         ws.point_dist.Set(r.point, direct);
       }
     }
+    if (sweep.armed()) {
+      sweep.Note("label_entries", out.stats.label_entries);
+      sweep.Note("points_touched", ws.touched.size());
+    }
   } else {
     // Route queries sweep per route NODE; node-to-interior-position
     // distances carry no same-edge case (the query sits on nodes), so
@@ -291,6 +313,8 @@ Result<core::RknnResult> UnrestrictedRknnViaLabels(
   }
 
   const size_t k = static_cast<size_t>(options.k);
+  obs::ScopedSpan verify(obs::CurrentTrace(), "hub.verify");
+  const uint64_t verify_entries_before = out.stats.label_entries;
   for (const PointId p : ws.touched) {
     if (p == options.exclude_point || !points.IsLive(p)) {
       continue;
@@ -352,6 +376,12 @@ Result<core::RknnResult> UnrestrictedRknnViaLabels(
     if (closer < k) {
       out.results.push_back(core::PointMatch{p, ppos.u, d_query});
     }
+  }
+  if (verify.armed()) {
+    verify.Note("verify_calls", out.stats.verify_calls);
+    verify.Note("label_entries",
+                out.stats.label_entries - verify_entries_before);
+    verify.Note("results", out.results.size());
   }
   ws.ReleaseLeases();
 

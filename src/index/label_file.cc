@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace grnn::index {
 
@@ -474,6 +475,13 @@ Result<std::span<const HubEntry>> LabelFile::ScanLabel(
   }
   if (pool == nullptr) {
     return Status::InvalidArgument("buffer pool is null");
+  }
+  // Armed-trace child span (obs/trace.h): label-file scans are the
+  // stored-label read path; the pool's Acquire notes its pins onto
+  // this span. One nullptr branch when disarmed.
+  obs::ScopedSpan span(obs::CurrentTrace(), "label.scan");
+  if (span.armed()) {
+    span.Note("entries", counts_[n]);
   }
   if (layout_ == LabelLayout::kDelta) {
     return ScanLabelDelta(pool, n, cursor);

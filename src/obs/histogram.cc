@@ -1,0 +1,73 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace grnn::obs {
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) {
+    return static_cast<size_t>(value);
+  }
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - kSubBits;
+  // The octave [2^msb, 2^(msb+1)) maps onto kSubBuckets equal cells.
+  const size_t sub = static_cast<size_t>((value >> shift) - kSubBuckets);
+  return kSubBuckets + static_cast<size_t>(shift) * kSubBuckets + sub;
+}
+
+uint64_t Histogram::BucketUpperBound(size_t index) {
+  if (index < kSubBuckets) {
+    return static_cast<uint64_t>(index);
+  }
+  const size_t shift = (index - kSubBuckets) / kSubBuckets;
+  const size_t sub = (index - kSubBuckets) % kSubBuckets;
+  const uint64_t lower = (sub + kSubBuckets) << shift;
+  return lower + ((uint64_t{1} << shift) - 1);
+}
+
+void Histogram::Record(uint64_t value) {
+  if (buckets_.empty()) {
+    buckets_.assign(kNumBuckets, 0);
+  }
+  buckets_[BucketIndex(value)]++;
+  count_++;
+  sum_ += value;
+  max_ = std::max(max_, value);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  uint64_t target = static_cast<uint64_t>(std::ceil(p / 100.0 * count_));
+  target = std::max<uint64_t>(target, 1);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      // The true max is a tighter bound than the top bucket's edge.
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (buckets_.empty()) {
+    buckets_.assign(kNumBuckets, 0);
+  }
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+}  // namespace grnn::obs

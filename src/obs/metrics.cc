@@ -1,0 +1,268 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace grnn::obs {
+
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Our dotted
+/// lowercase names map cleanly by replacing '.' (and any other odd
+/// byte) with '_'.
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+void AppendF(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+void AppendF(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) {
+    out.append(buf, std::min(static_cast<size_t>(n), sizeof(buf) - 1));
+  }
+}
+
+}  // namespace
+
+// --- Counter ---
+
+size_t Counter::ThisShard() {
+  // One shard per thread, assigned round-robin at first touch; the
+  // assignment is process-global so a thread hits the same cell in
+  // every Counter (good locality, zero per-counter state).
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+// --- ConcurrentHistogram ---
+
+void ConcurrentHistogram::Record(uint64_t value) {
+  // Reuse the counter's per-thread shard assignment (mod our width) so
+  // threads spread across cells without extra TLS.
+  Cell& cell = cells_[Counter::ThisShard() % kShards];
+  std::lock_guard<std::mutex> lock(cell.mu);
+  cell.h.Record(value);
+}
+
+Histogram ConcurrentHistogram::Merged() const {
+  Histogram out;
+  for (const Cell& cell : cells_) {
+    std::lock_guard<std::mutex> lock(cell.mu);
+    out.Merge(cell.h);
+  }
+  return out;
+}
+
+// --- MetricsSnapshot ---
+
+namespace {
+
+template <typename V>
+void SetSorted(std::vector<std::pair<std::string, V>>& vec, std::string name,
+               V value) {
+  auto it = std::lower_bound(
+      vec.begin(), vec.end(), name,
+      [](const auto& kv, const std::string& n) { return kv.first < n; });
+  if (it != vec.end() && it->first == name) {
+    it->second = value;
+    return;
+  }
+  vec.insert(it, {std::move(name), value});
+}
+
+template <typename V>
+const V* FindSorted(const std::vector<std::pair<std::string, V>>& vec,
+                    const std::string& name) {
+  auto it = std::lower_bound(
+      vec.begin(), vec.end(), name,
+      [](const auto& kv, const std::string& n) { return kv.first < n; });
+  if (it != vec.end() && it->first == name) {
+    return &it->second;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void MetricsSnapshot::SetCounter(std::string name, uint64_t value) {
+  SetSorted(counters, std::move(name), value);
+}
+
+void MetricsSnapshot::SetGauge(std::string name, int64_t value) {
+  SetSorted(gauges, std::move(name), value);
+}
+
+void MetricsSnapshot::SetHistogram(std::string name, const Histogram& h) {
+  HistogramSummary s;
+  s.name = std::move(name);
+  s.count = h.count();
+  s.sum = h.sum();
+  s.max = h.max();
+  s.p50 = h.Percentile(50);
+  s.p95 = h.Percentile(95);
+  s.p99 = h.Percentile(99);
+  auto it = std::lower_bound(histograms.begin(), histograms.end(), s.name,
+                             [](const HistogramSummary& hs,
+                                const std::string& n) { return hs.name < n; });
+  if (it != histograms.end() && it->name == s.name) {
+    *it = std::move(s);
+    return;
+  }
+  histograms.insert(it, std::move(s));
+}
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  const uint64_t* v = FindSorted(counters, name);
+  return v ? *v : 0;
+}
+
+int64_t MetricsSnapshot::GaugeValue(const std::string& name) const {
+  const int64_t* v = FindSorted(gauges, name);
+  return v ? *v : 0;
+}
+
+const HistogramSummary* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  auto it = std::lower_bound(histograms.begin(), histograms.end(), name,
+                             [](const HistogramSummary& hs,
+                                const std::string& n) { return hs.name < n; });
+  if (it != histograms.end() && it->name == name) {
+    return &*it;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ExportPrometheus() const {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, value] : counters) {
+    const std::string p = PromName(name);
+    AppendF(out, "# TYPE %s counter\n", p.c_str());
+    AppendF(out, "%s %" PRIu64 "\n", p.c_str(), value);
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string p = PromName(name);
+    AppendF(out, "# TYPE %s gauge\n", p.c_str());
+    AppendF(out, "%s %" PRId64 "\n", p.c_str(), value);
+  }
+  for (const HistogramSummary& h : histograms) {
+    const std::string p = PromName(h.name);
+    AppendF(out, "# TYPE %s summary\n", p.c_str());
+    AppendF(out, "%s{quantile=\"0.5\"} %" PRIu64 "\n", p.c_str(), h.p50);
+    AppendF(out, "%s{quantile=\"0.95\"} %" PRIu64 "\n", p.c_str(), h.p95);
+    AppendF(out, "%s{quantile=\"0.99\"} %" PRIu64 "\n", p.c_str(), h.p99);
+    AppendF(out, "%s_sum %" PRIu64 "\n", p.c_str(), h.sum);
+    AppendF(out, "%s_count %" PRIu64 "\n", p.c_str(), h.count);
+    AppendF(out, "%s_max %" PRIu64 "\n", p.c_str(), h.max);
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ExportJson() const {
+  // Names are dotted identifiers (no quotes/backslashes/control
+  // bytes), so plain %s inside quotes is valid JSON.
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    AppendF(out, "%s\"%s\":%" PRIu64, first ? "" : ",", name.c_str(), value);
+    first = false;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    AppendF(out, "%s\"%s\":%" PRId64, first ? "" : ",", name.c_str(), value);
+    first = false;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramSummary& h : histograms) {
+    AppendF(out,
+            "%s\"%s\":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+            ",\"max\":%" PRIu64 ",\"p50\":%" PRIu64 ",\"p95\":%" PRIu64
+            ",\"p99\":%" PRIu64 "}",
+            first ? "" : ",", h.name.c_str(), h.count, h.sum, h.max, h.p50,
+            h.p95, h.p99);
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+// --- MetricsRegistry ---
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+ConcurrentHistogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<ConcurrentHistogram>();
+  }
+  return *slot;
+}
+
+uint64_t MetricsRegistry::RegisterCollector(Collector fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t token = next_token_++;
+  collectors_.emplace(token, std::move(fn));
+  return token;
+}
+
+void MetricsRegistry::UnregisterCollector(uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.erase(token);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.SetCounter(name, c->Value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.SetGauge(name, g->Value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    snap.SetHistogram(name, h->Merged());
+  }
+  for (const auto& [token, fn] : collectors_) {
+    (void)token;
+    fn(snap);
+  }
+  return snap;
+}
+
+}  // namespace grnn::obs

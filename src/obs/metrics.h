@@ -1,0 +1,176 @@
+// Copyright (c) GRNN authors.
+// MetricsRegistry: one named namespace of counters, gauges and
+// histograms for the whole process (DESIGN.md, "Observability").
+//
+// Two kinds of producers feed it:
+//
+//   * HOT-PATH instruments — Counter / Gauge / ConcurrentHistogram
+//     handles registered once and then updated lock-free from any
+//     thread. Counters are sharded per thread (relaxed fetch_add on a
+//     thread-assigned cache-line-private cell) and summed at snapshot,
+//     so a counter increment never bounces a shared line between
+//     worker threads.
+//   * COLLECTORS — callbacks registered by subsystems that already
+//     keep their own stat structs (EngineStats, IoStats, WalStats,
+//     EpochStats, Scheduler::Stats). Snapshot() polls them, so the
+//     registry sees every legacy counter without rewriting the hot
+//     paths that maintain them.
+//
+// Snapshot() returns a consistent-enough view (each value is read
+// atomically; cross-metric skew is bounded by the snapshot walk) that
+// exports to Prometheus text exposition or JSON. Names are dotted
+// lowercase ("engine.search.nodes_expanded"); the Prometheus exporter
+// maps dots to underscores.
+//
+// Thread-safety: all registration and Snapshot() calls lock the
+// registry mutex; instrument updates (Counter::Add etc.) are lock-free
+// and may race Snapshot() freely.
+
+#ifndef GRNN_OBS_METRICS_H_
+#define GRNN_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace grnn::obs {
+
+/// Monotonic counter sharded across kShards cache-line-private cells;
+/// each thread hashes to a fixed cell, Add is one relaxed fetch_add.
+/// Value() sums the cells (monotone but not linearizable across
+/// concurrent adders — fine for telemetry).
+class Counter {
+ public:
+  static constexpr size_t kShards = 16;
+
+  void Add(uint64_t delta = 1) {
+    cells_[ThisShard()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& c : cells_) {
+      total += c.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// The calling thread's fixed cell index in [0, kShards) — also used
+  /// by ConcurrentHistogram to spread threads over its cells.
+  static size_t ThisShard();
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  Cell cells_[kShards];
+};
+
+/// Point-in-time signed value (queue depth, limbo pages, staleness).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Histogram recordable from many threads: kShards independently
+/// locked obs::Histogram cells, merged at snapshot. Record takes one
+/// uncontended mutex in the common case (threads hash to distinct
+/// cells).
+class ConcurrentHistogram {
+ public:
+  static constexpr size_t kShards = 8;
+
+  void Record(uint64_t value);
+  /// Merged view of all shards.
+  Histogram Merged() const;
+
+ private:
+  struct alignas(64) Cell {
+    mutable std::mutex mu;
+    Histogram h;
+  };
+  Cell cells_[kShards];
+};
+
+/// Summary of one histogram at snapshot time.
+struct HistogramSummary {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+};
+
+/// One consistent-enough view of every registered metric, sorted by
+/// name. Collectors append to it via the Set helpers (overwriting any
+/// earlier value for the same name, so a collector can shadow a
+/// default).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramSummary> histograms;
+
+  void SetCounter(std::string name, uint64_t value);
+  void SetGauge(std::string name, int64_t value);
+  void SetHistogram(std::string name, const Histogram& h);
+
+  /// 0 when absent.
+  uint64_t CounterValue(const std::string& name) const;
+  int64_t GaugeValue(const std::string& name) const;
+  const HistogramSummary* FindHistogram(const std::string& name) const;
+
+  /// Prometheus text exposition: counters/gauges as-is, histograms as
+  /// summary-style quantile series. Dots become underscores.
+  std::string ExportPrometheus() const;
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string ExportJson() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the instrument registered under `name`, creating it on
+  /// first use. References stay valid for the registry's lifetime.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  ConcurrentHistogram& GetHistogram(const std::string& name);
+
+  /// Registers a poll-at-snapshot callback bridging an existing stat
+  /// struct into the registry; returns a token for Unregister. The
+  /// callback runs under the registry mutex — it must not call back
+  /// into the registry.
+  using Collector = std::function<void(MetricsSnapshot&)>;
+  uint64_t RegisterCollector(Collector fn);
+  void UnregisterCollector(uint64_t token);
+
+  /// Reads every instrument and runs every collector.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<ConcurrentHistogram>> histograms_;
+  std::map<uint64_t, Collector> collectors_;
+  uint64_t next_token_ = 1;
+};
+
+}  // namespace grnn::obs
+
+#endif  // GRNN_OBS_METRICS_H_

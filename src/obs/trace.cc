@@ -1,0 +1,128 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <string_view>
+#include <utility>
+
+namespace grnn::obs {
+
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+thread_local TraceContext* g_current_trace = nullptr;
+
+}  // namespace
+
+// --- TraceContext ---
+
+void TraceContext::Begin() {
+  spans_.clear();
+  open_stack_.clear();
+  dropped_spans_ = 0;
+  epoch_nanos_ = NowNanos();
+}
+
+int32_t TraceContext::Open(const char* name) {
+  if (spans_.size() >= kMaxSpans) {
+    dropped_spans_++;
+    return -1;
+  }
+  SpanRecord span;
+  span.parent = open_stack_.empty() ? -1 : open_stack_.back();
+  span.name = name;
+  span.start_nanos = NowNanos() - epoch_nanos_;
+  const int32_t index = static_cast<int32_t>(spans_.size());
+  spans_.push_back(std::move(span));
+  open_stack_.push_back(index);
+  return index;
+}
+
+void TraceContext::Close(int32_t index) {
+  if (index < 0 || static_cast<size_t>(index) >= spans_.size()) {
+    return;
+  }
+  SpanRecord& span = spans_[static_cast<size_t>(index)];
+  span.duration_nanos = (NowNanos() - epoch_nanos_) - span.start_nanos;
+  // Scoped nesting means `index` is on top; pop defensively past it in
+  // case an inner span leaked (keeps the stack consistent anyway).
+  while (!open_stack_.empty()) {
+    const int32_t top = open_stack_.back();
+    open_stack_.pop_back();
+    if (top == index) {
+      break;
+    }
+  }
+}
+
+void TraceContext::Note(const char* key, uint64_t delta) {
+  if (open_stack_.empty()) {
+    return;
+  }
+  NoteOn(open_stack_.back(), key, delta);
+}
+
+void TraceContext::NoteOn(int32_t index, const char* key, uint64_t delta) {
+  if (index < 0 || static_cast<size_t>(index) >= spans_.size()) {
+    return;
+  }
+  auto& notes = spans_[static_cast<size_t>(index)].notes;
+  for (auto& [k, v] : notes) {
+    // Keys are literals; pointer equality is the fast path, string
+    // compare the fallback for literals deduplicated differently
+    // across translation units.
+    if (k == key || std::string_view(k) == key) {
+      v += delta;
+      return;
+    }
+  }
+  notes.emplace_back(key, delta);
+}
+
+uint64_t TraceContext::ElapsedNanos() const {
+  return NowNanos() - epoch_nanos_;
+}
+
+// --- thread-local slot ---
+
+TraceContext* CurrentTrace() { return g_current_trace; }
+
+TraceArm::TraceArm(TraceContext* ctx) : prev_(g_current_trace) {
+  g_current_trace = ctx;
+}
+
+TraceArm::~TraceArm() { g_current_trace = prev_; }
+
+// --- SlowQueryLog ---
+
+void SlowQueryLog::Push(SlowQuery q, size_t capacity) {
+  if (capacity == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  while (ring_.size() >= capacity) {
+    ring_.pop_front();
+    dropped_++;
+  }
+  ring_.push_back(std::move(q));
+}
+
+std::vector<SlowQuery> SlowQueryLog::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SlowQuery> out(std::make_move_iterator(ring_.begin()),
+                             std::make_move_iterator(ring_.end()));
+  ring_.clear();
+  return out;
+}
+
+uint64_t SlowQueryLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+}  // namespace grnn::obs

@@ -19,72 +19,6 @@ uint64_t MicrosBetween(Clock::time_point from, Clock::time_point to) {
 
 }  // namespace
 
-// --- LatencyHistogram ---
-
-size_t LatencyHistogram::BucketIndex(uint64_t micros) {
-  if (micros < kSubBuckets) {
-    return static_cast<size_t>(micros);
-  }
-  const int msb = 63 - std::countl_zero(micros);
-  const int shift = msb - kSubBits;
-  // The octave [2^msb, 2^(msb+1)) maps onto kSubBuckets equal cells.
-  const size_t sub =
-      static_cast<size_t>((micros >> shift) - kSubBuckets);
-  return kSubBuckets + static_cast<size_t>(shift) * kSubBuckets + sub;
-}
-
-uint64_t LatencyHistogram::BucketUpperBound(size_t index) {
-  if (index < kSubBuckets) {
-    return static_cast<uint64_t>(index);
-  }
-  const size_t shift = (index - kSubBuckets) / kSubBuckets;
-  const size_t sub = (index - kSubBuckets) % kSubBuckets;
-  const uint64_t lower = (sub + kSubBuckets) << shift;
-  return lower + ((uint64_t{1} << shift) - 1);
-}
-
-void LatencyHistogram::Record(uint64_t micros) {
-  if (buckets_.empty()) {
-    buckets_.assign(kNumBuckets, 0);
-  }
-  buckets_[BucketIndex(micros)]++;
-  count_++;
-  max_ = std::max(max_, micros);
-}
-
-uint64_t LatencyHistogram::Percentile(double p) const {
-  if (count_ == 0) {
-    return 0;
-  }
-  p = std::clamp(p, 0.0, 100.0);
-  uint64_t target =
-      static_cast<uint64_t>(std::ceil(p / 100.0 * count_));
-  target = std::max<uint64_t>(target, 1);
-  uint64_t seen = 0;
-  for (size_t i = 0; i < buckets_.size(); ++i) {
-    seen += buckets_[i];
-    if (seen >= target) {
-      // The true max is a tighter bound than the top bucket's edge.
-      return std::min(BucketUpperBound(i), max_);
-    }
-  }
-  return max_;
-}
-
-void LatencyHistogram::Merge(const LatencyHistogram& other) {
-  if (other.count_ == 0) {
-    return;
-  }
-  if (buckets_.empty()) {
-    buckets_.assign(kNumBuckets, 0);
-  }
-  for (size_t i = 0; i < kNumBuckets; ++i) {
-    buckets_[i] += other.buckets_[i];
-  }
-  count_ += other.count_;
-  max_ = std::max(max_, other.max_);
-}
-
 // --- Scheduler ---
 
 struct Scheduler::Ticket::Request {
@@ -123,11 +57,33 @@ Scheduler::Scheduler(core::RknnEngine* engine, SchedulerOptions options)
     pool_->ParallelFor(static_cast<size_t>(opts_.num_workers),
                        [this](int, size_t) { WorkerLoop(); });
   });
+  if (opts_.metrics != nullptr) {
+    // Poll-at-snapshot bridge (obs/metrics.h): one registry Snapshot()
+    // sees the scheduler next to the engine/pool/WAL counters.
+    // Unregistered in Shutdown, which every destruction path runs
+    // before `this` dies.
+    collector_token_ = opts_.metrics->RegisterCollector(
+        [this](obs::MetricsSnapshot& snap) {
+          Stats s = stats();
+          snap.SetCounter("scheduler.submitted", s.submitted);
+          snap.SetCounter("scheduler.admitted", s.admitted);
+          snap.SetCounter("scheduler.shed", s.shed);
+          snap.SetCounter("scheduler.expired", s.expired);
+          snap.SetCounter("scheduler.completed", s.completed);
+          snap.SetCounter("scheduler.batches", s.batches);
+          snap.SetCounter("scheduler.batch_fallbacks", s.batch_fallbacks);
+          snap.SetHistogram("scheduler.latency_micros", s.latency);
+        });
+  }
 }
 
 Scheduler::~Scheduler() { Shutdown(); }
 
 void Scheduler::Shutdown() {
+  if (collector_token_ != 0) {
+    opts_.metrics->UnregisterCollector(collector_token_);
+    collector_token_ = 0;
+  }
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     stopping_ = true;

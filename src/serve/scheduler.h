@@ -53,39 +53,15 @@
 #include "common/thread_pool.h"
 #include "core/engine.h"
 #include "core/types.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
 
 namespace grnn::serve {
 
-/// Log-linear latency histogram (microsecond samples): exact buckets
-/// below 2^kSubBits, then kSubBuckets per power-of-two octave, so the
-/// quantile error is bounded by ~1/kSubBuckets of the value at every
-/// magnitude. Record is O(1); Percentile walks the (fixed, small)
-/// bucket array. Not internally synchronized.
-class LatencyHistogram {
- public:
-  static constexpr int kSubBits = 5;
-  static constexpr uint64_t kSubBuckets = uint64_t{1} << kSubBits;
-
-  void Record(uint64_t micros);
-  /// Upper bound of the bucket holding the p-th percentile sample
-  /// (p in [0, 100]); 0 when empty.
-  uint64_t Percentile(double p) const;
-  void Merge(const LatencyHistogram& other);
-
-  uint64_t count() const { return count_; }
-  uint64_t max() const { return max_; }
-
- private:
-  static size_t BucketIndex(uint64_t micros);
-  static uint64_t BucketUpperBound(size_t index);
-  // 64 - kSubBits octaves of kSubBuckets plus the exact range.
-  static constexpr size_t kNumBuckets =
-      (64 - kSubBits) * kSubBuckets + kSubBuckets;
-
-  std::vector<uint64_t> buckets_;
-  uint64_t count_ = 0;
-  uint64_t max_ = 0;
-};
+/// The scheduler's latency histogram is the shared obs::Histogram
+/// (this alias preserves the PR 6 name; the implementation moved to
+/// src/obs/ in PR 10).
+using LatencyHistogram = obs::Histogram;
 
 struct SchedulerOptions {
   /// Worker drain loops executing batches (laid out over one PR 2
@@ -106,6 +82,11 @@ struct SchedulerOptions {
   /// before execution (argument: batch size). Lets tests hold workers
   /// mid-pipeline to fill the queue deterministically. Leave unset.
   std::function<void(size_t)> batch_hook;
+  /// Optional metrics registry (src/obs/). When set, the scheduler
+  /// registers a collector exporting its counters and latency
+  /// percentiles under "scheduler.*"; unregistered at Shutdown. Must
+  /// outlive the scheduler.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// How a request left the scheduler.
@@ -196,6 +177,8 @@ class Scheduler {
 
   std::unique_ptr<common::ThreadPool> pool_;
   std::thread driver_;
+  /// Collector registered on opts_.metrics (0 = none).
+  uint64_t collector_token_ = 0;
 };
 
 }  // namespace grnn::serve

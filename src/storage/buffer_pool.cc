@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/string_util.h"
+#include "obs/trace.h"
 #include "storage/wal.h"
 
 namespace grnn::storage {
@@ -91,6 +92,13 @@ BufferPool::BufferPool(DiskManager* disk, size_t capacity_pages,
 BufferPool::~BufferPool() { (void)FlushAll(); }
 
 Result<PageGuard> BufferPool::Acquire(PageId id) {
+  // Telemetry (obs/trace.h): pins count onto the innermost span of an
+  // armed per-query trace; misses — the expensive path — additionally
+  // get their own timed span below. One nullptr branch when disarmed.
+  obs::TraceContext* trace = obs::CurrentTrace();
+  if (trace != nullptr) {
+    trace->Note("page.pins", 1);
+  }
   Shard& shard = *shards_[ShardOf(id)];
   // Sharding makes all-frames-pinned a TRANSIENT per-shard condition:
   // concurrent callers briefly pinning distinct pages of one small
@@ -107,6 +115,7 @@ Result<PageGuard> BufferPool::Acquire(PageId id) {
 
       if (capacity_ == 0) {
         // Unbuffered mode: every access faults into a private buffer.
+        obs::ScopedSpan miss(trace, "page.miss");
         shard.stats.physical_reads++;
         auto buf = std::make_unique<uint8_t[]>(disk_->page_size());
         GRNN_RETURN_NOT_OK(disk_->ReadPage(id, buf.get()));
@@ -129,6 +138,7 @@ Result<PageGuard> BufferPool::Acquire(PageId id) {
 
       Result<size_t> victim_or = FindVictim(shard);
       if (victim_or.ok()) {
+        obs::ScopedSpan miss(trace, "page.miss");
         Frame& f = shard.frames[*victim_or];
         if (f.page != kInvalidPage) {
           if (f.dirty) {
@@ -218,6 +228,11 @@ IoStats BufferPool::stats() const {
     out += shard->stats;
   }
   return out;
+}
+
+IoStats BufferPool::shard_stats(size_t shard) const {
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->stats;
 }
 
 void BufferPool::ResetStats() {

@@ -215,6 +215,10 @@ class BufferPool {
   /// quiescent moment; under concurrent traffic each shard is snapshotted
   /// atomically but the shards are visited in sequence.
   IoStats stats() const;
+  /// One shard's counters (shard < num_shards()); the telemetry
+  /// collector exports these as pool.shard<N>.* so skew across the
+  /// page-id hash is visible.
+  IoStats shard_stats(size_t shard) const;
   void ResetStats();
   DiskManager* disk() const { return disk_; }
 

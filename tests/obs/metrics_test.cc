@@ -1,0 +1,220 @@
+// obs::MetricsRegistry suite: sharded counter exactness under threads,
+// concurrent-histogram merging, snapshot/collector semantics and both
+// exporters — plus the multithreaded registry hammer the TSan job runs
+// to prove instrument updates may race Snapshot() freely.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace grnn::obs {
+namespace {
+
+TEST(CounterTest, SingleThreadExact) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(CounterTest, MultithreadedSumIsExact) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> team;
+  for (int t = 0; t < kThreads; ++t) {
+    team.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        c.Add();
+      }
+    });
+  }
+  for (auto& th : team) {
+    th.join();
+  }
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 7);
+  g.Set(-5);
+  EXPECT_EQ(g.Value(), -5);
+}
+
+TEST(ConcurrentHistogramTest, MergedSeesEveryRecord) {
+  ConcurrentHistogram h;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> team;
+  for (int t = 0; t < kThreads; ++t) {
+    team.emplace_back([&h, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(t) * 1000 + i % 100);
+      }
+    });
+  }
+  for (auto& th : team) {
+    th.join();
+  }
+  Histogram merged = h.Merged();
+  EXPECT_EQ(merged.count(), kThreads * kPerThread);
+  EXPECT_GT(merged.Percentile(50), 0u);
+}
+
+TEST(HistogramTest, SumTracksRecords) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(12);
+  EXPECT_EQ(h.sum(), 42u);
+  Histogram other;
+  other.Record(8);
+  h.Merge(other);
+  EXPECT_EQ(h.sum(), 50u);
+  EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(MetricsSnapshotTest, SetOverwritesAndLookupsWork) {
+  MetricsSnapshot snap;
+  snap.SetCounter("b", 1);
+  snap.SetCounter("a", 2);
+  snap.SetCounter("b", 3);  // overwrite, not duplicate
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "a");  // sorted
+  EXPECT_EQ(snap.CounterValue("b"), 3u);
+  EXPECT_EQ(snap.CounterValue("missing"), 0u);
+  snap.SetGauge("g", -7);
+  EXPECT_EQ(snap.GaugeValue("g"), -7);
+  Histogram h;
+  h.Record(100);
+  snap.SetHistogram("lat", h);
+  const HistogramSummary* s = snap.FindHistogram("lat");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, 1u);
+  EXPECT_EQ(snap.FindHistogram("nope"), nullptr);
+}
+
+TEST(MetricsSnapshotTest, PrometheusExportShape) {
+  MetricsSnapshot snap;
+  snap.SetCounter("engine.search.nodes_expanded", 5);
+  snap.SetGauge("engine.epoch.limbo", 2);
+  Histogram h;
+  h.Record(100);
+  h.Record(200);
+  snap.SetHistogram("scheduler.latency_micros", h);
+  const std::string prom = snap.ExportPrometheus();
+  // Dots map to underscores; counters/gauges typed; histograms as
+  // quantile series with _sum/_count.
+  EXPECT_NE(prom.find("engine_search_nodes_expanded 5"),
+            std::string::npos);
+  EXPECT_NE(prom.find("engine_epoch_limbo 2"), std::string::npos);
+  EXPECT_NE(prom.find("scheduler_latency_micros_count 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("quantile=\"0.5\""), std::string::npos);
+  EXPECT_EQ(prom.find("engine.search"), std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, JsonExportShape) {
+  MetricsSnapshot snap;
+  snap.SetCounter("a.b", 1);
+  snap.SetGauge("c", -2);
+  Histogram h;
+  h.Record(7);
+  snap.SetHistogram("d", h);
+  const std::string json = snap.ExportJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.b\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"c\":-2"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, InstrumentsAreStableAndShared) {
+  MetricsRegistry reg;
+  Counter& c1 = reg.GetCounter("x");
+  Counter& c2 = reg.GetCounter("x");
+  EXPECT_EQ(&c1, &c2);
+  c1.Add(3);
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("x"), 3u);
+}
+
+TEST(MetricsRegistryTest, CollectorsRunAtSnapshotAndUnregister) {
+  MetricsRegistry reg;
+  std::atomic<int> polls{0};
+  const uint64_t token = reg.RegisterCollector([&](MetricsSnapshot& s) {
+    polls.fetch_add(1);
+    s.SetCounter("from.collector", 9);
+  });
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(polls.load(), 1);
+  EXPECT_EQ(snap.CounterValue("from.collector"), 9u);
+  reg.UnregisterCollector(token);
+  snap = reg.Snapshot();
+  EXPECT_EQ(polls.load(), 1);  // no longer polled
+  EXPECT_EQ(snap.CounterValue("from.collector"), 0u);
+}
+
+TEST(MetricsRegistryTest, CollectorCanShadowInstrument) {
+  MetricsRegistry reg;
+  reg.GetCounter("v").Add(1);
+  reg.RegisterCollector(
+      [](MetricsSnapshot& s) { s.SetCounter("v", 100); });
+  EXPECT_EQ(reg.Snapshot().CounterValue("v"), 100u);
+}
+
+// The TSan target: updates race registration, collectors and Snapshot.
+TEST(MetricsRegistryTest, ConcurrentHammer) {
+  MetricsRegistry reg;
+  Counter& hot = reg.GetCounter("hot");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> team;
+  // Writers on a shared counter + private ones they register live.
+  for (int t = 0; t < 4; ++t) {
+    team.emplace_back([&, t] {
+      Counter& mine =
+          reg.GetCounter("writer." + std::to_string(t));
+      ConcurrentHistogram& h =
+          reg.GetHistogram("lat." + std::to_string(t));
+      for (int i = 0; i < 20000; ++i) {
+        hot.Add();
+        mine.Add(2);
+        h.Record(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  // Snapshotters racing the writers.
+  for (int t = 0; t < 2; ++t) {
+    team.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        MetricsSnapshot snap = reg.Snapshot();
+        // Any observed value is <= the final exact total.
+        EXPECT_LE(snap.CounterValue("hot"), 80000u);
+      }
+    });
+  }
+  for (int t = 0; t < 4; ++t) {
+    team[static_cast<size_t>(t)].join();
+  }
+  stop.store(true);
+  team[4].join();
+  team[5].join();
+  MetricsSnapshot final_snap = reg.Snapshot();
+  EXPECT_EQ(final_snap.CounterValue("hot"), 80000u);
+  EXPECT_EQ(final_snap.CounterValue("writer.0"), 40000u);
+  const HistogramSummary* s = final_snap.FindHistogram("lat.3");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, 20000u);
+}
+
+}  // namespace
+}  // namespace grnn::obs
